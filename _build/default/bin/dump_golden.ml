@@ -1,0 +1,16 @@
+(* Regenerate the golden tables in test/test_golden*.ml. *)
+let dump maker =
+  Verify.Violation.set_enabled false;
+  let results = Apps.Difftest.run_suite (maker ()) in
+  List.iter
+    (fun (r : Apps.Difftest.app_result) ->
+      Printf.printf "    ( %S,\n      %S,\n      %S );\n" r.app.Apps.Suite.app_name r.output r.state)
+    results
+
+let () =
+  match Sys.argv with
+  | [| _; name |] -> (
+    match List.assoc_opt name Ticktock.Boards.all_instances with
+    | Some maker -> dump maker
+    | None -> prerr_endline "unknown board")
+  | _ -> dump (fun () -> Ticktock.Boards.instance_ticktock_arm ())

@@ -1,0 +1,189 @@
+(* The ticktock command-line tool.
+
+     ticktock boards                 list kernel configurations
+     ticktock run [-k BOARD]        run the 21-app release suite
+     ticktock difftest              compare Tock vs TickTock outputs (§6.1)
+     ticktock attack [-k BOARD]     replay the §2.2/§3.4 exploits
+     ticktock verify [-s SCALE]     check the proof components (§4)
+     ticktock stats                 per-method cycle hooks (Figure 11 raw)
+*)
+
+open Ticktock
+open Cmdliner
+
+let board_arg =
+  let boards = List.map fst Boards.all_instances in
+  let doc =
+    Printf.sprintf "Kernel configuration to use. One of: %s." (String.concat ", " boards)
+  in
+  Arg.(value & opt string "ticktock-arm" & info [ "k"; "kernel" ] ~docv:"BOARD" ~doc)
+
+let make_board name =
+  match List.assoc_opt name Boards.all_instances with
+  | Some make -> Ok (make ())
+  | None -> Error (`Msg (Printf.sprintf "unknown board %S (try `ticktock boards')" name))
+
+let boards_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) Boards.all_instances;
+    0
+  in
+  Cmd.v (Cmd.info "boards" ~doc:"List kernel configurations") Term.(const run $ const ())
+
+let run_cmd =
+  let run board verbose =
+    match make_board board with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok k ->
+      Verify.Violation.set_enabled false;
+      let results = Apps.Difftest.run_suite k in
+      List.iter
+        (fun (r : Apps.Difftest.app_result) ->
+          Printf.printf "=== %s [%s]\n" r.app.Apps.Suite.app_name r.state;
+          if verbose then print_string r.output)
+        results;
+      Printf.printf "\n%d apps; console:\n%s" (List.length results) (k.Instance.console ());
+      0
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print app output.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the 21-app release suite on a board")
+    Term.(const run $ board_arg $ verbose)
+
+let difftest_cmd =
+  let run () =
+    Verify.Violation.set_enabled false;
+    let left = Apps.Difftest.run_suite (Boards.instance_ticktock_arm ()) in
+    let right = Apps.Difftest.run_suite (Boards.instance_tock_arm ()) in
+    Format.printf "%a@." Apps.Difftest.pp_comparison
+      (Apps.Difftest.compare_suites ~left ~right);
+    0
+  in
+  Cmd.v
+    (Cmd.info "difftest" ~doc:"Differential-test Tock vs TickTock (§6.1)")
+    Term.(const run $ const ())
+
+let attack_cmd =
+  let run board =
+    match List.assoc_opt board Boards.all_instances with
+    | None ->
+      Printf.eprintf "unknown board %S\n" board;
+      1
+    | Some make ->
+      let broken = ref 0 in
+      List.iter
+        (fun (a : Apps.Attacks.attack) ->
+          let outcome =
+            Verify.Violation.with_enabled false (fun () -> Apps.Attacks.run_attack make a)
+          in
+          (match outcome with
+          | Apps.Attacks.Broken_isolation | Apps.Attacks.Kernel_dos _ -> incr broken
+          | Apps.Attacks.Contained | Apps.Attacks.Contained_fault | Apps.Attacks.Load_failed _
+            -> ());
+          Printf.printf "%-20s %s\n" a.attack_name (Apps.Attacks.outcome_to_string outcome))
+        Apps.Attacks.all;
+      Printf.printf "\n%d attack(s) broke isolation on %s\n" !broken board;
+      if !broken = 0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Replay the paper's exploits against a board")
+    Term.(const run $ board_arg)
+
+let verify_cmd =
+  let run scale =
+    let name, props = Proofs.upstream_bug_hunt ~scale:(min scale 0.4) in
+    let bug_report = Verify.Checker.check_component name props in
+    Format.printf "%a@." Verify.Checker.pp_report bug_report;
+    let reports =
+      List.map
+        (fun (cname, cprops) -> Verify.Checker.check_component cname cprops)
+        (Proofs.components ~scale)
+    in
+    List.iter (fun r -> Format.printf "%a@." Verify.Checker.pp_report r) reports;
+    Format.printf "%a@." Verify.Report.pp_timing_table
+      (List.map
+         (fun (r : Verify.Checker.component_report) ->
+           (r.Verify.Checker.component, Verify.Report.timing_stats r))
+         reports);
+    if List.for_all Verify.Checker.all_verified reports then 0 else 1
+  in
+  let scale =
+    Arg.(value & opt float 0.3 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Domain scale.")
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Check the proof components (§4)") Term.(const run $ scale)
+
+let fuzz_cmd =
+  let run board seeds =
+    match List.assoc_opt board Boards.all_instances with
+    | None ->
+      Printf.eprintf "unknown board %S\n" board;
+      1
+    | Some make ->
+      let contracts =
+        (* contracts on for the verified kernels, off for the baselines *)
+        String.length board >= 8 && String.sub board 0 8 = "ticktock"
+      in
+      let rounds, panics =
+        Verify.Violation.with_enabled contracts (fun () -> Apps.Fuzz.campaign ~seeds make)
+      in
+      List.iter
+        (fun (r : Apps.Fuzz.outcome) ->
+          Printf.printf "seed %3d: witness=%b isolation=%b faulted=%d exited=%d%s\n"
+            r.fuzz_seed r.witness_ok r.isolation_ok r.fuzzers_faulted r.fuzzers_exited
+            (match r.kernel_panic with
+            | Some msg -> "  KERNEL PANIC: " ^ msg
+            | None -> ""))
+        rounds;
+      Printf.printf "\n%d/%d rounds panicked the kernel\n" (List.length panics)
+        (List.length rounds);
+      if List.length panics = 0 then 0 else 2
+  in
+  let seeds = Arg.(value & opt int 20 & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Seeds to try.") in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz a board with hostile syscall/memory streams")
+    Term.(const run $ board_arg $ seeds)
+
+let ps_cmd =
+  let run2 board =
+    match make_board board with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok k ->
+      Verify.Violation.set_enabled false;
+      let results = Apps.Difftest.run_suite ~max_ticks:300 k in
+      List.iter
+        (fun (r : Apps.Difftest.app_result) ->
+          Printf.printf "%-22s %s\n" r.app.Apps.Suite.app_name r.state)
+        results;
+      0
+  in
+  Cmd.v
+    (Cmd.info "ps" ~doc:"Process states after a short suite run")
+    Term.(const run2 $ board_arg)
+
+let stats_cmd =
+  let run board =
+    match make_board board with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok k ->
+      Verify.Violation.set_enabled false;
+      ignore (Apps.Difftest.run_suite k);
+      Format.printf "%a@." Hooks.pp (k.Instance.hooks ());
+      0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Per-method cycle hooks after a suite run")
+    Term.(const run $ board_arg)
+
+let () =
+  let doc = "TickTock: verified isolation in a modeled embedded OS" in
+  let info = Cmd.info "ticktock" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ boards_cmd; run_cmd; difftest_cmd; attack_cmd; verify_cmd; stats_cmd; fuzz_cmd; ps_cmd ]))

@@ -1,0 +1,1 @@
+examples/capsule_tour.ml: Apps Boards Capsules Char List Mpu_hw Printf Process Result String Ticktock

@@ -1,0 +1,1 @@
+examples/ipc_demo.ml: Apps Boards Capsules Char Kerror List Printf Process String Ticktock Userland

@@ -1,0 +1,1 @@
+examples/ipc_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Boards Format Hooks Kerror List Machine Mpu_hw Printf Process Ticktock Word32

@@ -1,0 +1,1 @@
+examples/resilience.ml: Apps Boards Kernel List Machine Printf Process Result Ticktock Trace

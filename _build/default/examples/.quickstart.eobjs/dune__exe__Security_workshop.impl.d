@@ -1,0 +1,1 @@
+examples/security_workshop.ml: Apps Boards Fluxarm Format List Machine Printf Proofs Ticktock Verify

@@ -1,0 +1,1 @@
+examples/sensor_logger.ml: Apps Boards Dma Format Hooks Kerror Layout Machine Printf Process Range Ticktock

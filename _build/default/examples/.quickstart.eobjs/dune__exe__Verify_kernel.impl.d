@@ -1,0 +1,1 @@
+examples/verify_kernel.ml: Array Format List Printf Proofs Sys Ticktock Verify

@@ -1,0 +1,94 @@
+(* A tour of the capsule layer: one app per driver, all running together on
+   a single board, plus the kernel-side process console answering over its
+   own debug UART while everything else is going on.
+
+     dune exec examples/capsule_tour.exe
+*)
+
+open Ticktock
+open Apps.App_dsl
+
+let blinker =
+  (* LED capsule over GPIO *)
+  let* n = command ~driver:Capsules.Led.driver_num ~cmd:0 () in
+  let* () =
+    repeat 6 (fun () ->
+        let* _ = command ~driver:Capsules.Led.driver_num ~cmd:3 ~arg1:0 () in
+        let* _ = command ~driver:Capsules.Virtual_alarm.driver_num ~cmd:1 ~arg1:2 () in
+        let* _ = subscribe ~driver:Capsules.Virtual_alarm.driver_num ~upcall_id:0 in
+        let* _ = yield in
+        return ())
+  in
+  let* () = printf "blinker: toggled led 0 six times (%d leds present)\n" n in
+  return 0
+
+let button_waiter =
+  let* _ = subscribe ~driver:Capsules.Button.driver_num ~upcall_id:0 in
+  let* _ = command ~driver:Capsules.Button.driver_num ~cmd:2 ~arg1:0 () in
+  let* evt = yield in
+  let* () = printf "button-waiter: event %d (index*2+level)\n" evt in
+  return 0
+
+let dice_roller =
+  let* ms = memory_start in
+  let* _ = allow_rw ~driver:Capsules.Rng.driver_num ~addr:ms ~len:4 in
+  let* n = command ~driver:Capsules.Rng.driver_num ~cmd:1 ~arg1:4 () in
+  let* b = load8 ms in
+  let* () = printf "dice: %d random bytes, first roll = %d\n" n ((b mod 6) + 1) in
+  return 0
+
+let console_writer =
+  let msg = "capsule console says hi\n" in
+  let* ms = memory_start in
+  let* () =
+    iter_list
+      (fun (i, c) ->
+        let* _ = store8 (ms + i) (Char.code c) in
+        return ())
+      (List.mapi (fun i c -> (i, c)) (List.init (String.length msg) (String.get msg)))
+  in
+  let* _ = allow_ro ~driver:Capsules.Console.driver_num ~addr:ms ~len:(String.length msg) in
+  let* n = command ~driver:Capsules.Console.driver_num ~cmd:1 ~arg1:(String.length msg) () in
+  let* () = printf "console-writer: pushed %d bytes to the uart\n" n in
+  return 0
+
+let () =
+  let caps, devices = Capsules.Board_set.standard ~rng_seed:2025 () in
+  let _, k = Boards.make_ticktock_arm ~capsules:caps () in
+  let load name script =
+    Result.get_ok
+      (Boards.Ticktock_arm.create_process k ~name ~payload:name ~program:(to_program script)
+         ~min_ram:2048 ())
+  in
+  (* sequence the loads explicitly: OCaml evaluates list elements
+     right-to-left, which would reverse the pids *)
+  let p1 = load "blinker" blinker in
+  let p2 = load "button-waiter" button_waiter in
+  let p3 = load "dice" dice_roller in
+  let p4 = load "console-writer" console_writer in
+  let apps = [ p1; p2; p3; p4 ] in
+  (* type at the kernel shell while apps run *)
+  String.iter
+    (fun c -> Mpu_hw.Uart.rx_push devices.Capsules.Board_set.debug_uart (Char.code c))
+    "ps\n";
+  Boards.Ticktock_arm.run k ~max_ticks:10;
+  (* press the button *)
+  Mpu_hw.Gpio.set_input devices.Capsules.Board_set.gpio 8 true;
+  Boards.Ticktock_arm.run k ~max_ticks:250;
+  (* ask for a second listing near the end, with real counters *)
+  String.iter
+    (fun c -> Mpu_hw.Uart.rx_push devices.Capsules.Board_set.debug_uart (Char.code c))
+    "ps\n";
+  Boards.Ticktock_arm.run k ~max_ticks:50;
+
+  List.iter
+    (fun (p : _ Process.t) ->
+      Printf.printf "=== %s [%s]\n%s" p.Process.name (Process.state_to_string p.Process.state)
+        (Process.output p))
+    apps;
+  Printf.printf "\nled 0 edges: %d\n"
+    (Mpu_hw.Gpio.toggles devices.Capsules.Board_set.gpio 0);
+  Printf.printf "app uart transcript: %S\n"
+    (Mpu_hw.Uart.transcript devices.Capsules.Board_set.uart);
+  print_endline "\n--- kernel shell (debug uart) ---";
+  print_string (Mpu_hw.Uart.transcript devices.Capsules.Board_set.debug_uart)

@@ -1,0 +1,106 @@
+(* IPC demo: a rot13 service and its client, talking through the IPC
+   capsule — discovery by name, a shared read-write buffer, and
+   notification upcalls in both directions. The service transforms the
+   client's buffer in place, byte by byte, through the capsule's mediated
+   peer access (it can only reach that buffer because the client allowed it
+   to this driver).
+
+     dune exec examples/ipc_demo.exe
+*)
+
+open Ticktock
+open Apps.App_dsl
+
+let ipc = Capsules.Ipc.driver_num
+
+let rot13_service =
+  let* _ = subscribe ~driver:ipc ~upcall_id:2 in
+  let* _ = command ~driver:ipc ~cmd:0 () in
+  let* () = print "service: registered, waiting\n" in
+  let* client = yield in
+  let* () = printf "service: request from pid %d\n" client in
+  (* transform the client's shared buffer in place *)
+  let rec rot i =
+    if i >= 16 then return ()
+    else
+      let* b = command ~driver:ipc ~cmd:4 ~arg1:client ~arg2:i () in
+      if b = 0 then return ()
+      else
+        let rotted =
+          if b >= Char.code 'a' && b <= Char.code 'z' then
+            ((b - Char.code 'a' + 13) mod 26) + Char.code 'a'
+          else if b >= Char.code 'A' && b <= Char.code 'Z' then
+            ((b - Char.code 'A' + 13) mod 26) + Char.code 'A'
+          else b
+        in
+        let* _ = command ~driver:ipc ~cmd:5 ~arg1:client ~arg2:((i lsl 8) lor rotted) () in
+        rot (i + 1)
+  in
+  let* () = rot 0 in
+  let* _ = command ~driver:ipc ~cmd:3 ~arg1:client () in
+  let* () = print "service: done\n" in
+  return 0
+
+let client =
+  let* ms = memory_start in
+  let message = "Hello, Tock!" in
+  (* the shared buffer at the start of our RAM *)
+  let* () =
+    iter_list
+      (fun (i, c) ->
+        let* _ = store8 (ms + i) (Char.code c) in
+        return ())
+      (List.mapi (fun i c -> (i, c)) (List.init (String.length message) (String.get message)))
+  in
+  let* _ = store8 (ms + String.length message) 0 in
+  let* _ = allow_rw ~driver:ipc ~addr:ms ~len:16 in
+  (* discovery buffer above it *)
+  let name = "rot13" in
+  let* () =
+    iter_list
+      (fun (i, c) ->
+        let* _ = store8 (ms + 32 + i) (Char.code c) in
+        return ())
+      (List.mapi (fun i c -> (i, c)) (List.init (String.length name) (String.get name)))
+  in
+  let* _ = store8 (ms + 32 + String.length name) 0 in
+  let* _ = allow_ro ~driver:ipc ~addr:(ms + 32) ~len:16 in
+  let* svc = command ~driver:ipc ~cmd:1 () in
+  if svc = Userland.failure then
+    let* () = print "client: no rot13 service\n" in
+    return 1
+  else
+    let* () = printf "client: sending %S to pid %d\n" message svc in
+    let* _ = subscribe ~driver:ipc ~upcall_id:3 in
+    let* _ = command ~driver:ipc ~cmd:2 ~arg1:svc () in
+    let* _ = yield in
+    (* read the transformed message back out of our own buffer *)
+    let rec read_back i acc =
+      if i >= 16 then return acc
+      else
+        let* b = load8 (ms + i) in
+        if b = 0 then return acc else read_back (i + 1) (acc ^ String.make 1 (Char.chr b))
+    in
+    let* out = read_back 0 "" in
+    let* () = printf "client: got back %S\n" out in
+    return 0
+
+let () =
+  let caps, _devices = Capsules.Board_set.standard () in
+  let _, k = Boards.make_ticktock_arm ~capsules:caps () in
+  let load name min_ram script =
+    match
+      Boards.Ticktock_arm.create_process k ~name ~payload:name ~program:(to_program script)
+        ~min_ram ()
+    with
+    | Ok p -> p
+    | Error e -> failwith (Kerror.to_string e)
+  in
+  let svc = load "rot13" 2048 rot13_service in
+  let cli = load "client" 2048 client in
+  Boards.Ticktock_arm.run k ~max_ticks:1000;
+  List.iter
+    (fun (p : _ Process.t) ->
+      Printf.printf "=== %s [%s]\n%s" p.Process.name (Process.state_to_string p.Process.state)
+        (Process.output p))
+    [ svc; cli ]

@@ -1,0 +1,1 @@
+lib/apps/app_dsl.ml: Char Format List String Ticktock Userland Word32

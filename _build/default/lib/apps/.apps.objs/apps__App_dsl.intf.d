@@ -1,0 +1,1 @@
+lib/apps/app_dsl.mli: Format Ticktock Userland Word32

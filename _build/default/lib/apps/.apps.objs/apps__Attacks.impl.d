@@ -1,0 +1,1 @@
+lib/apps/attacks.ml: App_dsl Instance Kerror Layout Range Ticktock Tock_cortexm_mpu Userland Word32

@@ -1,0 +1,1 @@
+lib/apps/attacks.mli: App_dsl Instance Kerror Ticktock

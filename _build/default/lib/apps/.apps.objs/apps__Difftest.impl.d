@@ -1,0 +1,1 @@
+lib/apps/difftest.ml: App_dsl Format Instance Kerror List Option String Suite Ticktock

@@ -1,0 +1,1 @@
+lib/apps/difftest.mli: Format Instance Kerror Suite Ticktock

@@ -1,0 +1,1 @@
+lib/apps/fuzz.ml: App_dsl Instance Layout List Printf Random Range Result Ticktock Tock_cortexm_mpu Word32

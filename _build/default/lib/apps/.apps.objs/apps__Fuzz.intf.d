@@ -1,0 +1,1 @@
+lib/apps/fuzz.mli: App_dsl Instance Ticktock

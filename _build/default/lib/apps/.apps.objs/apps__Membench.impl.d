@@ -1,0 +1,1 @@
+lib/apps/membench.ml: App_dsl Format Instance Kerror Ticktock Userland

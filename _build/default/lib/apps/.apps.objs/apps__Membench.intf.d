@@ -1,0 +1,1 @@
+lib/apps/membench.mli: App_dsl Format Instance Kerror Stdlib Ticktock

@@ -1,0 +1,1 @@
+lib/apps/suite.ml: App_dsl Bytes Char Fun List String Ticktock Userland Word32

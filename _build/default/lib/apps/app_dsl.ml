@@ -1,0 +1,146 @@
+(** A tiny scripting monad for writing untrusted applications.
+
+    Userland programs are resumable closures ({!Ticktock.Userland.program});
+    writing them directly as state machines is tedious. [script] is a free
+    monad over actions: [perform] yields an action and resumes with its
+    result, so app code reads like straight-line C while still executing one
+    action per kernel-mediated step. [to_program] compiles a script into the
+    closure form the kernel consumes. *)
+
+open Ticktock
+
+type 'a t =
+  | Done of 'a
+  | Act of Userland.action * (Word32.t -> 'a t)
+
+let return x = Done x
+
+let rec bind m f =
+  match m with
+  | Done x -> f x
+  | Act (a, k) -> Act (a, fun r -> bind (k r) f)
+
+let ( let* ) = bind
+let map f m = bind m (fun x -> return (f x))
+
+let perform a = Act (a, fun r -> Done r)
+
+(* --- convenience wrappers --- *)
+
+let load8 a = perform (Userland.Load8 a)
+let store8 a v = perform (Userland.Store8 (a, v))
+let load32 a = perform (Userland.Load32 a)
+let store32 a v = perform (Userland.Store32 (a, v))
+let compute n = perform (Userland.Compute n)
+
+let print s =
+  let* _ = perform (Userland.Print s) in
+  return ()
+
+let printf fmt = Format.kasprintf print fmt
+let syscall c = perform (Userland.Syscall c)
+let yield = syscall Userland.Yield
+
+let command ~driver ~cmd ?(arg1 = 0) ?(arg2 = 0) () =
+  syscall (Userland.Command { driver; cmd; arg1; arg2 })
+
+let subscribe ~driver ~upcall_id = syscall (Userland.Subscribe { driver; upcall_id })
+let allow_ro ~driver ~addr ~len = syscall (Userland.Allow_ro { driver; addr; len })
+let allow_rw ~driver ~addr ~len = syscall (Userland.Allow_rw { driver; addr; len })
+let memop ~op ?(arg = 0) () = syscall (Userland.Memop { op; arg })
+let brk addr = memop ~op:Userland.memop_brk ~arg:addr ()
+let sbrk delta = memop ~op:Userland.memop_sbrk ~arg:(Word32.of_int delta) ()
+let memory_start = memop ~op:Userland.memop_memory_start ()
+let memory_end = memop ~op:Userland.memop_memory_end ()
+let flash_start = memop ~op:Userland.memop_flash_start ()
+let flash_end = memop ~op:Userland.memop_flash_end ()
+let grant_begins = memop ~op:Userland.memop_grant_begins ()
+
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: rest ->
+    let* () = f x in
+    iter_list f rest
+
+let rec repeat n body =
+  if n <= 0 then return ()
+  else
+    let* () = body () in
+    repeat (n - 1) body
+
+(* --- tiny libc over the action stream --- *)
+
+(** Write a string into process memory at [dst]. *)
+let write_string dst s =
+  iter_list
+    (fun (i, c) ->
+      let* _ = store8 (dst + i) (Char.code c) in
+      return ())
+    (List.mapi (fun i c -> (i, c)) (List.init (String.length s) (String.get s)))
+
+(** Write a NUL-terminated string (the IPC discovery convention). *)
+let write_cstring dst s =
+  let* () = write_string dst s in
+  let* _ = store8 (dst + String.length s) 0 in
+  return ()
+
+(** Read [len] bytes back out of process memory. *)
+let read_string src len =
+  let rec go i acc =
+    if i >= len then return acc
+    else
+      let* b = load8 (src + i) in
+      go (i + 1) (acc ^ String.make 1 (Char.chr (b land 0xff)))
+  in
+  go 0 ""
+
+(** Read up to [max_len] bytes, stopping at the first NUL. *)
+let read_cstring src max_len =
+  let rec go i acc =
+    if i >= max_len then return acc
+    else
+      let* b = load8 (src + i) in
+      if b = 0 then return acc else go (i + 1) (acc ^ String.make 1 (Char.chr (b land 0xff)))
+  in
+  go 0 ""
+
+(** Byte-wise copy within process memory. *)
+let memcpy ~dst ~src len =
+  let rec go i =
+    if i >= len then return ()
+    else
+      let* b = load8 (src + i) in
+      let* _ = store8 (dst + i) b in
+      go (i + 1)
+  in
+  go 0
+
+(** Fill [len] bytes at [dst] with [byte]. *)
+let memset dst byte len =
+  let rec go i =
+    if i >= len then return ()
+    else
+      let* _ = store8 (dst + i) byte in
+      go (i + 1)
+  in
+  go 0
+
+(** Compile a script to the kernel's program representation. When the script
+    finishes with value [code], the program issues [Exit code] forever. *)
+let to_program (script : int t) : Userland.program =
+  let state = ref (`Initial : [ `Initial | `Waiting of Word32.t -> int t | `Finished of int ])
+  in
+  let step s =
+    match s with
+    | Done code ->
+      state := `Finished code;
+      Userland.Exit code
+    | Act (a, k) ->
+      state := `Waiting k;
+      a
+  in
+  fun prev ->
+    match !state with
+    | `Initial -> step script
+    | `Waiting k -> step (k prev)
+    | `Finished code -> Userland.Exit code

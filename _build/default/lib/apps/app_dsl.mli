@@ -1,0 +1,72 @@
+(** A scripting monad for writing untrusted applications.
+
+    Userland programs are resumable closures ({!Ticktock.Userland.program});
+    writing them directly as state machines is tedious. ['a t] is a free
+    monad over actions: {!perform} yields an action and resumes with its
+    result, so app code reads like straight-line C while still executing
+    one action per kernel-mediated step. {!to_program} compiles a script
+    into the closure form the kernel consumes. *)
+
+open Ticktock
+
+type 'a t
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val perform : Userland.action -> Word32.t t
+(** Emit one action; the bound value is its result. *)
+
+(** {1 Memory and compute} *)
+
+val load8 : Word32.t -> Word32.t t
+val store8 : Word32.t -> int -> Word32.t t
+val load32 : Word32.t -> Word32.t t
+val store32 : Word32.t -> Word32.t -> Word32.t t
+val compute : int -> Word32.t t
+
+(** {1 Console output} *)
+
+val print : string -> unit t
+val printf : ('a, Format.formatter, unit, unit t) format4 -> 'a
+
+(** {1 Syscalls} *)
+
+val syscall : Userland.call -> Word32.t t
+val yield : Word32.t t
+(** Result: the pending upcall's argument, or 0 after parking. *)
+
+val command : driver:int -> cmd:int -> ?arg1:int -> ?arg2:int -> unit -> Word32.t t
+val subscribe : driver:int -> upcall_id:int -> Word32.t t
+val allow_ro : driver:int -> addr:Word32.t -> len:int -> Word32.t t
+val allow_rw : driver:int -> addr:Word32.t -> len:int -> Word32.t t
+val memop : op:int -> ?arg:Word32.t -> unit -> Word32.t t
+val brk : Word32.t -> Word32.t t
+val sbrk : int -> Word32.t t
+val memory_start : Word32.t t
+val memory_end : Word32.t t
+val flash_start : Word32.t t
+val flash_end : Word32.t t
+val grant_begins : Word32.t t
+
+(** {1 A tiny libc over the action stream} *)
+
+val write_string : Word32.t -> string -> unit t
+val write_cstring : Word32.t -> string -> unit t
+(** NUL-terminated (the IPC discovery convention). *)
+
+val read_string : Word32.t -> int -> string t
+val read_cstring : Word32.t -> int -> string t
+val memcpy : dst:Word32.t -> src:Word32.t -> int -> unit t
+val memset : Word32.t -> int -> int -> unit t
+
+(** {1 Control} *)
+
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+val repeat : int -> (unit -> unit t) -> unit t
+
+val to_program : int t -> Userland.program
+(** Compile; when the script finishes with [code], the program emits
+    [Exit code] forever. *)

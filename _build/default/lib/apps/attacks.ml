@@ -1,0 +1,185 @@
+(** Malicious applications reproducing the paper's attacks (§2.2, §3.4).
+
+    Each attack is written as an ordinary untrusted app; whether it succeeds
+    depends entirely on which kernel it runs under. The tests and the [bugs]
+    bench assert the asymmetry: against the upstream (buggy) monolithic
+    kernel the exploit lands; against the patched monolithic kernel and
+    against TickTock's granular kernel it faults or is refused. *)
+
+open Ticktock
+open App_dsl
+
+type attack = {
+  attack_name : string;
+  description : string;
+  min_ram : int;
+  grant_reserve : int;
+  heap_headroom : int;
+  script : unit -> int App_dsl.t;
+}
+
+(* Exit codes the attack scripts use to report what happened. *)
+let code_contained = 0 (* kernel stopped the attack cleanly *)
+let code_broken_isolation = 42 (* the attack read/wrote kernel memory *)
+
+(** The §3.4 grant-overlap exploit (Tock issue #4366). Request a RAM size
+    that drives the enabled subregions right up to the power-of-two block
+    end; the kernel then places grant allocations (including its own
+    stored-state block for our registers!) inside the last {e enabled}
+    subregion. Writing through the kernel break must fault — unless the
+    kernel is the buggy monolithic one. *)
+let grant_overlap =
+  {
+    attack_name = "grant_overlap";
+    description = "write kernel grant memory via the last enabled subregion";
+    (* 7680 + 512 = 8192 keeps the block at 8 KiB while pushing the enabled
+       subregions to the block end. *)
+    min_ram = 7680;
+    grant_reserve = 512;
+    heap_headroom = 0;
+    script =
+      (fun () ->
+        let* gb = grant_begins in
+        let* _ = store8 gb 0x66 in
+        (* Reaching here means the MPU allowed a write above the kernel
+           break: the stored-state block is ours to corrupt. *)
+        let* () = printf "pwned: wrote grant memory at %s\r\n" (Word32.to_hex gb) in
+        return code_broken_isolation);
+  }
+
+(** The §2.2 integer-underflow DoS. A brk far below the region start makes
+    the unvalidated subtraction wrap; in upstream Tock the resulting
+    subregion arithmetic panics the kernel (denial of service for every
+    process on the system). *)
+let brk_underflow =
+  {
+    attack_name = "brk_underflow";
+    description = "brk below memory_start wraps the subregion arithmetic";
+    min_ram = 2048;
+    grant_reserve = 1024;
+    heap_headroom = 2048;
+    script =
+      (fun () ->
+        let* ms = memory_start in
+        let* r = brk (ms - 64) in
+        if r = Userland.failure then
+          let* () = print "brk rejected\r\n" in
+          return code_contained
+        else
+          let* () = print "brk below start accepted!\r\n" in
+          return code_broken_isolation);
+  }
+
+(** Plain kernel-RAM read: every kernel must stop this one. *)
+let kernel_reader =
+  {
+    attack_name = "kernel_reader";
+    description = "read kernel SRAM directly";
+    min_ram = 2048;
+    grant_reserve = 1024;
+    heap_headroom = 2048;
+    script =
+      (fun () ->
+        let* _ = load8 (Range.start Layout.kernel_sram + 128) in
+        let* () = print "read kernel memory!\r\n" in
+        return code_broken_isolation);
+  }
+
+(** Write own flash (mapped read-execute): must fault everywhere. *)
+let flash_writer =
+  {
+    attack_name = "flash_writer";
+    description = "write to own flash image";
+    min_ram = 2048;
+    grant_reserve = 1024;
+    heap_headroom = 2048;
+    script =
+      (fun () ->
+        let* fs = flash_start in
+        let* _ = store8 fs 0x00 in
+        let* () = print "overwrote flash!\r\n" in
+        return code_broken_isolation);
+  }
+
+(** Read a neighbour process's RAM. Needs a victim loaded before it; the
+    address probed is the previous block below our own memory. *)
+let neighbour_reader =
+  {
+    attack_name = "neighbour_reader";
+    description = "read the previous process's RAM";
+    min_ram = 2048;
+    grant_reserve = 1024;
+    heap_headroom = 2048;
+    script =
+      (fun () ->
+        let* ms = memory_start in
+        let* _ = load8 (ms - 256) in
+        let* () = print "read neighbour memory!\r\n" in
+        return code_broken_isolation);
+  }
+
+(** The PMP rounding hole (PR #2173 class): after shrinking the heap, probe
+    just above the new app break. With the buggy PMP driver the region top
+    was rounded up past the break, so the probe succeeds. *)
+let pmp_above_brk =
+  {
+    attack_name = "pmp_above_brk";
+    description = "access RAM between app break and rounded PMP region top";
+    min_ram = 2048;
+    grant_reserve = 1024;
+    heap_headroom = 2048;
+    script =
+      (fun () ->
+        let* ms = memory_start in
+        (* Shrink to a break that 4-byte granularity rounds to +1028 but
+           the buggy driver's coarse 8-byte granule rounds to +1032. *)
+        let* r = brk (ms + 1026) in
+        if r = Userland.failure then
+          let* () = print "brk rejected\r\n" in
+          return code_contained
+        else
+          let* _ = load8 (ms + 1028) in
+          let* () = print "read above app break!\r\n" in
+          return code_broken_isolation);
+  }
+
+let all = [ grant_overlap; brk_underflow; kernel_reader; flash_writer; neighbour_reader; pmp_above_brk ]
+
+(** Outcome of running one attack against one kernel. *)
+type outcome =
+  | Contained  (** kernel refused the request cleanly *)
+  | Contained_fault  (** the MPU faulted the attacking process *)
+  | Broken_isolation  (** the attack read or wrote kernel memory *)
+  | Kernel_dos of string  (** the kernel itself panicked *)
+  | Load_failed of Kerror.t
+
+let outcome_to_string = function
+  | Contained -> "contained"
+  | Contained_fault -> "contained (mpu fault)"
+  | Broken_isolation -> "BROKEN ISOLATION"
+  | Kernel_dos msg -> "KERNEL PANIC: " ^ msg
+  | Load_failed e -> "load failed: " ^ Kerror.to_string e
+
+(** Run a single attack on a fresh kernel instance. A victim app is loaded
+    first so cross-process attacks have a neighbour to probe. *)
+let run_attack (make : unit -> Instance.t) (a : attack) =
+  let k = make () in
+  let victim = App_dsl.to_program (App_dsl.return 0) in
+  ignore
+    (k.Instance.load ~name:"victim" ~payload:"victim-payload" ~program:victim ~min_ram:2048
+       ~grant_reserve:1024 ~heap_headroom:0);
+  let program = App_dsl.to_program (a.script ()) in
+  match
+    k.Instance.load ~name:a.attack_name ~payload:a.attack_name ~program ~min_ram:a.min_ram
+      ~grant_reserve:a.grant_reserve ~heap_headroom:a.heap_headroom
+  with
+  | Error e -> Load_failed e
+  | Ok pid -> (
+    match k.Instance.run ~max_ticks:500 with
+    | exception Tock_cortexm_mpu.Kernel_panic msg -> Kernel_dos msg
+    | () ->
+      if k.Instance.proc_faulted pid then Contained_fault
+      else (
+        match k.Instance.proc_exit pid with
+        | Some c when c = code_broken_isolation -> Broken_isolation
+        | Some _ | None -> Contained))

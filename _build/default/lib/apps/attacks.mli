@@ -1,0 +1,51 @@
+(** Malicious applications reproducing the paper's attacks (§2.2, §3.4).
+
+    Each attack is an ordinary untrusted app; whether it succeeds depends
+    entirely on which kernel it runs under. Against the upstream monolithic
+    kernels the exploits land; against the patched and granular kernels
+    they fault or are refused. *)
+
+open Ticktock
+
+type attack = {
+  attack_name : string;
+  description : string;
+  min_ram : int;
+  grant_reserve : int;
+  heap_headroom : int;
+  script : unit -> int App_dsl.t;
+}
+
+val grant_overlap : attack
+(** §3.4 / Tock #4366: write grant memory through the last enabled
+    subregion. *)
+
+val brk_underflow : attack
+(** §2.2: a brk below memory_start wraps the subregion arithmetic —
+    a kernel panic (DoS) on upstream. *)
+
+val kernel_reader : attack
+val flash_writer : attack
+val neighbour_reader : attack
+
+val pmp_above_brk : attack
+(** Tock #2173 class: access the slack between the app break and the
+    coarsely rounded PMP region top. *)
+
+val all : attack list
+
+val code_contained : int
+val code_broken_isolation : int
+
+type outcome =
+  | Contained
+  | Contained_fault
+  | Broken_isolation
+  | Kernel_dos of string
+  | Load_failed of Kerror.t
+
+val outcome_to_string : outcome -> string
+
+val run_attack : (unit -> Instance.t) -> attack -> outcome
+(** Run one attack on a fresh kernel (with a victim process loaded first
+    so cross-process probes have a neighbour). *)

@@ -1,0 +1,83 @@
+(** Differential-testing harness (§6.1).
+
+    Loads the full release-test suite onto a kernel instance, runs the
+    system to quiescence, and collects each app's console output and final
+    state. [compare] lines up two kernels' results the way the paper
+    compares Tock and TickTock on hardware: a test "differs" when its
+    output text differs. *)
+
+open Ticktock
+
+type app_result = {
+  app : Suite.app;
+  load_error : Kerror.t option;
+  output : string;
+  state : string;
+  faulted : bool;
+  exit_code : int option;
+}
+
+let run_suite ?(apps = Suite.all) ?(max_ticks = 5_000) (k : Instance.t) =
+  let loaded =
+    List.map
+      (fun (app : Suite.app) ->
+        let program = App_dsl.to_program (app.Suite.script ()) in
+        let result =
+          k.Instance.load ~name:app.Suite.app_name ~payload:(Suite.payload_of app) ~program
+            ~min_ram:app.Suite.min_ram ~grant_reserve:app.Suite.grant_reserve
+            ~heap_headroom:2048
+        in
+        (app, result))
+      apps
+  in
+  k.Instance.run ~max_ticks;
+  List.map
+    (fun ((app : Suite.app), result) ->
+      match result with
+      | Error e ->
+        { app; load_error = Some e; output = ""; state = "not loaded"; faulted = false;
+          exit_code = None }
+      | Ok pid ->
+        {
+          app;
+          load_error = None;
+          output = Option.value ~default:"" (k.Instance.proc_output pid);
+          state = Option.value ~default:"?" (k.Instance.proc_state pid);
+          faulted = k.Instance.proc_faulted pid;
+          exit_code = k.Instance.proc_exit pid;
+        })
+    loaded
+
+type comparison = {
+  test_name : string;
+  differs : bool;
+  layout_sensitive : bool;
+  both_completed : bool;
+}
+
+let compare_suites ~(left : app_result list) ~(right : app_result list) =
+  List.map2
+    (fun l r ->
+      assert (l.app.Suite.app_name = r.app.Suite.app_name);
+      let completed (x : app_result) =
+        x.load_error = None
+        && (x.exit_code <> None || (x.faulted && x.app.Suite.expect_fault))
+      in
+      {
+        test_name = l.app.Suite.app_name;
+        differs = not (String.equal l.output r.output);
+        layout_sensitive = l.app.Suite.layout_sensitive;
+        both_completed = completed l && completed r;
+      })
+    left right
+
+let pp_comparison ppf rows =
+  Format.fprintf ppf "@[<v>%-22s %-10s %-18s %s@," "Test" "Output" "Layout-sensitive" "Completed";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-22s %-10s %-18b %b@," c.test_name
+        (if c.differs then "DIFFERS" else "same")
+        c.layout_sensitive c.both_completed)
+    rows;
+  let differing = List.filter (fun c -> c.differs) rows in
+  Format.fprintf ppf "%d of %d tests differ@]" (List.length differing) (List.length rows)

@@ -1,0 +1,26 @@
+(** Differential-testing harness (§6.1): run the release suite on a kernel
+    instance, collect each app's output and final state, and line up two
+    kernels' results the way the paper compares Tock and TickTock. *)
+
+open Ticktock
+
+type app_result = {
+  app : Suite.app;
+  load_error : Kerror.t option;
+  output : string;
+  state : string;
+  faulted : bool;
+  exit_code : int option;
+}
+
+val run_suite : ?apps:Suite.app list -> ?max_ticks:int -> Instance.t -> app_result list
+
+type comparison = {
+  test_name : string;
+  differs : bool;  (** output text differs between the two kernels *)
+  layout_sensitive : bool;
+  both_completed : bool;
+}
+
+val compare_suites : left:app_result list -> right:app_result list -> comparison list
+val pp_comparison : Format.formatter -> comparison list -> unit

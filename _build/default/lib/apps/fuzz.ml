@@ -1,0 +1,175 @@
+(** Randomized hostile-app fuzzing.
+
+    Each fuzz app is a deterministic (seeded) stream of syscalls with
+    adversarial arguments — wild [brk]/[sbrk] values, allow() of buffers it
+    does not own, commands to random drivers with random arguments — mixed
+    with in-bounds memory traffic and the occasional deliberately-hostile
+    memory access. The harness loads several fuzzers next to one honest
+    witness process and asserts the system-level properties the paper
+    verifies:
+
+    - the kernel survives (no exception escapes the scheduler) and, with
+      contracts enabled, {e no contract fires} on the TickTock kernels;
+    - the witness process is unaffected;
+    - the hardware-enforced view stays inside the kernel's logical view
+      for every live process.
+
+    Running the same streams against the {e upstream} monolithic kernel
+    reproduces the §2.2 denial of service: some seed's wild [brk] panics
+    the kernel. *)
+
+open Ticktock
+open App_dsl
+
+let hostile_addresses ~ms ~ab =
+  [
+    0;
+    Range.start Layout.kernel_sram + 128;
+    Range.start Layout.kernel_flash + 64;
+    ms - 1024;
+    ms - 1;
+    ab;
+    ab + 512;
+    0xE000_0000;
+    Word32.max_value;
+  ]
+
+let random_script ~seed ~steps : int App_dsl.t =
+  let rng = Random.State.make [| seed; 0xF12 |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let* ms = memory_start in
+  let* ab = memory_end in
+  let in_bounds () = ms + Random.State.int rng (max (ab - ms - 4) 4) in
+  let wild_word () =
+    pick
+      [
+        0;
+        Random.State.int rng 0x1000;
+        ms - Random.State.int rng 4096;
+        ms + Random.State.int rng 16384;
+        ab + Random.State.int rng 8192;
+        Word32.max_value - Random.State.int rng 64;
+      ]
+  in
+  let rec go n =
+    if n = 0 then return 0
+    else
+      let step =
+        match Random.State.int rng 100 with
+        | c when c < 15 ->
+          (* wild brk/sbrk: the §2.2 attack surface *)
+          let* _ =
+            if Random.State.bool rng then brk (wild_word ())
+            else sbrk (Random.State.int rng 8192 - 4096)
+          in
+          return ()
+        | c when c < 30 ->
+          (* allow() of buffers we may not own *)
+          let addr = if Random.State.bool rng then in_bounds () else wild_word () in
+          let len = Random.State.int rng 512 in
+          let* _ =
+            if Random.State.bool rng then allow_rw ~driver:(Random.State.int rng 12) ~addr ~len
+            else allow_ro ~driver:(Random.State.int rng 12) ~addr ~len
+          in
+          return ()
+        | c when c < 55 ->
+          (* random commands to random drivers *)
+          let* _ =
+            command
+              ~driver:(Random.State.int rng 12)
+              ~cmd:(Random.State.int rng 6)
+              ~arg1:(Random.State.int rng 0x10000)
+              ~arg2:(Random.State.int rng 0x10000)
+              ()
+          in
+          return ()
+        | c when c < 65 ->
+          let* _ = subscribe ~driver:(Random.State.int rng 12) ~upcall_id:(Random.State.int rng 4) in
+          return ()
+        | c when c < 72 ->
+          (* memop queries are always safe *)
+          let* _ = memop ~op:(Random.State.int rng 8) ~arg:(wild_word ()) () in
+          return ()
+        | c when c < 97 ->
+          (* in-bounds memory traffic *)
+          let a = in_bounds () in
+          if Random.State.bool rng then
+            let* _ = store8 a (Random.State.int rng 256) in
+            return ()
+          else
+            let* _ = load8 a in
+            return ()
+        | _ ->
+          (* hostile access: will fault and kill this fuzzer — that is an
+             acceptable outcome the harness accounts for *)
+          let a = pick (hostile_addresses ~ms ~ab) in
+          let* _ = load8 a in
+          return ()
+      in
+      let* () = step in
+      go (n - 1)
+  in
+  go steps
+
+type outcome = {
+  fuzz_seed : int;
+  witness_ok : bool;
+  isolation_ok : bool;
+  kernel_panic : string option;
+  fuzzers_faulted : int;
+  fuzzers_exited : int;
+}
+
+(** Run one fuzzing round: [fuzzers] hostile apps + one witness on a fresh
+    kernel instance. *)
+let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
+  let k = make () in
+  let witness_script =
+    let* ms = memory_start in
+    let* _ = store32 (ms + 64) 0x5AFE_5AFE in
+    let* _ = subscribe ~driver:0 ~upcall_id:0 in
+    let* _ = command ~driver:0 ~cmd:1 ~arg1:8 () in
+    let* _ = yield in
+    let* v = load32 (ms + 64) in
+    let* () = printf "%b" (v = 0x5AFE_5AFE) in
+    return 0
+  in
+  let witness =
+    k.Instance.load ~name:"witness" ~payload:"w" ~program:(to_program witness_script)
+      ~min_ram:2048 ~grant_reserve:1024 ~heap_headroom:2048
+    |> Result.get_ok
+  in
+  let fuzz_pids =
+    List.init fuzzers (fun i ->
+        k.Instance.load
+          ~name:(Printf.sprintf "fuzz%d" i)
+          ~payload:"f"
+          ~program:(to_program (random_script ~seed:(seed + (1000 * i)) ~steps))
+          ~min_ram:2048 ~grant_reserve:1024 ~heap_headroom:2048
+        |> Result.get_ok)
+  in
+  let kernel_panic =
+    match k.Instance.run ~max_ticks:3000 with
+    | () -> None
+    | exception Tock_cortexm_mpu.Kernel_panic msg -> Some msg
+  in
+  {
+    fuzz_seed = seed;
+    witness_ok =
+      kernel_panic <> None
+      (* a panicked kernel gets no blame for the witness *)
+      || (k.Instance.proc_exit witness = Some 0
+         && k.Instance.proc_output witness = Some "true");
+    isolation_ok =
+      kernel_panic <> None
+      || List.for_all (fun pid -> k.Instance.proc_isolation_ok pid) (witness :: fuzz_pids);
+    kernel_panic;
+    fuzzers_faulted = List.length (List.filter k.Instance.proc_faulted fuzz_pids);
+    fuzzers_exited =
+      List.length (List.filter (fun p -> k.Instance.proc_exit p <> None) fuzz_pids);
+  }
+
+(** Fuzz many seeds; returns (rounds, panics). *)
+let campaign ?(seeds = 20) ?fuzzers ?steps (make : unit -> Instance.t) =
+  let rounds = List.init seeds (fun i -> run_round ?fuzzers ?steps ~seed:(i + 1) make) in
+  (rounds, List.filter (fun r -> r.kernel_panic <> None) rounds)

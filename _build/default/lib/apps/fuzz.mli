@@ -1,0 +1,25 @@
+(** Randomized hostile-app fuzzing.
+
+    Deterministic (seeded) streams of adversarial syscalls — wild brk/sbrk,
+    allow() of unowned buffers, random commands — mixed with in-bounds
+    memory traffic and occasional out-of-sandbox accesses. The harness
+    loads several fuzzers next to one honest witness and reports the
+    system-level outcome; run with contracts enabled on the verified
+    kernels, surviving means no contract fired anywhere. *)
+
+open Ticktock
+
+val random_script : seed:int -> steps:int -> int App_dsl.t
+
+type outcome = {
+  fuzz_seed : int;
+  witness_ok : bool;
+  isolation_ok : bool;
+  kernel_panic : string option;
+  fuzzers_faulted : int;
+  fuzzers_exited : int;
+}
+
+val run_round : ?fuzzers:int -> ?steps:int -> seed:int -> (unit -> Instance.t) -> outcome
+val campaign : ?seeds:int -> ?fuzzers:int -> ?steps:int -> (unit -> Instance.t) -> outcome list * outcome list
+(** (all rounds, the rounds that panicked the kernel). *)

@@ -1,0 +1,22 @@
+(** The §6.2 memory-usage microbenchmark: an application that grows its
+    memory one byte at a time (through real sbrk syscalls) until the kernel
+    refuses, and the harness reporting the total/app/grant/unused
+    breakdown. *)
+
+open Ticktock
+
+val grow_script : unit -> int App_dsl.t
+
+type result = {
+  kernel : string;
+  stats : Instance.mem_stats;
+}
+
+val run :
+  ?min_ram:int ->
+  ?heap_headroom:int ->
+  ?grant_reserve:int ->
+  Instance.t ->
+  (result, Kerror.t) Stdlib.result
+
+val pp_row : Format.formatter -> result -> unit

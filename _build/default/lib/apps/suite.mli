@@ -1,0 +1,31 @@
+(** The release-test application suite (§6.1).
+
+    Twenty-one applications modeled on the Tock 2.2 release-testing list
+    the paper ran for differential testing. Five are deliberately
+    {e layout sensitive} — they print absolute addresses or data derived
+    from placement (the "sensor" reads) — and are the ones expected to
+    differ between the Tock and TickTock kernels, matching the paper's
+    5-of-21 result. The rest print layout-independent text and must agree
+    exactly. *)
+
+type app = {
+  app_name : string;
+  min_ram : int;
+  grant_reserve : int;
+  layout_sensitive : bool;
+  expect_fault : bool;  (** deliberate-overrun tests end in an MPU fault *)
+  script : unit -> int App_dsl.t;
+}
+
+val all : app list
+(** The 21 apps, in load order. *)
+
+val expected_differing : app list
+(** The five layout-sensitive ones. *)
+
+val payload_of : app -> string
+(** Deterministic fake machine-code bytes for the app's flash image. *)
+
+val console_print : string -> unit App_dsl.t
+(** Print through the console driver path (allow_ro + command + output) —
+    exercises the Figure 11 buffer-validation hook on every print. *)

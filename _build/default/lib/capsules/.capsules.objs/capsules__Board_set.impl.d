@@ -1,0 +1,1 @@
+lib/capsules/board_set.ml: Button Console Ipc Led Mpu_hw Process_console Rng Virtual_alarm

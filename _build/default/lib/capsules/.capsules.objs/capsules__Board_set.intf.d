@@ -1,0 +1,1 @@
+lib/capsules/board_set.mli: Mpu_hw Ticktock

@@ -1,0 +1,1 @@
+lib/capsules/button.ml: Array Capsule_intf Hashtbl List Mpu_hw Ticktock Userland

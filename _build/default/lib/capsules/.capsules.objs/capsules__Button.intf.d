@@ -1,0 +1,1 @@
+lib/capsules/button.mli: Mpu_hw Ticktock

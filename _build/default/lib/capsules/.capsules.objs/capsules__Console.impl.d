@@ -1,0 +1,1 @@
+lib/capsules/console.ml: Capsule_intf Mpu_hw Range Ticktock Userland

@@ -1,0 +1,1 @@
+lib/capsules/console.mli: Mpu_hw Ticktock

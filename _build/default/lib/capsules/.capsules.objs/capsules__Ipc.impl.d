@@ -1,0 +1,1 @@
+lib/capsules/ipc.ml: Capsule_intf Char List Range String Ticktock Userland

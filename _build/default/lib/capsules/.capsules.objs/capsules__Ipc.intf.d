@@ -1,0 +1,1 @@
+lib/capsules/ipc.mli: Ticktock

@@ -1,0 +1,1 @@
+lib/capsules/led.ml: Capsule_intf List Mpu_hw Ticktock Userland

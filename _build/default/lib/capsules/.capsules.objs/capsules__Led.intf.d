@@ -1,0 +1,1 @@
+lib/capsules/led.mli: Mpu_hw Ticktock

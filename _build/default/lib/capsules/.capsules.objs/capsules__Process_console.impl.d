@@ -1,0 +1,1 @@
+lib/capsules/process_console.ml: Buffer Capsule_intf Char Mpu_hw Printf String Ticktock

@@ -1,0 +1,1 @@
+lib/capsules/process_console.mli: Mpu_hw Ticktock

@@ -1,0 +1,1 @@
+lib/capsules/rng.ml: Capsule_intf Range Ticktock Userland Word32

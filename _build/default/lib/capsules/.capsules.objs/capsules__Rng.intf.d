@@ -1,0 +1,1 @@
+lib/capsules/rng.mli: Ticktock

@@ -1,0 +1,1 @@
+lib/capsules/virtual_alarm.ml: Capsule_intf List Ticktock Userland

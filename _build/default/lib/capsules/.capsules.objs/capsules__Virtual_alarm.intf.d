@@ -1,0 +1,1 @@
+lib/capsules/virtual_alarm.mli: Ticktock

@@ -1,0 +1,26 @@
+(** The standard capsule set a board registers — plus the devices they sit
+    on, returned so tests and examples can poke them (press buttons, read
+    the UART transcript, count LED toggles). *)
+
+type devices = {
+  uart : Mpu_hw.Uart.t;  (** app console *)
+  debug_uart : Mpu_hw.Uart.t;  (** process-console shell *)
+  gpio : Mpu_hw.Gpio.t;
+}
+
+let standard ?rng_seed () =
+  let uart = Mpu_hw.Uart.create () in
+  let debug_uart = Mpu_hw.Uart.create () in
+  let gpio = Mpu_hw.Gpio.create 16 in
+  let capsules =
+    [
+      Virtual_alarm.make ();
+      Console.capsule uart;
+      Led.capsule gpio;
+      Button.capsule gpio;
+      Rng.capsule ?seed:rng_seed ();
+      Ipc.capsule ();
+      Process_console.capsule debug_uart;
+    ]
+  in
+  (capsules, { uart; debug_uart; gpio })

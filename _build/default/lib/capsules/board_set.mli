@@ -1,0 +1,11 @@
+(** The standard capsule set a board registers, plus the devices they sit
+    on — returned so tests and examples can poke them (press buttons, read
+    the UART transcript, count LED toggles). *)
+
+type devices = {
+  uart : Mpu_hw.Uart.t;  (** app console *)
+  debug_uart : Mpu_hw.Uart.t;  (** process-console shell *)
+  gpio : Mpu_hw.Gpio.t;
+}
+
+val standard : ?rng_seed:int -> unit -> Ticktock.Capsule_intf.t list * devices

@@ -1,0 +1,10 @@
+(** Button capsule over GPIO inputs with edge-triggered upcalls (driver
+    {!driver_num}).
+
+    Commands: 0 = number of buttons; 1 = read level of button [arg1];
+    2 = enable interrupts for button [arg1]; 3 = disable. The bottom half
+    polls the pins each tick and schedules an upcall
+    (arg = [index * 2 + level]) to every subscribed process on a change. *)
+
+val driver_num : int
+val capsule : ?pins:int list -> Mpu_hw.Gpio.t -> Ticktock.Capsule_intf.t

@@ -1,0 +1,11 @@
+(** A UART-backed console capsule (driver {!driver_num}).
+
+    Transmit: the process allows a read-only buffer and commands
+    [1, len]; the capsule pulls bytes through the mediated handle (every
+    address validated against the allowed buffer), pushes them to the UART
+    with a polling driver, and schedules the write-done upcall (id 1, arg =
+    bytes written). Receive: command [2, len] drains the UART RX FIFO into
+    the allowed read-write buffer; returns the count. *)
+
+val driver_num : int
+val capsule : Mpu_hw.Uart.t -> Ticktock.Capsule_intf.t

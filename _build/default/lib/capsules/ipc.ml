@@ -1,0 +1,107 @@
+(** Inter-process communication capsule, after Tock's [ipc] driver.
+
+    Services register under their process name; clients discover a service
+    by writing its name into an allowed buffer, then exchange notifications
+    (upcalls) and share their allowed read-write buffer with the service.
+    All cross-process reach goes through driver-scoped handles obtained
+    from the kernel services — a capsule can only touch what each process
+    explicitly allowed to {e this} driver.
+
+    Driver number 9. Commands:
+    - 0: register the calling process as a service; returns its pid
+    - 1: discover — match the allowed-ro buffer's contents against
+         registered service names; returns the service pid
+    - 2 (arg1 = pid): notify the service; its upcall argument is the
+         client's pid
+    - 3 (arg1 = pid): notify that client back
+    - 4 (arg1 = pid, arg2 = offset): read one byte from the {e peer}'s
+         shared (allowed-rw) buffer — the shared-memory path
+    - 5 (arg1 = pid, arg2 = offset << 8 | byte): write one byte into the
+         peer's shared buffer (only possible because the peer allowed it
+         read-write to this driver) *)
+
+open Ticktock
+
+let driver_num = 9
+
+type state = {
+  mutable services : (string * int) list;  (** name -> pid *)
+  mutable svc : Capsule_intf.services option;
+}
+
+let read_name (ph : Capsule_intf.process_handle) =
+  match ph.Capsule_intf.ph_allowed_ro () with
+  | None -> None
+  | Some buf ->
+    let len = min (Range.size buf) 32 in
+    let rec go i acc =
+      if i >= len then Some acc
+      else
+        match ph.Capsule_intf.ph_read_byte (Range.start buf + i) with
+        | Ok 0 -> Some acc
+        | Ok b -> go (i + 1) (acc ^ String.make 1 (Char.chr b))
+        | Error _ -> None
+    in
+    go 0 ""
+
+let capsule () =
+  let st = { services = []; svc = None } in
+  let init svc = st.svc <- Some svc in
+  let peer_handle pid =
+    match st.svc with
+    | None -> None
+    | Some svc -> svc.Capsule_intf.svc_handle ~pid ~driver:driver_num
+  in
+  let command (ph : Capsule_intf.process_handle) ~cmd ~arg1 ~arg2 =
+    if cmd = 0 then begin
+      st.services <-
+        (ph.Capsule_intf.ph_name, ph.Capsule_intf.ph_pid)
+        :: List.remove_assoc ph.Capsule_intf.ph_name st.services;
+      ph.Capsule_intf.ph_pid
+    end
+    else if cmd = 1 then begin
+      match read_name ph with
+      | None -> Userland.failure
+      | Some name -> (
+        match List.assoc_opt name st.services with
+        | Some pid -> pid
+        | None -> Userland.failure)
+    end
+    else if cmd = 2 || cmd = 3 then begin
+      match peer_handle arg1 with
+      | None -> Userland.failure
+      | Some peer ->
+        peer.Capsule_intf.ph_schedule_upcall ~upcall_id:cmd ~arg:ph.Capsule_intf.ph_pid;
+        Userland.success
+    end
+    else if cmd = 4 then begin
+      (* read a byte of the peer's shared buffer *)
+      match peer_handle arg1 with
+      | None -> Userland.failure
+      | Some peer -> (
+        match peer.Capsule_intf.ph_allowed_rw () with
+        | Some buf when arg2 >= 0 && arg2 < Range.size buf -> (
+          match peer.Capsule_intf.ph_read_byte (Range.start buf + arg2) with
+          | Ok b -> b
+          | Error _ -> Userland.failure)
+        | Some _ | None -> Userland.failure)
+    end
+    else if cmd = 5 then begin
+      (* write a byte into the peer's shared buffer *)
+      let offset = arg2 lsr 8 and byte = arg2 land 0xff in
+      match peer_handle arg1 with
+      | None -> Userland.failure
+      | Some peer -> (
+        match peer.Capsule_intf.ph_allowed_rw () with
+        | Some buf when offset >= 0 && offset < Range.size buf -> (
+          match peer.Capsule_intf.ph_write_byte (Range.start buf + offset) byte with
+          | Ok () -> Userland.success
+          | Error _ -> Userland.failure)
+        | Some _ | None -> Userland.failure)
+    end
+    else Userland.failure
+  in
+  { (Capsule_intf.stub ~driver_num ~name:"ipc") with
+    Capsule_intf.cap_init = init;
+    cap_command = command;
+  }

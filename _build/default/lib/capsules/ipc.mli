@@ -1,0 +1,17 @@
+(** Inter-process communication capsule, after Tock's [ipc] driver
+    (driver {!driver_num}).
+
+    Services register under their process name; clients discover a service
+    by writing its NUL-terminated name into an allowed read-only buffer,
+    then exchange notification upcalls and share their allowed read-write
+    buffer with the peer. All cross-process reach goes through
+    driver-scoped handles from the kernel services — the capsule can only
+    touch what each process explicitly allowed to {e this} driver.
+
+    Commands: 0 register (returns own pid); 1 discover (returns service
+    pid); 2/3 notify service/client (peer upcall, arg = caller pid);
+    4 read byte of peer's shared buffer ([arg2] = offset); 5 write byte
+    ([arg2] = [offset << 8 | byte]). *)
+
+val driver_num : int
+val capsule : unit -> Ticktock.Capsule_intf.t

@@ -1,0 +1,10 @@
+(** LED capsule over a GPIO bank (driver {!driver_num}).
+
+    Commands: 0 = number of LEDs; 1 = on; 2 = off; 3 = toggle, each taking
+    the LED index in [arg1]. *)
+
+val driver_num : int
+
+val capsule : ?pins:int list -> Mpu_hw.Gpio.t -> Ticktock.Capsule_intf.t
+(** [pins] maps LED indices to GPIO pins (default [0..3]); they are
+    switched to outputs at creation. *)

@@ -1,0 +1,9 @@
+(** The process console — Tock's interactive kernel shell over UART.
+
+    The bottom half drains the UART RX FIFO; newline-terminated commands
+    ([ps], [uptime], [help]) get their responses written back through the
+    transmitter. Purely a kernel-side diagnostic surface; registered as a
+    driver only to receive kernel services and scheduler ticks. *)
+
+val driver_num : int
+val capsule : Mpu_hw.Uart.t -> Ticktock.Capsule_intf.t

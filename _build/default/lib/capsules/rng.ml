@@ -1,0 +1,44 @@
+(** RNG capsule (Tock's [rng] driver, number 8 here).
+
+    The process allows a read-write buffer and commands [get n]: the
+    capsule fills [n] bytes through the mediated handle from a
+    deterministic xorshift32 stream (seeded per board, so runs are
+    reproducible) and schedules the completion upcall with the count. *)
+
+open Ticktock
+
+let driver_num = 8
+
+let capsule ?(seed = 0x2545_F491) () =
+  let state = ref (if seed = 0 then 1 else seed land Word32.mask) in
+  let next_byte () =
+    (* xorshift32 *)
+    let x = !state in
+    let x = x lxor (x lsl 13) land Word32.mask in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) land Word32.mask in
+    state := x;
+    x land 0xff
+  in
+  let command (ph : Capsule_intf.process_handle) ~cmd ~arg1 ~arg2 =
+    ignore arg2;
+    if cmd = 0 then Userland.success
+    else if cmd = 1 then begin
+      match ph.Capsule_intf.ph_allowed_rw () with
+      | None -> Userland.failure
+      | Some buf ->
+        let len = min arg1 (Range.size buf) in
+        let filled = ref 0 in
+        (try
+           for i = 0 to len - 1 do
+             match ph.Capsule_intf.ph_write_byte (Range.start buf + i) (next_byte ()) with
+             | Ok () -> incr filled
+             | Error _ -> raise Exit
+           done
+         with Exit -> ());
+        ph.Capsule_intf.ph_schedule_upcall ~upcall_id:0 ~arg:!filled;
+        !filled
+    end
+    else Userland.failure
+  in
+  { (Capsule_intf.stub ~driver_num ~name:"rng") with Capsule_intf.cap_command = command }

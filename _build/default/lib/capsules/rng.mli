@@ -1,0 +1,8 @@
+(** RNG capsule (driver {!driver_num}).
+
+    Command [1, n] fills [n] bytes of the allowed read-write buffer from a
+    deterministic xorshift32 stream (seeded per board for reproducible
+    runs) and schedules the completion upcall with the count. *)
+
+val driver_num : int
+val capsule : ?seed:int -> unit -> Ticktock.Capsule_intf.t

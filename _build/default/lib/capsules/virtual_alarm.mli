@@ -1,0 +1,25 @@
+(** A virtualized alarm capsule — Tock's [MuxAlarm] pattern.
+
+    One underlying time source (the kernel tick) is multiplexed into any
+    number of per-process alarms; each process keeps at most one
+    outstanding alarm. Upcalls fire from the capsule's bottom half
+    ([cap_tick]), never from the command top half.
+
+    Driver number {!driver_num}. Commands: 0 = driver check; 1 = set alarm
+    in [arg1] ticks (returns the absolute deadline, also the upcall
+    argument); 2 = read the current time; 3 = cancel. *)
+
+val driver_num : int
+
+type state
+
+val capsule : unit -> Ticktock.Capsule_intf.t * state
+(** The capsule plus its observable state (for tests). *)
+
+val make : unit -> Ticktock.Capsule_intf.t
+
+val outstanding : state -> int
+(** Alarms currently queued. *)
+
+val fired : state -> int
+(** Upcalls delivered so far. *)

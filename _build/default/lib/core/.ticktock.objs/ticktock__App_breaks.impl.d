@@ -1,0 +1,1 @@
+lib/core/app_breaks.ml: Format Range Verify Word32

@@ -1,0 +1,1 @@
+lib/core/app_breaks.mli: Format Range Word32

@@ -1,0 +1,1 @@
+lib/core/app_mem_alloc.ml: App_breaks Array Cycles Kerror Math32 Option Perms Range Region_intf Result Verify Word32

@@ -1,0 +1,1 @@
+lib/core/armv8m_mpu_drv.ml: Armv8m_region Array Cycles Math32 Mpu_hw Option Verify

@@ -1,0 +1,1 @@
+lib/core/armv8m_region.ml: Format Math32 Mpu_hw Perms Range Verify Word32

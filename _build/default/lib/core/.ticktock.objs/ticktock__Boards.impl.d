@@ -1,0 +1,1 @@
+lib/core/boards.ml: Armv8m_mpu_drv Cortexm_mpu Epmp Fluxarm Instance Kernel Machine Mm Mpu_hw Pmp_mpu Tock_cortexm_mpu Tock_pmp_mpu

@@ -1,0 +1,1 @@
+lib/core/capsule_intf.ml: Kerror Range Word32

@@ -1,0 +1,1 @@
+lib/core/cortexm_mpu.ml: Array Cortexm_region Cycles Math32 Mpu_hw Option Verify Word32

@@ -1,0 +1,1 @@
+lib/core/cortexm_region.ml: Format Math32 Mpu_hw Option Perms Range Verify Word32

@@ -1,0 +1,1 @@
+lib/core/dma.ml: Memory Range Verify Word32

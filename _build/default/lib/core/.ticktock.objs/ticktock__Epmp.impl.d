@@ -1,0 +1,1 @@
+lib/core/epmp.ml: Layout Mpu_hw Perms Range Verify

@@ -1,0 +1,1 @@
+lib/core/epmp.mli: Mpu_hw

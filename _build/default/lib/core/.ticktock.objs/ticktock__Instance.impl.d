@@ -1,0 +1,1 @@
+lib/core/instance.ml: Hooks Kerror Userland Word32

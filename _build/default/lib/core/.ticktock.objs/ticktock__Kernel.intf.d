@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Capsule_intf Fluxarm Hooks Instance Kerror Memory Mm Mpu_hw Process Trace Userland Word32

@@ -1,0 +1,1 @@
+lib/core/kerror.ml: Format

@@ -1,0 +1,1 @@
+lib/core/loader.ml: Char Cycles Kerror Layout Math32 Memory Range String Word32

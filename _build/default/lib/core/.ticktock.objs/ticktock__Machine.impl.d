@@ -1,0 +1,1 @@
+lib/core/machine.ml: Fluxarm Memory Mpu_hw

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Fluxarm Memory Mpu_hw

@@ -1,0 +1,1 @@
+lib/core/mm.ml: App_mem_alloc Cycles Kerror Perms Range Region_intf Tock_allocator Word32

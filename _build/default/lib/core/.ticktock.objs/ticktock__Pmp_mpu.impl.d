@@ -1,0 +1,1 @@
+lib/core/pmp_mpu.ml: Array Cycles Math32 Mpu_hw Option Pmp_region Verify

@@ -1,0 +1,1 @@
+lib/core/pmp_region.ml: Format Math32 Mpu_hw Perms Range Verify Word32

@@ -1,0 +1,1 @@
+lib/core/process.ml: Buffer Format Loader Printf Queue Range Userland Word32

@@ -1,0 +1,1 @@
+lib/core/region_intf.ml: Format Perms Range Word32

@@ -1,0 +1,1 @@
+lib/core/tock_allocator.ml: App_breaks Cycles Kerror Math32 Perms Range Region_intf Tock_cortexm_mpu Tock_pmp_mpu Word32

@@ -1,0 +1,1 @@
+lib/core/tock_cortexm_mpu.ml: Array Cortexm_region Cycles Math32 Mpu_hw Printf Word32

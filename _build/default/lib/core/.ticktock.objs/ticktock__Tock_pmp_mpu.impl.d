@@ -1,0 +1,1 @@
+lib/core/tock_pmp_mpu.ml: Cycles List Math32 Mpu_hw Pmp_region Range

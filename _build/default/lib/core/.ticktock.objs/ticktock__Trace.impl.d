@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Format List Userland Word32

@@ -1,0 +1,1 @@
+lib/core/userland.ml: Format Kerror Word32

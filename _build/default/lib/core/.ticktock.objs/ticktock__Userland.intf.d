@@ -1,0 +1,1 @@
+lib/core/userland.mli: Format Kerror Word32

@@ -1,0 +1,73 @@
+(** The kernel's logical view of one process's memory (Figure 6, §4.2).
+
+    [AppBreaks] stores the pointers describing the process memory block:
+    its start and size, the app break (one past the process-accessible RAM),
+    and the kernel break (the lowest address of the kernel-owned grant
+    region). The flash placement rides along because the §4.3 invariants
+    ([can_access_flash]) quantify over it.
+
+    Invariants, checked at every construction and functional update:
+    - [kernel_break <= memory_start + memory_size] — the grant region stays
+      inside the block;
+    - [memory_start <= app_break] — the accessible RAM is well-formed;
+    - [app_break < kernel_break] — accessible RAM and grant memory never
+      overlap (the §3.4 bug, outlawed structurally).
+
+    The type is abstract and immutable: there is no way to hold an
+    [App_breaks.t] that violates the layout policy, which is the "by
+    construction" in the paper's title claim. *)
+
+type t = {
+  memory_start : Word32.t;
+  memory_size : int;
+  app_break : Word32.t;
+  kernel_break : Word32.t;
+  flash_start : Word32.t;
+  flash_size : int;
+}
+
+let site = "AppBreaks.invariant"
+
+let check t =
+  Verify.Violation.invariantf site
+    (t.kernel_break <= t.memory_start + t.memory_size)
+    "kernel_break=%s block_end=%s" (Word32.to_hex t.kernel_break)
+    (Word32.to_hex (t.memory_start + t.memory_size));
+  Verify.Violation.invariantf site
+    (t.memory_start <= t.app_break)
+    "memory_start=%s app_break=%s" (Word32.to_hex t.memory_start) (Word32.to_hex t.app_break);
+  Verify.Violation.invariantf site
+    (t.app_break < t.kernel_break)
+    "app_break=%s kernel_break=%s" (Word32.to_hex t.app_break) (Word32.to_hex t.kernel_break);
+  Verify.Violation.invariantf site
+    (t.memory_size > 0 && t.flash_size > 0)
+    "memory_size=%d flash_size=%d" t.memory_size t.flash_size;
+  t
+
+let create ~memory_start ~memory_size ~app_break ~kernel_break ~flash_start ~flash_size =
+  check { memory_start; memory_size; app_break; kernel_break; flash_start; flash_size }
+
+let memory_start t = t.memory_start
+let memory_size t = t.memory_size
+let app_break t = t.app_break
+let kernel_break t = t.kernel_break
+let flash_start t = t.flash_start
+let flash_size t = t.flash_size
+let block_end t = t.memory_start + t.memory_size
+
+let with_app_break t app_break = check { t with app_break }
+let with_kernel_break t kernel_break = check { t with kernel_break }
+
+let ram_range t = Range.of_bounds ~lo:t.memory_start ~hi:t.app_break
+let grant_range t = Range.of_bounds ~lo:t.kernel_break ~hi:(block_end t)
+let flash_range t = Range.make ~start:t.flash_start ~size:t.flash_size
+let block_range t = Range.make ~start:t.memory_start ~size:t.memory_size
+
+(** Bytes the grant region can still grow down into before hitting the app
+    break (keeping the strict [app_break < kernel_break] invariant). *)
+let grant_free t = t.kernel_break - t.app_break - 1
+
+let pp ppf t =
+  Format.fprintf ppf "breaks{block=%a app_break=%s kernel_break=%s flash=%a}" Range.pp
+    (block_range t) (Word32.to_hex t.app_break) (Word32.to_hex t.kernel_break) Range.pp
+    (flash_range t)

@@ -1,0 +1,68 @@
+(** The kernel's logical view of one process's memory (Figure 6, §4.2).
+
+    Stores the pointers that describe a process memory block: its start and
+    size, the {e app break} (one past the process-accessible RAM) and the
+    {e kernel break} (the lowest address of the kernel-owned grant region),
+    plus the process's flash placement (the §4.3 flash invariants quantify
+    over it).
+
+    The type is abstract and immutable, and every constructor and update
+    re-checks the Figure 6 invariants:
+
+    - [kernel_break <= memory_start + memory_size] — grants stay inside the
+      block;
+    - [memory_start <= app_break] — the accessible RAM is well formed;
+    - [app_break < kernel_break] — accessible RAM and grant memory never
+      overlap (the §3.4 bug, outlawed structurally).
+
+    There is no way to hold an [App_breaks.t] that violates the layout
+    policy — the "by construction" of the paper's title claim. *)
+
+type t
+
+val create :
+  memory_start:Word32.t ->
+  memory_size:int ->
+  app_break:Word32.t ->
+  kernel_break:Word32.t ->
+  flash_start:Word32.t ->
+  flash_size:int ->
+  t
+(** Build a view, checking the invariants (raises
+    {!Verify.Violation.Violation} when checking is enabled and they fail). *)
+
+val memory_start : t -> Word32.t
+val memory_size : t -> int
+
+val app_break : t -> Word32.t
+(** One past the last process-accessible RAM byte. *)
+
+val kernel_break : t -> Word32.t
+(** Lowest address of kernel-owned grant memory; grants grow it downwards. *)
+
+val flash_start : t -> Word32.t
+val flash_size : t -> int
+
+val block_end : t -> Word32.t
+(** [memory_start + memory_size]. *)
+
+val with_app_break : t -> Word32.t -> t
+(** Functional update (the brk path); re-checks the invariants. *)
+
+val with_kernel_break : t -> Word32.t -> t
+(** Functional update (the grant-allocation path); re-checks. *)
+
+val ram_range : t -> Range.t
+(** Process-accessible RAM: [\[memory_start, app_break)]. *)
+
+val grant_range : t -> Range.t
+(** Kernel-owned grant memory: [\[kernel_break, block_end)]. *)
+
+val flash_range : t -> Range.t
+val block_range : t -> Range.t
+
+val grant_free : t -> int
+(** Bytes the grant region can still grow down into while preserving the
+    strict [app_break < kernel_break] invariant. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,231 @@
+(** TickTock's hardware-agnostic process memory allocator (Figure 4b, §4.3).
+
+    [Make] is generic over the granular {!Region_intf.MPU} abstraction, so
+    this single piece of code serves Cortex-M and all three PMP chips — the
+    reuse the paper's redesign buys.
+
+    The allocator owns the paper's [AppMemoryAllocator] invariant: its
+    [breaks] (the kernel's logical view) and [regions] (what will be written
+    to hardware) must always correspond —
+
+    - [can_access_flash]: the flash region grants exactly read-execute over
+      [\[flash_start, flash_start+flash_size)] and nothing outside it;
+    - [can_access_ram]: the RAM region(s) grant exactly read-write over
+      [\[memory_start, app_break)] and nothing outside it;
+    - [cannot_access_other]: no other region overlaps the process memory
+      block — in particular not the grant region.
+
+    The invariant is re-checked after every mutation (the Flux analog of
+    checking it wherever the struct is created or updated through a mutable
+    reference). Because the logical view is {e derived from} the regions the
+    MPU methods return — never recomputed independently — the disagreement
+    problem of §3.2 cannot arise. *)
+
+module Make (M : Region_intf.MPU) = struct
+  module Region = M.Region
+
+  let max_ram_region_number = 1
+  let flash_region_number = 2
+
+  type t = {
+    mutable breaks : App_breaks.t;
+    regions : Region.t array;
+  }
+
+  (* --- the §4.3 invariant --- *)
+
+  let ram_region_accessible t =
+    let r0 = t.regions.(max_ram_region_number - 1) in
+    let r1 = t.regions.(max_ram_region_number) in
+    match (Region.start r0, Region.size r0) with
+    | Some s0, Some n0 ->
+      if Region.is_set r1 then
+        match (Region.start r1, Region.size r1) with
+        | Some s1, Some n1 when s1 = s0 + n0 -> Some (s0, n0 + n1)
+        | Some _, Some _ | Some _, None | None, Some _ | None, None -> None
+      else Some (s0, n0)
+    | Some _, None | None, Some _ | None, None -> None
+
+  let can_access_flash t =
+    let r = t.regions.(flash_region_number) in
+    let start = App_breaks.flash_start t.breaks in
+    let end_ = start + App_breaks.flash_size t.breaks in
+    Region.can_access r ~start ~end_ ~perms:Perms.Read_execute_only
+    && (start = 0 || not (Region.overlaps r ~lo:0 ~hi:(start - 1)))
+    && not (Region.overlaps r ~lo:end_ ~hi:Word32.max_value)
+
+  let can_access_ram t =
+    let start = App_breaks.memory_start t.breaks in
+    let end_ = App_breaks.app_break t.breaks in
+    let r0 = t.regions.(max_ram_region_number - 1) in
+    let r1 = t.regions.(max_ram_region_number) in
+    match ram_region_accessible t with
+    | Some (s, n) ->
+      s = start && s + n = end_
+      && Region.matches_perms r0 Perms.Read_write_only
+      && ((not (Region.is_set r1)) || Region.matches_perms r1 Perms.Read_write_only)
+      && (start = 0
+         || not
+              (Region.overlaps t.regions.(max_ram_region_number - 1) ~lo:0 ~hi:(start - 1)
+              || Region.overlaps t.regions.(max_ram_region_number) ~lo:0 ~hi:(start - 1)))
+      && not
+           (Region.overlaps t.regions.(max_ram_region_number - 1) ~lo:end_
+              ~hi:Word32.max_value
+           || Region.overlaps t.regions.(max_ram_region_number) ~lo:end_ ~hi:Word32.max_value)
+    | None -> false
+
+  let cannot_access_other t =
+    let lo = App_breaks.memory_start t.breaks in
+    let hi = App_breaks.block_end t.breaks - 1 in
+    let ok = ref true in
+    Array.iter
+      (fun r ->
+        let id = Region.region_id r in
+        if id <> max_ram_region_number - 1 && id <> max_ram_region_number then
+          if Region.overlaps r ~lo ~hi then ok := false)
+      t.regions;
+    !ok
+
+  let check_invariant t =
+    Verify.Violation.invariant "AppMemoryAllocator: can_access_flash" (can_access_flash t);
+    Verify.Violation.invariant "AppMemoryAllocator: can_access_ram" (can_access_ram t);
+    Verify.Violation.invariant "AppMemoryAllocator: cannot_access_other" (cannot_access_other t);
+    t
+
+  (* --- construction (Figure 4b) --- *)
+
+  let allocate_app_memory ~unalloc_start ~unalloc_size ~min_size ~app_size ~kernel_size
+      ~flash_start ~flash_size =
+    Cycles.tick ~n:(10 * Cycles.alu) Cycles.global;
+    let ( let* ) = Result.bind in
+    (* Ask the MPU for up to two regions covering process RAM. *)
+    let ideal_app_mem_size = max min_size app_size in
+    let* ram_region0, ram_region1 =
+      M.new_regions ~max_region_id:max_ram_region_number ~unalloc_start ~unalloc_size
+        ~total_size:ideal_app_mem_size ~perms:Perms.Read_write_only
+      |> Option.to_result ~none:Kerror.Heap_error
+    in
+    (* Compute the actual start and size from the regions — the hardware's
+       truth, not a recomputation. *)
+    let* memory_start = Region.start ram_region0 |> Option.to_result ~none:Kerror.Heap_error in
+    let* fst_region_size = Region.size ram_region0 |> Option.to_result ~none:Kerror.Heap_error in
+    let snd_region_size = Option.value (Region.size ram_region1) ~default:0 in
+    let app_mem_size = fst_region_size + snd_region_size in
+    (* End of process-accessible memory; grant goes right after. *)
+    let app_break = memory_start + app_mem_size in
+    let memory_size = app_mem_size + kernel_size in
+    if memory_start + memory_size > unalloc_start + unalloc_size then Error Kerror.Out_of_memory
+    else begin
+      let* flash_region =
+        M.create_exact_region ~region_id:flash_region_number ~start:flash_start
+          ~size:flash_size ~perms:Perms.Read_execute_only
+        |> Option.to_result ~none:Kerror.Flash_error
+      in
+      let breaks =
+        App_breaks.create ~memory_start ~memory_size ~app_break
+          ~kernel_break:(memory_start + memory_size) ~flash_start ~flash_size
+      in
+      let regions = Array.init M.region_count (fun i -> Region.empty ~region_id:i) in
+      regions.(max_ram_region_number - 1) <- ram_region0;
+      regions.(max_ram_region_number) <- ram_region1;
+      regions.(flash_region_number) <- flash_region;
+      Ok (check_invariant { breaks; regions })
+    end
+
+  (* --- observation --- *)
+
+  let breaks t = t.breaks
+  let regions t = t.regions
+  let app_break t = App_breaks.app_break t.breaks
+  let kernel_break t = App_breaks.kernel_break t.breaks
+  let memory_start t = App_breaks.memory_start t.breaks
+  let memory_size t = App_breaks.memory_size t.breaks
+
+  let accessible t =
+    [ App_breaks.flash_range t.breaks; App_breaks.ram_range t.breaks ]
+
+  (* --- brk / sbrk (§2.1's syscalls) --- *)
+
+  let brk t ~new_app_break =
+    Cycles.tick ~n:(8 * Cycles.alu) Cycles.global;
+    let start = memory_start t in
+    let kb = kernel_break t in
+    (* The validation the monolithic kernel forgot (§2.2): the requested
+       break must lie inside [memory_start, kernel_break). *)
+    if new_app_break < start || new_app_break >= kb then Error Kerror.Invalid_brk
+    else begin
+      let total_size = max (new_app_break - start) 1 in
+      match
+        M.update_regions ~max_region_id:max_ram_region_number ~region_start:start
+          ~available_size:(kb - start - 1) ~total_size ~perms:Perms.Read_write_only
+      with
+      | None -> Error Kerror.Invalid_brk
+      | Some (r0, r1) ->
+        let size0 = Option.value (Region.size r0) ~default:0 in
+        let size1 = Option.value (Region.size r1) ~default:0 in
+        let actual_break = start + size0 + size1 in
+        t.regions.(max_ram_region_number - 1) <- r0;
+        t.regions.(max_ram_region_number) <- r1;
+        t.breaks <- App_breaks.with_app_break t.breaks actual_break;
+        ignore (check_invariant t);
+        Ok actual_break
+    end
+
+  let sbrk t ~delta =
+    let target = Word32.add (app_break t) delta in
+    brk t ~new_app_break:target
+
+  (* --- grant allocation ---
+
+     TickTock's fast path (Figure 11): pure pointer arithmetic on the
+     breaks; no MPU recomputation is needed because the grant region was
+     never accessible to the process in the first place. *)
+
+  let allocate_grant t ~size ~align =
+    Cycles.tick ~n:(7 * Cycles.alu) Cycles.global;
+    if size <= 0 || not (Math32.is_pow2 align) then Error Kerror.Grant_exhausted
+    else begin
+      let proposed = Math32.align_down (kernel_break t - size) ~align in
+      if proposed <= app_break t || proposed < memory_start t then
+        Error Kerror.Grant_exhausted
+      else begin
+        t.breaks <- App_breaks.with_kernel_break t.breaks proposed;
+        ignore (check_invariant t);
+        Ok proposed
+      end
+    end
+
+  (* --- allow()ed buffer validation ---
+
+     TickTock validates buffers directly against the logical breaks — a
+     couple of comparisons — rather than walking the MPU configuration. *)
+
+  let build_readwrite_buffer t ~addr ~len =
+    Cycles.tick ~n:(5 * Cycles.alu) Cycles.global;
+    if len < 0 then Error Kerror.Invalid_buffer
+    else begin
+      let buf = Range.make_checked ~start:addr ~size:len in
+      match buf with
+      | Some buf when Range.contains_range (App_breaks.ram_range t.breaks) buf -> Ok buf
+      | Some _ | None -> Error Kerror.Invalid_buffer
+    end
+
+  let build_readonly_buffer t ~addr ~len =
+    Cycles.tick ~n:(6 * Cycles.alu) Cycles.global;
+    if len < 0 then Error Kerror.Invalid_buffer
+    else begin
+      let buf = Range.make_checked ~start:addr ~size:len in
+      match buf with
+      | Some buf
+        when Range.contains_range (App_breaks.ram_range t.breaks) buf
+             || Range.contains_range (App_breaks.flash_range t.breaks) buf ->
+        Ok buf
+      | Some _ | None -> Error Kerror.Invalid_buffer
+    end
+
+  (* --- hardware configuration --- *)
+
+  let configure_mpu hw t =
+    M.configure_mpu hw t.regions;
+    M.enable hw
+end

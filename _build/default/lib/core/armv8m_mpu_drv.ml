@@ -1,0 +1,81 @@
+(** TickTock's granular ARMv8-M (PMSAv8) MPU driver.
+
+    The third implementation of the {!Region_intf.MPU} abstraction, and the
+    strongest evidence for the §3.5 portability claim: base/limit hardware
+    with 32-byte granularity needs {e none} of the power-of-two/subregion
+    machinery of the v7 driver — a region is an exact 32-byte-rounded
+    range, and the generic allocator above does not change by a line. *)
+
+module Hw = Mpu_hw.Armv8m_mpu
+module Region = Armv8m_region
+
+let arch_name = "cortex-m-v8"
+
+type hw = Hw.t
+
+let region_count = Hw.region_count
+let grain = Hw.granule
+
+let postcondition ~site ~total_size ~perms r0 =
+  Verify.Violation.ensure (site ^ ": region set") (Region.is_set r0);
+  Verify.Violation.ensure (site ^ ": perms") (Region.matches_perms r0 perms);
+  Verify.Violation.ensuref (site ^ ": span covers request")
+    (Option.value (Region.size r0) ~default:0 >= total_size)
+    "size=%d requested=%d"
+    (Option.value (Region.size r0) ~default:0)
+    total_size
+
+let new_regions ~max_region_id ~unalloc_start ~unalloc_size ~total_size ~perms =
+  Verify.Violation.requiref "v8 new_regions: region ids"
+    (max_region_id >= 1 && max_region_id < region_count)
+    "max=%d" max_region_id;
+  Verify.Violation.requiref "v8 new_regions: sizes" (total_size > 0 && unalloc_size >= 0)
+    "total=%d unalloc=%d" total_size unalloc_size;
+  Cycles.tick ~n:(8 * Cycles.alu) Cycles.global;
+  let start = Math32.align_up unalloc_start ~align:grain in
+  let size = Math32.align_up total_size ~align:grain in
+  if start + size > unalloc_start + unalloc_size then None
+  else begin
+    let r0 = Region.create ~region_id:(max_region_id - 1) ~start ~size ~perms in
+    postcondition ~site:"v8 new_regions" ~total_size ~perms r0;
+    Some (r0, Region.empty ~region_id:max_region_id)
+  end
+
+let update_regions ~max_region_id ~region_start ~available_size ~total_size ~perms =
+  Verify.Violation.requiref "v8 update_regions: region ids"
+    (max_region_id >= 1 && max_region_id < region_count)
+    "max=%d" max_region_id;
+  Cycles.tick ~n:(6 * Cycles.alu) Cycles.global;
+  if not (Math32.is_aligned region_start ~align:grain) then None
+  else begin
+    let size = Math32.align_up total_size ~align:grain in
+    if size > available_size then None
+    else begin
+      let r0 = Region.create ~region_id:(max_region_id - 1) ~start:region_start ~size ~perms in
+      postcondition ~site:"v8 update_regions" ~total_size ~perms r0;
+      Some (r0, Region.empty ~region_id:max_region_id)
+    end
+  end
+
+let create_exact_region ~region_id ~start ~size ~perms =
+  Cycles.tick ~n:(4 * Cycles.alu) Cycles.global;
+  if size <= 0 || size mod grain <> 0 || not (Math32.is_aligned start ~align:grain) then None
+  else begin
+    let r = Region.create ~region_id ~start ~size ~perms in
+    Verify.Violation.ensure "v8 create_exact_region: exact span"
+      (Region.can_access r ~start ~end_:(start + size) ~perms);
+    Some r
+  end
+
+let configure_mpu hw regions =
+  Array.iter
+    (fun r ->
+      if Region.is_set r then
+        Hw.write_region hw ~index:(Region.region_id r) ~rbar:(Region.rbar r)
+          ~rasr:(Region.rlar r)
+      else Hw.clear_region hw ~index:(Region.region_id r))
+    regions
+
+let enable hw = Hw.set_enabled hw true
+let disable hw = Hw.set_enabled hw false
+let accessible_ranges hw access = Hw.accessible_ranges hw access

@@ -1,0 +1,61 @@
+(** A single ARMv8-M (PMSAv8) MPU region: the base/limit register pair,
+    with all logical properties derived from the register bits (§4.4
+    discipline, third architecture). PMSAv8 has no subregions and no
+    power-of-two constraint, so — like the PMP descriptor — [start]/[size]
+    are exact up to the 32-byte granule. *)
+
+module Hw = Mpu_hw.Armv8m_mpu
+
+type t = { id : int; rbar : Word32.t; rlar : Word32.t }
+
+let empty ~region_id = { id = region_id; rbar = 0; rlar = 0 }
+
+let create ~region_id ~start ~size ~perms =
+  Verify.Violation.requiref "Armv8mRegion.create: granule"
+    (Math32.is_aligned start ~align:Hw.granule && size > 0 && size mod Hw.granule = 0)
+    "start=%s size=%d" (Word32.to_hex start) size;
+  {
+    id = region_id;
+    rbar = Hw.encode_rbar ~base:start ~perms;
+    rlar = Hw.encode_rlar ~limit:(start + size - 1) ~enable:true;
+  }
+
+let region_id t = t.id
+let rbar t = t.rbar
+let rlar t = t.rlar
+let is_set t = Hw.decode_rlar_enable t.rlar
+
+let start t = if is_set t then Some (Hw.decode_rbar_base t.rbar) else None
+
+let size t =
+  if is_set t then Some (Hw.decode_rlar_limit t.rlar + 1 - Hw.decode_rbar_base t.rbar)
+  else None
+
+let accessible_range t =
+  match (start t, size t) with
+  | Some s, Some n -> Some (Range.make ~start:s ~size:n)
+  | Some _, None | None, Some _ | None, None -> None
+
+let overlaps t ~lo ~hi =
+  match accessible_range t with
+  | None -> false
+  | Some r -> Range.overlaps_bounds r ~lo ~hi
+
+let matches_perms t p =
+  is_set t
+  && match Hw.decode_rbar_perms t.rbar with Some q -> Perms.equal p q | None -> false
+
+let can_access t ~start:s ~end_ ~perms =
+  is_set t
+  && start t = Some s
+  && (match size t with Some n -> s + n = end_ | None -> false)
+  && matches_perms t perms
+
+let equal a b = a.id = b.id && a.rbar = b.rbar && a.rlar = b.rlar
+
+let pp ppf t =
+  if is_set t then
+    Format.fprintf ppf "v8 region %d: [%s, %s]" t.id
+      (Word32.to_hex (Hw.decode_rbar_base t.rbar))
+      (Word32.to_hex (Hw.decode_rlar_limit t.rlar))
+  else Format.fprintf ppf "v8 region %d: unset" t.id

@@ -1,0 +1,184 @@
+(** Pre-instantiated kernels: the configurations the evaluation uses.
+
+    - TickTock (granular) and Tock (monolithic, upstream bugs present, and
+      patched) on the ARM Cortex-M board;
+    - TickTock on the three RISC-V PMP chips;
+    - Tock (monolithic) on PMP for the PMP bug reproductions. *)
+
+module Ticktock_arm_mm = Mm.Ticktock (Cortexm_mpu)
+module Tock_arm_mm = Mm.Tock (Tock_cortexm_mpu.Upstream)
+module Tock_arm_patched_mm = Mm.Tock (Tock_cortexm_mpu.Patched)
+module Ticktock_arm_v8_mm = Mm.Ticktock (Armv8m_mpu_drv)
+module Ticktock_e310_mm = Mm.Ticktock (Pmp_mpu.E310)
+module Ticktock_earlgrey_mm = Mm.Ticktock (Pmp_mpu.Earlgrey)
+module Ticktock_qemu_mm = Mm.Ticktock (Pmp_mpu.QemuRv32)
+module Tock_pmp_mm = Mm.Tock (Tock_pmp_mpu.Upstream_e310)
+module Tock_pmp_patched_mm = Mm.Tock (Tock_pmp_mpu.Patched_e310)
+
+module Ticktock_arm = Kernel.Make (Ticktock_arm_mm)
+module Tock_arm = Kernel.Make (Tock_arm_mm)
+module Tock_arm_patched = Kernel.Make (Tock_arm_patched_mm)
+module Ticktock_arm_v8 = Kernel.Make (Ticktock_arm_v8_mm)
+module Ticktock_e310 = Kernel.Make (Ticktock_e310_mm)
+module Ticktock_earlgrey = Kernel.Make (Ticktock_earlgrey_mm)
+module Ticktock_qemu = Kernel.Make (Ticktock_qemu_mm)
+module Tock_pmp = Kernel.Make (Tock_pmp_mm)
+module Tock_pmp_patched = Kernel.Make (Tock_pmp_patched_mm)
+
+(** Fresh ARM machine + TickTock kernel. *)
+let make_ticktock_arm ?quantum ?capsules () =
+  let m = Machine.create_arm () in
+  let k =
+    Ticktock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
+      ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
+      ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh ARM machine + upstream (buggy) Tock kernel. *)
+let make_tock_arm ?quantum ?capsules () =
+  let m = Machine.create_arm () in
+  let k =
+    Tock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
+      ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
+      ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh ARM machine + patched Tock kernel. *)
+let make_tock_arm_patched ?quantum ?capsules () =
+  let m = Machine.create_arm () in
+  let k =
+    Tock_arm_patched.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
+      ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
+      ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh RISC-V machine + TickTock kernel on the SiFive E310. *)
+let make_ticktock_e310 ?quantum ?capsules () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
+  let k =
+    Ticktock_e310.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh RISC-V machine + TickTock kernel on OpenTitan EarlGrey. The
+    kernel seals its own regions with locked Smepmp entries first. *)
+let make_ticktock_earlgrey ?quantum ?capsules () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.earlgrey in
+  Epmp.protect_kernel m.Machine.rv_pmp;
+  let k =
+    Ticktock_earlgrey.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh RISC-V machine + TickTock kernel on the QEMU rv32 virt board. *)
+let make_ticktock_qemu ?quantum ?capsules () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.qemu_rv32_virt in
+  let k =
+    Ticktock_qemu.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh RISC-V machine + upstream (buggy) monolithic Tock kernel on PMP. *)
+let make_tock_pmp ?quantum ?capsules () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
+  let k =
+    Tock_pmp.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh RISC-V machine + patched monolithic Tock kernel on PMP. *)
+let make_tock_pmp_patched ?quantum ?capsules () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
+  let k =
+    Tock_pmp_patched.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh ARM machine + TickTock kernel whose context switch runs assembled
+    Thumb-2 machine code through the fetch-decode-execute engine. *)
+let make_ticktock_arm_mc ?quantum ?capsules () =
+  let m = Machine.create_arm () in
+  let code = Fluxarm.Handlers_mc.install m.Machine.arm_mem in
+  let k =
+    Ticktock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
+      ~switcher:(Kernel.Arm_mc_switch (m.Machine.arm_cpu, code))
+      ~systick:m.Machine.arm_systick ?quantum ?capsules ()
+  in
+  (m, k)
+
+(** Fresh ARMv8-M (PMSAv8) machine + TickTock kernel. *)
+let make_ticktock_arm_v8 ?quantum ?capsules () =
+  let m = Machine.create_arm_v8 () in
+  let k =
+    Ticktock_arm_v8.create ~mem:m.Machine.v8_mem ~hw:m.Machine.v8_mpu
+      ~switcher:(Kernel.Arm_switch m.Machine.v8_cpu) ~systick:m.Machine.v8_systick ?quantum
+      ?capsules ()
+  in
+  (m, k)
+
+(* --- type-erased instances for the evaluation harness --- *)
+
+let instance_ticktock_arm_v8 ?quantum ?capsules () =
+  let _, k = make_ticktock_arm_v8 ?quantum ?capsules () in
+  Ticktock_arm_v8.instance k
+
+
+let instance_ticktock_arm_mc ?quantum ?capsules () =
+  let _, k = make_ticktock_arm_mc ?quantum ?capsules () in
+  Ticktock_arm.instance k
+
+
+let instance_ticktock_arm ?quantum ?capsules () =
+  let _, k = make_ticktock_arm ?quantum ?capsules () in
+  Ticktock_arm.instance k
+
+let instance_tock_arm ?quantum ?capsules () =
+  let _, k = make_tock_arm ?quantum ?capsules () in
+  Tock_arm.instance k
+
+let instance_tock_arm_patched ?quantum ?capsules () =
+  let _, k = make_tock_arm_patched ?quantum ?capsules () in
+  Tock_arm_patched.instance k
+
+let instance_ticktock_e310 ?quantum ?capsules () =
+  let _, k = make_ticktock_e310 ?quantum ?capsules () in
+  Ticktock_e310.instance k
+
+let instance_ticktock_earlgrey ?quantum ?capsules () =
+  let _, k = make_ticktock_earlgrey ?quantum ?capsules () in
+  Ticktock_earlgrey.instance k
+
+let instance_ticktock_qemu ?quantum ?capsules () =
+  let _, k = make_ticktock_qemu ?quantum ?capsules () in
+  Ticktock_qemu.instance k
+
+let instance_tock_pmp ?quantum ?capsules () =
+  let _, k = make_tock_pmp ?quantum ?capsules () in
+  Tock_pmp.instance k
+
+let instance_tock_pmp_patched ?quantum ?capsules () =
+  let _, k = make_tock_pmp_patched ?quantum ?capsules () in
+  Tock_pmp_patched.instance k
+
+(** Every kernel configuration, for harnesses that sweep all of them. *)
+let all_instances : (string * (unit -> Instance.t)) list =
+  [
+    ("ticktock-arm", fun () -> instance_ticktock_arm ());
+    ("ticktock-arm-mc", fun () -> instance_ticktock_arm_mc ());
+    ("ticktock-arm-v8", fun () -> instance_ticktock_arm_v8 ());
+    ("tock-arm-upstream", fun () -> instance_tock_arm ());
+    ("tock-arm-patched", fun () -> instance_tock_arm_patched ());
+    ("ticktock-e310", fun () -> instance_ticktock_e310 ());
+    ("ticktock-earlgrey", fun () -> instance_ticktock_earlgrey ());
+    ("ticktock-qemu-rv32", fun () -> instance_ticktock_qemu ());
+    ("tock-pmp-upstream", fun () -> instance_tock_pmp ());
+    ("tock-pmp-patched", fun () -> instance_tock_pmp_patched ());
+  ]

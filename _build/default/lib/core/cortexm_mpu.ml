@@ -1,0 +1,182 @@
+(** TickTock's granular ARM Cortex-M MPU driver (§3.5).
+
+    Implements {!Region_intf.MPU} for the PMSAv7 hardware model. All the
+    power-of-two / alignment / subregion reasoning lives here and {e only}
+    here; the generic allocator above never sees it. Each public method
+    carries the refined contract of §4.1, checked on every call.
+
+    Following the paper's performance observation (§6.2), subregion masks
+    are computed with bitwise arithmetic rather than per-subregion loops. *)
+
+module Hw = Mpu_hw.Armv7m_mpu
+module Region = Cortexm_region
+
+let arch_name = "cortex-m"
+
+type hw = Hw.t
+
+let region_count = Hw.region_count
+
+(* Cycle model: this driver's own work — a handful of ALU ops for the size
+   computation plus the bit-math for the subregion mask. *)
+let charge_alloc () = Cycles.tick ~n:(14 * Cycles.alu) Cycles.global
+let charge_update () = Cycles.tick ~n:(12 * Cycles.alu) Cycles.global
+
+(* Pick a block/subregion geometry able to span [total_size] accessible
+   bytes. Returns (region_size, enabled_subregions-per-use) with
+   region_size a power of two. *)
+let geometry ~total_size =
+  let po2 = Math32.closest_power_of_two (max total_size Hw.min_region_size) in
+  if po2 <= 128 then `Whole po2
+  else begin
+    let region_size = max (po2 / 2) Hw.min_subregion_region_size in
+    let sub = region_size / 8 in
+    let enabled = (total_size + sub - 1) / sub in
+    `Subregions (region_size, sub, enabled)
+  end
+
+let postcondition ~site ~total_size ~perms (r0, r1) =
+  (* §4.1 refined contract: first region set; regions contiguous; combined
+     accessible span at least the requested size with the right perms. *)
+  Verify.Violation.ensure (site ^ ": fst region set") (Region.is_set r0);
+  Verify.Violation.ensure (site ^ ": fst perms") (Region.matches_perms r0 perms);
+  let size0 = Option.value (Region.size r0) ~default:0 in
+  let start0 = Option.value (Region.start r0) ~default:0 in
+  let combined =
+    if Region.is_set r1 then begin
+      Verify.Violation.ensure (site ^ ": regions contiguous")
+        (Region.start r1 = Some (start0 + size0));
+      Verify.Violation.ensure (site ^ ": snd perms") (Region.matches_perms r1 perms);
+      size0 + Option.value (Region.size r1) ~default:0
+    end
+    else size0
+  in
+  Verify.Violation.ensuref (site ^ ": span covers request") (combined >= total_size)
+    "combined=%d requested=%d" combined total_size
+
+let new_regions ~max_region_id ~unalloc_start ~unalloc_size ~total_size ~perms =
+  Verify.Violation.requiref "new_regions: region ids" (max_region_id >= 1) "max=%d"
+    max_region_id;
+  Verify.Violation.requiref "new_regions: sizes" (total_size > 0 && unalloc_size >= 0)
+    "total=%d unalloc=%d" total_size unalloc_size;
+  charge_alloc ();
+  let fits start accessible =
+    start >= unalloc_start && start + accessible <= unalloc_start + unalloc_size
+  in
+  let result =
+    match geometry ~total_size with
+    | `Whole region_size ->
+      let start = Math32.align_up unalloc_start ~align:region_size in
+      if not (fits start region_size) then None
+      else
+        Some
+          ( Region.create ~region_id:(max_region_id - 1) ~start ~size:region_size
+              ~enabled_subregions:None ~perms,
+            Region.empty ~region_id:max_region_id )
+    | `Subregions (region_size, sub, enabled) ->
+      if enabled > 16 then None
+      else begin
+        let start = Math32.align_up unalloc_start ~align:region_size in
+        let accessible = enabled * sub in
+        if not (fits start accessible) then None
+        else if enabled <= 8 then
+          Some
+            ( Region.create ~region_id:(max_region_id - 1) ~start ~size:region_size
+                ~enabled_subregions:(Some enabled) ~perms,
+              Region.empty ~region_id:max_region_id )
+        else
+          Some
+            ( Region.create ~region_id:(max_region_id - 1) ~start ~size:region_size
+                ~enabled_subregions:None ~perms,
+              Region.create ~region_id:max_region_id ~start:(start + region_size)
+                ~size:region_size
+                ~enabled_subregions:(Some (enabled - 8))
+                ~perms )
+      end
+  in
+  Option.iter (postcondition ~site:"new_regions" ~total_size ~perms) result;
+  result
+
+let update_regions ~max_region_id ~region_start ~available_size ~total_size ~perms =
+  Verify.Violation.requiref "update_regions: region ids" (max_region_id >= 1) "max=%d"
+    max_region_id;
+  Verify.Violation.requiref "update_regions: sizes" (total_size > 0 && available_size >= 0)
+    "total=%d available=%d" total_size available_size;
+  charge_update ();
+  let result =
+    match geometry ~total_size with
+    | `Whole region_size ->
+      if
+        (not (Math32.is_aligned region_start ~align:region_size))
+        || region_size > available_size
+      then None
+      else
+        Some
+          ( Region.create ~region_id:(max_region_id - 1) ~start:region_start
+              ~size:region_size ~enabled_subregions:None ~perms,
+            Region.empty ~region_id:max_region_id )
+    | `Subregions (region_size, sub, enabled) ->
+      let accessible = enabled * sub in
+      if
+        enabled > 16
+        || (not (Math32.is_aligned region_start ~align:region_size))
+        || accessible > available_size
+      then None
+      else if enabled <= 8 then
+        Some
+          ( Region.create ~region_id:(max_region_id - 1) ~start:region_start
+              ~size:region_size ~enabled_subregions:(Some enabled) ~perms,
+            Region.empty ~region_id:max_region_id )
+      else
+        Some
+          ( Region.create ~region_id:(max_region_id - 1) ~start:region_start
+              ~size:region_size ~enabled_subregions:None ~perms,
+            Region.create ~region_id:max_region_id ~start:(region_start + region_size)
+              ~size:region_size
+              ~enabled_subregions:(Some (enabled - 8))
+              ~perms )
+  in
+  Option.iter (postcondition ~site:"update_regions" ~total_size ~perms) result;
+  result
+
+let create_exact_region ~region_id ~start ~size ~perms =
+  Cycles.tick ~n:(6 * Cycles.alu) Cycles.global;
+  if size <= 0 then None
+  else begin
+    let po2 = Math32.closest_power_of_two size in
+    let exact_whole = size = po2 && Math32.is_aligned start ~align:po2 in
+    let result =
+      if exact_whole && po2 >= Hw.min_region_size then
+        Some (Region.create ~region_id ~start ~size:po2 ~enabled_subregions:None ~perms)
+      else if
+        po2 >= Hw.min_subregion_region_size
+        && size mod (po2 / 8) = 0
+        && Math32.is_aligned start ~align:po2
+      then
+        Some
+          (Region.create ~region_id ~start ~size:po2
+             ~enabled_subregions:(Some (size / (po2 / 8)))
+             ~perms)
+      else None
+    in
+    Option.iter
+      (fun r ->
+        Verify.Violation.ensuref "create_exact_region: exact span"
+          (Region.can_access r ~start ~end_:(start + size) ~perms)
+          "start=%s size=%d" (Word32.to_hex start) size)
+      result;
+    result
+  end
+
+let configure_mpu hw regions =
+  Array.iter
+    (fun r ->
+      if Region.is_set r then
+        Hw.write_region hw ~index:(Region.region_id r) ~rbar:(Region.rbar r)
+          ~rasr:(Region.rasr r)
+      else Hw.clear_region hw ~index:(Region.region_id r))
+    regions
+
+let enable hw = Hw.set_enabled hw true
+let disable hw = Hw.set_enabled hw false
+let accessible_ranges hw access = Hw.accessible_ranges hw access

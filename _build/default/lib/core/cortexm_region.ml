@@ -1,0 +1,119 @@
+(** A single ARM Cortex-M MPU region, represented — exactly as in §4.4 — by
+    the pair of register values the driver will write to hardware. Every
+    logical property ([start], [size], [overlaps], …) is {e derived from the
+    register bits}, so the kernel's view and the bits that reach hardware
+    cannot diverge: this is how TickTock kills the disagreement problem at
+    the driver level.
+
+    TickTock only ever creates regions whose enabled subregions form a
+    prefix of the region block; the constructor enforces this, and the
+    accessible range derivations rely on it. *)
+
+module Hw = Mpu_hw.Armv7m_mpu
+
+type t = { id : int; rbar : Word32.t; rasr : Word32.t }
+
+let invariant_site = "CortexMRegion.invariant"
+
+(* A region is logically "set" when its enable bit is set and at least one
+   subregion is enabled. *)
+let is_set t = Hw.decode_rasr_enable t.rasr && Hw.decode_rasr_srd t.rasr <> 0xff
+
+let block_start t = Hw.decode_rbar_addr t.rbar
+let block_size t = Hw.decode_rasr_size t.rasr
+
+let enabled_prefix t =
+  (* Number of leading enabled subregions; the constructor guarantees the
+     enabled set is a prefix. *)
+  let srd = Hw.decode_rasr_srd t.rasr in
+  let rec count i = if i < 8 && not (Word32.bit srd i) then count (i + 1) else i in
+  count 0
+
+let check_invariant t =
+  if Hw.decode_rasr_enable t.rasr then begin
+    let size = block_size t in
+    Verify.Violation.invariantf invariant_site
+      (Math32.is_pow2 size && size >= Hw.min_region_size)
+      "size=%d" size;
+    Verify.Violation.invariantf invariant_site
+      (Math32.is_aligned (block_start t) ~align:size)
+      "start=%s size=%d" (Word32.to_hex (block_start t)) size;
+    let srd = Hw.decode_rasr_srd t.rasr in
+    Verify.Violation.invariantf invariant_site
+      (srd = 0 || size >= Hw.min_subregion_region_size)
+      "srd=%02x size=%d" srd size;
+    (* Enabled subregions must form a prefix: srd = 0xff << n (truncated). *)
+    let n = enabled_prefix t in
+    Verify.Violation.invariantf invariant_site
+      (srd = 0xff lsl n land 0xff)
+      "srd=%02x not a prefix mask" srd
+  end
+
+let empty ~region_id =
+  { id = region_id; rbar = Hw.encode_rbar ~addr:0 ~region:region_id; rasr = 0 }
+
+let create ~region_id ~start ~size ~enabled_subregions ~perms =
+  let srd =
+    match enabled_subregions with
+    | None -> 0
+    | Some n ->
+      Verify.Violation.requiref "CortexMRegion.create: subregion count" (n >= 1 && n <= 8)
+        "n=%d" n;
+      0xff lsl n land 0xff
+  in
+  let t =
+    {
+      id = region_id;
+      rbar = Hw.encode_rbar ~addr:start ~region:region_id;
+      rasr = Hw.encode_rasr ~enable:true ~size ~srd ~perms;
+    }
+  in
+  check_invariant t;
+  t
+
+let region_id t = t.id
+let rbar t = t.rbar
+let rasr t = t.rasr
+
+let start t = if is_set t then Some (block_start t) else None
+
+let size t =
+  if not (is_set t) then None
+  else begin
+    let bsize = block_size t in
+    if bsize < Hw.min_subregion_region_size then Some bsize
+    else Some (enabled_prefix t * (bsize / 8))
+  end
+
+let accessible_range t =
+  match (start t, size t) with
+  | Some s, Some n -> Some (Range.make ~start:s ~size:n)
+  | Some _, None | None, Some _ | None, None -> None
+
+let overlaps t ~lo ~hi =
+  match accessible_range t with
+  | None -> false
+  | Some r -> Range.overlaps_bounds r ~lo ~hi
+
+let matches_perms t p =
+  is_set t
+  && match Hw.decode_rasr_perms t.rasr with Some q -> Perms.equal p q | None -> false
+
+let can_access t ~start:s ~end_ ~perms =
+  (* The "final" associated refinement of §4.1, defined from the others. *)
+  is_set t
+  && start t = Some s
+  && (match size t with Some n -> s + n = end_ | None -> false)
+  && matches_perms t perms
+
+let equal a b = a.id = b.id && a.rbar = b.rbar && a.rasr = b.rasr
+
+let pp ppf t =
+  if is_set t then
+    Format.fprintf ppf "region %d: block=%s+%d accessible=%s+%d srd=%02x" t.id
+      (Word32.to_hex (block_start t))
+      (block_size t)
+      (match start t with Some s -> Word32.to_hex s | None -> "-")
+      (Option.value (size t) ~default:0)
+      (Hw.decode_rasr_srd t.rasr)
+  else Format.fprintf ppf "region %d: unset" t.id

@@ -1,0 +1,150 @@
+(** DMA modeling and the safe [DmaCell] interface (§4.6, Figure 9).
+
+    DMA is the escape hatch: an engine programmed over MMIO with a plain
+    base/length pair will happily overwrite kernel memory, bypassing both
+    the MPU (DMA masters are not behind the CPU's MPU) and every invariant
+    this library verifies. Tock's [TakeCell] discipline is advisory — a
+    driver can retake the buffer while the engine is mid-flight, aliasing a
+    mutable buffer (the misuse the paper found).
+
+    [Cell] is TickTock's fix, by construction:
+    - [place] consumes ownership of a buffer and mints a {!Wrapper} whose
+      base pointer is {e guaranteed} to denote a real, exclusively-owned
+      buffer — the only value {!Engine.start} accepts;
+    - while the cell holds the buffer, driver reads/writes of it are
+      ownership violations (caught by the contract machinery, standing in
+      for rustc's borrow checker);
+    - [completed] returns the buffer only once the engine is idle.
+
+    {!Engine.start_raw} — the plain-usize MMIO path — is kept so tests and
+    examples can demonstrate the clobbering the safe interface rules out. *)
+
+type owner = Driver | Dma_engine
+
+module Buffer = struct
+  type t = {
+    mem : Memory.t;
+    addr : Word32.t;
+    len : int;
+    mutable owner : owner;
+  }
+
+  let create mem ~addr ~len =
+    Verify.Violation.requiref "DmaBuffer.create" (len > 0 && Word32.is_valid addr) "len=%d" len;
+    { mem; addr; len; owner = Driver }
+
+  let addr t = t.addr
+  let len t = t.len
+  let range t = Range.make ~start:t.addr ~size:t.len
+
+  let read t i =
+    Verify.Violation.require "DmaBuffer.read: driver owns buffer" (t.owner = Driver);
+    Verify.Violation.requiref "DmaBuffer.read: bounds" (i >= 0 && i < t.len) "i=%d len=%d" i
+      t.len;
+    Memory.read8 t.mem (Word32.add t.addr i)
+
+  let write t i v =
+    Verify.Violation.require "DmaBuffer.write: driver owns buffer" (t.owner = Driver);
+    Verify.Violation.requiref "DmaBuffer.write: bounds" (i >= 0 && i < t.len) "i=%d len=%d" i
+      t.len;
+    Memory.write8 t.mem (Word32.add t.addr i) v
+end
+
+module Wrapper = struct
+  (* Constructed only by [Cell.place]; carries the proof that the usize is
+     a live DMA buffer. *)
+  type t = { base : Word32.t; wlen : int }
+
+  let base t = t.base
+  let len t = t.wlen
+end
+
+module Engine = struct
+  type t = {
+    mem : Memory.t;
+    mutable busy : bool;
+    mutable target : Range.t;
+    mutable fill : int;  (** modeled peripheral data: a repeating byte *)
+    mutable remaining : int;
+  }
+
+  let create mem = { mem; busy = false; target = Range.empty; fill = 0xD5; remaining = 0 }
+  let is_busy t = t.busy
+  let set_fill t b = t.fill <- b land 0xff
+
+  (* The raw MMIO path: base-pointer and length registers take arbitrary
+     words. Nothing here can tell a buffer from the kernel's stack. *)
+  let start_raw t ~base ~len =
+    Verify.Violation.requiref "DmaEngine.start_raw" (len > 0 && Word32.is_valid base) "len=%d"
+      len;
+    t.busy <- true;
+    t.target <- Range.make ~start:base ~size:len;
+    t.remaining <- len
+
+  let start t wrapper = start_raw t ~base:(Wrapper.base wrapper) ~len:(Wrapper.len wrapper)
+
+  (* Advance the transfer by [n] bytes; DMA writes bypass the MPU, as on
+     real hardware, hence the raw writes. *)
+  let step t n =
+    if t.busy then begin
+      let done_already = Range.size t.target - t.remaining in
+      let burst = min n t.remaining in
+      for i = 0 to burst - 1 do
+        Memory.write8 t.mem (Word32.add (Range.start t.target) (done_already + i)) t.fill
+      done;
+      t.remaining <- t.remaining - burst;
+      if t.remaining = 0 then t.busy <- false
+    end
+
+  let run_to_completion t = step t max_int
+end
+
+module Cell = struct
+  type t = { mutable held : Buffer.t option }
+
+  let create () = { held = None }
+  let is_some t = t.held <> None
+
+  let place t buf =
+    match t.held with
+    | Some _ -> None (* cannot replace, DMA in progress *)
+    | None ->
+      Verify.Violation.require "DmaCell.place: buffer owned by driver"
+        (buf.Buffer.owner = Driver);
+      buf.Buffer.owner <- Dma_engine;
+      t.held <- Some buf;
+      Some { Wrapper.base = Buffer.addr buf; wlen = Buffer.len buf }
+
+  (* Marked unsafe in the paper: the caller must ensure the DMA operation
+     has completed. Our model makes the obligation checkable by taking the
+     engine. *)
+  let completed t engine =
+    Verify.Violation.require "DmaCell.completed: engine idle"
+      (not (Engine.is_busy engine));
+    match t.held with
+    | None -> None
+    | Some buf ->
+      buf.Buffer.owner <- Driver;
+      t.held <- None;
+      Some buf
+end
+
+(** The misuse-prone legacy interface: [take] hands the buffer back to the
+    driver with no regard for an in-flight transfer. Kept to reproduce the
+    aliasing bug (§4.6) in tests. *)
+module Take_cell = struct
+  type t = { mutable held : Buffer.t option }
+
+  let create () = { held = None }
+
+  let put t buf = t.held <- Some buf
+
+  let take t =
+    match t.held with
+    | None -> None
+    | Some buf ->
+      (* No ownership transition: the buffer may still be owned by the DMA
+         engine — this is the hole. *)
+      t.held <- None;
+      Some buf
+end

@@ -1,0 +1,92 @@
+(** DMA modeling and the safe [DmaCell] interface (§4.6, Figure 9).
+
+    DMA is the escape hatch in the paper's proof: an engine programmed over
+    MMIO with a plain base/length pair bypasses the MPU and every invariant
+    this library verifies. Tock's [TakeCell] discipline is advisory — a
+    driver can retake a buffer mid-flight and alias it.
+
+    {!Cell} is TickTock's fix, by construction: [place] consumes ownership
+    of a {!Buffer.t} and mints the only value {!Engine.start} accepts; while
+    the cell holds the buffer, driver reads/writes of it are ownership
+    violations; [completed] returns the buffer only once the engine is
+    idle. {!Engine.start_raw} (the plain-usize MMIO path) and {!Take_cell}
+    (the misuse-prone legacy interface) are kept so tests and examples can
+    demonstrate the clobbering and aliasing the safe interface rules out. *)
+
+type owner = Driver | Dma_engine
+
+(** A kernel-owned data buffer with dynamic ownership tracking (our stand-in
+    for rustc's borrow checking of [&'a mut T]). *)
+module Buffer : sig
+  type t
+
+  val create : Memory.t -> addr:Word32.t -> len:int -> t
+  val addr : t -> Word32.t
+  val len : t -> int
+  val range : t -> Range.t
+
+  val read : t -> int -> int
+  (** Driver read; violates when the DMA engine owns the buffer or the
+      index is out of bounds. *)
+
+  val write : t -> int -> int -> unit
+end
+
+(** The proof that a [usize] denotes a live, exclusively-owned DMA buffer. *)
+module Wrapper : sig
+  type t
+
+  val base : t -> Word32.t
+  val len : t -> int
+end
+
+(** The DMA engine: copies a modeled peripheral stream into memory with raw
+    (MPU-bypassing) writes, like real bus-master hardware. *)
+module Engine : sig
+  type t
+
+  val create : Memory.t -> t
+  val is_busy : t -> bool
+
+  val set_fill : t -> int -> unit
+  (** The byte the modeled peripheral produces. *)
+
+  val start_raw : t -> base:Word32.t -> len:int -> unit
+  (** The unsafe MMIO path: nothing stops [base] from pointing at the
+      kernel's stack. Kept to demonstrate the hazard. *)
+
+  val start : t -> Wrapper.t -> unit
+  (** The safe path: only a {!Wrapper} — i.e. only a placed buffer. *)
+
+  val step : t -> int -> unit
+  (** Advance the transfer by up to [n] bytes. *)
+
+  val run_to_completion : t -> unit
+end
+
+(** Figure 9's [DmaCell]: ownership-transferring buffer hand-off. *)
+module Cell : sig
+  type t
+
+  val create : unit -> t
+  val is_some : t -> bool
+
+  val place : t -> Buffer.t -> Wrapper.t option
+  (** Take ownership of the buffer and mint its wrapper; [None] when the
+      cell is occupied (DMA in progress). *)
+
+  val completed : t -> Engine.t -> Buffer.t option
+  (** Return the buffer to the driver. The paper marks this [unsafe]; our
+      model makes the obligation checkable by requiring the engine to be
+      idle (contract violation otherwise). *)
+end
+
+(** The misuse-prone legacy interface: [take] hands the buffer back with no
+    regard for an in-flight transfer — the §4.6 aliasing bug. *)
+module Take_cell : sig
+  type t
+
+  val create : unit -> t
+  val put : t -> Buffer.t -> unit
+  val take : t -> Buffer.t option
+end

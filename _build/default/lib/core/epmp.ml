@@ -1,0 +1,62 @@
+(** ePMP kernel self-protection for OpenTitan-class chips (Smepmp).
+
+    Tock on EarlGrey seals the kernel's own memory with locked PMP entries
+    before any process runs: under machine-mode lockdown (MML) a locked
+    entry binds machine mode and is invisible to user mode, so
+
+    - kernel {e code} becomes immutable (read-execute, no write — even the
+      kernel itself cannot overwrite its text);
+    - kernel data and process RAM are machine-readable/writable but never
+      machine-executable (no code injection into RAM);
+    - with machine-mode whole-protection (MMWP), any M-mode access outside
+      the locked entries faults.
+
+    The locked entries live at the {e top} indices so user-mode process
+    regions (low indices) keep their priority for process addresses. Locked
+    entries can never be rewritten until reset — which is the point. *)
+
+module Hw = Mpu_hw.Pmp
+
+(* Top-of-bank indices on a 16-entry ePMP. *)
+let kernel_flash_entry = 13
+let app_flash_entry = 14
+let sram_entry = 15
+
+let protect_kernel (pmp : Hw.t) =
+  let chip = Hw.chip pmp in
+  if not chip.Hw.epmp then invalid_arg "Epmp.protect_kernel: chip has no ePMP";
+  Verify.Violation.require "epmp: enough entries" (chip.Hw.entry_count >= 16);
+  let napot ~index ~start ~size ~r ~w ~x =
+    Hw.set_entry pmp ~index
+      ~cfg:(Hw.encode_cfg ~r ~w ~x ~mode:Hw.Napot ~lock:true)
+      ~addr:(Hw.napot_addr ~start ~size)
+  in
+  (* Kernel text: RX, immutable. *)
+  napot ~index:kernel_flash_entry ~start:(Range.start Layout.kernel_flash)
+    ~size:(Range.size Layout.kernel_flash) ~r:true ~w:false ~x:true;
+  (* Whole flash bank: the loader writes app images here (kernel-text
+     addresses hit the higher-priority RX entry above). Never executable
+     from M-mode. *)
+  napot ~index:app_flash_entry ~start:Layout.flash_base ~size:Layout.flash_size ~r:true ~w:true
+    ~x:false;
+  (* All SRAM: machine read/write, never machine-executable. *)
+  napot ~index:sram_entry ~start:Layout.sram_base ~size:Layout.sram_size ~r:true ~w:true
+    ~x:false;
+  Hw.set_mml pmp true;
+  Hw.set_mmwp pmp true
+
+(** The §4.3-style check for the kernel itself: with the lockdown in place,
+    machine mode can execute only kernel text, cannot write it, cannot
+    execute RAM, and cannot touch unmapped space. *)
+let kernel_sealed (pmp : Hw.t) =
+  let m access a =
+    match Hw.check_access pmp ~machine_mode:true a access with Ok () -> true | Error _ -> false
+  in
+  let kf = Range.start Layout.kernel_flash + 64 in
+  let sram = Range.start Layout.kernel_sram + 64 in
+  m Perms.Execute kf
+  && m Perms.Read kf
+  && (not (m Perms.Write kf))
+  && m Perms.Write sram
+  && (not (m Perms.Execute sram))
+  && not (m Perms.Read 0xE000_0000)

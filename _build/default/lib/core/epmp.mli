@@ -1,0 +1,23 @@
+(** ePMP kernel self-protection for OpenTitan-class chips (Smepmp).
+
+    Tock on EarlGrey seals the kernel's own memory with locked PMP entries
+    before any process runs: under machine-mode lockdown (MML) a locked
+    entry binds machine mode and is invisible to user mode, so kernel code
+    becomes immutable (RX, not writable even by the kernel), RAM is never
+    machine-executable (no code injection), and — with machine-mode whole
+    protection (MMWP) — any M-mode access outside the locked entries
+    faults. Locked entries cannot be rewritten until reset. *)
+
+val kernel_flash_entry : int
+val app_flash_entry : int
+val sram_entry : int
+
+val protect_kernel : Mpu_hw.Pmp.t -> unit
+(** Install the locked NAPOT entries at the top of the bank and turn on
+    MML + MMWP. [Invalid_argument] on a chip without ePMP. User-mode
+    process regions at the low indices keep their priority. *)
+
+val kernel_sealed : Mpu_hw.Pmp.t -> bool
+(** The §4.3-style check for the kernel itself: machine mode can execute
+    only kernel text, cannot write it, cannot execute RAM, and cannot touch
+    unmapped space. *)

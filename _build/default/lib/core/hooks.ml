@@ -1,0 +1,55 @@
+(** Per-method cycle instrumentation (§6.2).
+
+    The paper adds hooks to Tock's and TickTock's process abstractions to
+    count CPU cycles spent in each method (Figure 11). [measure] is that
+    hook: it runs a kernel method and attributes the cycles charged to the
+    global counter during the call to the method's row. *)
+
+type row = { mutable calls : int; mutable cycles : int }
+
+type t = (string, row) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let row t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = { calls = 0; cycles = 0 } in
+    Hashtbl.replace t name r;
+    r
+
+let measure t name f =
+  let result, spent = Cycles.measure Cycles.global f in
+  let r = row t name in
+  r.calls <- r.calls + 1;
+  r.cycles <- r.cycles + spent;
+  result
+
+let mean t name =
+  match Hashtbl.find_opt t name with
+  | Some r when r.calls > 0 -> Some (float_of_int r.cycles /. float_of_int r.calls)
+  | Some _ | None -> None
+
+let calls t name = match Hashtbl.find_opt t name with Some r -> r.calls | None -> 0
+
+let rows t =
+  Hashtbl.fold (fun name r acc -> (name, r.calls, r.cycles) :: acc) t []
+  |> List.sort compare
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun name r ->
+      let dst = row into name in
+      dst.calls <- dst.calls + r.calls;
+      dst.cycles <- dst.cycles + r.cycles)
+    src
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-28s %8s %12s %12s@," "Method" "Calls" "Cycles" "Mean";
+  List.iter
+    (fun (name, calls, cycles) ->
+      Format.fprintf ppf "%-28s %8d %12d %12.2f@," name calls cycles
+        (if calls = 0 then 0.0 else float_of_int cycles /. float_of_int calls))
+    (rows t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Per-method cycle instrumentation (§6.2, Figure 11).
+
+    The paper adds hooks to Tock's and TickTock's process abstractions to
+    count CPU cycles spent in each method. {!measure} is that hook: it runs
+    a kernel method and attributes the cycles charged to
+    {!Mach.Cycles.global} during the call to the method's row. The kernel
+    wraps its [create] / [brk] / [allocate_grant] / [build_*_buffer] /
+    [setup_mpu] paths in it; the Figure 11 bench reads the rows back. *)
+
+type t
+
+val create : unit -> t
+
+val measure : t -> string -> (unit -> 'a) -> 'a
+(** [measure hooks method_name f] runs [f], charging its global-counter
+    cycle delta and one call to [method_name]'s row. *)
+
+val mean : t -> string -> float option
+(** Average cycles per call, [None] if the method was never measured. *)
+
+val calls : t -> string -> int
+
+val rows : t -> (string * int * int) list
+(** [(method, calls, total_cycles)], sorted by method name. *)
+
+val merge : into:t -> t -> unit
+(** Accumulate another table's rows (used to average over several runs,
+    as the paper averages three). *)
+
+val pp : Format.formatter -> t -> unit

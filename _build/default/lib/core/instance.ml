@@ -1,0 +1,39 @@
+(** A first-class, type-erased view of a running kernel.
+
+    {!Kernel.Make} produces a distinct module per memory manager; benches,
+    differential testing and examples want to iterate over {e all} kernel
+    configurations uniformly. [t] erases the functor types behind plain
+    closures — the OCaml idiom for the trait objects the evaluation harness
+    would use in Rust. *)
+
+type mem_stats = {
+  total : int;  (** process memory block size *)
+  app : int;  (** stack + data + heap: [app_break - memory_start] *)
+  grant : int;  (** kernel-owned: [block_end - kernel_break] *)
+  unused : int;  (** slack between app break and kernel break *)
+}
+
+type t = {
+  kernel_name : string;
+  load :
+    name:string ->
+    payload:string ->
+    program:Userland.program ->
+    min_ram:int ->
+    grant_reserve:int ->
+    heap_headroom:int ->
+    (int, Kerror.t) result;
+  (** Load a process; returns its pid. *)
+  run : max_ticks:int -> unit;
+  proc_output : int -> string option;
+  proc_state : int -> string option;
+  proc_exit : int -> int option;  (** exit code, when exited *)
+  proc_faulted : int -> bool;
+  proc_mem_stats : int -> mem_stats option;
+  proc_isolation_ok : int -> bool;
+  proc_sbrk : int -> int -> (Word32.t, Kerror.t) result;
+  (** Direct kernel-side sbrk, for microbenchmarks. *)
+  hooks : unit -> Hooks.t;
+  console : unit -> string;
+  ticks : unit -> int;
+}

@@ -1,0 +1,805 @@
+(** The kernel: process loading, syscall dispatch, scheduling and context
+    switching — generic over the memory manager ({!Mm.S}), so the very same
+    code runs as "Tock" (monolithic manager) and as "TickTock" (granular
+    manager) in the evaluation, on ARM (with the full FluxArm context
+    switch) or on RISC-V PMP (with a modeled machine-mode switch).
+
+    Scheduling is Tock's: a single-threaded, event-driven round robin in
+    which each process runs until it syscalls, faults, exits or exhausts its
+    quantum (SysTick preemption). On ARM every switch goes through the real
+    modeled assembly: [switch_to_user_part1], the process's checked memory
+    accesses while the CPU is unprivileged, a hardware exception
+    ([preempt]), and [switch_to_user_part2]. *)
+
+(* Driver numbers of the modeled capsules. *)
+let driver_alarm = 0
+let driver_console = 1
+let driver_sensor = 2
+let driver_button = 3
+
+let known_drivers = [ driver_alarm; driver_console; driver_sensor; driver_button ]
+
+(* Initial-frame constants: xPSR with the Thumb bit, Tock's sentinel LR. *)
+let initial_psr = 0x0100_0000
+let initial_lr = 0xFFFF_FFFF
+
+(** Scheduling policy — the subset of Tock's scheduler zoo we model.
+    [Round_robin] gives every runnable process one quantum-bounded slice per
+    tick; [Cooperative] never preempts (a process runs until it syscalls,
+    exits or faults); [Priority] runs only the highest-priority runnable
+    process each tick (smaller number = higher priority), starving the
+    rest — exactly the sharp edge Tock documents for it. *)
+type sched =
+  | Round_robin
+  | Cooperative
+  | Priority of (int -> int)  (** pid -> priority *)
+
+type switcher =
+  | Arm_switch of Fluxarm.Cpu.t
+  | Arm_mc_switch of Fluxarm.Cpu.t * Fluxarm.Handlers_mc.t
+      (** context switch through assembled Thumb-2 machine code *)
+  | Sim_switch of bool ref  (** RISC-V: [true] while the kernel runs *)
+
+module Make (MM : Mm.S) = struct
+  type proc = MM.alloc Process.t
+
+  type t = {
+    mem : Memory.t;
+    hw : MM.hw;
+    switcher : switcher;
+    hooks : Hooks.t;
+    quantum : int;
+    mutable procs : proc list;
+    mutable next_pid : int;
+    mutable flash_cursor : Word32.t;
+    mutable ram_cursor : Word32.t;
+    mutable ticks : int;
+    mutable console : Buffer.t;  (** kernel console (fault reports etc.) *)
+    capsules : (int, Capsule_intf.t) Hashtbl.t;
+    mutable capsules_initialized : bool;
+    sched : sched;
+    syscall_filter : (int -> Userland.call -> bool) option;
+    trace : Trace.t option;
+    systick : Mpu_hw.Systick.t option;
+        (** when present (ARM boards), the scheduling quantum is driven by
+            the modeled SysTick countdown over consumed cycles instead of
+            an action budget *)
+  }
+
+  let name = MM.name
+
+  let create ~mem ~hw ~switcher ?(quantum = 64) ?(capsules = []) ?(sched = Round_robin)
+      ?syscall_filter ?trace ?systick () =
+    let t =
+      {
+        mem;
+        hw;
+        switcher;
+        hooks = Hooks.create ();
+        quantum;
+        procs = [];
+        next_pid = 0;
+        flash_cursor = Range.start Layout.app_flash;
+        ram_cursor = Range.start Layout.app_sram;
+        ticks = 0;
+        console = Buffer.create 256;
+        capsules = Hashtbl.create 8;
+        capsules_initialized = false;
+        sched;
+        syscall_filter;
+        trace;
+        systick;
+      }
+    in
+    List.iter (fun (c : Capsule_intf.t) -> Hashtbl.replace t.capsules c.driver_num c) capsules;
+    t
+
+  let trace_event t event =
+    match t.trace with None -> () | Some tr -> Trace.record tr ~tick:t.ticks event
+
+  let hooks t = t.hooks
+  let processes t = t.procs
+  let ticks t = t.ticks
+
+  let find_process t pid = List.find_opt (fun (p : proc) -> p.Process.pid = pid) t.procs
+
+  let log_console t msg =
+    Buffer.add_string t.console msg;
+    Buffer.add_char t.console '\n'
+
+  let console_output t = Buffer.contents t.console
+
+  (* --- process creation (Figure 11's [create]) --- *)
+
+  let stored_state_size = 64
+
+  exception Panic of string
+  (** Raised when a process with the [Panic] fault policy faults: the
+      modeled analog of Tock's kernel panic (the whole board halts). *)
+
+  let create_process t ~name ~payload ~program ~min_ram ?(grant_reserve = 1024)
+      ?(heap_headroom = 2048) ?(fault_policy = Process.Stop) ?program_factory () =
+    Hooks.measure t.hooks "create" @@ fun () ->
+    let ( let* ) = Result.bind in
+    let img = { Loader.app_name = name; min_ram; payload } in
+    let* placed, flash_cursor = Loader.place t.mem ~cursor:t.flash_cursor img in
+    t.flash_cursor <- flash_cursor;
+    let unalloc_size = Range.end_ Layout.app_sram - t.ram_cursor in
+    (* Size the block for the requested RAM plus brk headroom (the region
+       geometry must be established for the largest break the process may
+       ever request), then pull the initial break back down to the
+       requested size. This mirrors Tock: the TBF's minimum RAM is the
+       envelope; the initial break covers only stack + data. *)
+    let* alloc =
+      MM.allocate ~unalloc_start:t.ram_cursor ~unalloc_size
+        ~min_size:(min_ram + heap_headroom) ~app_size:min_ram ~kernel_size:grant_reserve
+        ~flash_start:placed.Loader.flash_start ~flash_size:placed.Loader.flash_size
+    in
+    (if heap_headroom > 0 then
+       match MM.brk alloc t.hw ~new_app_break:(MM.memory_start alloc + min_ram) with
+       | Ok _ -> ()
+       | Error _ -> () (* keep the envelope break; growth simply isn't needed *));
+    t.ram_cursor <- MM.memory_start alloc + MM.memory_size alloc;
+    (* Zero the process RAM block, as Tock does before handing it out
+       (identical cost on both kernels; with the flash copy this dominates
+       the create row, which is why Figure 11 shows the two kernels within
+       a percent of each other there). *)
+    Cycles.tick ~n:(MM.memory_size alloc / 4 * Cycles.mem) Cycles.global;
+    (* Stored-state block for r4-r11 lives in the kernel-owned grant
+       region, like Tock's. *)
+    let* regs_base =
+      Hooks.measure t.hooks "allocate_grant" @@ fun () ->
+      MM.allocate_grant alloc ~size:stored_state_size ~align:8
+    in
+    (* Synthesize the initial exception frame the first context switch will
+       unstack: r0-r3, r12, lr, pc, xpsr. *)
+    let psp = MM.app_break alloc - (4 * Fluxarm.Exn.frame_words) in
+    Cycles.tick ~n:(Fluxarm.Exn.frame_words * Cycles.mem) Cycles.global;
+    for i = 0 to 4 do
+      Memory.write32 t.mem (psp + (4 * i)) 0
+    done;
+    Memory.write32 t.mem (psp + 20) initial_lr;
+    Memory.write32 t.mem (psp + 24) placed.Loader.entry;
+    Memory.write32 t.mem (psp + 28) initial_psr;
+    let proc =
+      {
+        Process.pid = t.next_pid;
+        name;
+        alloc;
+        flash = placed;
+        regs_base;
+        state = Process.Ready;
+        program;
+        psp;
+        last_result = 0;
+        allowed_ro = [];
+        allowed_rw = [];
+        subscriptions = [];
+        alarm_at = None;
+        grants = [];
+        pending_upcalls = Queue.create ();
+        output = Buffer.create 128;
+        fault_policy;
+        program_factory;
+        initial_break = MM.app_break alloc;
+        restarts = 0;
+        slices = 0;
+        syscall_count = 0;
+      }
+    in
+    t.next_pid <- t.next_pid + 1;
+    t.procs <- t.procs @ [ proc ];
+    trace_event t (Trace.Created { pid = proc.Process.pid; pname = name });
+    Ok proc
+
+  (* Tock-style process loading: walk the app-flash region parsing TBF
+     headers until the first invalid one, creating a process for each image
+     whose name the [registry] can supply a program for. Returns the loaded
+     processes. The images must already be in flash (e.g. written by a
+     previous kernel's loader, or flashed by a test). *)
+  let load_processes t ~registry ?(require_credentials = false) () =
+    let rec walk cursor acc =
+      if cursor + 24 > Range.end_ Layout.app_flash then List.rev acc
+      else
+        match Loader.read_image t.mem ~base:cursor with
+        | Error _ -> List.rev acc
+        | Ok img when require_credentials && not (Loader.verify_credentials t.mem ~base:cursor)
+          ->
+          log_console t
+            (Printf.sprintf "rejecting %S: invalid credentials" img.Loader.app_name);
+          let size = Loader.padded_size img in
+          walk (Math32.align_up (cursor + size) ~align:size) acc
+        | Ok img -> (
+          let size = Loader.padded_size img in
+          let next = Math32.align_up (cursor + size) ~align:size in
+          match registry img.Loader.app_name with
+          | None -> walk next acc
+          | Some program -> (
+            match
+              create_process t ~name:img.Loader.app_name ~payload:img.Loader.payload ~program
+                ~min_ram:img.Loader.min_ram ()
+            with
+            | Ok p -> walk next (p :: acc)
+            | Error _ -> walk next acc))
+    in
+    walk (Range.start Layout.app_flash) []
+
+  (* A Tock process-console style listing ("ps"). *)
+  let ps t =
+    let b = Buffer.create 256 in
+    Printf.bprintf b " PID Name                Slices  Syscalls  Restarts  State\n";
+    List.iter
+      (fun (p : proc) ->
+        Printf.bprintf b " %3d %-18s %6d %9d %9d  %s\n" p.Process.pid p.Process.name
+          p.Process.slices p.Process.syscall_count p.Process.restarts
+          (Process.state_to_string p.Process.state))
+      t.procs;
+    Buffer.contents b
+
+  (* --- driver grants: entered on first use, like Tock's grant regions --- *)
+
+  let driver_grant t (proc : proc) driver =
+    match List.assoc_opt driver proc.grants with
+    | Some g -> Ok g
+    | None ->
+      if not (List.mem driver known_drivers || Hashtbl.mem t.capsules driver) then
+        Error Kerror.Not_supported
+      else begin
+        let result =
+          Hooks.measure t.hooks "allocate_grant" @@ fun () ->
+          MM.allocate_grant proc.alloc ~size:64 ~align:8
+        in
+        Result.map
+          (fun g ->
+            proc.grants <- (driver, g) :: proc.grants;
+            g)
+          result
+      end
+
+  (* --- capsule support --- *)
+
+  let schedule_upcall ?t (proc : proc) ~upcall_id ~arg =
+    (match t with
+    | Some t ->
+      trace_event t (Trace.Upcall { pid = proc.Process.pid; upcall_id; arg })
+    | None -> ());
+    match proc.Process.state with
+    | Process.Yielded ->
+      proc.Process.state <- Process.Ready;
+      proc.Process.last_result <- arg;
+      ignore upcall_id
+    | Process.Ready | Process.Faulted _ | Process.Exited _ ->
+      Queue.push (upcall_id, arg) proc.Process.pending_upcalls
+
+  (* The mediated view of one process a capsule gets (§2.1: capsules are
+     isolated by construction — they can only reach a process through these
+     closures, which validate every address against allowed buffers). *)
+  let make_handle t (proc : proc) driver : Capsule_intf.process_handle =
+    let allowed_ro () = List.assoc_opt driver proc.Process.allowed_ro in
+    let allowed_rw () = List.assoc_opt driver proc.Process.allowed_rw in
+    let in_buffer get a =
+      match get () with Some r when Range.contains r a -> true | Some _ | None -> false
+    in
+    {
+      Capsule_intf.ph_pid = proc.Process.pid;
+      ph_name = proc.Process.name;
+      ph_memory_start = (fun () -> MM.memory_start proc.Process.alloc);
+      ph_allowed_ro = allowed_ro;
+      ph_allowed_rw = allowed_rw;
+      ph_read_byte =
+        (fun a ->
+          Cycles.tick ~n:Cycles.mem Cycles.global;
+          if in_buffer allowed_ro a || in_buffer allowed_rw a then Ok (Memory.read8 t.mem a)
+          else Error Kerror.Invalid_buffer);
+      ph_write_byte =
+        (fun a v ->
+          Cycles.tick ~n:Cycles.mem Cycles.global;
+          if in_buffer allowed_rw a then Ok (Memory.write8 t.mem a v)
+          else Error Kerror.Invalid_buffer);
+      ph_grant =
+        (fun ~size ~align ->
+          (* get-or-create, like Tock's Grant::enter: one block per driver
+             per process, allocated on first use *)
+          match List.assoc_opt driver proc.Process.grants with
+          | Some g -> Ok g
+          | None ->
+            let result =
+              Hooks.measure t.hooks "allocate_grant" @@ fun () ->
+              MM.allocate_grant proc.Process.alloc ~size ~align
+            in
+            Result.map
+              (fun g ->
+                proc.Process.grants <- (driver, g) :: proc.Process.grants;
+                g)
+              result);
+      ph_schedule_upcall = (fun ~upcall_id ~arg -> schedule_upcall ~t proc ~upcall_id ~arg);
+      ph_subscribed = (fun () -> List.assoc_opt driver proc.Process.subscriptions);
+    }
+
+  let services t : Capsule_intf.services =
+    {
+      Capsule_intf.svc_handle =
+        (fun ~pid ~driver ->
+          match find_process t pid with
+          | Some p when Process.is_live p -> Some (make_handle t p driver)
+          | Some _ | None -> None);
+      svc_live_pids =
+        (fun () ->
+          List.filter_map
+            (fun (p : proc) -> if Process.is_live p then Some p.Process.pid else None)
+            t.procs);
+      svc_now = (fun () -> t.ticks);
+      svc_ps = (fun () -> ps t);
+    }
+
+  (* Capsules receive their kernel services lazily, at first dispatch. *)
+  let ensure_capsules_initialized t =
+    if not t.capsules_initialized then begin
+      t.capsules_initialized <- true;
+      Hashtbl.iter (fun _ (c : Capsule_intf.t) -> c.Capsule_intf.cap_init (services t)) t.capsules
+    end
+
+  (* --- syscall dispatch --- *)
+
+  let sensor_reading (proc : proc) cmd =
+    (* Deterministic "sensor": its value depends on the process's memory
+       placement, the way uninitialized-ADC readings on hardware depend on
+       the board's physical state. Layout-dependent on purpose: this is one
+       of the §6.1 classes expected to differ between Tock and TickTock. *)
+    (MM.memory_start proc.alloc lsr 4) land 0xffff lxor (cmd * 7)
+
+  let signed_of_word w = if w land 0x8000_0000 <> 0 then w - (1 lsl 32) else w
+
+  let handle_memop t (proc : proc) ~op ~arg =
+    if op = Userland.memop_brk then begin
+      match
+        Hooks.measure t.hooks "brk" @@ fun () -> MM.brk proc.alloc t.hw ~new_app_break:arg
+      with
+      | Ok b -> b
+      | Error _ -> Userland.failure
+    end
+    else if op = Userland.memop_sbrk then begin
+      match
+        Hooks.measure t.hooks "brk" @@ fun () ->
+        MM.sbrk proc.alloc t.hw ~delta:(signed_of_word arg)
+      with
+      | Ok b -> b
+      | Error _ -> Userland.failure
+    end
+    else if op = Userland.memop_memory_start then MM.memory_start proc.alloc
+    else if op = Userland.memop_memory_end then MM.app_break proc.alloc
+    else if op = Userland.memop_flash_start then proc.flash.Loader.flash_start
+    else if op = Userland.memop_flash_end then
+      proc.flash.Loader.flash_start + proc.flash.Loader.flash_size
+    else if op = Userland.memop_grant_begins then MM.kernel_break proc.alloc
+    else Userland.failure
+
+  let handle_command t (proc : proc) ~driver ~cmd ~arg1 ~arg2 =
+    ignore arg2;
+    match driver_grant t proc driver with
+    | Error _ -> Userland.failure
+    | Ok _ when Hashtbl.mem t.capsules driver ->
+      ensure_capsules_initialized t;
+      let capsule = Hashtbl.find t.capsules driver in
+      capsule.Capsule_intf.cap_command (make_handle t proc driver) ~cmd ~arg1 ~arg2
+    | Ok _ ->
+      if driver = driver_alarm then begin
+        if cmd = 0 then Userland.success (* driver exists *)
+        else if cmd = 1 then begin
+          (* set alarm in [arg1] ticks *)
+          proc.alarm_at <- Some (t.ticks + max arg1 1);
+          Userland.success
+        end
+        else if cmd = 2 then t.ticks (* read the "clock" *)
+        else Userland.failure
+      end
+      else if driver = driver_console then Userland.success
+      else if driver = driver_sensor then sensor_reading proc cmd
+      else if driver = driver_button then if cmd = 0 then Userland.success else 0
+      else Userland.failure
+
+  let rec handle_syscall t (proc : proc) call =
+    match t.syscall_filter with
+    | Some allow when not (allow proc.Process.pid call) -> Userland.failure
+    | Some _ | None -> handle_syscall_unfiltered t proc call
+
+  and handle_syscall_unfiltered t (proc : proc) call =
+    match call with
+    | Userland.Yield -> (
+      (* queued capsule upcalls deliver first; then the builtin alarm *)
+      match Queue.take_opt proc.pending_upcalls with
+      | Some (_upcall_id, arg) -> arg
+      | None -> (
+        match proc.alarm_at with
+        | Some due when due <= t.ticks ->
+          proc.alarm_at <- None;
+          1
+        | Some _ | None ->
+          proc.state <- Process.Yielded;
+          0))
+    | Userland.Subscribe { driver; upcall_id } -> (
+      match driver_grant t proc driver with
+      | Error _ -> Userland.failure
+      | Ok _ ->
+        proc.subscriptions <- (driver, upcall_id) :: List.remove_assoc driver proc.subscriptions;
+        (match Hashtbl.find_opt t.capsules driver with
+        | Some capsule ->
+          ensure_capsules_initialized t;
+          capsule.Capsule_intf.cap_subscribed (make_handle t proc driver) ~upcall_id
+        | None -> ());
+        Userland.success)
+    | Userland.Command { driver; cmd; arg1; arg2 } -> handle_command t proc ~driver ~cmd ~arg1 ~arg2
+    | Userland.Allow_ro { driver; addr; len } -> (
+      match
+        Hooks.measure t.hooks "build_readonly_buffer" @@ fun () ->
+        MM.build_readonly_buffer proc.alloc ~addr ~len
+      with
+      | Ok buf ->
+        proc.allowed_ro <- (driver, buf) :: List.remove_assoc driver proc.allowed_ro;
+        (match Hashtbl.find_opt t.capsules driver with
+        | Some capsule ->
+          ensure_capsules_initialized t;
+          capsule.Capsule_intf.cap_allowed_ro (make_handle t proc driver) buf
+        | None -> ());
+        Userland.success
+      | Error _ -> Userland.failure)
+    | Userland.Allow_rw { driver; addr; len } -> (
+      match
+        Hooks.measure t.hooks "build_readwrite_buffer" @@ fun () ->
+        MM.build_readwrite_buffer proc.alloc ~addr ~len
+      with
+      | Ok buf ->
+        proc.allowed_rw <- (driver, buf) :: List.remove_assoc driver proc.allowed_rw;
+        (match Hashtbl.find_opt t.capsules driver with
+        | Some capsule ->
+          ensure_capsules_initialized t;
+          capsule.Capsule_intf.cap_allowed_rw (make_handle t proc driver) buf
+        | None -> ());
+        Userland.success
+      | Error _ -> Userland.failure)
+    | Userland.Memop { op; arg } -> handle_memop t proc ~op ~arg
+
+  (* --- running one slice of a process --- *)
+
+  type slice_end =
+    | Slice_syscall of Userland.call
+    | Slice_quantum
+    | Slice_exit of int
+    | Slice_fault of string
+
+  let charge n = Cycles.tick ~n Cycles.global
+
+  let exec_action t (proc : proc) action =
+    match action with
+    | Userland.Load8 a ->
+      charge Cycles.mem;
+      Memory.load8 t.mem a
+    | Userland.Store8 (a, v) ->
+      charge Cycles.mem;
+      Memory.store8 t.mem a v;
+      0
+    | Userland.Load32 a ->
+      charge Cycles.mem;
+      Memory.load32 t.mem a
+    | Userland.Store32 (a, v) ->
+      charge Cycles.mem;
+      Memory.store32 t.mem a v;
+      0
+    | Userland.Compute n ->
+      charge (max n 1);
+      0
+    | Userland.Print s ->
+      charge (String.length s);
+      Process.print proc s;
+      0
+    | Userland.Syscall _ | Userland.Exit _ -> assert false
+
+  let cycles_per_quantum_unit = 16
+
+  let run_actions t (proc : proc) =
+    let cooperative = t.sched = Cooperative in
+    (* With a SysTick present the quantum is a cycle budget counted by the
+       timer hardware model; otherwise an action budget. *)
+    let expired =
+      match t.systick with
+      | Some st when not cooperative ->
+        Mpu_hw.Systick.start st ~reload:(t.quantum * cycles_per_quantum_unit) ~tickint:true;
+        let last = ref (Cycles.read Cycles.global) in
+        fun _budget ->
+          let now = Cycles.read Cycles.global in
+          Mpu_hw.Systick.advance st (now - !last);
+          last := now;
+          Mpu_hw.Systick.take_pending st
+      | Some _ | None ->
+        fun budget -> (not cooperative) && budget <= 0
+    in
+    let rec loop budget =
+      if expired budget then Slice_quantum
+      else
+        match proc.program proc.last_result with
+        | Userland.Exit code -> Slice_exit code
+        | Userland.Syscall call -> Slice_syscall call
+        | action -> (
+          match exec_action t proc action with
+          | result ->
+            proc.last_result <- result;
+            loop (budget - 1)
+          | exception Memory.Access_fault f ->
+            Slice_fault
+              (Printf.sprintf "mpu fault: %s at %s (%s)"
+                 (match f.Memory.fault_access with
+                 | Perms.Read -> "read"
+                 | Perms.Write -> "write"
+                 | Perms.Execute -> "execute")
+                 (Word32.to_hex f.Memory.fault_addr)
+                 f.Memory.fault_reason))
+    in
+    loop t.quantum
+
+  (* Configure the MPU for this process and enter it, run its actions, and
+     return through the preemption path matching how the slice ended. *)
+  let exc_num_for = function
+    | Slice_syscall _ | Slice_exit _ -> Fluxarm.Exn.exc_svc
+    | Slice_quantum -> Fluxarm.Exn.exc_systick
+    | Slice_fault _ -> 4 (* MemManage *)
+
+  (* Fault inside the switch itself (e.g. a steered stack pointer):
+     hardware would escalate; we restore a sane kernel context. *)
+  let recover_cpu cpu ~recover_msp (f : Memory.fault) =
+    Fluxarm.Cpu.set_mode cpu Fluxarm.Cpu.Thread;
+    Fluxarm.Cpu.set_special_raw cpu Fluxarm.Regs.Control 0;
+    Fluxarm.Cpu.set_special_raw cpu Fluxarm.Regs.Msp recover_msp;
+    Slice_fault
+      (Printf.sprintf "fault during context switch at %s" (Word32.to_hex f.Memory.fault_addr))
+
+  let run_slice t (proc : proc) =
+    Hooks.measure t.hooks "setup_mpu" (fun () -> MM.configure_mpu t.hw proc.alloc);
+    match t.switcher with
+    | Arm_switch cpu ->
+      let recover_msp = Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Msp in
+      let finish reason =
+        Fluxarm.Handlers.preempt_process cpu ~exc_num:(exc_num_for reason);
+        Fluxarm.Handlers.switch_to_user_part2 cpu ~regs_base:proc.regs_base;
+        proc.psp <- Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Psp;
+        reason
+      in
+      (try
+         Fluxarm.Handlers.switch_to_user_part1 cpu ~process_sp:proc.psp
+           ~regs_base:proc.regs_base;
+         finish (run_actions t proc)
+       with Memory.Access_fault f -> recover_cpu cpu ~recover_msp f)
+    | Arm_mc_switch (cpu, code) ->
+      let recover_msp = Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Msp in
+      let finish reason =
+        Fluxarm.Handlers_mc.preempt_process code cpu ~exc_num:(exc_num_for reason);
+        Fluxarm.Handlers_mc.switch_to_user_part2 code cpu;
+        proc.psp <- Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Psp;
+        reason
+      in
+      (try
+         Fluxarm.Handlers_mc.switch_to_user_part1 code cpu ~process_sp:proc.psp
+           ~regs_base:proc.regs_base;
+         finish (run_actions t proc)
+       with Memory.Access_fault f -> recover_cpu cpu ~recover_msp f)
+    | Sim_switch machine_mode ->
+      charge (2 * Cycles.exception_entry);
+      machine_mode := false;
+      let reason = run_actions t proc in
+      machine_mode := true;
+      charge (2 * Cycles.exception_entry);
+      reason
+
+  (* A Tock-style process status dump, printed to the kernel console when a
+     process faults (upstream prints this from the panic handler). *)
+  let print_process_status t (proc : proc) =
+    let b = Buffer.create 256 in
+    Printf.bprintf b "App: %s   -   [%s]\n" proc.name (Process.state_to_string proc.state);
+    Printf.bprintf b " Restart count: %d\n" proc.restarts;
+    let row addr label = Printf.bprintf b "  %s | %-24s\n" (Word32.to_hex addr) label in
+    row (MM.memory_start proc.alloc + MM.memory_size proc.alloc) "block end";
+    row (MM.kernel_break proc.alloc) "kernel break (grants)";
+    row (MM.app_break proc.alloc) "app break";
+    row proc.psp "process stack pointer";
+    row (MM.memory_start proc.alloc) "memory start";
+    row (proc.flash.Loader.flash_start + proc.flash.Loader.flash_size) "flash end";
+    row proc.flash.Loader.flash_start "flash start";
+    log_console t (Buffer.contents b)
+
+  (* Restart a faulted process: reset the break to its creation value,
+     re-zero its RAM, synthesize a fresh initial frame, and run the program
+     again from the top. Grants are kernel state and survive (Tock reuses
+     the process's grant region on restart too). *)
+  let restart_process t (proc : proc) factory =
+    proc.restarts <- proc.restarts + 1;
+    (match MM.brk proc.alloc t.hw ~new_app_break:proc.initial_break with
+    | Ok _ | Error _ -> ());
+    let start = MM.memory_start proc.alloc in
+    Cycles.tick ~n:((proc.initial_break - start) / 4 * Cycles.mem) Cycles.global;
+    let a = ref start in
+    while !a < proc.initial_break do
+      Memory.write32 t.mem !a 0;
+      a := !a + 4
+    done;
+    let psp = proc.initial_break - (4 * Fluxarm.Exn.frame_words) in
+    Memory.write32 t.mem (psp + 20) initial_lr;
+    Memory.write32 t.mem (psp + 24) proc.flash.Loader.entry;
+    Memory.write32 t.mem (psp + 28) initial_psr;
+    proc.psp <- psp;
+    proc.program <- factory ();
+    proc.last_result <- 0;
+    proc.allowed_ro <- [];
+    proc.allowed_rw <- [];
+    proc.subscriptions <- [];
+    proc.alarm_at <- None;
+    Queue.clear proc.pending_upcalls;
+    proc.state <- Process.Ready;
+    trace_event t (Trace.Restarted proc.Process.pid);
+    log_console t (Printf.sprintf "process %s restarted (attempt %d)" proc.name proc.restarts)
+
+  let handle_fault t (proc : proc) msg =
+    trace_event t (Trace.Faulted { pid = proc.Process.pid; reason = msg });
+    proc.state <- Process.Faulted msg;
+    log_console t (Printf.sprintf "process %s faulted: %s" proc.name msg);
+    print_process_status t proc;
+    match (proc.fault_policy, proc.program_factory) with
+    | Process.Panic, _ -> raise (Panic (Printf.sprintf "process %s: %s" proc.name msg))
+    | Process.Stop, _ -> ()
+    | Process.Restart { max_restarts }, Some factory when proc.restarts < max_restarts ->
+      restart_process t proc factory
+    | Process.Restart _, (Some _ | None) ->
+      log_console t (Printf.sprintf "process %s: restart budget exhausted" proc.name)
+
+  let step_process t (proc : proc) =
+    trace_event t (Trace.Scheduled proc.Process.pid);
+    proc.Process.slices <- proc.Process.slices + 1;
+    let slice = run_slice t proc in
+    (* back in the kernel: enforcement off until the next switch (§2.1) *)
+    MM.disable_mpu t.hw;
+    match slice with
+    | Slice_syscall call ->
+      proc.Process.syscall_count <- proc.Process.syscall_count + 1;
+      let result = handle_syscall t proc call in
+      trace_event t (Trace.Syscall { pid = proc.Process.pid; call; result });
+      proc.last_result <- result
+    | Slice_quantum -> ()
+    | Slice_exit code ->
+      proc.state <- Process.Exited code;
+      trace_event t (Trace.Exited { pid = proc.Process.pid; code });
+      log_console t (Printf.sprintf "process %s exited with %d" proc.name code)
+    | Slice_fault msg -> handle_fault t proc msg
+
+  (* --- the main scheduler loop --- *)
+
+  let wake_alarms t =
+    List.iter
+      (fun (p : proc) ->
+        (match Queue.take_opt p.Process.pending_upcalls with
+        | Some (_id, arg) when p.Process.state = Process.Yielded ->
+          p.Process.state <- Process.Ready;
+          p.Process.last_result <- arg
+        | Some pending -> Queue.push pending p.Process.pending_upcalls
+        | None -> ());
+        match (p.Process.state, p.Process.alarm_at) with
+        | Process.Yielded, Some due when due <= t.ticks ->
+          p.Process.state <- Process.Ready;
+          p.Process.alarm_at <- None;
+          p.Process.last_result <- 1
+        | (Process.Ready | Process.Yielded | Process.Faulted _ | Process.Exited _), _ -> ())
+      t.procs
+
+  let has_future_work t =
+    List.exists
+      (fun (p : proc) ->
+        Process.is_runnable p
+        || p.Process.state = Process.Yielded
+           && (p.Process.alarm_at <> None
+              || (not (Queue.is_empty p.Process.pending_upcalls))
+              || Hashtbl.length t.capsules > 0))
+      t.procs
+    || Hashtbl.fold
+         (fun _ (c : Capsule_intf.t) acc -> acc || c.Capsule_intf.cap_has_work ())
+         t.capsules false
+
+  let run t ~max_ticks =
+    let deadline = t.ticks + max_ticks in
+    ensure_capsules_initialized t;
+    while t.ticks < deadline && has_future_work t do
+      t.ticks <- t.ticks + 1;
+      Hashtbl.iter (fun _ (c : Capsule_intf.t) -> c.Capsule_intf.cap_tick ~now:t.ticks) t.capsules;
+      wake_alarms t;
+      let runnable = List.filter Process.is_runnable t.procs in
+      (match (t.sched, runnable) with
+      | _, [] -> () (* idle tick: only the timer advances *)
+      | (Round_robin | Cooperative), _ ->
+        List.iter (fun p -> if Process.is_runnable p then step_process t p) runnable
+      | Priority prio, p0 :: rest ->
+        (* only the highest-priority runnable process gets the CPU *)
+        let best =
+          List.fold_left
+            (fun best p ->
+              if prio p.Process.pid < prio best.Process.pid then p else best)
+            p0 rest
+        in
+        step_process t best);
+      ()
+    done
+
+  (* --- end-to-end isolation checking (§4.3 correspondence, from outside) --- *)
+
+  let normalize ranges =
+    let nonempty = List.filter (fun r -> not (Range.is_empty r)) ranges in
+    let sorted = List.sort (fun a b -> compare (Range.start a) (Range.start b)) nonempty in
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | prev :: rest when Range.start r <= Range.end_ prev ->
+          Range.of_bounds ~lo:(Range.start prev) ~hi:(max (Range.end_ prev) (Range.end_ r))
+          :: rest
+        | _ -> r :: acc)
+      [] sorted
+    |> List.rev
+
+  let ranges_subset sub super =
+    let super = normalize super in
+    List.for_all
+      (fun r ->
+        Range.is_empty r || List.exists (fun s -> Range.contains_range s r) super)
+      (normalize sub)
+
+  (** Check that what the hardware currently enforces for this process is
+      exactly bounded by the kernel's logical view: every hardware-readable
+      or writable byte lies inside the process's accessible ranges. Call
+      after [configure_mpu] (tests do). *)
+  let isolation_ok t (proc : proc) =
+    MM.configure_mpu t.hw proc.alloc;
+    let logical = MM.accessible proc.alloc in
+    let hw_r = MM.hw_accessible t.hw Perms.Read in
+    let hw_w = MM.hw_accessible t.hw Perms.Write in
+    let ram = MM.accessible proc.alloc |> List.filter (fun r -> Layout.in_sram (Range.start r)) in
+    ranges_subset hw_r logical && ranges_subset hw_w ram
+
+  let mem_stats (proc : proc) =
+    let total = MM.memory_size proc.alloc in
+    let app = MM.app_break proc.alloc - MM.memory_start proc.alloc in
+    let grant = MM.memory_start proc.alloc + total - MM.kernel_break proc.alloc in
+    { Instance.total; app; grant; unused = total - app - grant }
+
+  (* --- the type-erased view --- *)
+
+  let instance t : Instance.t =
+    let with_proc pid f = Option.map f (find_process t pid) in
+    {
+      Instance.kernel_name = name;
+      load =
+        (fun ~name ~payload ~program ~min_ram ~grant_reserve ~heap_headroom ->
+          Result.map
+            (fun (p : proc) -> p.Process.pid)
+            (create_process t ~name ~payload ~program ~min_ram ~grant_reserve ~heap_headroom
+               ()));
+      run = (fun ~max_ticks -> run t ~max_ticks);
+      proc_output = (fun pid -> with_proc pid Process.output);
+      proc_state = (fun pid -> with_proc pid (fun p -> Process.state_to_string p.Process.state));
+      proc_exit =
+        (fun pid ->
+          Option.join
+            (with_proc pid (fun (p : proc) ->
+                 match p.Process.state with Process.Exited c -> Some c | _ -> None)));
+      proc_faulted =
+        (fun pid ->
+          Option.value ~default:false
+            (with_proc pid (fun (p : proc) ->
+                 match p.Process.state with Process.Faulted _ -> true | _ -> false)));
+      proc_mem_stats = (fun pid -> with_proc pid mem_stats);
+      proc_isolation_ok =
+        (fun pid -> Option.value ~default:false (with_proc pid (isolation_ok t)));
+      proc_sbrk =
+        (fun pid delta ->
+          match find_process t pid with
+          | None -> Error Kerror.No_such_process
+          | Some p ->
+            Hooks.measure t.hooks "brk" @@ fun () -> MM.sbrk p.Process.alloc t.hw ~delta);
+      hooks = (fun () -> t.hooks);
+      console = (fun () -> console_output t);
+      ticks = (fun () -> t.ticks);
+    }
+end

@@ -1,0 +1,26 @@
+(** Kernel error codes for process-memory operations.
+
+    Mirrors Tock's [ErrorCode]/[AllocateAppMemoryError] split loosely; one
+    flat type keeps syscall return-value plumbing simple. *)
+
+type t =
+  | Heap_error  (** MPU could not create the requested RAM regions *)
+  | Flash_error  (** MPU could not create the flash region *)
+  | Out_of_memory  (** block does not fit in the unallocated pool *)
+  | Invalid_brk  (** brk/sbrk request outside the legal window *)
+  | Grant_exhausted  (** grant allocation would cross the app break *)
+  | Invalid_buffer  (** allow()ed buffer not inside app-accessible memory *)
+  | No_such_process
+  | Not_supported
+
+let to_string = function
+  | Heap_error -> "heap error"
+  | Flash_error -> "flash error"
+  | Out_of_memory -> "out of memory"
+  | Invalid_brk -> "invalid brk"
+  | Grant_exhausted -> "grant exhausted"
+  | Invalid_buffer -> "invalid buffer"
+  | No_such_process -> "no such process"
+  | Not_supported -> "not supported"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,15 @@
+(** Kernel error codes for process-memory and syscall operations (a flat
+    rendering of Tock's [ErrorCode]/[AllocateAppMemoryError] split). *)
+
+type t =
+  | Heap_error  (** MPU could not create the requested RAM regions *)
+  | Flash_error  (** MPU could not create the flash region *)
+  | Out_of_memory  (** block does not fit in the unallocated pool *)
+  | Invalid_brk  (** brk/sbrk request outside the legal window *)
+  | Grant_exhausted  (** grant allocation would cross the app break *)
+  | Invalid_buffer  (** allow()ed buffer not inside app-accessible memory *)
+  | No_such_process
+  | Not_supported
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+(** Application flash images and placement (the TBF analog).
+
+    Tock apps ship as Tock Binary Format objects placed in flash after the
+    kernel. We model a compact TBF-style image: a fixed header (magic,
+    version, total size, minimum RAM request, name) followed by the opaque
+    application payload. The loader writes images into the flash window and
+    — because the Cortex-M MPU wants power-of-two, size-aligned flash
+    regions — pads each image to the next power of two and aligns its base
+    to that size, exactly the placement discipline Tock's linker scripts
+    impose. *)
+
+let magic = 0x54424632 (* "TBF2" *)
+let header_words = 6
+
+type image = {
+  app_name : string;
+  min_ram : int;
+  payload : string;  (** opaque app binary (our serialized program) *)
+}
+
+(* FNV-1a over the serialized header fields, name and payload: the modeled
+   integrity footer (real Tock verifies cryptographic credentials in a TBF
+   footer; a hash preserves the code path without a crypto library). *)
+let checksum img =
+  let h = ref 0x811C_9DC5 in
+  let feed b = h := Word32.mul (!h lxor (b land 0xff)) 0x0100_0193 in
+  let feed32 v =
+    feed v;
+    feed (v lsr 8);
+    feed (v lsr 16);
+    feed (v lsr 24)
+  in
+  feed32 magic;
+  feed32 img.min_ram;
+  feed32 (String.length img.app_name);
+  feed32 (String.length img.payload);
+  String.iter (fun c -> feed (Char.code c)) img.app_name;
+  String.iter (fun c -> feed (Char.code c)) img.payload;
+  !h
+
+type placed = {
+  image : image;
+  flash_start : Word32.t;  (** base of the padded power-of-two block *)
+  flash_size : int;  (** padded to a power of two *)
+  entry : Word32.t;  (** first payload byte *)
+}
+
+let image_bytes img =
+  (* header + name + payload + 4-byte credentials footer *)
+  (4 * header_words) + String.length img.app_name + String.length img.payload + 4
+
+let padded_size img = Math32.closest_power_of_two (max (image_bytes img) 512)
+
+(* Serialize the header + payload into memory at [base]; charges the copy
+   cost a real loader pays (this dominates Figure 11's [create] row). *)
+let write_image mem ~base img =
+  let name_len = String.length img.app_name in
+  let payload_len = String.length img.payload in
+  Cycles.tick ~n:((image_bytes img / 4 * Cycles.mem) + (8 * Cycles.alu)) Cycles.global;
+  Memory.write32 mem base magic;
+  Memory.write32 mem (base + 4) 2 (* version *);
+  Memory.write32 mem (base + 8) (image_bytes img);
+  Memory.write32 mem (base + 12) img.min_ram;
+  Memory.write32 mem (base + 16) name_len;
+  Memory.write32 mem (base + 20) payload_len;
+  Memory.blit_string mem (base + (4 * header_words)) img.app_name;
+  Memory.blit_string mem (base + (4 * header_words) + name_len) img.payload;
+  Memory.write32 mem (base + (4 * header_words) + name_len + payload_len) (checksum img)
+
+let read_image mem ~base =
+  if Memory.read32 mem base <> magic then Error "bad TBF magic"
+  else begin
+    let name_len = Memory.read32 mem (base + 16) in
+    let payload_len = Memory.read32 mem (base + 20) in
+    if name_len > 64 || payload_len > 1 lsl 20 then Error "implausible TBF header"
+    else begin
+      let app_name = Memory.read_bytes mem (base + (4 * header_words)) name_len in
+      let payload = Memory.read_bytes mem (base + (4 * header_words) + name_len) payload_len in
+      Ok { app_name; min_ram = Memory.read32 mem (base + 12); payload }
+    end
+  end
+
+(** Verify the credentials footer of an image in flash: recompute the hash
+    over what is actually there and compare with the stored footer. *)
+let verify_credentials mem ~base =
+  match read_image mem ~base with
+  | Error _ -> false
+  | Ok img ->
+    let stored =
+      Memory.read32 mem
+        (base + (4 * header_words) + String.length img.app_name + String.length img.payload)
+    in
+    stored = checksum img
+
+(** Place an image at the next properly aligned spot at or after [cursor]
+    inside the app-flash window; returns the placement and the new cursor. *)
+let place mem ~cursor img =
+  let size = padded_size img in
+  let flash_start = Math32.align_up cursor ~align:size in
+  if flash_start + size > Range.end_ Layout.app_flash then Error Kerror.Out_of_memory
+  else begin
+    write_image mem ~base:flash_start img;
+    Ok
+      ( {
+          image = img;
+          flash_start;
+          flash_size = size;
+          entry = flash_start + (4 * header_words) + String.length img.app_name;
+        },
+        flash_start + size )
+  end

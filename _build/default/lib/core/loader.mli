@@ -1,0 +1,53 @@
+(** Application flash images and placement (the TBF analog).
+
+    Tock apps ship as Tock Binary Format objects placed in flash after the
+    kernel. We model a compact TBF-style image — fixed header (magic,
+    version, sizes, name) plus opaque payload — and the placement
+    discipline Tock's linker scripts impose for the Cortex-M MPU: each
+    image is padded to the next power of two and placed at a base aligned
+    to that size, so its flash region is exactly representable. *)
+
+val magic : int
+(** ["TBF2"] as a little-endian word. *)
+
+val header_words : int
+
+type image = {
+  app_name : string;
+  min_ram : int;  (** the app's requested RAM, like the TBF minimum *)
+  payload : string;  (** opaque app binary *)
+}
+
+type placed = {
+  image : image;
+  flash_start : Word32.t;  (** base of the padded power-of-two block *)
+  flash_size : int;  (** padded to a power of two *)
+  entry : Word32.t;  (** address of the first payload byte *)
+}
+
+val checksum : image -> Word32.t
+(** FNV-1a over header fields, name and payload — the modeled credentials
+    footer (real Tock verifies cryptographic TBF credentials; the hash
+    preserves the code path without a crypto library). *)
+
+val image_bytes : image -> int
+(** Unpadded serialized size, including the 4-byte credentials footer. *)
+
+val padded_size : image -> int
+(** Power-of-two block size used for placement (floor 512 bytes). *)
+
+val write_image : Memory.t -> base:Word32.t -> image -> unit
+(** Serialize into memory, charging the copy cost a real loader pays (this
+    dominates Figure 11's [create] row). *)
+
+val read_image : Memory.t -> base:Word32.t -> (image, string) result
+(** Parse an image back; [Error] on bad magic or implausible header. *)
+
+val verify_credentials : Memory.t -> base:Word32.t -> bool
+(** Recompute the hash over the image as it sits in flash and compare with
+    the stored footer — false for tampered or unparseable images. *)
+
+val place : Memory.t -> cursor:Word32.t -> image -> (placed * Word32.t, Kerror.t) result
+(** Write the image at the next properly aligned address at or after
+    [cursor] inside the app-flash window; returns the placement and the
+    new cursor, or [Out_of_memory] when flash is exhausted. *)

@@ -1,0 +1,76 @@
+(** Board wiring: memory, MPU hardware and CPU, connected.
+
+    On creation the MPU model is installed as the memory's access checker,
+    closing the loop the real bus closes in silicon: every checked access
+    made by (emulated) unprivileged code consults the live MPU
+    configuration and the CPU's current privilege. *)
+
+type arm = {
+  arm_mem : Memory.t;
+  arm_cpu : Fluxarm.Cpu.t;
+  arm_mpu : Mpu_hw.Armv7m_mpu.t;
+  arm_systick : Mpu_hw.Systick.t;
+  arm_nvic : Mpu_hw.Nvic.t;
+  arm_scb : Mpu_hw.Scb.t;
+}
+
+let create_arm () =
+  let arm_mem = Memory.create () in
+  let arm_cpu = Fluxarm.Cpu.create arm_mem in
+  let arm_mpu = Mpu_hw.Armv7m_mpu.create () in
+  let arm_scb = Mpu_hw.Scb.create () in
+  let checker =
+    Mpu_hw.Armv7m_mpu.checker arm_mpu ~cpu_privileged:(fun () ->
+        Fluxarm.Cpu.privileged arm_cpu)
+  in
+  (* the bus latches fault status into the SCB before raising the fault,
+     as the MemManage machinery does in silicon *)
+  Memory.set_checker arm_mem
+    (Some
+       (fun addr access ->
+         match checker addr access with
+         | Ok () -> Ok ()
+         | Error _ as e ->
+           Mpu_hw.Scb.record_memfault arm_scb ~addr ~access;
+           e));
+  {
+    arm_mem;
+    arm_cpu;
+    arm_mpu;
+    arm_systick = Mpu_hw.Systick.create ();
+    arm_nvic = Mpu_hw.Nvic.create ();
+    arm_scb;
+  }
+
+(** An ARMv8-M (Cortex-M33-style) board: same CPU and memory map, PMSAv8
+    MPU installed as the bus checker. *)
+type arm_v8 = {
+  v8_mem : Memory.t;
+  v8_cpu : Fluxarm.Cpu.t;
+  v8_mpu : Mpu_hw.Armv8m_mpu.t;
+  v8_systick : Mpu_hw.Systick.t;
+}
+
+let create_arm_v8 () =
+  let v8_mem = Memory.create () in
+  let v8_cpu = Fluxarm.Cpu.create v8_mem in
+  let v8_mpu = Mpu_hw.Armv8m_mpu.create () in
+  Memory.set_checker v8_mem
+    (Some
+       (Mpu_hw.Armv8m_mpu.checker v8_mpu ~cpu_privileged:(fun () ->
+            Fluxarm.Cpu.privileged v8_cpu)));
+  { v8_mem; v8_cpu; v8_mpu; v8_systick = Mpu_hw.Systick.create () }
+
+type riscv = {
+  rv_mem : Memory.t;
+  rv_pmp : Mpu_hw.Pmp.t;
+  rv_machine_mode : bool ref;  (** true while the kernel runs *)
+}
+
+let create_riscv chip =
+  let rv_mem = Memory.create () in
+  let rv_pmp = Mpu_hw.Pmp.create chip in
+  let rv_machine_mode = ref true in
+  Memory.set_checker rv_mem
+    (Some (Mpu_hw.Pmp.checker rv_pmp ~cpu_machine_mode:(fun () -> !rv_machine_mode)));
+  { rv_mem; rv_pmp; rv_machine_mode }

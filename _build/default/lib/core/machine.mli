@@ -1,0 +1,38 @@
+(** Board wiring: memory, MPU hardware, timers and CPU, connected.
+
+    On creation the MPU model is installed as the memory's access checker,
+    closing the loop the real bus closes in silicon: every checked access
+    made by (emulated) unprivileged code consults the live MPU
+    configuration and the CPU's current privilege. *)
+
+type arm = {
+  arm_mem : Memory.t;
+  arm_cpu : Fluxarm.Cpu.t;
+  arm_mpu : Mpu_hw.Armv7m_mpu.t;
+  arm_systick : Mpu_hw.Systick.t;
+  arm_nvic : Mpu_hw.Nvic.t;
+  arm_scb : Mpu_hw.Scb.t;  (** fault-status registers, latched by the bus *)
+}
+
+val create_arm : unit -> arm
+(** An ARM Cortex-M board (NRF52840-style memory map). *)
+
+type arm_v8 = {
+  v8_mem : Memory.t;
+  v8_cpu : Fluxarm.Cpu.t;
+  v8_mpu : Mpu_hw.Armv8m_mpu.t;
+  v8_systick : Mpu_hw.Systick.t;
+}
+
+val create_arm_v8 : unit -> arm_v8
+(** An ARMv8-M (Cortex-M33-style) board: same CPU core model, PMSAv8 MPU. *)
+
+type riscv = {
+  rv_mem : Memory.t;
+  rv_pmp : Mpu_hw.Pmp.t;
+  rv_machine_mode : bool ref;  (** [true] while the kernel runs *)
+}
+
+val create_riscv : Mpu_hw.Pmp.chip -> riscv
+(** A RISC-V board on the given PMP chip; the privilege flag stands in for
+    the M/U mode bit the kernel toggles on context switch. *)

@@ -1,0 +1,114 @@
+(** TickTock's granular RISC-V PMP driver.
+
+    A functor over the chip description (the paper verifies three RV32
+    chips; {!Mpu_hw.Pmp.chips} lists ours). PMP's flexibility makes the
+    granular methods nearly trivial — a region is an exact 4-byte-aligned
+    range — which is exactly the point of the abstraction: the hardware
+    quirks that remain (granularity, entry budget) stay in this file. *)
+
+module Hw = Mpu_hw.Pmp
+module Region = Pmp_region
+
+module Make (C : sig
+  val chip : Hw.chip
+end) =
+struct
+  let arch_name = "rv32-pmp:" ^ C.chip.Hw.chip_name
+
+  module Region = Region
+
+  type hw = Hw.t
+
+  (* Each logical region consumes a TOR entry pair; on ePMP chips the top
+     two pairs are reserved for the kernel's locked Smepmp entries. *)
+  let region_count = (C.chip.Hw.entry_count / 2) - if C.chip.Hw.epmp then 2 else 0
+
+  let grain = C.chip.Hw.granularity
+
+  let postcondition ~site ~total_size ~perms r0 =
+    Verify.Violation.ensure (site ^ ": region set") (Region.is_set r0);
+    Verify.Violation.ensure (site ^ ": perms") (Region.matches_perms r0 perms);
+    Verify.Violation.ensuref (site ^ ": span covers request")
+      (Option.value (Region.size r0) ~default:0 >= total_size)
+      "size=%d requested=%d"
+      (Option.value (Region.size r0) ~default:0)
+      total_size
+
+  let new_regions ~max_region_id ~unalloc_start ~unalloc_size ~total_size ~perms =
+    Verify.Violation.requiref "pmp new_regions: region ids"
+      (max_region_id >= 1 && max_region_id < region_count)
+      "max=%d" max_region_id;
+    Verify.Violation.requiref "pmp new_regions: sizes" (total_size > 0 && unalloc_size >= 0)
+      "total=%d unalloc=%d" total_size unalloc_size;
+    Cycles.tick ~n:(8 * Cycles.alu) Cycles.global;
+    let start = Math32.align_up unalloc_start ~align:grain in
+    let size = Math32.align_up total_size ~align:grain in
+    if start + size > unalloc_start + unalloc_size then None
+    else begin
+      let r0 = Region.create ~region_id:(max_region_id - 1) ~start ~size ~perms in
+      postcondition ~site:"pmp new_regions" ~total_size ~perms r0;
+      Some (r0, Region.empty ~region_id:max_region_id)
+    end
+
+  let update_regions ~max_region_id ~region_start ~available_size ~total_size ~perms =
+    Verify.Violation.requiref "pmp update_regions: region ids"
+      (max_region_id >= 1 && max_region_id < region_count)
+      "max=%d" max_region_id;
+    Cycles.tick ~n:(6 * Cycles.alu) Cycles.global;
+    if not (Math32.is_aligned region_start ~align:grain) then None
+    else begin
+      let size = Math32.align_up total_size ~align:grain in
+      if size > available_size then None
+      else begin
+        let r0 = Region.create ~region_id:(max_region_id - 1) ~start:region_start ~size ~perms in
+        postcondition ~site:"pmp update_regions" ~total_size ~perms r0;
+        Some (r0, Region.empty ~region_id:max_region_id)
+      end
+    end
+
+  let create_exact_region ~region_id ~start ~size ~perms =
+    Cycles.tick ~n:(4 * Cycles.alu) Cycles.global;
+    if size <= 0 || size mod grain <> 0 || not (Math32.is_aligned start ~align:grain) then None
+    else begin
+      let r = Region.create ~region_id ~start ~size ~perms in
+      Verify.Violation.ensure "pmp create_exact_region: exact span"
+        (Region.can_access r ~start ~end_:(start + size) ~perms);
+      Some r
+    end
+
+  let configure_mpu hw regions =
+    Array.iter
+      (fun r ->
+        let i = Region.region_id r in
+        if Region.is_set r then begin
+          Hw.set_entry hw ~index:(2 * i)
+            ~cfg:(Hw.encode_cfg ~r:false ~w:false ~x:false ~mode:Hw.Off ~lock:false)
+            ~addr:(Region.pmpaddr_lo r);
+          Hw.set_entry hw ~index:((2 * i) + 1) ~cfg:(Region.cfg r) ~addr:(Region.pmpaddr_hi r)
+        end
+        else begin
+          Hw.clear_entry hw ~index:(2 * i);
+          Hw.clear_entry hw ~index:((2 * i) + 1)
+        end)
+      regions
+
+  let enable hw = if C.chip.Hw.epmp then Hw.set_mmwp hw true
+
+  (* Kernel entry does not relax PMP: machine mode is unconstrained by the
+     user-mode entries, and the ePMP mseccfg bits are sticky on real
+     silicon — there is nothing to disable. *)
+  let disable _hw = ()
+  let accessible_ranges hw access = Hw.accessible_ranges hw access
+end
+
+module E310 = Make (struct
+  let chip = Hw.sifive_e310
+end)
+
+module Earlgrey = Make (struct
+  let chip = Hw.earlgrey
+end)
+
+module QemuRv32 = Make (struct
+  let chip = Hw.qemu_rv32_virt
+end)

@@ -1,0 +1,69 @@
+(** A single RISC-V PMP-backed logical region.
+
+    Each logical region is a TOR (top-of-range) entry pair: hardware entry
+    [2i] holds the lower bound (mode OFF) and entry [2i+1] the upper bound
+    with the access bits — Tock's layout for process regions on PMP. As in
+    {!Cortexm_region}, every logical property is derived from the CSR
+    encodings ([pmpaddr] values are byte addresses shifted right by two), so
+    view and hardware cannot disagree.
+
+    PMP has no power-of-two or alignment constraints beyond 4-byte
+    granularity, which is why [start]/[size] are exact (§3.5). *)
+
+module Hw = Mpu_hw.Pmp
+
+type t = { id : int; cfg : int; pmpaddr_lo : Word32.t; pmpaddr_hi : Word32.t }
+
+let empty ~region_id = { id = region_id; cfg = 0; pmpaddr_lo = 0; pmpaddr_hi = 0 }
+
+let create ~region_id ~start ~size ~perms =
+  Verify.Violation.requiref "PmpRegion.create: granularity"
+    (Math32.is_aligned start ~align:4 && size > 0 && size mod 4 = 0)
+    "start=%s size=%d" (Word32.to_hex start) size;
+  {
+    id = region_id;
+    cfg = Hw.cfg_of_perms perms ~mode:Hw.Tor;
+    pmpaddr_lo = start lsr 2;
+    pmpaddr_hi = (start + size) lsr 2;
+  }
+
+let region_id t = t.id
+let cfg t = t.cfg
+let pmpaddr_lo t = t.pmpaddr_lo
+let pmpaddr_hi t = t.pmpaddr_hi
+let is_set t = Hw.decode_cfg_mode t.cfg <> Hw.Off && t.pmpaddr_hi > t.pmpaddr_lo
+let start t = if is_set t then Some (t.pmpaddr_lo lsl 2 land Word32.mask) else None
+let size t = if is_set t then Some ((t.pmpaddr_hi - t.pmpaddr_lo) lsl 2) else None
+
+let accessible_range t =
+  match (start t, size t) with
+  | Some s, Some n -> Some (Range.make ~start:s ~size:n)
+  | Some _, None | None, Some _ | None, None -> None
+
+let overlaps t ~lo ~hi =
+  match accessible_range t with
+  | None -> false
+  | Some r -> Range.overlaps_bounds r ~lo ~hi
+
+let matches_perms t p =
+  is_set t
+  && Hw.decode_cfg_r t.cfg = Perms.readable p
+  && Hw.decode_cfg_w t.cfg = Perms.writable p
+  && Hw.decode_cfg_x t.cfg = Perms.executable p
+
+let can_access t ~start:s ~end_ ~perms =
+  is_set t
+  && start t = Some s
+  && (match size t with Some n -> s + n = end_ | None -> false)
+  && matches_perms t perms
+
+let equal a b =
+  a.id = b.id && a.cfg = b.cfg && a.pmpaddr_lo = b.pmpaddr_lo && a.pmpaddr_hi = b.pmpaddr_hi
+
+let pp ppf t =
+  if is_set t then
+    Format.fprintf ppf "pmp region %d: [%s, %s) cfg=%02x" t.id
+      (Word32.to_hex (t.pmpaddr_lo lsl 2))
+      (Word32.to_hex (t.pmpaddr_hi lsl 2))
+      t.cfg
+  else Format.fprintf ppf "pmp region %d: unset" t.id

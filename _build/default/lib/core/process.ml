@@ -1,0 +1,65 @@
+(** Per-process kernel state.
+
+    Parametric in the allocator type so the same record serves both memory
+    managers. Mirrors Tock's [Process] object: identity, scheduling state,
+    the memory allocator, the saved user stack pointer, the stored-state
+    block where the context switch saves r4–r11 (allocated, like Tock's,
+    inside the kernel-owned grant region), syscall bookkeeping (allowed
+    buffers, subscriptions), and the console output used by differential
+    testing. *)
+
+type state =
+  | Ready
+  | Yielded  (** blocked in [yield] until an upcall is pending *)
+  | Faulted of string
+  | Exited of int
+
+(** What the kernel does when the process faults — Tock's [FaultResponse].
+    [Panic] stops the whole system (debugging boards), [Stop] quarantines
+    the process (the default), [Restart] reinitializes its memory and runs
+    it again from the top. *)
+type fault_policy = Panic | Stop | Restart of { max_restarts : int }
+
+type 'alloc t = {
+  pid : int;
+  name : string;
+  alloc : 'alloc;
+  flash : Loader.placed;
+  regs_base : Word32.t;  (** stored-state block in the grant region *)
+  mutable state : state;
+  mutable program : Userland.program;
+  mutable psp : Word32.t;
+  mutable last_result : Word32.t;
+  mutable allowed_ro : (int * Range.t) list;  (** driver -> buffer *)
+  mutable allowed_rw : (int * Range.t) list;
+  mutable subscriptions : (int * int) list;  (** driver -> upcall id *)
+  mutable alarm_at : int option;  (** tick at which the alarm upcall fires *)
+  mutable grants : (int * Word32.t) list;  (** driver -> grant block *)
+  pending_upcalls : (int * int) Queue.t;  (** (upcall id, argument) *)
+  output : Buffer.t;
+  fault_policy : fault_policy;
+  program_factory : (unit -> Userland.program) option;  (** for [Restart] *)
+  initial_break : Word32.t;  (** app break at creation, for restart *)
+  mutable restarts : int;
+  mutable slices : int;  (** scheduler slices received *)
+  mutable syscall_count : int;
+}
+
+let is_runnable t =
+  match t.state with Ready -> true | Yielded | Faulted _ | Exited _ -> false
+
+let is_live t = match t.state with Ready | Yielded -> true | Faulted _ | Exited _ -> false
+
+let print t s = Buffer.add_string t.output s
+
+let output t = Buffer.contents t.output
+
+let state_to_string = function
+  | Ready -> "ready"
+  | Yielded -> "yielded"
+  | Faulted msg -> "faulted: " ^ msg
+  | Exited code -> Printf.sprintf "exited(%d)" code
+
+let pp ppf t =
+  Format.fprintf ppf "process %d %S: %s psp=%s" t.pid t.name (state_to_string t.state)
+    (Word32.to_hex t.psp)

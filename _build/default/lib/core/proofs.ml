@@ -1,0 +1,524 @@
+(** The verification conditions (the paper's proof, §4).
+
+    Three property suites mirror the three rows of Figure 12:
+
+    - {!Monolithic}: contracts over Tock's original monolithic driver —
+      most importantly the §3.4 "explication" postcondition that the
+      hardware-enforced end of app memory never exceeds the kernel break.
+      Checking the upstream driver {e finds the bug} (a counterexample);
+      checking the patched driver verifies.
+    - {!Granular}: contracts over TickTock's granular drivers and the
+      generic allocator — the refined method contracts of §4.1, the
+      AppBreaks invariants of §4.2, the logical–MPU correspondence of
+      §4.3/§4.4 (register encodings versus the hardware model's access
+      semantics), and the arithmetic lemmas of §5.
+    - {!Interrupts}: the FluxArm proof of §4.5 — instruction contracts and
+      the full [control_flow_kernel_to_kernel] round trip, including the
+      dual suite showing the missed-mode-switch bug is caught.
+
+    Every suite is scale-parameterized: tests run a thin slice; the
+    Figure 12 bench runs the full domains. *)
+
+module V = Verify
+module D = Verify.Domain
+
+let scaled scale n = max 1 (int_of_float (float_of_int n *. scale))
+
+(* Shared input domains: base addresses with alignment-hostile offsets
+   (bugs live at alignment boundaries), and size ladders. *)
+let starts scale =
+  let offsets =
+    [ 0; 32; 512; 1024; 1056; 2048; 4096; 4128; 6144; 0x613 * 4; 8192; 12288 ]
+  in
+  let keep = scaled scale (List.length offsets) in
+  let offsets = List.filteri (fun i _ -> i < keep) offsets in
+  D.of_list (List.map (fun o -> Range.start Layout.app_sram + o) offsets)
+
+let size_ladder scale lo hi step =
+  let rec build v = if v > hi then [] else v :: build (v + step) in
+  let all = build lo in
+  let keep = max 1 (List.length all / scaled scale (List.length all)) in
+  D.of_list (List.filteri (fun i _ -> i mod keep = 0) all)
+
+(* ------------------------------------------------------------------ *)
+
+module Monolithic = struct
+  let signed d = if d land 0x8000_0000 <> 0 then d - (1 lsl 32) else d
+
+  (** The §3.4 postcondition, stated against the explication accessor: the
+      hardware-enforced end of process-accessible RAM must not exceed the
+      initial kernel memory break. *)
+  let allocate_postcondition (type cfg)
+      (module M : Region_intf.MONOLITHIC with type config = cfg)
+      (unalloc_start, min_size, app_size, kernel_size) =
+    let config = M.new_config () in
+    match
+      M.allocate_app_mem_region ~config ~unalloc_start ~unalloc_size:0x20000 ~min_size
+        ~app_size ~kernel_size ~perms:Perms.Read_write_only
+    with
+    | None -> Ok ()
+    | Some (start, size) ->
+      let kernel_mem_break = start + size - kernel_size in
+      (match M.enabled_subregions_end config with
+      | None -> Error "no RAM regions configured"
+      | Some enforced_end ->
+        if enforced_end <= kernel_mem_break then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "enabled subregions end %s exceeds kernel break %s (start=%s size=%d)"
+               (Word32.to_hex enforced_end) (Word32.to_hex kernel_mem_break)
+               (Word32.to_hex start) size))
+
+  let allocate_domain scale =
+    (* At full scale this is a dense sweep of the entangled parameter space
+       — the reason >90% of the paper's original verification time went to
+       this one function (§6.3). *)
+    D.quad (starts scale)
+      (size_ladder scale 512 8192 (if scale >= 1.0 then 64 else 512))
+      (size_ladder scale 256 7936 (if scale >= 1.0 then 32 else 256))
+      (D.of_list [ 128; 512; 1024; 2048 ])
+
+  (* brk-path safety: updating to any 32-bit break must never panic the
+     kernel; it may only succeed or return an error. *)
+  let update_no_panic (type cfg) (module M : Region_intf.MONOLITHIC with type config = cfg)
+      (unalloc_start, new_break_delta) =
+    let config = M.new_config () in
+    match
+      M.allocate_app_mem_region ~config ~unalloc_start ~unalloc_size:0x20000 ~min_size:4096
+        ~app_size:4096 ~kernel_size:1024 ~perms:Perms.Read_write_only
+    with
+    | None -> Ok ()
+    | Some (start, size) -> (
+      let new_app_break = Word32.add start new_break_delta in
+      match
+        M.update_app_mem_region ~config ~new_app_break ~kernel_break:(start + size)
+          ~perms:Perms.Read_write_only
+      with
+      | Ok () | Error () -> Ok ()
+      | exception Tock_cortexm_mpu.Kernel_panic msg ->
+        Error (Printf.sprintf "kernel panic on brk(start%+d): %s" (signed new_break_delta) msg))
+
+  let update_domain scale =
+    D.pair (starts scale)
+      (D.union
+         [
+           D.of_list (List.map Word32.of_int [ -64; -32; -4; -1 ]);
+           size_ladder scale 0 8192 (if scale >= 1.0 then 64 else 512);
+         ])
+
+  let properties (type cfg) (module M : Region_intf.MONOLITHIC with type config = cfg) ~scale =
+    [
+      V.Checker.forall ~name:(M.arch_name ^ ".allocate_app_mem_region: no grant overlap")
+        ~show:(fun (a, b, c, d) -> Printf.sprintf "(start=%s min=%d app=%d kernel=%d)" (Word32.to_hex a) b c d)
+        (allocate_domain scale)
+        (allocate_postcondition (module M));
+      V.Checker.forall ~name:(M.arch_name ^ ".update_app_mem_region: no panic")
+        ~show:(fun (a, d) -> Printf.sprintf "(start=%s delta=%d)" (Word32.to_hex a) (signed d))
+        (update_domain scale)
+        (update_no_panic (module M));
+    ]
+
+  let upstream ~scale = properties (module Tock_cortexm_mpu.Upstream) ~scale
+  let patched ~scale = properties (module Tock_cortexm_mpu.Patched) ~scale
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Granular = struct
+  module A = App_mem_alloc.Make (Cortexm_mpu)
+
+  (* §4.1 refined contracts: the driver methods carry their postconditions
+     as runtime contracts, so "verify" = drive them across the domain and
+     confirm no contract fires. *)
+  let new_regions_ok (start, unalloc_size, total) =
+    match
+      Cortexm_mpu.new_regions ~max_region_id:1 ~unalloc_start:start ~unalloc_size
+        ~total_size:total ~perms:Perms.Read_write_only
+    with
+    | Some _ | None -> Ok ()
+
+  let update_regions_ok (start, total) =
+    (* region_start must carry a creation-time alignment; model it. *)
+    let aligned = Math32.align_up start ~align:4096 in
+    match
+      Cortexm_mpu.update_regions ~max_region_id:1 ~region_start:aligned
+        ~available_size:16384 ~total_size:total ~perms:Perms.Read_write_only
+    with
+    | Some _ | None -> Ok ()
+
+  (* §4.4 correspondence: the descriptor's derived range must equal what
+     the hardware model enforces once the registers are written. *)
+  let region_hw_correspondence (size_exp, enabled) =
+    let size = 1 lsl size_exp in
+    let start = Range.start Layout.app_sram + (3 * size) in
+    if not (Math32.is_aligned start ~align:size) then Ok ()
+    else begin
+      let enabled_subregions =
+        if size >= Mpu_hw.Armv7m_mpu.min_subregion_region_size then Some enabled else None
+      in
+      let r =
+        Cortexm_region.create ~region_id:0 ~start ~size ~enabled_subregions
+          ~perms:Perms.Read_write_only
+      in
+      let hw = Mpu_hw.Armv7m_mpu.create () in
+      Mpu_hw.Armv7m_mpu.write_region hw ~index:0 ~rbar:(Cortexm_region.rbar r)
+        ~rasr:(Cortexm_region.rasr r);
+      Mpu_hw.Armv7m_mpu.set_enabled hw true;
+      let enforced = Mpu_hw.Armv7m_mpu.accessible_ranges hw Perms.Read in
+      let logical = Option.to_list (Cortexm_region.accessible_range r) in
+      if List.length enforced = List.length logical
+         && List.for_all2 Range.equal enforced logical
+      then Ok ()
+      else
+        Error
+          (Format.asprintf "hw enforces %a but descriptor says %a"
+             (Format.pp_print_list Range.pp) enforced (Format.pp_print_list Range.pp) logical)
+    end
+
+  let pmp_hw_correspondence_on chip configure (start_off, size) =
+    let start = Range.start Layout.app_sram + (start_off * 4) in
+    let r = Pmp_region.create ~region_id:0 ~start ~size:(size * 4) ~perms:Perms.Read_write_only in
+    let hw = Mpu_hw.Pmp.create chip in
+    configure hw [| r |];
+    let enforced = Mpu_hw.Pmp.accessible_ranges hw Perms.Read in
+    let logical = Option.to_list (Pmp_region.accessible_range r) in
+    if List.length enforced = List.length logical && List.for_all2 Range.equal enforced logical
+    then Ok ()
+    else Error "pmp hardware/descriptor mismatch"
+
+  let pmp_hw_correspondence =
+    pmp_hw_correspondence_on Mpu_hw.Pmp.sifive_e310 Pmp_mpu.E310.configure_mpu
+
+  (* §4.2/§4.3: a full allocate → brk* → grant* lifecycle keeps every
+     invariant (they are checked inside on each step). *)
+  let allocator_lifecycle (min_size, app_size, kernel_size, brk_delta) =
+    match
+      A.allocate_app_memory ~unalloc_start:(Range.start Layout.app_sram)
+        ~unalloc_size:0x20000 ~min_size ~app_size ~kernel_size
+        ~flash_start:(Range.start Layout.app_flash) ~flash_size:1024
+    with
+    | Error _ -> Ok ()
+    | Ok alloc -> (
+      let target = Word32.add (A.app_break alloc) brk_delta in
+      (match A.brk alloc ~new_app_break:target with Ok _ | Error _ -> ());
+      (match A.allocate_grant alloc ~size:64 ~align:8 with Ok _ | Error _ -> ());
+      match A.sbrk alloc ~delta:(-64) with Ok _ | Error _ -> Ok ())
+
+  let app_breaks_ops (mem_size, app_off, kb_off) =
+    let start = Range.start Layout.app_sram in
+    match
+      App_breaks.create ~memory_start:start ~memory_size:mem_size ~app_break:(start + app_off)
+        ~kernel_break:(start + kb_off) ~flash_start:(Range.start Layout.app_flash)
+        ~flash_size:512
+    with
+    | breaks ->
+      (* any successfully created value satisfies the Figure 6 invariants *)
+      if
+        App_breaks.kernel_break breaks <= App_breaks.block_end breaks
+        && App_breaks.memory_start breaks <= App_breaks.app_break breaks
+        && App_breaks.app_break breaks < App_breaks.kernel_break breaks
+      then Ok ()
+      else Error "constructed AppBreaks violates Figure 6"
+    | exception V.Violation.Violation _ ->
+      (* refused at construction: exactly the level of protection claimed *)
+      Ok ()
+
+  module PA = App_mem_alloc.Make (Pmp_mpu.E310)
+  module V8A = App_mem_alloc.Make (Armv8m_mpu_drv)
+
+  (* §4.4 correspondence on the PMSAv8 base/limit encoding. *)
+  let v8_hw_correspondence (start_off, size_units) =
+    let start = Range.start Layout.app_sram + (start_off * 32) in
+    let r =
+      Armv8m_region.create ~region_id:0 ~start ~size:(size_units * 32)
+        ~perms:Perms.Read_write_only
+    in
+    let hw = Mpu_hw.Armv8m_mpu.create () in
+    Armv8m_mpu_drv.configure_mpu hw [| r |];
+    Mpu_hw.Armv8m_mpu.set_enabled hw true;
+    let enforced = Mpu_hw.Armv8m_mpu.accessible_ranges hw Perms.Read in
+    let logical = Option.to_list (Armv8m_region.accessible_range r) in
+    if List.length enforced = List.length logical && List.for_all2 Range.equal enforced logical
+    then Ok ()
+    else Error "v8 hardware/descriptor mismatch"
+
+  let v8_allocator_lifecycle (min_size, app_size, kernel_size, brk_delta) =
+    match
+      V8A.allocate_app_memory ~unalloc_start:(Range.start Layout.app_sram)
+        ~unalloc_size:0x20000 ~min_size ~app_size ~kernel_size
+        ~flash_start:(Range.start Layout.app_flash) ~flash_size:1024
+    with
+    | Error _ -> Ok ()
+    | Ok alloc -> (
+      let target = Word32.add (V8A.app_break alloc) brk_delta in
+      (match V8A.brk alloc ~new_app_break:target with Ok _ | Error _ -> ());
+      match V8A.allocate_grant alloc ~size:64 ~align:8 with Ok _ | Error _ -> Ok ())
+
+  (* The same lifecycle obligation on the PMP instantiation of the generic
+     allocator — the reuse claim of §3.5 made checkable. *)
+  let pmp_allocator_lifecycle (min_size, app_size, kernel_size, brk_delta) =
+    match
+      PA.allocate_app_memory ~unalloc_start:(Range.start Layout.app_sram)
+        ~unalloc_size:0x20000 ~min_size ~app_size ~kernel_size
+        ~flash_start:(Range.start Layout.app_flash) ~flash_size:1024
+    with
+    | Error _ -> Ok ()
+    | Ok alloc -> (
+      let target = Word32.add (PA.app_break alloc) brk_delta in
+      (match PA.brk alloc ~new_app_break:target with Ok _ | Error _ -> ());
+      (match PA.allocate_grant alloc ~size:48 ~align:8 with Ok _ | Error _ -> ());
+      match PA.sbrk alloc ~delta:(-32) with Ok _ | Error _ -> Ok ())
+
+  (* §4.6: the DmaCell discipline. A well-typed place/start/complete cycle
+     never violates; a driver that touches the buffer mid-flight always
+     does. *)
+  let dma_cell_roundtrip seed =
+    let mem = Memory.create () in
+    let engine = Dma.Engine.create mem in
+    let buf =
+      Dma.Buffer.create mem
+        ~addr:(Range.start Layout.app_sram + (seed mod 64 * 64))
+        ~len:(16 + (seed mod 48))
+    in
+    let cell = Dma.Cell.create () in
+    match Dma.Cell.place cell buf with
+    | None -> Error "place refused on an empty cell"
+    | Some wrapper ->
+      Dma.Engine.start engine wrapper;
+      Dma.Engine.run_to_completion engine;
+      (match Dma.Cell.completed cell engine with
+      | Some b ->
+        Dma.Buffer.write b 0 0xAA;
+        if Dma.Buffer.read b 0 = 0xAA then Ok () else Error "buffer not returned intact"
+      | None -> Error "completed lost the buffer")
+
+  let dma_aliasing_always_caught seed =
+    let mem = Memory.create () in
+    let buf =
+      Dma.Buffer.create mem ~addr:(Range.start Layout.app_sram) ~len:(8 + (seed mod 32))
+    in
+    let cell = Dma.Cell.create () in
+    ignore (Dma.Cell.place cell buf);
+    Dma.Buffer.write buf (seed mod 8) 0xFF
+
+  let properties ~scale =
+    [
+      V.Checker.forall ~name:"cortexm.new_regions: refined contract"
+        ~show:(fun (a, b, c) -> Printf.sprintf "(start=%s unalloc=%d total=%d)" (Word32.to_hex a) b c)
+        (D.triple (starts scale) (D.of_list [ 1024; 8192; 0x20000 ])
+           (size_ladder scale 32 9000 (if scale >= 1.0 then 8 else 256)))
+        new_regions_ok;
+      V.Checker.forall ~name:"cortexm.update_regions: refined contract"
+        (D.pair (starts scale) (size_ladder scale 32 8192 (if scale >= 1.0 then 4 else 128)))
+        update_regions_ok;
+      V.Checker.forall ~name:"cortexm.region/hardware correspondence (§4.4)"
+        (D.pair (D.ints 5 14) (D.ints 1 8))
+        region_hw_correspondence;
+      V.Checker.forall ~name:"pmp.region/hardware correspondence (§4.4, e310)"
+        (D.pair (D.ints 0 (scaled scale 48)) (D.ints 1 (scaled scale 48)))
+        pmp_hw_correspondence;
+      V.Checker.forall ~name:"pmp.region/hardware correspondence (§4.4, earlgrey)"
+        (D.pair (D.ints 0 (scaled scale 32)) (D.ints 1 (scaled scale 32)))
+        (pmp_hw_correspondence_on Mpu_hw.Pmp.earlgrey Pmp_mpu.Earlgrey.configure_mpu);
+      V.Checker.forall ~name:"pmp.region/hardware correspondence (§4.4, qemu-rv32)"
+        (D.pair (D.ints 0 (scaled scale 32)) (D.ints 1 (scaled scale 32)))
+        (pmp_hw_correspondence_on Mpu_hw.Pmp.qemu_rv32_virt Pmp_mpu.QemuRv32.configure_mpu);
+      V.Checker.forall ~name:"allocator lifecycle invariants (§4.2, §4.3)"
+        (D.quad
+           (size_ladder scale 512 8192 512)
+           (size_ladder scale 256 8192 512)
+           (D.of_list [ 256; 1024; 2048 ])
+           (D.of_list (List.map Word32.of_int [ -512; -64; -1; 0; 1; 64; 512; 4096 ])))
+        allocator_lifecycle;
+      V.Checker.forall ~name:"AppBreaks invariants (Figure 6)"
+        (D.triple
+           (size_ladder scale 256 4096 256)
+           (size_ladder scale 0 4352 128)
+           (size_ladder scale 0 4352 128))
+        app_breaks_ops;
+      V.Checker.forall ~name:"v8.region/hardware correspondence (§4.4)"
+        (D.pair (D.ints 0 (scaled scale 40)) (D.ints 1 (scaled scale 40)))
+        v8_hw_correspondence;
+      V.Checker.forall ~name:"v8 allocator lifecycle (§3.5 reuse)"
+        (D.quad
+           (size_ladder scale 512 8192 512)
+           (size_ladder scale 256 8192 512)
+           (D.of_list [ 256; 1024; 2048 ])
+           (D.of_list (List.map Word32.of_int [ -512; -64; -1; 0; 1; 64; 512; 4096 ])))
+        v8_allocator_lifecycle;
+      V.Checker.forall ~name:"pmp allocator lifecycle (§3.5 reuse)"
+        (D.quad
+           (size_ladder scale 512 8192 512)
+           (size_ladder scale 256 8192 512)
+           (D.of_list [ 256; 1024; 2048 ])
+           (D.of_list (List.map Word32.of_int [ -512; -64; -1; 0; 1; 64; 512; 4096 ])))
+        pmp_allocator_lifecycle;
+      V.Checker.forall ~name:"DmaCell place/start/complete (§4.6)"
+        (D.ints 1 (scaled scale 64)) dma_cell_roundtrip;
+      V.Checker.forall_violates ~name:"DMA aliasing always caught (§4.6)"
+        ~witnesses:(scaled scale 48)
+        (D.ints 1 (scaled scale 48))
+        dma_aliasing_always_caught;
+      V.Checker.property ~name:"arithmetic lemmas (§5, Lean substitutes)" (fun () ->
+          match Verify.Lemmas.prove_all ~bound:(scaled scale 65536) () with
+          | _counts -> Ok ()
+          | exception V.Violation.Violation v -> Error (Format.asprintf "%a" V.Violation.pp v));
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Interrupts = struct
+  (* A fresh ARM machine with a process-shaped MPU configuration, used as
+     the verification context for the handler proofs. *)
+  let fresh_machine () =
+    let m = Machine.create_arm () in
+    let alloc =
+      Result.get_ok
+        (Granular.A.allocate_app_memory ~unalloc_start:(Range.start Layout.app_sram)
+           ~unalloc_size:0x20000 ~min_size:4096 ~app_size:4096 ~kernel_size:1024
+           ~flash_start:(Range.start Layout.app_flash) ~flash_size:1024)
+    in
+    let regs_base = Result.get_ok (Granular.A.allocate_grant alloc ~size:64 ~align:8) in
+    Granular.A.configure_mpu m.Machine.arm_mpu alloc;
+    (m, alloc, regs_base)
+
+  let process_sp alloc = Granular.A.app_break alloc - 64
+
+  (* §4.5's central theorem: for any preempting exception and any process
+     behaviour, control returns to the kernel with callee-saved state,
+     kernel stack and privilege intact. *)
+  let kernel_to_kernel (exc_num, seed) =
+    let m, alloc, regs_base = fresh_machine () in
+    Fluxarm.Handlers.control_flow_kernel_to_kernel m.Machine.arm_cpu ~exc_num
+      ~process_sp:(process_sp alloc) ~regs_base
+      ~process_accessible:(Granular.A.accessible alloc) ~seed
+
+  (* The buggy handler (missed CONTROL write, issue #4246) must violate the
+     unprivileged-execution contract on every run. *)
+  let mode_switch_bug_caught (exc_num, seed) =
+    let m, alloc, regs_base = fresh_machine () in
+    let faults = { Fluxarm.Handlers.skip_mode_switch = true } in
+    match
+      Fluxarm.Handlers.control_flow_kernel_to_kernel ~faults m.Machine.arm_cpu ~exc_num
+        ~process_sp:(process_sp alloc) ~regs_base
+        ~process_accessible:(Granular.A.accessible alloc) ~seed
+    with
+    | Ok () | Error _ -> Error "missed mode switch not caught"
+    | exception V.Violation.Violation v ->
+      let msg = Format.asprintf "%a" V.Violation.pp v in
+      if String.length msg > 0 then Ok () else Ok ()
+
+  (* Instruction-level contracts (Figure 7): msr on stack pointers demands
+     a RAM address; ipsr is never writable. *)
+  let msr_contract (value, reg_pick) =
+    let m, _, _ = fresh_machine () in
+    let cpu = m.Machine.arm_cpu in
+    let reg = match reg_pick with 0 -> Fluxarm.Regs.Msp | 1 -> Fluxarm.Regs.Psp | _ -> Fluxarm.Regs.Lr in
+    Fluxarm.Cpu.set cpu Fluxarm.Regs.R0 value;
+    match Fluxarm.Cpu.msr cpu reg Fluxarm.Regs.R0 with
+    | () ->
+      if Fluxarm.Regs.is_sp reg || Fluxarm.Regs.is_psp reg then
+        if Layout.in_sram value then Ok () else Error "msr accepted a non-RAM stack pointer"
+      else Ok ()
+    | exception V.Violation.Violation _ ->
+      if (Fluxarm.Regs.is_sp reg || Fluxarm.Regs.is_psp reg) && not (Layout.in_sram value) then
+        Ok ()
+      else Error "msr contract fired on a legal write"
+
+  let exception_roundtrip (exc_num, seed) =
+    let m, _, _ = fresh_machine () in
+    let cpu = m.Machine.arm_cpu in
+    let rng = Random.State.make [| seed |] in
+    List.iter
+      (fun r -> Fluxarm.Cpu.set cpu r (Random.State.int rng 0xffff))
+      Fluxarm.Regs.all_gprs;
+    let before = List.map (Fluxarm.Cpu.get cpu) Fluxarm.Regs.all_gprs in
+    let before_sp = Fluxarm.Cpu.sp cpu in
+    Fluxarm.Exn.preempt cpu ~exc_num ~isr:Fluxarm.Handlers.sys_tick_isr;
+    let after = List.map (Fluxarm.Cpu.get cpu) Fluxarm.Regs.all_gprs in
+    if before <> after then Error "caller-saved registers corrupted by exception round trip"
+    else if Fluxarm.Cpu.sp cpu <> before_sp then Error "stack pointer unbalanced"
+    else if not (Fluxarm.Cpu.privileged cpu) then Error "not privileged after return to kernel"
+    else Ok ()
+
+  let sys_tick_postcondition seed =
+    let m, _, _ = fresh_machine () in
+    let cpu = m.Machine.arm_cpu in
+    ignore seed;
+    Fluxarm.Exn.entry cpu ~exc_num:Fluxarm.Exn.exc_systick;
+    let lr = Fluxarm.Handlers.sys_tick_isr cpu in
+    if lr <> Fluxarm.Exn.exc_return_thread_msp then Error "sys_tick_isr must return to kernel"
+    else if Fluxarm.Cpu.control_committed cpu <> 0 then Error "CONTROL not cleared"
+    else begin
+      Fluxarm.Exn.return cpu lr;
+      Ok ()
+    end
+
+  (* The same theorem, through assembled Thumb-2 machine code: encodings,
+     decoder, instruction semantics and handler logic all have to agree. *)
+  let mc_kernel_to_kernel (exc_num, seed) =
+    let m, alloc, regs_base = fresh_machine () in
+    let code = Fluxarm.Handlers_mc.install m.Machine.arm_mem in
+    Fluxarm.Handlers_mc.control_flow_kernel_to_kernel code m.Machine.arm_cpu ~exc_num
+      ~process_sp:(process_sp alloc) ~regs_base
+      ~process_accessible:(Granular.A.accessible alloc) ~seed
+
+  let mc_mode_switch_bug_caught (exc_num, seed) =
+    let m, alloc, regs_base = fresh_machine () in
+    let code =
+      Fluxarm.Handlers_mc.install
+        ~faults:{ Fluxarm.Handlers.skip_mode_switch = true }
+        m.Machine.arm_mem
+    in
+    ignore seed;
+    ignore exc_num;
+    match
+      Fluxarm.Handlers_mc.switch_to_user_part1 code m.Machine.arm_cpu
+        ~process_sp:(process_sp alloc) ~regs_base
+    with
+    | () -> Error "machine-code mode-switch omission not caught"
+    | exception V.Violation.Violation _ -> Ok ()
+
+  let properties ~scale =
+    let excs = D.of_list [ 15; 16; 17; 22; 31 ] in
+    let seeds n = D.ints 1 (scaled scale n) in
+    [
+      V.Checker.forall ~name:"control_flow_kernel_to_kernel (§4.5)"
+        ~show:(fun (e, s) -> Printf.sprintf "(exc=%d seed=%d)" e s)
+        (D.pair excs (seeds 2400)) kernel_to_kernel;
+      V.Checker.forall ~name:"machine-code control flow (§4.5, Thumb-2)"
+        ~show:(fun (e, s) -> Printf.sprintf "(exc=%d seed=%d)" e s)
+        (D.pair excs (seeds 600)) mc_kernel_to_kernel;
+      V.Checker.forall ~name:"machine-code missed mode switch caught"
+        (D.pair excs (seeds 4)) mc_mode_switch_bug_caught;
+      V.Checker.forall ~name:"missed mode switch is caught (issue #4246)"
+        (D.pair excs (seeds 24)) mode_switch_bug_caught;
+      V.Checker.forall ~name:"msr stack-pointer contract (Figure 7)"
+        (D.pair
+           (D.of_list
+              [ 0; 0x1000_0000; Range.start Layout.kernel_sram + 0x4000;
+                Range.start Layout.app_sram + 0x100; 0xE000_0000; Word32.max_value ])
+           (D.ints 0 2))
+        msr_contract;
+      V.Checker.forall ~name:"exception entry/return round trip" (D.pair excs (seeds 1200))
+        exception_roundtrip;
+      V.Checker.forall ~name:"sys_tick_isr postcondition (Figure 8)" (seeds 40)
+        sys_tick_postcondition;
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+
+(** The three Figure 12 components, ready for {!Verify.Checker}. *)
+let components ~scale =
+  [
+    ("TickTock (Monolithic)", Monolithic.patched ~scale);
+    ("TickTock (Granular)", Granular.properties ~scale);
+    ("Interrupts", Interrupts.properties ~scale);
+  ]
+
+(** The bug-finding run: checking the {e upstream} code must produce
+    counterexamples — this is the paper's §2.2 experience. *)
+let upstream_bug_hunt ~scale = ("Tock (Upstream, buggy)", Monolithic.upstream ~scale)

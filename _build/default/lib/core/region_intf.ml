@@ -1,0 +1,152 @@
+(** The granular MPU abstraction (§3.5, Figures 3b and 5).
+
+    Two module types replace Tock's monolithic trait: {!REGION_DESCRIPTOR}
+    characterizes a single hardware-enforced region while hiding alignment,
+    subregion and power-of-two details; {!MPU} creates and updates such
+    regions and pushes them to hardware. The kernel's process allocator is a
+    functor over {!MPU} (see {!App_mem_alloc}), giving the paper's
+    hardware-agnostic allocation code.
+
+    The monolithic interface Tock started from ({!MONOLITHIC}, Figure 3a) is
+    also kept, both as the baseline for the evaluation and to demonstrate
+    the entanglement/disagreement problems it causes. *)
+
+(** The paper's [RegionDescriptor] trait (Figure 5) plus the associated
+    refinements of §4.1 ([is_set], [matches], [overlaps], and the final
+    [can_access] derived from them). *)
+module type REGION_DESCRIPTOR = sig
+  type t
+
+  val empty : region_id:int -> t
+  (** An unset region slot ([is_set] = false) occupying id [region_id]. *)
+
+  val region_id : t -> int
+  val is_set : t -> bool
+
+  val start : t -> Word32.t option
+  (** Accessible start. For Cortex-M this accounts for subregions (§3.5);
+      for PMP it is the exact configured start. [None] when unset. *)
+
+  val size : t -> int option
+  (** Accessible size; [None] when unset. *)
+
+  val overlaps : t -> lo:Word32.t -> hi:Word32.t -> bool
+  (** Does the {e accessible} part of the region intersect the inclusive
+      address interval [\[lo, hi\]]? Unset regions overlap nothing. *)
+
+  val matches_perms : t -> Perms.t -> bool
+  (** The associated refinement [matches(r, p)]: the region grants exactly
+      the permissions [p]. Unset regions match nothing. *)
+
+  val can_access : t -> start:Word32.t -> end_:Word32.t -> perms:Perms.t -> bool
+  (** The final associated refinement of §4.1: set, spanning exactly
+      [\[start, end_)], with permissions [perms]. *)
+
+  val accessible_range : t -> Range.t option
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The granular MPU trait (Figure 3b). Implementations deal exclusively
+    with hardware constraints; they know nothing of process layout. *)
+module type MPU = sig
+  val arch_name : string
+
+  module Region : REGION_DESCRIPTOR
+
+  type hw
+  (** The hardware register file this driver programs. *)
+
+  val region_count : int
+  (** Number of region slots (8 for Cortex-M, [entry_count] for PMP). *)
+
+  val new_regions :
+    max_region_id:int ->
+    unalloc_start:Word32.t ->
+    unalloc_size:int ->
+    total_size:int ->
+    perms:Perms.t ->
+    (Region.t * Region.t) option
+  (** Create up to two contiguous regions inside the available block,
+      spanning {e at least} [total_size] bytes, satisfying the hardware's
+      size/alignment constraints. The regions use ids [max_region_id - 1]
+      and [max_region_id]. Postcondition (contract-checked in
+      implementations): the first region is set, both lie inside the
+      available block, they are contiguous, and their combined accessible
+      size is at least [total_size]. *)
+
+  val update_regions :
+    max_region_id:int ->
+    region_start:Word32.t ->
+    available_size:int ->
+    total_size:int ->
+    perms:Perms.t ->
+    (Region.t * Region.t) option
+  (** Recreate the (up to) two RAM regions for a new total size starting at
+      the fixed [region_start] — the [brk]/[sbrk] path. [available_size]
+      bounds how far the accessible span may reach (the space below the
+      current kernel break). *)
+
+  val create_exact_region :
+    region_id:int -> start:Word32.t -> size:int -> perms:Perms.t -> Region.t option
+  (** A region covering exactly [\[start, start+size)] — used for process
+      flash, whose placement the loader already aligned. [None] if the
+      hardware cannot represent it exactly. *)
+
+  val configure_mpu : hw -> Region.t array -> unit
+  (** Write every region slot to the hardware registers. *)
+
+  val enable : hw -> unit
+  val disable : hw -> unit
+
+  val accessible_ranges : hw -> Perms.access -> Range.t list
+  (** What the hardware actually enforces — used to verify logical-MPU
+      correspondence (§4.3) from the outside. *)
+end
+
+(** Tock's original monolithic MPU trait (Figure 3a): allocation and
+    hardware configuration entangled in one interface. The [MpuConfig] is
+    mutated in place and the intermediate layout results are discarded,
+    which is precisely the {e disagreement} problem of §3.2. *)
+module type MONOLITHIC = sig
+  val arch_name : string
+
+  type config
+  type hw
+
+  val new_config : unit -> config
+
+  val allocate_app_mem_region :
+    config:config ->
+    unalloc_start:Word32.t ->
+    unalloc_size:int ->
+    min_size:int ->
+    app_size:int ->
+    kernel_size:int ->
+    perms:Perms.t ->
+    (Word32.t * int) option
+  (** Returns only (start, total block size); the computed app/kernel break
+      layout is discarded (Figure 4a). *)
+
+  val update_app_mem_region :
+    config:config ->
+    new_app_break:Word32.t ->
+    kernel_break:Word32.t ->
+    perms:Perms.t ->
+    (unit, unit) result
+
+  val allocate_exact_region :
+    config:config -> start:Word32.t -> size:int -> perms:Perms.t -> (unit, unit) result
+
+  val configure_mpu : hw -> config -> unit
+  val enable : hw -> unit
+  val disable : hw -> unit
+  val accessible_ranges : hw -> Perms.access -> Range.t list
+
+  val enabled_subregions_end : config -> Word32.t option
+  (** Explication hook (§3.4, step 1): expose where the hardware-enforced
+      process-accessible RAM actually ends, so the verifier can state the
+      postcondition that it never exceeds the kernel break. Upstream Tock
+      had no such accessor — adding it is what made the grant-overlap bug
+      specifiable. *)
+end

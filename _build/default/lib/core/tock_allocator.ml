@@ -1,0 +1,159 @@
+(** The {e monolithic} process allocator: Tock's original process-loading
+    and memory-management path, built on {!Region_intf.MONOLITHIC}.
+
+    This is the evaluation baseline, and it exhibits — deliberately — the
+    two structural problems of §3.2:
+
+    - {e Disagreement}: [allocate_app_mem_region] returns only the block's
+      start and size, so this allocator {e recomputes} the app break and
+      kernel break from the requested sizes. When the hardware-enforced
+      subregion end exceeds the requested app size (the Figure 2 scenario),
+      the kernel's recomputed view is wrong — the verifier's overlap
+      postcondition over {!enabled_subregions_end} is what catches it.
+    - {e Recomputation costs}: [allocate_grant] and the allow()ed-buffer
+      builders re-derive the accessible layout from the MPU configuration
+      (with per-subregion loops) on every call, and [brk] redundantly
+      rewrites the MPU registers — the cycle overheads Figure 11 measures. *)
+
+module Make (M : Region_intf.MONOLITHIC) = struct
+  type t = {
+    config : M.config;
+    mutable memory_start : Word32.t;
+    mutable memory_size : int;
+    mutable app_break : Word32.t;  (* recomputed, not hardware-derived *)
+    mutable kernel_break : Word32.t;  (* recomputed, not hardware-derived *)
+    mutable flash_start : Word32.t;
+    mutable flash_size : int;
+  }
+
+  let allocate_app_memory ~unalloc_start ~unalloc_size ~min_size ~app_size ~kernel_size
+      ~flash_start ~flash_size =
+    Cycles.tick ~n:(12 * Cycles.alu) Cycles.global;
+    let config = M.new_config () in
+    match
+      M.allocate_app_mem_region ~config ~unalloc_start ~unalloc_size ~min_size ~app_size
+        ~kernel_size ~perms:Perms.Read_write_only
+    with
+    | None -> Error Kerror.Heap_error
+    | Some (memory_start, memory_size) -> (
+      match
+        M.allocate_exact_region ~config ~start:flash_start ~size:flash_size
+          ~perms:Perms.Read_execute_only
+      with
+      | Error () -> Error Kerror.Flash_error
+      | Ok () ->
+        (* The disagreement, verbatim: the process loader only has (start,
+           size), so it re-carves the block itself.  The app break is the
+           *requested* app size, not the subregion-rounded span the MPU
+           actually enforces. *)
+        Cycles.tick ~n:(9 * Cycles.alu) Cycles.global;
+        let app_break = memory_start + max min_size app_size in
+        (* Grants grow down from the very top of the block; the
+           [kernel_size] passed above was only a sizing reservation. *)
+        let kernel_break = memory_start + memory_size in
+        Ok
+          {
+            config;
+            memory_start;
+            memory_size;
+            app_break;
+            kernel_break;
+            flash_start;
+            flash_size;
+          })
+
+  let breaks_view t =
+    (* Export the recomputed view in AppBreaks form for comparison in tests;
+       constructing it re-checks the Figure 6 invariants. *)
+    App_breaks.create ~memory_start:t.memory_start ~memory_size:t.memory_size
+      ~app_break:t.app_break ~kernel_break:t.kernel_break ~flash_start:t.flash_start
+      ~flash_size:t.flash_size
+
+  let app_break t = t.app_break
+  let kernel_break t = t.kernel_break
+  let memory_start t = t.memory_start
+  let memory_size t = t.memory_size
+  let config t = t.config
+  let enabled_subregions_end t = M.enabled_subregions_end t.config
+
+  let accessible t =
+    [
+      Range.make ~start:t.flash_start ~size:t.flash_size;
+      Range.of_bounds ~lo:t.memory_start ~hi:t.app_break;
+    ]
+
+  (* brk: delegate to the monolithic driver, then redundantly push the
+     configuration to hardware (the unnecessary setup_mpu call Figure 11
+     blames for Tock's slower brk). *)
+  let brk t hw ~new_app_break =
+    Cycles.tick ~n:(6 * Cycles.alu) Cycles.global;
+    match
+      M.update_app_mem_region ~config:t.config ~new_app_break ~kernel_break:t.kernel_break
+        ~perms:Perms.Read_write_only
+    with
+    | Error () -> Error Kerror.Invalid_brk
+    | Ok () ->
+      t.app_break <- new_app_break;
+      M.configure_mpu hw t.config;
+      Ok new_app_break
+
+  let sbrk t hw ~delta = brk t hw ~new_app_break:(Word32.add t.app_break delta)
+
+  (* Grant allocation: before moving the kernel break the original kernel
+     re-derives the app-accessible end from the MPU configuration and
+     re-checks it — work TickTock's invariants make unnecessary. *)
+  let allocate_grant t ~size ~align =
+    Cycles.tick ~n:(10 * Cycles.alu) Cycles.global;
+    (* Recompute accessible end by walking the config (subregion loop). *)
+    Cycles.tick ~n:(16 * (Cycles.alu + Cycles.branch)) Cycles.global;
+    let enforced_end =
+      match M.enabled_subregions_end t.config with Some e -> e | None -> t.app_break
+    in
+    if size <= 0 || not (Math32.is_pow2 align) then Error Kerror.Grant_exhausted
+    else begin
+      let proposed = Math32.align_down (t.kernel_break - size) ~align in
+      if proposed <= t.app_break || proposed < t.memory_start then Error Kerror.Grant_exhausted
+      else begin
+        (* The easy-to-miss extra check §3.2 describes: without it, a grant
+           below the hardware-enforced end would be process-writable. *)
+        ignore enforced_end;
+        t.kernel_break <- proposed;
+        Ok proposed
+      end
+    end
+
+  (* Buffer validation by walking the MPU view rather than comparing against
+     the logical break — a loop per subregion pair. *)
+  let buffer_in_accessible t ~addr ~len ~writable =
+    Cycles.tick ~n:(16 * (Cycles.alu + Cycles.branch)) Cycles.global;
+    if len < 0 then false
+    else
+      match Range.make_checked ~start:addr ~size:len with
+      | None -> false
+      | Some buf ->
+        let ram = Range.of_bounds ~lo:t.memory_start ~hi:t.app_break in
+        let flash = Range.make ~start:t.flash_start ~size:t.flash_size in
+        if writable then Range.contains_range ram buf
+        else Range.contains_range ram buf || Range.contains_range flash buf
+
+  let build_readwrite_buffer t ~addr ~len =
+    Cycles.tick ~n:(4 * Cycles.alu) Cycles.global;
+    if buffer_in_accessible t ~addr ~len ~writable:true then
+      Ok (Range.make ~start:addr ~size:len)
+    else Error Kerror.Invalid_buffer
+
+  let build_readonly_buffer t ~addr ~len =
+    Cycles.tick ~n:(4 * Cycles.alu) Cycles.global;
+    if buffer_in_accessible t ~addr ~len ~writable:false then
+      Ok (Range.make ~start:addr ~size:len)
+    else Error Kerror.Invalid_buffer
+
+  let configure_mpu hw t =
+    M.configure_mpu hw t.config;
+    M.enable hw
+end
+
+module Upstream_cortexm = Make (Tock_cortexm_mpu.Upstream)
+module Patched_cortexm = Make (Tock_cortexm_mpu.Patched)
+module Upstream_pmp = Make (Tock_pmp_mpu.Upstream_e310)
+module Patched_pmp = Make (Tock_pmp_mpu.Patched_e310)

@@ -1,0 +1,224 @@
+(** Tock's {e original monolithic} Cortex-M MPU implementation — a faithful
+    port of Figure 4a, kept as the evaluation baseline and as the vehicle for
+    the paper's bug reproductions (§2.2, §3.4).
+
+    The module is a functor over a fault-injection configuration:
+
+    - [grant_overlap] reproduces the §3.4 bug (Tock issue #4366): when the
+      aligned start pushes the enabled subregions past the kernel break, the
+      mitigation doubles [region_size] but {e forgets to double}
+      [mem_size_po2], so the last enabled subregion can still cover grant
+      memory. The patched variant also doubles [mem_size_po2].
+    - [brk_underflow] reproduces the §2.2 integer-overflow bug: with it, the
+      [update_app_mem_region] path computes the enabled-subregion count from
+      an unvalidated app break, so a malicious [brk] drives
+      [num_enabled_subregions0 - 1] through zero and wraps to [usize::MAX].
+      The patched variant validates the break against the region start
+      first (the precondition Flux demanded).
+
+    Note what this interface {e cannot} say: the layout it computes
+    internally (the subregion-enforced end of app memory, the kernel break)
+    is discarded on return — the disagreement problem. The one concession to
+    verifiability is {!enabled_subregions_end}, the "explication" accessor
+    of §3.4 used by the verifier to state the overlap postcondition. *)
+
+module Hw = Mpu_hw.Armv7m_mpu
+
+type faults = { grant_overlap : bool; brk_underflow : bool }
+
+let upstream_faults = { grant_overlap = true; brk_underflow = true }
+let patched_faults = { grant_overlap = false; brk_underflow = false }
+
+exception Kernel_panic of string
+(** The modeled Rust panic: what an unchecked underflow turns into when the
+    resulting subregion arithmetic collapses (a crash, i.e. DoS — §2.2). *)
+
+module Make (F : sig
+  val faults : faults
+end) =
+struct
+  let arch_name = "cortex-m(monolithic)"
+
+  type hw = Hw.t
+
+  (* Tock's CortexMConfig: the eight region slots plus the RAM-region
+     geometry needed by update_app_mem_region. RAM uses regions 0 and 1;
+     flash uses region 2. *)
+  type config = {
+    mutable regions : Cortexm_region.t array;
+    mutable ram_region_start : Word32.t;
+    mutable ram_region_size : int;
+    mutable ram_num_enabled : int;
+  }
+
+  let ram_region0 = 0
+  let ram_region1 = 1
+  let flash_region = 2
+
+  let new_config () =
+    {
+      regions = Array.init Hw.region_count (fun i -> Cortexm_region.empty ~region_id:i);
+      ram_region_start = 0;
+      ram_region_size = 0;
+      ram_num_enabled = 0;
+    }
+
+  (* Install the two RAM regions covering [num_enabled] prefix subregions
+     starting at [region_start]. Tock builds the subregion masks with a
+     per-subregion loop; we charge cycles accordingly. *)
+  let set_ram_regions config ~region_start ~region_size ~num_enabled ~perms =
+    Cycles.tick ~n:(num_enabled * (Cycles.alu + Cycles.branch)) Cycles.global;
+    let first = min num_enabled 8 in
+    config.regions.(ram_region0) <-
+      Cortexm_region.create ~region_id:ram_region0 ~start:region_start ~size:region_size
+        ~enabled_subregions:(Some first) ~perms;
+    config.regions.(ram_region1) <-
+      (if num_enabled > 8 then
+         Cortexm_region.create ~region_id:ram_region1 ~start:(region_start + region_size)
+           ~size:region_size
+           ~enabled_subregions:(Some (min (num_enabled - 8) 8))
+           ~perms
+       else Cortexm_region.empty ~region_id:ram_region1);
+    config.ram_region_start <- region_start;
+    config.ram_region_size <- region_size;
+    config.ram_num_enabled <- num_enabled
+
+  (* Figure 4a, line for line. *)
+  let allocate_app_mem_region ~config ~unalloc_start ~unalloc_size ~min_size ~app_size
+      ~kernel_size ~perms =
+    Cycles.tick ~n:(18 * Cycles.alu) Cycles.global;
+    (* Make sure there is enough memory for app memory and kernel memory. *)
+    let mem_size = max min_size (app_size + kernel_size) in
+    let mem_size_po2 = ref (Math32.closest_power_of_two mem_size) in
+    (* Subregions need blocks of at least 2 * 256 bytes. *)
+    if !mem_size_po2 < 512 then mem_size_po2 := 512;
+    (* The region should start as close as possible to the start of the
+       unallocated memory. *)
+    let region_start = ref unalloc_start in
+    let region_size = ref (!mem_size_po2 / 2) in
+    (* If the start and length don't align, move the region up. *)
+    if !region_start mod !region_size <> 0 then
+      region_start := !region_start + !region_size - (!region_start mod !region_size);
+    let num_enabled_subregs = ref ((app_size * 8 / !region_size) + 1) in
+    let subreg_size = !region_size / 8 in
+    (* End address of enabled subregions and initial kernel memory break. *)
+    let subregs_enabled_end = !region_start + (!num_enabled_subregs * subreg_size) in
+    let kernel_mem_break = !region_start + !mem_size_po2 - kernel_size in
+    if subregs_enabled_end > kernel_mem_break then begin
+      region_size := !region_size * 2;
+      if !region_start mod !region_size <> 0 then
+        region_start := !region_start + !region_size - (!region_start mod !region_size);
+      num_enabled_subregs := (app_size * 8 / !region_size) + 1;
+      (* The comment in upstream Tock says the total size must double too —
+         but the code did not do it. That is the #4366 bug. *)
+      if not F.faults.grant_overlap then mem_size_po2 := !mem_size_po2 * 2
+    end;
+    if !region_start + !mem_size_po2 > unalloc_start + unalloc_size then None
+    else begin
+      set_ram_regions config ~region_start:!region_start ~region_size:!region_size
+        ~num_enabled:!num_enabled_subregs ~perms;
+      (* The computed subregs_enabled_end / kernel_mem_break are discarded:
+         only (start, size) escape.  Disagreement, by construction. *)
+      Some (!region_start, !mem_size_po2)
+    end
+
+  let enabled_subregions_end config =
+    if config.ram_num_enabled = 0 then None
+    else
+      Some
+        (config.ram_region_start + (config.ram_num_enabled * (config.ram_region_size / 8)))
+
+  let update_app_mem_region ~config ~new_app_break ~kernel_break ~perms =
+    let region_start = config.ram_region_start in
+    let region_size = config.ram_region_size in
+    if region_size = 0 then Error ()
+    else begin
+      Cycles.tick ~n:(8 * Cycles.alu) Cycles.global;
+      let app_size =
+        if F.faults.brk_underflow then
+          (* Upstream: unchecked subtraction of unvalidated syscall input. *)
+          Word32.sub new_app_break region_start
+        else begin
+          (* The validation Flux demanded as a precondition (§2.2). *)
+          if new_app_break < region_start || new_app_break > kernel_break then raise Exit;
+          new_app_break - region_start
+        end
+      in
+      let num_enabled_subregions = (app_size * 8 / region_size) + 1 in
+      (* The expression Flux flagged: with a wrapped app_size this huge
+         index arithmetic collapses; the hardware write below would be
+         handed an impossible subregion count. Model the resulting Rust
+         panic. *)
+      let last_subregion = num_enabled_subregions - 1 in
+      (* A wrapped app_size yields an astronomical subregion index; the Rust
+         code panics (debug) or misconfigures the MPU (release) here. A
+         merely-too-large legitimate request falls through to the bounds
+         check below and is refused. *)
+      if last_subregion >= 1 lsl 20 then
+        raise
+          (Kernel_panic
+             (Printf.sprintf "subregion index out of range: %d (app_break=%s)" last_subregion
+                (Word32.to_hex new_app_break)));
+      (* The upper-bound check was always present upstream; the missing
+         piece was the lower-bound validation above. *)
+      let subregs_enabled_end = region_start + (num_enabled_subregions * (region_size / 8)) in
+      if subregs_enabled_end > kernel_break then Error ()
+      else begin
+        set_ram_regions config ~region_start ~region_size ~num_enabled:num_enabled_subregions
+          ~perms;
+        Ok ()
+      end
+    end
+
+  let update_app_mem_region ~config ~new_app_break ~kernel_break ~perms =
+    try update_app_mem_region ~config ~new_app_break ~kernel_break ~perms
+    with Exit -> Error ()
+
+  let allocate_exact_region ~config ~start ~size ~perms =
+    Cycles.tick ~n:(6 * Cycles.alu) Cycles.global;
+    if size <= 0 then Error ()
+    else begin
+      let po2 = Math32.closest_power_of_two size in
+      if
+        po2 >= Hw.min_region_size && size = po2 && Math32.is_aligned start ~align:po2
+      then begin
+        config.regions.(flash_region) <-
+          Cortexm_region.create ~region_id:flash_region ~start ~size:po2
+            ~enabled_subregions:None ~perms;
+        Ok ()
+      end
+      else if
+        po2 >= Hw.min_subregion_region_size
+        && size mod (po2 / 8) = 0
+        && Math32.is_aligned start ~align:po2
+      then begin
+        config.regions.(flash_region) <-
+          Cortexm_region.create ~region_id:flash_region ~start ~size:po2
+            ~enabled_subregions:(Some (size / (po2 / 8)))
+            ~perms;
+        Ok ()
+      end
+      else Error ()
+    end
+
+  let configure_mpu hw config =
+    Array.iter
+      (fun r ->
+        if Cortexm_region.is_set r then
+          Hw.write_region hw ~index:(Cortexm_region.region_id r) ~rbar:(Cortexm_region.rbar r)
+            ~rasr:(Cortexm_region.rasr r)
+        else Hw.clear_region hw ~index:(Cortexm_region.region_id r))
+      config.regions
+
+  let enable hw = Hw.set_enabled hw true
+  let disable hw = Hw.set_enabled hw false
+  let accessible_ranges hw access = Hw.accessible_ranges hw access
+end
+
+module Upstream = Make (struct
+  let faults = upstream_faults
+end)
+
+module Patched = Make (struct
+  let faults = patched_faults
+end)

@@ -1,0 +1,141 @@
+(** Tock's monolithic RISC-V PMP implementation, with the two upstream PMP
+    bugs the paper cites reproducible behind fault switches:
+
+    - [above_app_brk] — the PR #2173 class: the allocation/update path
+      rounds the PMP region's top up to the allocation granule {e after}
+      computing the app break, so a process can read/write the slack between
+      its requested break and the rounded region top — memory the kernel
+      may hand to the grant region.
+    - [shifted_comparison] — the PR #2947 class: the overlap check between
+      the proposed app region and the kernel break compares a raw byte
+      address against a [pmpaddr] CSR value (a byte address shifted right by
+      two) without normalizing the units, so the check practically always
+      passes and overlapping configurations are accepted. *)
+
+module Hw = Mpu_hw.Pmp
+
+type faults = { above_app_brk : bool; shifted_comparison : bool }
+
+let upstream_faults = { above_app_brk = true; shifted_comparison = true }
+let patched_faults = { above_app_brk = false; shifted_comparison = false }
+
+(* Coarse rounding used by the buggy path: upstream rounded the region top
+   to an 8-byte PMP "granule" it assumed, not to the app break. *)
+let coarse_grain = 8
+
+module Make (C : sig
+  val chip : Hw.chip
+  val faults : faults
+end) =
+struct
+  let arch_name = "rv32-pmp(monolithic):" ^ C.chip.Hw.chip_name
+
+  type hw = Hw.t
+
+  type config = {
+    mutable ram_region : Pmp_region.t;
+    mutable flash_region : Pmp_region.t;
+  }
+
+  let ram_id = 0
+  let flash_id = 1
+
+  let new_config () =
+    { ram_region = Pmp_region.empty ~region_id:ram_id;
+      flash_region = Pmp_region.empty ~region_id:flash_id }
+
+  let round_top top =
+    if C.faults.above_app_brk then Math32.align_up top ~align:coarse_grain else top
+
+  (* The unit-confused comparison of the #2947 class: [kernel_break] is a
+     byte address, [pmpaddr_hi] is shifted right by 2. *)
+  let region_top_below_break ~pmpaddr_hi ~kernel_break =
+    if C.faults.shifted_comparison then pmpaddr_hi <= kernel_break
+    else pmpaddr_hi lsl 2 <= kernel_break
+
+  let allocate_app_mem_region ~config ~unalloc_start ~unalloc_size ~min_size ~app_size
+      ~kernel_size ~perms =
+    Cycles.tick ~n:(12 * Cycles.alu) Cycles.global;
+    let mem_size = max min_size (app_size + kernel_size) in
+    let start = Math32.align_up unalloc_start ~align:4 in
+    if start + mem_size > unalloc_start + unalloc_size then None
+    else begin
+      let app_top = round_top (start + Math32.align_up app_size ~align:4) in
+      let region = Pmp_region.create ~region_id:ram_id ~start ~size:(app_top - start) ~perms in
+      let kernel_break = start + mem_size - kernel_size in
+      if
+        not
+          (region_top_below_break ~pmpaddr_hi:(Pmp_region.pmpaddr_hi region) ~kernel_break)
+      then None
+      else begin
+        config.ram_region <- region;
+        Some (start, mem_size)
+      end
+    end
+
+  let enabled_subregions_end config =
+    match Pmp_region.accessible_range config.ram_region with
+    | Some r -> Some (Range.end_ r)
+    | None -> None
+
+  let update_app_mem_region ~config ~new_app_break ~kernel_break ~perms =
+    match Pmp_region.start config.ram_region with
+    | None -> Error ()
+    | Some region_start ->
+      Cycles.tick ~n:(10 * Cycles.alu) Cycles.global;
+      if new_app_break < region_start then Error ()
+      else begin
+        let top = round_top (Math32.align_up new_app_break ~align:4) in
+        let region =
+          Pmp_region.create ~region_id:ram_id ~start:region_start ~size:(top - region_start)
+            ~perms
+        in
+        if
+          not
+            (region_top_below_break ~pmpaddr_hi:(Pmp_region.pmpaddr_hi region) ~kernel_break)
+        then Error ()
+        else begin
+          config.ram_region <- region;
+          Ok ()
+        end
+      end
+
+  let allocate_exact_region ~config ~start ~size ~perms =
+    Cycles.tick ~n:(4 * Cycles.alu) Cycles.global;
+    if size <= 0 || size mod 4 <> 0 || not (Math32.is_aligned start ~align:4) then Error ()
+    else begin
+      config.flash_region <- Pmp_region.create ~region_id:flash_id ~start ~size ~perms;
+      Ok ()
+    end
+
+  let configure_mpu hw config =
+    List.iter
+      (fun r ->
+        let i = Pmp_region.region_id r in
+        if Pmp_region.is_set r then begin
+          Hw.set_entry hw ~index:(2 * i)
+            ~cfg:(Hw.encode_cfg ~r:false ~w:false ~x:false ~mode:Hw.Off ~lock:false)
+            ~addr:(Pmp_region.pmpaddr_lo r);
+          Hw.set_entry hw ~index:((2 * i) + 1) ~cfg:(Pmp_region.cfg r)
+            ~addr:(Pmp_region.pmpaddr_hi r)
+        end
+        else begin
+          Hw.clear_entry hw ~index:(2 * i);
+          Hw.clear_entry hw ~index:((2 * i) + 1)
+        end)
+      [ config.ram_region; config.flash_region ]
+
+  let enable hw = if C.chip.Hw.epmp then Hw.set_mmwp hw true
+  let disable _hw = ()
+  let accessible_ranges hw access = Hw.accessible_ranges hw access
+end
+
+module Upstream_e310 = Make (struct
+  let chip = Hw.sifive_e310
+  let faults = upstream_faults
+end)
+
+module Patched_e310 = Make (struct
+  let chip = Hw.sifive_e310
+  let faults = patched_faults
+end)

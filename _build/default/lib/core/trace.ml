@@ -1,0 +1,73 @@
+(** Kernel event tracing — the analog of Tock's debug/process-console
+    tooling. A bounded ring buffer of scheduler-visible events: cheap
+    enough to leave on, bounded so a chatty system cannot exhaust host
+    memory, and invaluable when a fuzz seed or an example misbehaves. *)
+
+type event =
+  | Created of { pid : int; pname : string }
+  | Scheduled of int  (** pid got a slice *)
+  | Syscall of { pid : int; call : Userland.call; result : Word32.t }
+  | Upcall of { pid : int; upcall_id : int; arg : int }
+  | Faulted of { pid : int; reason : string }
+  | Exited of { pid : int; code : int }
+  | Restarted of int
+
+type entry = { at : int; event : event }
+
+type t = {
+  capacity : int;
+  ring : entry option array;
+  mutable next : int;  (** total events ever recorded *)
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  { capacity; ring = Array.make capacity None; next = 0 }
+
+let record t ~tick event =
+  t.ring.(t.next mod t.capacity) <- Some { at = tick; event };
+  t.next <- t.next + 1
+
+let recorded t = t.next
+let dropped t = max 0 (t.next - t.capacity)
+
+(** Events still in the ring, oldest first. *)
+let events t =
+  let start = max 0 (t.next - t.capacity) in
+  List.filter_map
+    (fun i -> t.ring.(i mod t.capacity))
+    (List.init (t.next - start) (fun k -> start + k))
+
+let pp_event ppf = function
+  | Created { pid; pname } -> Format.fprintf ppf "created pid=%d %S" pid pname
+  | Scheduled pid -> Format.fprintf ppf "scheduled pid=%d" pid
+  | Syscall { pid; call; result } ->
+    Format.fprintf ppf "syscall pid=%d %a -> %s" pid Userland.pp_call call
+      (Word32.to_hex result)
+  | Upcall { pid; upcall_id; arg } ->
+    Format.fprintf ppf "upcall pid=%d id=%d arg=%d" pid upcall_id arg
+  | Faulted { pid; reason } -> Format.fprintf ppf "FAULT pid=%d %s" pid reason
+  | Exited { pid; code } -> Format.fprintf ppf "exited pid=%d code=%d" pid code
+  | Restarted pid -> Format.fprintf ppf "restarted pid=%d" pid
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  if dropped t > 0 then Format.fprintf ppf "... %d earlier events dropped@," (dropped t);
+  List.iter (fun { at; event } -> Format.fprintf ppf "[%6d] %a@," at pp_event event) (events t);
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Convenience filters for tests and debugging sessions. *)
+let faults t =
+  List.filter_map
+    (fun e -> match e.event with Faulted { pid; reason } -> Some (pid, reason) | _ -> None)
+    (events t)
+
+let syscalls_of t pid =
+  List.filter_map
+    (fun e ->
+      match e.event with
+      | Syscall s when s.pid = pid -> Some (s.call, s.result)
+      | _ -> None)
+    (events t)

@@ -1,0 +1,44 @@
+(** Kernel event tracing — the analog of Tock's debug/process-console
+    tooling.
+
+    A bounded ring of scheduler-visible events: process lifecycle, slices,
+    syscalls with results, upcall deliveries, faults and restarts. Cheap
+    enough to leave enabled; bounded so a chatty system cannot exhaust host
+    memory. Attach one to a kernel via [Kernel.Make(...).create ~trace]. *)
+
+type event =
+  | Created of { pid : int; pname : string }
+  | Scheduled of int  (** the pid got a slice *)
+  | Syscall of { pid : int; call : Userland.call; result : Word32.t }
+  | Upcall of { pid : int; upcall_id : int; arg : int }
+  | Faulted of { pid : int; reason : string }
+  | Exited of { pid : int; code : int }
+  | Restarted of int
+
+type entry = { at : int;  (** kernel tick *) event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256 events; the oldest are overwritten. *)
+
+val record : t -> tick:int -> event -> unit
+
+val recorded : t -> int
+(** Total events ever recorded (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events lost to ring wrap-around. *)
+
+val events : t -> entry list
+(** Events still in the ring, oldest first. *)
+
+val faults : t -> (int * string) list
+(** (pid, reason) for every fault still in the ring. *)
+
+val syscalls_of : t -> int -> (Userland.call * Word32.t) list
+(** The syscall history of one process (calls still in the ring). *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

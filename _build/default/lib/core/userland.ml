@@ -1,0 +1,71 @@
+(** The userland execution model.
+
+    Processes on real Tock are arbitrary machine code; all the kernel ever
+    observes of them is a stream of memory accesses and syscalls. Our
+    untrusted applications are therefore small stateful programs emitting
+    {!action}s — every [Load]/[Store] goes through the checked memory (and
+    hence the live MPU model) with the CPU unprivileged, and every
+    {!call} enters the kernel through the same syscall dispatch Tock uses
+    (yield / subscribe / command / allow / memop, Tock 2.x ABI).
+
+    A {!program} is a closure: each invocation receives the result of the
+    previous action (syscall return value, loaded byte, …) and yields the
+    next action — a convenient encoding of sequential app code that needs
+    no program counter. *)
+
+type call =
+  | Yield
+  | Subscribe of { driver : int; upcall_id : int }
+  | Command of { driver : int; cmd : int; arg1 : int; arg2 : int }
+  | Allow_rw of { driver : int; addr : Word32.t; len : int }
+  | Allow_ro of { driver : int; addr : Word32.t; len : int }
+  | Memop of { op : int; arg : Word32.t }
+
+(** Tock's memop operation numbers (the subset we model). *)
+let memop_brk = 0
+
+let memop_sbrk = 1
+let memop_memory_start = 2
+let memop_memory_end = 3
+let memop_flash_start = 4
+let memop_flash_end = 5
+let memop_grant_begins = 6
+
+type action =
+  | Load8 of Word32.t  (** result: the byte *)
+  | Store8 of Word32.t * int  (** result: 0 *)
+  | Load32 of Word32.t
+  | Store32 of Word32.t * Word32.t
+  | Compute of int  (** burn this many cycles; result: 0 *)
+  | Print of string  (** console output (modeled directly); result: 0 *)
+  | Syscall of call  (** result: the syscall return value *)
+  | Exit of int
+
+type program = Word32.t -> action
+
+(** Syscall return-value conventions (Tock 2.x, collapsed to one word). *)
+let success = 0
+
+let failure = Word32.max_value
+let retval_err (e : Kerror.t) = ignore e; failure
+
+let pp_call ppf = function
+  | Yield -> Format.fprintf ppf "yield"
+  | Subscribe { driver; upcall_id } -> Format.fprintf ppf "subscribe(%d,%d)" driver upcall_id
+  | Command { driver; cmd; arg1; arg2 } ->
+    Format.fprintf ppf "command(%d,%d,%d,%d)" driver cmd arg1 arg2
+  | Allow_rw { driver; addr; len } ->
+    Format.fprintf ppf "allow_rw(%d,%s,%d)" driver (Word32.to_hex addr) len
+  | Allow_ro { driver; addr; len } ->
+    Format.fprintf ppf "allow_ro(%d,%s,%d)" driver (Word32.to_hex addr) len
+  | Memop { op; arg } -> Format.fprintf ppf "memop(%d,%s)" op (Word32.to_hex arg)
+
+let pp_action ppf = function
+  | Load8 a -> Format.fprintf ppf "load8 %s" (Word32.to_hex a)
+  | Store8 (a, v) -> Format.fprintf ppf "store8 %s <- %02x" (Word32.to_hex a) v
+  | Load32 a -> Format.fprintf ppf "load32 %s" (Word32.to_hex a)
+  | Store32 (a, v) -> Format.fprintf ppf "store32 %s <- %s" (Word32.to_hex a) (Word32.to_hex v)
+  | Compute n -> Format.fprintf ppf "compute %d" n
+  | Print s -> Format.fprintf ppf "print %S" s
+  | Syscall c -> Format.fprintf ppf "syscall %a" pp_call c
+  | Exit c -> Format.fprintf ppf "exit %d" c

@@ -1,0 +1,55 @@
+(** The userland execution model.
+
+    Processes on real Tock are arbitrary machine code; all the kernel ever
+    observes of them is a stream of memory accesses and syscalls. Our
+    untrusted applications are stateful programs emitting {!action}s —
+    every [Load]/[Store] goes through the checked memory (and hence the
+    live MPU model) with the CPU unprivileged, and every {!call} enters the
+    kernel through Tock's 2.x syscall classes (yield / subscribe / command
+    / allow / memop). *)
+
+type call =
+  | Yield
+  | Subscribe of { driver : int; upcall_id : int }
+  | Command of { driver : int; cmd : int; arg1 : int; arg2 : int }
+  | Allow_rw of { driver : int; addr : Word32.t; len : int }
+  | Allow_ro of { driver : int; addr : Word32.t; len : int }
+  | Memop of { op : int; arg : Word32.t }
+
+(** {1 Memop operation numbers} (the Tock subset we model) *)
+
+val memop_brk : int
+val memop_sbrk : int
+val memop_memory_start : int
+val memop_memory_end : int
+val memop_flash_start : int
+val memop_flash_end : int
+val memop_grant_begins : int
+
+type action =
+  | Load8 of Word32.t  (** result: the byte *)
+  | Store8 of Word32.t * int  (** result: 0 *)
+  | Load32 of Word32.t
+  | Store32 of Word32.t * Word32.t
+  | Compute of int  (** burn this many cycles; result: 0 *)
+  | Print of string  (** console output (modeled directly); result: 0 *)
+  | Syscall of call  (** result: the syscall return value *)
+  | Exit of int
+
+type program = Word32.t -> action
+(** A resumable closure: each invocation receives the result of the
+    previous action and yields the next one — sequential app code with no
+    explicit program counter. Build these with {!Apps.App_dsl}. *)
+
+(** {1 Return-value conventions} *)
+
+val success : Word32.t
+(** 0. *)
+
+val failure : Word32.t
+(** [0xFFFF_FFFF]. *)
+
+val retval_err : Kerror.t -> Word32.t
+
+val pp_call : Format.formatter -> call -> unit
+val pp_action : Format.formatter -> action -> unit

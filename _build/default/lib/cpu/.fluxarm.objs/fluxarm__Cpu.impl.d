@@ -1,0 +1,1 @@
+lib/cpu/cpu.ml: Array Cycles Format Layout List Memory Printf Range Regs Verify Word32

@@ -1,0 +1,1 @@
+lib/cpu/cpu.mli: Format Memory Regs Word32

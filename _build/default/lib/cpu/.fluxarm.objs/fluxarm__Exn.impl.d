@@ -1,0 +1,1 @@
+lib/cpu/exn.ml: Cpu Cycles Memory Regs Verify Word32

@@ -1,0 +1,1 @@
+lib/cpu/exn.mli: Cpu Word32

@@ -1,0 +1,1 @@
+lib/cpu/handlers.ml: Cpu Exn List Memory Random Range Regs Verify Word32

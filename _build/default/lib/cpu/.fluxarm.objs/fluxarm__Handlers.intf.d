@@ -1,0 +1,1 @@
+lib/cpu/handlers.mli: Cpu Exn Range Word32

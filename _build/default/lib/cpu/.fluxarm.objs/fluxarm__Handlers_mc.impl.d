@@ -1,0 +1,1 @@
+lib/cpu/handlers_mc.ml: Cpu Exn Handlers List Math32 Mc Memory Printf Regs Thumb Verify Word32

@@ -1,0 +1,1 @@
+lib/cpu/handlers_mc.mli: Cpu Handlers Memory Range Word32

@@ -1,0 +1,1 @@
+lib/cpu/mc.ml: Cpu Cycles Exn List Memory Perms Printf Regs Thumb Verify Word32

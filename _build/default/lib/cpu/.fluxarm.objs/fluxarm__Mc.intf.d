@@ -1,0 +1,1 @@
+lib/cpu/mc.mli: Cpu Word32

@@ -1,0 +1,1 @@
+lib/cpu/regs.ml: Format

@@ -1,0 +1,1 @@
+lib/cpu/regs.mli: Format

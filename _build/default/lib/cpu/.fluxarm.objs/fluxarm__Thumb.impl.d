@@ -1,0 +1,1 @@
+lib/cpu/thumb.ml: Format Fun List Memory Printf Regs Result

@@ -1,0 +1,1 @@
+lib/cpu/thumb.mli: Format Memory Regs Word32

@@ -1,0 +1,1 @@
+lib/cpu/vector_table.ml: Cycles Exn Fun Handlers_mc Layout List Mc Memory Printf Range Word32

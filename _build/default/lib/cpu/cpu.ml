@@ -1,0 +1,253 @@
+type mode = Thread | Handler
+
+type t = {
+  regs : Word32.t array;  (* r0-r12 *)
+  mutable msp : Word32.t;
+  mutable psp : Word32.t;
+  mutable lr : Word32.t;
+  mutable pc : Word32.t;
+  mutable psr : Word32.t;
+  mutable control : Word32.t;  (* committed value, post-ISB *)
+  mutable control_pending : Word32.t option;
+  mutable cpu_mode : mode;
+  mem : Memory.t;
+}
+
+let create mem =
+  {
+    regs = Array.make 13 0;
+    msp = Range.end_ Layout.kernel_sram;
+    psp = 0;
+    lr = 0;
+    pc = 0;
+    psr = 0;
+    control = 0;
+    control_pending = None;
+    cpu_mode = Thread;
+    mem;
+  }
+
+let memory t = t.mem
+let get t r = t.regs.(Regs.gpr_index r)
+
+let set t r v =
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index r) <- Word32.of_int v
+
+let control_committed t = t.control
+let mode t = t.cpu_mode
+
+let privileged t =
+  match t.cpu_mode with Handler -> true | Thread -> not (Word32.bit t.control 0)
+
+let spsel t = Word32.bit t.control 1
+
+let sp t = match t.cpu_mode with Handler -> t.msp | Thread -> if spsel t then t.psp else t.msp
+
+let set_sp t v =
+  match t.cpu_mode with
+  | Handler -> t.msp <- v
+  | Thread -> if spsel t then t.psp <- v else t.msp <- v
+
+let exception_number t = Word32.bits t.psr ~hi:8 ~lo:0
+
+let get_special t = function
+  | Regs.Msp -> t.msp
+  | Regs.Psp -> t.psp
+  | Regs.Lr -> t.lr
+  | Regs.Pc -> t.pc
+  | Regs.Psr -> t.psr
+  | Regs.Control -> ( match t.control_pending with Some v -> v | None -> t.control)
+  | Regs.Ipsr -> exception_number t
+
+let set_special_raw t reg v =
+  let v = Word32.of_int v in
+  match reg with
+  | Regs.Msp -> t.msp <- v
+  | Regs.Psp -> t.psp <- v
+  | Regs.Lr -> t.lr <- v
+  | Regs.Pc -> t.pc <- v
+  | Regs.Psr -> t.psr <- v
+  | Regs.Control ->
+    t.control <- v land 0b11;
+    t.control_pending <- None
+  | Regs.Ipsr -> t.psr <- Word32.set_bits t.psr ~hi:8 ~lo:0 v
+
+let set_mode t m = t.cpu_mode <- m
+
+(* --- instruction methods --- *)
+
+let mov t ~dst ~src =
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index dst) <- get t src
+
+let movw_imm t r imm =
+  Verify.Violation.requiref "movw_imm" (imm >= 0 && imm <= 0xffff) "immediate %d" imm;
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index r) <- imm
+
+let movt_imm t r imm =
+  Verify.Violation.requiref "movt_imm" (imm >= 0 && imm <= 0xffff) "immediate %d" imm;
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index r) <- Word32.set_bits (get t r) ~hi:31 ~lo:16 imm
+
+let add_imm t r imm =
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index r) <- Word32.add (get t r) imm
+
+let sub_imm t r imm =
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index r) <- Word32.sub (get t r) imm
+
+(* The Figure 7 contract: IPSR is never writable; stack pointers must
+   receive valid RAM addresses; CONTROL writes require privilege. *)
+let msr t reg src =
+  let v = get t src in
+  Verify.Violation.require "msr: !is_ipsr(reg)" (not (Regs.is_ipsr reg));
+  Verify.Violation.requiref "msr: sp gets valid ram addr"
+    ((not (Regs.is_sp reg || Regs.is_psp reg)) || Layout.in_sram v)
+    "value=%s" (Word32.to_hex v);
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  match reg with
+  | Regs.Control ->
+    Verify.Violation.require "msr: control write is privileged" (privileged t);
+    t.control_pending <- Some (v land 0b11)
+  | Regs.Msp | Regs.Psp | Regs.Lr | Regs.Pc | Regs.Psr | Regs.Ipsr -> set_special_raw t reg v
+
+let mrs t dst reg =
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  t.regs.(Regs.gpr_index dst) <- get_special t reg
+
+let isb t =
+  Cycles.tick ~n:Cycles.branch Cycles.global;
+  match t.control_pending with
+  | Some v ->
+    t.control <- v;
+    t.control_pending <- None
+  | None -> ()
+
+let dsb _t = Cycles.tick ~n:Cycles.branch Cycles.global
+
+let ldr t dst ~base ~offset =
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  t.regs.(Regs.gpr_index dst) <- Memory.load32 t.mem (Word32.add (get t base) offset)
+
+let str t src ~base ~offset =
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Memory.store32 t.mem (Word32.add (get t base) offset) (get t src)
+
+let ldr_sp t dst ~offset =
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  t.regs.(Regs.gpr_index dst) <- Memory.load32 t.mem (Word32.add (sp t) offset)
+
+let str_sp t src ~offset =
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Memory.store32 t.mem (Word32.add (sp t) offset) (get t src)
+
+let stmdb_sp t regs =
+  let n = List.length regs in
+  Cycles.tick ~n:(n * Cycles.mem) Cycles.global;
+  let base = Word32.sub (sp t) (4 * n) in
+  List.iteri (fun i r -> Memory.store32 t.mem (Word32.add base (4 * i)) (get t r)) regs;
+  set_sp t base
+
+let ldmia_sp t regs =
+  let n = List.length regs in
+  Cycles.tick ~n:(n * Cycles.mem) Cycles.global;
+  let base = sp t in
+  List.iteri (fun i r -> t.regs.(Regs.gpr_index r) <- Memory.load32 t.mem (Word32.add base (4 * i))) regs;
+  set_sp t (Word32.add base (4 * n))
+
+let stmia t ~base regs =
+  Cycles.tick ~n:(List.length regs * Cycles.mem) Cycles.global;
+  let addr = get t base in
+  List.iteri (fun i r -> Memory.store32 t.mem (Word32.add addr (4 * i)) (get t r)) regs
+
+let ldmia t ~base regs =
+  Cycles.tick ~n:(List.length regs * Cycles.mem) Cycles.global;
+  let addr = get t base in
+  List.iteri
+    (fun i r -> t.regs.(Regs.gpr_index r) <- Memory.load32 t.mem (Word32.add addr (4 * i)))
+    regs
+
+(* APSR flags live in PSR bits 31 (N), 30 (Z), 29 (C), 28 (V). *)
+let set_flags_sub t a b =
+  Cycles.tick ~n:Cycles.alu Cycles.global;
+  let result = Word32.sub a b in
+  let n = Word32.bit result 31 in
+  let z = result = 0 in
+  let c = a >= b (* no borrow *) in
+  let sa = Word32.bit a 31 and sb = Word32.bit b 31 and sr = Word32.bit result 31 in
+  let v = sa <> sb && sr <> sa in
+  let psr = t.psr in
+  let psr = Word32.set_bit psr 31 n in
+  let psr = Word32.set_bit psr 30 z in
+  let psr = Word32.set_bit psr 29 c in
+  let psr = Word32.set_bit psr 28 v in
+  t.psr <- psr
+
+let flag_z t = Word32.bit t.psr 30
+let flag_n t = Word32.bit t.psr 31
+let flag_c t = Word32.bit t.psr 29
+let flag_v t = Word32.bit t.psr 28
+
+let push_special t reg =
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  let base = Word32.sub (sp t) 4 in
+  Memory.store32 t.mem base (get_special t reg);
+  set_sp t base
+
+let pop_special t reg =
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  let base = sp t in
+  set_special_raw t reg (Memory.load32 t.mem base);
+  set_sp t (Word32.add base 4)
+
+let pseudo_ldr_special t reg v =
+  Verify.Violation.require "pseudo_ldr_special: !is_ipsr(reg)" (not (Regs.is_ipsr reg));
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  set_special_raw t reg v
+
+(* --- snapshots and contracts --- *)
+
+type snapshot = {
+  snap_callee : Word32.t list;
+  snap_msp : Word32.t;
+  snap_control : Word32.t;
+  snap_mode : mode;
+}
+
+let snapshot t =
+  {
+    snap_callee = List.map (get t) Regs.callee_saved;
+    snap_msp = t.msp;
+    snap_control = t.control;
+    snap_mode = t.cpu_mode;
+  }
+
+let callee_saved_of s = s.snap_callee
+let msp_of s = s.snap_msp
+
+let cpu_state_correct ~old t =
+  let now = List.map (get t) Regs.callee_saved in
+  if now <> old.snap_callee then Error "callee-saved registers not preserved"
+  else if t.msp <> old.snap_msp then
+    Error
+      (Printf.sprintf "kernel stack pointer changed: %s -> %s" (Word32.to_hex old.snap_msp)
+         (Word32.to_hex t.msp))
+  else if t.cpu_mode <> Thread then Error "not back in thread mode"
+  else if not (privileged t) then Error "CPU not in privileged execution mode"
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cpu mode=%s priv=%b control=%s@,"
+    (match t.cpu_mode with Thread -> "thread" | Handler -> "handler")
+    (privileged t) (Word32.to_hex t.control);
+  Format.fprintf ppf "  msp=%s psp=%s lr=%s pc=%s psr=%s@," (Word32.to_hex t.msp)
+    (Word32.to_hex t.psp) (Word32.to_hex t.lr) (Word32.to_hex t.pc) (Word32.to_hex t.psr);
+  List.iteri
+    (fun i v -> if i mod 4 = 0 then Format.fprintf ppf "  r%d..: " i;
+      Format.fprintf ppf "%s " (Word32.to_hex v);
+      if i mod 4 = 3 then Format.fprintf ppf "@,")
+    (Array.to_list t.regs);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,127 @@
+(** Executable ARMv7-M CPU model (the FluxArm analog).
+
+    FluxArm lifts the Tock-relevant subset of the ARMv7-M Architecture
+    Specification Language to Rust and attaches Flux contracts to each
+    instruction method (Figure 7). This module is the same artifact in
+    OCaml: the CPU state of Figure 7 (left) and one method per instruction,
+    each carrying its architectural contract as runtime-checked
+    pre/postconditions.
+
+    Privilege and stack selection follow the architecture: in handler mode
+    the CPU is always privileged and uses MSP; in thread mode CONTROL.nPRIV
+    selects privilege and CONTROL.SPSEL selects MSP/PSP. Unprivileged loads
+    and stores are routed through the memory's access checker (i.e. the MPU
+    model); privileged accesses use the default map, matching
+    CTRL.PRIVDEFENA = 1. *)
+
+type t
+
+type mode = Thread | Handler
+
+val create : Memory.t -> t
+val memory : t -> Memory.t
+
+(** {1 State observation} *)
+
+val get : t -> Regs.gpr -> Word32.t
+val set : t -> Regs.gpr -> Word32.t -> unit
+val get_special : t -> Regs.special -> Word32.t
+val mode : t -> mode
+val privileged : t -> bool
+(** Handler mode, or thread mode with CONTROL.nPRIV = 0. *)
+
+val sp : t -> Word32.t
+(** The active stack pointer under the current mode/CONTROL. *)
+
+val set_sp : t -> Word32.t -> unit
+
+val exception_number : t -> int
+(** IPSR\[8:0\]; 0 in thread mode. *)
+
+(** {1 Instruction semantics}
+
+    Each method implements one instruction the Tock handlers use, charges
+    its cycle cost, and checks its FluxArm contract. Contract violations
+    raise {!Verify.Violation.Violation}. *)
+
+val mov : t -> dst:Regs.gpr -> src:Regs.gpr -> unit
+val movw_imm : t -> Regs.gpr -> int -> unit
+(** Write a 16-bit immediate, clearing the upper half. Requires the
+    immediate to fit in 16 bits. *)
+
+val movt_imm : t -> Regs.gpr -> int -> unit
+(** Write the upper 16 bits, preserving the lower half. *)
+
+val add_imm : t -> Regs.gpr -> int -> unit
+val sub_imm : t -> Regs.gpr -> int -> unit
+
+val msr : t -> Regs.special -> Regs.gpr -> unit
+(** Move GPR to special register (manual A7-301/B5-677). Contract from
+    Figure 7: IPSR is not writable; writes to MSP/PSP require a valid RAM
+    address. Writes to CONTROL take effect only when privileged (the
+    architecture silently ignores unprivileged writes — the model treats an
+    unprivileged CONTROL write as a contract violation instead, since the
+    handlers must never attempt one). *)
+
+val mrs : t -> Regs.gpr -> Regs.special -> unit
+val isb : t -> unit
+(** Instruction synchronization barrier — required after CONTROL writes;
+    the model tracks a pending CONTROL write and {!privileged} consults the
+    committed value, so omitting the ISB is observable, as on hardware. *)
+
+val dsb : t -> unit
+
+val ldr : t -> Regs.gpr -> base:Regs.gpr -> offset:int -> unit
+val str : t -> Regs.gpr -> base:Regs.gpr -> offset:int -> unit
+val ldr_sp : t -> Regs.gpr -> offset:int -> unit
+val str_sp : t -> Regs.gpr -> offset:int -> unit
+
+val stmdb_sp : t -> Regs.gpr list -> unit
+(** [stmdb sp!, {regs}] — push multiple, used to save kernel state on
+    context switch. *)
+
+val ldmia_sp : t -> Regs.gpr list -> unit
+(** [ldmia sp!, {regs}] — pop multiple. *)
+
+val stmia : t -> base:Regs.gpr -> Regs.gpr list -> unit
+val ldmia : t -> base:Regs.gpr -> Regs.gpr list -> unit
+
+val pseudo_ldr_special : t -> Regs.special -> Word32.t -> unit
+(** [ldr <special>, =imm] — the pseudo-instruction FluxArm uses to load
+    EXC_RETURN constants into LR (Figure 8). *)
+
+val set_flags_sub : t -> Word32.t -> Word32.t -> unit
+(** Set APSR.{N,Z,C,V} from [a - b] — the effect of [cmp a, b]. *)
+
+val flag_z : t -> bool
+val flag_n : t -> bool
+val flag_c : t -> bool
+val flag_v : t -> bool
+
+val push_special : t -> Regs.special -> unit
+(** Push a special register on the active stack (the [lr] slot of Tock's
+    [stmdb sp!, {r4-r11, lr}]). *)
+
+val pop_special : t -> Regs.special -> unit
+
+(** {1 Snapshots and contracts} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val callee_saved_of : snapshot -> Word32.t list
+val msp_of : snapshot -> Word32.t
+
+val cpu_state_correct : old:snapshot -> t -> (unit, string) result
+(** The paper's [cpu_state_correct(new, old)] postcondition (§4.5): all
+    callee-saved registers and the kernel stack pointer (MSP) are equal to
+    their values at [old], and the CPU is back in privileged thread mode. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Internal — used by the exception machinery} *)
+
+val set_mode : t -> mode -> unit
+val set_special_raw : t -> Regs.special -> Word32.t -> unit
+val control_committed : t -> Word32.t
+(** The CONTROL value that privilege checks actually see (post-ISB). *)

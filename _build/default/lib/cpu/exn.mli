@@ -1,0 +1,55 @@
+(** ARMv7-M exception entry and return.
+
+    Models the hardware behaviour the paper's [preempt] method formalizes
+    (§4.5): on exception entry the caller-saved registers are stacked on the
+    {e active} stack as an 8-word frame, the CPU enters handler mode, and LR
+    receives an EXC_RETURN value recording which stack/mode was preempted;
+    on a branch to an EXC_RETURN value the frame is popped from the stack
+    the value selects and the recorded mode is re-entered.
+
+    This double-buffered dance is the heart of Tock's context switch: the
+    kernel's [svc] stacks a {e kernel} frame on MSP, and the SVC handler
+    returns with [exc_return_thread_psp], popping the {e process} frame off
+    PSP — so one exception swaps worlds. *)
+
+val exc_svc : int
+val exc_pendsv : int
+val exc_systick : int
+
+val exc_return_handler_msp : Word32.t
+(** 0xFFFF_FFF1 — return to handler mode (nested exception). *)
+
+val exc_return_thread_msp : Word32.t
+(** 0xFFFF_FFF9 — return to thread mode on the main stack (the kernel). *)
+
+val exc_return_thread_psp : Word32.t
+(** 0xFFFF_FFFD — return to thread mode on the process stack. *)
+
+val is_exc_return : Word32.t -> bool
+
+val frame_words : int
+(** 8: r0-r3, r12, lr, return address, xPSR. *)
+
+type isr = Cpu.t -> Word32.t
+(** An interrupt service routine: runs in handler mode and returns the
+    EXC_RETURN value it exits with ([bx lr]). *)
+
+val entry : Cpu.t -> exc_num:int -> unit
+(** Hardware exception entry. Requires a valid exception number (2–255) and
+    that we are not already in handler mode (the model does not support
+    nesting; Tock runs handlers with interrupts masked). Stacking uses the
+    privilege of the preempted context, so a process whose stack pointer
+    was steered at kernel memory faults here rather than corrupting the
+    kernel. Postcondition: handler mode, IPSR = [exc_num], LR holds the
+    matching EXC_RETURN. *)
+
+val return : Cpu.t -> Word32.t -> unit
+(** Exception return via an EXC_RETURN value. Requires handler mode and a
+    valid EXC_RETURN. Pops the frame from the selected stack, restores
+    thread mode and sets CONTROL.SPSEL to match the selected stack. *)
+
+val preempt : Cpu.t -> exc_num:int -> isr:isr -> unit
+(** The paper's [preempt]: full entry → ISR → return round trip. The ISR's
+    returned EXC_RETURN is verified to target the kernel
+    ([exc_return_thread_msp]) — the §4.5 proof obligation that control
+    always flows back to the kernel after an interrupt. *)

@@ -1,0 +1,80 @@
+(** Tock's interrupt handlers and context-switch code, as FluxArm models.
+
+    Each handler is a short sequence of {!Cpu} instruction-method calls —
+    the same representation as the paper's Figure 8, where [sys_tick_isr]
+    is Rust code invoking [movw_imm]/[msr]/[isb]. The context switch is
+    modeled in two halves around an arbitrary process execution, exactly as
+    the paper's [control_flow_kernel_to_kernel].
+
+    The module carries a fault-injection switch reproducing the
+    mode-switch bug the paper found in upstream Tock (issue #4246): with
+    [skip_mode_switch] set, the SVC handler omits the [msr CONTROL]
+    write when branching to a process, so the process runs privileged and
+    the MPU never constrains it — the verification property
+    [process_runs_unprivileged] catches this. *)
+
+type faults = { skip_mode_switch : bool }
+
+val no_faults : faults
+
+val sys_tick_isr : Cpu.t -> Word32.t
+(** Figure 8 (left): the system-timer handler. Requires handler mode.
+    Forces CONTROL to privileged, synchronizes, and returns
+    [0xFFFF_FFF9] — back to the kernel on MSP. *)
+
+val svc_isr : ?faults:faults -> Cpu.t -> Word32.t
+(** The supervisor-call handler. If the exception came from the kernel
+    (LR = [exc_return_thread_msp]) this is the kernel's "switch to process"
+    request: set CONTROL unprivileged and return onto PSP. Otherwise it is
+    a process syscall: set CONTROL privileged and return to the kernel on
+    MSP. *)
+
+val generic_irq_isr : Cpu.t -> Word32.t
+(** Peripheral-interrupt top half: like Tock's, it merely forces a return
+    to the kernel (which runs the bottom half); returns to MSP. *)
+
+val isr_for : exc_num:int -> Exn.isr
+(** Vector-table dispatch used by {!preempt_process}. *)
+
+(** {1 Modeled context switching (Figure 8, right)} *)
+
+val switch_to_user_part1 : ?faults:faults -> Cpu.t -> process_sp:Word32.t -> regs_base:Word32.t -> unit
+(** The first half of Tock's [switch_to_user]: save kernel callee-saved
+    state and LR on MSP, install the process stack pointer into PSP, load
+    the process's r4–r11 from its stored-state block at [regs_base], and
+    take the SVC that completes the switch. Postcondition (checked): the
+    CPU is in thread mode on PSP and — absent fault injection —
+    unprivileged. *)
+
+val process : Cpu.t -> seed:int -> steps:int -> accessible:Range.t list -> unit
+(** An arbitrary process execution: havocs r0–r12 and performs [steps]
+    random checked loads/stores at addresses drawn from the whole address
+    space. Accesses denied by the MPU model fault and are counted, not
+    propagated — modeling a process that {e attempts} escapes and is
+    contained. With checking enabled, a store that lands {e outside}
+    [accessible] yet is allowed by the MPU raises — the isolation
+    property itself. *)
+
+val preempt_process : Cpu.t -> exc_num:int -> unit
+(** The paper's [preempt]: hardware exception entry, vectored ISR, exception
+    return — verified to land back in the kernel. *)
+
+val switch_to_user_part2 : Cpu.t -> regs_base:Word32.t -> unit
+(** Second half of [switch_to_user]: store the process's r4–r11 back to its
+    stored-state block and restore the kernel's callee-saved registers and
+    LR from MSP. *)
+
+val control_flow_kernel_to_kernel :
+  ?faults:faults ->
+  Cpu.t ->
+  exc_num:int ->
+  process_sp:Word32.t ->
+  regs_base:Word32.t ->
+  process_accessible:Range.t list ->
+  seed:int ->
+  (unit, string) result
+(** Figure 8 (right): the complete kernel → process → kernel round trip.
+    Requires privileged thread mode and [exc_num >= 15] (SysTick or an
+    external interrupt). Returns the result of
+    {!Cpu.cpu_state_correct} — [Ok] iff callee-saved registers, the kernel
+    stack pointer and privileged execution are all restored. *)

@@ -1,0 +1,178 @@
+(** Tock's handlers and context switch as {e machine code}.
+
+    The same sequences as {!Handlers}, but assembled into kernel flash as
+    real Thumb-2 halfwords and executed through the {!Mc} fetch–decode–
+    execute engine. This is the strongest form of FluxArm's claim: the
+    encodings, the decoder, the instruction semantics and the handler logic
+    all have to agree for the §4.5 properties to hold — and the test suite
+    checks the machine-code path {e differentially} against the
+    method-level model.
+
+    Two Tock-specific wrinkles faithfully reproduced:
+    - handlers load EXC_RETURN constants with [movw]/[movt] and leave
+      through [bx], as the real inline assembly does;
+    - [switch_to_user] brackets an [svc #255] whose exception return
+      transfers to the process, and whose eventual re-entry (after the
+      process is preempted) resumes at the instruction after the [svc] —
+      the stacked PC makes the two halves one function. *)
+
+module T = Thumb
+module R = Regs
+
+type t = {
+  mem : Memory.t;
+  systick_entry : Word32.t;
+  svc_entry : Word32.t;
+  irq_entry : Word32.t;
+  switch_entry : Word32.t;
+  part2_entry : Word32.t;  (** address just after the [svc #255] *)
+}
+
+(* Return-to-kernel epilogue: movw/movt EXC_RETURN into a register, bx. *)
+let return_through reg value =
+  [ T.Movw (reg, value land 0xffff); T.Movt (reg, value lsr 16); T.Bx (`Reg reg) ]
+
+let systick_body =
+  (* movw r0, #0; msr control, r0; isb; ldr lr, =0xFFFF_FFF9; bx lr *)
+  [ T.Movw (R.R0, 0); T.Msr (R.Control, R.R0); T.Isb ]
+  @ return_through R.R1 Exn.exc_return_thread_msp
+
+let irq_body = systick_body
+
+let svc_body ~(faults : Handlers.faults) =
+  (* Did we come from the kernel?  cmp lr against 0xFFFF_FFF9. *)
+  let to_process =
+    (if faults.Handlers.skip_mode_switch then []
+     else [ T.Movw (R.R0, 1); T.Msr (R.Control, R.R0); T.Isb ])
+    @ return_through R.R1 Exn.exc_return_thread_psp
+  in
+  let to_kernel =
+    [ T.Movw (R.R0, 0); T.Msr (R.Control, R.R0); T.Isb ]
+    @ return_through R.R1 Exn.exc_return_thread_msp
+  in
+  let skip_bytes = List.fold_left (fun acc i -> acc + T.size_bytes i) 0 to_process in
+  [
+    T.Movw (R.R2, Exn.exc_return_thread_msp land 0xffff);
+    T.Movt (R.R2, Exn.exc_return_thread_msp lsr 16);
+    T.Cmp_lr R.R2;
+    (* branch over the to-process block when lr <> thread_msp *)
+    T.B_cond (`Ne, (skip_bytes - 2) / 2);
+  ]
+  @ to_process @ to_kernel
+
+let switch_part1_body =
+  (* r0 = process stack pointer, r1 = stored-state base (kernel calling
+     convention).  Save kernel state, install PSP, load process registers,
+     take the switch svc. *)
+  [
+    T.Mov_from_lr R.R3;
+    T.Push ([ R.R3 ], false);
+    T.Mrs (R.R2, R.Msp);
+    T.Stmdb (R.R2, true, R.callee_saved);
+    T.Msr (R.Msp, R.R2);
+    T.Msr (R.Psp, R.R0);
+    T.Ldmia (R.R1, false, R.callee_saved);
+    T.Svc 0xff;
+  ]
+
+let switch_part2_body =
+  (* resumed here after the process was preempted: save process registers,
+     restore kernel state, return to the (OCaml-modeled) caller via bx lr *)
+  [
+    T.Stmia (R.R1, false, R.callee_saved);
+    T.Mrs (R.R2, R.Msp);
+    T.Ldmia (R.R2, true, R.callee_saved);
+    T.Msr (R.Msp, R.R2);
+    T.Pop ([ R.R3 ], false);
+    T.Mov_to_lr R.R3;
+    T.Bx `Lr;
+  ]
+
+(* Handler code lives in kernel flash, after the vector-table area. *)
+let code_base = 0x0000_1000
+
+let install ?(faults = Handlers.no_faults) mem =
+  let cursor = ref code_base in
+  let place body =
+    let entry = !cursor in
+    let size = T.assemble mem !cursor body in
+    cursor := Math32.align_up (!cursor + size + 4) ~align:16;
+    entry
+  in
+  let systick_entry = place systick_body in
+  let svc_entry = place (svc_body ~faults) in
+  let irq_entry = place irq_body in
+  let switch_entry = place switch_part1_body in
+  (* part2 begins right after the svc at the end of part1; recompute its
+     address from the part1 layout *)
+  let part1_size = List.fold_left (fun acc i -> acc + T.size_bytes i) 0 switch_part1_body in
+  let part2_entry = switch_entry + part1_size in
+  let part2_size = T.assemble mem part2_entry switch_part2_body in
+  cursor := Math32.align_up (part2_entry + part2_size + 4) ~align:16;
+  { mem; systick_entry; svc_entry; irq_entry; switch_entry; part2_entry }
+
+let isr_entry t ~exc_num =
+  if exc_num = Exn.exc_svc then t.svc_entry
+  else if exc_num = Exn.exc_systick then t.systick_entry
+  else t.irq_entry
+
+(* A non-EXC_RETURN sentinel the glue puts in LR before jumping to the
+   switch code; part2's final [bx lr] surfaces it as the stop address. *)
+let return_sentinel = 0x0000_0F01
+
+let run_isr t cpu ~exc_num = Mc.run_handler cpu ~entry:(isr_entry t ~exc_num)
+
+let preempt_process t cpu ~exc_num =
+  Exn.preempt cpu ~exc_num ~isr:(fun cpu -> run_isr t cpu ~exc_num)
+
+(** The machine-code [switch_to_user] up to and including the world swap:
+    ends with the CPU executing the process (thread mode on PSP). *)
+let switch_to_user_part1 t cpu ~process_sp ~regs_base =
+  Verify.Violation.require "mc switch_to_user_part1: thread privileged"
+    (Cpu.mode cpu = Cpu.Thread && Cpu.privileged cpu);
+  Cpu.set cpu R.R0 process_sp;
+  Cpu.set cpu R.R1 regs_base;
+  Cpu.pseudo_ldr_special cpu R.Lr return_sentinel;
+  Cpu.set_special_raw cpu R.Pc t.switch_entry;
+  (match Mc.run cpu with
+  | Mc.Svc_taken 0xff -> ()
+  | stop ->
+    failwith
+      (Printf.sprintf "mc switch part1: unexpected stop (%s)"
+         (match stop with
+         | Mc.Svc_taken n -> Printf.sprintf "svc %d" n
+         | Mc.Exc_return _ -> "exc return"
+         | Mc.Bx_reg _ -> "bx"
+         | Mc.Decode_error e -> e
+         | Mc.Out_of_fuel -> "fuel")));
+  (* hardware takes the svc: stacks the kernel frame (with PC = part2) *)
+  Exn.entry cpu ~exc_num:Exn.exc_svc;
+  let exc_return = run_isr t cpu ~exc_num:Exn.exc_svc in
+  Exn.return cpu exc_return;
+  Verify.Violation.ensure "mc switch_to_user_part1: thread mode on psp"
+    (Cpu.mode cpu = Cpu.Thread && Word32.bit (Cpu.control_committed cpu) 1);
+  Verify.Violation.ensure "mc switch_to_user_part1: process runs unprivileged"
+    (not (Cpu.privileged cpu))
+
+(** Resume the kernel after a preemption popped the kernel frame: the
+    stacked PC points at part2; execute it to completion. *)
+let switch_to_user_part2 _t cpu =
+  Verify.Violation.require "mc switch_to_user_part2: thread privileged"
+    (Cpu.mode cpu = Cpu.Thread && Cpu.privileged cpu);
+  match Mc.run cpu with
+  | Mc.Bx_reg addr when addr = return_sentinel -> ()
+  | Mc.Bx_reg addr -> failwith (Printf.sprintf "mc switch part2: bx to %s" (Word32.to_hex addr))
+  | Mc.Svc_taken _ | Mc.Exc_return _ | Mc.Decode_error _ | Mc.Out_of_fuel ->
+    failwith "mc switch part2: unexpected stop"
+
+(** Full §4.5 round trip through machine code. *)
+let control_flow_kernel_to_kernel t cpu ~exc_num ~process_sp ~regs_base ~process_accessible
+    ~seed =
+  Verify.Violation.requiref "mc control_flow: 15 <= exception_num" (exc_num >= 15) "exc_num=%d"
+    exc_num;
+  let old = Cpu.snapshot cpu in
+  switch_to_user_part1 t cpu ~process_sp ~regs_base;
+  Handlers.process cpu ~seed ~steps:32 ~accessible:process_accessible;
+  preempt_process t cpu ~exc_num;
+  switch_to_user_part2 t cpu;
+  Cpu.cpu_state_correct ~old cpu

@@ -1,0 +1,47 @@
+(** Tock's handlers and context switch as {e machine code}.
+
+    The same sequences as {!Handlers}, assembled into kernel flash as real
+    Thumb-2 halfwords and executed through the {!Mc} fetch–decode–execute
+    engine. The encodings, the decoder, the instruction semantics and the
+    handler logic all have to agree for the §4.5 properties to hold — and
+    they are differentially tested against the method-level model. *)
+
+type t
+(** The installed handler code: entry addresses in kernel flash. *)
+
+val install : ?faults:Handlers.faults -> Memory.t -> t
+(** Assemble the handler bodies (SysTick, SVC with the real
+    compare-and-branch on EXC_RETURN, generic IRQ, the two-part
+    [switch_to_user]) into kernel flash. [faults] reproduces the
+    missed-mode-switch bug in the generated code. *)
+
+val isr_entry : t -> exc_num:int -> Word32.t
+val run_isr : t -> Cpu.t -> exc_num:int -> Word32.t
+
+val preempt_process : t -> Cpu.t -> exc_num:int -> unit
+(** Exception entry, machine-code ISR, exception return. *)
+
+val switch_to_user_part1 : t -> Cpu.t -> process_sp:Word32.t -> regs_base:Word32.t -> unit
+(** Execute the machine-code [switch_to_user] up to and including the world
+    swap; ends with the CPU in the process context (thread mode, PSP,
+    unprivileged — contract-checked). *)
+
+val switch_to_user_part2 : t -> Cpu.t -> unit
+(** Resume the kernel after a preemption popped the kernel frame: the
+    stacked PC points at the second half; run it to completion. *)
+
+val control_flow_kernel_to_kernel :
+  t ->
+  Cpu.t ->
+  exc_num:int ->
+  process_sp:Word32.t ->
+  regs_base:Word32.t ->
+  process_accessible:Range.t list ->
+  seed:int ->
+  (unit, string) result
+(** The full §4.5 round trip through machine code; returns
+    {!Cpu.cpu_state_correct}. *)
+
+val return_sentinel : Word32.t
+(** The non-EXC_RETURN value the glue places in LR; part2's final [bx lr]
+    surfaces it as the stop address. *)

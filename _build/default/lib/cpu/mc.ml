@@ -1,0 +1,154 @@
+type stop =
+  | Svc_taken of int
+  | Exc_return of Word32.t
+  | Bx_reg of Word32.t
+  | Decode_error of string
+  | Out_of_fuel
+
+let fetch16 cpu addr =
+  (* instruction fetch: checked with execute rights, halfword granularity *)
+  let mem = Cpu.memory cpu in
+  (match Memory.check mem addr Perms.Execute with
+  | Ok () -> ()
+  | Error reason ->
+    raise (Memory.Access_fault { fault_addr = addr; fault_access = Perms.Execute; fault_reason = reason }));
+  Memory.read8 mem addr lor (Memory.read8 mem (addr + 1) lsl 8)
+
+let exec cpu instr =
+  let module R = Regs in
+  match (instr : Thumb.instr) with
+  | Thumb.Nop -> None
+  | Thumb.Mov_reg (rd, rm) ->
+    Cpu.mov cpu ~dst:rd ~src:rm;
+    None
+  | Thumb.Movw (rd, v) ->
+    Cpu.movw_imm cpu rd v;
+    None
+  | Thumb.Movt (rd, v) ->
+    Cpu.movt_imm cpu rd v;
+    None
+  | Thumb.Addw (rd, rn, v) ->
+    Cpu.set cpu rd (Word32.add (Cpu.get cpu rn) v);
+    None
+  | Thumb.Subw (rd, rn, v) ->
+    Cpu.set cpu rd (Word32.sub (Cpu.get cpu rn) v);
+    None
+  | Thumb.Ldr_imm (rt, rn, off) ->
+    Cpu.ldr cpu rt ~base:rn ~offset:off;
+    None
+  | Thumb.Str_imm (rt, rn, off) ->
+    Cpu.str cpu rt ~base:rn ~offset:off;
+    None
+  | Thumb.Ldmia (rn, wb, regs) ->
+    let base = Cpu.get cpu rn in
+    Cpu.ldmia cpu ~base:rn regs;
+    if wb && not (List.mem rn regs) then
+      Cpu.set cpu rn (Word32.add base (4 * List.length regs));
+    None
+  | Thumb.Stmia (rn, wb, regs) ->
+    let base = Cpu.get cpu rn in
+    Cpu.stmia cpu ~base:rn regs;
+    if wb then Cpu.set cpu rn (Word32.add base (4 * List.length regs));
+    None
+  | Thumb.Stmdb (rn, wb, regs) ->
+    (* store multiple decrement-before relative to rn *)
+    let base = Word32.sub (Cpu.get cpu rn) (4 * List.length regs) in
+    let mem = Cpu.memory cpu in
+    Cycles.tick ~n:(List.length regs * Cycles.mem) Cycles.global;
+    List.iteri (fun i r -> Memory.store32 mem (Word32.add base (4 * i)) (Cpu.get cpu r)) regs;
+    if wb then Cpu.set cpu rn base;
+    None
+  | Thumb.Push (regs, with_lr) ->
+    if with_lr then Cpu.push_special cpu R.Lr;
+    Cpu.stmdb_sp cpu regs;
+    None
+  | Thumb.Pop (regs, with_pc) ->
+    Cpu.ldmia_sp cpu regs;
+    if with_pc then Cpu.pop_special cpu R.Pc;
+    None
+  | Thumb.Mrs (rd, spec) ->
+    Cpu.mrs cpu rd spec;
+    None
+  | Thumb.Msr (spec, rn) ->
+    Cpu.msr cpu spec rn;
+    None
+  | Thumb.Isb ->
+    Cpu.isb cpu;
+    None
+  | Thumb.Dsb | Thumb.Dmb ->
+    Cpu.dsb cpu;
+    None
+  | Thumb.Svc imm ->
+    Some (Svc_taken imm)
+  | Thumb.Bx `Lr ->
+    let lr = Cpu.get_special cpu R.Lr in
+    if Exn.is_exc_return lr then Some (Exc_return lr)
+    else begin
+      Cpu.set_special_raw cpu R.Pc lr;
+      Some (Bx_reg lr)
+    end
+  | Thumb.Bx (`Reg rm) ->
+    let target = Cpu.get cpu rm in
+    if Exn.is_exc_return target then Some (Exc_return target)
+    else begin
+      Cpu.set_special_raw cpu R.Pc target;
+      Some (Bx_reg target)
+    end
+  | Thumb.Cpsid | Thumb.Cpsie ->
+    Cycles.tick ~n:Cycles.alu Cycles.global;
+    None
+  | Thumb.Cmp_lr rm ->
+    Cpu.set_flags_sub cpu (Cpu.get_special cpu R.Lr) (Cpu.get cpu rm);
+    None
+  | Thumb.Mov_from_lr rd ->
+    Cpu.set cpu rd (Cpu.get_special cpu R.Lr);
+    None
+  | Thumb.Mov_to_lr rm ->
+    Cycles.tick ~n:Cycles.alu Cycles.global;
+    Cpu.set_special_raw cpu R.Lr (Cpu.get cpu rm);
+    None
+  | Thumb.B_cond (cond, off) ->
+    Cycles.tick ~n:Cycles.branch Cycles.global;
+    let taken = match cond with `Eq -> Cpu.flag_z cpu | `Ne -> not (Cpu.flag_z cpu) in
+    if taken then begin
+      (* target = address of this instruction + 4 + offset*2; PC has
+         already advanced past the 2-byte instruction. *)
+      let pc = Cpu.get_special cpu R.Pc in
+      Cpu.set_special_raw cpu R.Pc (Word32.add pc ((off * 2) + 2))
+    end;
+    None
+
+let step cpu =
+  let pc = Cpu.get_special cpu Regs.Pc in
+  let hw1 = fetch16 cpu pc in
+  let second = ref false in
+  let fetch_next () =
+    second := true;
+    fetch16 cpu (Word32.add pc 2)
+  in
+  match Thumb.decode hw1 fetch_next with
+  | Error e -> Some (Decode_error e)
+  | Ok instr ->
+    let size = if Thumb.is_32bit hw1 then 4 else 2 in
+    Cpu.set_special_raw cpu Regs.Pc (Word32.add pc size);
+    exec cpu instr
+
+let run ?(fuel = 10_000) cpu =
+  let rec loop n =
+    if n <= 0 then Out_of_fuel
+    else
+      match step cpu with
+      | None -> loop (n - 1)
+      | Some stop -> stop
+  in
+  loop fuel
+
+let run_handler cpu ~entry =
+  Verify.Violation.require "mc.run_handler: handler mode" (Cpu.mode cpu = Cpu.Handler);
+  Cpu.set_special_raw cpu Regs.Pc entry;
+  match run cpu with
+  | Exc_return v -> v
+  | Svc_taken _ -> failwith "mc.run_handler: handler executed svc"
+  | Bx_reg a -> failwith (Printf.sprintf "mc.run_handler: stray bx to %s" (Word32.to_hex a))
+  | Decode_error e -> failwith ("mc.run_handler: " ^ e)
+  | Out_of_fuel -> failwith "mc.run_handler: out of fuel"

@@ -1,0 +1,29 @@
+(** Machine-code execution: fetch–decode–execute over {!Thumb} encodings.
+
+    This closes FluxArm's loop: handler code assembled into modeled flash
+    (real halfwords, checked instruction fetches) executes through the same
+    {!Cpu} instruction methods — and hence the same contracts — as the
+    method-level model. {!Handlers_mc} uses it to run Tock's actual handler
+    sequences from memory and differentially validate them against
+    {!Handlers}. *)
+
+type stop =
+  | Svc_taken of int  (** an [svc #imm] was executed; PC points after it *)
+  | Exc_return of Word32.t  (** [bx lr] with LR holding an EXC_RETURN value *)
+  | Bx_reg of Word32.t  (** [bx] to an ordinary address *)
+  | Decode_error of string
+  | Out_of_fuel
+
+val step : Cpu.t -> stop option
+(** Fetch at PC (a {e checked} execute access — fetching from memory the
+    MPU denies faults like any other access), decode, advance PC, execute.
+    [None] means normal fall-through to the next instruction. *)
+
+val run : ?fuel:int -> Cpu.t -> stop
+(** Step until something stops execution (default fuel 10_000). *)
+
+val run_handler : Cpu.t -> entry:Word32.t -> Word32.t
+(** Run a handler body at [entry] in handler mode until it executes
+    [bx lr] with an EXC_RETURN value; returns that value. Raises
+    [Failure] on any other stop — handlers are straight-line code ending
+    in an exception return. *)

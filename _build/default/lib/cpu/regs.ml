@@ -1,0 +1,27 @@
+type gpr = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12
+
+type special = Msp | Psp | Lr | Pc | Psr | Control | Ipsr
+
+let gpr_index = function
+  | R0 -> 0 | R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | R6 -> 6
+  | R7 -> 7 | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11 | R12 -> 12
+
+let gpr_of_index = function
+  | 0 -> R0 | 1 -> R1 | 2 -> R2 | 3 -> R3 | 4 -> R4 | 5 -> R5 | 6 -> R6
+  | 7 -> R7 | 8 -> R8 | 9 -> R9 | 10 -> R10 | 11 -> R11 | 12 -> R12
+  | _ -> invalid_arg "gpr_of_index"
+
+let all_gprs = [ R0; R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12 ]
+let callee_saved = [ R4; R5; R6; R7; R8; R9; R10; R11 ]
+let caller_saved = [ R0; R1; R2; R3; R12 ]
+let is_sp = function Msp -> true | Psp | Lr | Pc | Psr | Control | Ipsr -> false
+let is_psp = function Psp -> true | Msp | Lr | Pc | Psr | Control | Ipsr -> false
+let is_ipsr = function Ipsr -> true | Msp | Psp | Lr | Pc | Psr | Control -> false
+
+let pp_gpr ppf r = Format.fprintf ppf "r%d" (gpr_index r)
+
+let pp_special ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Msp -> "msp" | Psp -> "psp" | Lr -> "lr" | Pc -> "pc"
+    | Psr -> "psr" | Control -> "control" | Ipsr -> "ipsr")

@@ -1,0 +1,33 @@
+(** ARMv7-M register names.
+
+    Mirrors FluxArm's split between general-purpose registers (the operands
+    of data-processing instructions) and special registers (accessed only
+    through MSR/MRS and exception machinery). *)
+
+type gpr = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12
+
+type special =
+  | Msp  (** main stack pointer — the kernel's stack *)
+  | Psp  (** process stack pointer *)
+  | Lr
+  | Pc
+  | Psr  (** program status; IPSR in its low 9 bits *)
+  | Control  (** nPRIV (bit 0), SPSEL (bit 1) *)
+  | Ipsr  (** read-only view of PSR\[8:0\] *)
+
+val gpr_index : gpr -> int
+val gpr_of_index : int -> gpr
+val all_gprs : gpr list
+
+val callee_saved : gpr list
+(** r4–r11: the registers the AAPCS requires a callee (and hence a context
+    switch) to preserve; the registers [cpu_state_correct] pins down. *)
+
+val caller_saved : gpr list
+(** r0–r3 and r12: stacked automatically by exception entry. *)
+
+val is_sp : special -> bool
+val is_psp : special -> bool
+val is_ipsr : special -> bool
+val pp_gpr : Format.formatter -> gpr -> unit
+val pp_special : Format.formatter -> special -> unit

@@ -1,0 +1,314 @@
+type instr =
+  | Nop
+  | Mov_reg of Regs.gpr * Regs.gpr
+  | Movw of Regs.gpr * int
+  | Movt of Regs.gpr * int
+  | Addw of Regs.gpr * Regs.gpr * int
+  | Subw of Regs.gpr * Regs.gpr * int
+  | Ldr_imm of Regs.gpr * Regs.gpr * int
+  | Str_imm of Regs.gpr * Regs.gpr * int
+  | Ldmia of Regs.gpr * bool * Regs.gpr list
+  | Stmia of Regs.gpr * bool * Regs.gpr list
+  | Stmdb of Regs.gpr * bool * Regs.gpr list
+  | Push of Regs.gpr list * bool
+  | Pop of Regs.gpr list * bool
+  | Mrs of Regs.gpr * Regs.special
+  | Msr of Regs.special * Regs.gpr
+  | Isb
+  | Dsb
+  | Dmb
+  | Svc of int
+  | Bx of [ `Lr | `Reg of Regs.gpr ]
+  | Cpsid
+  | Cpsie
+  | Cmp_lr of Regs.gpr
+  | B_cond of [ `Eq | `Ne ] * int
+  | Mov_from_lr of Regs.gpr
+  | Mov_to_lr of Regs.gpr
+
+(* SYSm encodings, ARMv7-M ARM B5.4.2. *)
+let sysm = function
+  | Regs.Psr -> 3 (* XPSR *)
+  | Regs.Ipsr -> 5
+  | Regs.Msp -> 8
+  | Regs.Psp -> 9
+  | Regs.Control -> 20
+  | Regs.Lr | Regs.Pc -> invalid_arg "sysm: lr/pc are not system registers"
+
+let special_of_sysm = function
+  | 3 -> Some Regs.Psr
+  | 5 -> Some Regs.Ipsr
+  | 8 -> Some Regs.Msp
+  | 9 -> Some Regs.Psp
+  | 20 -> Some Regs.Control
+  | _ -> None
+
+let reglist regs =
+  List.fold_left (fun acc r -> acc lor (1 lsl Regs.gpr_index r)) 0 regs
+
+let gprs_of_reglist bits =
+  List.filter_map
+    (fun i -> if bits land (1 lsl i) <> 0 then Some (Regs.gpr_of_index i) else None)
+    (List.init 13 Fun.id)
+
+let check_imm name v bits =
+  if v < 0 || v >= 1 lsl bits then invalid_arg (Printf.sprintf "thumb: %s out of range" name)
+
+(* Split a 16-bit immediate into the i:imm4:imm3:imm8 fields of the
+   MOVW/MOVT/ADDW/SUBW encodings. *)
+let split16 imm16 =
+  let imm8 = imm16 land 0xff in
+  let imm3 = (imm16 lsr 8) land 0x7 in
+  let i = (imm16 lsr 11) land 0x1 in
+  let imm4 = (imm16 lsr 12) land 0xf in
+  (i, imm4, imm3, imm8)
+
+let split12 imm12 =
+  let imm8 = imm12 land 0xff in
+  let imm3 = (imm12 lsr 8) land 0x7 in
+  let i = (imm12 lsr 11) land 0x1 in
+  (i, imm3, imm8)
+
+let encode = function
+  | Nop -> [ 0xBF00 ]
+  | Mov_reg (rd, rm) ->
+    let d = Regs.gpr_index rd and m = Regs.gpr_index rm in
+    [ 0x4600 lor ((d lsr 3) lsl 7) lor (m lsl 3) lor (d land 0x7) ]
+  | Movw (rd, imm16) ->
+    check_imm "movw imm16" imm16 16;
+    let i, imm4, imm3, imm8 = split16 imm16 in
+    [ 0xF240 lor (i lsl 10) lor imm4;
+      (imm3 lsl 12) lor (Regs.gpr_index rd lsl 8) lor imm8 ]
+  | Movt (rd, imm16) ->
+    check_imm "movt imm16" imm16 16;
+    let i, imm4, imm3, imm8 = split16 imm16 in
+    [ 0xF2C0 lor (i lsl 10) lor imm4;
+      (imm3 lsl 12) lor (Regs.gpr_index rd lsl 8) lor imm8 ]
+  | Addw (rd, rn, imm12) ->
+    check_imm "addw imm12" imm12 12;
+    let i, imm3, imm8 = split12 imm12 in
+    [ 0xF200 lor (i lsl 10) lor Regs.gpr_index rn;
+      (imm3 lsl 12) lor (Regs.gpr_index rd lsl 8) lor imm8 ]
+  | Subw (rd, rn, imm12) ->
+    check_imm "subw imm12" imm12 12;
+    let i, imm3, imm8 = split12 imm12 in
+    [ 0xF2A0 lor (i lsl 10) lor Regs.gpr_index rn;
+      (imm3 lsl 12) lor (Regs.gpr_index rd lsl 8) lor imm8 ]
+  | Ldr_imm (rt, rn, imm12) ->
+    check_imm "ldr imm12" imm12 12;
+    [ 0xF8D0 lor Regs.gpr_index rn; (Regs.gpr_index rt lsl 12) lor imm12 ]
+  | Str_imm (rt, rn, imm12) ->
+    check_imm "str imm12" imm12 12;
+    [ 0xF8C0 lor Regs.gpr_index rn; (Regs.gpr_index rt lsl 12) lor imm12 ]
+  | Ldmia (rn, wb, regs) ->
+    [ 0xE890 lor (if wb then 0x20 else 0) lor Regs.gpr_index rn; reglist regs ]
+  | Stmia (rn, wb, regs) ->
+    [ 0xE880 lor (if wb then 0x20 else 0) lor Regs.gpr_index rn; reglist regs ]
+  | Stmdb (rn, wb, regs) ->
+    [ 0xE900 lor (if wb then 0x20 else 0) lor Regs.gpr_index rn; reglist regs ]
+  | Push (regs, with_lr) ->
+    let bits = reglist regs in
+    if bits land lnot 0xff <> 0 then invalid_arg "thumb: push T1 takes r0-r7";
+    [ 0xB400 lor (if with_lr then 0x100 else 0) lor bits ]
+  | Pop (regs, with_pc) ->
+    let bits = reglist regs in
+    if bits land lnot 0xff <> 0 then invalid_arg "thumb: pop T1 takes r0-r7";
+    [ 0xBC00 lor (if with_pc then 0x100 else 0) lor bits ]
+  | Mrs (rd, spec) -> [ 0xF3EF; 0x8000 lor (Regs.gpr_index rd lsl 8) lor sysm spec ]
+  | Msr (spec, rn) -> [ 0xF380 lor Regs.gpr_index rn; 0x8800 lor sysm spec ]
+  | Isb -> [ 0xF3BF; 0x8F6F ]
+  | Dsb -> [ 0xF3BF; 0x8F4F ]
+  | Dmb -> [ 0xF3BF; 0x8F5F ]
+  | Svc imm8 ->
+    check_imm "svc imm8" imm8 8;
+    [ 0xDF00 lor imm8 ]
+  | Bx `Lr -> [ 0x4700 lor (14 lsl 3) ]
+  | Bx (`Reg rm) -> [ 0x4700 lor (Regs.gpr_index rm lsl 3) ]
+  | Cpsid -> [ 0xB672 ]
+  | Cpsie -> [ 0xB662 ]
+  | Cmp_lr rm ->
+    (* CMP (register) T2 with Rn = lr: 0100 0101 N mmmm nnn *)
+    [ 0x4500 lor 0x80 lor (Regs.gpr_index rm lsl 3) lor 0b110 ]
+  | B_cond (cond, off) ->
+    if off < -128 || off > 127 then invalid_arg "thumb: branch offset";
+    let c = match cond with `Eq -> 0x0 | `Ne -> 0x1 in
+    [ 0xD000 lor (c lsl 8) lor (off land 0xff) ]
+  | Mov_from_lr rd ->
+    let d = Regs.gpr_index rd in
+    [ 0x4600 lor ((d lsr 3) lsl 7) lor (14 lsl 3) lor (d land 0x7) ]
+  | Mov_to_lr rm ->
+    (* rd = 14: D = 1, low bits = 110 *)
+    [ 0x4600 lor 0x80 lor (Regs.gpr_index rm lsl 3) lor 0b110 ]
+
+let is_32bit hw1 =
+  let top5 = hw1 lsr 11 in
+  top5 = 0b11101 || top5 = 0b11110 || top5 = 0b11111
+
+let decode_gpr i = if i <= 12 then Ok (Regs.gpr_of_index i) else Error "high register operand"
+
+let ( let* ) = Result.bind
+
+let decode16 hw1 =
+  if hw1 = 0xBF00 then Ok Nop
+  else if hw1 = 0xB672 then Ok Cpsid
+  else if hw1 = 0xB662 then Ok Cpsie
+  else if hw1 land 0xFF00 = 0x4600 then begin
+    let d = ((hw1 lsr 7) land 1) lsl 3 lor (hw1 land 0x7) in
+    let m = (hw1 lsr 3) land 0xf in
+    if m = 14 then
+      let* rd = decode_gpr d in
+      Ok (Mov_from_lr rd)
+    else if d = 14 then
+      let* rm = decode_gpr m in
+      Ok (Mov_to_lr rm)
+    else
+      let* rd = decode_gpr d in
+      let* rm = decode_gpr m in
+      Ok (Mov_reg (rd, rm))
+  end
+  else if hw1 land 0xFF87 = 0x4700 then begin
+    let m = (hw1 lsr 3) land 0xf in
+    if m = 14 then Ok (Bx `Lr)
+    else
+      let* rm = decode_gpr m in
+      Ok (Bx (`Reg rm))
+  end
+  else if hw1 land 0xFF00 = 0xDF00 then Ok (Svc (hw1 land 0xff))
+  else if hw1 land 0xFE00 = 0xB400 then
+    Ok (Push (gprs_of_reglist (hw1 land 0xff), hw1 land 0x100 <> 0))
+  else if hw1 land 0xFE00 = 0xBC00 then
+    Ok (Pop (gprs_of_reglist (hw1 land 0xff), hw1 land 0x100 <> 0))
+  else if hw1 land 0xFF87 = 0x4586 then begin
+    let* rm = decode_gpr ((hw1 lsr 3) land 0xf) in
+    Ok (Cmp_lr rm)
+  end
+  else if hw1 land 0xF000 = 0xD000 then begin
+    let c = (hw1 lsr 8) land 0xf in
+    let off = hw1 land 0xff in
+    let off = if off >= 128 then off - 256 else off in
+    match c with
+    | 0x0 -> Ok (B_cond (`Eq, off))
+    | 0x1 -> Ok (B_cond (`Ne, off))
+    | _ -> Error "unsupported condition code"
+  end
+  else Error (Printf.sprintf "unknown 16-bit encoding 0x%04x" hw1)
+
+let decode32 hw1 hw2 =
+  let rd_hi () = decode_gpr ((hw2 lsr 8) land 0xf) in
+  (* imm16 = imm4:i:imm3:imm8 *)
+  let imm16 () =
+    ((hw1 land 0xf) lsl 12)
+    lor (((hw1 lsr 10) land 1) lsl 11)
+    lor (((hw2 lsr 12) land 0x7) lsl 8)
+    lor (hw2 land 0xff)
+  in
+  let imm12 () =
+    (((hw1 lsr 10) land 1) lsl 11) lor (((hw2 lsr 12) land 0x7) lsl 8) lor (hw2 land 0xff)
+  in
+  if hw1 land 0xFBF0 = 0xF240 && hw2 land 0x8000 = 0 then
+    let* rd = rd_hi () in
+    Ok (Movw (rd, imm16 ()))
+  else if hw1 land 0xFBF0 = 0xF2C0 && hw2 land 0x8000 = 0 then
+    let* rd = rd_hi () in
+    Ok (Movt (rd, imm16 ()))
+  else if hw1 land 0xFBF0 = 0xF200 && hw2 land 0x8000 = 0 then
+    let* rd = rd_hi () in
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Addw (rd, rn, imm12 ()))
+  else if hw1 land 0xFBF0 = 0xF2A0 && hw2 land 0x8000 = 0 then
+    let* rd = rd_hi () in
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Subw (rd, rn, imm12 ()))
+  else if hw1 land 0xFFF0 = 0xF8D0 then
+    let* rt = decode_gpr ((hw2 lsr 12) land 0xf) in
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Ldr_imm (rt, rn, hw2 land 0xfff))
+  else if hw1 land 0xFFF0 = 0xF8C0 then
+    let* rt = decode_gpr ((hw2 lsr 12) land 0xf) in
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Str_imm (rt, rn, hw2 land 0xfff))
+  else if hw1 land 0xFFD0 = 0xE890 then
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Ldmia (rn, hw1 land 0x20 <> 0, gprs_of_reglist hw2))
+  else if hw1 land 0xFFD0 = 0xE880 then
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Stmia (rn, hw1 land 0x20 <> 0, gprs_of_reglist hw2))
+  else if hw1 land 0xFFD0 = 0xE900 then
+    let* rn = decode_gpr (hw1 land 0xf) in
+    Ok (Stmdb (rn, hw1 land 0x20 <> 0, gprs_of_reglist hw2))
+  else if hw1 = 0xF3EF && hw2 land 0xF000 = 0x8000 then begin
+    let* rd = rd_hi () in
+    match special_of_sysm (hw2 land 0xff) with
+    | Some spec -> Ok (Mrs (rd, spec))
+    | None -> Error "mrs: unknown SYSm"
+  end
+  else if hw1 land 0xFFF0 = 0xF380 && hw2 land 0xFF00 = 0x8800 then begin
+    let* rn = decode_gpr (hw1 land 0xf) in
+    match special_of_sysm (hw2 land 0xff) with
+    | Some spec -> Ok (Msr (spec, rn))
+    | None -> Error "msr: unknown SYSm"
+  end
+  else if hw1 = 0xF3BF && hw2 = 0x8F6F then Ok Isb
+  else if hw1 = 0xF3BF && hw2 = 0x8F4F then Ok Dsb
+  else if hw1 = 0xF3BF && hw2 = 0x8F5F then Ok Dmb
+  else Error (Printf.sprintf "unknown 32-bit encoding 0x%04x 0x%04x" hw1 hw2)
+
+let decode hw1 fetch_next =
+  if is_32bit hw1 then decode32 hw1 (fetch_next ()) else decode16 hw1
+
+let size_bytes i = 2 * List.length (encode i)
+
+let assemble mem addr instrs =
+  let cursor = ref addr in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun hw ->
+          Memory.write8 mem !cursor (hw land 0xff);
+          Memory.write8 mem (!cursor + 1) (hw lsr 8);
+          cursor := !cursor + 2)
+        (encode i))
+    instrs;
+  !cursor - addr
+
+let pp_reglist ppf regs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Regs.pp_gpr)
+    regs
+
+let pp ppf = function
+  | Nop -> Format.fprintf ppf "nop"
+  | Mov_reg (rd, rm) -> Format.fprintf ppf "mov %a, %a" Regs.pp_gpr rd Regs.pp_gpr rm
+  | Movw (rd, v) -> Format.fprintf ppf "movw %a, #0x%x" Regs.pp_gpr rd v
+  | Movt (rd, v) -> Format.fprintf ppf "movt %a, #0x%x" Regs.pp_gpr rd v
+  | Addw (rd, rn, v) -> Format.fprintf ppf "addw %a, %a, #%d" Regs.pp_gpr rd Regs.pp_gpr rn v
+  | Subw (rd, rn, v) -> Format.fprintf ppf "subw %a, %a, #%d" Regs.pp_gpr rd Regs.pp_gpr rn v
+  | Ldr_imm (rt, rn, v) ->
+    Format.fprintf ppf "ldr %a, [%a, #%d]" Regs.pp_gpr rt Regs.pp_gpr rn v
+  | Str_imm (rt, rn, v) ->
+    Format.fprintf ppf "str %a, [%a, #%d]" Regs.pp_gpr rt Regs.pp_gpr rn v
+  | Ldmia (rn, wb, regs) ->
+    Format.fprintf ppf "ldmia %a%s, %a" Regs.pp_gpr rn (if wb then "!" else "") pp_reglist regs
+  | Stmia (rn, wb, regs) ->
+    Format.fprintf ppf "stmia %a%s, %a" Regs.pp_gpr rn (if wb then "!" else "") pp_reglist regs
+  | Stmdb (rn, wb, regs) ->
+    Format.fprintf ppf "stmdb %a%s, %a" Regs.pp_gpr rn (if wb then "!" else "") pp_reglist regs
+  | Push (regs, lr) -> Format.fprintf ppf "push %a%s" pp_reglist regs (if lr then " +lr" else "")
+  | Pop (regs, pc) -> Format.fprintf ppf "pop %a%s" pp_reglist regs (if pc then " +pc" else "")
+  | Mrs (rd, s) -> Format.fprintf ppf "mrs %a, %a" Regs.pp_gpr rd Regs.pp_special s
+  | Msr (s, rn) -> Format.fprintf ppf "msr %a, %a" Regs.pp_special s Regs.pp_gpr rn
+  | Isb -> Format.fprintf ppf "isb sy"
+  | Dsb -> Format.fprintf ppf "dsb sy"
+  | Dmb -> Format.fprintf ppf "dmb sy"
+  | Svc n -> Format.fprintf ppf "svc #%d" n
+  | Bx `Lr -> Format.fprintf ppf "bx lr"
+  | Bx (`Reg rm) -> Format.fprintf ppf "bx %a" Regs.pp_gpr rm
+  | Cpsid -> Format.fprintf ppf "cpsid i"
+  | Cpsie -> Format.fprintf ppf "cpsie i"
+  | Cmp_lr rm -> Format.fprintf ppf "cmp lr, %a" Regs.pp_gpr rm
+  | B_cond (`Eq, off) -> Format.fprintf ppf "beq #%d" off
+  | B_cond (`Ne, off) -> Format.fprintf ppf "bne #%d" off
+  | Mov_from_lr rd -> Format.fprintf ppf "mov %a, lr" Regs.pp_gpr rd
+  | Mov_to_lr rm -> Format.fprintf ppf "mov lr, %a" Regs.pp_gpr rm
+
+let equal (a : instr) (b : instr) = a = b

@@ -1,0 +1,76 @@
+(** Thumb-2 instruction encodings for the Tock-relevant ARMv7-M subset.
+
+    FluxArm is an {e executable} semantics: besides the instruction-method
+    model in {!Cpu}, this module gives the concrete Thumb-2 machine
+    encodings (ARMv7-M ARM, chapter A7) for every instruction the Tock
+    handlers use, so handler code can live in modeled flash as real
+    halfword sequences and be executed by {!Engine} through
+    fetch–decode–execute. The encoder/decoder pair is round-trip tested,
+    and the machine-code handlers are differentially tested against the
+    method-level model — our version of validating the ASL lift.
+
+    Encodings implemented (T = Thumb encoding index in the manual):
+
+    - 16-bit: MOV register (T1), BX (T1), SVC (T1), NOP (T1),
+      PUSH/POP (T1), CPSID/CPSIE (T1)
+    - 32-bit: MOVW (T3), MOVT (T1), ADDW/SUBW (T4), LDR/STR immediate (T3),
+      LDMIA (T2), STMIA (T2), STMDB (T1), MRS (T1), MSR (T1),
+      ISB/DSB/DMB (T1) *)
+
+type instr =
+  | Nop
+  | Mov_reg of Regs.gpr * Regs.gpr  (** [mov rd, rm] *)
+  | Movw of Regs.gpr * int  (** [movw rd, #imm16] *)
+  | Movt of Regs.gpr * int  (** [movt rd, #imm16] *)
+  | Addw of Regs.gpr * Regs.gpr * int  (** [addw rd, rn, #imm12] *)
+  | Subw of Regs.gpr * Regs.gpr * int  (** [subw rd, rn, #imm12] *)
+  | Ldr_imm of Regs.gpr * Regs.gpr * int  (** [ldr rt, \[rn, #imm12\]] *)
+  | Str_imm of Regs.gpr * Regs.gpr * int  (** [str rt, \[rn, #imm12\]] *)
+  | Ldmia of Regs.gpr * bool * Regs.gpr list  (** rn, writeback, ascending list *)
+  | Stmia of Regs.gpr * bool * Regs.gpr list
+  | Stmdb of Regs.gpr * bool * Regs.gpr list
+  | Push of Regs.gpr list * bool  (** registers, and LR *)
+  | Pop of Regs.gpr list * bool  (** registers, and PC *)
+  | Mrs of Regs.gpr * Regs.special
+  | Msr of Regs.special * Regs.gpr
+  | Isb
+  | Dsb
+  | Dmb
+  | Svc of int
+  | Bx of [ `Lr | `Reg of Regs.gpr ]
+  | Cpsid
+  | Cpsie
+  | Cmp_lr of Regs.gpr  (** [cmp lr, rm] (T2, high-register form) *)
+  | B_cond of [ `Eq | `Ne ] * int  (** [beq/bne #imm8] — signed halfword offset *)
+  | Mov_from_lr of Regs.gpr  (** [mov rd, lr] *)
+  | Mov_to_lr of Regs.gpr  (** [mov lr, rm] *)
+
+val sysm : Regs.special -> int
+(** The SYSm field encoding special registers in MRS/MSR (B5.4.2):
+    XPSR = 3, IPSR = 5, MSP = 8, PSP = 9, CONTROL = 20. *)
+
+val special_of_sysm : int -> Regs.special option
+
+val is_32bit : int -> bool
+(** Does this first halfword start a 32-bit encoding? *)
+
+val encode : instr -> int list
+(** Halfwords, one or two, each in [0, 0xFFFF]. Raises [Invalid_argument]
+    on out-of-range immediates or unencodable register lists. *)
+
+val decode : int -> (unit -> int) -> (instr, string) result
+(** [decode hw1 fetch_next] decodes an instruction whose first halfword is
+    [hw1], pulling a second halfword through [fetch_next] when the first
+    identifies a 32-bit encoding. *)
+
+val size_bytes : instr -> int
+(** 2 or 4. *)
+
+val assemble : Memory.t -> Word32.t -> instr list -> int
+(** Write the encoded program at the given address (little-endian
+    halfwords); returns its size in bytes. *)
+
+val pp : Format.formatter -> instr -> unit
+(** Disassembly-style rendering, e.g. [msr control, r0]. *)
+
+val equal : instr -> instr -> bool

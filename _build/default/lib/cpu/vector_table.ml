@@ -1,0 +1,49 @@
+(** The ARMv7-M vector table (B1.5.3).
+
+    On real hardware, exception dispatch is a memory load: the core reads
+    the handler address from [VTOR + 4*exception_number] (bit 0 set — Thumb)
+    and branches to it. This module writes and reads that table in modeled
+    flash, closing the last gap between {!Exn.preempt}'s ISR closure and
+    what silicon does: with {!isr}, the "closure" is exactly a table fetch
+    followed by machine-code execution. *)
+
+let entry_count = 64
+
+(** Write handler entries (exception number, entry address) at [base]; the
+    stored word has the Thumb bit set, as the architecture requires. Word 0
+    is the initial MSP; unset entries hold 0. *)
+let install mem ~base entries =
+  Memory.write32 mem base (Range.end_ Layout.kernel_sram);
+  List.iter
+    (fun (exc_num, entry) ->
+      if exc_num < 1 || exc_num >= entry_count then invalid_arg "vector_table: exception";
+      Memory.write32 mem (Word32.add base (4 * exc_num)) (entry lor 1))
+    entries
+
+let handler_entry mem ~base ~exc_num =
+  if exc_num < 1 || exc_num >= entry_count then invalid_arg "vector_table: exception";
+  let v = Memory.read32 mem (Word32.add base (4 * exc_num)) in
+  v land lnot 1
+
+let initial_msp mem ~base = Memory.read32 mem base
+
+(** Hardware-faithful ISR: fetch the entry from the table (charged as a
+    memory access, like the core's vector fetch) and execute the handler
+    machine code at it. *)
+let isr mem ~base ~exc_num : Exn.isr =
+ fun cpu ->
+  Cycles.tick ~n:Cycles.mem Cycles.global;
+  let entry = handler_entry mem ~base ~exc_num in
+  if entry = 0 then failwith (Printf.sprintf "vector_table: unset handler for %d" exc_num);
+  Mc.run_handler cpu ~entry
+
+(** Install the standard Tock table for an already-assembled handler set. *)
+let install_for mem ~base (code : Handlers_mc.t) =
+  install mem ~base
+    ((Exn.exc_svc, Handlers_mc.isr_entry code ~exc_num:Exn.exc_svc)
+     :: (Exn.exc_systick, Handlers_mc.isr_entry code ~exc_num:Exn.exc_systick)
+     :: List.map
+          (fun irq ->
+            (16 + irq, Handlers_mc.isr_entry code ~exc_num:(16 + irq)))
+          (List.init 32 Fun.id)
+    @ [ (4, Handlers_mc.isr_entry code ~exc_num:4) (* MemManage *) ])

@@ -1,0 +1,1 @@
+lib/mach/cycles.ml:

@@ -1,0 +1,1 @@
+lib/mach/layout.ml: Range

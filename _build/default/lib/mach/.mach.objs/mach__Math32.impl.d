@@ -1,0 +1,1 @@
+lib/mach/math32.ml:

@@ -1,0 +1,1 @@
+lib/mach/memory.ml: Bytes Char Hashtbl Perms String Word32

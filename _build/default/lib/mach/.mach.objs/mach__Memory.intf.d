@@ -1,0 +1,1 @@
+lib/mach/memory.mli: Perms Word32

@@ -1,0 +1,1 @@
+lib/mach/perms.ml: Format

@@ -1,0 +1,1 @@
+lib/mach/perms.mli: Format

@@ -1,0 +1,1 @@
+lib/mach/range.ml: Format Word32

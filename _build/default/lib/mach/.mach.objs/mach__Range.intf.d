@@ -1,0 +1,1 @@
+lib/mach/range.mli: Format Word32

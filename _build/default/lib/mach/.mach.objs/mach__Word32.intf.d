@@ -1,0 +1,1 @@
+lib/mach/word32.mli: Format

@@ -1,0 +1,19 @@
+type counter = { mutable count : int }
+
+let global = { count = 0 }
+let fresh () = { count = 0 }
+let tick ?(n = 1) c = c.count <- c.count + n
+let read c = c.count
+let reset c = c.count <- 0
+
+let measure c f =
+  let before = c.count in
+  let result = f () in
+  (result, c.count - before)
+
+let alu = 1
+let mem = 2
+let mpu_reg_write = 3
+let branch = 2
+let exception_entry = 20
+let div = 6

@@ -1,0 +1,46 @@
+(** Deterministic cycle accounting.
+
+    The paper instruments Tock's and TickTock's process abstractions with
+    per-method CPU-cycle counters on an NRF52840 (Figure 11). Our substitute
+    is a global deterministic counter that the kernel models charge with a
+    documented cost per primitive operation (see DESIGN.md, "Cycle-cost
+    model"). Relative differences between the two kernels then arise from
+    code shape — loops vs. bit-math, redundant recomputation — rather than
+    hand-picked constants. *)
+
+type counter
+
+val global : counter
+(** The machine-wide counter shared by CPU emulator, MPU models and kernel. *)
+
+val fresh : unit -> counter
+
+val tick : ?n:int -> counter -> unit
+(** Charge [n] cycles (default 1). *)
+
+val read : counter -> int
+val reset : counter -> unit
+
+val measure : counter -> (unit -> 'a) -> 'a * int
+(** [measure c f] runs [f] and returns its result along with the cycles
+    charged to [c] during the call. *)
+
+(** {1 Cost constants} (documented in DESIGN.md) *)
+
+(** [alu]: ALU op / register move (1). *)
+val alu : int
+
+(** [mem]: memory word access (2). *)
+val mem : int
+
+(** [mpu_reg_write]: MPU/PMP register write (3). *)
+val mpu_reg_write : int
+
+(** [branch]: taken branch / loop back-edge (2). *)
+val branch : int
+
+(** [exception_entry]: exception entry or return (20). *)
+val exception_entry : int
+
+(** [div]: hardware divide (6). *)
+val div : int

@@ -1,0 +1,13 @@
+let flash_base = 0x0000_0000
+let flash_size = 0x0010_0000 (* 1 MiB, as on the NRF52840 *)
+let sram_base = 0x2000_0000
+let sram_size = 0x0004_0000 (* 256 KiB *)
+let kernel_flash = Range.make ~start:flash_base ~size:0x0002_0000
+let kernel_sram = Range.make ~start:sram_base ~size:0x0000_8000
+
+let app_flash =
+  Range.of_bounds ~lo:(Range.end_ kernel_flash) ~hi:(flash_base + flash_size)
+
+let app_sram = Range.of_bounds ~lo:(Range.end_ kernel_sram) ~hi:(sram_base + sram_size)
+let in_flash a = Range.contains (Range.make ~start:flash_base ~size:flash_size) a
+let in_sram a = Range.contains (Range.make ~start:sram_base ~size:sram_size) a

@@ -1,0 +1,26 @@
+(** Standard board memory layout.
+
+    Address-map constants modelled on the Nordic NRF52840 (the ARM board the
+    paper evaluates on): flash at the bottom of the address space, SRAM at
+    [0x2000_0000]. The process loader carves application flash and RAM out
+    of these windows, after reserving a prefix of each for the kernel. *)
+
+val flash_base : Word32.t
+val flash_size : int
+val sram_base : Word32.t
+val sram_size : int
+
+val kernel_flash : Range.t
+(** Flash occupied by the kernel image; process binaries are placed above. *)
+
+val kernel_sram : Range.t
+(** SRAM reserved for kernel data/stack; process RAM is allocated above. *)
+
+val app_flash : Range.t
+(** Flash window available for application binaries. *)
+
+val app_sram : Range.t
+(** RAM window available for application memory. *)
+
+val in_flash : Word32.t -> bool
+val in_sram : Word32.t -> bool

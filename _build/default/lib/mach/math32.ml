@@ -1,0 +1,31 @@
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  assert (v > 0);
+  let rec loop acc v = if v <= 1 then acc else loop (acc + 1) (v lsr 1) in
+  loop 0 v
+
+let closest_power_of_two x =
+  assert (x > 0);
+  if x > 1 lsl 31 then 1 lsl 31
+  else
+    let rec loop p = if p >= x then p else loop (p lsl 1) in
+    loop 1
+
+let closest_power_of_two_checked x =
+  assert (x > 0);
+  if x > 1 lsl 31 then None else Some (closest_power_of_two x)
+
+let align_up x ~align =
+  assert (is_pow2 align);
+  (x + align - 1) land lnot (align - 1)
+
+let align_down x ~align =
+  assert (is_pow2 align);
+  x land lnot (align - 1)
+
+let is_aligned x ~align =
+  assert (is_pow2 align);
+  x land (align - 1) = 0
+
+let next_aligned_from x ~align = align_up x ~align

@@ -1,0 +1,35 @@
+(** Power-of-two and alignment arithmetic.
+
+    OCaml port of Tock's [kernel/src/utilities/math.rs] plus the alignment
+    facts the paper proves as trusted lemmas in Lean (§5). The Cortex-M MPU
+    driver leans on these for its size/alignment dance; the [verify] library
+    re-proves the lemma statements by bounded exhaustion. *)
+
+val is_pow2 : int -> bool
+(** The paper's classic bithack: [v > 0 && v land (v-1) = 0]. *)
+
+val log2 : int -> int
+(** Floor of base-2 logarithm. Requires a positive argument. *)
+
+val closest_power_of_two : int -> int
+(** Smallest power of two greater than or equal to the argument (Tock's
+    [closest_power_of_two]). Saturates at 2{^31} for inputs above it, like
+    the upstream u32 implementation. Requires a positive argument. *)
+
+val closest_power_of_two_checked : int -> int option
+(** As {!closest_power_of_two} but [None] instead of saturating when the
+    result would exceed 2{^31}. *)
+
+val align_up : int -> align:int -> int
+(** [align_up x ~align] rounds [x] up to the next multiple of [align].
+    [align] must be a power of two. *)
+
+val align_down : int -> align:int -> int
+(** Round down to the previous multiple of a power-of-two alignment. *)
+
+val is_aligned : int -> align:int -> bool
+
+val next_aligned_from : int -> align:int -> int
+(** The "move region up until it aligns" step from Figure 4a, line 23-25:
+    smallest address [>= x] that is a multiple of [align]. Equal to
+    {!align_up}; kept as a separate name to mirror the upstream code. *)

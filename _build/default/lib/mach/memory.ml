@@ -1,0 +1,84 @@
+type fault = {
+  fault_addr : Word32.t;
+  fault_access : Perms.access;
+  fault_reason : string;
+}
+
+exception Access_fault of fault
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable checker : (Word32.t -> Perms.access -> (unit, string) result) option;
+}
+
+let create () = { pages = Hashtbl.create 64; checker = None }
+let set_checker t checker = t.checker <- checker
+let checker_enabled t = t.checker <> None
+
+let page t addr =
+  let key = addr lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages key p;
+    p
+
+let read8 t addr =
+  assert (Word32.is_valid addr);
+  Char.code (Bytes.get (page t addr) (addr land (page_size - 1)))
+
+let write8 t addr v =
+  assert (Word32.is_valid addr);
+  Bytes.set (page t addr) (addr land (page_size - 1)) (Char.chr (v land 0xff))
+
+let read32 t addr =
+  let b i = read8 t (Word32.add addr i) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let write32 t addr v =
+  let b i x = write8 t (Word32.add addr i) x in
+  b 0 v;
+  b 1 (v lsr 8);
+  b 2 (v lsr 16);
+  b 3 (v lsr 24)
+
+let blit_string t addr s = String.iteri (fun i c -> write8 t (Word32.add addr i) (Char.code c)) s
+
+let read_bytes t addr n = String.init n (fun i -> Char.chr (read8 t (Word32.add addr i)))
+
+let check t addr access =
+  match t.checker with None -> Ok () | Some f -> f addr access
+
+let checked t addr access k =
+  match check t addr access with
+  | Ok () -> k ()
+  | Error fault_reason ->
+    raise (Access_fault { fault_addr = addr; fault_access = access; fault_reason })
+
+let check_word t addr access =
+  (* A 4-byte access faults if any covered byte is denied, matching the
+     byte-granular view the MPU models expose. *)
+  for i = 0 to 3 do
+    checked t (Word32.add addr i) access (fun () -> ())
+  done
+
+let load8 t addr = checked t addr Perms.Read (fun () -> read8 t addr)
+let store8 t addr v = checked t addr Perms.Write (fun () -> write8 t addr v)
+
+let load32 t addr =
+  check_word t addr Perms.Read;
+  read32 t addr
+
+let store32 t addr v =
+  check_word t addr Perms.Write;
+  write32 t addr v
+
+let fetch32 t addr =
+  check_word t addr Perms.Execute;
+  read32 t addr
+
+let touched_pages t = Hashtbl.length t.pages

@@ -1,0 +1,60 @@
+(** Sparse byte-addressable physical memory.
+
+    Models the microcontroller's flat 32-bit physical address space (no MMU,
+    no translation — exactly the setting that forces Tock onto MPUs). Memory
+    is allocated lazily in pages so a 4 GiB space costs only what is touched.
+
+    An optional {e access checker} is consulted on every load/store/fetch;
+    the MPU hardware models install themselves here, so every memory access
+    made by emulated user code is subject to the live MPU configuration, the
+    same way the hardware intercepts bus accesses. *)
+
+type t
+
+type fault = {
+  fault_addr : Word32.t;
+  fault_access : Perms.access;
+  fault_reason : string;
+}
+
+exception Access_fault of fault
+(** Raised by checked accesses that the installed checker denies — the model
+    of the MemManage / PMP access fault exception. *)
+
+val create : unit -> t
+
+val set_checker : t -> (Word32.t -> Perms.access -> (unit, string) result) option -> unit
+(** Install or remove the access checker ([None] = all access allowed, i.e.
+    MPU disabled / privileged execution). Installed after creation so the
+    checker closure may capture the CPU whose privilege state it consults. *)
+
+val checker_enabled : t -> bool
+
+(** {1 Raw (unchecked) accesses} — used by the kernel model and by DMA, which
+    bypass the MPU on real ARMv7-M hardware. *)
+
+val read8 : t -> Word32.t -> int
+val write8 : t -> Word32.t -> int -> unit
+val read32 : t -> Word32.t -> Word32.t
+(** Little-endian, like ARMv7-M and RV32 in Tock's configurations. *)
+
+val write32 : t -> Word32.t -> Word32.t -> unit
+val blit_string : t -> Word32.t -> string -> unit
+val read_bytes : t -> Word32.t -> int -> string
+
+(** {1 Checked accesses} — used by emulated unprivileged code. *)
+
+val load8 : t -> Word32.t -> int
+val store8 : t -> Word32.t -> int -> unit
+val load32 : t -> Word32.t -> Word32.t
+val store32 : t -> Word32.t -> Word32.t -> unit
+val fetch32 : t -> Word32.t -> Word32.t
+(** Instruction fetch: checked with {!Perms.Execute}. *)
+
+val check : t -> Word32.t -> Perms.access -> (unit, string) result
+(** Ask the checker without performing an access. [Ok] when no checker is
+    installed. *)
+
+val touched_pages : t -> int
+(** Number of 4 KiB pages materialised so far (for tests and footprint
+    reporting). *)

@@ -1,0 +1,39 @@
+type t =
+  | Read_write_execute
+  | Read_write_only
+  | Read_execute_only
+  | Read_only
+  | Execute_only
+
+type access = Read | Write | Execute
+
+let readable = function
+  | Read_write_execute | Read_write_only | Read_execute_only | Read_only -> true
+  | Execute_only -> false
+
+let writable = function
+  | Read_write_execute | Read_write_only -> true
+  | Read_execute_only | Read_only | Execute_only -> false
+
+let executable = function
+  | Read_write_execute | Read_execute_only | Execute_only -> true
+  | Read_write_only | Read_only -> false
+
+let allows t = function
+  | Read -> readable t
+  | Write -> writable t
+  | Execute -> executable t
+
+let all =
+  [ Read_write_execute; Read_write_only; Read_execute_only; Read_only; Execute_only ]
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Read_write_execute -> "rwx"
+  | Read_write_only -> "rw-"
+  | Read_execute_only -> "r-x"
+  | Read_only -> "r--"
+  | Execute_only -> "--x"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

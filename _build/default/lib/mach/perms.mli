@@ -1,0 +1,29 @@
+(** Access permissions for memory regions.
+
+    Mirrors Tock's [mpu::Permissions] enum: the combinations of read, write
+    and execute access a kernel can request for a process-visible region. *)
+
+type t =
+  | Read_write_execute
+  | Read_write_only
+  | Read_execute_only
+  | Read_only
+  | Execute_only
+
+type access = Read | Write | Execute
+(** A single attempted access, as seen by the MPU hardware model. *)
+
+val allows : t -> access -> bool
+(** [allows perms access] holds iff a region configured with [perms] permits
+    [access]. *)
+
+val readable : t -> bool
+val writable : t -> bool
+val executable : t -> bool
+
+val all : t list
+(** Every permission value, for exhaustive property testing. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,44 @@
+type t = { start : Word32.t; size : int }
+
+let make ~start ~size =
+  assert (Word32.is_valid start);
+  assert (size >= 0);
+  assert (start + size <= Word32.mask + 1);
+  { start; size }
+
+let make_checked ~start ~size =
+  if Word32.is_valid start && size >= 0 && start + size <= Word32.mask + 1 then
+    Some { start; size }
+  else None
+
+let of_bounds ~lo ~hi =
+  assert (lo <= hi);
+  make ~start:lo ~size:(hi - lo)
+
+let empty = { start = 0; size = 0 }
+let is_empty t = t.size = 0
+let start t = t.start
+let size t = t.size
+let end_ t = t.start + t.size
+let contains t a = not (is_empty t) && a >= t.start && a < end_ t
+
+let contains_range outer inner =
+  is_empty inner || ((not (is_empty outer)) && inner.start >= outer.start && end_ inner <= end_ outer)
+
+let overlaps a b =
+  (not (is_empty a)) && (not (is_empty b)) && a.start < end_ b && b.start < end_ a
+
+let overlaps_bounds t ~lo ~hi =
+  (not (is_empty t)) && lo <= hi && t.start <= hi && lo < end_ t
+
+let intersection a b =
+  if not (overlaps a b) then None
+  else
+    let lo = max a.start b.start in
+    let hi = min (end_ a) (end_ b) in
+    Some (of_bounds ~lo ~hi)
+
+let equal a b = a.start = b.start && a.size = b.size
+
+let pp ppf t =
+  Format.fprintf ppf "[%a, %a)" Word32.pp t.start Word32.pp (end_ t)

@@ -1,0 +1,42 @@
+(** Half-open address ranges [\[start, start+size)].
+
+    The common currency between the kernel's logical view of process memory
+    (AppBreaks) and the hardware models. A range may be empty ([size = 0]);
+    empty ranges overlap nothing and contain nothing. *)
+
+type t = private { start : Word32.t; size : int }
+
+val make : start:Word32.t -> size:int -> t
+(** Requires [start] valid, [size >= 0], and [start + size <= 2{^32}]. *)
+
+val make_checked : start:Word32.t -> size:int -> t option
+(** [None] when the range would wrap past the top of the address space. *)
+
+val of_bounds : lo:Word32.t -> hi:Word32.t -> t
+(** Range covering [\[lo, hi)]. Requires [lo <= hi]. *)
+
+val empty : t
+val is_empty : t -> bool
+val start : t -> Word32.t
+val size : t -> int
+
+val end_ : t -> Word32.t
+(** One past the last covered address; equals [start] for empty ranges. *)
+
+val contains : t -> Word32.t -> bool
+(** Membership of a single byte address. *)
+
+val contains_range : t -> t -> bool
+(** [contains_range outer inner]: every byte of [inner] lies in [outer].
+    Vacuously true when [inner] is empty. *)
+
+val overlaps : t -> t -> bool
+(** Non-empty intersection. *)
+
+val overlaps_bounds : t -> lo:Word32.t -> hi:Word32.t -> bool
+(** The paper's [RegionDescriptor::overlaps(r, lo, hi)] shape: does the range
+    intersect the {e inclusive} bounds [\[lo, hi\]]? *)
+
+val intersection : t -> t -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+let max_value = mask
+let is_valid x = x >= 0 && x <= mask
+let of_int x = x land mask
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = (a * b) land mask
+
+let checked_add a b =
+  let s = a + b in
+  if s > mask then None else Some s
+
+let checked_sub a b = if a < b then None else Some (a - b)
+
+let checked_mul a b =
+  let p = a * b in
+  if p > mask || (a <> 0 && p / a <> b) then None else Some p
+
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = lnot a land mask
+let shift_left a n = (a lsl n) land mask
+let shift_right a n = a lsr n
+let bit w i = (w lsr i) land 1 = 1
+let set_bit w i v = if v then w lor (1 lsl i) else w land lnot (1 lsl i) land mask
+
+let bits w ~hi ~lo =
+  assert (hi >= lo && hi < 32 && lo >= 0);
+  (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let set_bits w ~hi ~lo v =
+  assert (hi >= lo && hi < 32 && lo >= 0);
+  let width = hi - lo + 1 in
+  let field_mask = ((1 lsl width) - 1) lsl lo in
+  w land lnot field_mask land mask lor ((v lsl lo) land field_mask)
+
+let pp ppf w = Format.fprintf ppf "0x%08x" w
+let to_hex w = Printf.sprintf "0x%08x" w

@@ -1,0 +1,63 @@
+(** 32-bit machine words.
+
+    All values are OCaml [int]s confined to [0, 2{^32}). Arithmetic wraps
+    modulo 2{^32}, mirroring the semantics of the 32-bit microcontrollers
+    (ARMv7-M, RV32) that Tock targets. The kernel model and the CPU emulator
+    use this module for every address and register computation so that
+    overflow behaviour matches hardware, not OCaml's 63-bit ints. *)
+
+type t = int
+
+val mask : int
+(** [0xFFFF_FFFF]. *)
+
+val max_value : t
+(** Largest representable word, [0xFFFF_FFFF] (the paper's [u32::MAX]). *)
+
+val is_valid : int -> bool
+(** [is_valid x] holds iff [x] is within [0, 2{^32}). *)
+
+val of_int : int -> t
+(** Truncate an OCaml int to 32 bits (two's-complement wrap). *)
+
+val add : t -> t -> t
+(** Wrapping addition. *)
+
+val sub : t -> t -> t
+(** Wrapping subtraction; [sub 0 1 = 0xFFFF_FFFF] (the underflow the paper's
+    integer-overflow bug hinges on). *)
+
+val mul : t -> t -> t
+(** Wrapping multiplication. *)
+
+val checked_add : t -> t -> t option
+(** [None] on overflow — the model of Rust's [checked_add]. *)
+
+val checked_sub : t -> t -> t option
+(** [None] on underflow — the model of Rust's [checked_sub]. *)
+
+val checked_mul : t -> t -> t option
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit : t -> int -> bool
+(** [bit w i] is bit [i] (0-based from LSB) of [w]. *)
+
+val set_bit : t -> int -> bool -> t
+(** [set_bit w i v] returns [w] with bit [i] forced to [v]. *)
+
+val bits : t -> hi:int -> lo:int -> t
+(** [bits w ~hi ~lo] extracts the inclusive bit field [hi..lo]. *)
+
+val set_bits : t -> hi:int -> lo:int -> t -> t
+(** [set_bits w ~hi ~lo v] overwrites field [hi..lo] of [w] with [v]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering, [0x%08x]. *)
+
+val to_hex : t -> string

@@ -1,0 +1,1 @@
+lib/mpu_hw/armv7m_mpu.ml: Array Format List Mach Perms Printf Range Word32

@@ -1,0 +1,1 @@
+lib/mpu_hw/armv7m_mpu.mli: Format Perms Range Word32

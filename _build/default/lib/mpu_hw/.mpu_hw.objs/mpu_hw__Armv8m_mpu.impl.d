@@ -1,0 +1,1 @@
+lib/mpu_hw/armv8m_mpu.ml: Array Cycles Format Fun List Perms Printf Range Word32

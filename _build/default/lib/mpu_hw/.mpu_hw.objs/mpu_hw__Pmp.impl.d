@@ -1,0 +1,1 @@
+lib/mpu_hw/pmp.ml: Array Cycles Format List Math32 Option Perms Printf Range Word32

@@ -1,0 +1,1 @@
+lib/mpu_hw/pmp.mli: Format Perms Range Word32

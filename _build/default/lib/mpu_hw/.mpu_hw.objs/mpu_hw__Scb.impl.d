@@ -1,0 +1,1 @@
+lib/mpu_hw/scb.ml: Format Perms Word32

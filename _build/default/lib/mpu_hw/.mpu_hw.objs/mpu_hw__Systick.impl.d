@@ -1,0 +1,1 @@
+lib/mpu_hw/systick.ml: Cycles

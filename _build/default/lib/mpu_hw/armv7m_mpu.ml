@@ -1,0 +1,196 @@
+let region_count = 8
+let min_region_size = 32
+let min_subregion_region_size = 256
+
+type t = {
+  rbar : Word32.t array;
+  rasr : Word32.t array;
+  mutable ctrl_enable : bool;
+}
+
+let create () =
+  { rbar = Array.make region_count 0; rasr = Array.make region_count 0; ctrl_enable = false }
+
+(* --- RBAR: ADDR[31:5] | VALID[4] | REGION[3:0] --- *)
+
+let encode_rbar ~addr ~region =
+  if region < 0 || region >= region_count then invalid_arg "encode_rbar: region";
+  if addr land 0x1f <> 0 then invalid_arg "encode_rbar: unaligned base";
+  addr lor 0x10 lor region
+
+let decode_rbar_addr rbar = rbar land 0xFFFF_FFE0
+let decode_rbar_region rbar = rbar land 0xf
+
+(* --- RASR: XN[28] | AP[26:24] | SRD[15:8] | SIZE[5:1] | ENABLE[0] --- *)
+
+let ap_of_perms = function
+  (* Tock's mapping: the kernel always keeps privileged read-write. *)
+  | Perms.Read_write_execute | Perms.Read_write_only -> 0b011
+  | Perms.Read_execute_only | Perms.Read_only -> 0b010
+  | Perms.Execute_only -> 0b001
+
+let xn_of_perms p = not (Perms.executable p)
+
+let encode_rasr ~enable ~size ~srd ~perms =
+  if not (Mach.Math32.is_pow2 size) || size < min_region_size then
+    invalid_arg "encode_rasr: size";
+  if srd < 0 || srd > 0xff then invalid_arg "encode_rasr: srd";
+  let size_field = Mach.Math32.log2 size - 1 in
+  let w = if enable then 1 else 0 in
+  let w = Word32.set_bits w ~hi:5 ~lo:1 size_field in
+  let w = Word32.set_bits w ~hi:15 ~lo:8 srd in
+  let w = Word32.set_bits w ~hi:26 ~lo:24 (ap_of_perms perms) in
+  Word32.set_bit w 28 (xn_of_perms perms)
+
+let decode_rasr_enable rasr = Word32.bit rasr 0
+let decode_rasr_size rasr = 1 lsl (Word32.bits rasr ~hi:5 ~lo:1 + 1)
+let decode_rasr_srd rasr = Word32.bits rasr ~hi:15 ~lo:8
+let decode_rasr_ap rasr = Word32.bits rasr ~hi:26 ~lo:24
+let decode_rasr_xn rasr = Word32.bit rasr 28
+
+let decode_rasr_perms rasr =
+  let xn = decode_rasr_xn rasr in
+  match decode_rasr_ap rasr with
+  | 0b011 -> Some (if xn then Perms.Read_write_only else Perms.Read_write_execute)
+  | 0b010 | 0b110 | 0b111 -> Some (if xn then Perms.Read_only else Perms.Read_execute_only)
+  | _ -> None
+
+(* --- register file --- *)
+
+let validate ~rbar ~rasr =
+  if decode_rasr_enable rasr then begin
+    let size = decode_rasr_size rasr in
+    let addr = decode_rbar_addr rbar in
+    if size < min_region_size then invalid_arg "mpu: region smaller than 32 bytes";
+    if not (Mach.Math32.is_aligned addr ~align:size) then
+      invalid_arg "mpu: base not aligned to region size";
+    if decode_rasr_srd rasr <> 0 && size < min_subregion_region_size then
+      invalid_arg "mpu: SRD used on region below 256 bytes"
+  end
+
+let write_region t ~index ~rbar ~rasr =
+  if index < 0 || index >= region_count then invalid_arg "write_region: index";
+  validate ~rbar ~rasr;
+  Mach.Cycles.tick ~n:(2 * Mach.Cycles.mpu_reg_write) Mach.Cycles.global;
+  t.rbar.(index) <- rbar;
+  t.rasr.(index) <- rasr
+
+let clear_region t ~index =
+  if index < 0 || index >= region_count then invalid_arg "clear_region: index";
+  Mach.Cycles.tick ~n:Mach.Cycles.mpu_reg_write Mach.Cycles.global;
+  t.rasr.(index) <- Word32.set_bit t.rasr.(index) 0 false
+
+let read_region t ~index = (t.rbar.(index), t.rasr.(index))
+
+let set_enabled t v =
+  Mach.Cycles.tick ~n:Mach.Cycles.mpu_reg_write Mach.Cycles.global;
+  t.ctrl_enable <- v
+
+let enabled t = t.ctrl_enable
+
+(* --- access semantics --- *)
+
+(* Does region [i] match byte address [a]?  A region matches when the
+   address falls inside its power-of-two block and the covering subregion is
+   not disabled. *)
+let region_matches t i a =
+  let rasr = t.rasr.(i) in
+  decode_rasr_enable rasr
+  &&
+  let base = decode_rbar_addr t.rbar.(i) in
+  let size = decode_rasr_size rasr in
+  a >= base
+  && a - base < size
+  &&
+  if size >= min_subregion_region_size then begin
+    let sub = (a - base) / (size / 8) in
+    not (Word32.bit (decode_rasr_srd rasr) sub)
+  end
+  else true
+
+let perm_allows ~privileged rasr access =
+  let ap = decode_rasr_ap rasr in
+  let xn = decode_rasr_xn rasr in
+  let readable, writable =
+    if privileged then
+      match ap with
+      | 0b001 | 0b010 | 0b011 -> (true, true)
+      | 0b101 | 0b110 | 0b111 -> (true, false)
+      | _ -> (false, false)
+    else
+      match ap with
+      | 0b011 -> (true, true)
+      | 0b010 | 0b110 | 0b111 -> (true, false)
+      | _ -> (false, false)
+  in
+  match access with
+  | Perms.Read -> readable
+  | Perms.Write -> writable
+  | Perms.Execute -> readable && not xn
+
+let check_access t ~privileged a access =
+  if not t.ctrl_enable then Ok ()
+  else begin
+    (* Highest-numbered matching region takes priority (PMSAv7). *)
+    let rec find i = if i < 0 then None else if region_matches t i a then Some i else find (i - 1) in
+    match find (region_count - 1) with
+    | Some i ->
+      if perm_allows ~privileged t.rasr.(i) access then Ok ()
+      else
+        Error
+          (Printf.sprintf "mpu: %s access to %s denied by region %d"
+             (match access with Perms.Read -> "read" | Write -> "write" | Execute -> "execute")
+             (Word32.to_hex a) i)
+    | None ->
+      (* PRIVDEFENA = 1: privileged falls through to the default map. *)
+      if privileged then Ok ()
+      else Error (Printf.sprintf "mpu: no region covers %s" (Word32.to_hex a))
+  end
+
+let accessible_ranges t access =
+  (* Collect every region/subregion boundary, then evaluate the checker on a
+     representative byte of each elementary interval and merge. *)
+  let points = ref [ 0; Word32.mask + 1 ] in
+  for i = 0 to region_count - 1 do
+    let rasr = t.rasr.(i) in
+    if decode_rasr_enable rasr then begin
+      let base = decode_rbar_addr t.rbar.(i) in
+      let size = decode_rasr_size rasr in
+      points := base :: (base + size) :: !points;
+      if size >= min_subregion_region_size then
+        for s = 1 to 7 do
+          points := (base + (s * size / 8)) :: !points
+        done
+    end
+  done;
+  let points = List.sort_uniq compare !points in
+  let rec intervals acc = function
+    | lo :: (hi :: _ as rest) ->
+      let allowed =
+        match check_access t ~privileged:false lo access with Ok () -> true | Error _ -> false
+      in
+      let acc =
+        if not allowed then acc
+        else
+          match acc with
+          | r :: tl when Range.end_ r = lo -> Range.of_bounds ~lo:(Range.start r) ~hi :: tl
+          | _ -> Range.of_bounds ~lo ~hi :: acc
+      in
+      intervals acc rest
+    | _ -> List.rev acc
+  in
+  intervals [] points
+
+let checker t ~cpu_privileged a access = check_access t ~privileged:(cpu_privileged ()) a access
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>MPU ctrl.enable=%b@," t.ctrl_enable;
+  for i = 0 to region_count - 1 do
+    let rasr = t.rasr.(i) in
+    if decode_rasr_enable rasr then
+      Format.fprintf ppf "  region %d: base=%a size=%d srd=%02x perms=%s@," i Word32.pp
+        (decode_rbar_addr t.rbar.(i))
+        (decode_rasr_size rasr) (decode_rasr_srd rasr)
+        (match decode_rasr_perms rasr with Some p -> Perms.to_string p | None -> "priv-only")
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,153 @@
+let region_count = 8
+let granule = 32
+
+type t = {
+  rbar : Word32.t array;
+  rlar : Word32.t array;
+  mutable ctrl_enable : bool;
+}
+
+let create () =
+  { rbar = Array.make region_count 0; rlar = Array.make region_count 0; ctrl_enable = false }
+
+(* AP[2:1] (v8 encoding): 00 priv RW only; 01 RW any; 10 priv RO only;
+   11 RO any.  XN is bit 0. *)
+let ap_of_perms = function
+  | Perms.Read_write_execute | Perms.Read_write_only -> 0b01
+  | Perms.Read_execute_only | Perms.Read_only -> 0b11
+  | Perms.Execute_only -> 0b00
+
+let encode_rbar ~base ~perms =
+  if base land (granule - 1) <> 0 then invalid_arg "encode_rbar: unaligned base";
+  base
+  lor (ap_of_perms perms lsl 1)
+  lor if Perms.executable perms then 0 else 1
+
+let encode_rlar ~limit ~enable =
+  if limit land (granule - 1) <> granule - 1 then invalid_arg "encode_rlar: unaligned limit";
+  limit land 0xFFFF_FFE0 lor if enable then 1 else 0
+
+let decode_rbar_base rbar = rbar land 0xFFFF_FFE0
+
+let decode_rbar_ap rbar = Word32.bits rbar ~hi:2 ~lo:1
+let decode_rbar_xn rbar = Word32.bit rbar 0
+
+let decode_rbar_perms rbar =
+  let xn = decode_rbar_xn rbar in
+  match decode_rbar_ap rbar with
+  | 0b01 -> Some (if xn then Perms.Read_write_only else Perms.Read_write_execute)
+  | 0b11 -> Some (if xn then Perms.Read_only else Perms.Read_execute_only)
+  | _ -> None
+
+let decode_rlar_limit rlar = rlar lor (granule - 1)
+let decode_rlar_enable rlar = Word32.bit rlar 0
+
+let write_region t ~index ~rbar ~rasr =
+  if index < 0 || index >= region_count then invalid_arg "write_region: index";
+  let rlar = rasr in
+  if decode_rlar_enable rlar && decode_rlar_limit rlar < decode_rbar_base rbar then
+    invalid_arg "mpu v8: limit below base";
+  Cycles.tick ~n:(2 * Cycles.mpu_reg_write) Cycles.global;
+  t.rbar.(index) <- rbar;
+  t.rlar.(index) <- rlar
+
+let clear_region t ~index =
+  if index < 0 || index >= region_count then invalid_arg "clear_region: index";
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.rlar.(index) <- Word32.set_bit t.rlar.(index) 0 false
+
+let read_region t ~index = (t.rbar.(index), t.rlar.(index))
+
+let set_enabled t v =
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.ctrl_enable <- v
+
+let enabled t = t.ctrl_enable
+
+let region_matches t i a =
+  decode_rlar_enable t.rlar.(i)
+  && a >= decode_rbar_base t.rbar.(i)
+  && a <= decode_rlar_limit t.rlar.(i)
+
+let perm_allows ~privileged rbar access =
+  let xn = decode_rbar_xn rbar in
+  let readable, writable =
+    if privileged then
+      match decode_rbar_ap rbar with
+      | 0b00 | 0b01 -> (true, true)
+      | 0b10 | 0b11 -> (true, false)
+      | _ -> (false, false)
+    else
+      match decode_rbar_ap rbar with
+      | 0b01 -> (true, true)
+      | 0b11 -> (true, false)
+      | _ -> (false, false)
+  in
+  match access with
+  | Perms.Read -> readable
+  | Perms.Write -> writable
+  | Perms.Execute -> readable && not xn
+
+let check_access t ~privileged a access =
+  if not t.ctrl_enable then Ok ()
+  else begin
+    let matches =
+      List.filter (fun i -> region_matches t i a) (List.init region_count Fun.id)
+    in
+    match matches with
+    | [ i ] ->
+      if perm_allows ~privileged t.rbar.(i) access then Ok ()
+      else
+        Error
+          (Printf.sprintf "mpu v8: %s access to %s denied by region %d"
+             (match access with Perms.Read -> "read" | Write -> "write" | Execute -> "execute")
+             (Word32.to_hex a) i)
+    | [] ->
+      if privileged then Ok ()
+      else Error (Printf.sprintf "mpu v8: no region covers %s" (Word32.to_hex a))
+    | _ :: _ :: _ ->
+      (* PMSAv8: overlapping enabled regions fault, even for privileged
+         access with PRIVDEFENA — overlap is a configuration bug. *)
+      Error (Printf.sprintf "mpu v8: overlapping regions at %s" (Word32.to_hex a))
+  end
+
+let accessible_ranges t access =
+  let points = ref [ 0; Word32.mask + 1 ] in
+  for i = 0 to region_count - 1 do
+    if decode_rlar_enable t.rlar.(i) then begin
+      points := decode_rbar_base t.rbar.(i) :: (decode_rlar_limit t.rlar.(i) + 1) :: !points
+    end
+  done;
+  let points = List.sort_uniq compare !points in
+  let rec intervals acc = function
+    | lo :: (hi :: _ as rest) ->
+      let allowed =
+        match check_access t ~privileged:false lo access with Ok () -> true | Error _ -> false
+      in
+      let acc =
+        if not allowed then acc
+        else
+          match acc with
+          | r :: tl when Range.end_ r = lo -> Range.of_bounds ~lo:(Range.start r) ~hi :: tl
+          | _ -> Range.of_bounds ~lo ~hi :: acc
+      in
+      intervals acc rest
+    | _ -> List.rev acc
+  in
+  intervals [] points
+
+let checker t ~cpu_privileged a access = check_access t ~privileged:(cpu_privileged ()) a access
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>MPUv8 ctrl.enable=%b@," t.ctrl_enable;
+  for i = 0 to region_count - 1 do
+    if decode_rlar_enable t.rlar.(i) then
+      Format.fprintf ppf "  region %d: [%a, %a] perms=%s@," i Word32.pp
+        (decode_rbar_base t.rbar.(i))
+        Word32.pp
+        (decode_rlar_limit t.rlar.(i))
+        (match decode_rbar_perms t.rbar.(i) with
+        | Some p -> Perms.to_string p
+        | None -> "priv-only")
+  done;
+  Format.fprintf ppf "@]"

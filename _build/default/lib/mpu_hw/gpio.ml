@@ -1,0 +1,56 @@
+(** A GPIO bank model: pin directions, output latches, input levels and a
+    per-pin toggle count (what an LED blink test observes). *)
+
+type direction = Input | Output
+
+type pin = {
+  mutable dir : direction;
+  mutable out_level : bool;
+  mutable in_level : bool;
+  mutable toggles : int;
+}
+
+type t = { pins : pin array }
+
+let create n =
+  { pins = Array.init n (fun _ -> { dir = Input; out_level = false; in_level = false; toggles = 0 }) }
+
+let pin_count t = Array.length t.pins
+
+let check t n = if n < 0 || n >= Array.length t.pins then invalid_arg "gpio: pin"
+
+let set_direction t n dir =
+  check t n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.pins.(n).dir <- dir
+
+let write t n level =
+  check t n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let p = t.pins.(n) in
+  if p.dir <> Output then invalid_arg "gpio: write to input pin";
+  if p.out_level <> level then p.toggles <- p.toggles + 1;
+  p.out_level <- level
+
+let toggle t n =
+  check t n;
+  let p = t.pins.(n) in
+  write t n (not p.out_level)
+
+let read t n =
+  check t n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let p = t.pins.(n) in
+  match p.dir with Input -> p.in_level | Output -> p.out_level
+
+let set_input t n level =
+  check t n;
+  t.pins.(n).in_level <- level
+
+let toggles t n =
+  check t n;
+  t.pins.(n).toggles
+
+let out_level t n =
+  check t n;
+  t.pins.(n).out_level

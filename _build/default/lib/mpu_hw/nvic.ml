@@ -1,0 +1,74 @@
+(** The ARMv7-M Nested Vectored Interrupt Controller (B3.4) — the subset
+    Tock's chip crates drive: per-IRQ enable (ISER/ICER), pending
+    (ISPR/ICPR), 8-bit priority registers, and highest-priority-pending
+    selection. External IRQ [n] maps to exception number [16 + n]. *)
+
+let irq_count = 32
+
+type t = {
+  enabled : bool array;
+  pended : bool array;
+  priority : int array;  (** lower value = higher urgency, like hardware *)
+}
+
+let create () =
+  { enabled = Array.make irq_count false;
+    pended = Array.make irq_count false;
+    priority = Array.make irq_count 0 }
+
+let check n = if n < 0 || n >= irq_count then invalid_arg "nvic: irq"
+
+let enable t n =
+  check n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.enabled.(n) <- true
+
+let disable t n =
+  check n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.enabled.(n) <- false
+
+let is_enabled t n =
+  check n;
+  t.enabled.(n)
+
+let set_pending t n =
+  check n;
+  t.pended.(n) <- true
+
+let clear_pending t n =
+  check n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.pended.(n) <- false
+
+let is_pending t n =
+  check n;
+  t.pended.(n)
+
+let set_priority t n p =
+  check n;
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.priority.(n) <- p land 0xff
+
+(** The IRQ the core would take next: the highest-priority (lowest value)
+    pending-and-enabled interrupt, lowest number breaking ties. *)
+let next_pending t =
+  let best = ref None in
+  for n = irq_count - 1 downto 0 do
+    if t.enabled.(n) && t.pended.(n) then
+      match !best with
+      | Some b when t.priority.(b) < t.priority.(n) -> ()
+      | Some b when t.priority.(b) = t.priority.(n) && b < n -> ()
+      | Some _ | None -> best := Some n
+  done;
+  !best
+
+(** Take (and clear) the next pending IRQ; returns its exception number. *)
+let acknowledge t =
+  match next_pending t with
+  | None -> None
+  | Some n ->
+    t.pended.(n) <- false;
+    Some (16 + n)
+
+let any_pending t = next_pending t <> None

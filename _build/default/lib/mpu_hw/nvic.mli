@@ -1,0 +1,29 @@
+(** The ARMv7-M NVIC (B3.4) — per-IRQ enable, pending and priority, with
+    highest-priority-pending selection. External IRQ [n] is exception
+    number [16 + n]. *)
+
+type t
+
+val irq_count : int
+val create : unit -> t
+val enable : t -> int -> unit
+val disable : t -> int -> unit
+val is_enabled : t -> int -> bool
+
+val set_pending : t -> int -> unit
+(** What a peripheral (or a test) does to raise IRQ [n]. *)
+
+val clear_pending : t -> int -> unit
+val is_pending : t -> int -> bool
+
+val set_priority : t -> int -> int -> unit
+(** Lower value = more urgent, like hardware. *)
+
+val next_pending : t -> int option
+(** The IRQ the core would take next: highest priority among
+    pending-and-enabled, lowest number breaking ties. *)
+
+val acknowledge : t -> int option
+(** Take (and clear) the next pending IRQ; returns its exception number. *)
+
+val any_pending : t -> bool

@@ -1,0 +1,95 @@
+(** Register-level model of the RISC-V Physical Memory Protection unit.
+
+    RV32 PMP is the "MPU" of the paper's three RISC-V targets. Each entry is
+    an 8-bit configuration ([pmpNcfg]: R, W, X, address-matching mode A, lock
+    L) plus an address CSR ([pmpaddrN], holding a physical address shifted
+    right by 2). Compared with the Cortex-M MPU, PMP is far more flexible —
+    TOR entries give byte-pair granularity with no power-of-two or alignment
+    constraints — which is why the paper's [RegionDescriptor] for PMP simply
+    reports the exact configured start and size (§3.5).
+
+    Semantics implemented (RISC-V privileged spec §3.7):
+    - matching modes OFF, TOR, NA4, NAPOT;
+    - the {e lowest-numbered} matching entry decides; an entry matches only
+      if it covers {e all} bytes of the access (we check per byte);
+    - U-mode accesses with no matching entry are denied;
+    - M-mode accesses are bound by an entry only when it is locked; with the
+      ePMP machine-mode-whole-protection bit set (OpenTitan's earlgrey),
+      M-mode accesses with no match are denied as well. *)
+
+type chip = {
+  chip_name : string;
+  entry_count : int;
+  granularity : int;  (** smallest supported region size, bytes *)
+  epmp : bool;  (** implements Smepmp (mseccfg.MMWP model) *)
+}
+
+val sifive_e310 : chip
+(** SiFive FE310 (HiFive1 rev B): 8 entries. *)
+
+val earlgrey : chip
+(** OpenTitan EarlGrey: 16 entries, ePMP. *)
+
+val qemu_rv32_virt : chip
+(** QEMU rv32 virt machine: 16 entries. *)
+
+val chips : chip list
+
+(** {1 Configuration byte encoding} *)
+
+type mode = Off | Tor | Na4 | Napot
+
+val encode_cfg : r:bool -> w:bool -> x:bool -> mode:mode -> lock:bool -> int
+val decode_cfg_r : int -> bool
+val decode_cfg_w : int -> bool
+val decode_cfg_x : int -> bool
+val decode_cfg_mode : int -> mode
+val decode_cfg_lock : int -> bool
+
+val cfg_of_perms : Perms.t -> mode:mode -> int
+(** Unlocked entry granting the given user permissions. *)
+
+val napot_addr : start:Word32.t -> size:int -> Word32.t
+(** Encode a NAPOT [pmpaddr] value. Requires [size] a power of two >= 8 and
+    [start] aligned to [size]. *)
+
+(** {1 Register file} *)
+
+type t
+
+val create : chip -> t
+val chip : t -> chip
+
+val set_entry : t -> index:int -> cfg:int -> addr:Word32.t -> unit
+(** Program one entry ([pmpaddr] value is the pre-shifted CSR encoding).
+    Raises [Invalid_argument] when writing a locked entry — locked entries
+    are immutable until reset, which is how ePMP kernels seal their own
+    regions. Charges MPU-register-write cycles. *)
+
+val clear_entry : t -> index:int -> unit
+val read_entry : t -> index:int -> int * Word32.t
+
+val set_mmwp : t -> bool -> unit
+(** ePMP machine-mode whole-protection; [Invalid_argument] on non-ePMP
+    chips. *)
+
+val set_mml : t -> bool -> unit
+(** Smepmp machine-mode lockdown: with MML set, {e locked} entries apply
+    only to machine mode and {e unlocked} entries only to user mode — the
+    rule OpenTitan uses to seal the kernel's own regions.
+    [Invalid_argument] on non-ePMP chips. *)
+
+val mml : t -> bool
+
+val entry_range : t -> int -> Range.t option
+(** Decoded address range an entry matches, [None] for OFF entries. *)
+
+val check_access :
+  t -> machine_mode:bool -> Word32.t -> Perms.access -> (unit, string) result
+
+val accessible_ranges : t -> Perms.access -> Range.t list
+(** Maximal ranges a U-mode access of the given kind may touch. *)
+
+val checker : t -> cpu_machine_mode:(unit -> bool) -> Word32.t -> Perms.access -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** The ARMv7-M System Control Block's fault-status registers (B3.2).
+
+    When the MPU denies an access, the hardware latches {e why} and
+    {e where} before vectoring to the MemManage handler: the MemManage
+    Fault Status Register (the CFSR's low byte) gets DACCVIOL/IACCVIOL and
+    MMARVALID, and the MemManage Fault Address Register holds the faulting
+    address. Tock's hard-fault path reads exactly these registers to build
+    its crash report. Fault-status bits are write-one-to-clear, like the
+    hardware. *)
+
+(* MMFSR bit positions within the CFSR: instruction access violation, data
+   access violation, and MMFAR-holds-a-valid-address. *)
+let iaccviol = 1 lsl 0
+let daccviol = 1 lsl 1
+let mmarvalid = 1 lsl 7
+
+type t = {
+  mutable cfsr : Word32.t;
+  mutable mmfar : Word32.t;
+  mutable fault_count : int;
+}
+
+let create () = { cfsr = 0; mmfar = 0; fault_count = 0 }
+
+(** What the bus does on an MPU-denied access. *)
+let record_memfault t ~addr ~access =
+  t.fault_count <- t.fault_count + 1;
+  (match access with
+  | Perms.Execute -> t.cfsr <- t.cfsr lor iaccviol
+  | Perms.Read | Perms.Write ->
+    t.cfsr <- t.cfsr lor daccviol lor mmarvalid;
+    t.mmfar <- addr);
+  ()
+
+let cfsr t = t.cfsr
+let mmfar t = t.mmfar
+let fault_count t = t.fault_count
+let mmfar_valid t = t.cfsr land mmarvalid <> 0
+
+(** Write-one-to-clear, as on hardware. *)
+let clear_cfsr t bits = t.cfsr <- t.cfsr land lnot bits land Word32.mask
+
+let pp ppf t =
+  Format.fprintf ppf "SCB cfsr=%s mmfar=%s faults=%d" (Word32.to_hex t.cfsr)
+    (Word32.to_hex t.mmfar) t.fault_count

@@ -1,0 +1,91 @@
+(** The ARMv7-M SysTick timer (B3.3).
+
+    A 24-bit down-counter: loaded from SYST_RVR, decremented each clock,
+    wrapping to the reload value and setting COUNTFLAG (and, with TICKINT,
+    pending the SysTick exception — exception number 15, the one Tock's
+    scheduler quantum rides on). Register semantics modeled: reading
+    SYST_CSR clears COUNTFLAG; writing SYST_CVR clears the counter and
+    COUNTFLAG without triggering the exception. *)
+
+let exception_number = 15
+let max_reload = 0xFF_FFFF
+
+type t = {
+  mutable enable : bool;
+  mutable tickint : bool;
+  mutable countflag : bool;
+  mutable reload : int;
+  mutable current : int;
+  mutable pending : bool;  (** SysTick exception pended *)
+}
+
+let create () =
+  { enable = false; tickint = false; countflag = false; reload = 0; current = 0; pending = false }
+
+let write_rvr t v =
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.reload <- v land max_reload
+
+let write_cvr t _v =
+  (* any write clears the counter and COUNTFLAG *)
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.current <- 0;
+  t.countflag <- false
+
+let read_cvr t = t.current
+
+let write_csr t v =
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.enable <- v land 1 <> 0;
+  t.tickint <- v land 2 <> 0
+
+let read_csr t =
+  let v =
+    (if t.enable then 1 else 0)
+    lor (if t.tickint then 2 else 0)
+    lor 4 (* CLKSOURCE: processor clock *)
+    lor if t.countflag then 1 lsl 16 else 0
+  in
+  (* reading the CSR clears COUNTFLAG *)
+  t.countflag <- false;
+  v
+
+(** Convenience: program and start a countdown of [reload] clocks. *)
+let start t ~reload ~tickint =
+  write_rvr t reload;
+  write_cvr t 0;
+  t.current <- reload land max_reload;
+  write_csr t (1 lor if tickint then 2 else 0)
+
+(** Advance the clock by [n] cycles. *)
+let advance t n =
+  if t.enable && n > 0 && t.reload > 0 then begin
+    let rec go n =
+      if n > 0 then begin
+        if t.current = 0 then t.current <- t.reload
+        else begin
+          t.current <- t.current - 1;
+          if t.current = 0 then begin
+            t.countflag <- true;
+            if t.tickint then t.pending <- true;
+            t.current <- t.reload
+          end
+        end;
+        go (n - 1)
+      end
+    in
+    (* fast path for big advances *)
+    if n >= t.reload * 2 then begin
+      t.countflag <- true;
+      if t.tickint then t.pending <- true;
+      t.current <- t.reload - (n mod t.reload)
+    end
+    else go n
+  end
+
+let take_pending t =
+  let p = t.pending in
+  t.pending <- false;
+  p
+
+let pending t = t.pending

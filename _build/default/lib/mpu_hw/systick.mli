@@ -1,0 +1,35 @@
+(** The ARMv7-M SysTick timer (B3.3).
+
+    A 24-bit down-counter loaded from SYST_RVR, wrapping to the reload value
+    and setting COUNTFLAG (and, with TICKINT, pending exception 15 — the one
+    Tock's scheduling quantum rides on). Register semantics modeled: reading
+    SYST_CSR clears COUNTFLAG; any write to SYST_CVR clears the counter and
+    COUNTFLAG without triggering the exception. *)
+
+type t
+
+val exception_number : int
+(** 15. *)
+
+val max_reload : int
+(** 2^24 - 1. *)
+
+val create : unit -> t
+val write_rvr : t -> int -> unit
+val write_cvr : t -> int -> unit
+val read_cvr : t -> int
+val write_csr : t -> int -> unit
+
+val read_csr : t -> int
+(** ENABLE | TICKINT | CLKSOURCE | COUNTFLAG<<16; clears COUNTFLAG. *)
+
+val start : t -> reload:int -> tickint:bool -> unit
+(** Program and start a countdown. *)
+
+val advance : t -> int -> unit
+(** Advance the clock by n cycles. *)
+
+val take_pending : t -> bool
+(** Consume the pended SysTick exception, if any. *)
+
+val pending : t -> bool

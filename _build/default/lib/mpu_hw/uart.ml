@@ -1,0 +1,65 @@
+(** A simple UART device model.
+
+    Transmit is asynchronous like real hardware: writing a byte while the
+    shifter is busy is an overrun (the byte is dropped and an error flag
+    set — the behaviour drivers must avoid by polling or buffering).
+    [step] advances device time; completed bytes land in the transcript the
+    tests read. Receive is push-driven from the test/bench side. *)
+
+type t = {
+  cycles_per_byte : int;
+  mutable tx_busy_until : int;
+  mutable now : int;
+  mutable overruns : int;
+  transcript : Buffer.t;
+  rx_fifo : int Queue.t;
+  mutable rx_overflows : int;
+  rx_depth : int;
+}
+
+let create ?(cycles_per_byte = 8) ?(rx_depth = 16) () =
+  {
+    cycles_per_byte;
+    tx_busy_until = 0;
+    now = 0;
+    overruns = 0;
+    transcript = Buffer.create 128;
+    rx_fifo = Queue.create ();
+    rx_overflows = 0;
+    rx_depth;
+  }
+
+let tx_busy t = t.now < t.tx_busy_until
+
+let write_byte t b =
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  if tx_busy t then t.overruns <- t.overruns + 1
+  else begin
+    Buffer.add_char t.transcript (Char.chr (b land 0xff));
+    t.tx_busy_until <- t.now + t.cycles_per_byte
+  end
+
+let step t n = t.now <- t.now + n
+
+(** Busy-wait transmit: what a polling driver does. *)
+let write_byte_blocking t b =
+  if tx_busy t then step t (t.tx_busy_until - t.now);
+  write_byte t b
+
+let write_string_blocking t s = String.iter (fun c -> write_byte_blocking t (Char.code c)) s
+let transcript t = Buffer.contents t.transcript
+let overruns t = t.overruns
+
+(* --- receive --- *)
+
+let rx_push t b =
+  if Queue.length t.rx_fifo >= t.rx_depth then t.rx_overflows <- t.rx_overflows + 1
+  else Queue.push (b land 0xff) t.rx_fifo
+
+let rx_available t = not (Queue.is_empty t.rx_fifo)
+
+let read_byte t =
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  if Queue.is_empty t.rx_fifo then None else Some (Queue.pop t.rx_fifo)
+
+let rx_overflows t = t.rx_overflows

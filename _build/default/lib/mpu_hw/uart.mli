@@ -1,0 +1,35 @@
+(** A UART device model.
+
+    Transmit is asynchronous like real hardware: writing while the shifter
+    is busy is an overrun (byte dropped, error counted) — the behaviour
+    polling drivers must avoid. Completed bytes land in a transcript the
+    tests read. Receive is a bounded FIFO pushed from the test/bench side. *)
+
+type t
+
+val create : ?cycles_per_byte:int -> ?rx_depth:int -> unit -> t
+
+val tx_busy : t -> bool
+
+val write_byte : t -> int -> unit
+(** Raw register write: drops the byte and counts an overrun when busy. *)
+
+val step : t -> int -> unit
+(** Advance device time by n cycles. *)
+
+val write_byte_blocking : t -> int -> unit
+(** Busy-wait transmit — what a polling driver does. *)
+
+val write_string_blocking : t -> string -> unit
+
+val transcript : t -> string
+(** Every byte successfully transmitted, in order. *)
+
+val overruns : t -> int
+
+val rx_push : t -> int -> unit
+(** Model a received byte arriving on the wire. *)
+
+val rx_available : t -> bool
+val read_byte : t -> int option
+val rx_overflows : t -> int

@@ -1,0 +1,1 @@
+lib/verify/checker.ml: Domain Format List Printf Seq Unix Violation

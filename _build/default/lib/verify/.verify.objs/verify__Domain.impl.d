@@ -1,0 +1,1 @@
+lib/verify/domain.ml: List Math32 Seq

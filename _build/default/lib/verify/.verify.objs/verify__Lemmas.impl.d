@@ -1,0 +1,1 @@
+lib/verify/lemmas.ml: List Math32 Violation

@@ -1,0 +1,1 @@
+lib/verify/report.ml: Array Checker Filename Float Format List Printf String Sys

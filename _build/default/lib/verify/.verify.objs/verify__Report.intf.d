@@ -1,0 +1,1 @@
+lib/verify/report.mli: Checker Format

@@ -1,0 +1,1 @@
+lib/verify/violation.ml: Format Fun

@@ -1,0 +1,1 @@
+lib/verify/violation.mli: Format

@@ -1,0 +1,80 @@
+type property = { name : string; run : unit -> int * (unit, string) result }
+
+let property ~name body = { name; run = (fun () -> (1, body ())) }
+
+let run_case ~show body x =
+  match body x with
+  | Ok () -> Ok ()
+  | Error e -> Error (Printf.sprintf "counterexample %s: %s" (show x) e)
+  | exception Violation.Violation v ->
+    Error (Format.asprintf "counterexample %s: %a" (show x) Violation.pp v)
+
+let forall ~name ?(show = fun _ -> "<input>") domain body =
+  let run () =
+    let cases = ref 0 in
+    let rec loop seq =
+      match Seq.uncons seq with
+      | None -> Ok ()
+      | Some (x, rest) -> (
+        incr cases;
+        match run_case ~show body x with Ok () -> loop rest | Error _ as e -> e)
+    in
+    let outcome = loop (Domain.to_seq domain) in
+    (!cases, outcome)
+  in
+  { name; run }
+
+let forall_violates ~name ?(show = fun _ -> "<input>") ~witnesses domain body =
+  let run () =
+    let cases = ref 0 in
+    let caught = ref 0 in
+    Seq.iter
+      (fun x ->
+        incr cases;
+        match body x with
+        | () -> ()
+        | exception Violation.Violation _ -> incr caught)
+      (Domain.to_seq domain);
+    let outcome =
+      if !caught >= witnesses then Ok ()
+      else
+        Error
+          (Printf.sprintf "expected >= %d violating inputs, found %d (of %d)" witnesses !caught
+             !cases)
+    in
+    ignore show;
+    (!cases, outcome)
+  in
+  { name; run }
+
+type fn_result = {
+  fn_name : string;
+  cases : int;
+  seconds : float;
+  outcome : (unit, string) result;
+}
+
+type component_report = { component : string; results : fn_result list }
+
+let check_property p =
+  let t0 = Unix.gettimeofday () in
+  let cases, outcome = p.run () in
+  let t1 = Unix.gettimeofday () in
+  { fn_name = p.name; cases; seconds = t1 -. t0; outcome }
+
+let check_component component props =
+  let results = Violation.with_enabled true (fun () -> List.map check_property props) in
+  { component; results }
+
+let all_verified r = List.for_all (fun f -> f.outcome = Ok ()) r.results
+let failures r = List.filter (fun f -> f.outcome <> Ok ()) r.results
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>component %s: %d properties@," r.component (List.length r.results);
+  List.iter
+    (fun f ->
+      match f.outcome with
+      | Ok () -> Format.fprintf ppf "  VERIFIED %-50s %6d cases %8.4fs@," f.fn_name f.cases f.seconds
+      | Error e -> Format.fprintf ppf "  FAILED   %-50s %s@," f.fn_name e)
+    r.results;
+  Format.fprintf ppf "@]"

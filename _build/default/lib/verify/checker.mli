@@ -1,0 +1,47 @@
+(** The verification engine.
+
+    The analog of running [flux] over a component: each {e property} plays
+    the role of one contracted function's verification condition, and
+    checking a component means discharging every property and timing each
+    one — producing the per-function timing distribution the paper reports
+    in Figure 12 (total / max / mean / stddev over functions).
+
+    A property passes when the contracted body raises no
+    {!Violation.Violation} (and returns [Ok]) on any input of its domain; a
+    counterexample is reported with the concrete input, just as Flux points
+    at the failing contract (§2.2's bug reports). *)
+
+type property
+
+val property : name:string -> (unit -> (unit, string) result) -> property
+(** A single verification condition with no input space. *)
+
+val forall :
+  name:string -> ?show:('a -> string) -> 'a Domain.t -> ('a -> (unit, string) result) -> property
+(** Check the body on every element of the domain. A raised
+    {!Violation.Violation} counts as a counterexample; [Error] likewise. *)
+
+val forall_violates :
+  name:string -> ?show:('a -> string) -> witnesses:int -> 'a Domain.t -> ('a -> unit) -> property
+(** Dual form used by bug reproductions: the property holds when at least
+    [witnesses] inputs make the body raise a violation — i.e. the checker
+    {e does} catch the injected bug. *)
+
+type fn_result = {
+  fn_name : string;
+  cases : int;  (** inputs exercised *)
+  seconds : float;
+  outcome : (unit, string) result;  (** [Error] carries the counterexample *)
+}
+
+type component_report = {
+  component : string;
+  results : fn_result list;
+}
+
+val check_component : string -> property list -> component_report
+(** Run every property with contract checking enabled, timing each. *)
+
+val all_verified : component_report -> bool
+val failures : component_report -> fn_result list
+val pp_report : Format.formatter -> component_report -> unit

@@ -1,0 +1,45 @@
+type 'a t = { card : int; seq : unit -> 'a Seq.t }
+
+let cardinality t = t.card
+let to_seq t = t.seq ()
+
+let of_list xs = { card = List.length xs; seq = (fun () -> List.to_seq xs) }
+
+let ints lo hi =
+  assert (lo <= hi);
+  { card = hi - lo + 1; seq = (fun () -> Seq.init (hi - lo + 1) (fun i -> lo + i)) }
+
+let around centres ~spread =
+  let values =
+    List.concat_map
+      (fun c ->
+        List.init ((2 * spread) + 1) (fun i -> c - spread + i) |> List.filter (fun v -> v >= 0))
+      centres
+    |> List.sort_uniq compare
+  in
+  of_list values
+
+let pow2s ~min ~max =
+  assert (Math32.is_pow2 min && Math32.is_pow2 max && min <= max);
+  let rec build p = if p > max then [] else p :: build (p * 2) in
+  of_list (build min)
+
+let bool = of_list [ false; true ]
+
+let option d =
+  { card = d.card + 1;
+    seq = (fun () -> Seq.cons None (Seq.map (fun x -> Some x) (d.seq ()))) }
+
+let pair a b =
+  { card = a.card * b.card;
+    seq =
+      (fun () -> Seq.concat_map (fun x -> Seq.map (fun y -> (x, y)) (b.seq ())) (a.seq ())) }
+
+let map f d = { card = d.card; seq = (fun () -> Seq.map f (d.seq ())) }
+let triple a b c = map (fun ((x, y), z) -> (x, y, z)) (pair (pair a b) c)
+let quad a b c d = map (fun ((x, y), (z, w)) -> (x, y, z, w)) (pair (pair a b) (pair c d))
+let filter p d = { card = d.card; seq = (fun () -> Seq.filter p (d.seq ())) }
+
+let union ds =
+  { card = List.fold_left (fun acc d -> acc + d.card) 0 ds;
+    seq = (fun () -> Seq.concat_map (fun d -> d.seq ()) (List.to_seq ds)) }

@@ -1,0 +1,34 @@
+(** Input domains for bounded-exhaustive contract checking.
+
+    Flux discharges verification conditions with an SMT solver over all
+    values of the refined types. Our checker instead enumerates bounded
+    domains exhaustively (and supplements them with QCheck random domains in
+    the test suite). Domains are built compositionally; products enumerate
+    the full cross product, so keep the factors small and boundary-rich. *)
+
+type 'a t
+
+val cardinality : 'a t -> int
+val to_seq : 'a t -> 'a Seq.t
+
+val of_list : 'a list -> 'a t
+
+val ints : int -> int -> int t
+(** Inclusive integer interval. *)
+
+val around : int list -> spread:int -> int t
+(** Boundary-biased integers: for each centre [c], the values
+    [c-spread .. c+spread], deduplicated and clipped at 0. The workhorse for
+    address/size domains where bugs live at alignment boundaries. *)
+
+val pow2s : min:int -> max:int -> int t
+(** Powers of two in [\[min, max\]]. *)
+
+val bool : bool t
+val option : 'a t -> 'a option t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val quad : 'a t -> 'b t -> 'c t -> 'd t -> ('a * 'b * 'c * 'd) t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val union : 'a t list -> 'a t

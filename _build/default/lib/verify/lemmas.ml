@@ -1,0 +1,65 @@
+let lemma_pow2_octet r =
+  if Math32.is_pow2 r && 8 <= r then
+    Violation.ensuref "lemma_pow2_octet" (r mod 8 = 0) "r=%d" r
+
+let lemma_pow2_double r =
+  if Math32.is_pow2 r && r < 1 lsl 31 then
+    Violation.ensuref "lemma_pow2_double" (Math32.is_pow2 (2 * r)) "r=%d" r
+
+let lemma_align_up_bounds x a =
+  if Math32.is_pow2 a then begin
+    let y = Math32.align_up x ~align:a in
+    Violation.ensuref "lemma_align_up_bounds" (x <= y && y < x + a) "x=%d a=%d y=%d" x a y
+  end
+
+let lemma_align_up_aligned x a =
+  if Math32.is_pow2 a then
+    Violation.ensuref "lemma_align_up_aligned" (Math32.align_up x ~align:a mod a = 0) "x=%d a=%d"
+      x a
+
+let lemma_closest_pow2_bounds x =
+  if 0 < x && x <= 1 lsl 31 then begin
+    let p = Math32.closest_power_of_two x in
+    Violation.ensuref "lemma_closest_pow2_bounds" (x <= p && (p < 2 * x || p = 1)) "x=%d p=%d" x p
+  end
+
+let lemma_subregion_exact size =
+  if Math32.is_pow2 size && size >= 256 then begin
+    let sub = size / 8 in
+    Violation.ensuref "lemma_subregion_exact" (sub * 8 = size && sub mod 32 = 0) "size=%d" size
+  end
+
+let prove_all ?(bound = 1 lsl 16) () =
+  let pow2s = List.init 32 (fun i -> 1 lsl i) in
+  let count = ref [] in
+  let record name n = count := (name, n) :: !count in
+  Violation.with_enabled true (fun () ->
+      let n = ref 0 in
+      List.iter (fun r -> incr n; lemma_pow2_octet r; lemma_pow2_double r) pow2s;
+      for r = 0 to bound do
+        incr n;
+        lemma_pow2_octet r
+      done;
+      record "lemma_pow2_octet+double" !n;
+      let n = ref 0 in
+      List.iter
+        (fun a ->
+          if a <= 4096 then
+            for x = 0 to 4096 do
+              incr n;
+              lemma_align_up_bounds x a;
+              lemma_align_up_aligned x a
+            done)
+        pow2s;
+      record "lemma_align_up" !n;
+      let n = ref 0 in
+      for x = 1 to bound do
+        incr n;
+        lemma_closest_pow2_bounds x
+      done;
+      List.iter (fun p -> incr n; lemma_closest_pow2_bounds p) pow2s;
+      record "lemma_closest_pow2_bounds" !n;
+      let n = ref 0 in
+      List.iter (fun s -> incr n; lemma_subregion_exact s) pow2s;
+      record "lemma_subregion_exact" !n);
+  List.rev !count

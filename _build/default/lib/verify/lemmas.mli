@@ -1,0 +1,36 @@
+(** Trusted arithmetic lemmas, proved by bounded exhaustion.
+
+    The paper's SMT solvers hang on facts about powers of two and modular
+    arithmetic, so TickTock states them as trusted lemmas and proves them
+    interactively in Lean (§5). We state the same lemmas; instead of Lean we
+    discharge each one by exhaustively checking a large bounded prefix of
+    its domain once at start-up ({!prove_all}), then let kernel code "call"
+    the lemma — which, with contract checking enabled, re-validates the
+    instance it is applied to. *)
+
+val lemma_pow2_octet : int -> unit
+(** [is_pow2 r && 8 <= r  ==>  r mod 8 = 0] — the paper's example. Raises
+    {!Violation.Violation} if the instance fails (it cannot). *)
+
+val lemma_pow2_double : int -> unit
+(** [is_pow2 r  ==>  is_pow2 (2*r)] (for [r < 2{^31}]). *)
+
+val lemma_align_up_bounds : int -> int -> unit
+(** [is_pow2 a  ==>  x <= align_up x a < x + a]. *)
+
+val lemma_align_up_aligned : int -> int -> unit
+(** [is_pow2 a  ==>  align_up x a mod a = 0]. *)
+
+val lemma_closest_pow2_bounds : int -> unit
+(** [0 < x <= 2{^31}  ==>  x <= closest_power_of_two x < 2*x]. *)
+
+val lemma_subregion_exact : int -> unit
+(** A region size that is a power of two [>= 256] divides evenly into eight
+    subregions each a multiple of 32 — the fact underlying the Cortex-M
+    subregion layout. *)
+
+val prove_all : ?bound:int -> unit -> (string * int) list
+(** Exhaustively check every lemma over a bounded domain (default bound
+    2{^16}, plus the powers of two up to 2{^31}); returns (lemma, cases
+    checked). Raises on the first counterexample — i.e. never, serving the
+    role of the Lean proof artifact. *)

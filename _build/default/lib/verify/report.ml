@@ -1,0 +1,110 @@
+type timing_stats = {
+  fns : int;
+  total_s : float;
+  max_s : float;
+  mean_s : float;
+  stddev_s : float;
+}
+
+let timing_stats (r : Checker.component_report) =
+  let times = List.map (fun (f : Checker.fn_result) -> f.seconds) r.results in
+  let fns = List.length times in
+  let total_s = List.fold_left ( +. ) 0.0 times in
+  let max_s = List.fold_left max 0.0 times in
+  let mean_s = if fns = 0 then 0.0 else total_s /. float_of_int fns in
+  let var =
+    if fns = 0 then 0.0
+    else
+      List.fold_left (fun acc t -> acc +. ((t -. mean_s) ** 2.0)) 0.0 times /. float_of_int fns
+  in
+  { fns; total_s; max_s; mean_s; stddev_s = sqrt var }
+
+let seconds_to_string s =
+  if s >= 60.0 then Printf.sprintf "%dm%04.1fs" (int_of_float s / 60) (Float.rem s 60.0)
+  else Printf.sprintf "%.3fs" s
+
+let pp_timing_row ppf (name, st) =
+  Format.fprintf ppf "%-24s %5d  %10s %10s %10s %10s" name st.fns (seconds_to_string st.total_s)
+    (seconds_to_string st.max_s) (seconds_to_string st.mean_s) (seconds_to_string st.stddev_s)
+
+let pp_timing_table ppf rows =
+  Format.fprintf ppf "@[<v>%-24s %5s  %10s %10s %10s %10s@," "Component" "Fns." "Total" "Max"
+    "Mean" "StdDev";
+  List.iter (fun row -> Format.fprintf ppf "%a@," pp_timing_row row) rows;
+  Format.fprintf ppf "@]"
+
+type effort_row = {
+  effort_component : string;
+  source_loc : int;
+  functions : int;
+  spec_sites : int;
+}
+
+let is_code_line line =
+  let line = String.trim line in
+  String.length line > 0 && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+
+let count_occurrences ~needle line =
+  let nlen = String.length needle in
+  let llen = String.length line in
+  let rec loop i acc =
+    if i + nlen > llen then acc
+    else if String.sub line i nlen = needle then loop (i + nlen) (acc + 1)
+    else loop (i + 1) acc
+  in
+  loop 0 0
+
+let spec_markers =
+  [ "Violation.require"; "Violation.ensure"; "Violation.invariant"; "Lemmas."; "Checker.forall";
+    "Checker.property"; "Contract." ]
+
+let fn_markers = [ "let " ]
+
+let scan_file path =
+  let ic = open_in path in
+  let loc = ref 0 and fns = ref 0 and specs = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if is_code_line line then incr loc;
+       List.iter (fun m -> fns := !fns + count_occurrences ~needle:m line) fn_markers;
+       List.iter (fun m -> specs := !specs + count_occurrences ~needle:m line) spec_markers
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!loc, !fns, !specs)
+
+let ml_files dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+    |> List.map (Filename.concat dir)
+
+let scan_sources ~root ~components =
+  List.map
+    (fun (name, dirs) ->
+      let files = List.concat_map (fun d -> ml_files (Filename.concat root d)) dirs in
+      let loc, fns, specs =
+        List.fold_left
+          (fun (l, f, s) file ->
+            let l', f', s' = scan_file file in
+            (l + l', f + f', s + s'))
+          (0, 0, 0) files
+      in
+      { effort_component = name; source_loc = loc; functions = fns; spec_sites = specs })
+    components
+
+let pp_effort_table ppf rows =
+  Format.fprintf ppf "@[<v>%-24s %8s %8s %8s@," "Component" "Source" "Fns" "Specs";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-24s %8d %8d %8d@," r.effort_component r.source_loc r.functions
+        r.spec_sites)
+    rows;
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Format.fprintf ppf "%-24s %8d %8d %8d@," "Total"
+    (total (fun r -> r.source_loc))
+    (total (fun r -> r.functions))
+    (total (fun r -> r.spec_sites));
+  Format.fprintf ppf "@]"

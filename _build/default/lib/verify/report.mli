@@ -1,0 +1,35 @@
+(** Verification-effort reporting (Figures 10 and 12).
+
+    {!timing_stats} condenses a {!Checker.component_report} into the row
+    shape of the paper's Figure 12: number of functions (properties), total
+    verification time, max/mean/stddev of per-function times.
+
+    {!scan_sources} produces the Figure 10 analog: per-component source
+    lines, function counts and specification (contract-site) counts, mined
+    from this repository's own OCaml sources the way the paper counts Rust
+    LoC and Flux annotations. *)
+
+type timing_stats = {
+  fns : int;
+  total_s : float;
+  max_s : float;
+  mean_s : float;
+  stddev_s : float;
+}
+
+val timing_stats : Checker.component_report -> timing_stats
+val pp_timing_row : Format.formatter -> string * timing_stats -> unit
+val pp_timing_table : Format.formatter -> (string * timing_stats) list -> unit
+
+type effort_row = {
+  effort_component : string;
+  source_loc : int;  (** non-blank, non-comment-only lines in .ml files *)
+  functions : int;  (** top-level and nested [let] definitions *)
+  spec_sites : int;  (** contract call sites: require/ensure/invariant/lemma *)
+}
+
+val scan_sources : root:string -> components:(string * string list) list -> effort_row list
+(** [components] maps a display name to the directories (relative to [root])
+    whose [.ml] files make it up. Missing directories contribute zero. *)
+
+val pp_effort_table : Format.formatter -> effort_row list -> unit

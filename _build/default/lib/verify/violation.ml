@@ -1,0 +1,30 @@
+type t = { site : string; detail : string }
+
+exception Violation of t
+
+let state = ref true
+let enabled () = !state
+let set_enabled v = state := v
+
+let with_enabled v f =
+  let old = !state in
+  state := v;
+  Fun.protect ~finally:(fun () -> state := old) f
+
+let fail site detail = raise (Violation { site; detail })
+let require site ok = if !state && not ok then fail site "precondition failed"
+let ensure site ok = if !state && not ok then fail site "postcondition failed"
+let invariant site ok = if !state && not ok then fail site "invariant violated"
+
+let failf site fmt = Format.kasprintf (fun detail -> fail site detail) fmt
+
+let requiref site ok fmt =
+  if !state && not ok then failf site fmt else Format.ikfprintf ignore Format.str_formatter fmt
+
+let ensuref site ok fmt =
+  if !state && not ok then failf site fmt else Format.ikfprintf ignore Format.str_formatter fmt
+
+let invariantf site ok fmt =
+  if !state && not ok then failf site fmt else Format.ikfprintf ignore Format.str_formatter fmt
+
+let pp ppf { site; detail } = Format.fprintf ppf "%s: %s" site detail

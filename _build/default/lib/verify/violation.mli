@@ -1,0 +1,41 @@
+(** Contract violations.
+
+    Flux rejects Tock code that cannot be proved to satisfy its refinement
+    contracts at {e compile} time. Our substitute enforces the same contracts
+    at {e run} time: every contracted site in the kernel calls into this
+    module, and a failure raises {!Violation} carrying the contract's name —
+    the analog of a Flux error naming the failed pre/postcondition.
+
+    Crucially, contract checking can be switched off globally. Benchmarks
+    (Figure 11) run with checks disabled, matching the paper: Flux's checks
+    cost nothing at run time, so neither should ours when measuring the
+    kernels. Tests and the verification harness run with checks enabled. *)
+
+type t = { site : string; detail : string }
+
+exception Violation of t
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with checking forced on/off, restoring the previous state. *)
+
+val require : string -> bool -> unit
+(** Precondition: [require site ok] raises when checking is enabled and
+    [ok] is false. *)
+
+val ensure : string -> bool -> unit
+(** Postcondition; same mechanics, named differently for readability. *)
+
+val invariant : string -> bool -> unit
+(** Data-structure invariant. *)
+
+val requiref : string -> bool -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** As {!require} with a formatted detail message (evaluated lazily only on
+    failure). *)
+
+val ensuref : string -> bool -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val invariantf : string -> bool -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_allocator.ml: Alcotest App_mem_alloc Cortexm_mpu Kerror List Math32 Mpu_hw Option Perms QCheck QCheck_alcotest Range Result Ticktock Tock_allocator Verify Word32

@@ -1,0 +1,1 @@
+test/test_app_breaks.ml: Alcotest App_breaks QCheck QCheck_alcotest Range Ticktock Verify

@@ -1,0 +1,1 @@
+test/test_app_dsl.ml: Alcotest Apps Boards Char Fun Instance Layout List Option QCheck QCheck_alcotest Range Result Ticktock Userland Word32

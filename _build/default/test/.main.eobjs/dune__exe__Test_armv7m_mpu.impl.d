@@ -1,0 +1,1 @@
+test/test_armv7m_mpu.ml: Alcotest List Mpu_hw Perms Printf QCheck QCheck_alcotest Range Word32

@@ -1,0 +1,1 @@
+test/test_armv8m.ml: Alcotest Apps Armv8m_mpu_drv Armv8m_region Boards Instance Kerror List Math32 Mpu_hw Option Perms Process QCheck QCheck_alcotest Range Ticktock Userland Verify

@@ -1,0 +1,1 @@
+test/test_capsules.ml: Alcotest Apps Boards Capsule_intf Capsules Char Instance Kerror List Mpu_hw Option Printf String Ticktock Userland

@@ -1,0 +1,1 @@
+test/test_cortexm_mpu.ml: Alcotest Array Cortexm_mpu Cortexm_region List Math32 Mpu_hw Option Perms QCheck QCheck_alcotest Range Ticktock

@@ -1,0 +1,1 @@
+test/test_cortexm_region.ml: Alcotest Cortexm_region Mpu_hw Perms QCheck QCheck_alcotest Range Ticktock Verify Word32

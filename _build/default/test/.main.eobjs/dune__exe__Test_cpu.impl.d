@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Fluxarm Layout List Memory Range Verify Word32

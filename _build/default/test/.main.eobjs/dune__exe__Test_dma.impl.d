@@ -1,0 +1,1 @@
+test/test_dma.ml: Alcotest Dma Layout Memory Range Ticktock Verify

@@ -1,0 +1,1 @@
+test/test_epmp.ml: Alcotest Apps Boards Epmp Kerror Layout Machine Mpu_hw Perms Pmp_mpu Process Range Ticktock

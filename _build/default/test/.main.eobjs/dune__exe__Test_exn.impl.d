@@ -1,0 +1,1 @@
+test/test_exn.ml: Alcotest Fluxarm Layout Memory Mpu_hw Range Ticktock Verify Word32

@@ -1,0 +1,1 @@
+test/test_fault_policy.ml: Alcotest Apps Boards Kerror Layout Process Range String Ticktock

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Apps Boards List Printf Ticktock Verify

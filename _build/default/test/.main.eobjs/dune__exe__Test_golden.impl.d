@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Apps Boards List Ticktock Verify

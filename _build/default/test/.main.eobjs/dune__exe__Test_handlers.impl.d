@@ -1,0 +1,1 @@
+test/test_handlers.ml: Alcotest Fluxarm Layout List Memory Range Ticktock Verify Word32

@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Apps Boards Instance Kerror List Result Ticktock Verify

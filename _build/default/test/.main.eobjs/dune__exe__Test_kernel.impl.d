@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Apps Boards Instance Kerror Layout List Option Printf Range String Ticktock Userland

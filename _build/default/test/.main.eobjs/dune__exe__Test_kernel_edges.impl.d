@@ -1,0 +1,1 @@
+test/test_kernel_edges.ml: Alcotest Apps Boards Instance Kerror Layout List Option Printf Result Ticktock Userland

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Apps Kerror Layout List Loader Math32 Memory Printf Range Result String Ticktock

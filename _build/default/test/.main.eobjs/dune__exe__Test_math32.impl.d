@@ -1,0 +1,1 @@
+test/test_math32.ml: Alcotest Math32 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Fluxarm Layout List Memory Perms Printf Range Ticktock Verify

@@ -1,0 +1,1 @@
+test/test_pmp.ml: Alcotest List Mpu_hw Perms QCheck QCheck_alcotest Range

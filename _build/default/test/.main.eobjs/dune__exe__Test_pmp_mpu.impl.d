@@ -1,0 +1,1 @@
+test/test_pmp_mpu.ml: Alcotest List Math32 Mpu_hw Perms Pmp_mpu Pmp_region QCheck QCheck_alcotest Range Region_intf Ticktock Verify Word32

@@ -1,0 +1,1 @@
+test/test_proofs.ml: Alcotest List Proofs String Ticktock Verify

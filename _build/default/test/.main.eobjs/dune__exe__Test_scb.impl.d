@@ -1,0 +1,1 @@
+test/test_scb.ml: Alcotest Apps Boards Fluxarm Layout Machine Memory Mpu_hw Perms Process Proofs Range Result Ticktock

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Apps Boards Kernel Kerror Layout List Loader Machine Memory Process Range Result String Ticktock Userland

@@ -1,0 +1,1 @@
+test/test_thumb.ml: Alcotest Fluxarm Format List Memory QCheck QCheck_alcotest Result

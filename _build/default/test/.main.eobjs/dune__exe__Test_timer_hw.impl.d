@@ -1,0 +1,1 @@
+test/test_timer_hw.ml: Alcotest Fluxarm List Mpu_hw Ticktock

@@ -1,0 +1,1 @@
+test/test_tock_mpu.ml: Alcotest Math32 Option Perms Region_intf Ticktock Tock_cortexm_mpu Tock_pmp_mpu Word32

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Apps Boards Capsules Kernel List Machine Process Result String Ticktock Trace Userland

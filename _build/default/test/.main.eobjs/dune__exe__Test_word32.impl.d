@@ -1,0 +1,1 @@
+test/test_word32.ml: Alcotest QCheck QCheck_alcotest Word32

@@ -1,0 +1,209 @@
+(* The allocators: TickTock's granular AppMemoryAllocator (Figure 4b) and
+   Tock's monolithic baseline — including the disagreement between them. *)
+
+open Ticktock
+module A = App_mem_alloc.Make (Cortexm_mpu)
+module T = Tock_allocator.Upstream_cortexm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+let flash = 0x0002_0000
+
+let allocate ?(min_size = 4096) ?(app_size = 4096) ?(kernel_size = 1024) () =
+  A.allocate_app_memory ~unalloc_start:base ~unalloc_size:0x20000 ~min_size ~app_size
+    ~kernel_size ~flash_start:flash ~flash_size:1024
+
+let get = function Ok x -> x | Error e -> Alcotest.failf "alloc failed: %a" Kerror.pp e
+
+let test_allocate_layout () =
+  let a = get (allocate ()) in
+  check_int "memory_start" base (A.memory_start a);
+  check_int "app_break covers request" (base + 4096) (A.app_break a);
+  check_int "block = app + kernel reserve" (4096 + 1024) (A.memory_size a);
+  check_int "kernel_break at block end" (base + 5120) (A.kernel_break a)
+
+let test_allocate_view_matches_hardware () =
+  (* the anti-disagreement property: the logical view equals what the MPU
+     enforces, via the hardware model *)
+  let a = get (allocate ()) in
+  let hw = Mpu_hw.Armv7m_mpu.create () in
+  A.configure_mpu hw a;
+  let enforced = Mpu_hw.Armv7m_mpu.accessible_ranges hw Perms.Write in
+  (match enforced with
+  | [ r ] ->
+    check_int "hw write start" (A.memory_start a) (Range.start r);
+    check_int "hw write end" (A.app_break a) (Range.end_ r)
+  | rs -> Alcotest.failf "expected one writable range, got %d" (List.length rs));
+  match Mpu_hw.Armv7m_mpu.accessible_ranges hw Perms.Execute with
+  | [ fr ] ->
+    check_int "flash exec start" flash (Range.start fr);
+    check_int "flash exec size" 1024 (Range.size fr)
+  | rs -> Alcotest.failf "expected one executable range, got %d" (List.length rs)
+
+let test_brk_grow_and_shrink () =
+  let a = get (allocate ~min_size:8192 ~app_size:4096 ()) in
+  (match A.brk a ~new_app_break:(base + 2048) with
+  | Ok b -> check_int "shrink lands on subregion boundary" (base + 2048) b
+  | Error e -> Alcotest.failf "shrink failed: %a" Kerror.pp e);
+  (match A.brk a ~new_app_break:(base + 6000) with
+  | Ok b -> check_bool "grow rounds up within envelope" true (b >= base + 6000)
+  | Error e -> Alcotest.failf "grow failed: %a" Kerror.pp e);
+  check_bool "break tracked" true (A.app_break a >= base + 6000)
+
+let test_brk_validation () =
+  let a = get (allocate ()) in
+  check_bool "below memory_start refused" true
+    (A.brk a ~new_app_break:(base - 64) = Error Kerror.Invalid_brk);
+  check_bool "at kernel_break refused" true
+    (A.brk a ~new_app_break:(A.kernel_break a) = Error Kerror.Invalid_brk);
+  (* the §2.2 malicious input: a wrapped pointer *)
+  check_bool "wrapped pointer refused" true
+    (A.brk a ~new_app_break:(Word32.sub base 1) = Error Kerror.Invalid_brk)
+
+let test_sbrk () =
+  (* allocation establishes the envelope with the break at its top; pull it
+     down first (as the kernel's create does), then grow back within it *)
+  let a = get (allocate ~min_size:8192 ~app_size:4096 ()) in
+  (match A.brk a ~new_app_break:(base + 4096) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "brk down failed: %a" Kerror.pp e);
+  (match A.sbrk a ~delta:512 with
+  | Ok b -> check_bool "sbrk grows" true (b >= base + 4608)
+  | Error e -> Alcotest.failf "sbrk failed: %a" Kerror.pp e);
+  (match A.sbrk a ~delta:(-4096) with
+  | Ok b -> check_bool "sbrk shrinks" true (b < base + 4096)
+  | Error e -> Alcotest.failf "sbrk shrink failed: %a" Kerror.pp e);
+  check_bool "growth beyond the envelope refused" true
+    (Result.is_error (A.brk a ~new_app_break:(base + 8704)))
+
+let test_allocate_grant () =
+  let a = get (allocate ()) in
+  let kb0 = A.kernel_break a in
+  (match A.allocate_grant a ~size:128 ~align:8 with
+  | Ok g ->
+    check_bool "grant below previous break" true (g <= kb0 - 128);
+    check_bool "aligned" true (Math32.is_aligned g ~align:8);
+    check_int "kernel_break moved down" g (A.kernel_break a)
+  | Error e -> Alcotest.failf "grant failed: %a" Kerror.pp e);
+  (* exhaustion: grants cannot cross the app break *)
+  let rec drain n =
+    if n = 0 then Alcotest.fail "grant never exhausted"
+    else
+      match A.allocate_grant a ~size:256 ~align:8 with
+      | Ok _ -> drain (n - 1)
+      | Error Kerror.Grant_exhausted -> ()
+      | Error e -> Alcotest.failf "unexpected error: %a" Kerror.pp e
+  in
+  drain 100;
+  check_bool "app_break < kernel_break preserved" true (A.app_break a < A.kernel_break a)
+
+let test_buffer_builders () =
+  let a = get (allocate ()) in
+  (match A.build_readwrite_buffer a ~addr:(base + 100) ~len:64 with
+  | Ok buf -> check_int "rw buffer" 64 (Range.size buf)
+  | Error e -> Alcotest.failf "rw buffer failed: %a" Kerror.pp e);
+  check_bool "rw in flash refused" true
+    (A.build_readwrite_buffer a ~addr:flash ~len:16 = Error Kerror.Invalid_buffer);
+  check_bool "ro in flash ok" true
+    (match A.build_readonly_buffer a ~addr:flash ~len:16 with Ok _ -> true | Error _ -> false);
+  check_bool "buffer crossing app_break refused" true
+    (A.build_readwrite_buffer a ~addr:(A.app_break a - 8) ~len:16 = Error Kerror.Invalid_buffer);
+  check_bool "buffer in grant refused" true
+    (A.build_readwrite_buffer a ~addr:(A.kernel_break a) ~len:4 = Error Kerror.Invalid_buffer);
+  check_bool "negative length refused" true
+    (A.build_readonly_buffer a ~addr:base ~len:(-1) = Error Kerror.Invalid_buffer);
+  check_bool "wrapping buffer refused" true
+    (A.build_readwrite_buffer a ~addr:Word32.max_value ~len:16 = Error Kerror.Invalid_buffer)
+
+let test_flash_error () =
+  check_bool "unrepresentable flash refused" true
+    (match
+       A.allocate_app_memory ~unalloc_start:base ~unalloc_size:0x20000 ~min_size:4096
+         ~app_size:4096 ~kernel_size:1024 ~flash_start:(flash + 20) ~flash_size:1000
+     with
+    | Error Kerror.Flash_error -> true
+    | Ok _ | Error _ -> false)
+
+let test_out_of_memory () =
+  check_bool "oom" true
+    (match
+       A.allocate_app_memory ~unalloc_start:base ~unalloc_size:4096 ~min_size:4096
+         ~app_size:4096 ~kernel_size:1024 ~flash_start:flash ~flash_size:1024
+     with
+    | Error e -> e = Kerror.Out_of_memory || e = Kerror.Heap_error
+    | Ok _ -> false)
+
+(* --- the monolithic baseline and its disagreement --- *)
+
+let tock_allocate ?(min_size = 512) ?(app_size = 7680) ?(kernel_size = 512) () =
+  T.allocate_app_memory ~unalloc_start:base ~unalloc_size:0x20000 ~min_size ~app_size
+    ~kernel_size ~flash_start:flash ~flash_size:1024
+
+let test_tock_disagreement () =
+  (* the kernel's recomputed app_break vs what the hardware enforces *)
+  let t = get (tock_allocate ()) in
+  let recomputed = T.app_break t in
+  let enforced = Option.get (T.enabled_subregions_end t) in
+  check_bool "DISAGREEMENT: hardware enforces more than the kernel believes" true
+    (enforced > recomputed);
+  (* ... and with the buggy geometry, enforcement even reaches into space the
+     kernel will hand to grants *)
+  check_bool "enforced end reaches grant-reserve space" true
+    (enforced > T.memory_start t + T.memory_size t - 512)
+
+let test_ticktock_no_disagreement () =
+  let a = get (allocate ~min_size:512 ~app_size:7680 ~kernel_size:512 ()) in
+  let hw = Mpu_hw.Armv7m_mpu.create () in
+  A.configure_mpu hw a;
+  match Mpu_hw.Armv7m_mpu.accessible_ranges hw Perms.Write with
+  | [ r ] -> check_int "hardware agrees with AppBreaks exactly" (A.app_break a) (Range.end_ r)
+  | rs -> Alcotest.failf "expected one range, got %d" (List.length rs)
+
+let test_tock_brk_writes_hardware () =
+  let t = get (tock_allocate ~app_size:2048 ~kernel_size:1024 ()) in
+  let hw = Mpu_hw.Armv7m_mpu.create () in
+  match T.brk t hw ~new_app_break:(T.memory_start t + 3000) with
+  | Ok _ ->
+    Mpu_hw.Armv7m_mpu.set_enabled hw true;
+    check_bool "redundant setup_mpu wrote the registers" true
+      (Mpu_hw.Armv7m_mpu.accessible_ranges hw Perms.Write <> [])
+  | Error e -> Alcotest.failf "tock brk failed: %a" Kerror.pp e
+
+(* Property: for any sequence of legal operations, the allocator invariant
+   (checked inside on every step) never fires. *)
+let prop_lifecycle_invariants =
+  QCheck.Test.make ~name:"granular allocator invariants under random ops" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 12)
+       (QCheck.triple QCheck.small_nat QCheck.bool QCheck.small_nat))
+    (fun ops ->
+      Verify.Violation.with_enabled true (fun () ->
+          match allocate ~min_size:8192 ~app_size:4096 () with
+          | Error _ -> true
+          | Ok a ->
+            List.iter
+              (fun (n, grow, m) ->
+                let delta = if grow then n * 64 else -(m * 64) in
+                (match A.sbrk a ~delta with Ok _ | Error _ -> ());
+                match A.allocate_grant a ~size:(16 + (n mod 64)) ~align:8 with
+                | Ok _ | Error _ -> ())
+              ops;
+            A.app_break a < A.kernel_break a))
+
+let suite =
+  [
+    Alcotest.test_case "allocate layout (Figure 4b)" `Quick test_allocate_layout;
+    Alcotest.test_case "logical view = hardware view (§4.3)" `Quick
+      test_allocate_view_matches_hardware;
+    Alcotest.test_case "brk grow/shrink" `Quick test_brk_grow_and_shrink;
+    Alcotest.test_case "brk validation (§2.2)" `Quick test_brk_validation;
+    Alcotest.test_case "sbrk" `Quick test_sbrk;
+    Alcotest.test_case "allocate_grant" `Quick test_allocate_grant;
+    Alcotest.test_case "allow()ed buffer builders" `Quick test_buffer_builders;
+    Alcotest.test_case "flash errors" `Quick test_flash_error;
+    Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+    Alcotest.test_case "monolithic disagreement (§3.2)" `Quick test_tock_disagreement;
+    Alcotest.test_case "granular has no disagreement" `Quick test_ticktock_no_disagreement;
+    Alcotest.test_case "tock brk hits hardware (Figure 11)" `Quick test_tock_brk_writes_hardware;
+    QCheck_alcotest.to_alcotest prop_lifecycle_invariants;
+  ]

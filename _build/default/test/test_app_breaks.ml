@@ -1,0 +1,103 @@
+(* AppBreaks: Figure 6's invariants, enforced at construction and update. *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ms = 0x2000_8000
+let flash = 0x0002_0000
+
+let breaks ?(memory_size = 8192) ?(app_break = ms + 4096) ?(kernel_break = ms + 8192) () =
+  App_breaks.create ~memory_start:ms ~memory_size ~app_break ~kernel_break ~flash_start:flash
+    ~flash_size:1024
+
+let test_accessors () =
+  let b = breaks () in
+  check_int "memory_start" ms (App_breaks.memory_start b);
+  check_int "memory_size" 8192 (App_breaks.memory_size b);
+  check_int "app_break" (ms + 4096) (App_breaks.app_break b);
+  check_int "kernel_break" (ms + 8192) (App_breaks.kernel_break b);
+  check_int "block_end" (ms + 8192) (App_breaks.block_end b);
+  check_int "flash" flash (App_breaks.flash_start b)
+
+let test_ranges () =
+  let b = breaks () in
+  check_int "ram range size" 4096 (Range.size (App_breaks.ram_range b));
+  check_bool "grant empty initially" true (Range.is_empty (App_breaks.grant_range b));
+  let b2 = App_breaks.with_kernel_break b (ms + 7168) in
+  check_int "grant grows down" 1024 (Range.size (App_breaks.grant_range b2));
+  check_int "flash range" 1024 (Range.size (App_breaks.flash_range b))
+
+let expect_violation name f =
+  Verify.Violation.with_enabled true (fun () ->
+      match f () with
+      | _ -> Alcotest.fail (name ^ ": expected invariant violation")
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_invariant_grant_inside_block () =
+  expect_violation "kernel_break beyond block" (fun () ->
+      breaks ~kernel_break:(ms + 8193) ())
+
+let test_invariant_app_break_above_start () =
+  expect_violation "app_break below memory_start" (fun () -> breaks ~app_break:(ms - 1) ())
+
+let test_invariant_no_overlap () =
+  (* the §3.4 bug, structurally outlawed *)
+  expect_violation "app_break = kernel_break" (fun () ->
+      breaks ~app_break:(ms + 8192) ~kernel_break:(ms + 8192) ());
+  expect_violation "app_break > kernel_break" (fun () ->
+      breaks ~app_break:(ms + 5000) ~kernel_break:(ms + 4096) ())
+
+let test_update_checks () =
+  let b = breaks () in
+  expect_violation "with_app_break into grant" (fun () ->
+      App_breaks.with_app_break b (App_breaks.kernel_break b));
+  expect_violation "with_kernel_break below app_break" (fun () ->
+      App_breaks.with_kernel_break b (ms + 4096));
+  (* legal updates pass *)
+  let b2 = App_breaks.with_app_break b (ms + 6000) in
+  check_int "updated" (ms + 6000) (App_breaks.app_break b2);
+  (* functional update: the original is untouched *)
+  check_int "original immutable" (ms + 4096) (App_breaks.app_break b)
+
+let test_grant_free () =
+  let b = breaks () in
+  check_int "free respects strict inequality" (8192 - 4096 - 1) (App_breaks.grant_free b)
+
+let test_disabled_checks_admit_bad_values () =
+  (* the "release build" analog: invariants not enforced *)
+  Verify.Violation.with_enabled false (fun () ->
+      let b = breaks ~app_break:(ms + 9000) () in
+      check_int "bad value admitted when checking is off" (ms + 9000) (App_breaks.app_break b))
+
+let prop_created_implies_invariant =
+  QCheck.Test.make ~name:"creation implies Figure 6 invariants" ~count:500
+    (QCheck.triple (QCheck.int_range 1 8192) (QCheck.int_range 0 9000) (QCheck.int_range 0 9000))
+    (fun (size, app_off, kb_off) ->
+      Verify.Violation.with_enabled true (fun () ->
+          match
+            App_breaks.create ~memory_start:ms ~memory_size:size ~app_break:(ms + app_off)
+              ~kernel_break:(ms + kb_off) ~flash_start:flash ~flash_size:512
+          with
+          | b ->
+            App_breaks.kernel_break b <= App_breaks.block_end b
+            && App_breaks.memory_start b <= App_breaks.app_break b
+            && App_breaks.app_break b < App_breaks.kernel_break b
+          | exception Verify.Violation.Violation _ ->
+            (* refused: the inputs must actually violate one invariant *)
+            not (ms + kb_off <= ms + size && app_off >= 0 && ms + app_off < ms + kb_off)))
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "derived ranges" `Quick test_ranges;
+    Alcotest.test_case "invariant: grant inside block" `Quick test_invariant_grant_inside_block;
+    Alcotest.test_case "invariant: app_break above start" `Quick
+      test_invariant_app_break_above_start;
+    Alcotest.test_case "invariant: no RAM/grant overlap (§3.4)" `Quick test_invariant_no_overlap;
+    Alcotest.test_case "updates re-check invariants" `Quick test_update_checks;
+    Alcotest.test_case "grant_free" `Quick test_grant_free;
+    Alcotest.test_case "disabled checks (release mode)" `Quick
+      test_disabled_checks_admit_bad_values;
+    QCheck_alcotest.to_alcotest prop_created_implies_invariant;
+  ]

@@ -1,0 +1,172 @@
+(* The userland scripting monad and its compilation to resumable programs. *)
+
+open Ticktock
+open Apps.App_dsl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Drive a program by hand, supplying canned results for each action. *)
+let drive program ~results =
+  let rec go acc results prev =
+    match program prev with
+    | Userland.Exit code -> (code, List.rev acc)
+    | action -> (
+      match results with
+      | r :: rest -> go (action :: acc) rest r
+      | [] -> Alcotest.fail "program demanded more results than supplied")
+  in
+  go [] results 0
+
+let test_return_compiles_to_exit () =
+  let code, actions = drive (to_program (return 9)) ~results:[] in
+  check_int "exit code" 9 code;
+  check_int "no actions" 0 (List.length actions)
+
+let test_actions_sequence () =
+  let script =
+    let* a = load8 100 in
+    let* _ = store8 200 a in
+    return a
+  in
+  let code, actions = drive (to_program script) ~results:[ 7; 0 ] in
+  check_int "result threaded through" 7 code;
+  match actions with
+  | [ Userland.Load8 100; Userland.Store8 (200, 7) ] -> ()
+  | _ -> Alcotest.fail "unexpected action stream"
+
+let test_program_is_resumable_not_restartable () =
+  let p = to_program (let* _ = load8 1 in return 5) in
+  (match p 0 with Userland.Load8 1 -> () | _ -> Alcotest.fail "first action");
+  (match p 99 with Userland.Exit 5 -> () | _ -> Alcotest.fail "completion");
+  (* once finished, the program stays finished *)
+  match p 0 with Userland.Exit 5 -> () | _ -> Alcotest.fail "sticky exit"
+
+let test_bind_associativity () =
+  (* (m >>= f) >>= g behaves like m >>= (fun x -> f x >>= g) *)
+  let m = load8 10 in
+  let f x = store8 20 x in
+  let g _ = return 3 in
+  let left = bind (bind m f) g in
+  let right = bind m (fun x -> bind (f x) g) in
+  let run s = drive (to_program s) ~results:[ 42; 0 ] in
+  check_bool "associativity observable" true (run left = run right)
+
+let test_repeat () =
+  let script =
+    let* () = repeat 3 (fun () -> let* _ = compute 1 in return ()) in
+    return 0
+  in
+  let _, actions = drive (to_program script) ~results:[ 0; 0; 0 ] in
+  check_int "three computes" 3 (List.length actions)
+
+let test_iter_list () =
+  let script =
+    let* () = iter_list (fun i -> let* _ = store8 i 0 in return ()) [ 5; 6; 7 ] in
+    return 0
+  in
+  let _, actions = drive (to_program script) ~results:[ 0; 0; 0 ] in
+  check_bool "stores in order" true
+    (actions = [ Userland.Store8 (5, 0); Userland.Store8 (6, 0); Userland.Store8 (7, 0) ])
+
+let test_printf_formats () =
+  let _, actions = drive (to_program (let* () = printf "x=%d" 42 in return 0)) ~results:[ 0 ] in
+  match actions with
+  | [ Userland.Print "x=42" ] -> ()
+  | _ -> Alcotest.fail "printf must render before emitting"
+
+let test_syscall_wrappers () =
+  let script =
+    let* _ = brk 0x1000 in
+    let* _ = sbrk (-4) in
+    let* _ = yield in
+    return 0
+  in
+  let _, actions = drive (to_program script) ~results:[ 0; 0; 0 ] in
+  match actions with
+  | [ Userland.Syscall (Userland.Memop { op = 0; arg = 0x1000 });
+      Userland.Syscall (Userland.Memop { op = 1; arg });
+      Userland.Syscall Userland.Yield ] ->
+    check_int "sbrk delta wraps to 32-bit" (Word32.of_int (-4)) arg
+  | _ -> Alcotest.fail "unexpected syscall encoding"
+
+let prop_map_identity =
+  QCheck.Test.make ~name:"map id = id (observable)" ~count:100 QCheck.small_nat (fun n ->
+      let s = load8 n in
+      drive (to_program (bind (map Fun.id s) (fun v -> return v))) ~results:[ 3 ]
+      = drive (to_program (bind s (fun v -> return v))) ~results:[ 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "return compiles to exit" `Quick test_return_compiles_to_exit;
+    Alcotest.test_case "action sequencing" `Quick test_actions_sequence;
+    Alcotest.test_case "resumable, sticky exit" `Quick test_program_is_resumable_not_restartable;
+    Alcotest.test_case "bind associativity" `Quick test_bind_associativity;
+    Alcotest.test_case "repeat" `Quick test_repeat;
+    Alcotest.test_case "iter_list" `Quick test_iter_list;
+    Alcotest.test_case "printf" `Quick test_printf_formats;
+    Alcotest.test_case "syscall wrappers" `Quick test_syscall_wrappers;
+    QCheck_alcotest.to_alcotest prop_map_identity;
+  ]
+
+(* --- the libc helpers, end to end against a real kernel --- *)
+
+let run_on_kernel script =
+  let k = Boards.instance_ticktock_arm () in
+  let pid =
+    Result.get_ok
+      (k.Instance.load ~name:"libc" ~payload:"l" ~program:(to_program script) ~min_ram:2048
+         ~grant_reserve:1024 ~heap_headroom:1024)
+  in
+  k.Instance.run ~max_ticks:200;
+  (Option.value ~default:"" (k.Instance.proc_output pid), k.Instance.proc_exit pid)
+
+let test_libc_string_roundtrip () =
+  let out, code =
+    run_on_kernel
+      (let* ms = memory_start in
+       let* () = write_cstring ms "tock" in
+       let* s = read_cstring ms 16 in
+       let* () = print s in
+       return 0)
+  in
+  Alcotest.(check string) "cstring roundtrip" "tock" out;
+  Alcotest.(check (option int)) "clean exit" (Some 0) code
+
+let test_libc_memcpy_memset () =
+  let out, _ =
+    run_on_kernel
+      (let* ms = memory_start in
+       let* () = write_string ms "abcdef" in
+       let* () = memcpy ~dst:(ms + 32) ~src:ms 6 in
+       let* () = memset ms (Char.code 'x') 3 in
+       let* a = read_string ms 6 in
+       let* b = read_string (ms + 32) 6 in
+       let* () = printf "%s %s" a b in
+       return 0)
+  in
+  Alcotest.(check string) "memcpy before memset; memset partial" "xxxdef abcdef" out
+
+let test_libc_respects_mpu () =
+  (* memcpy into kernel memory faults like any other store *)
+  let k = Boards.instance_ticktock_arm () in
+  let pid =
+    Result.get_ok
+      (k.Instance.load ~name:"libcbad" ~payload:"l"
+         ~program:
+           (to_program
+              (let* ms = memory_start in
+               let* () = memcpy ~dst:(Range.start Layout.kernel_sram) ~src:ms 4 in
+               return 0))
+         ~min_ram:2048 ~grant_reserve:1024 ~heap_headroom:1024)
+  in
+  k.Instance.run ~max_ticks:100;
+  Alcotest.(check bool) "faulted" true (k.Instance.proc_faulted pid)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "libc string roundtrip" `Quick test_libc_string_roundtrip;
+      Alcotest.test_case "libc memcpy/memset" `Quick test_libc_memcpy_memset;
+      Alcotest.test_case "libc respects the MPU" `Quick test_libc_respects_mpu;
+    ]

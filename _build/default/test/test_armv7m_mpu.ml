@@ -1,0 +1,182 @@
+(* The PMSAv7 hardware model: register encodings and access semantics. *)
+
+module Hw = Mpu_hw.Armv7m_mpu
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+
+let allowed hw ~privileged a access =
+  match Hw.check_access hw ~privileged a access with Ok () -> true | Error _ -> false
+
+let test_rbar_encoding () =
+  let rbar = Hw.encode_rbar ~addr:base ~region:3 in
+  check_int "addr field" base (Hw.decode_rbar_addr rbar);
+  check_int "region field" 3 (Hw.decode_rbar_region rbar);
+  check_bool "valid bit" true (Word32.bit rbar 4)
+
+let test_rbar_rejects_unaligned () =
+  Alcotest.check_raises "unaligned base" (Invalid_argument "encode_rbar: unaligned base")
+    (fun () -> ignore (Hw.encode_rbar ~addr:(base + 4) ~region:0))
+
+let test_rasr_encoding () =
+  let rasr = Hw.encode_rasr ~enable:true ~size:4096 ~srd:0xF0 ~perms:Perms.Read_write_only in
+  check_bool "enable" true (Hw.decode_rasr_enable rasr);
+  check_int "size" 4096 (Hw.decode_rasr_size rasr);
+  check_int "srd" 0xF0 (Hw.decode_rasr_srd rasr);
+  Alcotest.(check (option (module Perms : Alcotest.TESTABLE with type t = Perms.t)))
+    "perms" (Some Perms.Read_write_only) (Hw.decode_rasr_perms rasr)
+
+let test_rasr_size_range () =
+  List.iter
+    (fun e ->
+      let size = 1 lsl e in
+      let rasr = Hw.encode_rasr ~enable:true ~size ~srd:0 ~perms:Perms.Read_only in
+      check_int (Printf.sprintf "size 2^%d" e) size (Hw.decode_rasr_size rasr))
+    [ 5; 8; 12; 16; 20; 24; 28 ]
+
+let test_min_size_rejected () =
+  Alcotest.check_raises "below 32 bytes" (Invalid_argument "encode_rasr: size") (fun () ->
+      ignore (Hw.encode_rasr ~enable:true ~size:16 ~srd:0 ~perms:Perms.Read_only))
+
+let region hw ~index ~addr ~size ~srd ~perms =
+  Hw.write_region hw ~index ~rbar:(Hw.encode_rbar ~addr ~region:index)
+    ~rasr:(Hw.encode_rasr ~enable:true ~size ~srd ~perms)
+
+let test_disabled_mpu_allows_all () =
+  let hw = Hw.create () in
+  check_bool "unpriv read ok when disabled" true (allowed hw ~privileged:false 0x1234 Perms.Read)
+
+let test_no_region_denies_unprivileged () =
+  let hw = Hw.create () in
+  Hw.set_enabled hw true;
+  check_bool "unpriv denied" false (allowed hw ~privileged:false base Perms.Read);
+  check_bool "priv allowed (PRIVDEFENA)" true (allowed hw ~privileged:true base Perms.Read)
+
+let test_region_grants () =
+  let hw = Hw.create () in
+  region hw ~index:0 ~addr:base ~size:1024 ~srd:0 ~perms:Perms.Read_write_only;
+  Hw.set_enabled hw true;
+  check_bool "read in region" true (allowed hw ~privileged:false base Perms.Read);
+  check_bool "write in region" true (allowed hw ~privileged:false (base + 1023) Perms.Write);
+  check_bool "execute denied (XN)" false (allowed hw ~privileged:false base Perms.Execute);
+  check_bool "outside denied" false (allowed hw ~privileged:false (base + 1024) Perms.Read)
+
+let test_read_only_region () =
+  let hw = Hw.create () in
+  region hw ~index:0 ~addr:base ~size:1024 ~srd:0 ~perms:Perms.Read_only;
+  Hw.set_enabled hw true;
+  check_bool "read ok" true (allowed hw ~privileged:false base Perms.Read);
+  check_bool "unpriv write denied" false (allowed hw ~privileged:false base Perms.Write);
+  check_bool "priv write allowed (AP=010)" true (allowed hw ~privileged:true base Perms.Write)
+
+let test_execute_needs_read_and_xn () =
+  let hw = Hw.create () in
+  region hw ~index:0 ~addr:0x0002_0000 ~size:1024 ~srd:0 ~perms:Perms.Read_execute_only;
+  Hw.set_enabled hw true;
+  check_bool "execute ok" true (allowed hw ~privileged:false 0x0002_0000 Perms.Execute);
+  check_bool "write denied" false (allowed hw ~privileged:false 0x0002_0000 Perms.Write)
+
+let test_subregions () =
+  let hw = Hw.create () in
+  (* 2048-byte region, 256-byte subregions; disable the top four. *)
+  region hw ~index:0 ~addr:base ~size:2048 ~srd:0xF0 ~perms:Perms.Read_write_only;
+  Hw.set_enabled hw true;
+  check_bool "subregion 0 enabled" true (allowed hw ~privileged:false base Perms.Read);
+  check_bool "subregion 3 enabled" true
+    (allowed hw ~privileged:false (base + (3 * 256)) Perms.Read);
+  check_bool "subregion 4 disabled" false
+    (allowed hw ~privileged:false (base + (4 * 256)) Perms.Read);
+  check_bool "subregion 7 disabled" false
+    (allowed hw ~privileged:false (base + (7 * 256) + 255) Perms.Read)
+
+let test_srd_on_small_region_rejected () =
+  let hw = Hw.create () in
+  Alcotest.check_raises "SRD below 256B"
+    (Invalid_argument "mpu: SRD used on region below 256 bytes") (fun () ->
+      region hw ~index:0 ~addr:base ~size:128 ~srd:0x01 ~perms:Perms.Read_only)
+
+let test_highest_region_wins () =
+  let hw = Hw.create () in
+  (* Region 0 allows RW; region 7 overlaps with read-only: 7 wins. *)
+  region hw ~index:0 ~addr:base ~size:1024 ~srd:0 ~perms:Perms.Read_write_only;
+  region hw ~index:7 ~addr:base ~size:256 ~srd:0 ~perms:Perms.Read_only;
+  Hw.set_enabled hw true;
+  check_bool "overlap: higher wins, write denied" false
+    (allowed hw ~privileged:false base Perms.Write);
+  check_bool "outside higher region, lower applies" true
+    (allowed hw ~privileged:false (base + 512) Perms.Write)
+
+let test_clear_region () =
+  let hw = Hw.create () in
+  region hw ~index:0 ~addr:base ~size:1024 ~srd:0 ~perms:Perms.Read_write_only;
+  Hw.set_enabled hw true;
+  Hw.clear_region hw ~index:0;
+  check_bool "cleared region denies" false (allowed hw ~privileged:false base Perms.Read)
+
+let test_accessible_ranges () =
+  let hw = Hw.create () in
+  region hw ~index:0 ~addr:base ~size:2048 ~srd:0xFC ~perms:Perms.Read_write_only;
+  Hw.set_enabled hw true;
+  (match Hw.accessible_ranges hw Perms.Read with
+  | [ r ] ->
+    check_int "range start" base (Range.start r);
+    check_int "range size = 2 enabled subregions" 512 (Range.size r)
+  | rs -> Alcotest.failf "expected 1 range, got %d" (List.length rs));
+  (* Write view matches for an RW region. *)
+  check_int "write ranges match" 1 (List.length (Hw.accessible_ranges hw Perms.Write))
+
+let test_accessible_ranges_merge () =
+  let hw = Hw.create () in
+  (* Two adjacent regions merge into one maximal range. *)
+  region hw ~index:0 ~addr:base ~size:1024 ~srd:0 ~perms:Perms.Read_write_only;
+  region hw ~index:1 ~addr:(base + 1024) ~size:1024 ~srd:0 ~perms:Perms.Read_write_only;
+  Hw.set_enabled hw true;
+  match Hw.accessible_ranges hw Perms.Read with
+  | [ r ] -> check_int "merged size" 2048 (Range.size r)
+  | rs -> Alcotest.failf "expected merged range, got %d" (List.length rs)
+
+(* Property: for arbitrary single-region configs, accessible_ranges agrees
+   with check_access on every sampled address. *)
+let prop_ranges_agree_with_check =
+  let gen =
+    QCheck.triple (QCheck.int_range 5 12) (QCheck.int_bound 0xfe) (QCheck.int_range 0 64)
+  in
+  QCheck.Test.make ~name:"accessible_ranges consistent with check_access" ~count:200 gen
+    (fun (size_exp, srd, probe_step) ->
+      let size = 1 lsl size_exp in
+      let srd = if size < 256 then 0 else srd in
+      let hw = Hw.create () in
+      region hw ~index:0 ~addr:base ~size ~srd ~perms:Perms.Read_write_only;
+      Hw.set_enabled hw true;
+      let ranges = Hw.accessible_ranges hw Perms.Read in
+      let in_ranges a = List.exists (fun r -> Range.contains r a) ranges in
+      let ok = ref true in
+      let step = 1 + probe_step in
+      let a = ref (base - 64) in
+      while !a < base + size + 64 do
+        if allowed hw ~privileged:false !a Perms.Read <> in_ranges !a then ok := false;
+        a := !a + step
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "RBAR encoding" `Quick test_rbar_encoding;
+    Alcotest.test_case "RBAR alignment" `Quick test_rbar_rejects_unaligned;
+    Alcotest.test_case "RASR encoding" `Quick test_rasr_encoding;
+    Alcotest.test_case "RASR size field" `Quick test_rasr_size_range;
+    Alcotest.test_case "32-byte minimum" `Quick test_min_size_rejected;
+    Alcotest.test_case "disabled MPU allows all" `Quick test_disabled_mpu_allows_all;
+    Alcotest.test_case "background map is privileged-only" `Quick test_no_region_denies_unprivileged;
+    Alcotest.test_case "region grants" `Quick test_region_grants;
+    Alcotest.test_case "read-only region" `Quick test_read_only_region;
+    Alcotest.test_case "execute semantics" `Quick test_execute_needs_read_and_xn;
+    Alcotest.test_case "subregion disable" `Quick test_subregions;
+    Alcotest.test_case "SRD needs 256-byte region" `Quick test_srd_on_small_region_rejected;
+    Alcotest.test_case "highest region priority" `Quick test_highest_region_wins;
+    Alcotest.test_case "clear region" `Quick test_clear_region;
+    Alcotest.test_case "accessible_ranges" `Quick test_accessible_ranges;
+    Alcotest.test_case "accessible_ranges merging" `Quick test_accessible_ranges_merge;
+    QCheck_alcotest.to_alcotest prop_ranges_agree_with_check;
+  ]

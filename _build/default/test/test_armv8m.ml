@@ -1,0 +1,168 @@
+(* PMSAv8: the base/limit MPU and its granular driver. *)
+
+open Ticktock
+module Hw = Mpu_hw.Armv8m_mpu
+module R = Armv8m_region
+module M = Armv8m_mpu_drv
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+let rw = Perms.Read_write_only
+
+let allowed hw ~privileged a access =
+  match Hw.check_access hw ~privileged a access with Ok () -> true | Error _ -> false
+
+let test_encoding_roundtrip () =
+  let rbar = Hw.encode_rbar ~base ~perms:rw in
+  check_int "base" base (Hw.decode_rbar_base rbar);
+  check_bool "perms" true (Hw.decode_rbar_perms rbar = Some rw);
+  let rlar = Hw.encode_rlar ~limit:(base + 4095) ~enable:true in
+  check_int "limit" (base + 4095) (Hw.decode_rlar_limit rlar);
+  check_bool "enable" true (Hw.decode_rlar_enable rlar)
+
+let test_encoding_validation () =
+  Alcotest.check_raises "unaligned base" (Invalid_argument "encode_rbar: unaligned base")
+    (fun () -> ignore (Hw.encode_rbar ~base:(base + 4) ~perms:rw));
+  Alcotest.check_raises "unaligned limit" (Invalid_argument "encode_rlar: unaligned limit")
+    (fun () -> ignore (Hw.encode_rlar ~limit:(base + 4000) ~enable:true))
+
+let region hw ~index ~start ~size ~perms =
+  Hw.write_region hw ~index ~rbar:(Hw.encode_rbar ~base:start ~perms)
+    ~rasr:(Hw.encode_rlar ~limit:(start + size - 1) ~enable:true)
+
+let test_access_semantics () =
+  let hw = Hw.create () in
+  region hw ~index:0 ~start:base ~size:1024 ~perms:rw;
+  Hw.set_enabled hw true;
+  check_bool "read inside" true (allowed hw ~privileged:false base Perms.Read);
+  check_bool "write at last byte" true (allowed hw ~privileged:false (base + 1023) Perms.Write);
+  check_bool "one past denied" false (allowed hw ~privileged:false (base + 1024) Perms.Read);
+  check_bool "exec denied (XN)" false (allowed hw ~privileged:false base Perms.Execute);
+  check_bool "privileged background map" true
+    (allowed hw ~privileged:true 0x1000_0000 Perms.Read);
+  check_bool "unprivileged no-match denied" false
+    (allowed hw ~privileged:false 0x1000_0000 Perms.Read)
+
+let test_no_pow2_constraint () =
+  (* a 1056-byte region at a 32-byte-aligned, non-pow2-aligned base: legal
+     on v8, impossible on v7 *)
+  let hw = Hw.create () in
+  region hw ~index:0 ~start:(base + 96) ~size:1056 ~perms:rw;
+  Hw.set_enabled hw true;
+  check_bool "covers exactly" true
+    (allowed hw ~privileged:false (base + 96) Perms.Read
+    && allowed hw ~privileged:false (base + 96 + 1055) Perms.Read
+    && (not (allowed hw ~privileged:false (base + 95) Perms.Read))
+    && not (allowed hw ~privileged:false (base + 96 + 1056) Perms.Read))
+
+let test_overlap_faults () =
+  (* v8's sharp edge: overlapping enabled regions fault instead of
+     resolving by priority *)
+  let hw = Hw.create () in
+  region hw ~index:0 ~start:base ~size:1024 ~perms:rw;
+  region hw ~index:1 ~start:(base + 512) ~size:1024 ~perms:rw;
+  Hw.set_enabled hw true;
+  check_bool "non-overlapping part works" true (allowed hw ~privileged:false base Perms.Read);
+  check_bool "overlap faults" false (allowed hw ~privileged:false (base + 600) Perms.Read);
+  check_bool "overlap faults even privileged" false
+    (allowed hw ~privileged:true (base + 600) Perms.Read)
+
+let test_descriptor_derivations () =
+  let r = R.create ~region_id:1 ~start:base ~size:1056 ~perms:rw in
+  Alcotest.(check (option int)) "start" (Some base) (R.start r);
+  Alcotest.(check (option int)) "exact size" (Some 1056) (R.size r);
+  check_bool "can_access" true (R.can_access r ~start:base ~end_:(base + 1056) ~perms:rw);
+  check_bool "overlap query" true (R.overlaps r ~lo:(base + 1000) ~hi:(base + 2000));
+  check_bool "empty is unset" false (R.is_set (R.empty ~region_id:0))
+
+let test_driver_allocates_exactly () =
+  match M.new_regions ~max_region_id:1 ~unalloc_start:(base + 8) ~unalloc_size:0x8000
+          ~total_size:5000 ~perms:rw with
+  | Some (r0, r1) ->
+    Alcotest.(check (option int)) "32-byte rounding only" (Some 5024) (R.size r0);
+    check_bool "single region" false (R.is_set r1);
+    check_bool "aligned start" true
+      (Math32.is_aligned (Option.get (R.start r0)) ~align:32)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_driver_hw_correspondence () =
+  let hw = Hw.create () in
+  (match M.create_exact_region ~region_id:2 ~start:0x0002_0000 ~size:1024
+           ~perms:Perms.Read_execute_only with
+  | Some r -> M.configure_mpu hw [| r |]
+  | None -> Alcotest.fail "exact failed");
+  M.enable hw;
+  match Hw.accessible_ranges hw Perms.Execute with
+  | [ r ] ->
+    check_int "hw start" 0x0002_0000 (Range.start r);
+    check_int "hw size" 1024 (Range.size r)
+  | rs -> Alcotest.failf "expected one range, got %d" (List.length rs)
+
+let test_kernel_runs_on_v8 () =
+  let open Apps.App_dsl in
+  let _, k = Boards.make_ticktock_arm_v8 () in
+  let script =
+    let* ms = memory_start in
+    let* _ = store32 (ms + 32) 0xFEED in
+    let* v = load32 (ms + 32) in
+    let* r = sbrk 96 in
+    let* () = printf "%b %b" (v = 0xFEED) (r <> Userland.failure) in
+    return 0
+  in
+  match
+    Boards.Ticktock_arm_v8.create_process k ~name:"v8" ~payload:"v8"
+      ~program:(to_program script) ~min_ram:2048 ()
+  with
+  | Ok p ->
+    Boards.Ticktock_arm_v8.run k ~max_ticks:100;
+    Alcotest.(check string) "runs" "true true" (Process.output p);
+    check_bool "isolation holds" true (Boards.Ticktock_arm_v8.isolation_ok k p)
+  | Error e -> Alcotest.failf "create: %a" Kerror.pp e
+
+let test_v8_attacks_contained () =
+  List.iter
+    (fun (a : Apps.Attacks.attack) ->
+      match
+        Verify.Violation.with_enabled false (fun () ->
+            Apps.Attacks.run_attack (fun () -> Boards.instance_ticktock_arm_v8 ()) a)
+      with
+      | Apps.Attacks.Contained | Apps.Attacks.Contained_fault -> ()
+      | o -> Alcotest.failf "%s: %s" a.attack_name (Apps.Attacks.outcome_to_string o))
+    Apps.Attacks.all
+
+let test_v8_memory_footprint_tight () =
+  (* 32-byte granularity: the grow-until-failure bench wastes almost
+     nothing, like PMP *)
+  match
+    Verify.Violation.with_enabled false (fun () ->
+        Apps.Membench.run (Boards.instance_ticktock_arm_v8 ()))
+  with
+  | Ok r -> check_bool "waste below one granule per edge" true (r.stats.Instance.unused < 64)
+  | Error e -> Alcotest.failf "membench: %a" Kerror.pp e
+
+let prop_v8_exact_sizes =
+  QCheck.Test.make ~name:"v8 accessible size = 32-byte-rounded request" ~count:200
+    (QCheck.int_range 1 20000) (fun total ->
+      match
+        M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x10000
+          ~total_size:total ~perms:rw
+      with
+      | Some (r0, _) -> R.size r0 = Some (Math32.align_up total ~align:32)
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "encoding roundtrip" `Quick test_encoding_roundtrip;
+    Alcotest.test_case "encoding validation" `Quick test_encoding_validation;
+    Alcotest.test_case "access semantics" `Quick test_access_semantics;
+    Alcotest.test_case "no pow2 constraint" `Quick test_no_pow2_constraint;
+    Alcotest.test_case "overlap faults (v8 sharp edge)" `Quick test_overlap_faults;
+    Alcotest.test_case "descriptor derivations" `Quick test_descriptor_derivations;
+    Alcotest.test_case "driver allocates exactly" `Quick test_driver_allocates_exactly;
+    Alcotest.test_case "driver/hardware correspondence" `Quick test_driver_hw_correspondence;
+    Alcotest.test_case "kernel runs on v8" `Quick test_kernel_runs_on_v8;
+    Alcotest.test_case "attacks contained on v8" `Slow test_v8_attacks_contained;
+    Alcotest.test_case "v8 memory footprint tight" `Slow test_v8_memory_footprint_tight;
+    QCheck_alcotest.to_alcotest prop_v8_exact_sizes;
+  ]

@@ -1,0 +1,163 @@
+(* TickTock's granular Cortex-M driver: the hardware dance, isolated. *)
+
+open Ticktock
+module M = Cortexm_mpu
+module R = Cortexm_region
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+let rw = Perms.Read_write_only
+
+let combined (r0, r1) =
+  Option.value (R.size r0) ~default:0 + Option.value (R.size r1) ~default:0
+
+let test_new_regions_small () =
+  (* sizes <= 128 use a single whole region, no subregions *)
+  match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x4000 ~total_size:100
+          ~perms:rw with
+  | Some (r0, r1) ->
+    check_bool "fst set" true (R.is_set r0);
+    check_bool "snd unset" false (R.is_set r1);
+    Alcotest.(check (option int)) "rounded to pow2" (Some 128) (R.size r0)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_new_regions_subregions () =
+  match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+          ~total_size:4096 ~perms:rw with
+  | Some (r0, r1) ->
+    check_int "covers exactly the request" 4096 (combined (r0, r1));
+    Alcotest.(check (option int)) "starts at the aligned base" (Some base) (R.start r0)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_new_regions_two_regions () =
+  (* a request needing more than 8 subregions spills into the second region *)
+  match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+          ~total_size:6144 ~perms:rw with
+  | Some (r0, r1) ->
+    check_bool "both set" true (R.is_set r0 && R.is_set r1);
+    check_int "combined covers request" 6144 (combined (r0, r1));
+    check_bool "contiguous" true
+      (R.start r1 = Some (Option.get (R.start r0) + Option.get (R.size r0)))
+  | None -> Alcotest.fail "allocation failed"
+
+let test_new_regions_aligns_start () =
+  match M.new_regions ~max_region_id:1 ~unalloc_start:(base + 100) ~unalloc_size:0x8000
+          ~total_size:4096 ~perms:rw with
+  | Some (r0, _) ->
+    let s = Option.get (R.start r0) in
+    check_bool "start aligned up" true (s >= base + 100 && Math32.is_aligned s ~align:2048)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_new_regions_out_of_memory () =
+  check_bool "refuses when it cannot fit" true
+    (M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:1024 ~total_size:4096
+       ~perms:rw
+    = None)
+
+let test_new_regions_ids () =
+  match M.new_regions ~max_region_id:3 ~unalloc_start:base ~unalloc_size:0x8000
+          ~total_size:6144 ~perms:rw with
+  | Some (r0, r1) ->
+    check_int "fst id" 2 (R.region_id r0);
+    check_int "snd id" 3 (R.region_id r1)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_update_regions_grow_shrink () =
+  (* create at 4096, then grow within the same alignment envelope *)
+  match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+          ~total_size:8192 ~perms:rw with
+  | None -> Alcotest.fail "setup failed"
+  | Some (r0, _) ->
+    let start = Option.get (R.start r0) in
+    (match M.update_regions ~max_region_id:1 ~region_start:start ~available_size:0x4000
+             ~total_size:2048 ~perms:rw with
+    | Some pair -> check_int "shrink to 2048" 2048 (combined pair)
+    | None -> Alcotest.fail "shrink failed");
+    (match M.update_regions ~max_region_id:1 ~region_start:start ~available_size:0x4000
+             ~total_size:7000 ~perms:rw with
+    | Some pair ->
+      check_bool "grow rounds to subregion granularity" true (combined pair >= 7000)
+    | None -> Alcotest.fail "grow failed")
+
+let test_update_regions_respects_available () =
+  check_bool "refuses beyond available" true
+    (M.update_regions ~max_region_id:1 ~region_start:base ~available_size:1000
+       ~total_size:4096 ~perms:rw
+    = None)
+
+let test_create_exact_pow2 () =
+  match M.create_exact_region ~region_id:2 ~start:0x0002_0000 ~size:1024
+          ~perms:Perms.Read_execute_only with
+  | Some r ->
+    check_bool "exact" true
+      (R.can_access r ~start:0x0002_0000 ~end_:0x0002_0400 ~perms:Perms.Read_execute_only)
+  | None -> Alcotest.fail "exact region failed"
+
+let test_create_exact_subregions () =
+  (* 1536 = 3 subregions of a 4096 block: representable exactly *)
+  match M.create_exact_region ~region_id:2 ~start:0x0002_0000 ~size:1536
+          ~perms:Perms.Read_execute_only with
+  | Some r -> Alcotest.(check (option int)) "exact size" (Some 1536) (R.size r)
+  | None -> Alcotest.fail "subregion-exact region failed"
+
+let test_create_exact_unrepresentable () =
+  check_bool "odd size refused" true
+    (M.create_exact_region ~region_id:2 ~start:0x0002_0000 ~size:1000
+       ~perms:Perms.Read_execute_only
+    = None);
+  check_bool "unaligned refused" true
+    (M.create_exact_region ~region_id:2 ~start:0x0002_0020 ~size:1024
+       ~perms:Perms.Read_execute_only
+    = None)
+
+let test_configure_mpu_writes_hardware () =
+  let hw = Mpu_hw.Armv7m_mpu.create () in
+  let regions = Array.init 8 (fun i -> R.empty ~region_id:i) in
+  (match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+           ~total_size:4096 ~perms:rw with
+  | Some (r0, r1) ->
+    regions.(0) <- r0;
+    regions.(1) <- r1
+  | None -> Alcotest.fail "setup failed");
+  M.configure_mpu hw regions;
+  M.enable hw;
+  (match Mpu_hw.Armv7m_mpu.accessible_ranges hw Perms.Read with
+  | [ r ] -> check_int "hardware enforces the descriptor" 4096 (Range.size r)
+  | rs -> Alcotest.failf "expected one range, got %d" (List.length rs));
+  M.disable hw;
+  check_bool "disable" false (Mpu_hw.Armv7m_mpu.enabled hw)
+
+(* Property: the refined contract — combined accessible size always covers
+   the request and starts within the unallocated block. *)
+let prop_new_regions_contract =
+  QCheck.Test.make ~name:"new_regions covers request inside block" ~count:300
+    (QCheck.pair (QCheck.int_range 32 8192) (QCheck.int_range 0 4096))
+    (fun (total, slack) ->
+      match
+        M.new_regions ~max_region_id:1 ~unalloc_start:(base + slack) ~unalloc_size:0x10000
+          ~total_size:total ~perms:rw
+      with
+      | None -> true
+      | Some (r0, r1) ->
+        let s = Option.get (R.start r0) in
+        s >= base + slack
+        && combined (r0, r1) >= total
+        && s + combined (r0, r1) <= base + slack + 0x10000)
+
+let suite =
+  [
+    Alcotest.test_case "small whole region" `Quick test_new_regions_small;
+    Alcotest.test_case "subregion coverage" `Quick test_new_regions_subregions;
+    Alcotest.test_case "two-region spill" `Quick test_new_regions_two_regions;
+    Alcotest.test_case "start alignment" `Quick test_new_regions_aligns_start;
+    Alcotest.test_case "out of memory" `Quick test_new_regions_out_of_memory;
+    Alcotest.test_case "region ids" `Quick test_new_regions_ids;
+    Alcotest.test_case "update grow/shrink" `Quick test_update_regions_grow_shrink;
+    Alcotest.test_case "update respects available" `Quick test_update_regions_respects_available;
+    Alcotest.test_case "exact region (pow2)" `Quick test_create_exact_pow2;
+    Alcotest.test_case "exact region (subregions)" `Quick test_create_exact_subregions;
+    Alcotest.test_case "exact region unrepresentable" `Quick test_create_exact_unrepresentable;
+    Alcotest.test_case "configure_mpu reaches hardware" `Quick test_configure_mpu_writes_hardware;
+    QCheck_alcotest.to_alcotest prop_new_regions_contract;
+  ]

@@ -1,0 +1,108 @@
+(* The CortexMRegion descriptor: logical properties derived from register
+   bits (§4.4). *)
+
+open Ticktock
+module R = Cortexm_region
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+
+let region ?(id = 0) ?(size = 4096) ?enabled ?(perms = Perms.Read_write_only) () =
+  R.create ~region_id:id ~start:base ~size ~enabled_subregions:enabled ~perms
+
+let test_empty () =
+  let r = R.empty ~region_id:5 in
+  check_bool "unset" false (R.is_set r);
+  check_bool "no start" true (R.start r = None);
+  check_bool "no size" true (R.size r = None);
+  check_bool "overlaps nothing" false (R.overlaps r ~lo:0 ~hi:Word32.max_value);
+  check_bool "matches nothing" false (R.matches_perms r Perms.Read_write_only);
+  check_int "keeps its slot" 5 (R.region_id r)
+
+let test_whole_region () =
+  let r = region () in
+  check_bool "set" true (R.is_set r);
+  Alcotest.(check (option int)) "start" (Some base) (R.start r);
+  Alcotest.(check (option int)) "size" (Some 4096) (R.size r)
+
+let test_subregion_prefix () =
+  let r = region ~size:4096 ~enabled:3 () in
+  Alcotest.(check (option int)) "accessible = 3 subregions" (Some (3 * 512)) (R.size r);
+  Alcotest.(check (option int)) "start unchanged" (Some base) (R.start r)
+
+let test_derivations_from_registers () =
+  (* start/size really do come from the encoded registers *)
+  let r = region ~size:2048 ~enabled:5 () in
+  check_int "rbar addr field" base (Mpu_hw.Armv7m_mpu.decode_rbar_addr (R.rbar r));
+  check_int "rasr size field" 2048 (Mpu_hw.Armv7m_mpu.decode_rasr_size (R.rasr r));
+  check_int "srd = prefix mask" 0b11100000 (Mpu_hw.Armv7m_mpu.decode_rasr_srd (R.rasr r))
+
+let test_can_access () =
+  let r = region ~size:4096 ~enabled:4 () in
+  check_bool "exact span + perms" true
+    (R.can_access r ~start:base ~end_:(base + 2048) ~perms:Perms.Read_write_only);
+  check_bool "wrong end" false
+    (R.can_access r ~start:base ~end_:(base + 4096) ~perms:Perms.Read_write_only);
+  check_bool "wrong perms" false
+    (R.can_access r ~start:base ~end_:(base + 2048) ~perms:Perms.Read_only)
+
+let test_overlaps () =
+  let r = region ~size:4096 ~enabled:4 () in
+  check_bool "inside accessible" true (R.overlaps r ~lo:(base + 100) ~hi:(base + 200));
+  check_bool "in disabled tail" false (R.overlaps r ~lo:(base + 2048) ~hi:(base + 4095));
+  check_bool "below" false (R.overlaps r ~lo:0 ~hi:(base - 1));
+  check_bool "straddling boundary" true (R.overlaps r ~lo:(base + 2000) ~hi:(base + 3000))
+
+let test_matches_perms () =
+  check_bool "rw" true (R.matches_perms (region ()) Perms.Read_write_only);
+  check_bool "rx region" true
+    (R.matches_perms (region ~perms:Perms.Read_execute_only ()) Perms.Read_execute_only);
+  check_bool "not cross" false (R.matches_perms (region ()) Perms.Read_execute_only)
+
+let test_invariants_enforced () =
+  Verify.Violation.with_enabled true (fun () ->
+      (* 32-byte aligned (so the encoder accepts it) but not size-aligned:
+         the region invariant must fire. *)
+      (match R.create ~region_id:0 ~start:(base + 32) ~size:4096 ~enabled_subregions:None
+               ~perms:Perms.Read_only with
+      | _ -> Alcotest.fail "unaligned base must violate"
+      | exception Verify.Violation.Violation _ -> ());
+      (match R.create ~region_id:0 ~start:base ~size:128 ~enabled_subregions:(Some 2)
+               ~perms:Perms.Read_only with
+      | _ -> Alcotest.fail "srd on small region must violate"
+      | exception Verify.Violation.Violation _ -> ());
+      match R.create ~region_id:0 ~start:base ~size:4096 ~enabled_subregions:(Some 9)
+              ~perms:Perms.Read_only with
+      | _ -> Alcotest.fail "9 subregions must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_equal () =
+  check_bool "structural equality" true (R.equal (region ()) (region ()));
+  check_bool "different srd" false (R.equal (region ~enabled:2 ()) (region ()))
+
+let prop_accessible_range_consistent =
+  QCheck.Test.make ~name:"accessible_range = (start, size)" ~count:200
+    (QCheck.pair (QCheck.int_range 8 14) (QCheck.int_range 1 8)) (fun (e, n) ->
+      let size = 1 lsl e in
+      let r = R.create ~region_id:0 ~start:base ~size ~enabled_subregions:(Some n)
+          ~perms:Perms.Read_write_only
+      in
+      match (R.accessible_range r, R.start r, R.size r) with
+      | Some rng, Some s, Some sz -> Range.start rng = s && Range.size rng = sz
+      | None, None, None -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "empty region" `Quick test_empty;
+    Alcotest.test_case "whole region" `Quick test_whole_region;
+    Alcotest.test_case "subregion prefix" `Quick test_subregion_prefix;
+    Alcotest.test_case "derived from registers (§4.4)" `Quick test_derivations_from_registers;
+    Alcotest.test_case "can_access (final refinement)" `Quick test_can_access;
+    Alcotest.test_case "overlaps" `Quick test_overlaps;
+    Alcotest.test_case "matches_perms" `Quick test_matches_perms;
+    Alcotest.test_case "constructor invariants" `Quick test_invariants_enforced;
+    Alcotest.test_case "equality" `Quick test_equal;
+    QCheck_alcotest.to_alcotest prop_accessible_range_consistent;
+  ]

@@ -1,0 +1,183 @@
+(* FluxArm's CPU state and instruction semantics (Figure 7). *)
+
+module C = Fluxarm.Cpu
+module R = Fluxarm.Regs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () = C.create (Memory.create ())
+
+let test_initial_state () =
+  let cpu = fresh () in
+  check_bool "thread mode" true (C.mode cpu = C.Thread);
+  check_bool "privileged" true (C.privileged cpu);
+  check_int "msp at kernel stack top" (Range.end_ Layout.kernel_sram)
+    (C.get_special cpu R.Msp);
+  check_int "ipsr zero" 0 (C.exception_number cpu)
+
+let test_gpr_roundtrip () =
+  let cpu = fresh () in
+  List.iteri (fun i r -> C.set cpu r (i * 1000)) R.all_gprs;
+  List.iteri (fun i r -> check_int "gpr value" (i * 1000) (C.get cpu r)) R.all_gprs
+
+let test_movw_movt () =
+  let cpu = fresh () in
+  C.movw_imm cpu R.R0 0xBEEF;
+  check_int "movw clears top" 0xBEEF (C.get cpu R.R0);
+  C.movt_imm cpu R.R0 0xDEAD;
+  check_int "movt keeps bottom" 0xDEAD_BEEF (C.get cpu R.R0)
+
+let test_movw_contract () =
+  let cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      Alcotest.check_raises "immediate too wide"
+        (Verify.Violation.Violation { site = "movw_imm"; detail = "immediate 65536" })
+        (fun () -> C.movw_imm cpu R.R0 0x10000))
+
+let test_add_sub () =
+  let cpu = fresh () in
+  C.movw_imm cpu R.R1 100;
+  C.add_imm cpu R.R1 50;
+  check_int "add" 150 (C.get cpu R.R1);
+  C.sub_imm cpu R.R1 200;
+  check_int "sub wraps" (Word32.sub 150 200) (C.get cpu R.R1)
+
+let test_msr_mrs_psp () =
+  let cpu = fresh () in
+  let addr = Range.start Layout.app_sram + 0x100 in
+  C.set cpu R.R0 addr;
+  C.msr cpu R.Psp R.R0;
+  check_int "psp written" addr (C.get_special cpu R.Psp);
+  C.mrs cpu R.R5 R.Psp;
+  check_int "mrs reads back" addr (C.get cpu R.R5)
+
+let test_msr_sp_contract () =
+  let cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      C.set cpu R.R0 0x0000_1000;
+      (* flash, not RAM *)
+      match C.msr cpu R.Psp R.R0 with
+      | () -> Alcotest.fail "expected contract violation"
+      | exception Verify.Violation.Violation v ->
+        check_bool "right site" true (v.Verify.Violation.site = "msr: sp gets valid ram addr"))
+
+let test_msr_ipsr_never_writable () =
+  let cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      match C.msr cpu R.Ipsr R.R0 with
+      | () -> Alcotest.fail "expected contract violation"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_control_pending_until_isb () =
+  let cpu = fresh () in
+  C.movw_imm cpu R.R0 1;
+  C.msr cpu R.Control R.R0;
+  (* architectural subtlety the model tracks: before the ISB, privilege
+     checks still see the old CONTROL *)
+  check_bool "still privileged before isb" true (C.privileged cpu);
+  check_int "mrs sees pending value" 1 (C.get_special cpu R.Control);
+  C.isb cpu;
+  check_bool "unprivileged after isb" false (C.privileged cpu);
+  check_int "committed" 1 (C.control_committed cpu)
+
+let test_unprivileged_control_write_rejected () =
+  let cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      (* drop privilege *)
+      C.movw_imm cpu R.R0 1;
+      C.msr cpu R.Control R.R0;
+      C.isb cpu;
+      C.movw_imm cpu R.R0 0;
+      match C.msr cpu R.Control R.R0 with
+      | () -> Alcotest.fail "unprivileged CONTROL write must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_sp_selection () =
+  let cpu = fresh () in
+  let psp = Range.start Layout.app_sram + 0x200 in
+  C.set cpu R.R0 psp;
+  C.msr cpu R.Psp R.R0;
+  check_int "thread spsel=0 uses msp" (C.get_special cpu R.Msp) (C.sp cpu);
+  (* select PSP via CONTROL.SPSEL *)
+  C.movw_imm cpu R.R1 2;
+  C.msr cpu R.Control R.R1;
+  C.isb cpu;
+  check_int "thread spsel=1 uses psp" psp (C.sp cpu);
+  C.set_mode cpu C.Handler;
+  check_int "handler always msp" (C.get_special cpu R.Msp) (C.sp cpu)
+
+let test_stack_ops () =
+  let cpu = fresh () in
+  C.movw_imm cpu R.R4 0x44;
+  C.movw_imm cpu R.R5 0x55;
+  let sp0 = C.sp cpu in
+  C.stmdb_sp cpu [ R.R4; R.R5 ];
+  check_int "sp descended" (sp0 - 8) (C.sp cpu);
+  C.movw_imm cpu R.R4 0;
+  C.movw_imm cpu R.R5 0;
+  C.ldmia_sp cpu [ R.R4; R.R5 ];
+  check_int "sp restored" sp0 (C.sp cpu);
+  check_int "r4 restored" 0x44 (C.get cpu R.R4);
+  check_int "r5 restored" 0x55 (C.get cpu R.R5)
+
+let test_push_pop_special () =
+  let cpu = fresh () in
+  C.pseudo_ldr_special cpu R.Lr 0x1234_5678;
+  let sp0 = C.sp cpu in
+  C.push_special cpu R.Lr;
+  C.pseudo_ldr_special cpu R.Lr 0;
+  C.pop_special cpu R.Lr;
+  check_int "lr restored" 0x1234_5678 (C.get_special cpu R.Lr);
+  check_int "sp balanced" sp0 (C.sp cpu)
+
+let test_ldr_str () =
+  let cpu = fresh () in
+  let base = Range.start Layout.app_sram in
+  C.set cpu R.R1 base;
+  C.movw_imm cpu R.R2 0xCAFE;
+  C.str cpu R.R2 ~base:R.R1 ~offset:8;
+  C.movw_imm cpu R.R3 0;
+  C.ldr cpu R.R3 ~base:R.R1 ~offset:8;
+  check_int "ldr/str roundtrip" 0xCAFE (C.get cpu R.R3)
+
+let test_stmia_ldmia () =
+  let cpu = fresh () in
+  let base = Range.start Layout.app_sram + 64 in
+  C.set cpu R.R1 base;
+  List.iteri (fun i r -> C.set cpu r (0x40 + i)) R.callee_saved;
+  C.stmia cpu ~base:R.R1 R.callee_saved;
+  List.iter (fun r -> C.set cpu r 0) R.callee_saved;
+  C.ldmia cpu ~base:R.R1 R.callee_saved;
+  List.iteri (fun i r -> check_int "callee-saved roundtrip" (0x40 + i) (C.get cpu r))
+    R.callee_saved
+
+let test_snapshot_contract () =
+  let cpu = fresh () in
+  List.iteri (fun i r -> C.set cpu r i) R.callee_saved;
+  let snap = C.snapshot cpu in
+  check_bool "identical state correct" true (C.cpu_state_correct ~old:snap cpu = Ok ());
+  C.set cpu R.R4 999;
+  check_bool "clobbered callee-saved detected" true
+    (C.cpu_state_correct ~old:snap cpu <> Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "gpr roundtrip" `Quick test_gpr_roundtrip;
+    Alcotest.test_case "movw/movt" `Quick test_movw_movt;
+    Alcotest.test_case "movw contract" `Quick test_movw_contract;
+    Alcotest.test_case "add/sub wrap" `Quick test_add_sub;
+    Alcotest.test_case "msr/mrs psp" `Quick test_msr_mrs_psp;
+    Alcotest.test_case "msr sp contract (Figure 7)" `Quick test_msr_sp_contract;
+    Alcotest.test_case "msr ipsr never writable" `Quick test_msr_ipsr_never_writable;
+    Alcotest.test_case "CONTROL pending until ISB" `Quick test_control_pending_until_isb;
+    Alcotest.test_case "unprivileged CONTROL write rejected" `Quick
+      test_unprivileged_control_write_rejected;
+    Alcotest.test_case "stack-pointer selection" `Quick test_sp_selection;
+    Alcotest.test_case "stmdb/ldmia on sp" `Quick test_stack_ops;
+    Alcotest.test_case "push/pop special" `Quick test_push_pop_special;
+    Alcotest.test_case "ldr/str" `Quick test_ldr_str;
+    Alcotest.test_case "stmia/ldmia" `Quick test_stmia_ldmia;
+    Alcotest.test_case "cpu_state_correct" `Quick test_snapshot_contract;
+  ]

@@ -1,0 +1,90 @@
+(* The UART and GPIO device models capsules sit on. *)
+
+module U = Mpu_hw.Uart
+module G = Mpu_hw.Gpio
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_uart_tx_basic () =
+  let u = U.create () in
+  U.write_byte u (Char.code 'a');
+  Alcotest.(check string) "byte lands in transcript" "a" (U.transcript u);
+  check_bool "shifter busy" true (U.tx_busy u);
+  U.step u 8;
+  check_bool "idle after a byte time" false (U.tx_busy u)
+
+let test_uart_overrun () =
+  let u = U.create () in
+  U.write_byte u (Char.code 'a');
+  U.write_byte u (Char.code 'b') (* while busy: dropped *);
+  Alcotest.(check string) "second byte dropped" "a" (U.transcript u);
+  check_int "overrun recorded" 1 (U.overruns u)
+
+let test_uart_blocking_driver () =
+  let u = U.create () in
+  U.write_string_blocking u "hello";
+  Alcotest.(check string) "polling driver never overruns" "hello" (U.transcript u);
+  check_int "no overruns" 0 (U.overruns u)
+
+let test_uart_rx_fifo () =
+  let u = U.create () in
+  check_bool "empty" false (U.rx_available u);
+  U.rx_push u 1;
+  U.rx_push u 2;
+  check_bool "available" true (U.rx_available u);
+  Alcotest.(check (option int)) "fifo order" (Some 1) (U.read_byte u);
+  Alcotest.(check (option int)) "fifo order 2" (Some 2) (U.read_byte u);
+  Alcotest.(check (option int)) "drained" None (U.read_byte u)
+
+let test_uart_rx_overflow () =
+  let u = U.create ~rx_depth:2 () in
+  U.rx_push u 1;
+  U.rx_push u 2;
+  U.rx_push u 3;
+  check_int "overflow counted" 1 (U.rx_overflows u)
+
+let test_gpio_directions () =
+  let g = G.create 4 in
+  check_int "pins" 4 (G.pin_count g);
+  G.set_direction g 0 G.Output;
+  G.write g 0 true;
+  check_bool "reads back output latch" true (G.read g 0);
+  Alcotest.check_raises "write to input pin" (Invalid_argument "gpio: write to input pin")
+    (fun () -> G.write g 1 true)
+
+let test_gpio_inputs () =
+  let g = G.create 4 in
+  check_bool "input low" false (G.read g 2);
+  G.set_input g 2 true;
+  check_bool "input high" true (G.read g 2)
+
+let test_gpio_toggle_count () =
+  let g = G.create 2 in
+  G.set_direction g 0 G.Output;
+  G.toggle g 0;
+  G.toggle g 0;
+  G.toggle g 0;
+  check_int "three edges" 3 (G.toggles g 0);
+  check_bool "ends high" true (G.out_level g 0);
+  (* writing the same level is not an edge *)
+  G.write g 0 true;
+  check_int "no extra edge" 3 (G.toggles g 0)
+
+let test_gpio_bounds () =
+  let g = G.create 2 in
+  Alcotest.check_raises "pin bounds" (Invalid_argument "gpio: pin") (fun () ->
+      ignore (G.read g 5))
+
+let suite =
+  [
+    Alcotest.test_case "uart tx" `Quick test_uart_tx_basic;
+    Alcotest.test_case "uart overrun" `Quick test_uart_overrun;
+    Alcotest.test_case "uart blocking driver" `Quick test_uart_blocking_driver;
+    Alcotest.test_case "uart rx fifo" `Quick test_uart_rx_fifo;
+    Alcotest.test_case "uart rx overflow" `Quick test_uart_rx_overflow;
+    Alcotest.test_case "gpio directions" `Quick test_gpio_directions;
+    Alcotest.test_case "gpio inputs" `Quick test_gpio_inputs;
+    Alcotest.test_case "gpio toggle count" `Quick test_gpio_toggle_count;
+    Alcotest.test_case "gpio bounds" `Quick test_gpio_bounds;
+  ]

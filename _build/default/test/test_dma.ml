@@ -1,0 +1,134 @@
+(* DMA: the raw escape hatch, the TakeCell misuse, and the DmaCell fix (§4.6). *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let buf_addr = 0x2000_9000
+
+let setup () =
+  let mem = Memory.create () in
+  (mem, Dma.Engine.create mem, Dma.Buffer.create mem ~addr:buf_addr ~len:64)
+
+let test_engine_transfers () =
+  let mem, engine, _ = setup () in
+  Dma.Engine.set_fill engine 0x5A;
+  Dma.Engine.start_raw engine ~base:buf_addr ~len:16;
+  check_bool "busy" true (Dma.Engine.is_busy engine);
+  Dma.Engine.run_to_completion engine;
+  check_bool "idle" false (Dma.Engine.is_busy engine);
+  check_int "first byte" 0x5A (Memory.read8 mem buf_addr);
+  check_int "last byte" 0x5A (Memory.read8 mem (buf_addr + 15));
+  check_int "one past untouched" 0 (Memory.read8 mem (buf_addr + 16))
+
+let test_engine_incremental () =
+  let mem, engine, _ = setup () in
+  Dma.Engine.start_raw engine ~base:buf_addr ~len:10;
+  Dma.Engine.step engine 4;
+  check_bool "still busy" true (Dma.Engine.is_busy engine);
+  check_int "partial" 0xD5 (Memory.read8 mem (buf_addr + 3));
+  check_int "not yet" 0 (Memory.read8 mem (buf_addr + 4));
+  Dma.Engine.step engine 100;
+  check_bool "done" false (Dma.Engine.is_busy engine)
+
+let test_raw_interface_clobbers_kernel () =
+  (* the escape hatch the paper warns about: plain usize values can point
+     the engine at kernel memory and the MPU cannot stop it *)
+  let mem, engine, _ = setup () in
+  let kernel_addr = Range.start Layout.kernel_sram + 0x100 in
+  Dma.Engine.start_raw engine ~base:kernel_addr ~len:8;
+  Dma.Engine.run_to_completion engine;
+  check_int "kernel memory clobbered by DMA" 0xD5 (Memory.read8 mem kernel_addr)
+
+let test_cell_place_and_complete () =
+  let _, engine, buf = setup () in
+  let cell = Dma.Cell.create () in
+  (match Dma.Cell.place cell buf with
+  | Some wrapper ->
+    check_int "wrapper carries the buffer base" buf_addr (Dma.Wrapper.base wrapper);
+    check_int "wrapper carries the length" 64 (Dma.Wrapper.len wrapper);
+    Dma.Engine.start engine wrapper;
+    Dma.Engine.run_to_completion engine;
+    (match Dma.Cell.completed cell engine with
+    | Some b -> check_int "buffer returned" buf_addr (Dma.Buffer.addr b)
+    | None -> Alcotest.fail "expected the buffer back")
+  | None -> Alcotest.fail "place failed");
+  check_bool "cell empty after completion" false (Dma.Cell.is_some cell)
+
+let test_cell_refuses_double_place () =
+  let mem, _, buf = setup () in
+  let cell = Dma.Cell.create () in
+  let buf2 = Dma.Buffer.create mem ~addr:0x2000_A000 ~len:32 in
+  check_bool "first place succeeds" true (Dma.Cell.place cell buf <> None);
+  check_bool "second place refused (DMA in progress)" true (Dma.Cell.place cell buf2 = None)
+
+let test_cell_completed_requires_idle_engine () =
+  let _, engine, buf = setup () in
+  let cell = Dma.Cell.create () in
+  (match Dma.Cell.place cell buf with
+  | Some wrapper -> Dma.Engine.start engine wrapper
+  | None -> Alcotest.fail "place failed");
+  Verify.Violation.with_enabled true (fun () ->
+      match Dma.Cell.completed cell engine with
+      | _ -> Alcotest.fail "completed with busy engine must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_driver_access_during_dma_is_aliasing () =
+  (* ownership: while the cell holds the buffer, driver writes violate *)
+  let _, _, buf = setup () in
+  let cell = Dma.Cell.create () in
+  ignore (Dma.Cell.place cell buf);
+  Verify.Violation.with_enabled true (fun () ->
+      (match Dma.Buffer.write buf 0 0xFF with
+      | () -> Alcotest.fail "write during DMA must violate"
+      | exception Verify.Violation.Violation v ->
+        check_bool "ownership violation" true
+          (v.Verify.Violation.site = "DmaBuffer.write: driver owns buffer"));
+      match Dma.Buffer.read buf 0 with
+      | _ -> Alcotest.fail "read during DMA must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_take_cell_reproduces_the_misuse () =
+  (* the upstream pattern: TakeCell hands the buffer back while the engine
+     still owns it — the §4.6 aliasing bug, reproduced then caught by the
+     ownership contract at the first driver access *)
+  let _, engine, buf = setup () in
+  let take_cell = Dma.Take_cell.create () in
+  let cell = Dma.Cell.create () in
+  (match Dma.Cell.place cell buf with
+  | Some wrapper -> Dma.Engine.start engine wrapper
+  | None -> Alcotest.fail "place failed");
+  Dma.Take_cell.put take_cell buf;
+  match Dma.Take_cell.take take_cell with
+  | None -> Alcotest.fail "take_cell lost the buffer"
+  | Some aliased ->
+    Verify.Violation.with_enabled true (fun () ->
+        match Dma.Buffer.write aliased 0 0x42 with
+        | () -> Alcotest.fail "aliasing write must be caught"
+        | exception Verify.Violation.Violation _ -> ())
+
+let test_buffer_bounds () =
+  let _, _, buf = setup () in
+  Verify.Violation.with_enabled true (fun () ->
+      Dma.Buffer.write buf 63 1;
+      check_int "in-bounds rw" 1 (Dma.Buffer.read buf 63);
+      match Dma.Buffer.write buf 64 1 with
+      | () -> Alcotest.fail "oob must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "engine transfers" `Quick test_engine_transfers;
+    Alcotest.test_case "engine incremental steps" `Quick test_engine_incremental;
+    Alcotest.test_case "raw MMIO path clobbers kernel (the hazard)" `Quick
+      test_raw_interface_clobbers_kernel;
+    Alcotest.test_case "DmaCell place/complete" `Quick test_cell_place_and_complete;
+    Alcotest.test_case "DmaCell refuses double place" `Quick test_cell_refuses_double_place;
+    Alcotest.test_case "completed requires idle engine" `Quick
+      test_cell_completed_requires_idle_engine;
+    Alcotest.test_case "driver access during DMA = aliasing" `Quick
+      test_driver_access_during_dma_is_aliasing;
+    Alcotest.test_case "TakeCell misuse reproduced (§4.6)" `Quick
+      test_take_cell_reproduces_the_misuse;
+    Alcotest.test_case "buffer bounds" `Quick test_buffer_bounds;
+  ]

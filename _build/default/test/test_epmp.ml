@@ -1,0 +1,110 @@
+(* Smepmp (ePMP) machine-mode lockdown: kernel self-protection on EarlGrey. *)
+
+open Ticktock
+module Hw = Mpu_hw.Pmp
+
+let check_bool = Alcotest.(check bool)
+
+let sealed () =
+  let pmp = Hw.create Hw.earlgrey in
+  Epmp.protect_kernel pmp;
+  pmp
+
+let m_ok pmp access a =
+  match Hw.check_access pmp ~machine_mode:true a access with Ok () -> true | Error _ -> false
+
+let u_ok pmp access a =
+  match Hw.check_access pmp ~machine_mode:false a access with Ok () -> true | Error _ -> false
+
+let test_protect_requires_epmp () =
+  let pmp = Hw.create Hw.sifive_e310 in
+  Alcotest.check_raises "no ePMP" (Invalid_argument "Epmp.protect_kernel: chip has no ePMP")
+    (fun () -> Epmp.protect_kernel pmp)
+
+let test_kernel_sealed_predicate () =
+  check_bool "sealed" true (Epmp.kernel_sealed (sealed ()))
+
+let test_kernel_text_immutable () =
+  let pmp = sealed () in
+  let text = Range.start Layout.kernel_flash + 0x100 in
+  check_bool "M-mode executes kernel text" true (m_ok pmp Perms.Execute text);
+  check_bool "M-mode cannot write kernel text" false (m_ok pmp Perms.Write text);
+  check_bool "U-mode cannot touch kernel text" false (u_ok pmp Perms.Read text)
+
+let test_no_machine_code_injection () =
+  let pmp = sealed () in
+  let sram = Range.start Layout.kernel_sram + 0x100 in
+  check_bool "M-mode writes RAM" true (m_ok pmp Perms.Write sram);
+  check_bool "M-mode never executes RAM" false (m_ok pmp Perms.Execute sram);
+  let app = Range.start Layout.app_sram + 0x100 in
+  check_bool "M-mode never executes app RAM" false (m_ok pmp Perms.Execute app)
+
+let test_mmwp_whole_protection () =
+  let pmp = sealed () in
+  check_bool "M-mode blocked outside locked entries" false (m_ok pmp Perms.Read 0xE000_0000)
+
+let test_locked_entries_immutable () =
+  let pmp = sealed () in
+  Alcotest.check_raises "locked entry rejects rewrite"
+    (Invalid_argument "set_entry: entry locked") (fun () ->
+      Hw.set_entry pmp ~index:15 ~cfg:0xFF ~addr:0)
+
+let test_process_regions_still_work () =
+  (* user-mode process regions at the low indices keep working under MML *)
+  let pmp = sealed () in
+  let base = Range.start Layout.app_sram in
+  (match
+     Pmp_mpu.Earlgrey.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+       ~total_size:4096 ~perms:Perms.Read_write_only
+   with
+  | Some (r0, _) -> Pmp_mpu.Earlgrey.configure_mpu pmp [| r0 |]
+  | None -> Alcotest.fail "allocation failed");
+  check_bool "U-mode reads its region" true (u_ok pmp Perms.Read base);
+  check_bool "U-mode writes its region" true (u_ok pmp Perms.Write base);
+  check_bool "U-mode stops at region end" false (u_ok pmp Perms.Read (base + 4096));
+  check_bool "U-mode cannot use the locked SRAM entry" false
+    (u_ok pmp Perms.Read (Range.start Layout.kernel_sram))
+
+let test_mml_unlocked_entries_are_user_only () =
+  let pmp = sealed () in
+  let base = Range.start Layout.app_sram in
+  (match
+     Pmp_mpu.Earlgrey.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+       ~total_size:4096 ~perms:Perms.Read_write_only
+   with
+  | Some (r0, _) -> Pmp_mpu.Earlgrey.configure_mpu pmp [| r0 |]
+  | None -> Alcotest.fail "allocation failed");
+  (* the process region matches first for M-mode too — and under MML an
+     unlocked entry denies machine mode... *)
+  check_bool "M-mode denied via U-mode-only entry" false (m_ok pmp Perms.Read base)
+
+let test_earlgrey_board_boots_sealed () =
+  let m, k = Boards.make_ticktock_earlgrey () in
+  check_bool "board sealed at boot" true (Epmp.kernel_sealed m.Machine.rv_pmp);
+  (* and processes still run *)
+  let open Apps.App_dsl in
+  match
+    Boards.Ticktock_earlgrey.create_process k ~name:"sealed-hello" ~payload:"x"
+      ~program:(to_program (let* () = print "ok" in return 0))
+      ~min_ram:2048 ()
+  with
+  | Ok p ->
+    Boards.Ticktock_earlgrey.run k ~max_ticks:100;
+    Alcotest.(check string) "app ran under lockdown" "ok" (Process.output p);
+    check_bool "still sealed after running" true (Epmp.kernel_sealed m.Machine.rv_pmp)
+  | Error e -> Alcotest.failf "create: %a" Kerror.pp e
+
+let suite =
+  [
+    Alcotest.test_case "protect requires ePMP" `Quick test_protect_requires_epmp;
+    Alcotest.test_case "kernel_sealed predicate" `Quick test_kernel_sealed_predicate;
+    Alcotest.test_case "kernel text immutable" `Quick test_kernel_text_immutable;
+    Alcotest.test_case "no machine-code injection from RAM" `Quick
+      test_no_machine_code_injection;
+    Alcotest.test_case "MMWP whole protection" `Quick test_mmwp_whole_protection;
+    Alcotest.test_case "locked entries immutable" `Quick test_locked_entries_immutable;
+    Alcotest.test_case "process regions work under MML" `Quick test_process_regions_still_work;
+    Alcotest.test_case "unlocked entries are U-mode-only" `Quick
+      test_mml_unlocked_entries_are_user_only;
+    Alcotest.test_case "earlgrey board boots sealed" `Quick test_earlgrey_board_boots_sealed;
+  ]

@@ -1,0 +1,140 @@
+(* Exception entry/return: the stacking dance that swaps worlds (§4.5). *)
+
+module C = Fluxarm.Cpu
+module R = Fluxarm.Regs
+module E = Fluxarm.Exn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let mem = Memory.create () in
+  (mem, C.create mem)
+
+let test_entry_stacks_frame () =
+  let mem, cpu = fresh () in
+  C.set cpu R.R0 0xAAA;
+  C.set cpu R.R3 0xBBB;
+  C.set cpu R.R12 0xCCC;
+  C.pseudo_ldr_special cpu R.Lr 0x111;
+  C.set_special_raw cpu R.Pc 0x222;
+  let sp0 = C.sp cpu in
+  E.entry cpu ~exc_num:E.exc_systick;
+  check_int "8 words stacked" (sp0 - 32) (C.get_special cpu R.Msp);
+  let frame = C.get_special cpu R.Msp in
+  check_int "r0 slot" 0xAAA (Memory.read32 mem frame);
+  check_int "r3 slot" 0xBBB (Memory.read32 mem (frame + 12));
+  check_int "r12 slot" 0xCCC (Memory.read32 mem (frame + 16));
+  check_int "lr slot" 0x111 (Memory.read32 mem (frame + 20));
+  check_int "pc slot" 0x222 (Memory.read32 mem (frame + 24));
+  check_bool "handler mode" true (C.mode cpu = C.Handler);
+  check_int "ipsr = exception number" E.exc_systick (C.exception_number cpu);
+  check_int "EXC_RETURN for thread/msp" E.exc_return_thread_msp (C.get_special cpu R.Lr)
+
+let test_entry_exc_return_psp () =
+  let _, cpu = fresh () in
+  let psp = Range.start Layout.app_sram + 0x400 in
+  C.set cpu R.R0 psp;
+  C.msr cpu R.Psp R.R0;
+  C.movw_imm cpu R.R1 2 (* SPSEL=1 *);
+  C.msr cpu R.Control R.R1;
+  C.isb cpu;
+  E.entry cpu ~exc_num:E.exc_systick;
+  check_int "EXC_RETURN for thread/psp" E.exc_return_thread_psp (C.get_special cpu R.Lr);
+  check_int "frame on psp" (psp - 32) (C.get_special cpu R.Psp)
+
+let test_return_restores () =
+  let _, cpu = fresh () in
+  C.set cpu R.R0 0x1111;
+  C.set cpu R.R1 0x2222;
+  C.pseudo_ldr_special cpu R.Lr 0x3333;
+  let sp0 = C.sp cpu in
+  E.entry cpu ~exc_num:E.exc_systick;
+  (* handler clobbers caller-saved state *)
+  C.movw_imm cpu R.R0 0;
+  C.movw_imm cpu R.R1 0;
+  E.return cpu E.exc_return_thread_msp;
+  check_int "r0 restored" 0x1111 (C.get cpu R.R0);
+  check_int "r1 restored" 0x2222 (C.get cpu R.R1);
+  check_int "lr restored" 0x3333 (C.get_special cpu R.Lr);
+  check_int "sp balanced" sp0 (C.sp cpu);
+  check_bool "thread mode" true (C.mode cpu = C.Thread);
+  check_int "ipsr cleared" 0 (C.exception_number cpu)
+
+let test_return_sets_spsel () =
+  let mem, cpu = fresh () in
+  (* synthesize a process frame on PSP, then return onto it *)
+  let psp = Range.start Layout.app_sram + 0x800 in
+  for i = 0 to 7 do
+    Memory.write32 mem (psp + (4 * i)) (0x100 + i)
+  done;
+  C.set cpu R.R0 psp;
+  C.msr cpu R.Psp R.R0;
+  E.entry cpu ~exc_num:E.exc_svc;
+  E.return cpu E.exc_return_thread_psp;
+  check_bool "SPSEL set on return to psp" true (Word32.bit (C.control_committed cpu) 1);
+  check_int "psp advanced past frame" (psp + 32) (C.get_special cpu R.Psp);
+  check_int "r0 from process frame" 0x100 (C.get cpu R.R0)
+
+let test_entry_contracts () =
+  let _, cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      Alcotest.check_raises "bad exception number"
+        (Verify.Violation.Violation { site = "exn.entry: exception number"; detail = "exc_num=1" })
+        (fun () -> E.entry cpu ~exc_num:1);
+      E.entry cpu ~exc_num:15;
+      (match E.entry cpu ~exc_num:15 with
+      | () -> Alcotest.fail "nested entry must violate"
+      | exception Verify.Violation.Violation _ -> ());
+      ())
+
+let test_return_contracts () =
+  let _, cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      match E.return cpu E.exc_return_thread_msp with
+      | () -> Alcotest.fail "return outside handler must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_preempt_requires_kernel_return () =
+  let _, cpu = fresh () in
+  Verify.Violation.with_enabled true (fun () ->
+      (* an ISR that tries to return to the process is a §4.5 violation *)
+      let evil_isr cpu =
+        C.pseudo_ldr_special cpu R.Lr E.exc_return_thread_psp;
+        C.get_special cpu R.Lr
+      in
+      match E.preempt cpu ~exc_num:15 ~isr:evil_isr with
+      | () -> Alcotest.fail "preempt must verify the ISR targets the kernel"
+      | exception Verify.Violation.Violation v ->
+        check_bool "right obligation" true
+          (v.Verify.Violation.site = "preempt: isr yields control to kernel"))
+
+let test_unprivileged_stacking_faults_on_steered_psp () =
+  (* A process that points PSP at kernel memory cannot make exception entry
+     clobber the kernel: stacking runs with the process's privilege. *)
+  let m = Ticktock.Machine.create_arm () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  Mpu_hw.Armv7m_mpu.set_enabled m.Ticktock.Machine.arm_mpu true;
+  let kernel_addr = Range.start Layout.kernel_sram + 0x1000 in
+  C.set cpu R.R0 kernel_addr;
+  C.msr cpu R.Psp R.R0;
+  C.movw_imm cpu R.R1 3 (* nPRIV=1, SPSEL=1 *);
+  C.msr cpu R.Control R.R1;
+  C.isb cpu;
+  match E.entry cpu ~exc_num:E.exc_systick with
+  | () -> Alcotest.fail "stacking into kernel memory must fault"
+  | exception Memory.Access_fault _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "entry stacks the 8-word frame" `Quick test_entry_stacks_frame;
+    Alcotest.test_case "entry selects EXC_RETURN by stack" `Quick test_entry_exc_return_psp;
+    Alcotest.test_case "return restores state" `Quick test_return_restores;
+    Alcotest.test_case "return to psp sets SPSEL" `Quick test_return_sets_spsel;
+    Alcotest.test_case "entry contracts" `Quick test_entry_contracts;
+    Alcotest.test_case "return contracts" `Quick test_return_contracts;
+    Alcotest.test_case "preempt verifies kernel target (§4.5)" `Quick
+      test_preempt_requires_kernel_return;
+    Alcotest.test_case "steered PSP cannot clobber kernel" `Quick
+      test_unprivileged_stacking_faults_on_steered_psp;
+  ]

@@ -1,0 +1,121 @@
+(* Fault policies: Stop (default), Restart with budget, Panic. *)
+
+open Ticktock
+open Apps.App_dsl
+module K = Boards.Ticktock_arm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let faulty_script =
+  let* () = print "about to crash\n" in
+  let* _ = load8 (Range.start Layout.kernel_sram) in
+  return 0
+
+let good_script =
+  let* () = print "healthy run\n" in
+  return 0
+
+let create k ?fault_policy ?program_factory script =
+  match
+    K.create_process k ~name:"fp" ~payload:"fp" ~program:(to_program script) ~min_ram:2048
+      ?fault_policy ?program_factory ()
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "create: %a" Kerror.pp e
+
+let test_stop_default () =
+  let _, k = Boards.make_ticktock_arm () in
+  let p = create k faulty_script in
+  K.run k ~max_ticks:100;
+  check_bool "faulted and stayed stopped" true
+    (match p.Process.state with Process.Faulted _ -> true | _ -> false);
+  check_int "no restarts" 0 p.Process.restarts
+
+let test_restart_recovers () =
+  let _, k = Boards.make_ticktock_arm () in
+  (* first attempt faults; the factory supplies a healthy program after *)
+  let attempts = ref 0 in
+  let factory () =
+    incr attempts;
+    to_program good_script
+  in
+  let p =
+    create k
+      ~fault_policy:(Process.Restart { max_restarts = 3 })
+      ~program_factory:factory faulty_script
+  in
+  K.run k ~max_ticks:200;
+  check_int "restarted once" 1 p.Process.restarts;
+  check_bool "second run completed" true (p.Process.state = Process.Exited 0);
+  Alcotest.(check string) "output spans both runs" "about to crash\nhealthy run\n"
+    (Process.output p)
+
+let test_restart_budget_exhausted () =
+  let _, k = Boards.make_ticktock_arm () in
+  let factory () = to_program faulty_script in
+  let p =
+    create k
+      ~fault_policy:(Process.Restart { max_restarts = 2 })
+      ~program_factory:factory faulty_script
+  in
+  K.run k ~max_ticks:500;
+  check_int "stopped after budget" 2 p.Process.restarts;
+  check_bool "finally faulted" true
+    (match p.Process.state with Process.Faulted _ -> true | _ -> false)
+
+let test_restart_rezeroes_memory () =
+  let _, k = Boards.make_ticktock_arm () in
+  (* first run plants a marker then faults; the restarted run must see 0 *)
+  let plant =
+    let* ms = memory_start in
+    let* _ = store8 (ms + 100) 0xAB in
+    let* _ = load8 0 in
+    return 1
+  in
+  let probe =
+    let* ms = memory_start in
+    let* v = load8 (ms + 100) in
+    let* () = printf "marker=%d" v in
+    return 0
+  in
+  let p =
+    create k
+      ~fault_policy:(Process.Restart { max_restarts = 1 })
+      ~program_factory:(fun () -> to_program probe)
+      plant
+  in
+  K.run k ~max_ticks:200;
+  check_bool "completed" true (p.Process.state = Process.Exited 0);
+  Alcotest.(check string) "RAM was zeroed across restart" "marker=0" (Process.output p)
+
+let test_panic_policy () =
+  let _, k = Boards.make_ticktock_arm () in
+  let _ = create k ~fault_policy:Process.Panic faulty_script in
+  match K.run k ~max_ticks:100 with
+  | () -> Alcotest.fail "expected kernel panic"
+  | exception K.Panic msg -> check_bool "panic names the process" true (String.length msg > 0)
+
+let test_status_dump_on_fault () =
+  let _, k = Boards.make_ticktock_arm () in
+  let _ = create k faulty_script in
+  K.run k ~max_ticks:100;
+  let console = K.console_output k in
+  let has needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length console && (String.sub console i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "dump present" true (has "App: fp");
+  check_bool "memory map rows present" true (has "app break");
+  check_bool "flash rows present" true (has "flash start")
+
+let suite =
+  [
+    Alcotest.test_case "stop is the default" `Quick test_stop_default;
+    Alcotest.test_case "restart recovers" `Quick test_restart_recovers;
+    Alcotest.test_case "restart budget exhausted" `Quick test_restart_budget_exhausted;
+    Alcotest.test_case "restart re-zeroes RAM" `Quick test_restart_rezeroes_memory;
+    Alcotest.test_case "panic policy" `Quick test_panic_policy;
+    Alcotest.test_case "status dump on fault" `Quick test_status_dump_on_fault;
+  ]

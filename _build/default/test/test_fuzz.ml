@@ -1,0 +1,84 @@
+(* Fuzzing campaigns: hostile syscall/memory streams against every kernel. *)
+
+open Ticktock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_ticktock_survives_fuzzing_with_contracts () =
+  (* contracts ON: not only must the kernel survive every seed, no
+     verification contract may fire anywhere in the kernel or drivers *)
+  Verify.Violation.with_enabled true (fun () ->
+      let rounds, panics =
+        Apps.Fuzz.campaign ~seeds:15 (fun () -> Boards.instance_ticktock_arm ())
+      in
+      check_int "no kernel panics" 0 (List.length panics);
+      List.iter
+        (fun (r : Apps.Fuzz.outcome) ->
+          check_bool (Printf.sprintf "seed %d: witness unaffected" r.fuzz_seed) true r.witness_ok;
+          check_bool (Printf.sprintf "seed %d: isolation holds" r.fuzz_seed) true r.isolation_ok)
+        rounds)
+
+let test_ticktock_pmp_survives_fuzzing () =
+  Verify.Violation.with_enabled true (fun () ->
+      let rounds, panics =
+        Apps.Fuzz.campaign ~seeds:8 (fun () -> Boards.instance_ticktock_e310 ())
+      in
+      check_int "no kernel panics" 0 (List.length panics);
+      List.iter
+        (fun (r : Apps.Fuzz.outcome) ->
+          check_bool (Printf.sprintf "seed %d ok" r.fuzz_seed) true
+            (r.witness_ok && r.isolation_ok))
+        rounds)
+
+let test_upstream_tock_panics_under_fuzzing () =
+  (* the §2.2 DoS, found by fuzzing instead of verification: some seed's
+     wild brk panics the upstream kernel *)
+  Verify.Violation.with_enabled false (fun () ->
+      let _, panics = Apps.Fuzz.campaign ~seeds:15 (fun () -> Boards.instance_tock_arm ()) in
+      check_bool "at least one seed kills the upstream kernel" true (List.length panics > 0))
+
+let test_patched_tock_survives_fuzzing () =
+  Verify.Violation.with_enabled false (fun () ->
+      let rounds, panics =
+        Apps.Fuzz.campaign ~seeds:15 (fun () -> Boards.instance_tock_arm_patched ())
+      in
+      check_int "patched kernel never panics" 0 (List.length panics);
+      List.iter
+        (fun (r : Apps.Fuzz.outcome) ->
+          check_bool (Printf.sprintf "seed %d: witness unaffected" r.fuzz_seed) true
+            r.witness_ok)
+        rounds)
+
+let test_fuzzers_actually_die_sometimes () =
+  (* sanity: the streams really are hostile — across seeds some fuzzers
+     fault and some run to completion *)
+  Verify.Violation.with_enabled false (fun () ->
+      let rounds, _ = Apps.Fuzz.campaign ~seeds:10 (fun () -> Boards.instance_ticktock_arm ()) in
+      let faulted = List.fold_left (fun a r -> a + r.Apps.Fuzz.fuzzers_faulted) 0 rounds in
+      let exited = List.fold_left (fun a r -> a + r.Apps.Fuzz.fuzzers_exited) 0 rounds in
+      check_bool "some fuzzers faulted" true (faulted > 0);
+      check_bool "some fuzzers completed" true (exited > 0))
+
+let test_fuzz_deterministic () =
+  let run () =
+    Verify.Violation.with_enabled false (fun () ->
+        Apps.Fuzz.run_round ~seed:7 (fun () -> Boards.instance_ticktock_arm ()))
+  in
+  let a = run () and b = run () in
+  check_bool "same seed, same outcome" true
+    (a.Apps.Fuzz.fuzzers_faulted = b.Apps.Fuzz.fuzzers_faulted
+    && a.Apps.Fuzz.fuzzers_exited = b.Apps.Fuzz.fuzzers_exited
+    && a.Apps.Fuzz.witness_ok = b.Apps.Fuzz.witness_ok)
+
+let suite =
+  [
+    Alcotest.test_case "ticktock-arm survives (contracts on)" `Slow
+      test_ticktock_survives_fuzzing_with_contracts;
+    Alcotest.test_case "ticktock-e310 survives" `Slow test_ticktock_pmp_survives_fuzzing;
+    Alcotest.test_case "upstream tock panics (§2.2 DoS)" `Slow
+      test_upstream_tock_panics_under_fuzzing;
+    Alcotest.test_case "patched tock survives" `Slow test_patched_tock_survives_fuzzing;
+    Alcotest.test_case "fuzzers are genuinely hostile" `Slow test_fuzzers_actually_die_sometimes;
+    Alcotest.test_case "fuzzing is deterministic" `Quick test_fuzz_deterministic;
+  ]

@@ -1,0 +1,103 @@
+(* Golden outputs: the exact console output and final state of each of the
+   21 release-test apps on the TickTock ARM board. The simulator is fully
+   deterministic, so any drift here is a real behavioural change — this is
+   the regression net under the differential-testing result. *)
+
+open Ticktock
+
+let golden =
+  [
+    ( "c_hello",
+      "Hello World!\r\n",
+      "exited(0)" );
+    ( "lua-hello",
+      "Hello from Lua!\r\n",
+      "exited(0)" );
+    ( "printf_long",
+      "Hi welcome to Tock. This test makes sure that a greater than 64 byte message can be printed.\r\nAnd a short message.\r\n",
+      "exited(0)" );
+    ( "blink",
+      "led toggle\r\nled toggle\r\nled toggle\r\nled toggle\r\nled toggle\r\n",
+      "exited(0)" );
+    ( "buttons",
+      "buttons: driver present\r\n",
+      "exited(0)" );
+    ( "malloc_test01",
+      "malloc01: success\r\n",
+      "exited(0)" );
+    ( "malloc_test02",
+      "malloc02: success\r\n",
+      "exited(0)" );
+    ( "stack_size_test01",
+      "stack: memory_start=0x20012800\r\nstack: app_break=0x20013000\r\n",
+      "exited(0)" );
+    ( "stack_size_test02",
+      "stack2: layout 0x20014000..0x20015000 grant@0x20015bc0\r\n",
+      "exited(0)" );
+    ( "mpu_stack_growth",
+      "stack_growth: block 0x20016000..0x20016800\r\nstack_growth: overrunning stack (fault expected)\r\n",
+      "faulted: mpu fault: write at 0x20015ffc (mpu: no region covers 0x20015ffc)" );
+    ( "mpu_walk_region",
+      "walk_region: walked 1024 bytes (sum=0)\r\nwalk_region: overrun expected\r\n",
+      "faulted: mpu fault: read at 0x20019bc0 (mpu: no region covers 0x20019bc0)" );
+    ( "sensors",
+      "sensors: temperature reading 6663\r\n",
+      "exited(0)" );
+    ( "adc",
+      "adc: channel 0 = 7054\r\n",
+      "exited(0)" );
+    ( "ip_sense",
+      "ip_sense: packet sent\r\n",
+      "exited(0)" );
+    ( "whileone",
+      "whileone: spinning\r\n",
+      "exited(0)" );
+    ( "timer_oneshot",
+      "timer: oneshot fired\r\n",
+      "exited(0)" );
+    ( "timer_repeat",
+      "timer: tick\r\ntimer: tick\r\ntimer: tick\r\n",
+      "exited(0)" );
+    ( "tictactoe",
+      "tictactoe: XOO.X...X X wins\r\n",
+      "exited(0)" );
+    ( "rot13_client_service",
+      "rot13: Hello -> Uryyb\r\n",
+      "exited(0)" );
+    ( "app_state",
+      "app_state: flash magic 0x54424632\r\n",
+      "exited(0)" );
+    ( "ble_advertising",
+      "ble: advertising started\r\n",
+      "exited(0)" );
+  ]
+
+let test_golden () =
+  let results =
+    Verify.Violation.with_enabled false (fun () ->
+        Apps.Difftest.run_suite (Boards.instance_ticktock_arm ()))
+  in
+  Alcotest.(check int) "21 results" (List.length golden) (List.length results);
+  List.iter2
+    (fun (name, expected_output, expected_state) (r : Apps.Difftest.app_result) ->
+      Alcotest.(check string) (name ^ ": name") name r.app.Apps.Suite.app_name;
+      Alcotest.(check string) (name ^ ": output") expected_output r.output;
+      Alcotest.(check string) (name ^ ": state") expected_state r.state)
+    golden results
+
+let test_golden_stable_across_switchers () =
+  (* the machine-code switch board must match the golden outputs too *)
+  let results =
+    Verify.Violation.with_enabled false (fun () ->
+        Apps.Difftest.run_suite (Boards.instance_ticktock_arm_mc ()))
+  in
+  List.iter2
+    (fun (name, expected_output, _) (r : Apps.Difftest.app_result) ->
+      Alcotest.(check string) (name ^ ": output (mc)") expected_output r.output)
+    golden results
+
+let suite =
+  [
+    Alcotest.test_case "golden outputs (ticktock-arm)" `Slow test_golden;
+    Alcotest.test_case "golden outputs (mc switch)" `Slow test_golden_stable_across_switchers;
+  ]

@@ -1,0 +1,157 @@
+(* Golden outputs for the RISC-V (e310) and ARMv8-M boards: the
+   per-architecture regression net behind the cross-architecture claims.
+   Regenerate with `dune exec bin/dump_golden.exe -- <board>`. *)
+
+open Ticktock
+
+let golden_e310 =
+  [
+    ( "c_hello",
+      "Hello World!\r\n",
+      "exited(0)" );
+    ( "lua-hello",
+      "Hello from Lua!\r\n",
+      "exited(0)" );
+    ( "printf_long",
+      "Hi welcome to Tock. This test makes sure that a greater than 64 byte message can be printed.\r\nAnd a short message.\r\n",
+      "exited(0)" );
+    ( "blink",
+      "led toggle\r\nled toggle\r\nled toggle\r\nled toggle\r\nled toggle\r\n",
+      "exited(0)" );
+    ( "buttons",
+      "buttons: driver present\r\n",
+      "exited(0)" );
+    ( "malloc_test01",
+      "malloc01: success\r\n",
+      "exited(0)" );
+    ( "malloc_test02",
+      "malloc02: success\r\n",
+      "exited(0)" );
+    ( "stack_size_test01",
+      "stack: memory_start=0x20010c00\r\nstack: app_break=0x20011400\r\n",
+      "exited(0)" );
+    ( "stack_size_test02",
+      "stack2: layout 0x20012000..0x20013000 grant@0x20013bc0\r\n",
+      "exited(0)" );
+    ( "mpu_stack_growth",
+      "stack_growth: block 0x20013c00..0x20014400\r\nstack_growth: overrunning stack (fault expected)\r\n",
+      "faulted: mpu fault: write at 0x20013bfc (pmp: no entry covers 0x20013bfc)" );
+    ( "mpu_walk_region",
+      "walk_region: walked 1024 bytes (sum=0)\r\nwalk_region: overrun expected\r\n",
+      "faulted: mpu fault: read at 0x20016bc0 (pmp: no entry covers 0x20016bc0)" );
+    ( "sensors",
+      "sensors: temperature reading 5831\r\n",
+      "exited(0)" );
+    ( "adc",
+      "adc: channel 0 = 6158\r\n",
+      "exited(0)" );
+    ( "ip_sense",
+      "ip_sense: packet sent\r\n",
+      "exited(0)" );
+    ( "whileone",
+      "whileone: spinning\r\n",
+      "exited(0)" );
+    ( "timer_oneshot",
+      "timer: oneshot fired\r\n",
+      "exited(0)" );
+    ( "timer_repeat",
+      "timer: tick\r\ntimer: tick\r\ntimer: tick\r\n",
+      "exited(0)" );
+    ( "tictactoe",
+      "tictactoe: XOO.X...X X wins\r\n",
+      "exited(0)" );
+    ( "rot13_client_service",
+      "rot13: Hello -> Uryyb\r\n",
+      "exited(0)" );
+    ( "app_state",
+      "app_state: flash magic 0x54424632\r\n",
+      "exited(0)" );
+    ( "ble_advertising",
+      "ble: advertising started\r\n",
+      "exited(0)" );
+  ]
+
+let golden_v8 =
+  [
+    ( "c_hello",
+      "Hello World!\r\n",
+      "exited(0)" );
+    ( "lua-hello",
+      "Hello from Lua!\r\n",
+      "exited(0)" );
+    ( "printf_long",
+      "Hi welcome to Tock. This test makes sure that a greater than 64 byte message can be printed.\r\nAnd a short message.\r\n",
+      "exited(0)" );
+    ( "blink",
+      "led toggle\r\nled toggle\r\nled toggle\r\nled toggle\r\nled toggle\r\n",
+      "exited(0)" );
+    ( "buttons",
+      "buttons: driver present\r\n",
+      "exited(0)" );
+    ( "malloc_test01",
+      "malloc01: success\r\n",
+      "exited(0)" );
+    ( "malloc_test02",
+      "malloc02: success\r\n",
+      "exited(0)" );
+    ( "stack_size_test01",
+      "stack: memory_start=0x20010c00\r\nstack: app_break=0x20011400\r\n",
+      "exited(0)" );
+    ( "stack_size_test02",
+      "stack2: layout 0x20012000..0x20013000 grant@0x20013bc0\r\n",
+      "exited(0)" );
+    ( "mpu_stack_growth",
+      "stack_growth: block 0x20013c00..0x20014400\r\nstack_growth: overrunning stack (fault expected)\r\n",
+      "faulted: mpu fault: write at 0x20013bfc (mpu v8: no region covers 0x20013bfc)" );
+    ( "mpu_walk_region",
+      "walk_region: walked 1024 bytes (sum=0)\r\nwalk_region: overrun expected\r\n",
+      "faulted: mpu fault: read at 0x20016bc0 (mpu v8: no region covers 0x20016bc0)" );
+    ( "sensors",
+      "sensors: temperature reading 5831\r\n",
+      "exited(0)" );
+    ( "adc",
+      "adc: channel 0 = 6158\r\n",
+      "exited(0)" );
+    ( "ip_sense",
+      "ip_sense: packet sent\r\n",
+      "exited(0)" );
+    ( "whileone",
+      "whileone: spinning\r\n",
+      "exited(0)" );
+    ( "timer_oneshot",
+      "timer: oneshot fired\r\n",
+      "exited(0)" );
+    ( "timer_repeat",
+      "timer: tick\r\ntimer: tick\r\ntimer: tick\r\n",
+      "exited(0)" );
+    ( "tictactoe",
+      "tictactoe: XOO.X...X X wins\r\n",
+      "exited(0)" );
+    ( "rot13_client_service",
+      "rot13: Hello -> Uryyb\r\n",
+      "exited(0)" );
+    ( "app_state",
+      "app_state: flash magic 0x54424632\r\n",
+      "exited(0)" );
+    ( "ble_advertising",
+      "ble: advertising started\r\n",
+      "exited(0)" );
+  ]
+
+let check golden make () =
+  let results =
+    Verify.Violation.with_enabled false (fun () -> Apps.Difftest.run_suite (make ()))
+  in
+  List.iter2
+    (fun (name, expected_output, expected_state) (r : Apps.Difftest.app_result) ->
+      Alcotest.(check string) (name ^ ": output") expected_output r.output;
+      Alcotest.(check string) (name ^ ": state") expected_state r.state)
+    golden results
+
+let suite =
+  [
+    Alcotest.test_case "golden outputs (ticktock-e310)" `Slow
+      (check golden_e310 (fun () -> Boards.instance_ticktock_e310 ()));
+    Alcotest.test_case "golden outputs (ticktock-arm-v8)" `Slow
+      (check golden_v8 (fun () -> Boards.instance_ticktock_arm_v8 ()));
+  ]

@@ -1,0 +1,152 @@
+(* Tock's handlers and the modeled context switch (Figure 8), including the
+   missed-mode-switch bug (issue #4246). *)
+
+module C = Fluxarm.Cpu
+module R = Fluxarm.Regs
+module E = Fluxarm.Exn
+module H = Fluxarm.Handlers
+module A = Ticktock.Proofs.Granular.A
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* An ARM machine with a realistic process MPU configuration. *)
+let machine () = Ticktock.Proofs.Interrupts.fresh_machine ()
+
+let test_sys_tick_isr () =
+  let m, _, _ = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  E.entry cpu ~exc_num:E.exc_systick;
+  let lr = H.sys_tick_isr cpu in
+  check_int "returns to kernel on msp" E.exc_return_thread_msp lr;
+  check_int "CONTROL forced privileged" 0 (C.control_committed cpu)
+
+let test_sys_tick_requires_handler_mode () =
+  let m, _, _ = machine () in
+  Verify.Violation.with_enabled true (fun () ->
+      match H.sys_tick_isr m.Ticktock.Machine.arm_cpu with
+      | _ -> Alcotest.fail "must require handler mode"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_svc_from_kernel_goes_to_process () =
+  let m, _, _ = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  E.entry cpu ~exc_num:E.exc_svc;
+  (* entry from kernel thread on MSP leaves LR = thread_msp *)
+  let lr = H.svc_isr cpu in
+  check_int "switches onto psp" E.exc_return_thread_psp lr;
+  C.isb cpu;
+  check_bool "CONTROL.nPRIV pending -> set" true (Word32.bit (C.control_committed cpu) 0)
+
+let test_svc_from_process_goes_to_kernel () =
+  let m, alloc, _ = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  (* enter "process" state: thread on PSP *)
+  let psp = A.app_break alloc - 64 in
+  C.set cpu R.R0 psp;
+  C.msr cpu R.Psp R.R0;
+  C.movw_imm cpu R.R1 2;
+  C.msr cpu R.Control R.R1;
+  C.isb cpu;
+  E.entry cpu ~exc_num:E.exc_svc;
+  let lr = H.svc_isr cpu in
+  check_int "back to kernel" E.exc_return_thread_msp lr;
+  check_int "CONTROL privileged" 0 (C.control_committed cpu)
+
+let test_switch_parts_roundtrip () =
+  let m, alloc, regs_base = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  let mem = m.Ticktock.Machine.arm_mem in
+  (* give the process a stacked frame and stored registers *)
+  let psp = A.app_break alloc - 64 in
+  for i = 0 to 7 do
+    Memory.write32 mem (psp + (4 * i)) (0x9000 + i)
+  done;
+  for i = 0 to 7 do
+    Memory.write32 mem (regs_base + (4 * i)) (0x7000 + i)
+  done;
+  List.iteri (fun i r -> C.set cpu r (0x4000 + i)) R.callee_saved;
+  let snap = C.snapshot cpu in
+  H.switch_to_user_part1 cpu ~process_sp:psp ~regs_base;
+  check_bool "unprivileged in process" false (C.privileged cpu);
+  check_int "process callee-saved loaded" 0x7000 (C.get cpu R.R4);
+  check_int "process frame r0 popped" 0x9000 (C.get cpu R.R0);
+  (* process mutates its registers *)
+  C.set cpu R.R4 0xDEAD;
+  H.preempt_process cpu ~exc_num:E.exc_systick;
+  H.switch_to_user_part2 cpu ~regs_base;
+  check_bool "kernel state restored" true (C.cpu_state_correct ~old:snap cpu = Ok ());
+  check_int "process r4 saved to stored state" 0xDEAD (Memory.read32 mem regs_base);
+  check_int "kernel r4 restored" 0x4000 (C.get cpu R.R4)
+
+let test_control_flow_kernel_to_kernel () =
+  let m, alloc, regs_base = machine () in
+  match
+    H.control_flow_kernel_to_kernel m.Ticktock.Machine.arm_cpu ~exc_num:15
+      ~process_sp:(A.app_break alloc - 64) ~regs_base
+      ~process_accessible:(A.accessible alloc) ~seed:7
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_missed_mode_switch_caught () =
+  let m, alloc, regs_base = machine () in
+  Verify.Violation.with_enabled true (fun () ->
+      let faults = { H.skip_mode_switch = true } in
+      match
+        H.control_flow_kernel_to_kernel ~faults m.Ticktock.Machine.arm_cpu ~exc_num:15
+          ~process_sp:(A.app_break alloc - 64) ~regs_base
+          ~process_accessible:(A.accessible alloc) ~seed:7
+      with
+      | Ok () | Error _ -> Alcotest.fail "mode-switch omission must be caught"
+      | exception Verify.Violation.Violation v ->
+        check_bool "the §2.2 bug, by name" true
+          (v.Verify.Violation.site = "switch_to_user_part1: process runs unprivileged"))
+
+let test_missed_mode_switch_breaks_isolation_without_verification () =
+  (* With contracts off (a release build of buggy Tock), the process simply
+     runs privileged: the MPU no longer stops a kernel-memory write. This is
+     the isolation break itself, not just the contract. *)
+  let m, alloc, regs_base = machine () in
+  Verify.Violation.with_enabled false (fun () ->
+      let faults = { H.skip_mode_switch = true } in
+      let cpu = m.Ticktock.Machine.arm_cpu in
+      H.switch_to_user_part1 ~faults cpu ~process_sp:(A.app_break alloc - 64) ~regs_base;
+      check_bool "process is privileged (the bug)" true (C.privileged cpu);
+      (* privileged => checker lets a kernel write through *)
+      let target = Range.start Layout.kernel_sram + 0x2000 in
+      Memory.store8 (C.memory cpu) target 0xEE;
+      check_int "kernel memory clobbered" 0xEE (Memory.read8 (C.memory cpu) target))
+
+let test_process_model_contained () =
+  let m, alloc, regs_base = machine () in
+  Verify.Violation.with_enabled true (fun () ->
+      let cpu = m.Ticktock.Machine.arm_cpu in
+      H.switch_to_user_part1 cpu ~process_sp:(A.app_break alloc - 64) ~regs_base;
+      (* the havoc process performs checked accesses only; the sandbox
+         contract inside asserts every allowed access stays inside *)
+      H.process cpu ~seed:42 ~steps:200 ~accessible:(A.accessible alloc);
+      H.preempt_process cpu ~exc_num:15;
+      H.switch_to_user_part2 cpu ~regs_base)
+
+let test_generic_irq_returns_to_kernel () =
+  let m, _, _ = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  E.entry cpu ~exc_num:22;
+  check_int "irq isr targets kernel" E.exc_return_thread_msp (H.generic_irq_isr cpu)
+
+let suite =
+  [
+    Alcotest.test_case "sys_tick_isr (Figure 8)" `Quick test_sys_tick_isr;
+    Alcotest.test_case "sys_tick requires handler mode" `Quick test_sys_tick_requires_handler_mode;
+    Alcotest.test_case "svc kernel->process" `Quick test_svc_from_kernel_goes_to_process;
+    Alcotest.test_case "svc process->kernel" `Quick test_svc_from_process_goes_to_kernel;
+    Alcotest.test_case "switch parts roundtrip" `Quick test_switch_parts_roundtrip;
+    Alcotest.test_case "control_flow_kernel_to_kernel (§4.5)" `Quick
+      test_control_flow_kernel_to_kernel;
+    Alcotest.test_case "missed mode switch caught (#4246)" `Quick test_missed_mode_switch_caught;
+    Alcotest.test_case "missed mode switch breaks isolation" `Quick
+      test_missed_mode_switch_breaks_isolation_without_verification;
+    Alcotest.test_case "process model contained" `Quick test_process_model_contained;
+    Alcotest.test_case "generic irq returns to kernel" `Quick test_generic_irq_returns_to_kernel;
+  ]

@@ -1,0 +1,93 @@
+(* Board inventory and the type-erased kernel instances. *)
+
+open Ticktock
+open Apps.App_dsl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_board_inventory () =
+  let names = List.map fst Boards.all_instances in
+  check_int "ten configurations" 10 (List.length names);
+  List.iter
+    (fun expected -> check_bool (expected ^ " present") true (List.mem expected names))
+    [
+      "ticktock-arm";
+      "ticktock-arm-mc";
+      "ticktock-arm-v8";
+      "tock-arm-upstream";
+      "tock-arm-patched";
+      "ticktock-e310";
+      "ticktock-earlgrey";
+      "ticktock-qemu-rv32";
+      "tock-pmp-upstream";
+    ]
+  |> ignore;
+  (* tock-pmp-patched is the ninth-or-tenth; just assert uniqueness *)
+  check_int "names unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_instance_api_roundtrip () =
+  let k = Boards.instance_ticktock_arm () in
+  let pid =
+    Result.get_ok
+      (k.Instance.load ~name:"api" ~payload:"api"
+         ~program:(to_program (let* () = print "out" in return 4))
+         ~min_ram:2048 ~grant_reserve:1024 ~heap_headroom:1024)
+  in
+  k.Instance.run ~max_ticks:50;
+  Alcotest.(check (option string)) "output" (Some "out") (k.Instance.proc_output pid);
+  Alcotest.(check (option int)) "exit" (Some 4) (k.Instance.proc_exit pid);
+  check_bool "not faulted" false (k.Instance.proc_faulted pid);
+  check_bool "ticks advanced" true (k.Instance.ticks () > 0);
+  check_bool "isolation" true (k.Instance.proc_isolation_ok pid);
+  (match k.Instance.proc_mem_stats pid with
+  | Some st -> check_bool "stats consistent" true (st.Instance.total > 0)
+  | None -> Alcotest.fail "stats");
+  (* unknown pid behaviours *)
+  Alcotest.(check (option string)) "unknown output" None (k.Instance.proc_output 99);
+  check_bool "unknown sbrk" true (k.Instance.proc_sbrk 99 8 = Error Kerror.No_such_process)
+
+let test_instance_sbrk_direct () =
+  let k = Boards.instance_ticktock_arm () in
+  let pid =
+    Result.get_ok
+      (k.Instance.load ~name:"s" ~payload:"s" ~program:(to_program (return 0)) ~min_ram:2048
+         ~grant_reserve:1024 ~heap_headroom:2048)
+  in
+  match k.Instance.proc_sbrk pid 128 with
+  | Ok b -> check_bool "kernel-side sbrk grows" true (b > 0)
+  | Error e -> Alcotest.failf "sbrk: %a" Kerror.pp e
+
+let test_membench_deterministic () =
+  let run () =
+    Verify.Violation.with_enabled false (fun () ->
+        Result.get_ok (Apps.Membench.run (Boards.instance_ticktock_arm ())))
+  in
+  let a = run () and b = run () in
+  check_int "total" a.Apps.Membench.stats.Instance.total b.Apps.Membench.stats.Instance.total;
+  check_int "app" a.Apps.Membench.stats.Instance.app b.Apps.Membench.stats.Instance.app
+
+let test_membench_padded_matches_tock_total () =
+  Verify.Violation.with_enabled false (fun () ->
+      let tock = Result.get_ok (Apps.Membench.run (Boards.instance_tock_arm ())) in
+      let padded =
+        Result.get_ok
+          (Apps.Membench.run ~grant_reserve:3072 (Boards.instance_ticktock_arm ()))
+      in
+      check_int "padded ticktock total = tock total" tock.Apps.Membench.stats.Instance.total
+        padded.Apps.Membench.stats.Instance.total;
+      check_bool "waste within a granule" true
+        (abs
+           (tock.Apps.Membench.stats.Instance.unused
+           - padded.Apps.Membench.stats.Instance.unused)
+        <= 32))
+
+let suite =
+  [
+    Alcotest.test_case "board inventory" `Quick test_board_inventory;
+    Alcotest.test_case "instance api roundtrip" `Quick test_instance_api_roundtrip;
+    Alcotest.test_case "instance kernel-side sbrk" `Quick test_instance_sbrk_direct;
+    Alcotest.test_case "membench deterministic" `Slow test_membench_deterministic;
+    Alcotest.test_case "membench padded = tock total (§6.2)" `Slow
+      test_membench_padded_matches_tock_total;
+  ]

@@ -1,0 +1,178 @@
+(* Kernel edge cases: malformed syscalls, exhausted resources, stickiness. *)
+
+open Ticktock
+open Apps.App_dsl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let k () = Boards.instance_ticktock_arm ()
+
+let load (k : Instance.t) ?(min_ram = 2048) ~name script =
+  Result.get_ok
+    (k.Instance.load ~name ~payload:name ~program:(to_program script) ~min_ram
+       ~grant_reserve:1024 ~heap_headroom:2048)
+
+let out (k : Instance.t) pid = Option.value ~default:"" (k.Instance.proc_output pid)
+
+let run_script ?min_ram script =
+  let k = k () in
+  let pid = load k ?min_ram ~name:"edge" script in
+  k.Instance.run ~max_ticks:300;
+  (k, pid)
+
+let test_unknown_memop () =
+  let k, pid =
+    run_script
+      (let* r = memop ~op:55 () in
+       let* () = printf "%b" (r = Userland.failure) in
+       return 0)
+  in
+  Alcotest.(check string) "unknown memop fails cleanly" "true" (out k pid)
+
+let test_zero_length_allow () =
+  let k, pid =
+    run_script
+      (let* ms = memory_start in
+       let* r = allow_rw ~driver:2 ~addr:ms ~len:0 in
+       let* () = printf "%b" (r = Userland.success) in
+       return 0)
+  in
+  Alcotest.(check string) "zero-length allow accepted (empty buffer)" "true" (out k pid)
+
+let test_allow_huge_len_fails () =
+  let k, pid =
+    run_script
+      (let* ms = memory_start in
+       let* r = allow_rw ~driver:2 ~addr:ms ~len:0x4000_0000 in
+       let* () = printf "%b" (r = Userland.failure) in
+       return 0)
+  in
+  Alcotest.(check string) "oversized allow refused" "true" (out k pid)
+
+let test_brk_same_value_idempotent () =
+  let k, pid =
+    run_script
+      (let* ab = memory_end in
+       let* r1 = brk ab in
+       let* ab' = memory_end in
+       let* () = printf "%b %b" (r1 <> Userland.failure) (ab' = ab) in
+       return 0)
+  in
+  Alcotest.(check string) "brk to the current break is a no-op" "true true" (out k pid)
+
+let test_sbrk_zero () =
+  let k, pid =
+    run_script
+      (let* ab = memory_end in
+       let* r = sbrk 0 in
+       let* () = printf "%b" (r = ab) in
+       return 0)
+  in
+  Alcotest.(check string) "sbrk 0 returns the break" "true" (out k pid)
+
+let test_grant_exhaustion_is_contained () =
+  (* burn grants through driver touches until the reserve runs dry; the
+     process and kernel stay healthy *)
+  let k = k () in
+  let pid =
+    load k ~name:"grants"
+      (let rec touch d =
+         if d > 3 then return 0
+         else
+           let* _ = command ~driver:d ~cmd:0 () in
+           touch (d + 1)
+       in
+       let* code = touch 0 in
+       let* () = print "done" in
+       return code)
+  in
+  k.Instance.run ~max_ticks:200;
+  Alcotest.(check string) "survives driver-grant churn" "done" (out k pid);
+  check_bool "isolation still holds" true (k.Instance.proc_isolation_ok pid)
+
+let test_exited_process_gets_no_slices () =
+  let k = k () in
+  let pid = load k ~name:"quick" (return 0) in
+  k.Instance.run ~max_ticks:30;
+  let p =
+    match k.Instance.proc_state pid with Some s -> s | None -> Alcotest.fail "missing"
+  in
+  Alcotest.(check string) "exited" "exited(0)" p;
+  (* more ticks do not revive it *)
+  k.Instance.run ~max_ticks:30;
+  Alcotest.(check (option int)) "still exited" (Some 0) (k.Instance.proc_exit pid)
+
+let test_yield_without_subscription_blocks_until_deadlock_detected () =
+  (* a yield with nothing pending and no alarm parks the process forever;
+     the scheduler must not spin on it *)
+  let k = k () in
+  let pid = load k ~name:"sleeper" (let* _ = yield in return 0) in
+  k.Instance.run ~max_ticks:50;
+  Alcotest.(check (option string)) "parked in yielded" (Some "yielded")
+    (k.Instance.proc_state pid);
+  check_bool "scheduler did not burn the full budget" true (k.Instance.ticks () <= 50)
+
+let test_flash_queries_inside_flash () =
+  let k, pid =
+    run_script
+      (let* fs = flash_start in
+       let* fe = flash_end in
+       let* () = printf "%b %b" (Layout.in_flash fs) (Layout.in_flash (fe - 1)) in
+       return 0)
+  in
+  Alcotest.(check string) "flash window sane" "true true" (out k pid)
+
+let test_min_ram_too_big_refused () =
+  let k = k () in
+  match
+    k.Instance.load ~name:"huge" ~payload:"h"
+      ~program:(to_program (return 0))
+      ~min_ram:0x100_0000 ~grant_reserve:1024 ~heap_headroom:0
+  with
+  | Error (Kerror.Out_of_memory | Kerror.Heap_error) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Kerror.pp e
+  | Ok _ -> Alcotest.fail "impossible allocation accepted"
+
+let test_ram_exhaustion_across_processes () =
+  let k = k () in
+  let rec fill n acc =
+    if n = 0 then acc
+    else
+      match
+        k.Instance.load
+          ~name:(Printf.sprintf "f%d" n)
+          ~payload:"f"
+          ~program:(to_program (return 0))
+          ~min_ram:16384 ~grant_reserve:1024 ~heap_headroom:0
+      with
+      | Ok _ -> fill (n - 1) (acc + 1)
+      | Error _ -> acc
+  in
+  let loaded = fill 64 0 in
+  check_bool "several fit" true (loaded >= 4);
+  check_bool "but not unboundedly many" true (loaded < 64);
+  (* the ones that fit still run *)
+  k.Instance.run ~max_ticks:100;
+  check_int "all loaded processes ran" 0
+    (List.length
+       (List.filter
+          (fun i -> k.Instance.proc_exit i = None)
+          (List.init loaded (fun i -> i))))
+
+let suite =
+  [
+    Alcotest.test_case "unknown memop" `Quick test_unknown_memop;
+    Alcotest.test_case "zero-length allow" `Quick test_zero_length_allow;
+    Alcotest.test_case "oversized allow" `Quick test_allow_huge_len_fails;
+    Alcotest.test_case "brk idempotent" `Quick test_brk_same_value_idempotent;
+    Alcotest.test_case "sbrk zero" `Quick test_sbrk_zero;
+    Alcotest.test_case "grant churn contained" `Quick test_grant_exhaustion_is_contained;
+    Alcotest.test_case "exited processes stay exited" `Quick test_exited_process_gets_no_slices;
+    Alcotest.test_case "bare yield parks" `Quick
+      test_yield_without_subscription_blocks_until_deadlock_detected;
+    Alcotest.test_case "flash queries" `Quick test_flash_queries_inside_flash;
+    Alcotest.test_case "absurd min_ram refused" `Quick test_min_ram_too_big_refused;
+    Alcotest.test_case "RAM exhaustion across processes" `Quick
+      test_ram_exhaustion_across_processes;
+  ]

@@ -1,0 +1,153 @@
+(* Flash images and placement. *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let image ?(name = "demo") ?(min_ram = 2048) ?(payload = String.make 300 'p') () =
+  { Loader.app_name = name; min_ram; payload }
+
+let test_roundtrip () =
+  let mem = Memory.create () in
+  let img = image () in
+  Loader.write_image mem ~base:0x0002_0000 img;
+  match Loader.read_image mem ~base:0x0002_0000 with
+  | Ok back ->
+    Alcotest.(check string) "name" "demo" back.Loader.app_name;
+    check_int "min_ram" 2048 back.Loader.min_ram;
+    Alcotest.(check string) "payload" img.Loader.payload back.Loader.payload
+  | Error e -> Alcotest.fail e
+
+let test_magic_check () =
+  let mem = Memory.create () in
+  check_bool "garbage rejected" true (Result.is_error (Loader.read_image mem ~base:0x0002_0000))
+
+let test_padded_size () =
+  check_int "pads to pow2, floor 512" 512 (Loader.padded_size (image ~payload:"short" ()));
+  check_bool "large payload pads up" true
+    (Loader.padded_size (image ~payload:(String.make 600 'x') ()) = 1024)
+
+let test_place_alignment () =
+  let mem = Memory.create () in
+  let cursor = Range.start Layout.app_flash in
+  match Loader.place mem ~cursor (image ()) with
+  | Ok (placed, cursor') ->
+    check_bool "pow2-size-aligned base" true
+      (Math32.is_aligned placed.Loader.flash_start ~align:placed.Loader.flash_size);
+    check_bool "pow2 size" true (Math32.is_pow2 placed.Loader.flash_size);
+    check_int "cursor advanced" (placed.Loader.flash_start + placed.Loader.flash_size) cursor';
+    check_int "entry points at payload" (placed.Loader.flash_start + 24 + 4)
+      placed.Loader.entry
+  | Error e -> Alcotest.failf "place failed: %a" Kerror.pp e
+
+let test_place_sequence () =
+  let mem = Memory.create () in
+  let rec place_all cursor n acc =
+    if n = 0 then List.rev acc
+    else
+      match Loader.place mem ~cursor (image ~name:(Printf.sprintf "app%d" n) ()) with
+      | Ok (p, cursor') -> place_all cursor' (n - 1) (p :: acc)
+      | Error e -> Alcotest.failf "place %d failed: %a" n Kerror.pp e
+  in
+  let placements = place_all (Range.start Layout.app_flash) 5 [] in
+  (* images never overlap *)
+  let ranges =
+    List.map (fun p -> Range.make ~start:p.Loader.flash_start ~size:p.Loader.flash_size)
+      placements
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri (fun j b -> if i <> j then check_bool "no overlap" false (Range.overlaps a b))
+        ranges)
+    ranges;
+  (* and each is readable back *)
+  List.iter
+    (fun p ->
+      match Loader.read_image mem ~base:p.Loader.flash_start with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    placements
+
+let test_flash_exhaustion () =
+  let mem = Memory.create () in
+  let big = image ~payload:(String.make 200_000 'x') () in
+  let rec fill cursor n =
+    if n > 100 then Alcotest.fail "flash never filled"
+    else
+      match Loader.place mem ~cursor big with
+      | Ok (_, cursor') -> fill cursor' (n + 1)
+      | Error Kerror.Out_of_memory -> ()
+      | Error e -> Alcotest.failf "unexpected: %a" Kerror.pp e
+  in
+  fill (Range.start Layout.app_flash) 0
+
+let suite =
+  [
+    Alcotest.test_case "image roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "magic check" `Quick test_magic_check;
+    Alcotest.test_case "padded size" `Quick test_padded_size;
+    Alcotest.test_case "placement alignment" `Quick test_place_alignment;
+    Alcotest.test_case "multiple placements disjoint" `Quick test_place_sequence;
+    Alcotest.test_case "flash exhaustion" `Quick test_flash_exhaustion;
+  ]
+
+let test_credentials_verify () =
+  let mem = Memory.create () in
+  let img = image ~name:"signed" () in
+  Loader.write_image mem ~base:0x0002_0000 img;
+  check_bool "intact image verifies" true (Loader.verify_credentials mem ~base:0x0002_0000);
+  (* tamper with one payload byte *)
+  Memory.write8 mem (0x0002_0000 + (4 * Loader.header_words) + 6 + 10) 0xFF;
+  check_bool "tampered image rejected" false (Loader.verify_credentials mem ~base:0x0002_0000);
+  check_bool "garbage rejected" false (Loader.verify_credentials mem ~base:0x0003_0000)
+
+let test_credentials_gate_loading () =
+  let m, k = (fun () -> let m = Ticktock.Machine.create_arm () in
+    (m, Ticktock.Boards.Ticktock_arm.create ~mem:m.Ticktock.Machine.arm_mem
+          ~hw:m.Ticktock.Machine.arm_mpu
+          ~switcher:(Ticktock.Kernel.Arm_switch m.Ticktock.Machine.arm_cpu) ())) ()
+  in
+  let mem = m.Ticktock.Machine.arm_mem in
+  let cursor = Range.start Layout.app_flash in
+  let good = image ~name:"good" () in
+  let bad = image ~name:"bad" () in
+  let placed_good, cursor = Result.get_ok (Loader.place mem ~cursor good) in
+  let placed_bad, _ = Result.get_ok (Loader.place mem ~cursor bad) in
+  ignore placed_good;
+  (* corrupt the second image's payload after signing *)
+  Memory.write8 mem (placed_bad.Loader.entry + 2) 0x00;
+  let registry name =
+    if name = "good" || name = "bad" then
+      Some (Apps.App_dsl.to_program (Apps.App_dsl.return 0))
+    else None
+  in
+  let loaded =
+    Ticktock.Boards.Ticktock_arm.load_processes k ~registry ~require_credentials:true ()
+  in
+  Alcotest.(check int) "only the intact image loads" 1 (List.length loaded);
+  (match loaded with
+  | [ p ] -> Alcotest.(check string) "the good one" "good" p.Ticktock.Process.name
+  | _ -> Alcotest.fail "expected one process");
+  (* without the requirement, both load *)
+  let m2 = Ticktock.Machine.create_arm () in
+  let k2 =
+    Ticktock.Boards.Ticktock_arm.create ~mem:m2.Ticktock.Machine.arm_mem
+      ~hw:m2.Ticktock.Machine.arm_mpu
+      ~switcher:(Ticktock.Kernel.Arm_switch m2.Ticktock.Machine.arm_cpu) ()
+  in
+  let cursor = Range.start Layout.app_flash in
+  let _, cursor = Result.get_ok (Loader.place m2.Ticktock.Machine.arm_mem ~cursor good) in
+  let pb, _ = Result.get_ok (Loader.place m2.Ticktock.Machine.arm_mem ~cursor bad) in
+  Memory.write8 m2.Ticktock.Machine.arm_mem (pb.Loader.entry + 2) 0x00;
+  Alcotest.(check int) "permissive policy loads both" 2
+    (List.length (Ticktock.Boards.Ticktock_arm.load_processes k2 ~registry ()))
+
+let check_bool = Alcotest.(check bool)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "credentials verify" `Quick test_credentials_verify;
+      Alcotest.test_case "credentials gate loading" `Quick test_credentials_gate_loading;
+    ]

@@ -1,0 +1,80 @@
+(* Power-of-two and alignment arithmetic — the facts the Cortex-M driver
+   leans on and the paper proves in Lean. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_is_pow2 () =
+  check_bool "1" true (Math32.is_pow2 1);
+  check_bool "2" true (Math32.is_pow2 2);
+  check_bool "1024" true (Math32.is_pow2 1024);
+  check_bool "0" false (Math32.is_pow2 0);
+  check_bool "3" false (Math32.is_pow2 3);
+  check_bool "1023" false (Math32.is_pow2 1023);
+  check_bool "2^31" true (Math32.is_pow2 (1 lsl 31))
+
+let test_log2 () =
+  check_int "log2 1" 0 (Math32.log2 1);
+  check_int "log2 2" 1 (Math32.log2 2);
+  check_int "log2 1024" 10 (Math32.log2 1024);
+  check_int "log2 floor" 10 (Math32.log2 2047)
+
+let test_closest_pow2 () =
+  check_int "exact" 1024 (Math32.closest_power_of_two 1024);
+  check_int "round up" 2048 (Math32.closest_power_of_two 1025);
+  check_int "one" 1 (Math32.closest_power_of_two 1);
+  check_int "saturates like upstream u32" (1 lsl 31)
+    (Math32.closest_power_of_two ((1 lsl 31) + 1));
+  Alcotest.(check (option int))
+    "checked saturation" None
+    (Math32.closest_power_of_two_checked ((1 lsl 31) + 1));
+  Alcotest.(check (option int))
+    "checked ok" (Some 4096)
+    (Math32.closest_power_of_two_checked 4000)
+
+let test_align () =
+  check_int "align_up already aligned" 64 (Math32.align_up 64 ~align:32);
+  check_int "align_up rounds" 96 (Math32.align_up 65 ~align:32);
+  check_int "align_down" 64 (Math32.align_down 95 ~align:32);
+  check_bool "is_aligned" true (Math32.is_aligned 256 ~align:256);
+  check_bool "is_aligned no" false (Math32.is_aligned 257 ~align:256);
+  check_int "next_aligned_from equals align_up" (Math32.align_up 100 ~align:64)
+    (Math32.next_aligned_from 100 ~align:64)
+
+(* --- properties --- *)
+
+let pos_gen = QCheck.int_range 1 (1 lsl 30)
+let align_gen = QCheck.map (fun e -> 1 lsl e) (QCheck.int_range 0 16)
+
+let prop_closest_bounds =
+  QCheck.Test.make ~name:"closest_power_of_two in [x, 2x)" ~count:500 pos_gen (fun x ->
+      let p = Math32.closest_power_of_two x in
+      Math32.is_pow2 p && p >= x && (p < 2 * x || x = 1))
+
+let prop_align_up_bounds =
+  QCheck.Test.make ~name:"align_up in [x, x+align)" ~count:500
+    (QCheck.pair (QCheck.int_range 0 (1 lsl 28)) align_gen) (fun (x, a) ->
+      let y = Math32.align_up x ~align:a in
+      y >= x && y < x + a && Math32.is_aligned y ~align:a)
+
+let prop_align_down_dual =
+  QCheck.Test.make ~name:"align_down dual to align_up" ~count:500
+    (QCheck.pair (QCheck.int_range 0 (1 lsl 28)) align_gen) (fun (x, a) ->
+      let d = Math32.align_down x ~align:a in
+      d <= x && x - d < a && Math32.is_aligned d ~align:a)
+
+let prop_pow2_octet =
+  QCheck.Test.make ~name:"lemma_pow2_octet: pow2 >= 8 is 8-aligned" ~count:200
+    (QCheck.int_range 3 30) (fun e -> (1 lsl e) mod 8 = 0)
+
+let suite =
+  [
+    Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "closest_power_of_two" `Quick test_closest_pow2;
+    Alcotest.test_case "alignment" `Quick test_align;
+    QCheck_alcotest.to_alcotest prop_closest_bounds;
+    QCheck_alcotest.to_alcotest prop_align_up_bounds;
+    QCheck_alcotest.to_alcotest prop_align_down_dual;
+    QCheck_alcotest.to_alcotest prop_pow2_octet;
+  ]

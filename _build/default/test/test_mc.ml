@@ -1,0 +1,274 @@
+(* Machine-code execution, differentially validated against the
+   method-level FluxArm model — our translation validation for the lift. *)
+
+module C = Fluxarm.Cpu
+module R = Fluxarm.Regs
+module E = Fluxarm.Exn
+module T = Fluxarm.Thumb
+module H = Fluxarm.Handlers
+module HM = Fluxarm.Handlers_mc
+module A = Ticktock.Proofs.Granular.A
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine () = Ticktock.Proofs.Interrupts.fresh_machine ()
+
+let bare () =
+  let mem = Memory.create () in
+  (mem, C.create mem)
+
+let run_at mem cpu addr prog =
+  ignore (T.assemble mem addr prog);
+  C.set_special_raw cpu R.Pc addr;
+  Fluxarm.Mc.run cpu
+
+let test_straight_line () =
+  let mem, cpu = bare () in
+  let stop =
+    run_at mem cpu 0x1000
+      [ T.Movw (R.R0, 0x1234); T.Movt (R.R0, 0x5678); T.Mov_reg (R.R1, R.R0); T.Svc 7 ]
+  in
+  check_bool "stops at svc" true (stop = Fluxarm.Mc.Svc_taken 7);
+  check_int "r0 built by movw/movt" 0x5678_1234 (C.get cpu R.R0);
+  check_int "r1 copied" 0x5678_1234 (C.get cpu R.R1);
+  check_int "pc after svc" (0x1000 + 4 + 4 + 2 + 2) (C.get_special cpu R.Pc)
+
+let test_load_store () =
+  let mem, cpu = bare () in
+  let base = Range.start Layout.app_sram in
+  C.set cpu R.R1 base;
+  C.set cpu R.R2 0xCAFE;
+  let stop =
+    run_at mem cpu 0x1000
+      [ T.Str_imm (R.R2, R.R1, 16); T.Ldr_imm (R.R3, R.R1, 16); T.Svc 0 ]
+  in
+  check_bool "completed" true (stop = Fluxarm.Mc.Svc_taken 0);
+  check_int "str/ldr through memory" 0xCAFE (C.get cpu R.R3);
+  check_int "memory contains it" 0xCAFE (Memory.read32 mem (base + 16))
+
+let test_branching () =
+  let mem, cpu = bare () in
+  (* compare lr against r2; equal -> skip the movw marker *)
+  C.pseudo_ldr_special cpu R.Lr 0x42;
+  C.set cpu R.R2 0x42;
+  let stop =
+    run_at mem cpu 0x1000
+      [
+        T.Cmp_lr R.R2;
+        T.B_cond (`Eq, 1) (* skip one 16-bit slot... which is half of movw *);
+      ]
+  in
+  (* simpler: validate flags + taken branch semantics directly *)
+  ignore stop;
+  check_bool "Z set by equal cmp" true (C.flag_z cpu)
+
+let test_branch_targets () =
+  let mem, cpu = bare () in
+  (* bne taken jumps over movw r0,#1 (4 bytes -> off 1): r0 stays 0 *)
+  C.pseudo_ldr_special cpu R.Lr 1;
+  C.set cpu R.R2 2;
+  let stop =
+    run_at mem cpu 0x1000
+      [ T.Cmp_lr R.R2; T.B_cond (`Ne, 1); T.Movw (R.R0, 1); T.Svc 0 ]
+  in
+  check_bool "completed" true (stop = Fluxarm.Mc.Svc_taken 0);
+  check_int "movw skipped" 0 (C.get cpu R.R0);
+  (* not taken path executes the movw *)
+  let mem2, cpu2 = bare () in
+  C.pseudo_ldr_special cpu2 R.Lr 2;
+  C.set cpu2 R.R2 2;
+  ignore (T.assemble mem2 0x1000 [ T.Cmp_lr R.R2; T.B_cond (`Ne, 1); T.Movw (R.R0, 1); T.Svc 0 ]);
+  C.set_special_raw cpu2 R.Pc 0x1000;
+  ignore (Fluxarm.Mc.run cpu2);
+  check_int "movw executed" 1 (C.get cpu2 R.R0)
+
+let test_decode_error_stops () =
+  let mem, cpu = bare () in
+  Memory.write32 mem 0x1000 0xFFFF_FFFF;
+  C.set_special_raw cpu R.Pc 0x1000;
+  match Fluxarm.Mc.run cpu with
+  | Fluxarm.Mc.Decode_error _ -> ()
+  | _ -> Alcotest.fail "expected decode error"
+
+let test_fetch_respects_mpu () =
+  (* unprivileged fetch from kernel flash must fault *)
+  let m, _, _ = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  C.movw_imm cpu R.R0 1;
+  C.msr cpu R.Control R.R0;
+  C.isb cpu;
+  C.set_special_raw cpu R.Pc 0x1000;
+  match Fluxarm.Mc.step cpu with
+  | exception Memory.Access_fault f ->
+    check_bool "execute fault" true (f.Memory.fault_access = Perms.Execute)
+  | _ -> Alcotest.fail "expected an execute fault"
+
+(* --- differential validation: machine code vs method model --- *)
+
+let test_systick_differential () =
+  (* run the method-model systick on one machine and the machine-code one
+     on another; final CPU state must agree *)
+  let m1, _, _ = machine () in
+  let m2, _, _ = machine () in
+  let cpu1 = m1.Ticktock.Machine.arm_cpu and cpu2 = m2.Ticktock.Machine.arm_cpu in
+  let t = HM.install m2.Ticktock.Machine.arm_mem in
+  E.entry cpu1 ~exc_num:E.exc_systick;
+  E.entry cpu2 ~exc_num:E.exc_systick;
+  let lr1 = H.sys_tick_isr cpu1 in
+  let lr2 = Fluxarm.Mc.run_handler cpu2 ~entry:(HM.isr_entry t ~exc_num:E.exc_systick) in
+  check_int "same EXC_RETURN" lr1 lr2;
+  check_int "same CONTROL" (C.control_committed cpu1) (C.control_committed cpu2);
+  check_bool "same privilege" true (C.privileged cpu1 = C.privileged cpu2)
+
+let test_svc_differential_both_directions () =
+  let dir ~from_kernel =
+    let m1, alloc1, _ = machine () in
+    let m2, _, _ = machine () in
+    let cpu1 = m1.Ticktock.Machine.arm_cpu and cpu2 = m2.Ticktock.Machine.arm_cpu in
+    let t = HM.install m2.Ticktock.Machine.arm_mem in
+    let prepare cpu alloc =
+      if not from_kernel then begin
+        let psp = A.app_break alloc - 64 in
+        C.set cpu R.R0 psp;
+        C.msr cpu R.Psp R.R0;
+        C.movw_imm cpu R.R1 2;
+        C.msr cpu R.Control R.R1;
+        C.isb cpu
+      end;
+      E.entry cpu ~exc_num:E.exc_svc
+    in
+    prepare cpu1 alloc1;
+    prepare cpu2 alloc1;
+    let lr1 = H.svc_isr cpu1 in
+    let lr2 = Fluxarm.Mc.run_handler cpu2 ~entry:(HM.isr_entry t ~exc_num:E.exc_svc) in
+    check_int
+      (Printf.sprintf "same EXC_RETURN (from_kernel=%b)" from_kernel)
+      lr1 lr2;
+    C.isb cpu1;
+    C.isb cpu2;
+    check_int "same CONTROL" (C.control_committed cpu1) (C.control_committed cpu2)
+  in
+  dir ~from_kernel:true;
+  dir ~from_kernel:false
+
+let test_mc_control_flow () =
+  let m, alloc, regs_base = machine () in
+  let t = HM.install m.Ticktock.Machine.arm_mem in
+  match
+    HM.control_flow_kernel_to_kernel t m.Ticktock.Machine.arm_cpu ~exc_num:15
+      ~process_sp:(A.app_break alloc - 64) ~regs_base
+      ~process_accessible:(A.accessible alloc) ~seed:11
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_mc_control_flow_all_irqs () =
+  List.iter
+    (fun exc_num ->
+      let m, alloc, regs_base = machine () in
+      let t = HM.install m.Ticktock.Machine.arm_mem in
+      match
+        HM.control_flow_kernel_to_kernel t m.Ticktock.Machine.arm_cpu ~exc_num
+          ~process_sp:(A.app_break alloc - 64) ~regs_base
+          ~process_accessible:(A.accessible alloc) ~seed:exc_num
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "exc %d: %s" exc_num e)
+    [ 15; 16; 20; 31 ]
+
+let test_mc_mode_switch_bug_caught () =
+  let m, alloc, regs_base = machine () in
+  let t = HM.install ~faults:{ H.skip_mode_switch = true } m.Ticktock.Machine.arm_mem in
+  Verify.Violation.with_enabled true (fun () ->
+      match
+        HM.switch_to_user_part1 t m.Ticktock.Machine.arm_cpu
+          ~process_sp:(A.app_break alloc - 64) ~regs_base
+      with
+      | () -> Alcotest.fail "machine-code mode-switch bug must be caught"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_mc_switch_preserves_kernel_state () =
+  let m, alloc, regs_base = machine () in
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  let mem = m.Ticktock.Machine.arm_mem in
+  let t = HM.install mem in
+  (* process frame + stored regs *)
+  let psp = A.app_break alloc - 64 in
+  for i = 0 to 7 do
+    Memory.write32 mem (psp + (4 * i)) (0x9100 + i);
+    Memory.write32 mem (regs_base + (4 * i)) (0x7100 + i)
+  done;
+  List.iteri (fun i r -> C.set cpu r (0x4100 + i)) R.callee_saved;
+  let snap = C.snapshot cpu in
+  HM.switch_to_user_part1 t cpu ~process_sp:psp ~regs_base;
+  check_int "process regs loaded from stored state" 0x7100 (C.get cpu R.R4);
+  check_int "process frame popped" 0x9100 (C.get cpu R.R0);
+  C.set cpu R.R5 0xBEEF;
+  HM.preempt_process t cpu ~exc_num:E.exc_systick;
+  HM.switch_to_user_part2 t cpu;
+  check_bool "kernel state restored" true (C.cpu_state_correct ~old:snap cpu = Ok ());
+  check_int "process r5 saved back" 0xBEEF (Memory.read32 mem (regs_base + 4))
+
+let suite =
+  [
+    Alcotest.test_case "straight-line execution" `Quick test_straight_line;
+    Alcotest.test_case "load/store" `Quick test_load_store;
+    Alcotest.test_case "cmp sets flags" `Quick test_branching;
+    Alcotest.test_case "conditional branch targets" `Quick test_branch_targets;
+    Alcotest.test_case "decode errors stop" `Quick test_decode_error_stops;
+    Alcotest.test_case "fetch respects the MPU" `Quick test_fetch_respects_mpu;
+    Alcotest.test_case "systick: mc = model (differential)" `Quick test_systick_differential;
+    Alcotest.test_case "svc both directions: mc = model" `Quick
+      test_svc_differential_both_directions;
+    Alcotest.test_case "mc control flow kernel-to-kernel" `Quick test_mc_control_flow;
+    Alcotest.test_case "mc control flow across irqs" `Quick test_mc_control_flow_all_irqs;
+    Alcotest.test_case "mc mode-switch bug caught" `Quick test_mc_mode_switch_bug_caught;
+    Alcotest.test_case "mc switch preserves kernel state" `Quick
+      test_mc_switch_preserves_kernel_state;
+  ]
+
+(* --- vector-table dispatch --- *)
+
+module VT = Fluxarm.Vector_table
+
+let test_vector_table_roundtrip () =
+  let mem = Memory.create () in
+  VT.install mem ~base:0x0 [ (15, 0x1234); (11, 0x2000) ];
+  check_int "systick entry" 0x1234 (VT.handler_entry mem ~base:0x0 ~exc_num:15);
+  check_int "svc entry" 0x2000 (VT.handler_entry mem ~base:0x0 ~exc_num:11);
+  check_int "thumb bit stored" 1 (Memory.read32 mem (4 * 15) land 1);
+  check_int "initial msp" (Range.end_ Layout.kernel_sram) (VT.initial_msp mem ~base:0x0)
+
+let test_vector_table_dispatch_equals_direct () =
+  (* preempting through the vector table must behave exactly like calling
+     the machine-code ISR directly *)
+  let m1, _, _ = machine () in
+  let m2, _, _ = machine () in
+  let cpu1 = m1.Ticktock.Machine.arm_cpu and cpu2 = m2.Ticktock.Machine.arm_cpu in
+  let t1 = HM.install m1.Ticktock.Machine.arm_mem in
+  let t2 = HM.install m2.Ticktock.Machine.arm_mem in
+  VT.install_for m2.Ticktock.Machine.arm_mem ~base:0x0 t2;
+  let snap1 = C.snapshot cpu1 and snap2 = C.snapshot cpu2 in
+  E.preempt cpu1 ~exc_num:15 ~isr:(fun cpu -> HM.run_isr t1 cpu ~exc_num:15);
+  E.preempt cpu2 ~exc_num:15 ~isr:(VT.isr m2.Ticktock.Machine.arm_mem ~base:0x0 ~exc_num:15);
+  check_bool "direct path clean" true (C.cpu_state_correct ~old:snap1 cpu1 = Ok ());
+  check_bool "table path clean" true (C.cpu_state_correct ~old:snap2 cpu2 = Ok ())
+
+let test_vector_table_unset_handler () =
+  let m, _, _ = machine () in
+  let mem = m.Ticktock.Machine.arm_mem in
+  VT.install mem ~base:0x0 [];
+  let cpu = m.Ticktock.Machine.arm_cpu in
+  match E.preempt cpu ~exc_num:20 ~isr:(VT.isr mem ~base:0x0 ~exc_num:20) with
+  | () -> Alcotest.fail "unset handler must fail"
+  | exception Failure _ -> ()
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "vector table roundtrip" `Quick test_vector_table_roundtrip;
+      Alcotest.test_case "vector dispatch = direct dispatch" `Quick
+        test_vector_table_dispatch_equals_direct;
+      Alcotest.test_case "unset vector entry" `Quick test_vector_table_unset_handler;
+    ]

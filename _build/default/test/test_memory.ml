@@ -1,0 +1,96 @@
+(* Sparse physical memory with the MPU access-checker hook. *)
+
+let check_int = Alcotest.(check int)
+
+let test_rw8 () =
+  let m = Memory.create () in
+  Memory.write8 m 0x2000_0000 0xAB;
+  check_int "read back" 0xAB (Memory.read8 m 0x2000_0000);
+  check_int "default zero" 0 (Memory.read8 m 0x2000_0001)
+
+let test_rw32_little_endian () =
+  let m = Memory.create () in
+  Memory.write32 m 0x2000_0000 0xDEAD_BEEF;
+  check_int "word" 0xDEAD_BEEF (Memory.read32 m 0x2000_0000);
+  check_int "LSB first" 0xEF (Memory.read8 m 0x2000_0000);
+  check_int "MSB last" 0xDE (Memory.read8 m 0x2000_0003)
+
+let test_cross_page () =
+  let m = Memory.create () in
+  (* a word spanning a 4 KiB page boundary *)
+  Memory.write32 m 0x2000_0FFE 0x1234_5678;
+  check_int "cross-page word" 0x1234_5678 (Memory.read32 m 0x2000_0FFE)
+
+let test_blit_and_read () =
+  let m = Memory.create () in
+  Memory.blit_string m 0x100 "hello tock";
+  Alcotest.(check string) "roundtrip" "hello tock" (Memory.read_bytes m 0x100 10)
+
+let test_sparse () =
+  let m = Memory.create () in
+  Memory.write8 m 0 1;
+  Memory.write8 m 0xF000_0000 2;
+  check_int "two pages only" 2 (Memory.touched_pages m)
+
+let deny_writes _addr access =
+  match access with Perms.Write -> Error "read-only world" | Perms.Read | Perms.Execute -> Ok ()
+
+let test_checker_applies () =
+  let m = Memory.create () in
+  Memory.set_checker m (Some deny_writes);
+  Alcotest.(check bool) "checker installed" true (Memory.checker_enabled m);
+  check_int "load allowed" 0 (Memory.load8 m 0x2000_0000);
+  Alcotest.check_raises "store denied"
+    (Memory.Access_fault
+       { Memory.fault_addr = 0x2000_0000; fault_access = Perms.Write; fault_reason = "read-only world" })
+    (fun () -> Memory.store8 m 0x2000_0000 1)
+
+let test_checker_word_granularity () =
+  (* A 4-byte store faults if any covered byte is denied. *)
+  let m = Memory.create () in
+  let deny_byte addr _ = if addr = 0x2000_0003 then Error "hole" else Ok () in
+  Memory.set_checker m (Some deny_byte);
+  (try
+     Memory.store32 m 0x2000_0000 0xFFFF_FFFF;
+     Alcotest.fail "expected fault on covered byte"
+   with Memory.Access_fault f -> check_int "faulting byte" 0x2000_0003 f.Memory.fault_addr);
+  (* And the partial store must not have happened. *)
+  check_int "no partial write" 0 (Memory.read8 m 0x2000_0000)
+
+let test_raw_bypasses_checker () =
+  let m = Memory.create () in
+  Memory.set_checker m (Some (fun _ _ -> Error "deny all"));
+  (* raw accesses model DMA / kernel: never checked *)
+  Memory.write8 m 0x2000_0000 7;
+  check_int "raw read" 7 (Memory.read8 m 0x2000_0000)
+
+let test_fetch_checked_as_execute () =
+  let m = Memory.create () in
+  let record = ref None in
+  Memory.set_checker m
+    (Some
+       (fun _ access ->
+         record := Some access;
+         Ok ()));
+  ignore (Memory.fetch32 m 0x0002_0000);
+  Alcotest.(check bool) "fetch uses Execute" true (!record = Some Perms.Execute)
+
+let test_checker_removal () =
+  let m = Memory.create () in
+  Memory.set_checker m (Some (fun _ _ -> Error "deny"));
+  Memory.set_checker m None;
+  check_int "unchecked after removal" 0 (Memory.load8 m 0x1000)
+
+let suite =
+  [
+    Alcotest.test_case "byte read/write" `Quick test_rw8;
+    Alcotest.test_case "word little-endian" `Quick test_rw32_little_endian;
+    Alcotest.test_case "cross-page word" `Quick test_cross_page;
+    Alcotest.test_case "blit/read_bytes" `Quick test_blit_and_read;
+    Alcotest.test_case "sparse pages" `Quick test_sparse;
+    Alcotest.test_case "checker gates checked access" `Quick test_checker_applies;
+    Alcotest.test_case "word access checks every byte" `Quick test_checker_word_granularity;
+    Alcotest.test_case "raw access bypasses checker (DMA)" `Quick test_raw_bypasses_checker;
+    Alcotest.test_case "fetch checked as execute" `Quick test_fetch_checked_as_execute;
+    Alcotest.test_case "checker removal" `Quick test_checker_removal;
+  ]

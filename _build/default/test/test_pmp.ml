@@ -1,0 +1,162 @@
+(* The RISC-V PMP hardware model. *)
+
+module Hw = Mpu_hw.Pmp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+
+let allowed hw ~machine_mode a access =
+  match Hw.check_access hw ~machine_mode a access with Ok () -> true | Error _ -> false
+
+let test_cfg_encoding () =
+  let cfg = Hw.encode_cfg ~r:true ~w:false ~x:true ~mode:Hw.Napot ~lock:true in
+  check_bool "r" true (Hw.decode_cfg_r cfg);
+  check_bool "w" false (Hw.decode_cfg_w cfg);
+  check_bool "x" true (Hw.decode_cfg_x cfg);
+  check_bool "lock" true (Hw.decode_cfg_lock cfg);
+  check_bool "mode" true (Hw.decode_cfg_mode cfg = Hw.Napot)
+
+let test_cfg_of_perms () =
+  let cfg = Hw.cfg_of_perms Perms.Read_write_only ~mode:Hw.Tor in
+  check_bool "rw-" true (Hw.decode_cfg_r cfg && Hw.decode_cfg_w cfg && not (Hw.decode_cfg_x cfg))
+
+let tor_pair hw ~index ~lo ~hi ~perms =
+  Hw.set_entry hw ~index:(2 * index)
+    ~cfg:(Hw.encode_cfg ~r:false ~w:false ~x:false ~mode:Hw.Off ~lock:false)
+    ~addr:(lo lsr 2);
+  Hw.set_entry hw ~index:((2 * index) + 1) ~cfg:(Hw.cfg_of_perms perms ~mode:Hw.Tor)
+    ~addr:(hi lsr 2)
+
+let test_tor_matching () =
+  let hw = Hw.create Hw.sifive_e310 in
+  tor_pair hw ~index:0 ~lo:base ~hi:(base + 1024) ~perms:Perms.Read_write_only;
+  check_bool "inside" true (allowed hw ~machine_mode:false base Perms.Read);
+  check_bool "last byte" true (allowed hw ~machine_mode:false (base + 1023) Perms.Write);
+  check_bool "one past" false (allowed hw ~machine_mode:false (base + 1024) Perms.Read);
+  check_bool "below" false (allowed hw ~machine_mode:false (base - 1) Perms.Read);
+  check_bool "exec denied" false (allowed hw ~machine_mode:false base Perms.Execute)
+
+let test_tor_entry0_lower_bound_zero () =
+  let hw = Hw.create Hw.sifive_e310 in
+  (* entry 0 in TOR mode: lower bound is address 0 *)
+  Hw.set_entry hw ~index:0 ~cfg:(Hw.cfg_of_perms Perms.Read_only ~mode:Hw.Tor)
+    ~addr:(0x1000 lsr 2);
+  check_bool "low memory readable" true (allowed hw ~machine_mode:false 0 Perms.Read);
+  check_bool "above bound denied" false (allowed hw ~machine_mode:false 0x1000 Perms.Read)
+
+let test_na4 () =
+  let hw = Hw.create Hw.sifive_e310 in
+  Hw.set_entry hw ~index:0
+    ~cfg:(Hw.encode_cfg ~r:true ~w:true ~x:false ~mode:Hw.Na4 ~lock:false)
+    ~addr:(base lsr 2);
+  check_bool "all 4 bytes" true
+    (List.for_all (fun i -> allowed hw ~machine_mode:false (base + i) Perms.Read) [ 0; 1; 2; 3 ]);
+  check_bool "5th byte denied" false (allowed hw ~machine_mode:false (base + 4) Perms.Read)
+
+let test_napot () =
+  let hw = Hw.create Hw.sifive_e310 in
+  let addr = Hw.napot_addr ~start:base ~size:4096 in
+  Hw.set_entry hw ~index:0
+    ~cfg:(Hw.encode_cfg ~r:true ~w:false ~x:false ~mode:Hw.Napot ~lock:false)
+    ~addr;
+  check_bool "start" true (allowed hw ~machine_mode:false base Perms.Read);
+  check_bool "last" true (allowed hw ~machine_mode:false (base + 4095) Perms.Read);
+  check_bool "past" false (allowed hw ~machine_mode:false (base + 4096) Perms.Read);
+  (match Hw.entry_range hw 0 with
+  | Some r ->
+    check_int "decoded start" base (Range.start r);
+    check_int "decoded size" 4096 (Range.size r)
+  | None -> Alcotest.fail "expected range")
+
+let test_napot_requires_alignment () =
+  Alcotest.check_raises "unaligned napot" (Invalid_argument "napot_addr: alignment") (fun () ->
+      ignore (Hw.napot_addr ~start:(base + 8) ~size:4096))
+
+let test_lowest_entry_priority () =
+  let hw = Hw.create Hw.sifive_e310 in
+  (* entry pair 0: read-only; pair 1 overlapping RW — pair 0 wins. *)
+  tor_pair hw ~index:0 ~lo:base ~hi:(base + 256) ~perms:Perms.Read_only;
+  tor_pair hw ~index:1 ~lo:base ~hi:(base + 1024) ~perms:Perms.Read_write_only;
+  check_bool "lowest matching entry decides" false
+    (allowed hw ~machine_mode:false base Perms.Write);
+  check_bool "outside entry 0, entry 1 applies" true
+    (allowed hw ~machine_mode:false (base + 512) Perms.Write)
+
+let test_machine_mode_and_lock () =
+  let hw = Hw.create Hw.sifive_e310 in
+  tor_pair hw ~index:0 ~lo:base ~hi:(base + 256) ~perms:Perms.Read_only;
+  check_bool "M-mode ignores unlocked entries" true
+    (allowed hw ~machine_mode:true base Perms.Write);
+  (* locked entry binds machine mode too *)
+  Hw.set_entry hw ~index:3
+    ~cfg:(Hw.encode_cfg ~r:true ~w:false ~x:false ~mode:Hw.Tor ~lock:true)
+    ~addr:((base + 512) lsr 2);
+  check_bool "locked entry binds M-mode" false
+    (allowed hw ~machine_mode:true (base + 300) Perms.Write)
+
+let test_locked_entry_immutable () =
+  let hw = Hw.create Hw.sifive_e310 in
+  Hw.set_entry hw ~index:0
+    ~cfg:(Hw.encode_cfg ~r:true ~w:false ~x:false ~mode:Hw.Na4 ~lock:true)
+    ~addr:(base lsr 2);
+  Alcotest.check_raises "locked" (Invalid_argument "set_entry: entry locked") (fun () ->
+      Hw.set_entry hw ~index:0 ~cfg:0 ~addr:0)
+
+let test_mmwp () =
+  let hw = Hw.create Hw.earlgrey in
+  check_bool "no match M-mode ok without mmwp" true (allowed hw ~machine_mode:true base Perms.Read);
+  Hw.set_mmwp hw true;
+  check_bool "mmwp denies unmatched M-mode" false (allowed hw ~machine_mode:true base Perms.Read);
+  let hw2 = Hw.create Hw.sifive_e310 in
+  Alcotest.check_raises "no ePMP on e310" (Invalid_argument "set_mmwp: chip has no ePMP")
+    (fun () -> Hw.set_mmwp hw2 true)
+
+let test_chip_inventory () =
+  check_int "three chips" 3 (List.length Hw.chips);
+  check_int "e310 entries" 8 Hw.sifive_e310.Hw.entry_count;
+  check_int "earlgrey entries" 16 Hw.earlgrey.Hw.entry_count;
+  check_bool "earlgrey has epmp" true Hw.earlgrey.Hw.epmp
+
+let test_accessible_ranges () =
+  let hw = Hw.create Hw.sifive_e310 in
+  tor_pair hw ~index:0 ~lo:base ~hi:(base + 512) ~perms:Perms.Read_write_only;
+  tor_pair hw ~index:1 ~lo:(base + 4096) ~hi:(base + 4608) ~perms:Perms.Read_only;
+  match Hw.accessible_ranges hw Perms.Read with
+  | [ a; b ] ->
+    check_int "first start" base (Range.start a);
+    check_int "second start" (base + 4096) (Range.start b);
+    check_int "write ranges exclude RO" 1 (List.length (Hw.accessible_ranges hw Perms.Write))
+  | rs -> Alcotest.failf "expected 2 ranges, got %d" (List.length rs)
+
+let prop_napot_roundtrip =
+  QCheck.Test.make ~name:"NAPOT encode/decode roundtrip" ~count:200
+    (QCheck.pair (QCheck.int_range 3 16) (QCheck.int_range 0 64))
+    (fun (size_exp, block) ->
+      let size = 1 lsl size_exp in
+      let start = (base land lnot (size - 1)) + (block * size) in
+      let hw = Hw.create Hw.sifive_e310 in
+      Hw.set_entry hw ~index:0
+        ~cfg:(Hw.encode_cfg ~r:true ~w:false ~x:false ~mode:Hw.Napot ~lock:false)
+        ~addr:(Hw.napot_addr ~start ~size);
+      match Hw.entry_range hw 0 with
+      | Some r -> Range.start r = start && Range.size r = size
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "cfg encoding" `Quick test_cfg_encoding;
+    Alcotest.test_case "cfg of perms" `Quick test_cfg_of_perms;
+    Alcotest.test_case "TOR matching" `Quick test_tor_matching;
+    Alcotest.test_case "TOR entry 0 lower bound" `Quick test_tor_entry0_lower_bound_zero;
+    Alcotest.test_case "NA4" `Quick test_na4;
+    Alcotest.test_case "NAPOT" `Quick test_napot;
+    Alcotest.test_case "NAPOT alignment" `Quick test_napot_requires_alignment;
+    Alcotest.test_case "lowest entry priority" `Quick test_lowest_entry_priority;
+    Alcotest.test_case "machine mode + lock" `Quick test_machine_mode_and_lock;
+    Alcotest.test_case "locked entries immutable" `Quick test_locked_entry_immutable;
+    Alcotest.test_case "ePMP MMWP" `Quick test_mmwp;
+    Alcotest.test_case "chip inventory" `Quick test_chip_inventory;
+    Alcotest.test_case "accessible_ranges" `Quick test_accessible_ranges;
+    QCheck_alcotest.to_alcotest prop_napot_roundtrip;
+  ]

@@ -1,0 +1,120 @@
+(* TickTock's granular PMP driver across the three chips. *)
+
+open Ticktock
+module M = Pmp_mpu.E310
+module R = Pmp_region
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+let rw = Perms.Read_write_only
+
+let test_region_descriptor () =
+  let r = R.create ~region_id:1 ~start:base ~size:4096 ~perms:rw in
+  check_bool "set" true (R.is_set r);
+  Alcotest.(check (option int)) "exact start" (Some base) (R.start r);
+  Alcotest.(check (option int)) "exact size" (Some 4096) (R.size r);
+  check_bool "can_access exact" true
+    (R.can_access r ~start:base ~end_:(base + 4096) ~perms:rw);
+  check_bool "overlap above" false (R.overlaps r ~lo:(base + 4096) ~hi:Word32.max_value)
+
+let test_region_granularity_contract () =
+  Verify.Violation.with_enabled true (fun () ->
+      match R.create ~region_id:0 ~start:(base + 2) ~size:8 ~perms:rw with
+      | _ -> Alcotest.fail "2-byte-aligned start must violate"
+      | exception Verify.Violation.Violation _ -> ())
+
+let test_new_regions_exactness () =
+  (* PMP has no pow2 constraint: the region covers the 4-byte-rounded size *)
+  match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+          ~total_size:5000 ~perms:rw with
+  | Some (r0, r1) ->
+    Alcotest.(check (option int)) "rounded only to 4 bytes" (Some 5000) (R.size r0);
+    check_bool "single region suffices" false (R.is_set r1)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_new_regions_odd_size () =
+  match M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+          ~total_size:4097 ~perms:rw with
+  | Some (r0, _) -> Alcotest.(check (option int)) "4-byte rounding" (Some 4100) (R.size r0)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_update_regions () =
+  match M.update_regions ~max_region_id:1 ~region_start:base ~available_size:8192
+          ~total_size:6000 ~perms:rw with
+  | Some (r0, _) -> Alcotest.(check (option int)) "updated size" (Some 6000) (R.size r0)
+  | None -> Alcotest.fail "update failed"
+
+let test_update_respects_available () =
+  check_bool "refused beyond available" true
+    (M.update_regions ~max_region_id:1 ~region_start:base ~available_size:1024
+       ~total_size:2048 ~perms:rw
+    = None)
+
+let test_create_exact () =
+  (match M.create_exact_region ~region_id:2 ~start:0x0002_0000 ~size:1000
+           ~perms:Perms.Read_execute_only with
+  | Some r -> Alcotest.(check (option int)) "exact 1000 bytes" (Some 1000) (R.size r)
+  | None -> Alcotest.fail "exact failed");
+  check_bool "non-multiple of 4 refused" true
+    (M.create_exact_region ~region_id:2 ~start:0x0002_0000 ~size:1001
+       ~perms:Perms.Read_execute_only
+    = None)
+
+let test_configure_reaches_hardware () =
+  let hw = Mpu_hw.Pmp.create Mpu_hw.Pmp.sifive_e310 in
+  let r = R.create ~region_id:0 ~start:base ~size:4096 ~perms:rw in
+  M.configure_mpu hw [| r |];
+  (match Mpu_hw.Pmp.accessible_ranges hw Perms.Read with
+  | [ range ] ->
+    check_int "hw start" base (Range.start range);
+    check_int "hw size" 4096 (Range.size range)
+  | rs -> Alcotest.failf "expected one range, got %d" (List.length rs));
+  (* clearing: configure with an unset region *)
+  M.configure_mpu hw [| R.empty ~region_id:0 |];
+  check_int "cleared" 0 (List.length (Mpu_hw.Pmp.accessible_ranges hw Perms.Read))
+
+let test_region_budget () =
+  (* each logical region takes an entry pair *)
+  check_int "e310: 4 logical regions" 4 Pmp_mpu.E310.region_count;
+  check_int "earlgrey: 6 logical regions (2 pairs locked for Smepmp)" 6
+    Pmp_mpu.Earlgrey.region_count;
+  check_int "qemu: 8 logical regions" 8 Pmp_mpu.QemuRv32.region_count
+
+let test_all_chips_allocate () =
+  let try_chip (module C : Region_intf.MPU) =
+    match
+      C.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x8000
+        ~total_size:4096 ~perms:rw
+    with
+    | Some _ -> true
+    | None -> false
+  in
+  check_bool "e310" true (try_chip (module Pmp_mpu.E310));
+  check_bool "earlgrey" true (try_chip (module Pmp_mpu.Earlgrey));
+  check_bool "qemu-rv32" true (try_chip (module Pmp_mpu.QemuRv32))
+
+let prop_pmp_exact_sizes =
+  QCheck.Test.make ~name:"pmp accessible size = 4-byte-rounded request" ~count:300
+    (QCheck.int_range 1 20000) (fun total ->
+      match
+        M.new_regions ~max_region_id:1 ~unalloc_start:base ~unalloc_size:0x10000
+          ~total_size:total ~perms:rw
+      with
+      | Some (r0, _) -> R.size r0 = Some (Math32.align_up total ~align:4)
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "descriptor exactness (§3.5)" `Quick test_region_descriptor;
+    Alcotest.test_case "granularity contract" `Quick test_region_granularity_contract;
+    Alcotest.test_case "new_regions exact" `Quick test_new_regions_exactness;
+    Alcotest.test_case "new_regions odd size" `Quick test_new_regions_odd_size;
+    Alcotest.test_case "update_regions" `Quick test_update_regions;
+    Alcotest.test_case "update respects available" `Quick test_update_respects_available;
+    Alcotest.test_case "create_exact" `Quick test_create_exact;
+    Alcotest.test_case "configure reaches hardware" `Quick test_configure_reaches_hardware;
+    Alcotest.test_case "region budget per chip" `Quick test_region_budget;
+    Alcotest.test_case "all three chips allocate" `Quick test_all_chips_allocate;
+    QCheck_alcotest.to_alcotest prop_pmp_exact_sizes;
+  ]

@@ -1,0 +1,91 @@
+(* The verification story end to end: checking the upstream code finds the
+   paper's bugs; checking TickTock verifies everything. *)
+
+open Ticktock
+module C = Verify.Checker
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let scale = 0.2
+
+let test_upstream_bugs_found () =
+  let name, props = Proofs.upstream_bug_hunt ~scale in
+  let report = C.check_component name props in
+  check_bool "upstream does NOT verify" false (C.all_verified report);
+  check_int "both §2.2 bug classes found" 2 (List.length (C.failures report));
+  List.iter
+    (fun (f : C.fn_result) ->
+      match f.C.outcome with
+      | Error msg ->
+        check_bool (f.C.fn_name ^ " has a concrete counterexample") true
+          (String.length msg > 0
+          && String.length msg >= 14
+          && String.sub msg 0 14 = "counterexample")
+      | Ok () -> Alcotest.fail "expected counterexample")
+    (C.failures report)
+
+let test_patched_monolithic_verifies () =
+  let report = C.check_component "patched" (Proofs.Monolithic.patched ~scale) in
+  check_bool "patched verifies" true (C.all_verified report)
+
+let test_granular_verifies () =
+  let report = C.check_component "granular" (Proofs.Granular.properties ~scale) in
+  (match C.failures report with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "granular failed: %s: %s" f.C.fn_name
+      (match f.C.outcome with Error e -> e | Ok () -> "?"));
+  check_int "fourteen granular proof obligations" 14 (List.length report.C.results)
+
+let test_interrupts_verify () =
+  let report = C.check_component "interrupts" (Proofs.Interrupts.properties ~scale) in
+  match C.failures report with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "interrupts failed: %s: %s" f.C.fn_name
+      (match f.C.outcome with Error e -> e | Ok () -> "?")
+
+let test_components_shape () =
+  (* the three Figure 12 rows exist and every non-buggy one verifies *)
+  let rows = Proofs.components ~scale:0.05 in
+  check_int "three components" 3 (List.length rows);
+  List.iter
+    (fun (name, props) ->
+      let report = C.check_component name props in
+      check_bool (name ^ " verifies") true (C.all_verified report);
+      check_bool (name ^ " ran cases") true
+        (List.for_all (fun (r : C.fn_result) -> r.C.cases > 0) report.C.results))
+    rows
+
+let test_counterexample_is_the_paper_scenario () =
+  (* the found allocate counterexample names an enforced end beyond the
+     kernel break — the Figure 2 picture *)
+  let name, props = Proofs.upstream_bug_hunt ~scale:1.0 in
+  let report = C.check_component name props in
+  let allocate_failure =
+    List.find
+      (fun (f : C.fn_result) ->
+        String.length f.C.fn_name > 0 && C.failures report <> [] && f.C.outcome <> Ok ())
+      report.C.results
+  in
+  match allocate_failure.C.outcome with
+  | Error msg ->
+    let contains_substring s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "counterexample mentions the overlap" true
+      (contains_substring msg "exceeds kernel break")
+  | Ok () -> Alcotest.fail "expected failure"
+
+let suite =
+  [
+    Alcotest.test_case "upstream bug hunt finds both bugs" `Slow test_upstream_bugs_found;
+    Alcotest.test_case "patched monolithic verifies" `Slow test_patched_monolithic_verifies;
+    Alcotest.test_case "granular verifies" `Slow test_granular_verifies;
+    Alcotest.test_case "interrupts verify (§4.5)" `Slow test_interrupts_verify;
+    Alcotest.test_case "three Figure 12 components" `Slow test_components_shape;
+    Alcotest.test_case "counterexample matches §3.4" `Slow
+      test_counterexample_is_the_paper_scenario;
+  ]

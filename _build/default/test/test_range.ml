@@ -1,0 +1,100 @@
+(* Address ranges: the currency between kernel view and hardware models. *)
+
+let r ~start ~size = Range.make ~start ~size
+let check_bool = Alcotest.(check bool)
+
+let test_basics () =
+  let x = r ~start:100 ~size:50 in
+  Alcotest.(check int) "start" 100 (Range.start x);
+  Alcotest.(check int) "size" 50 (Range.size x);
+  Alcotest.(check int) "end" 150 (Range.end_ x);
+  check_bool "not empty" false (Range.is_empty x);
+  check_bool "empty is empty" true (Range.is_empty Range.empty)
+
+let test_contains () =
+  let x = r ~start:100 ~size:50 in
+  check_bool "first byte" true (Range.contains x 100);
+  check_bool "last byte" true (Range.contains x 149);
+  check_bool "one past end" false (Range.contains x 150);
+  check_bool "before" false (Range.contains x 99);
+  check_bool "empty contains nothing" false (Range.contains Range.empty 0)
+
+let test_contains_range () =
+  let outer = r ~start:100 ~size:100 in
+  check_bool "inner" true (Range.contains_range outer (r ~start:120 ~size:30));
+  check_bool "exact" true (Range.contains_range outer outer);
+  check_bool "escaping right" false (Range.contains_range outer (r ~start:150 ~size:60));
+  check_bool "empty vacuous" true (Range.contains_range outer Range.empty);
+  check_bool "empty outer, nonempty inner" false
+    (Range.contains_range Range.empty (r ~start:0 ~size:1))
+
+let test_overlaps () =
+  let x = r ~start:100 ~size:50 in
+  check_bool "adjacent does not overlap" false (Range.overlaps x (r ~start:150 ~size:10));
+  check_bool "one-byte overlap" true (Range.overlaps x (r ~start:149 ~size:10));
+  check_bool "containment overlaps" true (Range.overlaps x (r ~start:110 ~size:5));
+  check_bool "empty never overlaps" false (Range.overlaps x Range.empty)
+
+let test_overlaps_bounds () =
+  (* Inclusive-bounds form used by RegionDescriptor.overlaps. *)
+  let x = r ~start:100 ~size:50 in
+  check_bool "touching hi bound" true (Range.overlaps_bounds x ~lo:149 ~hi:149);
+  check_bool "past end" false (Range.overlaps_bounds x ~lo:150 ~hi:200);
+  check_bool "below" false (Range.overlaps_bounds x ~lo:0 ~hi:99);
+  check_bool "inclusive lo = last byte" true (Range.overlaps_bounds x ~lo:0 ~hi:100)
+
+let test_intersection () =
+  let x = r ~start:100 ~size:50 in
+  (match Range.intersection x (r ~start:120 ~size:100) with
+  | Some i ->
+    Alcotest.(check int) "inter start" 120 (Range.start i);
+    Alcotest.(check int) "inter end" 150 (Range.end_ i)
+  | None -> Alcotest.fail "expected intersection");
+  check_bool "disjoint" true (Range.intersection x (r ~start:200 ~size:10) = None)
+
+let test_of_bounds () =
+  let x = Range.of_bounds ~lo:10 ~hi:20 in
+  Alcotest.(check int) "size from bounds" 10 (Range.size x);
+  check_bool "lo = hi empty" true (Range.is_empty (Range.of_bounds ~lo:5 ~hi:5))
+
+let test_make_checked () =
+  check_bool "wrapping range refused" true (Range.make_checked ~start:Word32.max_value ~size:2 = None);
+  check_bool "top byte ok" true (Range.make_checked ~start:Word32.max_value ~size:1 <> None)
+
+(* --- properties --- *)
+
+let range_gen =
+  QCheck.map
+    (fun (s, n) -> Range.make ~start:(s land 0xFFFFFF) ~size:(n land 0xFFFF))
+    (QCheck.pair QCheck.small_nat (QCheck.int_bound 0xFFFF))
+
+let prop_overlap_sym =
+  QCheck.Test.make ~name:"overlaps symmetric" ~count:500 (QCheck.pair range_gen range_gen)
+    (fun (a, b) -> Range.overlaps a b = Range.overlaps b a)
+
+let prop_contains_implies_overlap =
+  QCheck.Test.make ~name:"containment implies overlap (nonempty)" ~count:500
+    (QCheck.pair range_gen range_gen) (fun (a, b) ->
+      (not (Range.contains_range a b)) || Range.is_empty b || Range.overlaps a b)
+
+let prop_intersection_subset =
+  QCheck.Test.make ~name:"intersection contained in both" ~count:500
+    (QCheck.pair range_gen range_gen) (fun (a, b) ->
+      match Range.intersection a b with
+      | None -> true
+      | Some i -> Range.contains_range a i && Range.contains_range b i)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "contains_range" `Quick test_contains_range;
+    Alcotest.test_case "overlaps" `Quick test_overlaps;
+    Alcotest.test_case "overlaps_bounds (inclusive)" `Quick test_overlaps_bounds;
+    Alcotest.test_case "intersection" `Quick test_intersection;
+    Alcotest.test_case "of_bounds" `Quick test_of_bounds;
+    Alcotest.test_case "make_checked" `Quick test_make_checked;
+    QCheck_alcotest.to_alcotest prop_overlap_sym;
+    QCheck_alcotest.to_alcotest prop_contains_implies_overlap;
+    QCheck_alcotest.to_alcotest prop_intersection_subset;
+  ]

@@ -1,0 +1,74 @@
+(* Fault-status latching: what Tock's hard-fault report is built from. *)
+
+open Ticktock
+open Apps.App_dsl
+module S = Mpu_hw.Scb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_unit_semantics () =
+  let scb = S.create () in
+  check_int "clean cfsr" 0 (S.cfsr scb);
+  S.record_memfault scb ~addr:0x2000_0123 ~access:Perms.Write;
+  check_bool "daccviol set" true (S.cfsr scb land S.daccviol <> 0);
+  check_bool "mmfar valid" true (S.mmfar_valid scb);
+  check_int "mmfar holds the address" 0x2000_0123 (S.mmfar scb);
+  S.record_memfault scb ~addr:0x0000_0000 ~access:Perms.Execute;
+  check_bool "iaccviol accumulates" true (S.cfsr scb land S.iaccviol <> 0);
+  check_int "two faults" 2 (S.fault_count scb);
+  (* write-one-to-clear *)
+  S.clear_cfsr scb S.daccviol;
+  check_bool "daccviol cleared" true (S.cfsr scb land S.daccviol = 0);
+  check_bool "iaccviol survives" true (S.cfsr scb land S.iaccviol <> 0)
+
+let test_bus_latches_process_fault () =
+  (* a process MPU violation must leave the faulting address in MMFAR *)
+  let m, k = Boards.make_ticktock_arm () in
+  let scb = m.Machine.arm_scb in
+  let target = Range.start Layout.kernel_sram + 0x40 in
+  let p =
+    Result.get_ok
+      (Boards.Ticktock_arm.create_process k ~name:"violator" ~payload:"v"
+         ~program:(to_program (let* _ = store8 target 1 in return 0))
+         ~min_ram:2048 ())
+  in
+  Boards.Ticktock_arm.run k ~max_ticks:50;
+  check_bool "process faulted" true
+    (match p.Process.state with Process.Faulted _ -> true | _ -> false);
+  check_bool "daccviol latched" true (S.cfsr scb land S.daccviol <> 0);
+  check_int "MMFAR = the attacked kernel address" target (S.mmfar scb)
+
+let test_clean_run_latches_nothing () =
+  let m, k = Boards.make_ticktock_arm () in
+  let _ =
+    Result.get_ok
+      (Boards.Ticktock_arm.create_process k ~name:"clean" ~payload:"c"
+         ~program:(to_program (let* ms = memory_start in
+                               let* _ = store8 ms 1 in
+                               return 0))
+         ~min_ram:2048 ())
+  in
+  Boards.Ticktock_arm.run k ~max_ticks:50;
+  check_int "no faults recorded" 0 (S.fault_count m.Machine.arm_scb)
+
+let test_execute_fault_from_mc_fetch () =
+  (* an unprivileged instruction fetch from kernel flash latches IACCVIOL *)
+  let m, _, _ = Proofs.Interrupts.fresh_machine () in
+  let cpu = m.Machine.arm_cpu in
+  Fluxarm.Cpu.movw_imm cpu Fluxarm.Regs.R0 1;
+  Fluxarm.Cpu.msr cpu Fluxarm.Regs.Control Fluxarm.Regs.R0;
+  Fluxarm.Cpu.isb cpu;
+  Fluxarm.Cpu.set_special_raw cpu Fluxarm.Regs.Pc 0x1000;
+  (match Fluxarm.Mc.step cpu with
+  | exception Memory.Access_fault _ -> ()
+  | _ -> Alcotest.fail "expected fetch fault");
+  check_bool "iaccviol latched" true (S.cfsr m.Machine.arm_scb land S.iaccviol <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "register semantics" `Quick test_unit_semantics;
+    Alcotest.test_case "bus latches process faults" `Quick test_bus_latches_process_fault;
+    Alcotest.test_case "clean runs latch nothing" `Quick test_clean_run_latches_nothing;
+    Alcotest.test_case "execute fault from fetch" `Quick test_execute_fault_from_mc_fetch;
+  ]

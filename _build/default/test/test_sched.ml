@@ -1,0 +1,156 @@
+(* Scheduler policies, syscall filtering, flash-chain loading, ps. *)
+
+open Ticktock
+open Apps.App_dsl
+module K = Boards.Ticktock_arm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let kernel ?sched ?syscall_filter () =
+  let m = Machine.create_arm () in
+  ( m,
+    K.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
+      ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ?sched ?syscall_filter () )
+
+let create k ~name script =
+  match
+    K.create_process k ~name ~payload:name ~program:(to_program script) ~min_ram:2048 ()
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "create: %a" Kerror.pp e
+
+let spinner n =
+  let* () = repeat n (fun () -> let* _ = compute 10 in return ()) in
+  return 0
+
+let test_round_robin_is_fair () =
+  let _, k = kernel ~sched:Kernel.Round_robin () in
+  let a = create k ~name:"a" (spinner 300) in
+  let b = create k ~name:"b" (spinner 300) in
+  K.run k ~max_ticks:100;
+  check_bool "both finish" true
+    (a.Process.state = Process.Exited 0 && b.Process.state = Process.Exited 0);
+  (* fairness: they finish within one tick of each other — can't observe
+     directly, but both completing in bounded ticks implies interleaving *)
+  check_bool "bounded ticks" true (K.ticks k <= 100)
+
+let test_cooperative_runs_to_completion () =
+  (* under cooperative scheduling a compute-bound process is never
+     preempted: it finishes its whole program in a single slice *)
+  let _, k = kernel ~sched:Kernel.Cooperative () in
+  let a = create k ~name:"a" (spinner 500) in
+  K.run k ~max_ticks:10;
+  check_bool "finished" true (a.Process.state = Process.Exited 0);
+  check_bool "in very few ticks" true (K.ticks k <= 2)
+
+let test_round_robin_preempts () =
+  (* the same program under round robin needs many quanta *)
+  let _, k = kernel ~sched:Kernel.Round_robin () in
+  let a = create k ~name:"a" (spinner 500) in
+  K.run k ~max_ticks:100;
+  check_bool "finished" true (a.Process.state = Process.Exited 0);
+  check_bool "took several slices" true (K.ticks k > 5)
+
+let test_priority_starves () =
+  let _, k = kernel ~sched:(Kernel.Priority (fun pid -> pid)) () in
+  (* pid 0 loaded first: highest priority (smallest number) *)
+  let hi = create k ~name:"hi" (spinner 200) in
+  let lo = create k ~name:"lo" (spinner 200) in
+  (* run only until the high-priority one finishes *)
+  let rec until n =
+    if n = 0 then ()
+    else if hi.Process.state = Process.Exited 0 then ()
+    else begin
+      K.run k ~max_ticks:1;
+      until (n - 1)
+    end
+  in
+  until 200;
+  check_bool "high priority finished" true (hi.Process.state = Process.Exited 0);
+  check_bool "low priority starved meanwhile" true (lo.Process.state = Process.Ready);
+  (* once hi is done, lo gets the CPU *)
+  K.run k ~max_ticks:200;
+  check_bool "low eventually runs" true (lo.Process.state = Process.Exited 0)
+
+let test_syscall_filter () =
+  (* deny brk/sbrk to pid 0, allow everything else *)
+  let filter pid call =
+    match call with Userland.Memop { op; _ } when op <= 1 -> pid <> 0 | _ -> true
+  in
+  let _, k = kernel ~syscall_filter:filter () in
+  let script =
+    let* r = sbrk 64 in
+    let* () = printf "%b" (r = Userland.failure) in
+    return 0
+  in
+  let denied = create k ~name:"denied" script in
+  let allowed = create k ~name:"allowed" script in
+  K.run k ~max_ticks:100;
+  Alcotest.(check string) "pid 0 denied" "true" (Process.output denied);
+  Alcotest.(check string) "pid 1 allowed" "false" (Process.output allowed)
+
+let test_flash_chain_loading () =
+  (* write two images into flash by hand, then let the kernel discover them *)
+  let m, k = kernel () in
+  let mem = m.Machine.arm_mem in
+  let img name = { Loader.app_name = name; min_ram = 2048; payload = "payload-" ^ name } in
+  let cursor = Range.start Layout.app_flash in
+  let _, cursor = Result.get_ok (Loader.place mem ~cursor (img "first")) in
+  let _, _ = Result.get_ok (Loader.place mem ~cursor (img "second")) in
+  let registry = function
+    | "first" -> Some (to_program (let* () = print "one" in return 0))
+    | "second" -> Some (to_program (let* () = print "two" in return 0))
+    | _ -> None
+  in
+  let loaded = K.load_processes k ~registry () in
+  check_int "both images found" 2 (List.length loaded);
+  K.run k ~max_ticks:100;
+  List.iter
+    (fun (p : _ Process.t) ->
+      check_bool (p.Process.name ^ " ran") true (p.Process.state = Process.Exited 0))
+    loaded
+
+let test_flash_chain_stops_at_garbage () =
+  let m, k = kernel () in
+  let mem = m.Machine.arm_mem in
+  let cursor = Range.start Layout.app_flash in
+  let _, cursor =
+    Result.get_ok
+      (Loader.place mem ~cursor { Loader.app_name = "only"; min_ram = 2048; payload = "p" })
+  in
+  (* garbage after the first image *)
+  Memory.write32 mem cursor 0xDEAD_BEEF;
+  let registry = function
+    | "only" -> Some (to_program (return 0))
+    | _ -> None
+  in
+  check_int "stops at the first invalid header" 1
+    (List.length (K.load_processes k ~registry ()))
+
+let test_ps_listing () =
+  let _, k = kernel () in
+  let _ = create k ~name:"alpha" (return 0) in
+  let _ = create k ~name:"beta" (spinner 1000) in
+  K.run k ~max_ticks:2;
+  let listing = K.ps k in
+  let has needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length listing && (String.sub listing i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "lists alpha" true (has "alpha");
+  check_bool "lists beta" true (has "beta");
+  check_bool "shows exit state" true (has "exited(0)")
+
+let suite =
+  [
+    Alcotest.test_case "round robin is fair" `Quick test_round_robin_is_fair;
+    Alcotest.test_case "cooperative never preempts" `Quick test_cooperative_runs_to_completion;
+    Alcotest.test_case "round robin preempts" `Quick test_round_robin_preempts;
+    Alcotest.test_case "priority starves" `Quick test_priority_starves;
+    Alcotest.test_case "syscall filter" `Quick test_syscall_filter;
+    Alcotest.test_case "flash chain loading" `Quick test_flash_chain_loading;
+    Alcotest.test_case "flash chain stops at garbage" `Quick test_flash_chain_stops_at_garbage;
+    Alcotest.test_case "ps listing" `Quick test_ps_listing;
+  ]

@@ -1,0 +1,161 @@
+(* Thumb-2 encodings: golden values from the ARMv7-M ARM, and round trips. *)
+
+module T = Fluxarm.Thumb
+module R = Fluxarm.Regs
+
+let check_hw = Alcotest.(check (list int))
+let check_bool = Alcotest.(check bool)
+
+let test_golden_16bit () =
+  check_hw "nop" [ 0xBF00 ] (T.encode T.Nop);
+  check_hw "svc #255" [ 0xDFFF ] (T.encode (T.Svc 0xff));
+  check_hw "bx lr" [ 0x4770 ] (T.encode (T.Bx `Lr));
+  check_hw "bx r1" [ 0x4708 ] (T.encode (T.Bx (`Reg R.R1)));
+  check_hw "push {lr}" [ 0xB500 ] (T.encode (T.Push ([], true)));
+  check_hw "push {r3}" [ 0xB408 ] (T.encode (T.Push ([ R.R3 ], false)));
+  check_hw "pop {pc}" [ 0xBD00 ] (T.encode (T.Pop ([], true)));
+  check_hw "cpsid i" [ 0xB672 ] (T.encode T.Cpsid);
+  check_hw "cpsie i" [ 0xB662 ] (T.encode T.Cpsie);
+  check_hw "mov r0, r1" [ 0x4608 ] (T.encode (T.Mov_reg (R.R0, R.R1)));
+  check_hw "mov r8, r0" [ 0x4680 ] (T.encode (T.Mov_reg (R.R8, R.R0)));
+  check_hw "mov r0, lr" [ 0x4670 ] (T.encode (T.Mov_from_lr R.R0));
+  check_hw "mov lr, r3" [ 0x469E ] (T.encode (T.Mov_to_lr R.R3));
+  check_hw "cmp lr, r2" [ 0x4596 ] (T.encode (T.Cmp_lr R.R2));
+  check_hw "bne +10" [ 0xD10A ] (T.encode (T.B_cond (`Ne, 10)));
+  check_hw "beq -2" [ 0xD0FE ] (T.encode (T.B_cond (`Eq, -2)))
+
+let test_golden_32bit () =
+  check_hw "movw r0, #0" [ 0xF240; 0x0000 ] (T.encode (T.Movw (R.R0, 0)));
+  check_hw "movw r1, #0xFFF9" [ 0xF64F; 0x71F9 ] (T.encode (T.Movw (R.R1, 0xFFF9)));
+  check_hw "movt r1, #0xFFFF" [ 0xF6CF; 0x71FF ] (T.encode (T.Movt (R.R1, 0xFFFF)));
+  check_hw "isb sy" [ 0xF3BF; 0x8F6F ] (T.encode T.Isb);
+  check_hw "dsb sy" [ 0xF3BF; 0x8F4F ] (T.encode T.Dsb);
+  check_hw "mrs r2, msp" [ 0xF3EF; 0x8208 ] (T.encode (T.Mrs (R.R2, R.Msp)));
+  check_hw "msr psp, r0" [ 0xF380; 0x8809 ] (T.encode (T.Msr (R.Psp, R.R0)));
+  check_hw "msr control, r0" [ 0xF380; 0x8814 ] (T.encode (T.Msr (R.Control, R.R0)));
+  check_hw "ldr r3, [r1, #8]" [ 0xF8D1; 0x3008 ] (T.encode (T.Ldr_imm (R.R3, R.R1, 8)));
+  check_hw "str r3, [r1, #8]" [ 0xF8C1; 0x3008 ] (T.encode (T.Str_imm (R.R3, R.R1, 8)));
+  check_hw "ldmia r1, {r4-r11}" [ 0xE891; 0x0FF0 ]
+    (T.encode (T.Ldmia (R.R1, false, R.callee_saved)));
+  check_hw "stmdb r2!, {r4-r11}" [ 0xE922; 0x0FF0 ]
+    (T.encode (T.Stmdb (R.R2, true, R.callee_saved)))
+
+let all_example_instrs =
+  [
+    T.Nop;
+    T.Mov_reg (R.R0, R.R7);
+    T.Mov_reg (R.R10, R.R2);
+    T.Movw (R.R5, 0xABCD);
+    T.Movt (R.R5, 0x1234);
+    T.Addw (R.R1, R.R2, 0xFFF);
+    T.Subw (R.R3, R.R3, 1);
+    T.Ldr_imm (R.R0, R.R1, 0);
+    T.Str_imm (R.R12, R.R2, 2048);
+    T.Ldmia (R.R1, true, [ R.R4; R.R5 ]);
+    T.Stmia (R.R3, false, [ R.R0; R.R12 ]);
+    T.Stmdb (R.R2, true, R.callee_saved);
+    T.Push ([ R.R0; R.R1 ], true);
+    T.Pop ([ R.R7 ], false);
+    T.Mrs (R.R0, R.Control);
+    T.Mrs (R.R4, R.Psp);
+    T.Msr (R.Msp, R.R2);
+    T.Msr (R.Control, R.R1);
+    T.Isb;
+    T.Dsb;
+    T.Dmb;
+    T.Svc 0;
+    T.Svc 255;
+    T.Bx `Lr;
+    T.Bx (`Reg R.R12);
+    T.Cpsid;
+    T.Cpsie;
+    T.Cmp_lr R.R2;
+    T.B_cond (`Ne, 10);
+    T.B_cond (`Eq, -5);
+    T.Mov_from_lr R.R3;
+    T.Mov_to_lr R.R3;
+  ]
+
+let roundtrip i =
+  match T.encode i with
+  | [ hw1 ] -> T.decode hw1 (fun () -> Alcotest.fail "16-bit asked for second halfword")
+  | [ hw1; hw2 ] -> T.decode hw1 (fun () -> hw2)
+  | _ -> Alcotest.fail "encoding is 1 or 2 halfwords"
+
+let test_roundtrip_all () =
+  List.iter
+    (fun i ->
+      match roundtrip i with
+      | Ok i' ->
+        check_bool (Format.asprintf "%a" T.pp i) true (T.equal i i')
+      | Error e -> Alcotest.failf "%a: %s" T.pp i e)
+    all_example_instrs
+
+let test_sizes () =
+  Alcotest.(check int) "nop is 2" 2 (T.size_bytes T.Nop);
+  Alcotest.(check int) "movw is 4" 4 (T.size_bytes (T.Movw (R.R0, 1)));
+  check_bool "is_32bit movw" true (T.is_32bit 0xF240);
+  check_bool "is_32bit nop" false (T.is_32bit 0xBF00)
+
+let test_assemble () =
+  let mem = Memory.create () in
+  let prog = [ T.Movw (R.R0, 0x1234); T.Nop; T.Bx `Lr ] in
+  let size = T.assemble mem 0x1000 prog in
+  Alcotest.(check int) "size" 8 size;
+  (* little-endian halfwords in memory *)
+  Alcotest.(check int) "first byte" 0x41 (Memory.read8 mem 0x1000);
+  Alcotest.(check int) "second byte" 0xF2 (Memory.read8 mem 0x1001)
+
+let test_encode_validation () =
+  Alcotest.check_raises "movw range" (Invalid_argument "thumb: movw imm16 out of range")
+    (fun () -> ignore (T.encode (T.Movw (R.R0, 0x10000))));
+  Alcotest.check_raises "push high reg" (Invalid_argument "thumb: push T1 takes r0-r7")
+    (fun () -> ignore (T.encode (T.Push ([ R.R8 ], false))))
+
+let test_decode_unknown () =
+  check_bool "garbage 16-bit" true (Result.is_error (T.decode 0x0000 (fun () -> 0)));
+  check_bool "garbage 32-bit" true (Result.is_error (T.decode 0xE800 (fun () -> 0)))
+
+let test_sysm () =
+  Alcotest.(check int) "control" 20 (T.sysm Fluxarm.Regs.Control);
+  Alcotest.(check int) "msp" 8 (T.sysm Fluxarm.Regs.Msp);
+  check_bool "roundtrip" true (T.special_of_sysm 9 = Some Fluxarm.Regs.Psp);
+  check_bool "unknown sysm" true (T.special_of_sysm 12 = None)
+
+(* Property: decoding any encodable instruction round-trips. *)
+let instr_gen =
+  let open QCheck.Gen in
+  let gpr = map Fluxarm.Regs.gpr_of_index (int_range 0 12) in
+  oneof
+    [
+      return T.Nop;
+      map2 (fun a b -> T.Mov_reg (a, b)) gpr gpr;
+      map2 (fun r v -> T.Movw (r, v)) gpr (int_range 0 0xffff);
+      map2 (fun r v -> T.Movt (r, v)) gpr (int_range 0 0xffff);
+      map3 (fun d n v -> T.Addw (d, n, v)) gpr gpr (int_range 0 0xfff);
+      map3 (fun t n v -> T.Ldr_imm (t, n, v)) gpr gpr (int_range 0 0xfff);
+      map3 (fun t n v -> T.Str_imm (t, n, v)) gpr gpr (int_range 0 0xfff);
+      map (fun r -> T.Mrs (r, Fluxarm.Regs.Control)) gpr;
+      map (fun r -> T.Msr (Fluxarm.Regs.Psp, r)) gpr;
+      map (fun v -> T.Svc v) (int_range 0 255);
+      map (fun r -> T.Cmp_lr r) gpr;
+      map (fun o -> T.B_cond (`Ne, o)) (int_range (-128) 127);
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"random instruction round-trips" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" T.pp) instr_gen) (fun i ->
+      match roundtrip i with Ok i' -> T.equal i i' | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "golden 16-bit encodings" `Quick test_golden_16bit;
+    Alcotest.test_case "golden 32-bit encodings" `Quick test_golden_32bit;
+    Alcotest.test_case "roundtrip (exhaustive examples)" `Quick test_roundtrip_all;
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "assemble to memory" `Quick test_assemble;
+    Alcotest.test_case "encoder validation" `Quick test_encode_validation;
+    Alcotest.test_case "unknown encodings rejected" `Quick test_decode_unknown;
+    Alcotest.test_case "SYSm mapping" `Quick test_sysm;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

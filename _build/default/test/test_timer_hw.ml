@@ -1,0 +1,126 @@
+(* SysTick and NVIC hardware models. *)
+
+module S = Mpu_hw.Systick
+module N = Mpu_hw.Nvic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_systick_countdown () =
+  let s = S.create () in
+  S.start s ~reload:10 ~tickint:true;
+  S.advance s 9;
+  check_bool "not yet" false (S.pending s);
+  check_int "counter" 1 (S.read_cvr s);
+  S.advance s 1;
+  check_bool "pended at zero" true (S.pending s);
+  check_int "wrapped to reload" 10 (S.read_cvr s)
+
+let test_systick_countflag_clears_on_read () =
+  let s = S.create () in
+  S.start s ~reload:4 ~tickint:false;
+  S.advance s 4;
+  check_bool "no exception without tickint" false (S.pending s);
+  check_bool "countflag set" true (S.read_csr s land (1 lsl 16) <> 0);
+  check_bool "cleared by the read" true (S.read_csr s land (1 lsl 16) = 0)
+
+let test_systick_cvr_write_clears () =
+  let s = S.create () in
+  S.start s ~reload:100 ~tickint:true;
+  S.advance s 50;
+  S.write_cvr s 12345;
+  check_int "any write clears" 0 (S.read_cvr s)
+
+let test_systick_disabled_does_not_count () =
+  let s = S.create () in
+  S.write_rvr s 4;
+  S.advance s 100;
+  check_bool "no pending while disabled" false (S.pending s)
+
+let test_systick_take_pending () =
+  let s = S.create () in
+  S.start s ~reload:2 ~tickint:true;
+  S.advance s 2;
+  check_bool "take returns true once" true (S.take_pending s);
+  check_bool "then false" false (S.take_pending s)
+
+let test_systick_fast_advance () =
+  let s = S.create () in
+  S.start s ~reload:7 ~tickint:true;
+  S.advance s 7000;
+  check_bool "pending after big jump" true (S.pending s);
+  check_bool "counter in range" true (S.read_cvr s >= 0 && S.read_cvr s <= 7)
+
+let test_systick_exception_number () =
+  check_int "systick is exception 15" Fluxarm.Exn.exc_systick S.exception_number
+
+let test_nvic_enable_pend () =
+  let n = N.create () in
+  N.set_pending n 5;
+  check_bool "pending but not enabled: not taken" true (N.next_pending n = None);
+  N.enable n 5;
+  check_bool "now visible" true (N.next_pending n = Some 5);
+  Alcotest.(check (option int)) "acknowledge gives exception 21" (Some 21) (N.acknowledge n);
+  check_bool "cleared" false (N.is_pending n 5)
+
+let test_nvic_priority_order () =
+  let n = N.create () in
+  List.iter (fun i -> N.enable n i) [ 3; 7; 9 ];
+  List.iter (fun i -> N.set_pending n i) [ 3; 7; 9 ];
+  N.set_priority n 7 0 (* most urgent *);
+  N.set_priority n 3 64;
+  N.set_priority n 9 64;
+  Alcotest.(check (option int)) "urgent first" (Some (16 + 7)) (N.acknowledge n);
+  Alcotest.(check (option int)) "then lowest number among ties" (Some (16 + 3))
+    (N.acknowledge n);
+  Alcotest.(check (option int)) "then the rest" (Some (16 + 9)) (N.acknowledge n);
+  Alcotest.(check (option int)) "empty" None (N.acknowledge n)
+
+let test_nvic_disable () =
+  let n = N.create () in
+  N.enable n 2;
+  N.set_pending n 2;
+  N.disable n 2;
+  check_bool "disabled irq invisible" true (N.next_pending n = None);
+  check_bool "but still latched" true (N.is_pending n 2)
+
+let test_nvic_bounds () =
+  let n = N.create () in
+  Alcotest.check_raises "irq bounds" (Invalid_argument "nvic: irq") (fun () -> N.enable n 32)
+
+let test_nvic_feeds_fluxarm_preempt () =
+  (* an NVIC-acknowledged exception number drives the modeled preemption *)
+  let m, alloc, regs_base = Ticktock.Proofs.Interrupts.fresh_machine () in
+  let n = m.Ticktock.Machine.arm_nvic in
+  N.enable n 4;
+  N.set_pending n 4;
+  match N.acknowledge n with
+  | Some exc_num -> (
+    check_int "irq 4 = exception 20" 20 exc_num;
+    match
+      Fluxarm.Handlers.control_flow_kernel_to_kernel m.Ticktock.Machine.arm_cpu ~exc_num
+        ~process_sp:(Ticktock.Proofs.Granular.A.app_break alloc - 64)
+        ~regs_base
+        ~process_accessible:(Ticktock.Proofs.Granular.A.accessible alloc)
+        ~seed:4
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "expected pending irq"
+
+let suite =
+  [
+    Alcotest.test_case "systick countdown" `Quick test_systick_countdown;
+    Alcotest.test_case "systick countflag read-clear" `Quick
+      test_systick_countflag_clears_on_read;
+    Alcotest.test_case "systick cvr write clears" `Quick test_systick_cvr_write_clears;
+    Alcotest.test_case "systick disabled" `Quick test_systick_disabled_does_not_count;
+    Alcotest.test_case "systick take_pending" `Quick test_systick_take_pending;
+    Alcotest.test_case "systick fast advance" `Quick test_systick_fast_advance;
+    Alcotest.test_case "systick exception number" `Quick test_systick_exception_number;
+    Alcotest.test_case "nvic enable/pend/ack" `Quick test_nvic_enable_pend;
+    Alcotest.test_case "nvic priority order" `Quick test_nvic_priority_order;
+    Alcotest.test_case "nvic disable" `Quick test_nvic_disable;
+    Alcotest.test_case "nvic bounds" `Quick test_nvic_bounds;
+    Alcotest.test_case "nvic feeds preemption" `Quick test_nvic_feeds_fluxarm_preempt;
+  ]

@@ -1,0 +1,194 @@
+(* Tock's monolithic drivers: Figure 4a behaviour and the documented bugs. *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let base = 0x2000_8000
+let rw = Perms.Read_write_only
+
+module Up = Tock_cortexm_mpu.Upstream
+module Pa = Tock_cortexm_mpu.Patched
+
+let allocate (type cfg) (module M : Region_intf.MONOLITHIC with type config = cfg)
+    ~unalloc_start ~min_size ~app_size
+    ~kernel_size =
+  let config = M.new_config () in
+  ( config,
+    M.allocate_app_mem_region ~config ~unalloc_start ~unalloc_size:0x20000 ~min_size ~app_size
+      ~kernel_size ~perms:rw )
+
+let test_allocate_rounds_to_pow2 () =
+  let _, result = allocate (module Pa) ~unalloc_start:base ~min_size:3000 ~app_size:2048
+      ~kernel_size:1024
+  in
+  match result with
+  | Some (start, size) ->
+    check_int "start at aligned base" base start;
+    check_int "block is a power of two" 4096 size
+  | None -> Alcotest.fail "allocation failed"
+
+let test_allocate_aligns_start () =
+  let _, result = allocate (module Pa) ~unalloc_start:(base + 100) ~min_size:4096
+      ~app_size:4096 ~kernel_size:1024
+  in
+  match result with
+  | Some (start, _) ->
+    check_bool "aligned to region size" true (Math32.is_aligned start ~align:4096)
+  | None -> Alcotest.fail "allocation failed"
+
+(* The §3.4 scenario: app fills the block right up to the kernel reserve.
+   Upstream "mitigates" by doubling region_size but not mem_size_po2, so the
+   enforced end still overlaps the grant reserve. *)
+let overlap_inputs = (base, 512, 7680, 512)
+
+let enforced_end config = Option.get (Up.enabled_subregions_end config)
+
+let test_grant_overlap_bug_upstream () =
+  let unalloc_start, min_size, app_size, kernel_size = overlap_inputs in
+  let config, result =
+    allocate (module Up) ~unalloc_start ~min_size ~app_size ~kernel_size
+  in
+  match result with
+  | Some (start, size) ->
+    let kernel_mem_break = start + size - kernel_size in
+    check_bool "BUG: subregions overlap the grant reserve" true
+      (enforced_end config > kernel_mem_break)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_grant_overlap_fixed_patched () =
+  let unalloc_start, min_size, app_size, kernel_size = overlap_inputs in
+  let config, result =
+    allocate (module Pa) ~unalloc_start ~min_size ~app_size ~kernel_size
+  in
+  match result with
+  | Some (start, size) ->
+    let kernel_mem_break = start + size - kernel_size in
+    check_bool "patched: no overlap" true
+      (Option.get (Pa.enabled_subregions_end config) <= kernel_mem_break);
+    check_bool "fix doubles the block" true (size >= 16384)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_brk_underflow_panics_upstream () =
+  let config, result =
+    allocate (module Up) ~unalloc_start:base ~min_size:4096 ~app_size:4096 ~kernel_size:1024
+  in
+  match result with
+  | None -> Alcotest.fail "setup failed"
+  | Some (start, size) -> (
+    match
+      Up.update_app_mem_region ~config ~new_app_break:(Word32.sub start 64)
+        ~kernel_break:(start + size) ~perms:rw
+    with
+    | Ok () | Error () -> Alcotest.fail "expected the modeled kernel panic"
+    | exception Tock_cortexm_mpu.Kernel_panic _ -> ())
+
+let test_brk_underflow_rejected_patched () =
+  let config, result =
+    allocate (module Pa) ~unalloc_start:base ~min_size:4096 ~app_size:4096 ~kernel_size:1024
+  in
+  match result with
+  | None -> Alcotest.fail "setup failed"
+  | Some (start, size) ->
+    check_bool "patched validates and refuses" true
+      (Pa.update_app_mem_region ~config ~new_app_break:(Word32.sub start 64)
+         ~kernel_break:(start + size) ~perms:rw
+      = Error ())
+
+let test_brk_legal_update () =
+  let config, result =
+    allocate (module Pa) ~unalloc_start:base ~min_size:4096 ~app_size:2048 ~kernel_size:1024
+  in
+  match result with
+  | None -> Alcotest.fail "setup failed"
+  | Some (start, size) ->
+    check_bool "legal grow accepted" true
+      (Pa.update_app_mem_region ~config ~new_app_break:(start + 3000)
+         ~kernel_break:(start + size) ~perms:rw
+      = Ok ());
+    check_bool "enforced end grows" true
+      (Option.get (Pa.enabled_subregions_end config) >= start + 3000)
+
+let test_brk_beyond_kernel_break_refused () =
+  let config, result =
+    allocate (module Pa) ~unalloc_start:base ~min_size:4096 ~app_size:2048 ~kernel_size:1024
+  in
+  match result with
+  | None -> Alcotest.fail "setup failed"
+  | Some (start, size) ->
+    check_bool "grow into grant refused" true
+      (Pa.update_app_mem_region ~config ~new_app_break:(start + size)
+         ~kernel_break:(start + size - 1024) ~perms:rw
+      = Error ())
+
+(* --- PMP monolithic bugs --- *)
+
+module PmpUp = Tock_pmp_mpu.Upstream_e310
+module PmpPa = Tock_pmp_mpu.Patched_e310
+
+let pmp_setup (type cfg) (module M : Region_intf.MONOLITHIC with type config = cfg) =
+  let config = M.new_config () in
+  match
+    M.allocate_app_mem_region ~config ~unalloc_start:base ~unalloc_size:0x10000 ~min_size:2048
+      ~app_size:2048 ~kernel_size:512 ~perms:rw
+  with
+  | Some (start, _) -> (config, start)
+  | None -> Alcotest.fail "pmp setup failed"
+
+let test_pmp_above_brk_bug () =
+  let config, start = pmp_setup (module PmpUp) in
+  (match
+     PmpUp.update_app_mem_region ~config ~new_app_break:(start + 1026)
+       ~kernel_break:(start + 2048) ~perms:rw
+   with
+  | Ok () -> ()
+  | Error () -> Alcotest.fail "update failed");
+  check_bool "BUG: region top rounded past the break" true
+    (Option.get (PmpUp.enabled_subregions_end config) > start + 1028)
+
+let test_pmp_above_brk_patched () =
+  let config, start = pmp_setup (module PmpPa) in
+  (match
+     PmpPa.update_app_mem_region ~config ~new_app_break:(start + 1026)
+       ~kernel_break:(start + 2048) ~perms:rw
+   with
+  | Ok () -> ()
+  | Error () -> Alcotest.fail "update failed");
+  check_int "patched: tight 4-byte rounding" (start + 1028)
+    (Option.get (PmpPa.enabled_subregions_end config))
+
+let test_pmp_shifted_comparison_bug () =
+  (* With the unit-confused comparison, an update whose region top exceeds
+     the kernel break is accepted anyway. *)
+  let config, start = pmp_setup (module PmpUp) in
+  check_bool "BUG: overlap accepted" true
+    (PmpUp.update_app_mem_region ~config ~new_app_break:(start + 2048)
+       ~kernel_break:(start + 1024) ~perms:rw
+    = Ok ())
+
+let test_pmp_shifted_comparison_patched () =
+  let config, start = pmp_setup (module PmpPa) in
+  check_bool "patched: overlap refused" true
+    (PmpPa.update_app_mem_region ~config ~new_app_break:(start + 2048)
+       ~kernel_break:(start + 1024) ~perms:rw
+    = Error ())
+
+let suite =
+  [
+    Alcotest.test_case "allocate rounds to pow2 (Figure 4a)" `Quick test_allocate_rounds_to_pow2;
+    Alcotest.test_case "allocate aligns start" `Quick test_allocate_aligns_start;
+    Alcotest.test_case "grant overlap bug (upstream, #4366)" `Quick
+      test_grant_overlap_bug_upstream;
+    Alcotest.test_case "grant overlap fixed (patched)" `Quick test_grant_overlap_fixed_patched;
+    Alcotest.test_case "brk underflow panics (upstream, §2.2)" `Quick
+      test_brk_underflow_panics_upstream;
+    Alcotest.test_case "brk underflow rejected (patched)" `Quick
+      test_brk_underflow_rejected_patched;
+    Alcotest.test_case "legal brk update" `Quick test_brk_legal_update;
+    Alcotest.test_case "brk into grant refused" `Quick test_brk_beyond_kernel_break_refused;
+    Alcotest.test_case "pmp rounding above brk (upstream, #2173)" `Quick test_pmp_above_brk_bug;
+    Alcotest.test_case "pmp rounding patched" `Quick test_pmp_above_brk_patched;
+    Alcotest.test_case "pmp shifted comparison (upstream, #2947)" `Quick
+      test_pmp_shifted_comparison_bug;
+    Alcotest.test_case "pmp comparison patched" `Quick test_pmp_shifted_comparison_patched;
+  ]

@@ -1,0 +1,113 @@
+(* The kernel event trace. *)
+
+open Ticktock
+open Apps.App_dsl
+module K = Boards.Ticktock_arm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let kernel_with_trace ?capacity () =
+  let m = Machine.create_arm () in
+  let tr = Trace.create ?capacity () in
+  let caps, _ = Capsules.Board_set.standard () in
+  let k =
+    K.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
+      ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~capsules:caps ~trace:tr ()
+  in
+  (k, tr)
+
+let create k ~name script =
+  Result.get_ok
+    (K.create_process k ~name ~payload:name ~program:(to_program script) ~min_ram:2048 ())
+
+let test_ring_basics () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record tr ~tick:i (Trace.Scheduled i)
+  done;
+  check_int "recorded total" 10 (Trace.recorded tr);
+  check_int "dropped" 6 (Trace.dropped tr);
+  match Trace.events tr with
+  | [ a; b; c; d ] ->
+    check_int "oldest surviving" 6 a.Trace.at;
+    check_int "newest" 9 d.Trace.at;
+    ignore (b, c)
+  | es -> Alcotest.failf "expected 4 events, got %d" (List.length es)
+
+let test_lifecycle_events () =
+  let k, tr = kernel_with_trace () in
+  let p = create k ~name:"traced" (let* _ = sbrk 64 in return 3) in
+  K.run k ~max_ticks:50;
+  let events = List.map (fun e -> e.Trace.event) (Trace.events tr) in
+  check_bool "created recorded" true
+    (List.exists
+       (function Trace.Created { pid; _ } -> pid = p.Process.pid | _ -> false)
+       events);
+  check_bool "scheduled recorded" true
+    (List.exists (function Trace.Scheduled _ -> true | _ -> false) events);
+  check_bool "syscall recorded" true
+    (List.exists
+       (function
+         | Trace.Syscall { call = Userland.Memop { op; _ }; _ } -> op = Userland.memop_sbrk
+         | _ -> false)
+       events);
+  check_bool "exit recorded" true
+    (List.exists (function Trace.Exited { code; _ } -> code = 3 | _ -> false) events)
+
+let test_fault_event () =
+  let k, tr = kernel_with_trace () in
+  let p = create k ~name:"crasher" (let* _ = load8 0 in return 0) in
+  K.run k ~max_ticks:50;
+  match Trace.faults tr with
+  | [ (pid, reason) ] ->
+    check_int "faulting pid" p.Process.pid pid;
+    check_bool "reason mentions the mpu" true (String.length reason > 0)
+  | fs -> Alcotest.failf "expected one fault, got %d" (List.length fs)
+
+let test_upcall_event () =
+  let k, tr = kernel_with_trace () in
+  let _ =
+    create k ~name:"alarmed"
+      (let* _ = subscribe ~driver:4 ~upcall_id:0 in
+       let* _ = command ~driver:4 ~cmd:1 ~arg1:2 () in
+       let* _ = yield in
+       return 0)
+  in
+  K.run k ~max_ticks:50;
+  check_bool "upcall recorded" true
+    (List.exists
+       (fun e -> match e.Trace.event with Trace.Upcall _ -> true | _ -> false)
+       (Trace.events tr))
+
+let test_syscalls_of_filter () =
+  let k, tr = kernel_with_trace () in
+  let p =
+    create k ~name:"s"
+      (let* _ = memory_start in
+       let* _ = memory_end in
+       return 0)
+  in
+  K.run k ~max_ticks:50;
+  check_int "two syscalls attributed" 2 (List.length (Trace.syscalls_of tr p.Process.pid))
+
+let test_to_string_renders () =
+  let k, tr = kernel_with_trace () in
+  let _ = create k ~name:"r" (return 0) in
+  K.run k ~max_ticks:10;
+  let s = Trace.to_string tr in
+  check_bool "mentions created" true
+    (let needle = "created" in
+     let n = String.length needle in
+     let rec go i = i + n <= String.length s && (String.sub s i n = needle || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    Alcotest.test_case "ring buffer basics" `Quick test_ring_basics;
+    Alcotest.test_case "lifecycle events" `Quick test_lifecycle_events;
+    Alcotest.test_case "fault event" `Quick test_fault_event;
+    Alcotest.test_case "upcall event" `Quick test_upcall_event;
+    Alcotest.test_case "per-pid syscall filter" `Quick test_syscalls_of_filter;
+    Alcotest.test_case "rendering" `Quick test_to_string_renders;
+  ]

@@ -1,0 +1,139 @@
+(* The contract framework itself: violations, domains, checker, lemmas. *)
+
+module V = Verify
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_violation_raises () =
+  V.Violation.with_enabled true (fun () ->
+      Alcotest.check_raises "require fires"
+        (V.Violation.Violation { site = "s"; detail = "precondition failed" })
+        (fun () -> V.Violation.require "s" false);
+      (* passing checks are silent *)
+      V.Violation.require "s" true;
+      V.Violation.ensure "s" true;
+      V.Violation.invariant "s" true)
+
+let test_violation_disabled () =
+  V.Violation.with_enabled false (fun () ->
+      (* no-cost mode: nothing fires *)
+      V.Violation.require "s" false;
+      V.Violation.ensure "s" false;
+      V.Violation.invariant "s" false);
+  check_bool "state restored" true (V.Violation.enabled ())
+
+let test_violation_formatted () =
+  V.Violation.with_enabled true (fun () ->
+      match V.Violation.requiref "site" false "x=%d" 42 with
+      | () -> Alcotest.fail "expected violation"
+      | exception V.Violation.Violation v ->
+        check_bool "detail formatted" true (v.V.Violation.detail = "x=42"))
+
+let test_domain_ints () =
+  let d = V.Domain.ints 3 7 in
+  check_int "cardinality" 5 (V.Domain.cardinality d);
+  Alcotest.(check (list int)) "elements" [ 3; 4; 5; 6; 7 ] (List.of_seq (V.Domain.to_seq d))
+
+let test_domain_pair () =
+  let d = V.Domain.pair (V.Domain.ints 0 1) (V.Domain.of_list [ "a"; "b"; "c" ]) in
+  check_int "product cardinality" 6 (V.Domain.cardinality d);
+  check_int "product length" 6 (Seq.length (V.Domain.to_seq d))
+
+let test_domain_around () =
+  let d = V.Domain.around [ 10 ] ~spread:2 in
+  Alcotest.(check (list int)) "boundary cloud" [ 8; 9; 10; 11; 12 ]
+    (List.of_seq (V.Domain.to_seq d))
+
+let test_domain_around_clips () =
+  let d = V.Domain.around [ 1 ] ~spread:3 in
+  Alcotest.(check (list int)) "clipped at zero" [ 0; 1; 2; 3; 4 ]
+    (List.of_seq (V.Domain.to_seq d))
+
+let test_domain_pow2s () =
+  Alcotest.(check (list int)) "powers" [ 32; 64; 128; 256 ]
+    (List.of_seq (V.Domain.to_seq (V.Domain.pow2s ~min:32 ~max:256)))
+
+let test_checker_verifies () =
+  let prop = V.Checker.forall ~name:"x+0=x" (V.Domain.ints 0 100) (fun _ -> Ok ()) in
+  let report = V.Checker.check_component "demo" [ prop ] in
+  check_bool "verified" true (V.Checker.all_verified report);
+  match report.V.Checker.results with
+  | [ r ] -> check_int "cases" 101 r.V.Checker.cases
+  | _ -> Alcotest.fail "one result expected"
+
+let test_checker_counterexample () =
+  let prop =
+    V.Checker.forall ~name:"fails at 42" ~show:string_of_int (V.Domain.ints 0 100) (fun x ->
+        if x = 42 then Error "boom" else Ok ())
+  in
+  let report = V.Checker.check_component "demo" [ prop ] in
+  check_bool "not verified" false (V.Checker.all_verified report);
+  match V.Checker.failures report with
+  | [ r ] -> (
+    match r.V.Checker.outcome with
+    | Error msg -> check_bool "counterexample named" true (msg = "counterexample 42: boom")
+    | Ok () -> Alcotest.fail "expected failure")
+  | _ -> Alcotest.fail "one failure expected"
+
+let test_checker_catches_violations () =
+  let prop =
+    V.Checker.forall ~name:"contract fires" (V.Domain.ints 0 10) (fun x ->
+        V.Violation.require "demo" (x < 5);
+        Ok ())
+  in
+  let report = V.Checker.check_component "demo" [ prop ] in
+  check_bool "violation becomes counterexample" false (V.Checker.all_verified report)
+
+let test_forall_violates () =
+  let prop =
+    V.Checker.forall_violates ~name:"bug caught" ~witnesses:3 (V.Domain.ints 0 10) (fun x ->
+        V.Violation.require "demo" (x < 8))
+  in
+  let report = V.Checker.check_component "demo" [ prop ] in
+  check_bool "enough witnesses" true (V.Checker.all_verified report);
+  let prop2 =
+    V.Checker.forall_violates ~name:"no bug" ~witnesses:1 (V.Domain.ints 0 10) (fun _ -> ())
+  in
+  let report2 = V.Checker.check_component "demo" [ prop2 ] in
+  check_bool "no witnesses fails" false (V.Checker.all_verified report2)
+
+let test_lemmas () =
+  let counts = V.Lemmas.prove_all ~bound:4096 () in
+  check_bool "all lemma groups ran" true (List.length counts = 4);
+  check_bool "nontrivial case counts" true (List.for_all (fun (_, n) -> n > 0) counts)
+
+let test_timing_stats () =
+  let prop = V.Checker.property ~name:"quick" (fun () -> Ok ()) in
+  let report = V.Checker.check_component "demo" [ prop; prop; prop ] in
+  let st = V.Report.timing_stats report in
+  check_int "fns" 3 st.V.Report.fns;
+  check_bool "total >= max" true (st.V.Report.total_s >= st.V.Report.max_s)
+
+let test_scan_sources () =
+  let rows =
+    V.Report.scan_sources ~root:"."
+      ~components:[ ("nothing", [ "no-such-dir" ]) ]
+  in
+  match rows with
+  | [ r ] -> check_int "missing dir contributes zero" 0 r.V.Report.source_loc
+  | _ -> Alcotest.fail "one row expected"
+
+let suite =
+  [
+    Alcotest.test_case "violations raise" `Quick test_violation_raises;
+    Alcotest.test_case "disabled mode" `Quick test_violation_disabled;
+    Alcotest.test_case "formatted details" `Quick test_violation_formatted;
+    Alcotest.test_case "domain: ints" `Quick test_domain_ints;
+    Alcotest.test_case "domain: pair" `Quick test_domain_pair;
+    Alcotest.test_case "domain: around" `Quick test_domain_around;
+    Alcotest.test_case "domain: around clips" `Quick test_domain_around_clips;
+    Alcotest.test_case "domain: pow2s" `Quick test_domain_pow2s;
+    Alcotest.test_case "checker verifies" `Quick test_checker_verifies;
+    Alcotest.test_case "checker finds counterexample" `Quick test_checker_counterexample;
+    Alcotest.test_case "checker catches Violation" `Quick test_checker_catches_violations;
+    Alcotest.test_case "forall_violates (bug-catching form)" `Quick test_forall_violates;
+    Alcotest.test_case "lemmas prove" `Quick test_lemmas;
+    Alcotest.test_case "timing stats" `Quick test_timing_stats;
+    Alcotest.test_case "source scanning" `Quick test_scan_sources;
+  ]

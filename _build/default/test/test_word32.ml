@@ -1,0 +1,98 @@
+(* Unit and property tests for 32-bit word arithmetic. *)
+
+let check_int = Alcotest.(check int)
+
+let test_wrap_add () =
+  check_int "max + 1 wraps to 0" 0 (Word32.add Word32.max_value 1);
+  check_int "plain add" 7 (Word32.add 3 4);
+  check_int "wrap multiple" 4 (Word32.add 0xFFFF_FFFE 6)
+
+let test_wrap_sub () =
+  check_int "0 - 1 wraps to max" Word32.max_value (Word32.sub 0 1);
+  check_int "plain sub" 1 (Word32.sub 4 3);
+  check_int "the paper's underflow: 0 - 1 = usize::MAX" 0xFFFF_FFFF (Word32.sub 0 1)
+
+let test_wrap_mul () =
+  check_int "mul wraps" 0 (Word32.mul 0x1_0000 0x1_0000);
+  check_int "plain mul" 12 (Word32.mul 3 4)
+
+let test_checked () =
+  Alcotest.(check (option int)) "checked_add overflow" None (Word32.checked_add Word32.max_value 1);
+  Alcotest.(check (option int)) "checked_add ok" (Some 5) (Word32.checked_add 2 3);
+  Alcotest.(check (option int)) "checked_sub underflow" None (Word32.checked_sub 2 3);
+  Alcotest.(check (option int)) "checked_sub ok" (Some 1) (Word32.checked_sub 3 2);
+  Alcotest.(check (option int)) "checked_mul overflow" None
+    (Word32.checked_mul 0x1_0000 0x1_0000);
+  Alcotest.(check (option int)) "checked_mul ok" (Some 6) (Word32.checked_mul 2 3)
+
+let test_bits () =
+  check_int "extract middle field" 0b101 (Word32.bits 0b1011010 ~hi:6 ~lo:4);
+  check_int "set field" 0b1111010 (Word32.set_bits 0b1011010 ~hi:6 ~lo:4 0b111);
+  Alcotest.(check bool) "bit read" true (Word32.bit 0x10 4);
+  Alcotest.(check bool) "bit read clear" false (Word32.bit 0x10 5);
+  check_int "set_bit on" 0x30 (Word32.set_bit 0x10 5 true);
+  check_int "set_bit off" 0x00 (Word32.set_bit 0x10 4 false)
+
+let test_lognot () =
+  check_int "lognot stays 32-bit" 0xFFFF_FFFE (Word32.lognot 1);
+  check_int "double negation" 0x1234_5678 (Word32.lognot (Word32.lognot 0x1234_5678))
+
+let test_shifts () =
+  check_int "shl wraps" 0xFFFF_FFFE (Word32.shift_left Word32.max_value 1);
+  check_int "shr" 0x7FFF_FFFF (Word32.shift_right Word32.max_value 1)
+
+let test_hex () =
+  Alcotest.(check string) "to_hex" "0xdeadbeef" (Word32.to_hex 0xDEAD_BEEF);
+  Alcotest.(check string) "to_hex pads" "0x00000001" (Word32.to_hex 1)
+
+(* --- properties --- *)
+
+let word_gen = QCheck.map (fun i -> i land Word32.mask) (QCheck.int_bound max_int)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutes" ~count:500 (QCheck.pair word_gen word_gen)
+    (fun (a, b) -> Word32.add a b = Word32.add b a)
+
+let prop_sub_add_inverse =
+  QCheck.Test.make ~name:"sub inverts add (mod 2^32)" ~count:500
+    (QCheck.pair word_gen word_gen) (fun (a, b) -> Word32.sub (Word32.add a b) b = a)
+
+let prop_valid_closed =
+  QCheck.Test.make ~name:"operations stay in range" ~count:500 (QCheck.pair word_gen word_gen)
+    (fun (a, b) ->
+      Word32.is_valid (Word32.add a b)
+      && Word32.is_valid (Word32.sub a b)
+      && Word32.is_valid (Word32.mul a b)
+      && Word32.is_valid (Word32.lognot a))
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"set_bits then bits round-trips" ~count:500
+    (QCheck.triple word_gen (QCheck.int_range 0 31) (QCheck.int_range 0 31))
+    (fun (w, a, b) ->
+      let hi = max a b and lo = min a b in
+      let v = 0b1011 land ((1 lsl (hi - lo + 1)) - 1) in
+      Word32.bits (Word32.set_bits w ~hi ~lo v) ~hi ~lo = v)
+
+let prop_checked_agrees =
+  QCheck.Test.make ~name:"checked_add agrees with wrap when no overflow" ~count:500
+    (QCheck.pair word_gen word_gen) (fun (a, b) ->
+      match Word32.checked_add a b with
+      | Some s -> s = Word32.add a b
+      | None -> a + b > Word32.mask)
+
+let suite =
+  [
+    Alcotest.test_case "wrapping add" `Quick test_wrap_add;
+    Alcotest.test_case "wrapping sub" `Quick test_wrap_sub;
+    Alcotest.test_case "wrapping mul" `Quick test_wrap_mul;
+    Alcotest.test_case "checked arithmetic" `Quick test_checked;
+    Alcotest.test_case "bit fields" `Quick test_bits;
+    Alcotest.test_case "lognot" `Quick test_lognot;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "hex rendering" `Quick test_hex;
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_sub_add_inverse;
+    QCheck_alcotest.to_alcotest prop_valid_closed;
+    QCheck_alcotest.to_alcotest prop_bits_roundtrip;
+    QCheck_alcotest.to_alcotest prop_checked_agrees;
+  ]
