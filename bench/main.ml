@@ -462,9 +462,159 @@ let bechamel_run () =
     (bechamel_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Bus throughput: the word fast path + MPU decision cache (micro-TLB). *)
+
+(* Host-side loads/stores/fetches per second on the modeled bus, per
+   architecture, under three configurations:
+     unchecked — no checker installed (raw word fast path);
+     cached    — the MPU installed normally, decision cache live;
+     uncached  — the same MPU consulted through an uncacheable checker
+                 (the pre-cache behaviour: a full region/entry walk per
+                 byte, four walks per word).
+   Model cycles are untouched by any of this — Mach.Cycles is charged by
+   the CPU methods, not the bus — so fig11/difftest numbers are identical
+   whichever path runs; this experiment only reports host speed. *)
+
+let bus_iters () =
+  match Sys.getenv_opt "BUS_ITERS" with
+  | Some s -> (try max 1000 (int_of_string s) with Failure _ -> 1_000_000)
+  | None -> 1_000_000
+
+type bus_row = {
+  bus_arch : string;
+  unchecked_mops : float;
+  cached_mops : float;
+  uncached_mops : float;
+  hit_rate : float;
+}
+
+let bus_sweep mem ~base ~iters =
+  (* 64 KiB sweep, 3 ops per step: load, store, fetch of an aligned word *)
+  for i = 0 to iters - 1 do
+    let addr = base lor (i * 4 land 0xFFFC) in
+    ignore (Memory.load32 mem addr);
+    Memory.store32 mem addr 0xDEAD_BEEF;
+    ignore (Memory.fetch32 mem addr)
+  done
+
+let bus_time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let bus_row ~arch ~iters mem ~base ~cached_checker ~uncached_checker =
+  let mops secs = 3.0 *. float_of_int iters /. secs /. 1e6 in
+  Memory.set_checker mem None;
+  bus_sweep mem ~base ~iters:1000 (* touch the pages once *);
+  let t_unchecked = bus_time (fun () -> bus_sweep mem ~base ~iters) in
+  Memory.set_checker mem (Some uncached_checker);
+  let t_uncached = bus_time (fun () -> bus_sweep mem ~base ~iters) in
+  Memory.set_checker mem (Some cached_checker);
+  Memory.reset_cache_stats mem;
+  let t_cached = bus_time (fun () -> bus_sweep mem ~base ~iters) in
+  let hits, misses = Memory.cache_stats mem in
+  {
+    bus_arch = arch;
+    unchecked_mops = mops t_unchecked;
+    cached_mops = mops t_cached;
+    uncached_mops = mops t_uncached;
+    hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses));
+  }
+
+let bus_armv7m ~iters =
+  let m = Machine.create_arm () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let base = 0x2000_0000 in
+  Mpu_hw.Armv7m_mpu.write_region mpu ~index:0
+    ~rbar:(Mpu_hw.Armv7m_mpu.encode_rbar ~addr:base ~region:0)
+    ~rasr:
+      (Mpu_hw.Armv7m_mpu.encode_rasr ~enable:true ~size:65536 ~srd:0
+         ~perms:Perms.Read_write_execute);
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  (* drop to unprivileged thread mode so the MPU actually gates accesses *)
+  Fluxarm.Cpu.set_special_raw m.Machine.arm_cpu Fluxarm.Regs.Control 1;
+  let cached =
+    Mpu_hw.Armv7m_mpu.checker mpu ~cpu_privileged:(fun () ->
+        Fluxarm.Cpu.privileged m.Machine.arm_cpu)
+  in
+  let uncached =
+    Memory.checker_of_fn (fun a acc -> Mpu_hw.Armv7m_mpu.check_access mpu ~privileged:false a acc)
+  in
+  bus_row ~arch:"armv7m" ~iters mem ~base ~cached_checker:cached ~uncached_checker:uncached
+
+let bus_armv8m ~iters =
+  let m = Machine.create_arm_v8 () in
+  let mem = m.Machine.v8_mem and mpu = m.Machine.v8_mpu in
+  let base = 0x2000_0000 in
+  Mpu_hw.Armv8m_mpu.write_region mpu ~index:0
+    ~rbar:(Mpu_hw.Armv8m_mpu.encode_rbar ~base ~perms:Perms.Read_write_execute)
+    ~rasr:(Mpu_hw.Armv8m_mpu.encode_rlar ~limit:(base + 65535) ~enable:true);
+  Mpu_hw.Armv8m_mpu.set_enabled mpu true;
+  Fluxarm.Cpu.set_special_raw m.Machine.v8_cpu Fluxarm.Regs.Control 1;
+  let cached =
+    Mpu_hw.Armv8m_mpu.checker mpu ~cpu_privileged:(fun () ->
+        Fluxarm.Cpu.privileged m.Machine.v8_cpu)
+  in
+  let uncached =
+    Memory.checker_of_fn (fun a acc -> Mpu_hw.Armv8m_mpu.check_access mpu ~privileged:false a acc)
+  in
+  bus_row ~arch:"armv8m" ~iters mem ~base ~cached_checker:cached ~uncached_checker:uncached
+
+let bus_pmp ~iters =
+  let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
+  let mem = m.Machine.rv_mem and pmp = m.Machine.rv_pmp in
+  let base = 0x2000_0000 in
+  Mpu_hw.Pmp.set_entry pmp ~index:0
+    ~cfg:(Mpu_hw.Pmp.cfg_of_perms Perms.Read_write_execute ~mode:Mpu_hw.Pmp.Napot)
+    ~addr:(Mpu_hw.Pmp.napot_addr ~start:base ~size:65536);
+  m.Machine.rv_machine_mode := false;
+  let cached =
+    Mpu_hw.Pmp.checker pmp ~cpu_machine_mode:(fun () -> !(m.Machine.rv_machine_mode))
+  in
+  let uncached =
+    Memory.checker_of_fn (fun a acc -> Mpu_hw.Pmp.check_access pmp ~machine_mode:false a acc)
+  in
+  bus_row ~arch:"rv32-pmp" ~iters mem ~base ~cached_checker:cached ~uncached_checker:uncached
+
+let bus_json rows ~iters =
+  let oc = open_out "BENCH_bus.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"bus\",\n  \"ops_per_config\": %d,\n  \"archs\": [\n"
+    (3 * iters);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"arch\": \"%s\", \"unchecked_mops\": %.2f, \"cached_mops\": %.2f, \
+         \"uncached_mops\": %.2f, \"speedup\": %.2f, \"hit_rate\": %.4f}%s\n"
+        r.bus_arch r.unchecked_mops r.cached_mops r.uncached_mops
+        (r.cached_mops /. r.uncached_mops)
+        r.hit_rate
+        (if i = 2 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let bus () =
+  header "Bus throughput — word fast path + MPU access-decision cache"
+    "not in the paper: host-side speed only; model cycles are identical by construction";
+  let iters = bus_iters () in
+  Printf.printf "%d ops per configuration (BUS_ITERS=%d words x 3 ops)\n\n" (3 * iters) iters;
+  let rows = [ bus_armv7m ~iters; bus_armv8m ~iters; bus_pmp ~iters ] in
+  Printf.printf "%-10s %14s %14s %14s %9s %9s\n" "arch" "unchecked" "cached(mTLB)" "uncached"
+    "speedup" "hit rate";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %11.2f M/s %11.2f M/s %11.2f M/s %8.2fx %8.1f%%\n" r.bus_arch
+        r.unchecked_mops r.cached_mops r.uncached_mops
+        (r.cached_mops /. r.uncached_mops)
+        (100.0 *. r.hit_rate))
+    rows;
+  bus_json rows ~iters;
+  print_endline "\nwrote BENCH_bus.json"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
-  print_endline "usage: main.exe [fig10|fig11|fig12|mem|difftest|bugs|bechamel|all]"
+  print_endline "usage: main.exe [fig10|fig11|fig12|mem|difftest|bugs|bus|bechamel|all]"
 
 let () =
   let experiments =
@@ -479,6 +629,7 @@ let () =
       ("ablation", ablation);
       ("fuzz", fuzz);
       ("latency", latency);
+      ("bus", bus);
       ("bechamel", bechamel_run);
     ]
   in

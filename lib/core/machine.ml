@@ -24,15 +24,20 @@ let create_arm () =
         Fluxarm.Cpu.privileged arm_cpu)
   in
   (* the bus latches fault status into the SCB before raising the fault,
-     as the MemManage machinery does in silicon *)
+     as the MemManage machinery does in silicon. Denied decisions are never
+     cached by the bus, so the latch fires on every denial. *)
   Memory.set_checker arm_mem
     (Some
-       (fun addr access ->
-         match checker addr access with
-         | Ok () -> Ok ()
-         | Error _ as e ->
-           Mpu_hw.Scb.record_memfault arm_scb ~addr ~access;
-           e));
+       {
+         checker with
+         Memory.check =
+           (fun addr access ->
+             match checker.Memory.check addr access with
+             | Ok () -> Ok ()
+             | Error _ as e ->
+               Mpu_hw.Scb.record_memfault arm_scb ~addr ~access;
+               e);
+       });
   {
     arm_mem;
     arm_cpu;

@@ -6,13 +6,11 @@ type stop =
   | Out_of_fuel
 
 let fetch16 cpu addr =
-  (* instruction fetch: checked with execute rights, halfword granularity *)
-  let mem = Cpu.memory cpu in
-  (match Memory.check mem addr Perms.Execute with
-  | Ok () -> ()
-  | Error reason ->
-    raise (Memory.Access_fault { fault_addr = addr; fault_access = Perms.Execute; fault_reason = reason }));
-  Memory.read8 mem addr lor (Memory.read8 mem (addr + 1) lsl 8)
+  (* instruction fetch: checked with execute rights, halfword granularity;
+     Memory.fetch16 consults the MPU decision cache and the last-page
+     cache, so a straight-line fetch loop costs one probe + one 16-bit
+     read per instruction *)
+  Memory.fetch16 (Cpu.memory cpu) addr
 
 let exec cpu instr =
   let module R = Regs in

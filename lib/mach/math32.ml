@@ -29,3 +29,10 @@ let is_aligned x ~align =
   x land (align - 1) = 0
 
 let next_aligned_from x ~align = align_up x ~align
+
+let trailing_zero_bits v =
+  if v = 0 then 32
+  else begin
+    let rec loop acc v = if v land 1 = 1 then acc else loop (acc + 1) (v lsr 1) in
+    loop 0 v
+  end

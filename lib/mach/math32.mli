@@ -33,3 +33,9 @@ val next_aligned_from : int -> align:int -> int
 (** The "move region up until it aligns" step from Figure 4a, line 23-25:
     smallest address [>= x] that is a multiple of [align]. Equal to
     {!align_up}; kept as a separate name to mirror the upstream code. *)
+
+val trailing_zero_bits : int -> int
+(** Number of trailing zero bits, i.e. the alignment of an address as a
+    power-of-two exponent; 32 for 0 (a fully aligned 32-bit value). Used to
+    derive the finest granularity at which an MPU/PMP configuration can
+    change an access decision. *)

@@ -9,23 +9,98 @@ exception Access_fault of fault
 let page_bits = 12
 let page_size = 1 lsl page_bits
 
-type t = {
-  pages : (int, Bytes.t) Hashtbl.t;
-  mutable checker : (Word32.t -> Perms.access -> (unit, string) result) option;
+type checker = {
+  check : Word32.t -> Perms.access -> (unit, string) result;
+  generation : unit -> int;
+  privilege : unit -> int;
+  granule_bits : unit -> int;
 }
 
-let create () = { pages = Hashtbl.create 64; checker = None }
-let set_checker t checker = t.checker <- checker
+(* Direct-mapped MPU decision cache. Each entry remembers one *allow*
+   decision for a (granule-block, privilege, access-kind) key together with
+   the checker generation it was taken under; a register write bumps the
+   generation and thereby invalidates every entry at once. Deny decisions
+   are never cached: the slow path owns the fault message and the
+   fault-status side effects (SCB latching). *)
+let dc_bits = 10
+let dc_size = 1 lsl dc_bits
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable checker : checker option;
+  (* single-entry page cache: instruction fetch and stack traffic are
+     highly local, so most accesses hit the page of the previous one *)
+  mutable last_key : int;
+  mutable last_page : Bytes.t;
+  dc_key : int array;
+  dc_gen : int array;
+  mutable dc_hits : int;
+  mutable dc_misses : int;
+}
+
+let no_page = Bytes.create 0
+
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    checker = None;
+    last_key = -1;
+    last_page = no_page;
+    dc_key = Array.make dc_size (-1);
+    dc_gen = Array.make dc_size (-1);
+    dc_hits = 0;
+    dc_misses = 0;
+  }
+
+let flush_decision_cache t =
+  Array.fill t.dc_key 0 dc_size (-1);
+  Array.fill t.dc_gen 0 dc_size (-1)
+
+let set_checker t checker =
+  t.checker <- checker;
+  flush_decision_cache t
+
 let checker_enabled t = t.checker <> None
+
+let checker_of_fn f =
+  (* Wrap a bare checking function (tests, ad-hoc harnesses). Such a
+     closure may be stateful, so it must never be cached: a generation
+     that changes on every read guarantees no probe ever matches. *)
+  let gen = ref 0 in
+  {
+    check = f;
+    generation =
+      (fun () ->
+        incr gen;
+        !gen);
+    privilege = (fun () -> 0);
+    granule_bits = (fun () -> 0);
+  }
+
+let set_checker_fn t f = set_checker t (Option.map checker_of_fn f)
+
+let cache_stats t = (t.dc_hits, t.dc_misses)
+
+let reset_cache_stats t =
+  t.dc_hits <- 0;
+  t.dc_misses <- 0
 
 let page t addr =
   let key = addr lsr page_bits in
-  match Hashtbl.find_opt t.pages key with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make page_size '\000' in
-    Hashtbl.replace t.pages key p;
+  if key = t.last_key then t.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages key with
+      | Some p -> p
+      | None ->
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.replace t.pages key p;
+        p
+    in
+    t.last_key <- key;
+    t.last_page <- p;
     p
+  end
 
 let read8 t addr =
   assert (Word32.is_valid addr);
@@ -36,22 +111,96 @@ let write8 t addr v =
   Bytes.set (page t addr) (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
 let read32 t addr =
-  let b i = read8 t (Word32.add addr i) in
-  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  assert (Word32.is_valid addr);
+  if addr land 3 = 0 then
+    (* aligned: one page lookup, one 32-bit read (never page-straddling) *)
+    Int32.to_int (Bytes.get_int32_le (page t addr) (addr land (page_size - 1)))
+    land 0xFFFF_FFFF
+  else begin
+    let b i = read8 t (Word32.add addr i) in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  end
 
 let write32 t addr v =
-  let b i x = write8 t (Word32.add addr i) x in
-  b 0 v;
-  b 1 (v lsr 8);
-  b 2 (v lsr 16);
-  b 3 (v lsr 24)
+  assert (Word32.is_valid addr);
+  if addr land 3 = 0 then
+    Bytes.set_int32_le (page t addr) (addr land (page_size - 1)) (Int32.of_int v)
+  else begin
+    let b i x = write8 t (Word32.add addr i) x in
+    b 0 v;
+    b 1 (v lsr 8);
+    b 2 (v lsr 16);
+    b 3 (v lsr 24)
+  end
 
-let blit_string t addr s = String.iteri (fun i c -> write8 t (Word32.add addr i) (Char.code c)) s
+let blit_string t addr s =
+  let len = String.length s in
+  let rec go src addr =
+    if src < len then begin
+      let p = page t addr in
+      let off = addr land (page_size - 1) in
+      let n = min (len - src) (page_size - off) in
+      Bytes.blit_string s src p off n;
+      go (src + n) (Word32.add addr n)
+    end
+  in
+  go 0 addr
 
-let read_bytes t addr n = String.init n (fun i -> Char.chr (read8 t (Word32.add addr i)))
+let read_bytes t addr n =
+  let out = Bytes.create n in
+  let rec go dst addr =
+    if dst < n then begin
+      let p = page t addr in
+      let off = addr land (page_size - 1) in
+      let k = min (n - dst) (page_size - off) in
+      Bytes.blit p off out dst k;
+      go (dst + k) (Word32.add addr k)
+    end
+  in
+  go 0 addr;
+  Bytes.unsafe_to_string out
+
+(* --- access checking --- *)
+
+let access_code = function Perms.Read -> 0 | Perms.Write -> 1 | Perms.Execute -> 2
+
+(* The key carries the full identity of a decision: granule block,
+   privilege level, access kind. The index spreads R/W/X of one block over
+   distinct entries so an execute-heavy loop does not evict its data. *)
+let dc_probe t c addr access =
+  let block = addr lsr c.granule_bits () in
+  let code = access_code access in
+  let key = (block lsl 3) lor (c.privilege () lsl 2) lor code in
+  let idx = ((block lsl 2) lor code) land (dc_size - 1) in
+  if t.dc_key.(idx) = key && t.dc_gen.(idx) = c.generation () then begin
+    t.dc_hits <- t.dc_hits + 1;
+    true
+  end
+  else begin
+    t.dc_misses <- t.dc_misses + 1;
+    false
+  end
+
+let dc_insert t c addr access =
+  let block = addr lsr c.granule_bits () in
+  let code = access_code access in
+  let key = (block lsl 3) lor (c.privilege () lsl 2) lor code in
+  let idx = ((block lsl 2) lor code) land (dc_size - 1) in
+  t.dc_key.(idx) <- key;
+  t.dc_gen.(idx) <- c.generation ()
 
 let check t addr access =
-  match t.checker with None -> Ok () | Some f -> f addr access
+  match t.checker with
+  | None -> Ok ()
+  | Some c ->
+    if dc_probe t c addr access then Ok ()
+    else begin
+      match c.check addr access with
+      | Ok () as ok ->
+        dc_insert t c addr access;
+        ok
+      | Error _ as e -> e
+    end
 
 let checked t addr access k =
   match check t addr access with
@@ -59,12 +208,40 @@ let checked t addr access k =
   | Error fault_reason ->
     raise (Access_fault { fault_addr = addr; fault_access = access; fault_reason })
 
+let check_byte t c addr access =
+  if not (dc_probe t c addr access) then begin
+    match c.check addr access with
+    | Ok () -> dc_insert t c addr access
+    | Error fault_reason ->
+      raise (Access_fault { fault_addr = addr; fault_access = access; fault_reason })
+  end
+
 let check_word t addr access =
   (* A 4-byte access faults if any covered byte is denied, matching the
-     byte-granular view the MPU models expose. *)
-  for i = 0 to 3 do
-    checked t (Word32.add addr i) access (fun () -> ())
-  done
+     byte-granular view the MPU models expose. An aligned word lies inside
+     one decision granule whenever the granule is at least a word, so a
+     single cached allow covers all four bytes; the miss path still walks
+     byte by byte so the faulting byte address is exact. *)
+  match t.checker with
+  | None -> ()
+  | Some c ->
+    if addr land 3 = 0 && c.granule_bits () >= 2 then begin
+      if not (dc_probe t c addr access) then begin
+        for i = 0 to 3 do
+          match c.check (Word32.add addr i) access with
+          | Ok () -> ()
+          | Error fault_reason ->
+            raise
+              (Access_fault
+                 { fault_addr = Word32.add addr i; fault_access = access; fault_reason })
+        done;
+        dc_insert t c addr access
+      end
+    end
+    else
+      for i = 0 to 3 do
+        check_byte t c (Word32.add addr i) access
+      done
 
 let load8 t addr = checked t addr Perms.Read (fun () -> read8 t addr)
 let store8 t addr v = checked t addr Perms.Write (fun () -> write8 t addr v)
@@ -80,5 +257,34 @@ let store32 t addr v =
 let fetch32 t addr =
   check_word t addr Perms.Execute;
   read32 t addr
+
+let fetch16 t addr =
+  (match t.checker with
+  | None -> ()
+  | Some c ->
+    if addr land 1 = 0 && c.granule_bits () >= 1 then begin
+      if not (dc_probe t c addr Perms.Execute) then begin
+        for i = 0 to 1 do
+          match c.check (Word32.add addr i) Perms.Execute with
+          | Ok () -> ()
+          | Error fault_reason ->
+            raise
+              (Access_fault
+                 {
+                   fault_addr = Word32.add addr i;
+                   fault_access = Perms.Execute;
+                   fault_reason;
+                 })
+        done;
+        dc_insert t c addr Perms.Execute
+      end
+    end
+    else begin
+      check_byte t c addr Perms.Execute;
+      check_byte t c (Word32.add addr 1) Perms.Execute
+    end);
+  let off = addr land (page_size - 1) in
+  if off < page_size - 1 then Bytes.get_uint16_le (page t addr) off
+  else read8 t addr lor (read8 t (Word32.add addr 1) lsl 8)
 
 let touched_pages t = Hashtbl.length t.pages

@@ -7,7 +7,18 @@
     An optional {e access checker} is consulted on every load/store/fetch;
     the MPU hardware models install themselves here, so every memory access
     made by emulated user code is subject to the live MPU configuration, the
-    same way the hardware intercepts bus accesses. *)
+    same way the hardware intercepts bus accesses.
+
+    Two host-side fast paths keep the modeled bus close to host speed
+    without changing observable behaviour:
+
+    - aligned word accesses do a single page lookup (with a one-entry
+      last-page cache) and a single 32-bit byte-string read/write;
+    - access decisions are cached in a direct-mapped {e micro-TLB} keyed by
+      (granule block, privilege, access kind) and guarded by the checker's
+      generation counter, which MPU models bump on every configuration
+      register write. Only {e allow} decisions are cached, so denials always
+      reach the full checker (fault messages, fault-status latching). *)
 
 type t
 
@@ -21,14 +32,53 @@ exception Access_fault of fault
 (** Raised by checked accesses that the installed checker denies — the model
     of the MemManage / PMP access fault exception. *)
 
+type checker = {
+  check : Word32.t -> Perms.access -> (unit, string) result;
+      (** The authoritative decision function (the full MPU/PMP walk). *)
+  generation : unit -> int;
+      (** Current configuration generation. Any change invalidates every
+          cached decision; MPU models bump it on RBAR/RASR/RLAR/CTRL/pmpcfg
+          writes. *)
+  privilege : unit -> int;
+      (** Current privilege level as a small integer (0/1). Part of the
+          cache key, so a privilege transition (handler entry/exit,
+          CONTROL writes) can never reuse a decision taken at the other
+          level. *)
+  granule_bits : unit -> int;
+      (** log2 of the finest granularity (bytes) at which the {e active}
+          configuration can change a decision — at least 5 for
+          ARMv7-M/ARMv8-M (32-byte regions/subregions/granules) and 2 for
+          PMP (NA4), but coarser when the configured region boundaries are
+          more aligned than the architectural minimum. A cached decision
+          for one byte of an aligned granule block is valid for the whole
+          block. A granule change always comes with a generation bump, so
+          entries keyed under the old granule can never false-hit. *)
+}
+
 val create : unit -> t
 
-val set_checker : t -> (Word32.t -> Perms.access -> (unit, string) result) option -> unit
+val set_checker : t -> checker option -> unit
 (** Install or remove the access checker ([None] = all access allowed, i.e.
     MPU disabled / privileged execution). Installed after creation so the
-    checker closure may capture the CPU whose privilege state it consults. *)
+    checker closure may capture the CPU whose privilege state it consults.
+    Installing a checker flushes the decision cache. *)
+
+val checker_of_fn : (Word32.t -> Perms.access -> (unit, string) result) -> checker
+(** Wrap a bare checking function as an {e uncacheable} checker (its
+    generation changes on every read, so no decision is ever reused). For
+    tests and ad-hoc harnesses whose closures may be stateful. *)
+
+val set_checker_fn :
+  t -> (Word32.t -> Perms.access -> (unit, string) result) option -> unit
+(** [set_checker] ∘ [checker_of_fn]: the legacy plain-function interface. *)
 
 val checker_enabled : t -> bool
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the access-decision cache since the last
+    {!reset_cache_stats}. *)
+
+val reset_cache_stats : t -> unit
 
 (** {1 Raw (unchecked) accesses} — used by the kernel model and by DMA, which
     bypass the MPU on real ARMv7-M hardware. *)
@@ -51,9 +101,13 @@ val store32 : t -> Word32.t -> Word32.t -> unit
 val fetch32 : t -> Word32.t -> Word32.t
 (** Instruction fetch: checked with {!Perms.Execute}. *)
 
+val fetch16 : t -> Word32.t -> int
+(** Halfword instruction fetch (Thumb), checked with {!Perms.Execute} on
+    both covered bytes. *)
+
 val check : t -> Word32.t -> Perms.access -> (unit, string) result
 (** Ask the checker without performing an access. [Ok] when no checker is
-    installed. *)
+    installed. Consults (and fills) the decision cache. *)
 
 val touched_pages : t -> int
 (** Number of 4 KiB pages materialised so far (for tests and footprint

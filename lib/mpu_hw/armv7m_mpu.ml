@@ -2,14 +2,34 @@ let region_count = 8
 let min_region_size = 32
 let min_subregion_region_size = 256
 
+(* Decisions are constant within aligned 32-byte blocks: regions are
+   size-aligned powers of two >= 32 bytes, and subregions are size/8 >= 32
+   bytes. This is the granularity hint handed to the bus decision cache. *)
+let granule_bits = 5
+
+(* Per-region decode of the RBAR/RASR pair, refreshed on every register
+   write so the per-access check never re-extracts bit fields. *)
+type decoded = {
+  d_enabled : bool;
+  d_base : Word32.t;
+  d_size : int;
+  d_srd : int;  (* 0 when the region has no disabled subregions *)
+  d_sub_size : int;  (* size / 8; meaningful only when d_srd <> 0 *)
+  d_ap : int;
+  d_xn : bool;
+}
+
+let decoded_disabled =
+  { d_enabled = false; d_base = 0; d_size = 0; d_srd = 0; d_sub_size = 1; d_ap = 0; d_xn = false }
+
 type t = {
   rbar : Word32.t array;
   rasr : Word32.t array;
+  dec : decoded array;
   mutable ctrl_enable : bool;
+  mutable generation : int;
+  mutable dgran : int;  (* decision granularity of the active config *)
 }
-
-let create () =
-  { rbar = Array.make region_count 0; rasr = Array.make region_count 0; ctrl_enable = false }
 
 (* --- RBAR: ADDR[31:5] | VALID[4] | REGION[3:0] --- *)
 
@@ -55,7 +75,59 @@ let decode_rasr_perms rasr =
   | 0b010 | 0b110 | 0b111 -> Some (if xn then Perms.Read_only else Perms.Read_execute_only)
   | _ -> None
 
+let decode_pair ~rbar ~rasr =
+  if not (decode_rasr_enable rasr) then decoded_disabled
+  else begin
+    let size = decode_rasr_size rasr in
+    {
+      d_enabled = true;
+      d_base = decode_rbar_addr rbar;
+      d_size = size;
+      d_srd = (if size >= min_subregion_region_size then decode_rasr_srd rasr else 0);
+      d_sub_size = (if size >= 8 then size / 8 else 1);
+      d_ap = decode_rasr_ap rasr;
+      d_xn = decode_rasr_xn rasr;
+    }
+  end
+
+(* Coarsest safe decision-cache granularity for the active register file:
+   every region/subregion boundary is aligned to the region's step (the
+   subregion size when SRD is in use, the full size otherwise — bases are
+   size-aligned), so decisions are constant within blocks of the minimum
+   step. Capped at 4 KiB to keep cache indices well distributed. *)
+let max_granule_bits = 12
+
+let decision_granule_bits_of dec =
+  let g = ref max_granule_bits in
+  Array.iter
+    (fun d ->
+      if d.d_enabled then begin
+        let step = if d.d_srd <> 0 then d.d_sub_size else d.d_size in
+        let b = Mach.Math32.log2 step in
+        if b < !g then g := b
+      end)
+    dec;
+  max granule_bits (min max_granule_bits !g)
+
+let create () =
+  {
+    rbar = Array.make region_count 0;
+    rasr = Array.make region_count 0;
+    dec = Array.make region_count decoded_disabled;
+    ctrl_enable = false;
+    generation = 0;
+    dgran = max_granule_bits;
+  }
+
 (* --- register file --- *)
+
+let generation t = t.generation
+let decision_granule_bits t = t.dgran
+
+let refresh t index =
+  t.dec.(index) <- decode_pair ~rbar:t.rbar.(index) ~rasr:t.rasr.(index);
+  t.dgran <- decision_granule_bits_of t.dec;
+  t.generation <- t.generation + 1
 
 let validate ~rbar ~rasr =
   if decode_rasr_enable rasr then begin
@@ -73,18 +145,21 @@ let write_region t ~index ~rbar ~rasr =
   validate ~rbar ~rasr;
   Mach.Cycles.tick ~n:(2 * Mach.Cycles.mpu_reg_write) Mach.Cycles.global;
   t.rbar.(index) <- rbar;
-  t.rasr.(index) <- rasr
+  t.rasr.(index) <- rasr;
+  refresh t index
 
 let clear_region t ~index =
   if index < 0 || index >= region_count then invalid_arg "clear_region: index";
   Mach.Cycles.tick ~n:Mach.Cycles.mpu_reg_write Mach.Cycles.global;
-  t.rasr.(index) <- Word32.set_bit t.rasr.(index) 0 false
+  t.rasr.(index) <- Word32.set_bit t.rasr.(index) 0 false;
+  refresh t index
 
 let read_region t ~index = (t.rbar.(index), t.rasr.(index))
 
 let set_enabled t v =
   Mach.Cycles.tick ~n:Mach.Cycles.mpu_reg_write Mach.Cycles.global;
-  t.ctrl_enable <- v
+  t.ctrl_enable <- v;
+  t.generation <- t.generation + 1
 
 let enabled t = t.ctrl_enable
 
@@ -94,31 +169,21 @@ let enabled t = t.ctrl_enable
    address falls inside its power-of-two block and the covering subregion is
    not disabled. *)
 let region_matches t i a =
-  let rasr = t.rasr.(i) in
-  decode_rasr_enable rasr
-  &&
-  let base = decode_rbar_addr t.rbar.(i) in
-  let size = decode_rasr_size rasr in
-  a >= base
-  && a - base < size
-  &&
-  if size >= min_subregion_region_size then begin
-    let sub = (a - base) / (size / 8) in
-    not (Word32.bit (decode_rasr_srd rasr) sub)
-  end
-  else true
+  let d = t.dec.(i) in
+  d.d_enabled
+  && a - d.d_base >= 0
+  && a - d.d_base < d.d_size
+  && (d.d_srd = 0 || not (Word32.bit d.d_srd ((a - d.d_base) / d.d_sub_size)))
 
-let perm_allows ~privileged rasr access =
-  let ap = decode_rasr_ap rasr in
-  let xn = decode_rasr_xn rasr in
+let perm_allows_dec ~privileged d access =
   let readable, writable =
     if privileged then
-      match ap with
+      match d.d_ap with
       | 0b001 | 0b010 | 0b011 -> (true, true)
       | 0b101 | 0b110 | 0b111 -> (true, false)
       | _ -> (false, false)
     else
-      match ap with
+      match d.d_ap with
       | 0b011 -> (true, true)
       | 0b010 | 0b110 | 0b111 -> (true, false)
       | _ -> (false, false)
@@ -126,7 +191,7 @@ let perm_allows ~privileged rasr access =
   match access with
   | Perms.Read -> readable
   | Perms.Write -> writable
-  | Perms.Execute -> readable && not xn
+  | Perms.Execute -> readable && not d.d_xn
 
 let check_access t ~privileged a access =
   if not t.ctrl_enable then Ok ()
@@ -135,7 +200,7 @@ let check_access t ~privileged a access =
     let rec find i = if i < 0 then None else if region_matches t i a then Some i else find (i - 1) in
     match find (region_count - 1) with
     | Some i ->
-      if perm_allows ~privileged t.rasr.(i) access then Ok ()
+      if perm_allows_dec ~privileged t.dec.(i) access then Ok ()
       else
         Error
           (Printf.sprintf "mpu: %s access to %s denied by region %d"
@@ -181,7 +246,14 @@ let accessible_ranges t access =
   in
   intervals [] points
 
-let checker t ~cpu_privileged a access = check_access t ~privileged:(cpu_privileged ()) a access
+let checker t ~cpu_privileged =
+  {
+    Memory.check =
+      (fun a access -> check_access t ~privileged:(cpu_privileged ()) a access);
+    generation = (fun () -> t.generation);
+    privilege = (fun () -> if cpu_privileged () then 1 else 0);
+    granule_bits = (fun () -> t.dgran);
+  }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>MPU ctrl.enable=%b@," t.ctrl_enable;

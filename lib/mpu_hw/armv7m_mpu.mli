@@ -29,6 +29,17 @@ val min_region_size : int
 val min_subregion_region_size : int
 (** 256 bytes: below this, SRD must be zero (no subregion support). *)
 
+val granule_bits : int
+(** log2 of the finest granularity at which an access decision can ever
+    change: 5 (32 bytes), because regions are size-aligned powers of two
+    >= 32 and subregions are size/8 >= 32. *)
+
+val decision_granule_bits : t -> int
+(** The granularity of the {e active} configuration — the minimum
+    region/subregion step of the enabled regions (>= {!granule_bits},
+    capped at 4 KiB). Handed to the bus decision cache and kept current on
+    every register write. *)
+
 val create : unit -> t
 
 (** {1 Register encoding helpers}
@@ -77,6 +88,11 @@ val set_enabled : t -> bool -> unit
 
 val enabled : t -> bool
 
+val generation : t -> int
+(** Configuration generation: bumped by every {!write_region},
+    {!clear_region} and {!set_enabled}, so cached access decisions can be
+    invalidated wholesale the moment the register file changes. *)
+
 (** {1 Access semantics} *)
 
 val check_access :
@@ -89,8 +105,9 @@ val accessible_ranges : t -> Perms.access -> Range.t list
     the verifier to compare hardware-enforced layout against the kernel's
     logical view. *)
 
-val checker : t -> cpu_privileged:(unit -> bool) -> Word32.t -> Perms.access -> (unit, string) result
+val checker : t -> cpu_privileged:(unit -> bool) -> Memory.checker
 (** Adapter for {!Mach.Memory.set_checker}: consults the live CPU privilege
-    state on each access. *)
+    state on each access, and exposes the generation counter and 32-byte
+    granularity so the bus may cache allow decisions. *)
 
 val pp : Format.formatter -> t -> unit

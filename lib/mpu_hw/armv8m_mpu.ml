@@ -1,14 +1,28 @@
 let region_count = 8
 let granule = 32
 
+(* Base and limit are both 32-byte aligned, so decisions are constant
+   within aligned 32-byte blocks — the bus decision-cache granularity. *)
+let granule_bits = 5
+
 type t = {
   rbar : Word32.t array;
   rlar : Word32.t array;
   mutable ctrl_enable : bool;
+  mutable generation : int;
+  mutable dgran : int;  (* decision granularity of the active config *)
 }
 
+let max_granule_bits = 12
+
 let create () =
-  { rbar = Array.make region_count 0; rlar = Array.make region_count 0; ctrl_enable = false }
+  {
+    rbar = Array.make region_count 0;
+    rlar = Array.make region_count 0;
+    ctrl_enable = false;
+    generation = 0;
+    dgran = max_granule_bits;
+  }
 
 (* AP[2:1] (v8 encoding): 00 priv RW only; 01 RW any; 10 priv RO only;
    11 RO any.  XN is bit 0. *)
@@ -42,6 +56,23 @@ let decode_rbar_perms rbar =
 let decode_rlar_limit rlar = rlar lor (granule - 1)
 let decode_rlar_enable rlar = Word32.bit rlar 0
 
+(* Boundaries of enabled regions are base and limit+1, both 32-byte
+   aligned at minimum; decisions are constant between boundaries, so the
+   cache granule is the minimum boundary alignment (capped at 4 KiB). *)
+let refresh_granule t =
+  let g = ref max_granule_bits in
+  for i = 0 to region_count - 1 do
+    if decode_rlar_enable t.rlar.(i) then begin
+      let note a =
+        let b = Math32.trailing_zero_bits a in
+        if b < !g then g := b
+      in
+      note (decode_rbar_base t.rbar.(i));
+      note (decode_rlar_limit t.rlar.(i) + 1)
+    end
+  done;
+  t.dgran <- max granule_bits (min max_granule_bits !g)
+
 let write_region t ~index ~rbar ~rasr =
   if index < 0 || index >= region_count then invalid_arg "write_region: index";
   let rlar = rasr in
@@ -49,20 +80,27 @@ let write_region t ~index ~rbar ~rasr =
     invalid_arg "mpu v8: limit below base";
   Cycles.tick ~n:(2 * Cycles.mpu_reg_write) Cycles.global;
   t.rbar.(index) <- rbar;
-  t.rlar.(index) <- rlar
+  t.rlar.(index) <- rlar;
+  refresh_granule t;
+  t.generation <- t.generation + 1
 
 let clear_region t ~index =
   if index < 0 || index >= region_count then invalid_arg "clear_region: index";
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
-  t.rlar.(index) <- Word32.set_bit t.rlar.(index) 0 false
+  t.rlar.(index) <- Word32.set_bit t.rlar.(index) 0 false;
+  refresh_granule t;
+  t.generation <- t.generation + 1
 
 let read_region t ~index = (t.rbar.(index), t.rlar.(index))
 
 let set_enabled t v =
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
-  t.ctrl_enable <- v
+  t.ctrl_enable <- v;
+  t.generation <- t.generation + 1
 
 let enabled t = t.ctrl_enable
+let generation t = t.generation
+let decision_granule_bits t = t.dgran
 
 let region_matches t i a =
   decode_rlar_enable t.rlar.(i)
@@ -91,24 +129,29 @@ let perm_allows ~privileged rbar access =
 let check_access t ~privileged a access =
   if not t.ctrl_enable then Ok ()
   else begin
-    let matches =
-      List.filter (fun i -> region_matches t i a) (List.init region_count Fun.id)
-    in
-    match matches with
-    | [ i ] ->
+    (* Allocation-free match walk: this runs per byte on the bus slow path. *)
+    let first = ref (-1) and count = ref 0 in
+    for i = 0 to region_count - 1 do
+      if region_matches t i a then begin
+        if !first < 0 then first := i;
+        incr count
+      end
+    done;
+    if !count > 1 then
+      (* PMSAv8: overlapping enabled regions fault, even for privileged
+         access with PRIVDEFENA — overlap is a configuration bug. *)
+      Error (Printf.sprintf "mpu v8: overlapping regions at %s" (Word32.to_hex a))
+    else if !count = 1 then begin
+      let i = !first in
       if perm_allows ~privileged t.rbar.(i) access then Ok ()
       else
         Error
           (Printf.sprintf "mpu v8: %s access to %s denied by region %d"
              (match access with Perms.Read -> "read" | Write -> "write" | Execute -> "execute")
              (Word32.to_hex a) i)
-    | [] ->
-      if privileged then Ok ()
-      else Error (Printf.sprintf "mpu v8: no region covers %s" (Word32.to_hex a))
-    | _ :: _ :: _ ->
-      (* PMSAv8: overlapping enabled regions fault, even for privileged
-         access with PRIVDEFENA — overlap is a configuration bug. *)
-      Error (Printf.sprintf "mpu v8: overlapping regions at %s" (Word32.to_hex a))
+    end
+    else if privileged then Ok ()
+    else Error (Printf.sprintf "mpu v8: no region covers %s" (Word32.to_hex a))
   end
 
 let accessible_ranges t access =
@@ -136,7 +179,14 @@ let accessible_ranges t access =
   in
   intervals [] points
 
-let checker t ~cpu_privileged a access = check_access t ~privileged:(cpu_privileged ()) a access
+let checker t ~cpu_privileged =
+  {
+    Memory.check =
+      (fun a access -> check_access t ~privileged:(cpu_privileged ()) a access);
+    generation = (fun () -> t.generation);
+    privilege = (fun () -> if cpu_privileged () then 1 else 0);
+    granule_bits = (fun () -> t.dgran);
+  }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>MPUv8 ctrl.enable=%b@," t.ctrl_enable;

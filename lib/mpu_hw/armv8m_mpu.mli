@@ -22,6 +22,14 @@ val region_count : int
 val granule : int
 (** 32 bytes. *)
 
+val granule_bits : int
+(** log2 {!granule}: the finest granularity a configuration can express. *)
+
+val decision_granule_bits : t -> int
+(** Granularity of the {e active} configuration — minimum alignment of the
+    enabled regions' boundaries (>= {!granule_bits}, capped at 4 KiB).
+    Handed to the bus decision cache; kept current on register writes. *)
+
 val create : unit -> t
 
 (** {1 Register encoding} *)
@@ -54,6 +62,10 @@ val read_region : t -> index:int -> Word32.t * Word32.t
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 
+val generation : t -> int
+(** Configuration generation: bumped by every register write, so the bus
+    decision cache can invalidate stale allow decisions wholesale. *)
+
 (** {1 Access semantics} *)
 
 val check_access :
@@ -63,7 +75,9 @@ val check_access :
 
 val accessible_ranges : t -> Perms.access -> Range.t list
 
-val checker :
-  t -> cpu_privileged:(unit -> bool) -> Word32.t -> Perms.access -> (unit, string) result
+val checker : t -> cpu_privileged:(unit -> bool) -> Memory.checker
+(** Adapter for {!Mach.Memory.set_checker}: consults the live CPU privilege
+    state per access and exposes generation + 32-byte granularity for the
+    bus decision cache. *)
 
 val pp : Format.formatter -> t -> unit

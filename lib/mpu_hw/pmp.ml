@@ -41,49 +41,37 @@ type t = {
   chip : chip;
   cfg : int array;
   addr : Word32.t array;
+  ranges : Range.t option array;  (* memoized per-entry decode *)
   mutable mmwp : bool;
   mutable mml : bool;
+  mutable generation : int;
+  mutable dgran : int;  (* decision granularity of the active config *)
 }
+
+let max_granule_bits = 12
 
 let create chip =
   {
     chip;
     cfg = Array.make chip.entry_count 0;
     addr = Array.make chip.entry_count 0;
+    ranges = Array.make chip.entry_count None;
     mmwp = false;
     mml = false;
+    generation = 0;
+    dgran = max_granule_bits;
   }
 
 let chip t = t.chip
+let generation t = t.generation
 
-let set_entry t ~index ~cfg ~addr =
-  if index < 0 || index >= t.chip.entry_count then invalid_arg "set_entry: index";
-  if decode_cfg_lock t.cfg.(index) then invalid_arg "set_entry: entry locked";
-  Cycles.tick ~n:(2 * Cycles.mpu_reg_write) Cycles.global;
-  t.cfg.(index) <- cfg land 0xff;
-  t.addr.(index) <- Word32.of_int addr
+(* PMP decisions can change at NA4 granularity (and TOR bounds are
+   pmpaddr << 2, i.e. 4-byte aligned), so 4 bytes is the finest block the
+   decision cache may ever treat as uniform. *)
+let granule_bits t = Math32.log2 t.chip.granularity
+let decision_granule_bits t = t.dgran
 
-let clear_entry t ~index =
-  if index < 0 || index >= t.chip.entry_count then invalid_arg "clear_entry: index";
-  if decode_cfg_lock t.cfg.(index) then invalid_arg "clear_entry: entry locked";
-  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
-  t.cfg.(index) <- 0
-
-let read_entry t ~index = (t.cfg.(index), t.addr.(index))
-
-let set_mmwp t v =
-  if not t.chip.epmp then invalid_arg "set_mmwp: chip has no ePMP";
-  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
-  t.mmwp <- v
-
-let set_mml t v =
-  if not t.chip.epmp then invalid_arg "set_mml: chip has no ePMP";
-  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
-  t.mml <- v
-
-let mml t = t.mml
-
-let entry_range t i =
+let decode_entry_range t i =
   match decode_cfg_mode t.cfg.(i) with
   | Off -> None
   | Na4 -> Some (Range.make ~start:(t.addr.(i) lsl 2 land Word32.mask) ~size:4)
@@ -99,6 +87,59 @@ let entry_range t i =
     let size = 1 lsl (ones + 3) in
     let base = (a land lnot ((1 lsl (ones + 1)) - 1)) lsl 2 land Word32.mask in
     Some (Range.make_checked ~start:base ~size |> Option.value ~default:Range.empty)
+
+(* A pmpaddr write moves the bound of the *next* TOR entry too, so refresh
+   the whole (small) table on any register write. Decisions are constant
+   between entry boundaries, so the cache granule is the minimum boundary
+   alignment of the active entries (capped at 4 KiB). *)
+let refresh t =
+  let g = ref max_granule_bits in
+  for i = 0 to t.chip.entry_count - 1 do
+    t.ranges.(i) <- decode_entry_range t i;
+    match t.ranges.(i) with
+    | Some r when not (Range.is_empty r) ->
+      let note a =
+        let b = Math32.trailing_zero_bits a in
+        if b < !g then g := b
+      in
+      note (Range.start r);
+      note (Range.end_ r)
+    | Some _ | None -> ()
+  done;
+  t.dgran <- max (Math32.log2 t.chip.granularity) (min max_granule_bits !g);
+  t.generation <- t.generation + 1
+
+let set_entry t ~index ~cfg ~addr =
+  if index < 0 || index >= t.chip.entry_count then invalid_arg "set_entry: index";
+  if decode_cfg_lock t.cfg.(index) then invalid_arg "set_entry: entry locked";
+  Cycles.tick ~n:(2 * Cycles.mpu_reg_write) Cycles.global;
+  t.cfg.(index) <- cfg land 0xff;
+  t.addr.(index) <- Word32.of_int addr;
+  refresh t
+
+let clear_entry t ~index =
+  if index < 0 || index >= t.chip.entry_count then invalid_arg "clear_entry: index";
+  if decode_cfg_lock t.cfg.(index) then invalid_arg "clear_entry: entry locked";
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.cfg.(index) <- 0;
+  refresh t
+
+let read_entry t ~index = (t.cfg.(index), t.addr.(index))
+
+let set_mmwp t v =
+  if not t.chip.epmp then invalid_arg "set_mmwp: chip has no ePMP";
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.mmwp <- v;
+  t.generation <- t.generation + 1
+
+let set_mml t v =
+  if not t.chip.epmp then invalid_arg "set_mml: chip has no ePMP";
+  Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  t.mml <- v;
+  t.generation <- t.generation + 1
+
+let mml t = t.mml
+let entry_range t i = t.ranges.(i)
 
 let entry_allows cfg access =
   match access with
@@ -164,8 +205,14 @@ let accessible_ranges t access =
   in
   intervals [] points
 
-let checker t ~cpu_machine_mode a access =
-  check_access t ~machine_mode:(cpu_machine_mode ()) a access
+let checker t ~cpu_machine_mode =
+  {
+    Memory.check =
+      (fun a access -> check_access t ~machine_mode:(cpu_machine_mode ()) a access);
+    generation = (fun () -> t.generation);
+    privilege = (fun () -> if cpu_machine_mode () then 1 else 0);
+    granule_bits = (fun () -> t.dgran);
+  }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>PMP %s mmwp=%b@," t.chip.chip_name t.mmwp;

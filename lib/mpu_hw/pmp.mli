@@ -81,8 +81,22 @@ val set_mml : t -> bool -> unit
 
 val mml : t -> bool
 
+val generation : t -> int
+(** Configuration generation: bumped by every pmpcfg/pmpaddr/mseccfg write,
+    so the bus decision cache can invalidate stale allow decisions. *)
+
+val granule_bits : t -> int
+(** log2 of the chip's PMP granularity (4 bytes on all modeled chips): the
+    finest granularity a configuration can express. *)
+
+val decision_granule_bits : t -> int
+(** Granularity of the {e active} configuration — minimum boundary
+    alignment of the programmed entries (>= {!granule_bits}, capped at
+    4 KiB). Handed to the bus decision cache; kept current on writes. *)
+
 val entry_range : t -> int -> Range.t option
-(** Decoded address range an entry matches, [None] for OFF entries. *)
+(** Decoded address range an entry matches, [None] for OFF entries.
+    Memoized: recomputed on register writes, not per access. *)
 
 val check_access :
   t -> machine_mode:bool -> Word32.t -> Perms.access -> (unit, string) result
@@ -90,6 +104,9 @@ val check_access :
 val accessible_ranges : t -> Perms.access -> Range.t list
 (** Maximal ranges a U-mode access of the given kind may touch. *)
 
-val checker : t -> cpu_machine_mode:(unit -> bool) -> Word32.t -> Perms.access -> (unit, string) result
+val checker : t -> cpu_machine_mode:(unit -> bool) -> Memory.checker
+(** Adapter for {!Mach.Memory.set_checker}: consults the live M/U mode per
+    access and exposes generation + 4-byte granularity for the bus
+    decision cache. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Minimal CI: build, run the full test suite, then smoke-test the bus
+# fast path — the decision cache must actually hit and actually speed the
+# checked bus up, and the deterministic experiments must not move.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest --force
+
+# Bus smoke: a short run (BUS_ITERS keeps CI fast) that still exercises
+# unchecked/cached/uncached on all three architectures and writes
+# BENCH_bus.json; fail if the cache is cold or the speedup is gone.
+BUS_ITERS=${BUS_ITERS:-100000} dune exec bench/main.exe -- bus
+python3 - <<'EOF'
+import json
+with open("BENCH_bus.json") as f:
+    data = json.load(f)
+for row in data["archs"]:
+    assert row["hit_rate"] > 0.9, f"{row['arch']}: decision cache cold ({row['hit_rate']})"
+    assert row["speedup"] > 2.0, f"{row['arch']}: fast path regressed ({row['speedup']}x)"
+print("bus smoke ok:", ", ".join(f"{r['arch']} {r['speedup']}x @ {r['hit_rate']:.0%}" for r in data["archs"]))
+EOF
+
+# The fast path must be invisible to the modeled experiments: fig11 and
+# difftest are deterministic in model cycles, so two runs must agree and
+# any host-side caching change shows up here as a diff.
+dune exec bench/main.exe -- fig11 difftest > /tmp/ci_bus_a.txt
+dune exec bench/main.exe -- fig11 difftest > /tmp/ci_bus_b.txt
+diff /tmp/ci_bus_a.txt /tmp/ci_bus_b.txt
+echo "ci ok"

@@ -1,0 +1,246 @@
+(* The bus fast path: word-level pages and the MPU access-decision cache
+   (micro-TLB). The load-bearing property is *invalidation*: a cached allow
+   decision must die the instant the MPU register file or the privilege
+   level changes — otherwise the cache would be an isolation hole, not an
+   optimisation. *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let expect_fault ?addr name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Access_fault" name
+  | exception Memory.Access_fault fault ->
+    (match addr with
+    | Some a -> check_int (name ^ ": faulting address") a fault.Memory.fault_addr
+    | None -> ())
+
+(* --- word fast path is just a faster bus, not a different one --- *)
+
+let test_word_fast_path_equivalence () =
+  let m = Memory.create () in
+  (* aligned word then byte view *)
+  Memory.write32 m 0x2000_0000 0xA1B2_C3D4;
+  check_int "lsb" 0xD4 (Memory.read8 m 0x2000_0000);
+  check_int "msb" 0xA1 (Memory.read8 m 0x2000_0003);
+  (* bytes then aligned word view *)
+  Memory.write8 m 0x2000_0010 0x78;
+  Memory.write8 m 0x2000_0011 0x56;
+  Memory.write8 m 0x2000_0012 0x34;
+  Memory.write8 m 0x2000_0013 0x12;
+  check_int "assembled" 0x1234_5678 (Memory.read32 m 0x2000_0010);
+  (* unaligned word crossing a page boundary, both directions *)
+  Memory.write32 m 0x2000_0FFD 0xCAFE_F00D;
+  check_int "unaligned cross-page" 0xCAFE_F00D (Memory.read32 m 0x2000_0FFD);
+  check_int "last byte landed on next page" 0xCA (Memory.read8 m 0x2000_1000)
+
+let test_fetch16_fast_path () =
+  let m = Memory.create () in
+  Memory.write32 m 0x0002_0000 0xBEEF_4770;
+  check_int "low halfword" 0x4770 (Memory.fetch16 m 0x0002_0000);
+  check_int "high halfword" 0xBEEF (Memory.fetch16 m 0x0002_0002);
+  (* straddling a page boundary *)
+  Memory.write8 m 0x0002_0FFF 0xAA;
+  Memory.write8 m 0x0002_1000 0xBB;
+  check_int "page-straddling halfword" 0xBBAA (Memory.fetch16 m 0x0002_0FFF)
+
+(* --- ARMv7-M: register writes invalidate cached decisions --- *)
+
+let arm_unprivileged () =
+  let m = Machine.create_arm () in
+  (* CONTROL.nPRIV = 1 in thread mode: the MPU gates every checked access *)
+  Fluxarm.Cpu.set_special_raw m.Machine.arm_cpu Fluxarm.Regs.Control 1;
+  m
+
+let grant_v7 mpu ~index ~base ~size perms =
+  Mpu_hw.Armv7m_mpu.write_region mpu ~index
+    ~rbar:(Mpu_hw.Armv7m_mpu.encode_rbar ~addr:base ~region:index)
+    ~rasr:(Mpu_hw.Armv7m_mpu.encode_rasr ~enable:true ~size ~srd:0 ~perms)
+
+let test_v7_rasr_rewrite_revokes () =
+  let m = arm_unprivileged () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let base = 0x2000_0000 in
+  grant_v7 mpu ~index:0 ~base ~size:4096 Perms.Read_write_only;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  (* warm the decision cache: repeated stores hit the cached allow *)
+  Memory.store32 mem base 0x1111_1111;
+  Memory.store32 mem base 0x2222_2222;
+  let hits, _ = Memory.cache_stats mem in
+  check_bool "second store hit the decision cache" true (hits > 0);
+  (* the kernel reprograms RBAR/RASR to read-only: the very next store
+     must fault — no stale allow may survive the register write *)
+  grant_v7 mpu ~index:0 ~base ~size:4096 Perms.Read_only;
+  expect_fault "store after downgrade" ~addr:base (fun () -> Memory.store32 mem base 0);
+  check_int "memory unchanged by denied store" 0x2222_2222 (Memory.read32 mem base);
+  check_int "reads still allowed" 0x2222_2222 (Memory.load32 mem base)
+
+let test_v7_clear_region_revokes () =
+  let m = arm_unprivileged () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let base = 0x2000_0000 in
+  grant_v7 mpu ~index:0 ~base ~size:4096 Perms.Read_write_only;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  check_int "load allowed" 0 (Memory.load32 mem base);
+  check_int "load allowed again (cached)" 0 (Memory.load32 mem base);
+  Mpu_hw.Armv7m_mpu.clear_region mpu ~index:0;
+  expect_fault "load after clear_region" ~addr:base (fun () ->
+      ignore (Memory.load32 mem base))
+
+let test_v7_ctrl_toggle_revokes () =
+  let m = arm_unprivileged () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  (* MPU disabled: everything goes — and gets cached *)
+  check_int "disabled mpu allows" 0 (Memory.load32 mem 0x2000_0000);
+  check_int "disabled mpu allows again" 0 (Memory.load32 mem 0x2000_0000);
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  (* no region covers the address: the CTRL write must invalidate *)
+  expect_fault "load after CTRL.ENABLE" (fun () -> ignore (Memory.load32 mem 0x2000_0000))
+
+let test_v7_privilege_keys_the_cache () =
+  let m = Machine.create_arm () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let cpu = m.Machine.arm_cpu in
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  (* privileged: PRIVDEFENA background map allows the access — and caches
+     the decision under privilege level 1 *)
+  check_int "privileged background access" 0 (Memory.load32 mem 0x2000_0000);
+  check_int "privileged access again (cached)" 0 (Memory.load32 mem 0x2000_0000);
+  (* drop privilege with *no* MPU register write in between: the cached
+     privileged allow must not leak to the unprivileged access *)
+  Fluxarm.Cpu.set_special_raw cpu Fluxarm.Regs.Control 1;
+  expect_fault "unprivileged access after transition" (fun () ->
+      ignore (Memory.load32 mem 0x2000_0000));
+  (* handler entry re-privileges: allowed again, no register write needed *)
+  Fluxarm.Cpu.set_mode cpu Fluxarm.Cpu.Handler;
+  check_int "handler-mode access" 0 (Memory.load32 mem 0x2000_0000)
+
+(* --- ARMv8-M --- *)
+
+let test_v8_rewrite_revokes () =
+  let m = Machine.create_arm_v8 () in
+  Fluxarm.Cpu.set_special_raw m.Machine.v8_cpu Fluxarm.Regs.Control 1;
+  let mem = m.Machine.v8_mem and mpu = m.Machine.v8_mpu in
+  let base = 0x2000_0000 in
+  Mpu_hw.Armv8m_mpu.write_region mpu ~index:0
+    ~rbar:(Mpu_hw.Armv8m_mpu.encode_rbar ~base ~perms:Perms.Read_write_only)
+    ~rasr:(Mpu_hw.Armv8m_mpu.encode_rlar ~limit:(base + 4095) ~enable:true);
+  Mpu_hw.Armv8m_mpu.set_enabled mpu true;
+  Memory.store32 mem base 0xFEED_FACE;
+  Memory.store32 mem base 0xFEED_FACE;
+  Mpu_hw.Armv8m_mpu.write_region mpu ~index:0
+    ~rbar:(Mpu_hw.Armv8m_mpu.encode_rbar ~base ~perms:Perms.Read_only)
+    ~rasr:(Mpu_hw.Armv8m_mpu.encode_rlar ~limit:(base + 4095) ~enable:true);
+  expect_fault "store after RBAR downgrade" ~addr:base (fun () ->
+      Memory.store32 mem base 0);
+  check_int "reads survive" 0xFEED_FACE (Memory.load32 mem base)
+
+(* --- PMP --- *)
+
+let test_pmp_revocation () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
+  let mem = m.Machine.rv_mem and pmp = m.Machine.rv_pmp in
+  m.Machine.rv_machine_mode := false;
+  let base = 0x2000_0000 in
+  Mpu_hw.Pmp.set_entry pmp ~index:0
+    ~cfg:(Mpu_hw.Pmp.cfg_of_perms Perms.Read_write_only ~mode:Mpu_hw.Pmp.Napot)
+    ~addr:(Mpu_hw.Pmp.napot_addr ~start:base ~size:4096);
+  Memory.store32 mem base 0xABCD_EF01;
+  check_int "pmp read" 0xABCD_EF01 (Memory.load32 mem base);
+  check_int "pmp read again (cached)" 0xABCD_EF01 (Memory.load32 mem base);
+  (* pmpcfg rewrite to read-only: the next store must fault *)
+  Mpu_hw.Pmp.set_entry pmp ~index:0
+    ~cfg:(Mpu_hw.Pmp.cfg_of_perms Perms.Read_only ~mode:Mpu_hw.Pmp.Napot)
+    ~addr:(Mpu_hw.Pmp.napot_addr ~start:base ~size:4096);
+  expect_fault "store after pmpcfg downgrade" ~addr:base (fun () ->
+      Memory.store32 mem base 0);
+  (* and clearing the entry revokes everything *)
+  Mpu_hw.Pmp.clear_entry pmp ~index:0;
+  expect_fault "load after clear_entry" ~addr:base (fun () ->
+      ignore (Memory.load32 mem base))
+
+let test_pmp_mode_switch_keys_the_cache () =
+  let m = Machine.create_riscv Mpu_hw.Pmp.earlgrey in
+  let mem = m.Machine.rv_mem and pmp = m.Machine.rv_pmp in
+  Mpu_hw.Pmp.set_mmwp pmp false;
+  (* machine mode with no matching entry: allowed, cached under M *)
+  check_int "machine-mode access" 0 (Memory.load32 mem 0x2000_0000);
+  check_int "machine-mode access again" 0 (Memory.load32 mem 0x2000_0000);
+  (* context switch to U mode — a privilege flip, no CSR write *)
+  m.Machine.rv_machine_mode := false;
+  expect_fault "user-mode access after switch" (fun () ->
+      ignore (Memory.load32 mem 0x2000_0000))
+
+(* --- the cache is an optimisation, not a semantic: stateful checkers --- *)
+
+let test_fn_checkers_are_never_cached () =
+  let m = Memory.create () in
+  let allow = ref true in
+  Memory.set_checker_fn m
+    (Some (fun _ _ -> if !allow then Ok () else Error "flipped"));
+  check_int "allowed while open" 0 (Memory.load32 m 0x1000);
+  check_int "allowed again" 0 (Memory.load32 m 0x1000);
+  allow := false;
+  expect_fault "stateful flip respected immediately" ~addr:0x1000 (fun () ->
+      ignore (Memory.load32 m 0x1000))
+
+(* --- dynamic decision granularity --- *)
+
+let test_decision_granularity_tracks_config () =
+  let mpu = Mpu_hw.Armv7m_mpu.create () in
+  (* nothing enabled: coarsest (4 KiB cap) *)
+  check_int "idle granule" 12 (Mpu_hw.Armv7m_mpu.decision_granule_bits mpu);
+  (* one 64 KiB region without SRD: boundaries 64 KiB apart, capped at 12 *)
+  Mpu_hw.Armv7m_mpu.write_region mpu ~index:0
+    ~rbar:(Mpu_hw.Armv7m_mpu.encode_rbar ~addr:0x2000_0000 ~region:0)
+    ~rasr:
+      (Mpu_hw.Armv7m_mpu.encode_rasr ~enable:true ~size:65536 ~srd:0
+         ~perms:Perms.Read_write_only);
+  check_int "64K region granule" 12 (Mpu_hw.Armv7m_mpu.decision_granule_bits mpu);
+  (* a 256-byte region with SRD in use: subregions are 32 bytes *)
+  Mpu_hw.Armv7m_mpu.write_region mpu ~index:1
+    ~rbar:(Mpu_hw.Armv7m_mpu.encode_rbar ~addr:0x2001_0000 ~region:1)
+    ~rasr:
+      (Mpu_hw.Armv7m_mpu.encode_rasr ~enable:true ~size:256 ~srd:0x81
+         ~perms:Perms.Read_only);
+  check_int "srd granule" 5 (Mpu_hw.Armv7m_mpu.decision_granule_bits mpu);
+  let pmp = Mpu_hw.Pmp.create Mpu_hw.Pmp.sifive_e310 in
+  check_int "idle pmp granule" 12 (Mpu_hw.Pmp.decision_granule_bits pmp);
+  Mpu_hw.Pmp.set_entry pmp ~index:0
+    ~cfg:(Mpu_hw.Pmp.cfg_of_perms Perms.Read_only ~mode:Mpu_hw.Pmp.Na4)
+    ~addr:(0x2000_0004 lsr 2);
+  check_int "na4 granule" 2 (Mpu_hw.Pmp.decision_granule_bits pmp)
+
+let test_cache_stats_count () =
+  let m = arm_unprivileged () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  grant_v7 mpu ~index:0 ~base:0x2000_0000 ~size:4096 Perms.Read_write_only;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  Memory.reset_cache_stats mem;
+  for _ = 1 to 10 do
+    ignore (Memory.load32 mem 0x2000_0000)
+  done;
+  let hits, misses = Memory.cache_stats mem in
+  check_int "one cold miss" 1 misses;
+  check_int "nine warm hits" 9 hits
+
+let suite =
+  [
+    Alcotest.test_case "word fast path = byte path" `Quick test_word_fast_path_equivalence;
+    Alcotest.test_case "fetch16 fast path" `Quick test_fetch16_fast_path;
+    Alcotest.test_case "v7: RASR rewrite revokes cached allow" `Quick
+      test_v7_rasr_rewrite_revokes;
+    Alcotest.test_case "v7: clear_region revokes" `Quick test_v7_clear_region_revokes;
+    Alcotest.test_case "v7: CTRL toggle revokes" `Quick test_v7_ctrl_toggle_revokes;
+    Alcotest.test_case "v7: privilege keys the cache" `Quick test_v7_privilege_keys_the_cache;
+    Alcotest.test_case "v8: RBAR rewrite revokes" `Quick test_v8_rewrite_revokes;
+    Alcotest.test_case "pmp: pmpcfg rewrite + clear revoke" `Quick test_pmp_revocation;
+    Alcotest.test_case "pmp: M/U switch keys the cache" `Quick
+      test_pmp_mode_switch_keys_the_cache;
+    Alcotest.test_case "fn checkers never cached" `Quick test_fn_checkers_are_never_cached;
+    Alcotest.test_case "decision granularity tracks config" `Quick
+      test_decision_granularity_tracks_config;
+    Alcotest.test_case "cache stats" `Quick test_cache_stats_count;
+  ]

@@ -37,7 +37,7 @@ let deny_writes _addr access =
 
 let test_checker_applies () =
   let m = Memory.create () in
-  Memory.set_checker m (Some deny_writes);
+  Memory.set_checker_fn m (Some deny_writes);
   Alcotest.(check bool) "checker installed" true (Memory.checker_enabled m);
   check_int "load allowed" 0 (Memory.load8 m 0x2000_0000);
   Alcotest.check_raises "store denied"
@@ -49,7 +49,7 @@ let test_checker_word_granularity () =
   (* A 4-byte store faults if any covered byte is denied. *)
   let m = Memory.create () in
   let deny_byte addr _ = if addr = 0x2000_0003 then Error "hole" else Ok () in
-  Memory.set_checker m (Some deny_byte);
+  Memory.set_checker_fn m (Some deny_byte);
   (try
      Memory.store32 m 0x2000_0000 0xFFFF_FFFF;
      Alcotest.fail "expected fault on covered byte"
@@ -59,7 +59,7 @@ let test_checker_word_granularity () =
 
 let test_raw_bypasses_checker () =
   let m = Memory.create () in
-  Memory.set_checker m (Some (fun _ _ -> Error "deny all"));
+  Memory.set_checker_fn m (Some (fun _ _ -> Error "deny all"));
   (* raw accesses model DMA / kernel: never checked *)
   Memory.write8 m 0x2000_0000 7;
   check_int "raw read" 7 (Memory.read8 m 0x2000_0000)
@@ -67,7 +67,7 @@ let test_raw_bypasses_checker () =
 let test_fetch_checked_as_execute () =
   let m = Memory.create () in
   let record = ref None in
-  Memory.set_checker m
+  Memory.set_checker_fn m
     (Some
        (fun _ access ->
          record := Some access;
@@ -77,8 +77,8 @@ let test_fetch_checked_as_execute () =
 
 let test_checker_removal () =
   let m = Memory.create () in
-  Memory.set_checker m (Some (fun _ _ -> Error "deny"));
-  Memory.set_checker m None;
+  Memory.set_checker_fn m (Some (fun _ _ -> Error "deny"));
+  Memory.set_checker_fn m None;
   check_int "unchecked after removal" 0 (Memory.load8 m 0x1000)
 
 let suite =
