@@ -169,7 +169,38 @@ let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
       List.length (List.filter (fun p -> k.Instance.proc_exit p <> None) fuzz_pids);
   }
 
-(** Fuzz many seeds; returns (rounds, panics). *)
+let jobs () =
+  match Sys.getenv_opt "TICKTOCK_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Stdlib.Domain.recommended_domain_count ())
+  | None -> Stdlib.Domain.recommended_domain_count ()
+
+(** Fuzz many seeds; returns (rounds, panics).
+
+    Rounds are independent — each builds its own kernel instance and a
+    deterministic per-seed RNG, and the cycle counter is domain-local — so
+    they fan out across [TICKTOCK_JOBS] domains (default
+    [Domain.recommended_domain_count ()]). Worker [w] takes seeds
+    [w+1, w+1+jobs, ...] round-robin and the merge sorts by seed, so the
+    result is byte-identical to a sequential run regardless of job count
+    or scheduling. *)
 let campaign ?(seeds = 20) ?fuzzers ?steps (make : unit -> Instance.t) =
-  let rounds = List.init seeds (fun i -> run_round ?fuzzers ?steps ~seed:(i + 1) make) in
+  let jobs = min (jobs ()) seeds in
+  let rounds =
+    if jobs <= 1 then List.init seeds (fun i -> run_round ?fuzzers ?steps ~seed:(i + 1) make)
+    else begin
+      let worker w () =
+        let rec go i acc =
+          if i >= seeds then List.rev acc
+          else go (i + jobs) (run_round ?fuzzers ?steps ~seed:(i + 1) make :: acc)
+        in
+        go w []
+      in
+      List.init jobs (fun w -> Stdlib.Domain.spawn (worker w))
+      |> List.concat_map Stdlib.Domain.join
+      |> List.sort (fun a b -> compare a.fuzz_seed b.fuzz_seed)
+    end
+  in
   (rounds, List.filter (fun r -> r.kernel_panic <> None) rounds)

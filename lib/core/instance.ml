@@ -36,4 +36,7 @@ type t = {
   hooks : unit -> Hooks.t;
   console : unit -> string;
   ticks : unit -> int;
+  icache_stats : unit -> Fluxarm.Icache.stats option;
+  (** Decode/block-cache statistics of the switcher's CPU; [None] when the
+      configuration has no machine-code CPU (the RISC-V [Sim_switch]). *)
 }

@@ -801,5 +801,11 @@ module Make (MM : Mm.S) = struct
       hooks = (fun () -> t.hooks);
       console = (fun () -> console_output t);
       ticks = (fun () -> t.ticks);
+      icache_stats =
+        (fun () ->
+          match t.switcher with
+          | Arm_switch cpu | Arm_mc_switch (cpu, _) ->
+            Some (Fluxarm.Icache.stats (Fluxarm.Cpu.icache cpu))
+          | Sim_switch _ -> None);
     }
 end

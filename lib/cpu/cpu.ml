@@ -11,6 +11,8 @@ type t = {
   mutable control_pending : Word32.t option;
   mutable cpu_mode : mode;
   mem : Memory.t;
+  icache : Icache.t;  (* decoded-instruction/basic-block cache for Mc *)
+  cyc : Cycles.handle;  (* the global counter, resolved once per create *)
 }
 
 let create mem =
@@ -25,13 +27,17 @@ let create mem =
     control_pending = None;
     cpu_mode = Thread;
     mem;
+    icache = Icache.create ();
+    cyc = Cycles.handle Cycles.global;
   }
 
 let memory t = t.mem
+let icache t = t.icache
+let cycles t = t.cyc
 let get t r = t.regs.(Regs.gpr_index r)
 
 let set t r v =
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index r) <- Word32.of_int v
 
 let control_committed t = t.control
@@ -75,28 +81,36 @@ let set_special_raw t reg v =
 
 let set_mode t m = t.cpu_mode <- m
 
+(* PC-only raw setter for the block dispatcher: no register match, no
+   masking — callers pass already-masked Word32 values. *)
+let set_pc t v = t.pc <- v
+
 (* --- instruction methods --- *)
 
 let mov t ~dst ~src =
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index dst) <- get t src
 
+(* guard first: requiref's happy path still walks the format spine, which
+   is measurable at one call per emulated instruction *)
 let movw_imm t r imm =
-  Verify.Violation.requiref "movw_imm" (imm >= 0 && imm <= 0xffff) "immediate %d" imm;
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  if imm < 0 || imm > 0xffff then
+    Verify.Violation.requiref "movw_imm" false "immediate %d" imm;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index r) <- imm
 
 let movt_imm t r imm =
-  Verify.Violation.requiref "movt_imm" (imm >= 0 && imm <= 0xffff) "immediate %d" imm;
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  if imm < 0 || imm > 0xffff then
+    Verify.Violation.requiref "movt_imm" false "immediate %d" imm;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index r) <- Word32.set_bits (get t r) ~hi:31 ~lo:16 imm
 
 let add_imm t r imm =
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index r) <- Word32.add (get t r) imm
 
 let sub_imm t r imm =
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index r) <- Word32.sub (get t r) imm
 
 (* The Figure 7 contract: IPSR is never writable; stack pointers must
@@ -107,7 +121,7 @@ let msr t reg src =
   Verify.Violation.requiref "msr: sp gets valid ram addr"
     ((not (Regs.is_sp reg || Regs.is_psp reg)) || Layout.in_sram v)
     "value=%s" (Word32.to_hex v);
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   match reg with
   | Regs.Control ->
     Verify.Violation.require "msr: control write is privileged" (privileged t);
@@ -115,56 +129,56 @@ let msr t reg src =
   | Regs.Msp | Regs.Psp | Regs.Lr | Regs.Pc | Regs.Psr | Regs.Ipsr -> set_special_raw t reg v
 
 let mrs t dst reg =
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   t.regs.(Regs.gpr_index dst) <- get_special t reg
 
 let isb t =
-  Cycles.tick ~n:Cycles.branch Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.branch;
   match t.control_pending with
   | Some v ->
     t.control <- v;
     t.control_pending <- None
   | None -> ()
 
-let dsb _t = Cycles.tick ~n:Cycles.branch Cycles.global
+let dsb t = Cycles.charge_handle t.cyc Cycles.branch
 
 let ldr t dst ~base ~offset =
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   t.regs.(Regs.gpr_index dst) <- Memory.load32 t.mem (Word32.add (get t base) offset)
 
 let str t src ~base ~offset =
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   Memory.store32 t.mem (Word32.add (get t base) offset) (get t src)
 
 let ldr_sp t dst ~offset =
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   t.regs.(Regs.gpr_index dst) <- Memory.load32 t.mem (Word32.add (sp t) offset)
 
 let str_sp t src ~offset =
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   Memory.store32 t.mem (Word32.add (sp t) offset) (get t src)
 
 let stmdb_sp t regs =
   let n = List.length regs in
-  Cycles.tick ~n:(n * Cycles.mem) Cycles.global;
+  Cycles.charge_handle t.cyc (n * Cycles.mem);
   let base = Word32.sub (sp t) (4 * n) in
   List.iteri (fun i r -> Memory.store32 t.mem (Word32.add base (4 * i)) (get t r)) regs;
   set_sp t base
 
 let ldmia_sp t regs =
   let n = List.length regs in
-  Cycles.tick ~n:(n * Cycles.mem) Cycles.global;
+  Cycles.charge_handle t.cyc (n * Cycles.mem);
   let base = sp t in
   List.iteri (fun i r -> t.regs.(Regs.gpr_index r) <- Memory.load32 t.mem (Word32.add base (4 * i))) regs;
   set_sp t (Word32.add base (4 * n))
 
 let stmia t ~base regs =
-  Cycles.tick ~n:(List.length regs * Cycles.mem) Cycles.global;
+  Cycles.charge_handle t.cyc (List.length regs * Cycles.mem);
   let addr = get t base in
   List.iteri (fun i r -> Memory.store32 t.mem (Word32.add addr (4 * i)) (get t r)) regs
 
 let ldmia t ~base regs =
-  Cycles.tick ~n:(List.length regs * Cycles.mem) Cycles.global;
+  Cycles.charge_handle t.cyc (List.length regs * Cycles.mem);
   let addr = get t base in
   List.iteri
     (fun i r -> t.regs.(Regs.gpr_index r) <- Memory.load32 t.mem (Word32.add addr (4 * i)))
@@ -172,7 +186,7 @@ let ldmia t ~base regs =
 
 (* APSR flags live in PSR bits 31 (N), 30 (Z), 29 (C), 28 (V). *)
 let set_flags_sub t a b =
-  Cycles.tick ~n:Cycles.alu Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.alu;
   let result = Word32.sub a b in
   let n = Word32.bit result 31 in
   let z = result = 0 in
@@ -192,20 +206,20 @@ let flag_c t = Word32.bit t.psr 29
 let flag_v t = Word32.bit t.psr 28
 
 let push_special t reg =
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   let base = Word32.sub (sp t) 4 in
   Memory.store32 t.mem base (get_special t reg);
   set_sp t base
 
 let pop_special t reg =
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   let base = sp t in
   set_special_raw t reg (Memory.load32 t.mem base);
   set_sp t (Word32.add base 4)
 
 let pseudo_ldr_special t reg v =
   Verify.Violation.require "pseudo_ldr_special: !is_ipsr(reg)" (not (Regs.is_ipsr reg));
-  Cycles.tick ~n:Cycles.mem Cycles.global;
+  Cycles.charge_handle t.cyc Cycles.mem;
   set_special_raw t reg v
 
 (* --- snapshots and contracts --- *)

@@ -21,6 +21,14 @@ type mode = Thread | Handler
 val create : Memory.t -> t
 val memory : t -> Memory.t
 
+val icache : t -> Icache.t
+(** This CPU's decoded-instruction/basic-block cache, used by {!Mc}. *)
+
+val cycles : t -> Cycles.handle
+(** The global cycle counter as resolved at {!create} — {!Mc} charges
+    through this instead of re-resolving the domain-local counter per
+    instruction. *)
+
 (** {1 State observation} *)
 
 val get : t -> Regs.gpr -> Word32.t
@@ -123,5 +131,11 @@ val pp : Format.formatter -> t -> unit
 
 val set_mode : t -> mode -> unit
 val set_special_raw : t -> Regs.special -> Word32.t -> unit
+
+val set_pc : t -> Word32.t -> unit
+(** [set_special_raw t Pc] minus the register match and masking, for the
+    block dispatcher's per-instruction PC update; the value must already
+    be a well-formed {!Word32.t}. *)
+
 val control_committed : t -> Word32.t
 (** The CONTROL value that privilege checks actually see (post-ISB). *)

@@ -1,0 +1,138 @@
+(* Decoded-instruction and basic-block caches for the Mc engine. See
+   icache.mli for the invalidation story. *)
+
+type entry = {
+  eaddr : Word32.t;
+  instr : Thumb.instr;
+  isize : int;
+  next_pc : Word32.t;  (* eaddr + isize, precomputed for the dispatcher *)
+}
+
+type block = {
+  start : Word32.t;
+  entries : entry array;
+  byte_len : int;
+  built_gen : int;
+  (* permission stamp: the (checker epoch, generation, privilege) under
+     which every halfword of the block was last execute-checked. MPU
+     reprogramming or a privilege flip invalidates only this stamp; the
+     decoded bodies stay until the underlying bytes change. *)
+  mutable stamp_epoch : int;
+  mutable stamp_gen : int;
+  mutable stamp_priv : int;
+}
+
+let no_stamp = min_int
+
+(* Direct-mapped tables; PCs are halfword-aligned so index on pc/2. *)
+let block_bits = 11
+let block_slots = 1 lsl block_bits
+let dec_bits = 12
+let dec_slots = 1 lsl dec_bits
+
+type t = {
+  mutable enabled : bool;
+  blocks : block option array;
+  dec_addr : int array;  (* -1 = empty *)
+  dec_gen : int array;
+  dec_instr : Thumb.instr array;
+  dec_size : int array;
+  mutable block_hits : int;
+  mutable block_misses : int;
+  mutable cached_instrs : int;  (* instructions dispatched from cached blocks *)
+  mutable total_instrs : int;  (* all instructions executed through [Mc.run] *)
+}
+
+let create () =
+  {
+    enabled = true;
+    blocks = Array.make block_slots None;
+    dec_addr = Array.make dec_slots (-1);
+    dec_gen = Array.make dec_slots (-1);
+    dec_instr = Array.make dec_slots Thumb.Nop;
+    dec_size = Array.make dec_slots 0;
+    block_hits = 0;
+    block_misses = 0;
+    cached_instrs = 0;
+    total_instrs = 0;
+  }
+
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+
+let reset t =
+  Array.fill t.blocks 0 block_slots None;
+  Array.fill t.dec_addr 0 dec_slots (-1);
+  t.block_hits <- 0;
+  t.block_misses <- 0;
+  t.cached_instrs <- 0;
+  t.total_instrs <- 0
+
+type stats = {
+  hits : int;
+  misses : int;
+  cached : int;
+  total : int;
+}
+
+let stats t =
+  {
+    hits = t.block_hits;
+    misses = t.block_misses;
+    cached = t.cached_instrs;
+    total = t.total_instrs;
+  }
+
+let hit_rate t =
+  let probes = t.block_hits + t.block_misses in
+  if probes = 0 then 0.0 else float_of_int t.block_hits /. float_of_int probes
+
+let record_hit t n =
+  t.block_hits <- t.block_hits + 1;
+  t.cached_instrs <- t.cached_instrs + n;
+  t.total_instrs <- t.total_instrs + n
+
+let record_miss t = t.block_misses <- t.block_misses + 1
+let record_instrs t n = t.total_instrs <- t.total_instrs + n
+
+(* --- decoded-instruction cache --- *)
+
+let dec_idx pc = (pc lsr 1) land (dec_slots - 1)
+
+let probe_decode t ~gen pc =
+  let i = dec_idx pc in
+  if t.dec_addr.(i) = pc && t.dec_gen.(i) = gen then
+    Some (t.dec_instr.(i), t.dec_size.(i))
+  else None
+
+let insert_decode t ~gen pc instr isize =
+  let i = dec_idx pc in
+  t.dec_addr.(i) <- pc;
+  t.dec_gen.(i) <- gen;
+  t.dec_instr.(i) <- instr;
+  t.dec_size.(i) <- isize
+
+(* --- basic-block cache --- *)
+
+let block_idx pc = (pc lsr 1) land (block_slots - 1)
+
+let find_block t ~gen pc =
+  match t.blocks.(block_idx pc) with
+  | Some b when b.start = pc && b.built_gen = gen -> Some b
+  | _ -> None
+
+let publish_block t ~gen pc entries =
+  let entries = Array.of_list (List.rev entries) in
+  let byte_len = Array.fold_left (fun acc e -> acc + e.isize) 0 entries in
+  if Array.length entries > 0 then
+    t.blocks.(block_idx pc) <-
+      Some
+        {
+          start = pc;
+          entries;
+          byte_len;
+          built_gen = gen;
+          stamp_epoch = no_stamp;
+          stamp_gen = no_stamp;
+          stamp_priv = no_stamp;
+        }

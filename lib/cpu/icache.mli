@@ -1,0 +1,92 @@
+(** Decoded-instruction cache and basic-block cache for the {!Mc} engine.
+
+    App and kernel flash are immutable once the loader has placed them, so
+    re-decoding the same Thumb-2 halfwords on every simulated instruction
+    is pure host-side waste. Two caches remove it:
+
+    - a direct-mapped {e decode cache} mapping halfword-aligned PC to the
+      decoded [{instr; size}], and
+    - a {e basic-block cache} holding straight-line runs of decoded
+      instructions up to the next control transfer, dispatched with one
+      probe and one execute-permission stamp check per run.
+
+    Soundness rests on two invalidation channels, both observable-behaviour
+    preserving (see docs/VERIFICATION.md):
+
+    - {e code changes}: every cached decode is keyed by
+      {!Memory.code_generation}, which [Memory] bumps when any write lands
+      in a page registered (via {!Memory.note_code_page}) as holding
+      decoded code — loader placement, RAM zeroing on process restart and
+      self-modifying stores all go through the same write paths;
+    - {e permission changes}: each block carries a stamp of the (checker
+      epoch, MPU generation, privilege) under which its halfwords were last
+      execute-checked. MPU reprogramming or a privilege transition kills
+      the stamp — the next dispatch re-checks before executing a single
+      instruction — while the decoded bodies survive. *)
+
+type entry = {
+  eaddr : Word32.t;
+  instr : Thumb.instr;
+  isize : int;
+  next_pc : Word32.t;  (** [eaddr + isize], precomputed for the dispatcher *)
+}
+
+type block = {
+  start : Word32.t;
+  entries : entry array;
+  byte_len : int;
+  built_gen : int;  (** {!Memory.code_generation} when decoded *)
+  mutable stamp_epoch : int;
+  mutable stamp_gen : int;
+  mutable stamp_priv : int;
+}
+
+val no_stamp : int
+(** Sentinel meaning "never execute-checked". *)
+
+type t
+
+val create : unit -> t
+
+val set_enabled : t -> bool -> unit
+(** Disabled: {!Mc.run} decodes every instruction from scratch (the
+    pre-cache slow path). For differential tests and cold benchmarks. *)
+
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Drop every cached decode and block and zero the statistics. *)
+
+type stats = {
+  hits : int;  (** block dispatches served from the cache *)
+  misses : int;  (** dispatches that had to (re)build a block *)
+  cached : int;  (** instructions executed out of cached blocks *)
+  total : int;  (** all instructions executed through {!Mc.run} *)
+}
+
+val stats : t -> stats
+val hit_rate : t -> float
+
+val record_hit : t -> int -> unit
+(** A block dispatch served [n] instructions from the cache. *)
+
+val record_miss : t -> unit
+(** A dispatch found no valid block and fell back to building one. *)
+
+val record_instrs : t -> int -> unit
+(** [n] instructions executed outside cached blocks (cold path). *)
+
+(** {1 Decode cache} *)
+
+val probe_decode : t -> gen:int -> Word32.t -> (Thumb.instr * int) option
+val insert_decode : t -> gen:int -> Word32.t -> Thumb.instr -> int -> unit
+
+(** {1 Block cache} *)
+
+val find_block : t -> gen:int -> Word32.t -> block option
+(** The cached block starting exactly at [pc], if its decode generation is
+    current. The permission stamp is the caller's problem. *)
+
+val publish_block : t -> gen:int -> Word32.t -> entry list -> unit
+(** Store a block decoded under generation [gen]; [entries] in reverse
+    execution order (as accumulated). Empty lists are ignored. *)

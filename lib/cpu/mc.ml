@@ -52,7 +52,7 @@ let exec cpu instr =
     (* store multiple decrement-before relative to rn *)
     let base = Word32.sub (Cpu.get cpu rn) (4 * List.length regs) in
     let mem = Cpu.memory cpu in
-    Cycles.tick ~n:(List.length regs * Cycles.mem) Cycles.global;
+    Cycles.charge_handle (Cpu.cycles cpu) (List.length regs * Cycles.mem);
     List.iteri (fun i r -> Memory.store32 mem (Word32.add base (4 * i)) (Cpu.get cpu r)) regs;
     if wb then Cpu.set cpu rn base;
     None
@@ -93,7 +93,7 @@ let exec cpu instr =
       Some (Bx_reg target)
     end
   | Thumb.Cpsid | Thumb.Cpsie ->
-    Cycles.tick ~n:Cycles.alu Cycles.global;
+    Cycles.charge_handle (Cpu.cycles cpu) Cycles.alu;
     None
   | Thumb.Cmp_lr rm ->
     Cpu.set_flags_sub cpu (Cpu.get_special cpu R.Lr) (Cpu.get cpu rm);
@@ -102,11 +102,11 @@ let exec cpu instr =
     Cpu.set cpu rd (Cpu.get_special cpu R.Lr);
     None
   | Thumb.Mov_to_lr rm ->
-    Cycles.tick ~n:Cycles.alu Cycles.global;
+    Cycles.charge_handle (Cpu.cycles cpu) Cycles.alu;
     Cpu.set_special_raw cpu R.Lr (Cpu.get cpu rm);
     None
   | Thumb.B_cond (cond, off) ->
-    Cycles.tick ~n:Cycles.branch Cycles.global;
+    Cycles.charge_handle (Cpu.cycles cpu) Cycles.branch;
     let taken = match cond with `Eq -> Cpu.flag_z cpu | `Ne -> not (Cpu.flag_z cpu) in
     if taken then begin
       (* target = address of this instruction + 4 + offset*2; PC has
@@ -116,30 +116,220 @@ let exec cpu instr =
     end;
     None
 
-let step cpu =
+(* A decode failure names the PC it happened at: fuzz-found hangs and
+   stray jumps are untriageable without the address. *)
+let decode_stop pc e = Decode_error (Printf.sprintf "%s at pc=%s" e (Word32.to_hex pc))
+
+(* Decode the instruction at [pc], reproducing the slow path's execute
+   checks exactly: check (and on a miss, fetch) the first halfword, then —
+   only for a 32-bit encoding — the second. A cached decode skips the data
+   reads and the decoder chain, never the MPU consultation. *)
+let decode_at cpu pc =
+  let mem = Cpu.memory cpu in
+  let ic = Cpu.icache cpu in
+  let gen = Memory.code_generation mem in
+  match Icache.probe_decode ic ~gen pc with
+  | Some (instr, size) ->
+    Memory.check_fetch16 mem pc;
+    if size = 4 then Memory.check_fetch16 mem (Word32.add pc 2);
+    Ok (instr, size)
+  | None ->
+    let hw1 = Memory.fetch16 mem pc in
+    (match Thumb.decode hw1 (fun () -> Memory.fetch16 mem (Word32.add pc 2)) with
+    | Error e -> Error e
+    | Ok instr ->
+      let size = if Thumb.is_32bit hw1 then 4 else 2 in
+      Memory.note_code_page mem pc;
+      if size = 4 then Memory.note_code_page mem (Word32.add pc 2);
+      Icache.insert_decode ic ~gen pc instr size;
+      Ok (instr, size))
+
+let step_uncached cpu =
   let pc = Cpu.get_special cpu Regs.Pc in
   let hw1 = fetch16 cpu pc in
-  let second = ref false in
-  let fetch_next () =
-    second := true;
-    fetch16 cpu (Word32.add pc 2)
-  in
-  match Thumb.decode hw1 fetch_next with
-  | Error e -> Some (Decode_error e)
+  match Thumb.decode hw1 (fun () -> fetch16 cpu (Word32.add pc 2)) with
+  | Error e -> Some (decode_stop pc e)
   | Ok instr ->
     let size = if Thumb.is_32bit hw1 then 4 else 2 in
     Cpu.set_special_raw cpu Regs.Pc (Word32.add pc size);
     exec cpu instr
 
-let run ?(fuel = 10_000) cpu =
-  let rec loop n =
-    if n <= 0 then Out_of_fuel
-    else
-      match step cpu with
-      | None -> loop (n - 1)
-      | Some stop -> stop
+let step cpu =
+  if not (Icache.enabled (Cpu.icache cpu)) then step_uncached cpu
+  else begin
+    let pc = Cpu.get_special cpu Regs.Pc in
+    match decode_at cpu pc with
+    | Error e -> Some (decode_stop pc e)
+    | Ok (instr, size) ->
+      Cpu.set_special_raw cpu Regs.Pc (Word32.add pc size);
+      exec cpu instr
+  end
+
+(* --- basic-block dispatch --- *)
+
+let block_cap = 32
+
+(* Validate (or refresh) a block's execute-permission stamp. A valid stamp
+   means every halfword of the block was allowed under the current
+   (checker, MPU generation, privilege) — sound to reuse because none of
+   those changed since, and the block never crosses a decision-granule
+   boundary, so one allow covers it wholesale. The refresh walks the exact
+   per-halfword checks the slow path would perform at each fetch, in fetch
+   order, so a denial faults with the identical fault record — and before
+   a single instruction of the block has executed, which is also identical:
+   inside one granule, a denial anywhere is a denial at the first fetch. *)
+let stamp_ok mem (b : Icache.block) =
+  match Memory.get_checker mem with
+  | None -> true
+  | Some c ->
+    let epoch = Memory.checker_epoch mem in
+    let gen = c.Memory.generation () in
+    let priv = c.Memory.privilege () in
+    if b.Icache.stamp_epoch = epoch && b.Icache.stamp_gen = gen && b.Icache.stamp_priv = priv
+    then true
+    else begin
+      let g = c.Memory.granule_bits () in
+      if g < 1 then false (* byte-stateful checker: never block-checked *)
+      else if b.Icache.start lsr g <> (b.Icache.start + b.Icache.byte_len - 1) lsr g then
+        false (* granularity became finer than the block: step instead *)
+      else begin
+        Array.iter
+          (fun (e : Icache.entry) ->
+            Memory.check_fetch16 mem e.Icache.eaddr;
+            if e.Icache.isize = 4 then Memory.check_fetch16 mem (Word32.add e.Icache.eaddr 2))
+          b.Icache.entries;
+        b.Icache.stamp_epoch <- epoch;
+        b.Icache.stamp_gen <- gen;
+        b.Icache.stamp_priv <- priv;
+        true
+      end
+    end
+
+(* Execute a stamped block's entries. Fuel is charged per instruction so
+   [Out_of_fuel] lands on exactly the same instruction as single-stepping.
+   Bails out (without a stop) if an executed store invalidated the code
+   generation — the remaining decoded entries may be stale. Returns
+   (instructions executed, stop). *)
+let exec_block cpu mem (b : Icache.block) fuel =
+  let gen0 = b.Icache.built_gen in
+  let entries = b.Icache.entries in
+  let n = Array.length entries in
+  let rec go i used =
+    if i >= n then (used, None)
+    else if used >= fuel then (used, Some Out_of_fuel)
+    else begin
+      let e = Array.unsafe_get entries i (* i < n = length *) in
+      Cpu.set_pc cpu e.Icache.next_pc;
+      match exec cpu e.Icache.instr with
+      | Some stop -> (used + 1, Some stop)
+      | None ->
+        if Memory.code_generation mem <> gen0 then (used + 1, None)
+        else go (i + 1) (used + 1)
+    end
   in
-  loop fuel
+  go 0 0
+
+let run ?(fuel = 10_000) cpu =
+  let mem = Cpu.memory cpu in
+  let ic = Cpu.icache cpu in
+  if not (Icache.enabled ic) then begin
+    (* the pre-cache engine: fetch and decode every instruction *)
+    let rec slow n =
+      if n <= 0 then Out_of_fuel
+      else match step_uncached cpu with None -> slow (n - 1) | Some stop -> stop
+    in
+    slow fuel
+  end
+  else begin
+    let rec loop n =
+      if n <= 0 then Out_of_fuel
+      else begin
+        let pc = Cpu.get_special cpu Regs.Pc in
+        match Icache.find_block ic ~gen:(Memory.code_generation mem) pc with
+        | Some b when stamp_ok mem b ->
+          let used, stop = exec_block cpu mem b n in
+          Icache.record_hit ic used;
+          (match stop with Some s -> s | None -> loop (n - used))
+        | _ -> build pc n
+      end
+    (* Cold path: single-step (through the decode cache) while recording
+       decoded entries, ending the block at a control transfer, the length
+       cap, a decision-granule edge, a decode error, or fuel exhaustion;
+       then publish it for the next visit. Execution is the slow path
+       verbatim — the recording is invisible. *)
+    and build pc0 n0 =
+      Icache.record_miss ic;
+      let gen0 = Memory.code_generation mem in
+      let g =
+        match Memory.get_checker mem with
+        | None -> -1 (* no execute checks: no granule constraint *)
+        | Some c -> c.Memory.granule_bits ()
+      in
+      if g = 0 then begin
+        (* byte-stateful checker: blocks could never be stamped — step
+           until something stops us, without recording *)
+        let rec slow n =
+          if n <= 0 then Out_of_fuel
+          else begin
+            Icache.record_instrs ic 1;
+            match step cpu with None -> slow (n - 1) | Some stop -> stop
+          end
+        in
+        slow n0
+      end
+      else begin
+        let fits bytes = g < 0 || pc0 lsr g = (pc0 + bytes - 1) lsr g in
+        let publish acc = Icache.publish_block ic ~gen:gen0 pc0 acc in
+        let rec go acc count bytes n =
+          if n <= 0 then begin
+            publish acc;
+            Out_of_fuel
+          end
+          else begin
+            let pc = Cpu.get_special cpu Regs.Pc in
+            match decode_at cpu pc with
+            | Error e ->
+              publish acc;
+              decode_stop pc e
+            | Ok (instr, size) ->
+              if count > 0 && (count >= block_cap || not (fits (bytes + size))) then begin
+                publish acc;
+                loop n (* start a fresh block at this pc *)
+              end
+              else if count = 0 && not (fits (bytes + size)) then begin
+                (* a single instruction spanning a granule edge (e.g. a
+                   32-bit encoding under PMP NA4): execute uncached *)
+                Icache.record_instrs ic 1;
+                Cpu.set_special_raw cpu Regs.Pc (Word32.add pc size);
+                match exec cpu instr with Some stop -> stop | None -> loop (n - 1)
+              end
+              else begin
+                Icache.record_instrs ic 1;
+                let npc = Word32.add pc size in
+                Cpu.set_special_raw cpu Regs.Pc npc;
+                match exec cpu instr with
+                | Some stop ->
+                  publish ({ Icache.eaddr = pc; instr; isize = size; next_pc = npc } :: acc);
+                  stop
+                | None ->
+                  let acc = { Icache.eaddr = pc; instr; isize = size; next_pc = npc } :: acc in
+                  if Memory.code_generation mem <> gen0 then
+                    (* self-modifying store: the recorded decodes are
+                       suspect — drop them and start over *)
+                    loop (n - 1)
+                  else if Thumb.terminates_block instr then begin
+                    publish acc;
+                    loop (n - 1)
+                  end
+                  else go acc (count + 1) (bytes + size) (n - 1)
+              end
+          end
+        in
+        go [] 0 0 n0
+      end
+    in
+    loop fuel
+  end
 
 let run_handler cpu ~entry =
   Verify.Violation.require "mc.run_handler: handler mode" (Cpu.mode cpu = Cpu.Handler);
@@ -149,4 +339,7 @@ let run_handler cpu ~entry =
   | Svc_taken _ -> failwith "mc.run_handler: handler executed svc"
   | Bx_reg a -> failwith (Printf.sprintf "mc.run_handler: stray bx to %s" (Word32.to_hex a))
   | Decode_error e -> failwith ("mc.run_handler: " ^ e)
-  | Out_of_fuel -> failwith "mc.run_handler: out of fuel"
+  | Out_of_fuel ->
+    failwith
+      (Printf.sprintf "mc.run_handler: out of fuel at pc=%s"
+         (Word32.to_hex (Cpu.get_special cpu Regs.Pc)))

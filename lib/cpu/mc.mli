@@ -5,13 +5,27 @@
     {!Cpu} instruction methods — and hence the same contracts — as the
     method-level model. {!Handlers_mc} uses it to run Tock's actual handler
     sequences from memory and differentially validate them against
-    {!Handlers}. *)
+    {!Handlers}.
+
+    {2 Decode cache and basic-block dispatch}
+
+    Flash is overwhelmingly immutable between reloads, so the engine keeps
+    a decoded-instruction cache and a basic-block cache (see {!Icache}) on
+    each {!Cpu.t}. [run] decodes straight-line runs once, then replays them
+    with a single cache probe and a single MPU execute decision per block.
+    Both caches are {e semantically invisible}: cycle counts, fault
+    ordering, fuel accounting and stop values are bit-identical to the
+    uncached engine. Invalidation is automatic — stores and loader writes
+    into pages that ever fed the decoder bump a code generation
+    ({!Memory.code_generation}), and MPU reprogramming or privilege changes
+    invalidate only the per-block permission stamp, not the decoded
+    bodies. *)
 
 type stop =
   | Svc_taken of int  (** an [svc #imm] was executed; PC points after it *)
   | Exc_return of Word32.t  (** [bx lr] with LR holding an EXC_RETURN value *)
   | Bx_reg of Word32.t  (** [bx] to an ordinary address *)
-  | Decode_error of string
+  | Decode_error of string  (** message includes the faulting PC in hex *)
   | Out_of_fuel
 
 val step : Cpu.t -> stop option

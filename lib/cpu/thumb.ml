@@ -140,6 +140,19 @@ let encode = function
     (* rd = 14: D = 1, low bits = 110 *)
     [ 0x4600 lor 0x80 lor (Regs.gpr_index rm lsl 3) lor 0b110 ]
 
+(* Instructions that end a straight-line run for the basic-block cache:
+   control transfers (taken or not), plus [isb], the commit point for
+   pending CONTROL writes — the execute-permission environment of the
+   instructions after an isb can differ from those before it, and a block
+   is permission-checked as a unit. *)
+let terminates_block = function
+  | Svc _ | Bx _ | B_cond _ | Isb -> true
+  | Pop (_, with_pc) -> with_pc
+  | Nop | Mov_reg _ | Movw _ | Movt _ | Addw _ | Subw _ | Ldr_imm _ | Str_imm _ | Ldmia _
+  | Stmia _ | Stmdb _ | Push _ | Mrs _ | Msr _ | Dsb | Dmb | Cpsid | Cpsie | Cmp_lr _
+  | Mov_from_lr _ | Mov_to_lr _ ->
+    false
+
 let is_32bit hw1 =
   let top5 = hw1 lsr 11 in
   top5 = 0b11101 || top5 = 0b11110 || top5 = 0b11111

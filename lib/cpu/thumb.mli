@@ -54,6 +54,11 @@ val special_of_sysm : int -> Regs.special option
 val is_32bit : int -> bool
 (** Does this first halfword start a 32-bit encoding? *)
 
+val terminates_block : instr -> bool
+(** Whether the instruction ends a straight-line run for the block cache:
+    control transfers ([svc]/[bx]/[b<cond>]/[pop {... pc}]) and [isb] (the
+    commit point for CONTROL writes, i.e. a possible privilege change). *)
+
 val encode : instr -> int list
 (** Halfwords, one or two, each in [0, 0xFFFF]. Raises [Invalid_argument]
     on out-of-range immediates or unencodable register lists. *)

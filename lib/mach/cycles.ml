@@ -1,12 +1,32 @@
-type counter = { mutable count : int }
+type cell = { mutable count : int }
 
-let global = { count = 0 }
-let fresh () = { count = 0 }
-let tick ?(n = 1) c = c.count <- c.count + n
-let read c = c.count
-let reset c = c.count <- 0
+(* The machine-wide counter is domain-local: every domain sees its own
+   instance. Parallel harnesses (the fuzz campaign workers) each charge
+   their own counter, so the cycle deltas a kernel observes inside one
+   domain are exactly what a sequential run would see — a shared counter
+   would let one worker's ticks expire another worker's SysTick quantum. *)
+type counter = Local of cell | Domain_local of cell Domain.DLS.key
 
-let measure c f =
+let global = Domain_local (Domain.DLS.new_key (fun () -> { count = 0 }))
+let fresh () = Local { count = 0 }
+let cell = function Local c -> c | Domain_local k -> Domain.DLS.get k
+
+let charge t n =
+  let c = cell t in
+  c.count <- c.count + n
+
+let tick ?(n = 1) t = charge t n
+
+type handle = cell
+
+let handle t = cell t
+let charge_handle (c : handle) n = c.count <- c.count + n
+
+let read t = (cell t).count
+let reset t = (cell t).count <- 0
+
+let measure t f =
+  let c = cell t in
   let before = c.count in
   let result = f () in
   (result, c.count - before)

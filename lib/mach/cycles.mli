@@ -11,12 +11,32 @@
 type counter
 
 val global : counter
-(** The machine-wide counter shared by CPU emulator, MPU models and kernel. *)
+(** The machine-wide counter shared by CPU emulator, MPU models and kernel.
+    Domain-local: each domain charges its own instance, so parallel
+    harnesses (e.g. the fuzz campaign workers) observe the same cycle
+    deltas a sequential run would. *)
 
 val fresh : unit -> counter
 
 val tick : ?n:int -> counter -> unit
 (** Charge [n] cycles (default 1). *)
+
+val charge : counter -> int -> unit
+(** [charge c n] = [tick ~n c] without the optional-argument boxing — for
+    per-instruction hot paths (the CPU methods). *)
+
+type handle
+(** A counter resolved to its backing cell. For {!global} the resolution
+    happens in the calling domain, so a handle taken in one domain and
+    charged from another would charge the taker's counter — take handles
+    in the domain that uses them (the CPU emulator takes one per
+    {!Fluxarm.Cpu.create}, which parallel harnesses call inside each
+    worker domain). *)
+
+val handle : counter -> handle
+val charge_handle : handle -> int -> unit
+(** [charge] minus the per-call domain-local lookup (~4ns each, once per
+    emulated instruction). *)
 
 val read : counter -> int
 val reset : counter -> unit

@@ -36,6 +36,17 @@ type t = {
   dc_gen : int array;
   mutable dc_hits : int;
   mutable dc_misses : int;
+  (* icache support: pages that decoded instructions were fetched from.
+     A write into any registered page bumps [code_gen], invalidating every
+     cached decode at once, and drops the registrations (the next decode
+     re-registers its pages). [last_wkey] memoizes the most recent
+     known-not-code page so data-heavy write loops pay one compare. *)
+  code_pages : (int, unit) Hashtbl.t;
+  mutable code_gen : int;
+  mutable last_wkey : int;
+  (* bumped whenever the checker is replaced, so permission stamps taken
+     under one checker can never validate against another *)
+  mutable checker_epoch : int;
 }
 
 let no_page = Bytes.create 0
@@ -50,6 +61,10 @@ let create () =
     dc_gen = Array.make dc_size (-1);
     dc_hits = 0;
     dc_misses = 0;
+    code_pages = Hashtbl.create 16;
+    code_gen = 0;
+    last_wkey = -1;
+    checker_epoch = 0;
   }
 
 let flush_decision_cache t =
@@ -58,7 +73,38 @@ let flush_decision_cache t =
 
 let set_checker t checker =
   t.checker <- checker;
+  t.checker_epoch <- t.checker_epoch + 1;
   flush_decision_cache t
+
+let get_checker t = t.checker
+let checker_epoch t = t.checker_epoch
+
+(* --- icache generation plumbing --- *)
+
+let code_generation t = t.code_gen
+
+let note_code_page t addr =
+  let key = addr lsr page_bits in
+  if t.last_wkey = key then t.last_wkey <- -1;
+  Hashtbl.replace t.code_pages key ()
+
+let code_page_registered t addr = Hashtbl.mem t.code_pages (addr lsr page_bits)
+
+(* Called on every raw write path. Cheap when no code has been decoded
+   (one length read) and when writing repeatedly to the same data page
+   (one compare); a write that lands in a code page invalidates. *)
+let code_write_check t addr =
+  if Hashtbl.length t.code_pages > 0 then begin
+    let key = addr lsr page_bits in
+    if key <> t.last_wkey then begin
+      if Hashtbl.mem t.code_pages key then begin
+        t.code_gen <- t.code_gen + 1;
+        Hashtbl.reset t.code_pages;
+        t.last_wkey <- -1
+      end
+      else t.last_wkey <- key
+    end
+  end
 
 let checker_enabled t = t.checker <> None
 
@@ -108,6 +154,7 @@ let read8 t addr =
 
 let write8 t addr v =
   assert (Word32.is_valid addr);
+  code_write_check t addr;
   Bytes.set (page t addr) (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
 let read32 t addr =
@@ -123,8 +170,10 @@ let read32 t addr =
 
 let write32 t addr v =
   assert (Word32.is_valid addr);
-  if addr land 3 = 0 then
+  if addr land 3 = 0 then begin
+    code_write_check t addr;
     Bytes.set_int32_le (page t addr) (addr land (page_size - 1)) (Int32.of_int v)
+  end
   else begin
     let b i x = write8 t (Word32.add addr i) x in
     b 0 v;
@@ -137,6 +186,7 @@ let blit_string t addr s =
   let len = String.length s in
   let rec go src addr =
     if src < len then begin
+      code_write_check t addr;
       let p = page t addr in
       let off = addr land (page_size - 1) in
       let n = min (len - src) (page_size - off) in
@@ -258,8 +308,8 @@ let fetch32 t addr =
   check_word t addr Perms.Execute;
   read32 t addr
 
-let fetch16 t addr =
-  (match t.checker with
+let check_fetch16 t addr =
+  match t.checker with
   | None -> ()
   | Some c ->
     if addr land 1 = 0 && c.granule_bits () >= 1 then begin
@@ -282,7 +332,10 @@ let fetch16 t addr =
     else begin
       check_byte t c addr Perms.Execute;
       check_byte t c (Word32.add addr 1) Perms.Execute
-    end);
+    end
+
+let fetch16 t addr =
+  check_fetch16 t addr;
   let off = addr land (page_size - 1) in
   if off < page_size - 1 then Bytes.get_uint16_le (page t addr) off
   else read8 t addr lor (read8 t (Word32.add addr 1) lsl 8)

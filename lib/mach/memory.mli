@@ -105,6 +105,40 @@ val fetch16 : t -> Word32.t -> int
 (** Halfword instruction fetch (Thumb), checked with {!Perms.Execute} on
     both covered bytes. *)
 
+val check_fetch16 : t -> Word32.t -> unit
+(** The checking half of {!fetch16} without the data read: raises
+    {!Access_fault} exactly when (and how) a halfword fetch at this address
+    would. Lets the decoded-instruction cache reproduce fetch fault
+    behaviour without touching the bytes. *)
+
+(** {1 Decoded-code ({e icache}) invalidation support}
+
+    The machine-code engine caches decoded instructions; those caches are
+    only sound while the underlying bytes are unchanged. [Memory] tracks
+    which pages hold decoded code and bumps a {e code generation} counter
+    when any raw or checked write lands in one — loader placement, process
+    RAM zeroing and self-modifying stores all funnel through the same write
+    paths, so every way of changing code invalidates. *)
+
+val code_generation : t -> int
+(** Current code generation. Any cached decode keyed under an older
+    generation is stale. *)
+
+val note_code_page : t -> Word32.t -> unit
+(** Register the page containing [addr] as holding decoded code; called by
+    the decoder when it caches an instruction fetched from there. *)
+
+val code_page_registered : t -> Word32.t -> bool
+(** Whether [addr]'s page is currently registered as code (for tests). *)
+
+val get_checker : t -> checker option
+(** The installed checker, if any — the block cache consults its
+    generation/privilege/granularity to validate permission stamps. *)
+
+val checker_epoch : t -> int
+(** Bumped every {!set_checker}; distinguishes decisions taken under
+    different checker instances whose generation counters may collide. *)
+
 val check : t -> Word32.t -> Perms.access -> (unit, string) result
 (** Ask the checker without performing an access. [Ok] when no checker is
     installed. Consults (and fills) the decision cache. *)

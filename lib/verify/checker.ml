@@ -56,10 +56,14 @@ type fn_result = {
 
 type component_report = { component : string; results : fn_result list }
 
+(* CLOCK_MONOTONIC, not wall-clock: property timings must not go negative
+   or jump when NTP steps the system time mid-run. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let check_property p =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let cases, outcome = p.run () in
-  let t1 = Unix.gettimeofday () in
+  let t1 = now_s () in
   { fn_name = p.name; cases; seconds = t1 -. t0; outcome }
 
 let check_component component props =

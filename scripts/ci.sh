@@ -22,10 +22,24 @@ for row in data["archs"]:
 print("bus smoke ok:", ", ".join(f"{r['arch']} {r['speedup']}x @ {r['hit_rate']:.0%}" for r in data["archs"]))
 EOF
 
-# The fast path must be invisible to the modeled experiments: fig11 and
-# difftest are deterministic in model cycles, so two runs must agree and
-# any host-side caching change shows up here as a diff.
-dune exec bench/main.exe -- fig11 difftest > /tmp/ci_bus_a.txt
-dune exec bench/main.exe -- fig11 difftest > /tmp/ci_bus_b.txt
-diff /tmp/ci_bus_a.txt /tmp/ci_bus_b.txt
+# Icache smoke: the decode/block cache must actually hit and the warm
+# engine must actually beat the cold (uncached) one.
+ICACHE_ITERS=${ICACHE_ITERS:-50000} dune exec bench/main.exe -- icache
+python3 - <<'EOF'
+import json
+with open("BENCH_icache.json") as f:
+    data = json.load(f)
+for row in data["archs"]:
+    assert row["hit_rate"] >= 0.95, f"{row['arch']}: block cache cold ({row['hit_rate']})"
+    assert row["speedup"] >= 3.0, f"{row['arch']}: block dispatch regressed ({row['speedup']}x)"
+print("icache smoke ok:", ", ".join(f"{r['arch']} {r['speedup']}x @ {r['hit_rate']:.0%}" for r in data["archs"]))
+EOF
+
+# The fast paths (bus and icache) must be invisible to the modeled
+# experiments: fig11, difftest, latency and fuzz are deterministic in
+# model cycles, so two runs must agree and any host-side caching change
+# shows up here as a diff. Different fuzz job counts must agree too.
+dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci_det_a.txt
+TICKTOCK_JOBS=1 dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci_det_b.txt
+diff /tmp/ci_det_a.txt /tmp/ci_det_b.txt
 echo "ci ok"

@@ -1,0 +1,231 @@
+(* The Mc decode/block cache. As with the bus micro-TLB, the load-bearing
+   property is *invalidation*: a cached decode must die the instant the
+   underlying bytes change (stores, loader reloads), and a cached block's
+   execute stamp must die the instant the MPU or privilege changes —
+   otherwise the cache would execute stale or forbidden code. The lockstep
+   round then checks the cache is semantically invisible wholesale:
+   registers, stop reason and model cycles identical to the uncached
+   engine on randomized programs, including self-modifying ones. *)
+
+open Ticktock
+module C = Fluxarm.Cpu
+module R = Fluxarm.Regs
+module T = Fluxarm.Thumb
+module I = Fluxarm.Icache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let bare () =
+  let mem = Memory.create () in
+  (mem, C.create mem)
+
+let run_from cpu addr =
+  C.set_special_raw cpu R.Pc addr;
+  Fluxarm.Mc.run cpu
+
+(* --- stores into a cached block force a re-decode --- *)
+
+let test_store_invalidates () =
+  let mem, cpu = bare () in
+  ignore (T.assemble mem 0x1000 [ T.Movw (R.R0, 5); T.Svc 0 ]);
+  check_bool "first run" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  check_int "cold result" 5 (C.get cpu R.R0);
+  check_bool "warm run" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  check_int "warm result" 5 (C.get cpu R.R0);
+  (* overwrite the movw in place through the raw word path (what the
+     loader and RAM zeroing use) *)
+  (match T.encode (T.Movw (R.R0, 7)) with
+  | [ h1; h2 ] -> Memory.write32 mem 0x1000 (h1 lor (h2 lsl 16))
+  | _ -> Alcotest.fail "movw should be 32-bit");
+  check_bool "run after write32" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  check_int "write32 re-decoded" 7 (C.get cpu R.R0);
+  (* and through the checked store path (what emulated stores use) *)
+  (match T.encode (T.Movw (R.R0, 9)) with
+  | [ h1; h2 ] -> Memory.store32 mem 0x1000 (h1 lor (h2 lsl 16))
+  | _ -> Alcotest.fail "movw should be 32-bit");
+  check_bool "run after store32" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  check_int "store32 re-decoded" 9 (C.get cpu R.R0)
+
+(* --- a loader reload of the same flash invalidates cached decodes --- *)
+
+let payload_of imm =
+  let hws = List.concat_map T.encode [ T.Movw (R.R0, imm); T.Svc 0 ] in
+  let b = Buffer.create 8 in
+  List.iter
+    (fun h ->
+      Buffer.add_char b (Char.chr (h land 0xff));
+      Buffer.add_char b (Char.chr ((h lsr 8) land 0xff)))
+    hws;
+  Buffer.contents b
+
+let test_loader_reload_invalidates () =
+  let mem, cpu = bare () in
+  let cursor = Range.start Layout.app_flash in
+  let place imm =
+    let img = { Loader.app_name = "icache"; min_ram = 1024; payload = payload_of imm } in
+    match Loader.place mem ~cursor img with
+    | Ok (placed, _) -> placed.Loader.entry
+    | Error _ -> Alcotest.fail "placement failed"
+  in
+  let entry = place 1 in
+  check_bool "first image runs" true (run_from cpu entry = Fluxarm.Mc.Svc_taken 0);
+  check_int "first image result" 1 (C.get cpu R.R0);
+  check_bool "warm" true (run_from cpu entry = Fluxarm.Mc.Svc_taken 0);
+  (* reload: same name and sizes, so the image lands at the same entry *)
+  let entry' = place 2 in
+  check_int "same placement" entry entry';
+  check_bool "reloaded image runs" true (run_from cpu entry = Fluxarm.Mc.Svc_taken 0);
+  check_int "blit_string invalidated the block" 2 (C.get cpu R.R0)
+
+(* --- MPU reprogramming revoking execute faults the next dispatch --- *)
+
+let grant_v7 mpu ~index ~base ~size perms =
+  Mpu_hw.Armv7m_mpu.write_region mpu ~index
+    ~rbar:(Mpu_hw.Armv7m_mpu.encode_rbar ~addr:base ~region:index)
+    ~rasr:(Mpu_hw.Armv7m_mpu.encode_rasr ~enable:true ~size ~srd:0 ~perms)
+
+let test_mpu_revoke_faults_next_dispatch () =
+  let m = Machine.create_arm () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let cpu = m.Machine.arm_cpu in
+  C.set_special_raw cpu R.Control 1 (* unprivileged thread: MPU gates fetches *);
+  let base = 0x2000_0000 in
+  grant_v7 mpu ~index:0 ~base ~size:4096 Perms.Read_write_execute;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  ignore (T.assemble mem base [ T.Movw (R.R0, 3); T.Svc 9 ]);
+  check_bool "runs while executable" true (run_from cpu base = Fluxarm.Mc.Svc_taken 9);
+  check_bool "warm dispatch" true (run_from cpu base = Fluxarm.Mc.Svc_taken 9);
+  (* revoke execute: the decoded block survives, its stamp must not *)
+  grant_v7 mpu ~index:0 ~base ~size:4096 Perms.Read_write_only;
+  (match run_from cpu base with
+  | exception Memory.Access_fault f ->
+    check_bool "execute fault" true (f.Memory.fault_access = Perms.Execute);
+    check_int "at the block start" base f.Memory.fault_addr
+  | _ -> Alcotest.fail "expected an execute fault on the next dispatch");
+  (* re-grant: dispatch works again without re-decoding being observable *)
+  grant_v7 mpu ~index:0 ~base ~size:4096 Perms.Read_write_execute;
+  check_bool "re-granted" true (run_from cpu base = Fluxarm.Mc.Svc_taken 9)
+
+(* --- blocks never cross a decision-granule boundary --- *)
+
+let test_block_splits_at_granule () =
+  let m = Machine.create_arm () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let cpu = m.Machine.arm_cpu in
+  C.set_special_raw cpu R.Control 1;
+  let base = 0x2000_0000 in
+  (* three adjacent 32-byte RWX regions: the decision granule is 32 bytes,
+     far smaller than the straight-line run below *)
+  grant_v7 mpu ~index:0 ~base ~size:32 Perms.Read_write_execute;
+  grant_v7 mpu ~index:1 ~base:(base + 32) ~size:32 Perms.Read_write_execute;
+  grant_v7 mpu ~index:2 ~base:(base + 64) ~size:32 Perms.Read_write_execute;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  let prog = List.init 20 (fun i -> T.Movw (R.R0, i + 1)) @ [ T.Svc 4 ] in
+  ignore (T.assemble mem base prog) (* 20 * 4 + 2 = 82 bytes, crosses twice *);
+  check_bool "cold run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 4);
+  check_int "cold result" 20 (C.get cpu R.R0);
+  C.set cpu R.R0 0;
+  let c0 = Cycles.read Cycles.global in
+  check_bool "warm run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 4);
+  let warm_cycles = Cycles.read Cycles.global - c0 in
+  check_int "warm result" 20 (C.get cpu R.R0);
+  (* the published block at [base] stops at the first granule edge *)
+  let ic = C.icache cpu in
+  (match I.find_block ic ~gen:(Memory.code_generation mem) base with
+  | None -> Alcotest.fail "expected a cached block at base"
+  | Some b ->
+    check_bool "block fits its granule" true
+      (base lsr 5 = (base + b.I.byte_len - 1) lsr 5));
+  (* same program, uncached engine: identical cycles *)
+  let m2 = Machine.create_arm () in
+  let mem2 = m2.Machine.arm_mem and mpu2 = m2.Machine.arm_mpu in
+  let cpu2 = m2.Machine.arm_cpu in
+  C.set_special_raw cpu2 R.Control 1;
+  grant_v7 mpu2 ~index:0 ~base ~size:32 Perms.Read_write_execute;
+  grant_v7 mpu2 ~index:1 ~base:(base + 32) ~size:32 Perms.Read_write_execute;
+  grant_v7 mpu2 ~index:2 ~base:(base + 64) ~size:32 Perms.Read_write_execute;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu2 true;
+  ignore (T.assemble mem2 base prog);
+  I.set_enabled (C.icache cpu2) false;
+  let c1 = Cycles.read Cycles.global in
+  check_bool "uncached run" true (run_from cpu2 base = Fluxarm.Mc.Svc_taken 4);
+  check_int "split blocks charge identical cycles" warm_cycles
+    (Cycles.read Cycles.global - c1)
+
+(* --- randomized lockstep: cached vs uncached engines --- *)
+
+let random_program rng =
+  let gprs = R.[ R0; R1; R2; R3; R4 ] in
+  let reg () = List.nth gprs (Random.State.int rng (List.length gprs)) in
+  let body =
+    List.init
+      (1 + Random.State.int rng 40)
+      (fun _ ->
+        match Random.State.int rng 100 with
+        | c when c < 25 -> T.Movw (reg (), Random.State.int rng 0x10000)
+        | c when c < 35 -> T.Movt (reg (), Random.State.int rng 0x10000)
+        | c when c < 45 -> T.Mov_reg (reg (), reg ())
+        | c when c < 55 -> T.Addw (reg (), reg (), Random.State.int rng 4096)
+        | c when c < 62 -> T.Subw (reg (), reg (), Random.State.int rng 4096)
+        | c when c < 72 -> T.Ldr_imm (reg (), R.R6, Random.State.int rng 1024 land lnot 3)
+        | c when c < 80 -> T.Str_imm (reg (), R.R6, Random.State.int rng 1024 land lnot 3)
+        | c when c < 84 ->
+          (* self-modifying store into the code region *)
+          T.Str_imm (reg (), R.R7, Random.State.int rng 64 land lnot 3)
+        | c when c < 90 -> T.Cmp_lr (reg ())
+        | c when c < 96 ->
+          T.B_cond ((if Random.State.bool rng then `Eq else `Ne), Random.State.int rng 16)
+        | _ -> T.Nop)
+  in
+  if Random.State.bool rng then body @ [ T.Svc 0 ]
+  else
+    (* loop until fuel runs out: lr=1 vs r5=0 keeps Z clear *)
+    let tail = [ T.Cmp_lr R.R5 ] in
+    let bytes =
+      List.fold_left (fun a i -> a + T.size_bytes i) 0 (body @ tail)
+    in
+    body @ tail @ [ T.B_cond (`Ne, (-bytes - 4) / 2) ]
+
+let lockstep_run prog =
+  let go cached =
+    let mem, cpu = bare () in
+    I.set_enabled (C.icache cpu) false;
+    ignore (T.assemble mem 0x1000 prog);
+    I.set_enabled (C.icache cpu) cached;
+    C.set cpu R.R6 (Range.start Layout.app_sram);
+    C.set cpu R.R7 0x1000 (* self-modifying stores land here *);
+    C.pseudo_ldr_special cpu R.Lr 1;
+    let c0 = Cycles.read Cycles.global in
+    let stop = run_from cpu 0x1000 in
+    let cycles = Cycles.read Cycles.global - c0 in
+    let regs = List.map (C.get cpu) R.[ R0; R1; R2; R3; R4; R5; R6; R7 ] in
+    (stop, regs, C.get_special cpu R.Pc, C.get_special cpu R.Psr, cycles)
+  in
+  (go true, go false)
+
+let test_lockstep_fuzz () =
+  for seed = 1 to 12 do
+    let rng = Random.State.make [| seed; 0x1CAC4E |] in
+    let prog = random_program rng in
+    let (stop_c, regs_c, pc_c, psr_c, cyc_c), (stop_u, regs_u, pc_u, psr_u, cyc_u) =
+      lockstep_run prog
+    in
+    let name fmt = Printf.sprintf fmt seed in
+    check_bool (name "seed %d: same stop") true (stop_c = stop_u);
+    check_bool (name "seed %d: same registers") true (regs_c = regs_u);
+    check_int (name "seed %d: same pc") pc_u pc_c;
+    check_int (name "seed %d: same psr") psr_u psr_c;
+    check_int (name "seed %d: same cycles") cyc_u cyc_c
+  done
+
+let suite =
+  [
+    Alcotest.test_case "stores invalidate cached decodes" `Quick test_store_invalidates;
+    Alcotest.test_case "loader reload invalidates" `Quick test_loader_reload_invalidates;
+    Alcotest.test_case "MPU revoke faults next dispatch" `Quick
+      test_mpu_revoke_faults_next_dispatch;
+    Alcotest.test_case "blocks split at granule boundaries" `Quick
+      test_block_splits_at_granule;
+    Alcotest.test_case "lockstep fuzz: cached = uncached" `Quick test_lockstep_fuzz;
+  ]
