@@ -5,7 +5,9 @@
      ticktock difftest              compare Tock vs TickTock outputs (§6.1)
      ticktock attack [-k BOARD]     replay the §2.2/§3.4 exploits
      ticktock verify [-s SCALE]     check the proof components (§4)
-     ticktock stats                 per-method cycle hooks (Figure 11 raw)
+     ticktock stats                 unified metrics after a suite run
+     ticktock metrics [--json]      same snapshot, text or JSON
+     ticktock trace [-o FILE]       run the suite, export a Chrome trace
 *)
 
 open Ticktock
@@ -164,6 +166,9 @@ let ps_cmd =
     (Cmd.info "ps" ~doc:"Process states after a short suite run")
     Term.(const run2 $ board_arg)
 
+(* `stats` used to print only the per-method cycle hooks, silently dropping
+   the icache/bus-cache counters Instance already tracked; it now goes
+   through the one unified snapshot, which subsumes the hooks table. *)
 let stats_cmd =
   let run board =
     match make_board board with
@@ -173,12 +178,78 @@ let stats_cmd =
     | Ok k ->
       Verify.Violation.set_enabled false;
       ignore (Apps.Difftest.run_suite k);
-      Format.printf "%a@." Hooks.pp (k.Instance.hooks ());
+      Format.printf "%a@." Obs.Metrics.pp (k.Instance.metrics ());
       0
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Per-method cycle hooks after a suite run")
+    (Cmd.info "stats" ~doc:"Unified metrics snapshot after a suite run")
     Term.(const run $ board_arg)
+
+let metrics_cmd =
+  let run board json =
+    match make_board board with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok k ->
+      Verify.Violation.set_enabled false;
+      ignore (Apps.Difftest.run_suite k);
+      let snap = k.Instance.metrics () in
+      if json then print_string (Obs.Metrics.to_json snap)
+      else print_string (Obs.Metrics.to_text snap);
+      0
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the stable JSON dump.") in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Unified metrics snapshot (text or JSON) after a suite run")
+    Term.(const run $ board_arg $ json)
+
+let trace_cmd =
+  let run board out =
+    (* Build the board with a recorder attached (the ambient mode reaches
+       through the closure-built constructors), then run the release suite
+       under it and export the ring as a Chrome trace. *)
+    Obs.Config.set_auto Obs.Config.On;
+    match make_board board with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok k ->
+      (match k.Instance.obs () with
+      | None ->
+        prerr_endline "internal error: no recorder attached";
+        1
+      | Some r ->
+        (* Contracts stay armed so a failure lands in the trace's
+           contracts lane; on a buggy board the first violation ends the
+           trace early (with the event in place) rather than the run. *)
+        Verify.Violation.set_obs
+          (Some (Obs.Recorder.sink r ~now:(fun () -> k.Instance.ticks ())));
+        (try ignore (Apps.Difftest.run_suite k)
+         with Verify.Violation.Violation v ->
+           Format.eprintf "contract fired during trace: %a@." Verify.Violation.pp v);
+        Verify.Violation.set_obs None;
+        let json = Obs.Chrome.to_json ~name:board r in
+        (match out with
+        | None -> print_string json
+        | Some path ->
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "wrote %s (%d events recorded, %d dropped)\n" path
+            (Obs.Recorder.recorded r) (Obs.Recorder.dropped r));
+        0)
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the release suite with tracing on; export Chrome trace_event JSON")
+    Term.(const run $ board_arg $ out)
 
 let () =
   let doc = "TickTock: verified isolation in a modeled embedded OS" in
@@ -186,4 +257,15 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ boards_cmd; run_cmd; difftest_cmd; attack_cmd; verify_cmd; stats_cmd; fuzz_cmd; ps_cmd ]))
+          [
+            boards_cmd;
+            run_cmd;
+            difftest_cmd;
+            attack_cmd;
+            verify_cmd;
+            stats_cmd;
+            metrics_cmd;
+            trace_cmd;
+            fuzz_cmd;
+            ps_cmd;
+          ]))

@@ -30,7 +30,10 @@ module Make (M : Region_intf.MPU) = struct
   type t = {
     mutable breaks : App_breaks.t;
     regions : Region.t array;
+    mutable obs : Obs.Event.sink option;
   }
+
+  let set_obs t sink = t.obs <- sink
 
   (* --- the §4.3 invariant --- *)
 
@@ -129,7 +132,7 @@ module Make (M : Region_intf.MPU) = struct
       regions.(max_ram_region_number - 1) <- ram_region0;
       regions.(max_ram_region_number) <- ram_region1;
       regions.(flash_region_number) <- flash_region;
-      Ok (check_invariant { breaks; regions })
+      Ok (check_invariant { breaks; regions; obs = None })
     end
 
   (* --- observation --- *)
@@ -168,6 +171,12 @@ module Make (M : Region_intf.MPU) = struct
         t.regions.(max_ram_region_number) <- r1;
         t.breaks <- App_breaks.with_app_break t.breaks actual_break;
         ignore (check_invariant t);
+        (match t.obs with
+        | None -> ()
+        | Some emit ->
+            emit
+              (Obs.Event.Region_update
+                 { start; size = size0 + size1; app_break = actual_break; kernel_break = kb }));
         Ok actual_break
     end
 
@@ -191,6 +200,9 @@ module Make (M : Region_intf.MPU) = struct
       else begin
         t.breaks <- App_breaks.with_kernel_break t.breaks proposed;
         ignore (check_invariant t);
+        (match t.obs with
+        | None -> ()
+        | Some emit -> emit (Obs.Event.Grant_placed { addr = proposed; size }));
         Ok proposed
       end
     end

@@ -25,147 +25,202 @@ module Ticktock_qemu = Kernel.Make (Ticktock_qemu_mm)
 module Tock_pmp = Kernel.Make (Tock_pmp_mm)
 module Tock_pmp_patched = Kernel.Make (Tock_pmp_patched_mm)
 
+(* --- observability wiring ---
+
+   A board attaches one recorder to every emitting layer: the kernel (which
+   stamps events with its tick counter), the memory bus, the MPU model and
+   the CPU. The recorder is the caller's, or — when the caller passed none —
+   one implied by the ambient {!Obs.Config} mode, so harnesses that build
+   instances through opaque closures (difftest, fuzz) still trace when
+   TICKTOCK_OBS is set. *)
+
+let resolve_obs = function
+  | Some _ as obs -> obs
+  | None -> (
+    match Obs.Config.auto_mode () with
+    | Obs.Config.Off -> None
+    | Obs.Config.On -> Some (Obs.Recorder.create ())
+    | Obs.Config.Disabled ->
+      let r = Obs.Recorder.create () in
+      Obs.Recorder.set_enabled r false;
+      Some r)
+
+let wire_arm (m : Machine.arm) sink =
+  if sink <> None then begin
+    Memory.set_obs m.Machine.arm_mem sink;
+    Mpu_hw.Armv7m_mpu.set_obs m.Machine.arm_mpu sink;
+    Fluxarm.Cpu.set_obs m.Machine.arm_cpu sink
+  end
+
+let wire_v8 (m : Machine.arm_v8) sink =
+  if sink <> None then begin
+    Memory.set_obs m.Machine.v8_mem sink;
+    Mpu_hw.Armv8m_mpu.set_obs m.Machine.v8_mpu sink;
+    Fluxarm.Cpu.set_obs m.Machine.v8_cpu sink
+  end
+
+let wire_rv (m : Machine.riscv) sink =
+  if sink <> None then begin
+    Memory.set_obs m.Machine.rv_mem sink;
+    Mpu_hw.Pmp.set_obs m.Machine.rv_pmp sink
+  end
+
 (** Fresh ARM machine + TickTock kernel. *)
-let make_ticktock_arm ?quantum ?capsules () =
+let make_ticktock_arm ?quantum ?capsules ?obs () =
   let m = Machine.create_arm () in
   let k =
     Ticktock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
-      ?quantum ?capsules ()
+      ?quantum ?capsules ?obs:(resolve_obs obs) ()
   in
+  wire_arm m (Ticktock_arm.obs_sink k);
   (m, k)
 
 (** Fresh ARM machine + upstream (buggy) Tock kernel. *)
-let make_tock_arm ?quantum ?capsules () =
+let make_tock_arm ?quantum ?capsules ?obs () =
   let m = Machine.create_arm () in
   let k =
     Tock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
-      ?quantum ?capsules ()
+      ?quantum ?capsules ?obs:(resolve_obs obs) ()
   in
+  wire_arm m (Tock_arm.obs_sink k);
   (m, k)
 
 (** Fresh ARM machine + patched Tock kernel. *)
-let make_tock_arm_patched ?quantum ?capsules () =
+let make_tock_arm_patched ?quantum ?capsules ?obs () =
   let m = Machine.create_arm () in
   let k =
     Tock_arm_patched.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
-      ?quantum ?capsules ()
+      ?quantum ?capsules ?obs:(resolve_obs obs) ()
   in
+  wire_arm m (Tock_arm_patched.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + TickTock kernel on the SiFive E310. *)
-let make_ticktock_e310 ?quantum ?capsules () =
+let make_ticktock_e310 ?quantum ?capsules ?obs () =
   let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
   let k =
     Ticktock_e310.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
-      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
+      ?obs:(resolve_obs obs) ()
   in
+  wire_rv m (Ticktock_e310.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + TickTock kernel on OpenTitan EarlGrey. The
     kernel seals its own regions with locked Smepmp entries first. *)
-let make_ticktock_earlgrey ?quantum ?capsules () =
+let make_ticktock_earlgrey ?quantum ?capsules ?obs () =
   let m = Machine.create_riscv Mpu_hw.Pmp.earlgrey in
   Epmp.protect_kernel m.Machine.rv_pmp;
   let k =
     Ticktock_earlgrey.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
-      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
+      ?obs:(resolve_obs obs) ()
   in
+  wire_rv m (Ticktock_earlgrey.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + TickTock kernel on the QEMU rv32 virt board. *)
-let make_ticktock_qemu ?quantum ?capsules () =
+let make_ticktock_qemu ?quantum ?capsules ?obs () =
   let m = Machine.create_riscv Mpu_hw.Pmp.qemu_rv32_virt in
   let k =
     Ticktock_qemu.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
-      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
+      ?obs:(resolve_obs obs) ()
   in
+  wire_rv m (Ticktock_qemu.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + upstream (buggy) monolithic Tock kernel on PMP. *)
-let make_tock_pmp ?quantum ?capsules () =
+let make_tock_pmp ?quantum ?capsules ?obs () =
   let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
   let k =
     Tock_pmp.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
-      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
+      ?obs:(resolve_obs obs) ()
   in
+  wire_rv m (Tock_pmp.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + patched monolithic Tock kernel on PMP. *)
-let make_tock_pmp_patched ?quantum ?capsules () =
+let make_tock_pmp_patched ?quantum ?capsules ?obs () =
   let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
   let k =
     Tock_pmp_patched.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
-      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules ()
+      ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
+      ?obs:(resolve_obs obs) ()
   in
+  wire_rv m (Tock_pmp_patched.obs_sink k);
   (m, k)
 
 (** Fresh ARM machine + TickTock kernel whose context switch runs assembled
     Thumb-2 machine code through the fetch-decode-execute engine. *)
-let make_ticktock_arm_mc ?quantum ?capsules () =
+let make_ticktock_arm_mc ?quantum ?capsules ?obs () =
   let m = Machine.create_arm () in
   let code = Fluxarm.Handlers_mc.install m.Machine.arm_mem in
   let k =
     Ticktock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_mc_switch (m.Machine.arm_cpu, code))
-      ~systick:m.Machine.arm_systick ?quantum ?capsules ()
+      ~systick:m.Machine.arm_systick ?quantum ?capsules ?obs:(resolve_obs obs) ()
   in
+  wire_arm m (Ticktock_arm.obs_sink k);
   (m, k)
 
 (** Fresh ARMv8-M (PMSAv8) machine + TickTock kernel. *)
-let make_ticktock_arm_v8 ?quantum ?capsules () =
+let make_ticktock_arm_v8 ?quantum ?capsules ?obs () =
   let m = Machine.create_arm_v8 () in
   let k =
     Ticktock_arm_v8.create ~mem:m.Machine.v8_mem ~hw:m.Machine.v8_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.v8_cpu) ~systick:m.Machine.v8_systick ?quantum
-      ?capsules ()
+      ?capsules ?obs:(resolve_obs obs) ()
   in
+  wire_v8 m (Ticktock_arm_v8.obs_sink k);
   (m, k)
 
 (* --- type-erased instances for the evaluation harness --- *)
 
-let instance_ticktock_arm_v8 ?quantum ?capsules () =
-  let _, k = make_ticktock_arm_v8 ?quantum ?capsules () in
+let instance_ticktock_arm_v8 ?quantum ?capsules ?obs () =
+  let _, k = make_ticktock_arm_v8 ?quantum ?capsules ?obs () in
   Ticktock_arm_v8.instance k
 
 
-let instance_ticktock_arm_mc ?quantum ?capsules () =
-  let _, k = make_ticktock_arm_mc ?quantum ?capsules () in
+let instance_ticktock_arm_mc ?quantum ?capsules ?obs () =
+  let _, k = make_ticktock_arm_mc ?quantum ?capsules ?obs () in
   Ticktock_arm.instance k
 
 
-let instance_ticktock_arm ?quantum ?capsules () =
-  let _, k = make_ticktock_arm ?quantum ?capsules () in
+let instance_ticktock_arm ?quantum ?capsules ?obs () =
+  let _, k = make_ticktock_arm ?quantum ?capsules ?obs () in
   Ticktock_arm.instance k
 
-let instance_tock_arm ?quantum ?capsules () =
-  let _, k = make_tock_arm ?quantum ?capsules () in
+let instance_tock_arm ?quantum ?capsules ?obs () =
+  let _, k = make_tock_arm ?quantum ?capsules ?obs () in
   Tock_arm.instance k
 
-let instance_tock_arm_patched ?quantum ?capsules () =
-  let _, k = make_tock_arm_patched ?quantum ?capsules () in
+let instance_tock_arm_patched ?quantum ?capsules ?obs () =
+  let _, k = make_tock_arm_patched ?quantum ?capsules ?obs () in
   Tock_arm_patched.instance k
 
-let instance_ticktock_e310 ?quantum ?capsules () =
-  let _, k = make_ticktock_e310 ?quantum ?capsules () in
+let instance_ticktock_e310 ?quantum ?capsules ?obs () =
+  let _, k = make_ticktock_e310 ?quantum ?capsules ?obs () in
   Ticktock_e310.instance k
 
-let instance_ticktock_earlgrey ?quantum ?capsules () =
-  let _, k = make_ticktock_earlgrey ?quantum ?capsules () in
+let instance_ticktock_earlgrey ?quantum ?capsules ?obs () =
+  let _, k = make_ticktock_earlgrey ?quantum ?capsules ?obs () in
   Ticktock_earlgrey.instance k
 
-let instance_ticktock_qemu ?quantum ?capsules () =
-  let _, k = make_ticktock_qemu ?quantum ?capsules () in
+let instance_ticktock_qemu ?quantum ?capsules ?obs () =
+  let _, k = make_ticktock_qemu ?quantum ?capsules ?obs () in
   Ticktock_qemu.instance k
 
-let instance_tock_pmp ?quantum ?capsules () =
-  let _, k = make_tock_pmp ?quantum ?capsules () in
+let instance_tock_pmp ?quantum ?capsules ?obs () =
+  let _, k = make_tock_pmp ?quantum ?capsules ?obs () in
   Tock_pmp.instance k
 
-let instance_tock_pmp_patched ?quantum ?capsules () =
-  let _, k = make_tock_pmp_patched ?quantum ?capsules () in
+let instance_tock_pmp_patched ?quantum ?capsules ?obs () =
+  let _, k = make_tock_pmp_patched ?quantum ?capsules ?obs () in
   Tock_pmp_patched.instance k
 
 (** Every kernel configuration, for harnesses that sweep all of them. *)

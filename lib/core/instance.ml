@@ -39,4 +39,13 @@ type t = {
   icache_stats : unit -> Fluxarm.Icache.stats option;
   (** Decode/block-cache statistics of the switcher's CPU; [None] when the
       configuration has no machine-code CPU (the RISC-V [Sim_switch]). *)
+  buscache_stats : unit -> int * int;
+  (** [(hits, misses)] of the memory bus's MPU access-decision cache — the
+      companion to [icache_stats] that used to be missing. *)
+  metrics : unit -> Obs.Metrics.snapshot;
+  (** The unified metrics snapshot: registry (syscall-latency histograms,
+      fault/restart counters) plus every polled stat — per-method cycle
+      hooks, bus/icache cache counters, per-process memory gauges. *)
+  obs : unit -> Obs.Recorder.t option;
+  (** The cross-layer event recorder, when tracing is attached. *)
 }

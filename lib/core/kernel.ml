@@ -64,12 +64,29 @@ module Make (MM : Mm.S) = struct
         (** when present (ARM boards), the scheduling quantum is driven by
             the modeled SysTick countdown over consumed cycles instead of
             an action budget *)
+    obs : Obs.Recorder.t option;
+        (** cross-layer event recorder; [None] = tracing absent, and every
+            hook site is a single pattern match that allocates nothing *)
+    metrics : Obs.Metrics.t;
+    syscall_hists : Obs.Metrics.hist array;
+        (** model-cycle syscall latency per call kind ({!syscall_kind}) *)
   }
 
   let name = MM.name
 
+  let syscall_kind_names = [| "yield"; "subscribe"; "command"; "allow_rw"; "allow_ro"; "memop" |]
+
+  let syscall_kind = function
+    | Userland.Yield -> 0
+    | Userland.Subscribe _ -> 1
+    | Userland.Command _ -> 2
+    | Userland.Allow_rw _ -> 3
+    | Userland.Allow_ro _ -> 4
+    | Userland.Memop _ -> 5
+
   let create ~mem ~hw ~switcher ?(quantum = 64) ?(capsules = []) ?(sched = Round_robin)
-      ?syscall_filter ?trace ?systick () =
+      ?syscall_filter ?trace ?systick ?obs () =
+    let metrics = Obs.Metrics.create () in
     let t =
       {
         mem;
@@ -89,6 +106,10 @@ module Make (MM : Mm.S) = struct
         syscall_filter;
         trace;
         systick;
+        obs;
+        metrics;
+        syscall_hists =
+          Array.map (fun k -> Obs.Metrics.hist metrics ("syscall_cycles/" ^ k)) syscall_kind_names;
       }
     in
     List.iter (fun (c : Capsule_intf.t) -> Hashtbl.replace t.capsules c.driver_num c) capsules;
@@ -96,6 +117,16 @@ module Make (MM : Mm.S) = struct
 
   let trace_event t event =
     match t.trace with None -> () | Some tr -> Trace.record tr ~tick:t.ticks event
+
+  (* Call sites match on [t.obs] themselves so a disabled kernel never even
+     constructs the event value. *)
+  let obs_recorder t = t.obs
+
+  let obs_sink t =
+    match t.obs with
+    | None -> None
+    | Some r -> Some (Obs.Recorder.sink r ~now:(fun () -> t.ticks))
+
 
   let hooks t = t.hooks
   let processes t = t.procs
@@ -135,6 +166,7 @@ module Make (MM : Mm.S) = struct
         ~min_size:(min_ram + heap_headroom) ~app_size:min_ram ~kernel_size:grant_reserve
         ~flash_start:placed.Loader.flash_start ~flash_size:placed.Loader.flash_size
     in
+    (match obs_sink t with None -> () | Some _ as sink -> MM.set_obs alloc sink);
     (if heap_headroom > 0 then
        match MM.brk alloc t.hw ~new_app_break:(MM.memory_start alloc + min_ram) with
        | Ok _ -> ()
@@ -185,11 +217,17 @@ module Make (MM : Mm.S) = struct
         restarts = 0;
         slices = 0;
         syscall_count = 0;
+        mem_watermark = MM.app_break alloc - MM.memory_start alloc;
       }
     in
     t.next_pid <- t.next_pid + 1;
     t.procs <- t.procs @ [ proc ];
     trace_event t (Trace.Created { pid = proc.Process.pid; pname = name });
+    (match t.obs with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r ~tick:t.ticks
+        (Obs.Event.Proc_created { pid = proc.Process.pid; name }));
     Ok proc
 
   (* Tock-style process loading: walk the app-flash region parsing TBF
@@ -249,6 +287,17 @@ module Make (MM : Mm.S) = struct
           Hooks.measure t.hooks "allocate_grant" @@ fun () ->
           MM.allocate_grant proc.alloc ~size:64 ~align:8
         in
+        (match t.obs with
+        | None -> ()
+        | Some r ->
+          Obs.Recorder.record r ~tick:t.ticks
+            (Obs.Event.Grant
+               {
+                 pid = proc.Process.pid;
+                 driver;
+                 addr = Result.value result ~default:0;
+                 ok = Result.is_ok result;
+               }));
         Result.map
           (fun g ->
             proc.grants <- (driver, g) :: proc.grants;
@@ -261,7 +310,12 @@ module Make (MM : Mm.S) = struct
   let schedule_upcall ?t (proc : proc) ~upcall_id ~arg =
     (match t with
     | Some t ->
-      trace_event t (Trace.Upcall { pid = proc.Process.pid; upcall_id; arg })
+      trace_event t (Trace.Upcall { pid = proc.Process.pid; upcall_id; arg });
+      (match t.obs with
+      | None -> ()
+      | Some r ->
+        Obs.Recorder.record r ~tick:t.ticks
+          (Obs.Event.Upcall { pid = proc.Process.pid; upcall_id; arg }))
     | None -> ());
     match proc.Process.state with
     | Process.Yielded ->
@@ -350,19 +404,40 @@ module Make (MM : Mm.S) = struct
 
   let signed_of_word w = if w land 0x8000_0000 <> 0 then w - (1 lsl 32) else w
 
+  let note_watermark (proc : proc) =
+    let w = MM.app_break proc.alloc - MM.memory_start proc.alloc in
+    if w > proc.Process.mem_watermark then proc.Process.mem_watermark <- w
+
+  let note_brk t (proc : proc) result =
+    note_watermark proc;
+    match t.obs with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r ~tick:t.ticks
+        (Obs.Event.Brk
+           {
+             pid = proc.Process.pid;
+             app_break = MM.app_break proc.alloc;
+             ok = Result.is_ok result;
+           })
+
   let handle_memop t (proc : proc) ~op ~arg =
     if op = Userland.memop_brk then begin
-      match
+      let result =
         Hooks.measure t.hooks "brk" @@ fun () -> MM.brk proc.alloc t.hw ~new_app_break:arg
-      with
+      in
+      note_brk t proc result;
+      match result with
       | Ok b -> b
       | Error _ -> Userland.failure
     end
     else if op = Userland.memop_sbrk then begin
-      match
+      let result =
         Hooks.measure t.hooks "brk" @@ fun () ->
         MM.sbrk proc.alloc t.hw ~delta:(signed_of_word arg)
-      with
+      in
+      note_brk t proc result;
+      match result with
       | Ok b -> b
       | Error _ -> Userland.failure
     end
@@ -553,6 +628,10 @@ module Make (MM : Mm.S) = struct
       (Printf.sprintf "fault during context switch at %s" (Word32.to_hex f.Memory.fault_addr))
 
   let run_slice t (proc : proc) =
+    (match t.obs with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Switch_to_user { pid = proc.Process.pid }));
     Hooks.measure t.hooks "setup_mpu" (fun () -> MM.configure_mpu t.hw proc.alloc);
     match t.switcher with
     | Arm_switch cpu ->
@@ -634,10 +713,21 @@ module Make (MM : Mm.S) = struct
     Queue.clear proc.pending_upcalls;
     proc.state <- Process.Ready;
     trace_event t (Trace.Restarted proc.Process.pid);
+    Obs.Metrics.incr t.metrics "kernel/restarts";
+    (match t.obs with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Restarted { pid = proc.Process.pid }));
     log_console t (Printf.sprintf "process %s restarted (attempt %d)" proc.name proc.restarts)
 
   let handle_fault t (proc : proc) msg =
     trace_event t (Trace.Faulted { pid = proc.Process.pid; reason = msg });
+    Obs.Metrics.incr t.metrics "kernel/faults";
+    (match t.obs with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r ~tick:t.ticks
+        (Obs.Event.Faulted { pid = proc.Process.pid; reason = msg }));
     proc.state <- Process.Faulted msg;
     log_console t (Printf.sprintf "process %s faulted: %s" proc.name msg);
     print_process_status t proc;
@@ -651,6 +741,10 @@ module Make (MM : Mm.S) = struct
 
   let step_process t (proc : proc) =
     trace_event t (Trace.Scheduled proc.Process.pid);
+    (match t.obs with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Scheduled { pid = proc.Process.pid }));
     proc.Process.slices <- proc.Process.slices + 1;
     let slice = run_slice t proc in
     (* back in the kernel: enforcement off until the next switch (§2.1) *)
@@ -658,13 +752,25 @@ module Make (MM : Mm.S) = struct
     match slice with
     | Slice_syscall call ->
       proc.Process.syscall_count <- proc.Process.syscall_count + 1;
-      let result = handle_syscall t proc call in
+      Obs.Metrics.incr t.metrics "kernel/syscalls";
+      let result, latency = Cycles.measure Cycles.global (fun () -> handle_syscall t proc call) in
+      Obs.Metrics.observe t.syscall_hists.(syscall_kind call) latency;
       trace_event t (Trace.Syscall { pid = proc.Process.pid; call; result });
+      (match t.obs with
+      | None -> ()
+      | Some r ->
+        Obs.Recorder.record r ~tick:t.ticks
+          (Obs.Event.Syscall
+             { pid = proc.Process.pid; call = syscall_kind_names.(syscall_kind call); result }));
       proc.last_result <- result
     | Slice_quantum -> ()
     | Slice_exit code ->
       proc.state <- Process.Exited code;
       trace_event t (Trace.Exited { pid = proc.Process.pid; code });
+      (match t.obs with
+      | None -> ()
+      | Some r ->
+        Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Exited { pid = proc.Process.pid; code }));
       log_console t (Printf.sprintf "process %s exited with %d" proc.name code)
     | Slice_fault msg -> handle_fault t proc msg
 
@@ -764,6 +870,60 @@ module Make (MM : Mm.S) = struct
     let grant = MM.memory_start proc.alloc + total - MM.kernel_break proc.alloc in
     { Instance.total; app; grant; unused = total - app - grant }
 
+  (* One snapshot subsuming every scattered [*_stats] accessor: the live
+     registry (syscall-latency histograms, fault/restart/syscall counters),
+     the Figure 11 per-method cycle rows, the bus and instruction caches
+     (flagged [host] — they describe the simulator, not the simulated
+     machine, so determinism comparisons exclude them via
+     [Obs.Metrics.model_only]) and per-process memory gauges including the
+     high-water mark. *)
+  let metrics_snapshot t =
+    let open Obs.Metrics in
+    let hooks_rows =
+      List.concat_map
+        (fun (m, calls, cycles) ->
+          [ c ("hooks/" ^ m ^ "/calls") calls; c ("hooks/" ^ m ^ "/cycles") cycles ])
+        (Hooks.rows t.hooks)
+    in
+    let dc_hits, dc_misses = Memory.cache_stats t.mem in
+    let bus =
+      [
+        c ~host:true "bus/decision_cache/hits" dc_hits;
+        c ~host:true "bus/decision_cache/misses" dc_misses;
+      ]
+    in
+    let icache =
+      match t.switcher with
+      | Arm_switch cpu | Arm_mc_switch (cpu, _) ->
+        let s = Fluxarm.Icache.stats (Fluxarm.Cpu.icache cpu) in
+        [
+          c ~host:true "icache/hits" s.Fluxarm.Icache.hits;
+          c ~host:true "icache/misses" s.Fluxarm.Icache.misses;
+          c ~host:true "icache/cached_instructions" s.Fluxarm.Icache.cached;
+          c ~host:true "icache/total_instructions" s.Fluxarm.Icache.total;
+        ]
+      | Sim_switch _ -> []
+    in
+    let kernel = [ g "kernel/ticks" t.ticks; g "kernel/processes" (List.length t.procs) ] in
+    let per_proc =
+      List.concat_map
+        (fun (p : proc) ->
+          let s = mem_stats p in
+          let pre = Printf.sprintf "proc/%d/" p.Process.pid in
+          [
+            c (pre ^ "slices") p.Process.slices;
+            c (pre ^ "syscalls") p.Process.syscall_count;
+            c (pre ^ "restarts") p.Process.restarts;
+            g (pre ^ "mem_total") s.Instance.total;
+            g (pre ^ "mem_app") s.Instance.app;
+            g (pre ^ "mem_grant") s.Instance.grant;
+            g (pre ^ "mem_unused") s.Instance.unused;
+            g (pre ^ "mem_watermark") p.Process.mem_watermark;
+          ])
+        t.procs
+    in
+    sorted (snapshot t.metrics @ hooks_rows @ bus @ icache @ kernel @ per_proc)
+
   (* --- the type-erased view --- *)
 
   let instance t : Instance.t =
@@ -807,5 +967,8 @@ module Make (MM : Mm.S) = struct
           | Arm_switch cpu | Arm_mc_switch (cpu, _) ->
             Some (Fluxarm.Icache.stats (Fluxarm.Cpu.icache cpu))
           | Sim_switch _ -> None);
+      buscache_stats = (fun () -> Memory.cache_stats t.mem);
+      metrics = (fun () -> metrics_snapshot t);
+      obs = (fun () -> t.obs);
     }
 end

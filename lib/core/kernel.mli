@@ -50,6 +50,7 @@ module Make (MM : Mm.S) : sig
     ?syscall_filter:(int -> Userland.call -> bool) ->
     ?trace:Trace.t ->
     ?systick:Mpu_hw.Systick.t ->
+    ?obs:Obs.Recorder.t ->
     unit ->
     t
   (** Build a kernel on a machine. [quantum] is the scheduling quantum
@@ -61,6 +62,21 @@ module Make (MM : Mm.S) : sig
 
   val hooks : t -> Hooks.t
   (** The Figure 11 per-method cycle rows. *)
+
+  val metrics_snapshot : t -> Obs.Metrics.snapshot
+  (** The unified metrics snapshot: the live registry (per-call-kind
+      syscall-latency histograms in model cycles, fault/restart/syscall
+      counters) plus polled values — {!hooks} rows, bus and icache cache
+      counters (flagged host-observational), kernel tick/process gauges and
+      per-process memory gauges including the high-water mark. *)
+
+  val obs_recorder : t -> Obs.Recorder.t option
+  (** The cross-layer event recorder passed at {!create}, if any. *)
+
+  val obs_sink : t -> Obs.Event.sink option
+  (** A sink writing into {!obs_recorder} stamped with this kernel's tick
+      counter — what board constructors wire into the machine layers
+      (memory bus, MPU model, CPU). [None] when tracing is absent. *)
 
   val processes : t -> proc list
   val ticks : t -> int

@@ -31,6 +31,12 @@ module type S = sig
   val accessible : alloc -> Range.t list
   (** The manager's {e logical} view of what the process may touch. *)
 
+  val set_obs : alloc -> Obs.Event.sink option -> unit
+  (** Attach an observability sink to this allocation: region updates and
+      grant placements emit through it. The kernel wires this right after
+      {!allocate} when tracing is on; [None] (the creation default) costs
+      one pattern match per allocator decision. *)
+
   val brk : alloc -> hw -> new_app_break:Word32.t -> (Word32.t, Kerror.t) result
   val sbrk : alloc -> hw -> delta:int -> (Word32.t, Kerror.t) result
   val allocate_grant : alloc -> size:int -> align:int -> (Word32.t, Kerror.t) result
@@ -64,6 +70,7 @@ module Ticktock (M : Region_intf.MPU) : S with type hw = M.hw = struct
   let app_break = A.app_break
   let kernel_break = A.kernel_break
   let accessible = A.accessible
+  let set_obs = A.set_obs
 
   (* TickTock's brk does not touch the hardware: the new configuration is
      written at the next context switch (the removed redundant setup_mpu
@@ -100,6 +107,7 @@ module Tock (M : Region_intf.MONOLITHIC) : S with type hw = M.hw = struct
   let app_break = A.app_break
   let kernel_break = A.kernel_break
   let accessible = A.accessible
+  let set_obs = A.set_obs
   let brk alloc hw ~new_app_break = A.brk alloc hw ~new_app_break
   let sbrk alloc hw ~delta = A.sbrk alloc hw ~delta
   let allocate_grant alloc ~size ~align = A.allocate_grant alloc ~size ~align

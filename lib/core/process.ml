@@ -43,6 +43,8 @@ type 'alloc t = {
   mutable restarts : int;
   mutable slices : int;  (** scheduler slices received *)
   mutable syscall_count : int;
+  mutable mem_watermark : int;
+      (** high-water mark of [app_break - memory_start], in bytes *)
 }
 
 let is_runnable t =

@@ -24,6 +24,7 @@ module Make (M : Region_intf.MONOLITHIC) = struct
     mutable kernel_break : Word32.t;  (* recomputed, not hardware-derived *)
     mutable flash_start : Word32.t;
     mutable flash_size : int;
+    mutable obs : Obs.Event.sink option;
   }
 
   let allocate_app_memory ~unalloc_start ~unalloc_size ~min_size ~app_size ~kernel_size
@@ -60,7 +61,10 @@ module Make (M : Region_intf.MONOLITHIC) = struct
             kernel_break;
             flash_start;
             flash_size;
+            obs = None;
           })
+
+  let set_obs t sink = t.obs <- sink
 
   let breaks_view t =
     (* Export the recomputed view in AppBreaks form for comparison in tests;
@@ -95,6 +99,17 @@ module Make (M : Region_intf.MONOLITHIC) = struct
     | Ok () ->
       t.app_break <- new_app_break;
       M.configure_mpu hw t.config;
+      (match t.obs with
+      | None -> ()
+      | Some emit ->
+          emit
+            (Obs.Event.Region_update
+               {
+                 start = t.memory_start;
+                 size = new_app_break - t.memory_start;
+                 app_break = new_app_break;
+                 kernel_break = t.kernel_break;
+               }));
       Ok new_app_break
 
   let sbrk t hw ~delta = brk t hw ~new_app_break:(Word32.add t.app_break delta)
@@ -118,6 +133,9 @@ module Make (M : Region_intf.MONOLITHIC) = struct
            below the hardware-enforced end would be process-writable. *)
         ignore enforced_end;
         t.kernel_break <- proposed;
+        (match t.obs with
+        | None -> ()
+        | Some emit -> emit (Obs.Event.Grant_placed { addr = proposed; size }));
         Ok proposed
       end
     end

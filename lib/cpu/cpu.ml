@@ -13,6 +13,7 @@ type t = {
   mem : Memory.t;
   icache : Icache.t;  (* decoded-instruction/basic-block cache for Mc *)
   cyc : Cycles.handle;  (* the global counter, resolved once per create *)
+  mutable obs : Obs.Event.sink option;  (* consulted only by Exn entry/return *)
 }
 
 let create mem =
@@ -29,10 +30,13 @@ let create mem =
     mem;
     icache = Icache.create ();
     cyc = Cycles.handle Cycles.global;
+    obs = None;
   }
 
 let memory t = t.mem
 let icache t = t.icache
+let set_obs t sink = t.obs <- sink
+let obs t = t.obs
 let cycles t = t.cyc
 let get t r = t.regs.(Regs.gpr_index r)
 

@@ -29,6 +29,12 @@ val cycles : t -> Cycles.handle
     through this instead of re-resolving the domain-local counter per
     instruction. *)
 
+val set_obs : t -> Obs.Event.sink option -> unit
+(** Attach an observability sink. The instruction methods never consult
+    it; only {!Exn} entry/return — the context-switch edges — emit. *)
+
+val obs : t -> Obs.Event.sink option
+
 (** {1 State observation} *)
 
 val get : t -> Regs.gpr -> Word32.t

@@ -40,7 +40,10 @@ let entry cpu ~exc_num =
   Cpu.set_mode cpu Cpu.Handler;
   Cpu.set_special_raw cpu Regs.Psr
     (Word32.set_bits (Cpu.get_special cpu Regs.Psr) ~hi:8 ~lo:0 exc_num);
-  Cpu.set_special_raw cpu Regs.Lr exc_return
+  Cpu.set_special_raw cpu Regs.Lr exc_return;
+  match Cpu.obs cpu with
+  | None -> ()
+  | Some emit -> emit (Obs.Event.Exc_entry { exc = exc_num })
 
 let return cpu exc_return =
   Verify.Violation.require "exn.return: handler mode" (Cpu.mode cpu = Cpu.Handler);
@@ -68,7 +71,10 @@ let return cpu exc_return =
     let control = Cpu.control_committed cpu in
     Cpu.set_special_raw cpu Regs.Control (Word32.set_bit control 1 use_psp)
   end;
-  Cpu.set_special_raw cpu (if use_psp then Regs.Psp else Regs.Msp) new_sp
+  Cpu.set_special_raw cpu (if use_psp then Regs.Psp else Regs.Msp) new_sp;
+  match Cpu.obs cpu with
+  | None -> ()
+  | Some emit -> emit (Obs.Event.Exc_return { to_handler = exc_return = exc_return_handler_msp })
 
 let preempt cpu ~exc_num ~isr =
   entry cpu ~exc_num;

@@ -47,6 +47,10 @@ type t = {
   (* bumped whenever the checker is replaced, so permission stamps taken
      under one checker can never validate against another *)
   mutable checker_epoch : int;
+  (* observability sink: the access-check fast paths never consult it;
+     only the rare invalidation events (checker swap, code-page write)
+     emit, and only when a sink is attached *)
+  mutable obs : Obs.Event.sink option;
 }
 
 let no_page = Bytes.create 0
@@ -65,7 +69,10 @@ let create () =
     code_gen = 0;
     last_wkey = -1;
     checker_epoch = 0;
+    obs = None;
   }
+
+let set_obs t sink = t.obs <- sink
 
 let flush_decision_cache t =
   Array.fill t.dc_key 0 dc_size (-1);
@@ -74,7 +81,10 @@ let flush_decision_cache t =
 let set_checker t checker =
   t.checker <- checker;
   t.checker_epoch <- t.checker_epoch + 1;
-  flush_decision_cache t
+  flush_decision_cache t;
+  match t.obs with
+  | None -> ()
+  | Some emit -> emit (Obs.Event.Buscache_flush { reason = "set_checker" })
 
 let get_checker t = t.checker
 let checker_epoch t = t.checker_epoch
@@ -100,7 +110,10 @@ let code_write_check t addr =
       if Hashtbl.mem t.code_pages key then begin
         t.code_gen <- t.code_gen + 1;
         Hashtbl.reset t.code_pages;
-        t.last_wkey <- -1
+        t.last_wkey <- -1;
+        match t.obs with
+        | None -> ()
+        | Some emit -> emit (Obs.Event.Icache_invalidated { generation = t.code_gen; addr })
       end
       else t.last_wkey <- key
     end

@@ -74,6 +74,13 @@ val set_checker_fn :
 
 val checker_enabled : t -> bool
 
+val set_obs : t -> Obs.Event.sink option -> unit
+(** Attach (or detach) an observability sink. The bus emits only rare
+    invalidation events — {!set_checker} (decision-cache flush) and a write
+    landing in a registered code page (icache invalidation). The per-access
+    fast paths never consult the sink, and with [None] attached the hook
+    sites allocate nothing. *)
+
 val cache_stats : t -> int * int
 (** [(hits, misses)] of the access-decision cache since the last
     {!reset_cache_stats}. *)

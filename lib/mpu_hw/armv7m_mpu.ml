@@ -29,6 +29,7 @@ type t = {
   mutable ctrl_enable : bool;
   mutable generation : int;
   mutable dgran : int;  (* decision granularity of the active config *)
+  mutable obs : Obs.Event.sink option;
 }
 
 (* --- RBAR: ADDR[31:5] | VALID[4] | REGION[3:0] --- *)
@@ -117,17 +118,29 @@ let create () =
     ctrl_enable = false;
     generation = 0;
     dgran = max_granule_bits;
+    obs = None;
   }
+
+let set_obs t sink = t.obs <- sink
 
 (* --- register file --- *)
 
 let generation t = t.generation
 let decision_granule_bits t = t.dgran
 
-let refresh t index =
+(* [changed] gates the trace event only: redundant rewrites of the same
+   register values (every context switch re-pushes the full config) would
+   flood the mpu lane without changing the configuration. Generation still
+   bumps unconditionally — the bus decision cache keys on it. *)
+let refresh t index ~changed =
   t.dec.(index) <- decode_pair ~rbar:t.rbar.(index) ~rasr:t.rasr.(index);
   t.dgran <- decision_granule_bits_of t.dec;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_region_write { arch = "armv7m"; index; generation = t.generation })
 
 let validate ~rbar ~rasr =
   if decode_rasr_enable rasr then begin
@@ -144,22 +157,30 @@ let write_region t ~index ~rbar ~rasr =
   if index < 0 || index >= region_count then invalid_arg "write_region: index";
   validate ~rbar ~rasr;
   Mach.Cycles.tick ~n:(2 * Mach.Cycles.mpu_reg_write) Mach.Cycles.global;
+  let changed = t.rbar.(index) <> rbar || t.rasr.(index) <> rasr in
   t.rbar.(index) <- rbar;
   t.rasr.(index) <- rasr;
-  refresh t index
+  refresh t index ~changed
 
 let clear_region t ~index =
   if index < 0 || index >= region_count then invalid_arg "clear_region: index";
   Mach.Cycles.tick ~n:Mach.Cycles.mpu_reg_write Mach.Cycles.global;
+  let changed = Word32.bit t.rasr.(index) 0 in
   t.rasr.(index) <- Word32.set_bit t.rasr.(index) 0 false;
-  refresh t index
+  refresh t index ~changed
 
 let read_region t ~index = (t.rbar.(index), t.rasr.(index))
 
 let set_enabled t v =
   Mach.Cycles.tick ~n:Mach.Cycles.mpu_reg_write Mach.Cycles.global;
+  let changed = t.ctrl_enable <> v in
   t.ctrl_enable <- v;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_enable { arch = "armv7m"; on = v; generation = t.generation })
 
 let enabled t = t.ctrl_enable
 

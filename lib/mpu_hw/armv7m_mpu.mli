@@ -93,6 +93,10 @@ val generation : t -> int
     {!clear_region} and {!set_enabled}, so cached access decisions can be
     invalidated wholesale the moment the register file changes. *)
 
+val set_obs : t -> Obs.Event.sink option -> unit
+(** Attach an observability sink; every register write that bumps the
+    generation also emits one reconfiguration event. [None] detaches. *)
+
 (** {1 Access semantics} *)
 
 val check_access :

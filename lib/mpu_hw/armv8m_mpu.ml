@@ -11,6 +11,7 @@ type t = {
   mutable ctrl_enable : bool;
   mutable generation : int;
   mutable dgran : int;  (* decision granularity of the active config *)
+  mutable obs : Obs.Event.sink option;
 }
 
 let max_granule_bits = 12
@@ -22,7 +23,20 @@ let create () =
     ctrl_enable = false;
     generation = 0;
     dgran = max_granule_bits;
+    obs = None;
   }
+
+let set_obs t sink = t.obs <- sink
+
+(* [changed] gates the trace event only: every context switch re-pushes
+   the full config, and redundant rewrites would flood the mpu lane.
+   Generation still bumps unconditionally for the bus decision cache. *)
+let emit_region_write t index ~changed =
+  match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_region_write { arch = "armv8m"; index; generation = t.generation })
 
 (* AP[2:1] (v8 encoding): 00 priv RW only; 01 RW any; 10 priv RO only;
    11 RO any.  XN is bit 0. *)
@@ -79,24 +93,34 @@ let write_region t ~index ~rbar ~rasr =
   if decode_rlar_enable rlar && decode_rlar_limit rlar < decode_rbar_base rbar then
     invalid_arg "mpu v8: limit below base";
   Cycles.tick ~n:(2 * Cycles.mpu_reg_write) Cycles.global;
+  let changed = t.rbar.(index) <> rbar || t.rlar.(index) <> rlar in
   t.rbar.(index) <- rbar;
   t.rlar.(index) <- rlar;
   refresh_granule t;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  emit_region_write t index ~changed
 
 let clear_region t ~index =
   if index < 0 || index >= region_count then invalid_arg "clear_region: index";
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let changed = Word32.bit t.rlar.(index) 0 in
   t.rlar.(index) <- Word32.set_bit t.rlar.(index) 0 false;
   refresh_granule t;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  emit_region_write t index ~changed
 
 let read_region t ~index = (t.rbar.(index), t.rlar.(index))
 
 let set_enabled t v =
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let changed = t.ctrl_enable <> v in
   t.ctrl_enable <- v;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_enable { arch = "armv8m"; on = v; generation = t.generation })
 
 let enabled t = t.ctrl_enable
 let generation t = t.generation

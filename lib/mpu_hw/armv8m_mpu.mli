@@ -66,6 +66,10 @@ val generation : t -> int
 (** Configuration generation: bumped by every register write, so the bus
     decision cache can invalidate stale allow decisions wholesale. *)
 
+val set_obs : t -> Obs.Event.sink option -> unit
+(** Attach an observability sink; every register write that bumps the
+    generation also emits one reconfiguration event. [None] detaches. *)
+
 (** {1 Access semantics} *)
 
 val check_access :

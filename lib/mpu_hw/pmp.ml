@@ -46,6 +46,7 @@ type t = {
   mutable mml : bool;
   mutable generation : int;
   mutable dgran : int;  (* decision granularity of the active config *)
+  mutable obs : Obs.Event.sink option;
 }
 
 let max_granule_bits = 12
@@ -60,7 +61,20 @@ let create chip =
     mml = false;
     generation = 0;
     dgran = max_granule_bits;
+    obs = None;
   }
+
+let set_obs t sink = t.obs <- sink
+
+(* [changed] gates the trace event only: every context switch re-pushes
+   the full config, and redundant rewrites would flood the mpu lane.
+   Generation still bumps unconditionally for the bus decision cache. *)
+let emit_entry_write t index ~changed =
+  match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_region_write { arch = "rv32-pmp"; index; generation = t.generation })
 
 let chip t = t.chip
 let generation t = t.generation
@@ -113,30 +127,46 @@ let set_entry t ~index ~cfg ~addr =
   if index < 0 || index >= t.chip.entry_count then invalid_arg "set_entry: index";
   if decode_cfg_lock t.cfg.(index) then invalid_arg "set_entry: entry locked";
   Cycles.tick ~n:(2 * Cycles.mpu_reg_write) Cycles.global;
+  let changed = t.cfg.(index) <> cfg land 0xff || t.addr.(index) <> Word32.of_int addr in
   t.cfg.(index) <- cfg land 0xff;
   t.addr.(index) <- Word32.of_int addr;
-  refresh t
+  refresh t;
+  emit_entry_write t index ~changed
 
 let clear_entry t ~index =
   if index < 0 || index >= t.chip.entry_count then invalid_arg "clear_entry: index";
   if decode_cfg_lock t.cfg.(index) then invalid_arg "clear_entry: entry locked";
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let changed = t.cfg.(index) <> 0 in
   t.cfg.(index) <- 0;
-  refresh t
+  refresh t;
+  emit_entry_write t index ~changed
 
 let read_entry t ~index = (t.cfg.(index), t.addr.(index))
 
 let set_mmwp t v =
   if not t.chip.epmp then invalid_arg "set_mmwp: chip has no ePMP";
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let changed = t.mmwp <> v in
   t.mmwp <- v;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  (match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_enable { arch = "rv32-pmp.mmwp"; on = v; generation = t.generation }))
 
 let set_mml t v =
   if not t.chip.epmp then invalid_arg "set_mml: chip has no ePMP";
   Cycles.tick ~n:Cycles.mpu_reg_write Cycles.global;
+  let changed = t.mml <> v in
   t.mml <- v;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  match t.obs with
+  | None -> ()
+  | Some emit ->
+      if changed then
+        emit (Obs.Event.Mpu_enable { arch = "rv32-pmp.mml"; on = v; generation = t.generation })
 
 let mml t = t.mml
 let entry_range t i = t.ranges.(i)

@@ -85,6 +85,10 @@ val generation : t -> int
 (** Configuration generation: bumped by every pmpcfg/pmpaddr/mseccfg write,
     so the bus decision cache can invalidate stale allow decisions. *)
 
+val set_obs : t -> Obs.Event.sink option -> unit
+(** Attach an observability sink; every register write that bumps the
+    generation also emits one reconfiguration event. [None] detaches. *)
+
 val granule_bits : t -> int
 (** log2 of the chip's PMP granularity (4 bytes on all modeled chips): the
     finest granularity a configuration can express. *)

@@ -1,0 +1,80 @@
+(* Chrome trace_event JSON export (the "JSON Array Format" both
+   about://tracing and Perfetto load). One Chrome "process" represents the
+   board; each simulated process gets its own lane (thread), alongside
+   fixed kernel / mpu / bus / contracts lanes. Timestamps are kernel ticks
+   reported in the "ts" microsecond field — model time, so exports are
+   deterministic and zooming in Perfetto shows ticks directly. *)
+
+let board_pid = 1
+
+(* Lane (Chrome tid) layout: fixed lanes first, then one per simulated pid. *)
+let tid_of_lane = function
+  | Event.Kernel -> 0
+  | Event.Mpu -> 1
+  | Event.Bus -> 2
+  | Event.Contracts -> 3
+  | Event.Process p -> 10 + p
+
+let escape = Metrics.json_escape
+
+let add_args b args =
+  Buffer.add_string b "\"args\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v)))
+    args;
+  Buffer.add_char b '}'
+
+let add_meta b ~name ~tid ~value =
+  Buffer.add_string b
+    (Printf.sprintf "    {\"name\": \"%s\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d, " name board_pid tid);
+  add_args b [ ("name", value) ];
+  Buffer.add_string b "},\n"
+
+let add_sort_index b ~tid ~index =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"args\": {\"sort_index\": %d}},\n"
+       board_pid tid index)
+
+(* [name] labels the board (Chrome process_name). *)
+let to_json ?(name = "ticktock") recorder =
+  let entries = Recorder.entries recorder in
+  (* Collect the lanes actually used, fixed lanes always present. *)
+  let module IS = Set.Make (Int) in
+  let pids =
+    List.fold_left
+      (fun acc (e : Recorder.entry) ->
+        match Event.lane e.event with Event.Process p -> IS.add p acc | _ -> acc)
+      IS.empty entries
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  add_meta b ~name:"process_name" ~tid:0 ~value:name;
+  add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Kernel) ~value:"kernel";
+  add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Mpu) ~value:"mpu";
+  add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Bus) ~value:"bus/icache";
+  add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Contracts) ~value:"contracts";
+  IS.iter
+    (fun p ->
+      add_meta b ~name:"thread_name" ~tid:(tid_of_lane (Event.Process p)) ~value:(Printf.sprintf "pid %d" p))
+    pids;
+  List.iter (fun lane -> add_sort_index b ~tid:(tid_of_lane lane) ~index:(tid_of_lane lane))
+    [ Event.Kernel; Event.Mpu; Event.Bus; Event.Contracts ];
+  IS.iter (fun p -> add_sort_index b ~tid:(10 + p) ~index:(10 + p)) pids;
+  List.iteri
+    (fun i (e : Recorder.entry) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let ev = e.event in
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %d, \"pid\": %d, \"tid\": %d, "
+           (escape (Event.name ev))
+           (Event.lane_name (Event.lane ev))
+           e.at board_pid
+           (tid_of_lane (Event.lane ev)));
+      add_args b (Event.args ev);
+      Buffer.add_char b '}')
+    entries;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

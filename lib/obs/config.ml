@@ -1,0 +1,26 @@
+(* Ambient observability mode, consulted by board constructors when the
+   caller did not attach a recorder explicitly. Lets harnesses that build
+   instances through opaque closures (difftest, fuzz) run with tracing
+   attached — the determinism CI exercises exactly this: outputs must be
+   byte-identical across all three modes.
+
+   [Off]      — no recorder attached, hook sites hold [None]: zero cost.
+   [Disabled] — a recorder is attached but disabled: events are built and
+                immediately dropped (measures the hook-call overhead).
+   [On]       — a recorder is attached and recording.
+
+   Set once before any instance is created (the bench/CLI entry points read
+   TICKTOCK_OBS); never mutated mid-run, so reads from fuzz worker domains
+   are safe. *)
+
+type mode = Off | Disabled | On
+
+let auto = ref Off
+let set_auto m = auto := m
+let auto_mode () = !auto
+
+let of_string = function
+  | "1" | "on" | "enabled" -> On
+  | "0" | "off" | "" -> Off
+  | "disabled" -> Disabled
+  | s -> invalid_arg ("TICKTOCK_OBS: unknown mode " ^ s)

@@ -1,0 +1,140 @@
+(* The cross-layer event vocabulary. Payloads are deliberately primitive
+   (ints and strings): this library sits *below* Mach, so layers as deep as
+   the memory bus can emit events without creating a dependency cycle, and
+   an event can never capture live kernel state that a later consumer could
+   mutate. Addresses are plain ints (the Word32 representation). *)
+
+type t =
+  (* scheduler / kernel *)
+  | Proc_created of { pid : int; name : string }
+  | Scheduled of { pid : int }
+  | Syscall of { pid : int; call : string; result : int }
+  | Upcall of { pid : int; upcall_id : int; arg : int }
+  | Faulted of { pid : int; reason : string }
+  | Exited of { pid : int; code : int }
+  | Restarted of { pid : int }
+  (* context switches *)
+  | Switch_to_user of { pid : int }
+  | Exc_entry of { exc : int }
+  | Exc_return of { to_handler : bool }
+  (* MPU reconfiguration *)
+  | Mpu_region_write of { arch : string; index : int; generation : int }
+  | Mpu_enable of { arch : string; on : bool; generation : int }
+  (* allocator decisions *)
+  | Region_update of { start : int; size : int; app_break : int; kernel_break : int }
+  | Grant_placed of { addr : int; size : int }
+  | Brk of { pid : int; app_break : int; ok : bool }
+  | Grant of { pid : int; driver : int; addr : int; ok : bool }
+  (* bus / instruction-cache invalidation *)
+  | Buscache_flush of { reason : string }
+  | Icache_invalidated of { generation : int; addr : int }
+  (* contract checking *)
+  | Contract_failed of { site : string }
+
+(* A sink is just a closure; hook sites hold it as [(t -> unit) option] and
+   construct the event only inside [Some] branches, so a disabled hook costs
+   one pattern match and allocates nothing. *)
+type sink = t -> unit
+
+let pid = function
+  | Proc_created { pid; _ }
+  | Scheduled { pid }
+  | Syscall { pid; _ }
+  | Upcall { pid; _ }
+  | Faulted { pid; _ }
+  | Exited { pid; _ }
+  | Restarted { pid }
+  | Switch_to_user { pid }
+  | Brk { pid; _ }
+  | Grant { pid; _ } ->
+      Some pid
+  | Exc_entry _ | Exc_return _ | Mpu_region_write _ | Mpu_enable _ | Region_update _
+  | Grant_placed _ | Buscache_flush _ | Icache_invalidated _ | Contract_failed _ ->
+      None
+
+let name = function
+  | Proc_created _ -> "proc_created"
+  | Scheduled _ -> "scheduled"
+  | Syscall { call; _ } -> "syscall " ^ call
+  | Upcall _ -> "upcall"
+  | Faulted _ -> "faulted"
+  | Exited _ -> "exited"
+  | Restarted _ -> "restarted"
+  | Switch_to_user _ -> "switch_to_user"
+  | Exc_entry { exc } -> Printf.sprintf "exc_entry %d" exc
+  | Exc_return _ -> "exc_return"
+  | Mpu_region_write { arch; index; _ } -> Printf.sprintf "%s region[%d] write" arch index
+  | Mpu_enable { arch; on; _ } -> Printf.sprintf "%s %s" arch (if on then "enable" else "disable")
+  | Region_update _ -> "region_update"
+  | Grant_placed _ -> "grant_placed"
+  | Brk _ -> "brk"
+  | Grant _ -> "grant"
+  | Buscache_flush _ -> "buscache_flush"
+  | Icache_invalidated _ -> "icache_invalidated"
+  | Contract_failed { site } -> "contract_failed " ^ site
+
+(* The Chrome-trace lane (and textual layer tag) an event belongs to. *)
+type lane = Kernel | Mpu | Bus | Contracts | Process of int
+
+let lane ev =
+  match ev with
+  | Mpu_region_write _ | Mpu_enable _ -> Mpu
+  | Buscache_flush _ | Icache_invalidated _ -> Bus
+  | Contract_failed _ -> Contracts
+  | Exc_entry _ | Exc_return _ | Region_update _ | Grant_placed _ -> Kernel
+  | _ -> ( match pid ev with Some p -> Process p | None -> Kernel)
+
+let args = function
+  | Proc_created { pid; name } -> [ ("pid", string_of_int pid); ("name", name) ]
+  | Scheduled { pid } -> [ ("pid", string_of_int pid) ]
+  | Syscall { pid; call; result } ->
+      [ ("pid", string_of_int pid); ("call", call); ("result", string_of_int result) ]
+  | Upcall { pid; upcall_id; arg } ->
+      [ ("pid", string_of_int pid); ("upcall_id", string_of_int upcall_id); ("arg", string_of_int arg) ]
+  | Faulted { pid; reason } -> [ ("pid", string_of_int pid); ("reason", reason) ]
+  | Exited { pid; code } -> [ ("pid", string_of_int pid); ("code", string_of_int code) ]
+  | Restarted { pid } -> [ ("pid", string_of_int pid) ]
+  | Switch_to_user { pid } -> [ ("pid", string_of_int pid) ]
+  | Exc_entry { exc } -> [ ("exc", string_of_int exc) ]
+  | Exc_return { to_handler } -> [ ("to_handler", string_of_bool to_handler) ]
+  | Mpu_region_write { arch; index; generation } ->
+      [ ("arch", arch); ("index", string_of_int index); ("generation", string_of_int generation) ]
+  | Mpu_enable { arch; on; generation } ->
+      [ ("arch", arch); ("on", string_of_bool on); ("generation", string_of_int generation) ]
+  | Region_update { start; size; app_break; kernel_break } ->
+      [
+        ("start", Printf.sprintf "0x%x" start);
+        ("size", string_of_int size);
+        ("app_break", Printf.sprintf "0x%x" app_break);
+        ("kernel_break", Printf.sprintf "0x%x" kernel_break);
+      ]
+  | Grant_placed { addr; size } ->
+      [ ("addr", Printf.sprintf "0x%x" addr); ("size", string_of_int size) ]
+  | Brk { pid; app_break; ok } ->
+      [ ("pid", string_of_int pid); ("app_break", Printf.sprintf "0x%x" app_break); ("ok", string_of_bool ok) ]
+  | Grant { pid; driver; addr; ok } ->
+      [
+        ("pid", string_of_int pid);
+        ("driver", string_of_int driver);
+        ("addr", Printf.sprintf "0x%x" addr);
+        ("ok", string_of_bool ok);
+      ]
+  | Buscache_flush { reason } -> [ ("reason", reason) ]
+  | Icache_invalidated { generation; addr } ->
+      [ ("generation", string_of_int generation); ("addr", Printf.sprintf "0x%x" addr) ]
+  | Contract_failed { site } -> [ ("site", site) ]
+
+let lane_name = function
+  | Kernel -> "kernel"
+  | Mpu -> "mpu"
+  | Bus -> "bus"
+  | Contracts -> "contracts"
+  | Process p -> Printf.sprintf "pid %d" p
+
+let pp ppf ev =
+  Format.fprintf ppf "[%s] %s" (lane_name (lane ev)) (name ev);
+  match args ev with
+  | [] -> ()
+  | args ->
+      Format.fprintf ppf " {%s}"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args))

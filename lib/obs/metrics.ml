@@ -1,0 +1,172 @@
+(* Named counters, gauges and histograms, plus the snapshot type that
+   unifies them with values *polled* from elsewhere (per-method cycle
+   hooks, cache hit rates, per-process gauges). A snapshot entry carries a
+   [host] flag: host-observational values (bus/icache hit counters — facts
+   about the simulator, not the simulated machine) are excluded by
+   {!model_only}, which is what determinism comparisons use.
+
+   Histograms are fixed log2 buckets over non-negative ints: bucket [i]
+   holds values whose bit length is [i] (0 -> bucket 0, 1 -> 1, 2..3 -> 2,
+   4..7 -> 3, ...). Deterministic, allocation-free to update, and wide
+   enough for model-cycle latencies. *)
+
+let nbuckets = 63
+
+type hist = {
+  buckets : int array;  (* length [nbuckets] *)
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  bits v 0
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if h.count = 1 then begin
+    h.vmin <- v;
+    h.vmax <- v
+  end
+  else begin
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      count : int;
+      sum : int;
+      vmin : int;
+      vmax : int;
+      buckets : (int * int) list;  (* (inclusive upper bound, count), non-empty buckets only *)
+    }
+
+type entry = { name : string; host : bool; value : value }
+type snapshot = entry list
+
+(* The live registry. *)
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16; gauges = Hashtbl.create 16; hists = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = { buckets = Array.make nbuckets 0; count = 0; sum = 0; vmin = 0; vmax = 0 } in
+      Hashtbl.add t.hists name h;
+      h
+
+(* Polled-entry constructors, for values owned by other modules. *)
+let c ?(host = false) name v = { name; host; value = Counter v }
+let g ?(host = false) name v = { name; host; value = Gauge v }
+
+let hist_value h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then
+      (* Upper bound of bucket i is 2^i - 1 (bit length <= i). *)
+      buckets := ((1 lsl i) - 1, h.buckets.(i)) :: !buckets
+  done;
+  Histogram { count = h.count; sum = h.sum; vmin = h.vmin; vmax = h.vmax; buckets = !buckets }
+
+let compare_entries a b = compare a.name b.name
+
+let snapshot t =
+  let acc = ref [] in
+  Hashtbl.iter (fun name r -> acc := { name; host = false; value = Counter !r } :: !acc) t.counters;
+  Hashtbl.iter (fun name r -> acc := { name; host = false; value = Gauge !r } :: !acc) t.gauges;
+  Hashtbl.iter (fun name h -> acc := { name; host = false; value = hist_value h } :: !acc) t.hists;
+  List.sort compare_entries !acc
+
+let sorted s = List.sort compare_entries s
+let model_only s = List.filter (fun e -> not e.host) s
+let find s name = List.find_map (fun e -> if e.name = name then Some e.value else None) s
+
+let pp_value ppf = function
+  | Counter v -> Format.fprintf ppf "%d" v
+  | Gauge v -> Format.fprintf ppf "%d" v
+  | Histogram { count; sum; vmin; vmax; buckets } ->
+      if count = 0 then Format.fprintf ppf "count=0"
+      else begin
+        Format.fprintf ppf "count=%d sum=%d min=%d max=%d mean=%d" count sum vmin vmax (sum / count);
+        List.iter (fun (le, n) -> Format.fprintf ppf " le(%d)=%d" le n) buckets
+      end
+
+let pp ppf s =
+  let s = sorted s in
+  let width = List.fold_left (fun w e -> max w (String.length e.name)) 0 s in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-*s  %a%s@," width e.name pp_value e.value (if e.host then "  [host]" else ""))
+    s;
+  Format.fprintf ppf "@]"
+
+let to_text s = Format.asprintf "%a" pp s
+
+(* Stable JSON dump: one object per entry, sorted by name, ints only. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | ch when Char.code ch < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"metrics\": [";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    {";
+      Buffer.add_string b (Printf.sprintf "\"name\": \"%s\", \"host\": %b, " (json_escape e.name) e.host);
+      (match e.value with
+      | Counter v -> Buffer.add_string b (Printf.sprintf "\"type\": \"counter\", \"value\": %d" v)
+      | Gauge v -> Buffer.add_string b (Printf.sprintf "\"type\": \"gauge\", \"value\": %d" v)
+      | Histogram { count; sum; vmin; vmax; buckets } ->
+          Buffer.add_string b
+            (Printf.sprintf "\"type\": \"histogram\", \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": [" count sum vmin
+               vmax);
+          List.iteri
+            (fun j (le, n) ->
+              if j > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b (Printf.sprintf "{\"le\": %d, \"count\": %d}" le n))
+            buckets;
+          Buffer.add_char b ']');
+      Buffer.add_char b '}')
+    (sorted s);
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

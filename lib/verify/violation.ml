@@ -11,7 +11,18 @@ let with_enabled v f =
   state := v;
   Fun.protect ~finally:(fun () -> state := old) f
 
-let fail site detail = raise (Violation { site; detail })
+(* Observability: contract *failures* are rare and interesting, so they are
+   the only contract outcome traced — emitting on every successful check
+   would swamp any ring buffer and perturb nothing but patience. Global like
+   [state]: set it before a run, not mid-flight. *)
+let obs : Obs.Event.sink option ref = ref None
+let set_obs sink = obs := sink
+
+let fail site detail =
+  (match !obs with
+  | None -> ()
+  | Some emit -> emit (Obs.Event.Contract_failed { site }));
+  raise (Violation { site; detail })
 let require site ok = if !state && not ok then fail site "precondition failed"
 let ensure site ok = if !state && not ok then fail site "postcondition failed"
 let invariant site ok = if !state && not ok then fail site "invariant violated"

@@ -21,6 +21,12 @@ val set_enabled : bool -> unit
 val with_enabled : bool -> (unit -> 'a) -> 'a
 (** Run a thunk with checking forced on/off, restoring the previous state. *)
 
+val set_obs : Obs.Event.sink option -> unit
+(** Attach an observability sink for contract outcomes. Only {e failures}
+    emit (as [Contract_failed], just before {!Violation} is raised):
+    successful checks run at every contracted call site and tracing them
+    would flood any bounded recording. Global, like the enable switch. *)
+
 val require : string -> bool -> unit
 (** Precondition: [require site ok] raises when checking is enabled and
     [ok] is false. *)

@@ -1,0 +1,380 @@
+(* The unified observability layer: recorder ring + encode/decode, trace
+   determinism, metrics-snapshot invariance across engine caches, and
+   Chrome trace_event export well-formedness. *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- recorder ring --- *)
+
+(* One of every constructor: the ring stores events unboxed, so this
+   doubles as the encode/decode round-trip test. *)
+let one_of_each =
+  Obs.Event.
+    [
+      Proc_created { pid = 1; name = "app" };
+      Scheduled { pid = 1 };
+      Syscall { pid = 1; call = "memop"; result = 3 };
+      Upcall { pid = 1; upcall_id = 2; arg = 7 };
+      Faulted { pid = 1; reason = "mpu" };
+      Exited { pid = 1; code = 0 };
+      Restarted { pid = 1 };
+      Switch_to_user { pid = 1 };
+      Exc_entry { exc = 11 };
+      Exc_return { to_handler = true };
+      Mpu_region_write { arch = "armv7m"; index = 3; generation = 17 };
+      Mpu_enable { arch = "armv7m"; on = true; generation = 18 };
+      Region_update { start = 0x2000_8000; size = 4096; app_break = 0x2000_8800; kernel_break = 0x2000_8c00 };
+      Grant_placed { addr = 0x2000_8e00; size = 64 };
+      Brk { pid = 1; app_break = 0x2000_8900; ok = true };
+      Grant { pid = 1; driver = 4; addr = 0x2000_8e40; ok = false };
+      Buscache_flush { reason = "set_checker" };
+      Icache_invalidated { generation = 5; addr = 0x2000_0100 };
+      Contract_failed { site = "allocate_grant" };
+    ]
+
+let test_roundtrip () =
+  let r = Obs.Recorder.create ~capacity:64 () in
+  List.iteri (fun i ev -> Obs.Recorder.record r ~tick:i ev) one_of_each;
+  let back = Obs.Recorder.entries r in
+  check_int "all recorded" (List.length one_of_each) (List.length back);
+  List.iteri
+    (fun i (e : Obs.Recorder.entry) ->
+      check_int "tick preserved" i e.Obs.Recorder.at;
+      check_bool
+        (Format.asprintf "event %d round-trips (%a)" i Obs.Event.pp e.Obs.Recorder.event)
+        true
+        (e.Obs.Recorder.event = List.nth one_of_each i))
+    back
+
+let test_wraparound () =
+  let r = Obs.Recorder.create ~capacity:4 () in
+  (* 19 mixed-type events through a 4-slot ring *)
+  List.iteri (fun i ev -> Obs.Recorder.record r ~tick:(100 + i) ev) one_of_each;
+  check_int "recorded caps at capacity" 4 (Obs.Recorder.recorded r);
+  check_int "dropped the rest" 15 (Obs.Recorder.dropped r);
+  let back = Obs.Recorder.entries r in
+  check_int "oldest surviving tick" 115 (List.hd back).Obs.Recorder.at;
+  check_int "newest tick" 118 (List.nth back 3).Obs.Recorder.at;
+  List.iteri
+    (fun i (e : Obs.Recorder.entry) ->
+      check_bool "survivors decode to the right events" true
+        (e.Obs.Recorder.event = List.nth one_of_each (15 + i)))
+    back
+
+let test_disabled_records_nothing () =
+  let r = Obs.Recorder.create ~capacity:8 () in
+  Obs.Recorder.set_enabled r false;
+  List.iter (Obs.Recorder.record r ~tick:0) one_of_each;
+  check_int "nothing recorded" 0 (Obs.Recorder.recorded r);
+  check_int "nothing dropped" 0 (Obs.Recorder.dropped r)
+
+(* --- trace determinism --- *)
+
+let suite_trace () =
+  Verify.Violation.set_enabled false;
+  let r = Obs.Recorder.create () in
+  let k = Boards.instance_ticktock_arm ~obs:r () in
+  ignore (Apps.Difftest.run_suite k);
+  Obs.Chrome.to_json ~name:"det" r
+
+let test_trace_deterministic () =
+  let a = suite_trace () and b = suite_trace () in
+  check_bool "trace is non-trivial" true (String.length a > 1000);
+  check_string "two identical runs export byte-identical traces" a b
+
+(* Recording must not perturb the model: the console transcript and tick
+   count of a traced run equal those of an untraced run. *)
+let test_trace_nonperturbing () =
+  Verify.Violation.set_enabled false;
+  let bare = Boards.instance_ticktock_arm () in
+  ignore (Apps.Difftest.run_suite bare);
+  let traced = Boards.instance_ticktock_arm ~obs:(Obs.Recorder.create ()) () in
+  ignore (Apps.Difftest.run_suite traced);
+  check_string "console identical" (bare.Instance.console ()) (traced.Instance.console ());
+  check_int "ticks identical" (bare.Instance.ticks ()) (traced.Instance.ticks ())
+
+(* --- metrics --- *)
+
+let metrics_text_of ~icache_enabled () =
+  Verify.Violation.set_enabled false;
+  let m, k = Boards.make_ticktock_arm_mc () in
+  Fluxarm.Icache.set_enabled (Fluxarm.Cpu.icache m.Machine.arm_cpu) icache_enabled;
+  let inst = Boards.Ticktock_arm.instance k in
+  ignore (Apps.Difftest.run_suite inst);
+  Obs.Metrics.to_text (Obs.Metrics.model_only (inst.Instance.metrics ()))
+
+(* The icache is a host-side accelerator: switching it off changes the
+   host-observational counters but no model-visible metric. *)
+let test_metrics_engine_invariant () =
+  check_string "model metrics identical cached vs uncached"
+    (metrics_text_of ~icache_enabled:true ())
+    (metrics_text_of ~icache_enabled:false ())
+
+let test_metrics_snapshot_contents () =
+  Verify.Violation.set_enabled false;
+  let k = Boards.instance_ticktock_arm () in
+  ignore (Apps.Difftest.run_suite k);
+  let snap = k.Instance.metrics () in
+  let get name =
+    match Obs.Metrics.find snap name with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  (match get "kernel/syscalls" with
+  | Obs.Metrics.Counter n -> check_bool "syscalls counted" true (n > 0)
+  | _ -> Alcotest.fail "kernel/syscalls should be a counter");
+  (match get "kernel/processes" with
+  | Obs.Metrics.Gauge n -> check_int "all suite apps created" 21 n
+  | _ -> Alcotest.fail "kernel/processes should be a gauge");
+  (match get "syscall_cycles/memop" with
+  | Obs.Metrics.Histogram { count; sum; vmin; vmax; _ } ->
+    check_bool "memop latencies observed" true (count > 0);
+    check_bool "histogram sums are consistent" true (vmin <= vmax && sum >= count * vmin)
+  | _ -> Alcotest.fail "syscall_cycles/memop should be a histogram");
+  (* the hooks table and both cache stats fold into the one snapshot *)
+  check_bool "hooks rows present" true (Obs.Metrics.find snap "hooks/create/calls" <> None);
+  check_bool "bus cache stats present" true
+    (Obs.Metrics.find snap "bus/decision_cache/hits" <> None);
+  (* per-process watermark gauges *)
+  (match get "proc/0/mem_watermark" with
+  | Obs.Metrics.Gauge w -> check_bool "watermark positive" true (w > 0)
+  | _ -> Alcotest.fail "proc/0/mem_watermark should be a gauge")
+
+(* host-flagged entries are excluded from the determinism view *)
+let test_model_only_excludes_host () =
+  Verify.Violation.set_enabled false;
+  let k = Boards.instance_ticktock_arm () in
+  ignore (Apps.Difftest.run_suite k);
+  let snap = k.Instance.metrics () in
+  check_bool "full snapshot has host entries" true
+    (Obs.Metrics.find snap "bus/decision_cache/hits" <> None);
+  check_bool "model_only drops them" true
+    (Obs.Metrics.find (Obs.Metrics.model_only snap) "bus/decision_cache/hits" = None)
+
+(* --- Chrome export well-formedness --- *)
+
+(* A tiny recursive-descent JSON parser: enough to validate structure
+   without pulling in a JSON dependency. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad unicode escape"
+          done;
+          Buffer.add_char b '?'
+        | Some c ->
+          advance ();
+          Buffer.add_char b c
+        | None -> fail "unterminated escape");
+        go ()
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if !pos = start then fail "expected number";
+    J_num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      J_obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec member () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          member ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected , or }"
+      in
+      member ();
+      J_obj (List.rev !fields)
+    end
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      J_arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec element () =
+        let v = parse_value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          element ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected , or ]"
+      in
+      element ();
+      J_arr (List.rev !items)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let test_chrome_wellformed () =
+  let json = suite_trace () in
+  match parse_json json with
+  | J_obj fields ->
+    let events =
+      match List.assoc_opt "traceEvents" fields with
+      | Some (J_arr es) -> es
+      | _ -> Alcotest.fail "traceEvents must be an array"
+    in
+    check_bool "has events" true (List.length events > 100);
+    let is_num k obj = match List.assoc_opt k obj with Some (J_num _) -> true | _ -> false in
+    let is_str k obj = match List.assoc_opt k obj with Some (J_str _) -> true | _ -> false in
+    List.iter
+      (fun ev ->
+        match ev with
+        | J_obj o ->
+          check_bool "every event has name/ph/pid/tid" true
+            (is_str "name" o && is_str "ph" o && is_num "pid" o && is_num "tid" o);
+          (match List.assoc_opt "ph" o with
+          | Some (J_str "i") ->
+            check_bool "instants have ts and args" true
+              (is_num "ts" o && match List.assoc_opt "args" o with Some (J_obj _) -> true | _ -> false)
+          | Some (J_str "M") -> ()
+          | _ -> Alcotest.fail "unexpected event phase")
+        | _ -> Alcotest.fail "traceEvents elements must be objects")
+      events;
+    (* one lane per pid alongside the fixed lanes, declared via metadata *)
+    let lane_names =
+      List.filter_map
+        (fun ev ->
+          match ev with
+          | J_obj o when List.assoc_opt "name" o = Some (J_str "thread_name") -> (
+            match List.assoc_opt "args" o with
+            | Some (J_obj a) -> (
+              match List.assoc_opt "name" a with Some (J_str s) -> Some s | _ -> None)
+            | _ -> None)
+          | _ -> None)
+        events
+    in
+    List.iter
+      (fun lane ->
+        check_bool (lane ^ " lane declared") true (List.mem lane lane_names))
+      [ "kernel"; "mpu"; "bus/icache"; "contracts"; "pid 0" ]
+  | _ -> Alcotest.fail "export must be a JSON object"
+
+(* metrics JSON goes through the same parser *)
+let test_metrics_json_wellformed () =
+  Verify.Violation.set_enabled false;
+  let k = Boards.instance_ticktock_arm () in
+  ignore (Apps.Difftest.run_suite k);
+  match parse_json (Obs.Metrics.to_json (k.Instance.metrics ())) with
+  | J_obj [ ("metrics", J_arr entries) ] ->
+    check_bool "has entries" true (List.length entries > 20);
+    List.iter
+      (fun e ->
+        match e with
+        | J_obj o ->
+          check_bool "entry has name and type" true
+            (List.mem_assoc "name" o && List.mem_assoc "type" o && List.mem_assoc "host" o)
+        | _ -> Alcotest.fail "metrics entries must be objects")
+      entries
+  | _ -> Alcotest.fail "metrics dump must be {metrics: [...]}"
+
+let suite =
+  [
+    Alcotest.test_case "event encode/decode round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "ring wraparound, mixed event types" `Quick test_wraparound;
+    Alcotest.test_case "disabled recorder records nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "trace export is deterministic" `Quick test_trace_deterministic;
+    Alcotest.test_case "tracing does not perturb the run" `Quick test_trace_nonperturbing;
+    Alcotest.test_case "model metrics invariant to icache" `Quick test_metrics_engine_invariant;
+    Alcotest.test_case "snapshot unifies the stats" `Quick test_metrics_snapshot_contents;
+    Alcotest.test_case "model_only excludes host counters" `Quick test_model_only_excludes_host;
+    Alcotest.test_case "chrome export is well-formed JSON" `Quick test_chrome_wellformed;
+    Alcotest.test_case "metrics JSON is well-formed" `Quick test_metrics_json_wellformed;
+  ]
