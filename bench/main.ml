@@ -862,9 +862,134 @@ let obs_bench () =
   print_endline "wrote BENCH_obs.json"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: scrubber detection latency and scrub-cadence overhead.        *)
+
+(* One suite run on the ARMv7-M board with the MPU scrubber at a given
+   cadence (0 = off). Model cycles only — the scrubber's cost is charged
+   in model cycles by the kernel, so the overhead number is deterministic
+   and needs no timing samples. *)
+let chaos_scrub_run ~scrub_every =
+  let board =
+    match Chaos.Targets.find "ticktock-arm" with
+    | Some b -> b
+    | None -> failwith "ticktock-arm board missing"
+  in
+  let setup =
+    { (Chaos.Targets.plain_setup ~rng_seed:0x5EED) with
+      Chaos.Targets.st_scrub_every = scrub_every }
+  in
+  let made = board.Chaos.Targets.tb_make setup in
+  let inst = made.Chaos.Targets.bd_instance in
+  ignore (Chaos.Campaign.load_suite inst);
+  let c0 = Cycles.read Cycles.global in
+  inst.Instance.run ~max_ticks:5_000;
+  let cycles = Cycles.read Cycles.global - c0 in
+  let checks = Chaos.Campaign.counter_of (inst.Instance.metrics ()) "scrub/checks" in
+  (cycles, checks)
+
+let chaos_json ~cadences ~latencies ~(res : Chaos.Campaign.result) =
+  let oc = open_out "BENCH_chaos.json" in
+  let buckets_json buckets =
+    String.concat ", "
+      (List.map (fun (le, n) -> Printf.sprintf "[%d, %d]" le n) buckets)
+  in
+  let lat_json =
+    String.concat ",\n"
+      (List.map
+         (fun (board, lat, buckets) ->
+           match lat with
+           | Some (n, mn, mean, mx) ->
+             Printf.sprintf
+               "    { \"board\": \"%s\", \"count\": %d, \"min\": %d, \"mean\": %d, \
+                \"max\": %d, \"buckets\": [%s] }"
+               board n mn mean mx (buckets_json buckets)
+           | None -> Printf.sprintf "    { \"board\": \"%s\", \"count\": 0 }" board)
+         latencies)
+  in
+  let base_cycles =
+    match cadences with (0, (c, _)) :: _ -> c | _ -> 0
+  in
+  let cad_json =
+    String.concat ",\n"
+      (List.map
+         (fun (every, (cycles, checks)) ->
+           Printf.sprintf
+             "    { \"scrub_every\": %d, \"model_cycles\": %d, \"checks\": %d, \
+              \"overhead_pct\": %.3f }"
+             every cycles checks
+             (if base_cycles = 0 then 0.0
+              else 100.0 *. float_of_int (cycles - base_cycles) /. float_of_int base_cycles))
+         cadences)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"chaos\",\n\
+    \  \"campaign\": { \"rounds\": %d, \"fired\": %d, \"effective\": %d,\n\
+    \                 \"masked\": %d, \"healed\": %d, \"contained\": %d,\n\
+    \                 \"silent\": %d, \"ok\": %b },\n\
+    \  \"detect_latency_cycles\": [\n%s\n  ],\n\
+    \  \"scrub_overhead\": [\n%s\n  ]\n\
+     }\n"
+    (List.length res.Chaos.Campaign.rounds)
+    res.Chaos.Campaign.total_fired res.Chaos.Campaign.total_effective
+    res.Chaos.Campaign.total_masked res.Chaos.Campaign.total_healed
+    res.Chaos.Campaign.total_contained res.Chaos.Campaign.total_silent
+    res.Chaos.Campaign.ok lat_json cad_json;
+  close_out oc
+
+let chaos_bench () =
+  header "Chaos: MPU-scrubber detection latency and cadence overhead"
+    "not in the paper: the robustness harness's self-healing numbers";
+  (* One seed per board is enough for a latency histogram: every landed MPU
+     corruption contributes a sample, and the campaign is deterministic. *)
+  let res =
+    Verify.Violation.with_enabled true (fun () ->
+        Chaos.Campaign.run ~seeds:[ 1; 2 ] ())
+  in
+  Printf.printf "campaign: %d faults fired, %d masked / %d healed / %d contained (%s)\n\n"
+    res.Chaos.Campaign.total_fired res.Chaos.Campaign.total_masked
+    res.Chaos.Campaign.total_healed res.Chaos.Campaign.total_contained
+    (if res.Chaos.Campaign.ok then "ok" else "FAILED");
+  (* Merge per-board latency across seeds by reporting each round; rounds
+     of the same board are adjacent and seeds are listed in order. *)
+  let latencies =
+    List.map
+      (fun (r : Chaos.Campaign.round) ->
+        ( Printf.sprintf "%s/seed%d" r.Chaos.Campaign.rd_board r.Chaos.Campaign.rd_seed,
+          r.Chaos.Campaign.rd_latency,
+          r.Chaos.Campaign.rd_latency_buckets ))
+      res.Chaos.Campaign.rounds
+  in
+  Printf.printf "%-24s %6s %8s %8s %8s\n" "board/seed" "n" "min" "mean" "max";
+  List.iter
+    (fun (name, lat, _) ->
+      match lat with
+      | Some (n, mn, mean, mx) ->
+        Printf.printf "%-24s %6d %8d %8d %8d\n" name n mn mean mx
+      | None -> Printf.printf "%-24s %6d %8s %8s %8s\n" name 0 "-" "-" "-")
+    latencies;
+  (* Scrubber overhead: the suite alone (no engine, no faults) with the
+     scrubber off and at three cadences. *)
+  let cadences =
+    List.map (fun every -> (every, chaos_scrub_run ~scrub_every:every)) [ 0; 1; 4; 16 ]
+  in
+  let base = fst (List.assoc 0 cadences) in
+  Printf.printf "\n%-12s %14s %10s %10s\n" "scrub_every" "model cycles" "checks" "overhead";
+  List.iter
+    (fun (every, (cycles, checks)) ->
+      Printf.printf "%-12s %14d %10d %+9.3f%%\n"
+        (if every = 0 then "off" else string_of_int every)
+        cycles checks
+        (100.0 *. float_of_int (cycles - base) /. float_of_int base))
+    cadences;
+  chaos_json ~cadences ~latencies ~res;
+  print_endline "\nwrote BENCH_chaos.json"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
-  print_endline "usage: main.exe [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|bechamel|all]"
+  print_endline
+    "usage: main.exe [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|bechamel|all]"
 
 let () =
   let experiments =
@@ -882,6 +1007,7 @@ let () =
       ("bus", bus);
       ("icache", icache_bench);
       ("obs", obs_bench);
+      ("chaos", chaos_bench);
       ("bechamel", bechamel_run);
     ]
   in

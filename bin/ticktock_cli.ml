@@ -8,6 +8,7 @@
      ticktock stats                 unified metrics after a suite run
      ticktock metrics [--json]      same snapshot, text or JSON
      ticktock trace [-o FILE]       run the suite, export a Chrome trace
+     ticktock chaos [-n N] [-f N]   seeded fault-injection campaign
 *)
 
 open Ticktock
@@ -147,6 +148,69 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a board with hostile syscall/memory streams")
     Term.(const run $ board_arg $ seeds)
 
+let chaos_cmd =
+  let run board nseeds faults out =
+    let boards =
+      match board with
+      | None -> Ok Chaos.Targets.boards
+      | Some name -> (
+        match Chaos.Targets.find name with
+        | Some b -> Ok [ b ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown chaos target %S (one of: %s)" name
+               (String.concat ", "
+                  (List.map (fun b -> b.Chaos.Targets.tb_name) Chaos.Targets.boards))))
+    in
+    match boards with
+    | Error m ->
+      prerr_endline m;
+      1
+    | Ok boards ->
+      let seeds = List.init nseeds (fun i -> i + 1) in
+      let result =
+        Verify.Violation.with_enabled true (fun () ->
+            Chaos.Campaign.run ~boards ~seeds ~faults ())
+      in
+      (match out with
+      | None -> print_string result.Chaos.Campaign.report
+      | Some path ->
+        let oc = open_out path in
+        output_string oc result.Chaos.Campaign.report;
+        close_out oc;
+        Printf.printf "wrote %s (%d faults, %d masked / %d healed / %d contained, %s)\n"
+          path result.Chaos.Campaign.total_fired result.Chaos.Campaign.total_masked
+          result.Chaos.Campaign.total_healed result.Chaos.Campaign.total_contained
+          (if result.Chaos.Campaign.ok then "ok" else "FAILED"));
+      if result.Chaos.Campaign.ok then 0 else 2
+  in
+  let board =
+    let doc =
+      "Chaos target board (default: all three MPU architectures). One of: "
+      ^ String.concat ", " (List.map (fun b -> b.Chaos.Targets.tb_name) Chaos.Targets.boards)
+      ^ "."
+    in
+    Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"BOARD" ~doc)
+  in
+  let seeds =
+    Arg.(value & opt int 5 & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Fault-plan seeds per board.")
+  in
+  let faults =
+    Arg.(value & opt int 40 & info [ "f"; "faults" ] ~docv:"N" ~doc:"Faults per round.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection campaign (golden vs injected suite runs; every fault \
+          classified masked/healed/contained)")
+    Term.(const run $ board $ seeds $ faults $ out)
+
 let ps_cmd =
   let run2 board =
     match make_board board with
@@ -267,5 +331,6 @@ let () =
             metrics_cmd;
             trace_cmd;
             fuzz_cmd;
+            chaos_cmd;
             ps_cmd;
           ]))

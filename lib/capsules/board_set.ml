@@ -8,7 +8,7 @@ type devices = {
   gpio : Mpu_hw.Gpio.t;
 }
 
-let standard ?rng_seed () =
+let standard ?rng_seed ?rng_stall ?ipc_nack () =
   let uart = Mpu_hw.Uart.create () in
   let debug_uart = Mpu_hw.Uart.create () in
   let gpio = Mpu_hw.Gpio.create 16 in
@@ -18,8 +18,8 @@ let standard ?rng_seed () =
       Console.capsule uart;
       Led.capsule gpio;
       Button.capsule gpio;
-      Rng.capsule ?seed:rng_seed ();
-      Ipc.capsule ();
+      Rng.capsule ?seed:rng_seed ?stall:rng_stall ();
+      Ipc.capsule ?copy_nack:ipc_nack ();
       Process_console.capsule debug_uart;
     ]
   in

@@ -8,4 +8,12 @@ type devices = {
   gpio : Mpu_hw.Gpio.t;
 }
 
-val standard : ?rng_seed:int -> unit -> Ticktock.Capsule_intf.t list * devices
+val standard :
+  ?rng_seed:int ->
+  ?rng_stall:int ref ->
+  ?ipc_nack:int ref ->
+  unit ->
+  Ticktock.Capsule_intf.t list * devices
+(** [rng_stall] and [ipc_nack] are the capsules' fault-injection hooks
+    (see {!Rng.capsule} and {!Ipc.capsule}); omitted, the set behaves
+    exactly as before. *)

@@ -18,14 +18,29 @@
          shared (allowed-rw) buffer — the shared-memory path
     - 5 (arg1 = pid, arg2 = offset << 8 | byte): write one byte into the
          peer's shared buffer (only possible because the peer allowed it
-         read-write to this driver) *)
+         read-write to this driver)
+
+    The capsule tracks outstanding requests (a cmd-2 notify not yet
+    answered by cmd 3): when a process dies mid-exchange, every peer still
+    waiting on it is woken with an error upcall instead of staying wedged
+    in [yield] forever.
+
+    [copy_nack] is a fault-injection hook: while positive, each
+    shared-buffer copy command (4/5) decrements it and fails — a transient
+    bus NACK a retrying client masks. *)
 
 open Ticktock
 
 let driver_num = 9
 
+(* The error a dead peer delivers: the upcall argument clients get instead
+   of the server's pid. Pids are small non-negative ints, so this is
+   unambiguous. *)
+let peer_died = Userland.failure
+
 type state = {
   mutable services : (string * int) list;  (** name -> pid *)
+  mutable pending : (int * int) list;  (** (server pid, waiting client pid) *)
   mutable svc : Capsule_intf.services option;
 }
 
@@ -44,8 +59,8 @@ let read_name (ph : Capsule_intf.process_handle) =
     in
     go 0 ""
 
-let capsule () =
-  let st = { services = []; svc = None } in
+let capsule ?(copy_nack = ref 0) () =
+  let st = { services = []; pending = []; svc = None } in
   let init svc = st.svc <- Some svc in
   let peer_handle pid =
     match st.svc with
@@ -71,8 +86,17 @@ let capsule () =
       match peer_handle arg1 with
       | None -> Userland.failure
       | Some peer ->
-        peer.Capsule_intf.ph_schedule_upcall ~upcall_id:cmd ~arg:ph.Capsule_intf.ph_pid;
+        let me = ph.Capsule_intf.ph_pid in
+        (* track the exchange: a cmd-2 notify leaves the client waiting on
+           the server until the server's cmd-3 reply *)
+        if cmd = 2 then st.pending <- (arg1, me) :: st.pending
+        else st.pending <- List.filter (fun p -> p <> (me, arg1)) st.pending;
+        peer.Capsule_intf.ph_schedule_upcall ~upcall_id:cmd ~arg:me;
         Userland.success
+    end
+    else if (cmd = 4 || cmd = 5) && !copy_nack > 0 then begin
+      decr copy_nack;
+      Userland.failure
     end
     else if cmd = 4 then begin
       (* read a byte of the peer's shared buffer *)
@@ -101,7 +125,22 @@ let capsule () =
     end
     else Userland.failure
   in
+  let proc_died ~pid =
+    (* wake every client still waiting on the dead process with an error
+       upcall (delivered as the cmd-3 reply it will never get), then forget
+       the dead process's service registration and exchanges *)
+    List.iter
+      (fun (server, client) ->
+        if server = pid then
+          match peer_handle client with
+          | None -> ()
+          | Some peer -> peer.Capsule_intf.ph_schedule_upcall ~upcall_id:3 ~arg:peer_died)
+      st.pending;
+    st.pending <- List.filter (fun (server, client) -> server <> pid && client <> pid) st.pending;
+    st.services <- List.filter (fun (_, p) -> p <> pid) st.services
+  in
   { (Capsule_intf.stub ~driver_num ~name:"ipc") with
     Capsule_intf.cap_init = init;
     cap_command = command;
+    cap_proc_died = proc_died;
   }

@@ -14,4 +14,15 @@
     ([arg2] = [offset << 8 | byte]). *)
 
 val driver_num : int
-val capsule : unit -> Ticktock.Capsule_intf.t
+
+val peer_died : Mach.Word32.t
+(** The upcall argument a waiting client receives when its peer died
+    mid-exchange (equals {!Ticktock.Userland.failure}). *)
+
+val capsule : ?copy_nack:int ref -> unit -> Ticktock.Capsule_intf.t
+(** When a process dies mid-exchange (a cmd-2 notify not yet answered by
+    cmd 3), every peer still waiting on it is woken with an error upcall
+    (id 3, arg {!Ticktock.Userland.failure}) instead of staying wedged in
+    [yield]. [copy_nack] is a fault-injection hook: while positive, each
+    shared-buffer copy (cmd 4/5) decrements it and fails — a transient bus
+    NACK a retrying client masks. *)

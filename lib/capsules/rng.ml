@@ -3,13 +3,17 @@
     The process allows a read-write buffer and commands [get n]: the
     capsule fills [n] bytes through the mediated handle from a
     deterministic xorshift32 stream (seeded per board, so runs are
-    reproducible) and schedules the completion upcall with the count. *)
+    reproducible) and schedules the completion upcall with the count.
+
+    [stall] is a fault-injection hook: while positive, each [get] command
+    decrements it and fails — the modeled entropy source has transiently
+    run dry, and a retrying client masks the fault. *)
 
 open Ticktock
 
 let driver_num = 8
 
-let capsule ?(seed = 0x2545_F491) () =
+let capsule ?(seed = 0x2545_F491) ?(stall = ref 0) () =
   let state = ref (if seed = 0 then 1 else seed land Word32.mask) in
   let next_byte () =
     (* xorshift32 *)
@@ -23,6 +27,10 @@ let capsule ?(seed = 0x2545_F491) () =
   let command (ph : Capsule_intf.process_handle) ~cmd ~arg1 ~arg2 =
     ignore arg2;
     if cmd = 0 then Userland.success
+    else if cmd = 1 && !stall > 0 then begin
+      decr stall;
+      Userland.failure
+    end
     else if cmd = 1 then begin
       match ph.Capsule_intf.ph_allowed_rw () with
       | None -> Userland.failure

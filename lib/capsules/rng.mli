@@ -5,4 +5,8 @@
     runs) and schedules the completion upcall with the count. *)
 
 val driver_num : int
-val capsule : ?seed:int -> unit -> Ticktock.Capsule_intf.t
+
+val capsule : ?seed:int -> ?stall:int ref -> unit -> Ticktock.Capsule_intf.t
+(** [stall] is a fault-injection hook: while positive, each [get] command
+    decrements it and fails — the entropy source has transiently run dry,
+    and a retrying client masks the fault. *)

@@ -1,0 +1,272 @@
+(** Concrete boards the chaos campaign injects into.
+
+    One target per MPU architecture — ARMv7-M PMSA, ARMv8-M PMSA and RISC-V
+    PMP — each a TickTock kernel built through {!Ticktock.Boards} with the
+    standard capsule set and the robustness knobs (scrubber, watchdog,
+    restart backoff) threaded through. A target erases the per-functor
+    kernel behind the closures the engine and campaign need: the
+    type-erased {!Ticktock.Instance}, the live process blocks for memory
+    flips, an architecture-specific MPU register corruptor, and the device
+    fault-injection levers of the board's capsules.
+
+    The corruptors flip one bit of one live register {e through the
+    hardware model's write path}, so the generation counter bumps exactly
+    as on reconfiguration (invalidating cached access decisions) and
+    malformed encodings are rejected the way real register files reject
+    reserved values — a rejected write is a masked fault. *)
+
+open Ticktock
+
+type setup = {
+  st_chaos : Chaos_intf.t option;
+  st_scrub_every : int;
+  st_scrub_policy : [ `Repair | `Fault ];
+  st_watchdog : int;
+  st_restart_decay_span : int;
+  st_rng_seed : int;  (** seed of the RNG capsule's xorshift stream *)
+}
+
+let plain_setup ~rng_seed =
+  {
+    st_chaos = None;
+    st_scrub_every = 0;
+    st_scrub_policy = `Repair;
+    st_watchdog = 0;
+    st_restart_decay_span = 0;
+    st_rng_seed = rng_seed;
+  }
+
+(** A built board, ready for a campaign round. *)
+type made = {
+  bd_instance : Instance.t;
+  bd_devices : Capsules.Board_set.devices;
+  bd_hooks : Engine.hooks;
+  bd_load :
+    name:string ->
+    program:(unit -> Userland.program) ->
+    min_ram:int ->
+    policy:Process.fault_policy ->
+    (int, Kerror.t) result;
+      (** load a companion app under an explicit fault policy (with a
+          program factory, so [Restart] policies can resurrect it) *)
+  bd_dma : Dma.Engine.t;
+      (** a scratch DMA engine over the board's memory, for the transient
+          bus-NACK demonstration *)
+}
+
+type board = {
+  tb_name : string;
+  tb_make : setup -> made;
+}
+
+(* --- architecture-specific register corruptors --- *)
+
+let corrupt_v7 mpu rng =
+  let module M = Mpu_hw.Armv7m_mpu in
+  let index = Random.State.int rng M.region_count in
+  let rbar, rasr = M.read_region mpu ~index in
+  let rbar', rasr', what =
+    match Random.State.int rng 4 with
+    | 0 -> (rbar, rasr lxor (1 lsl (8 + Random.State.int rng 8)), "rasr.srd")
+    | 1 -> (rbar, rasr lxor (1 lsl (24 + Random.State.int rng 3)), "rasr.ap")
+    | 2 -> (rbar, rasr lxor 1, "rasr.enable")
+    | _ -> (rbar lxor (1 lsl (16 + Random.State.int rng 12)), rasr, "rbar.addr")
+  in
+  try
+    M.write_region mpu ~index ~rbar:rbar' ~rasr:rasr';
+    Ok (Printf.sprintf "v7 region %d %s" index what)
+  with Invalid_argument why -> Error why
+
+let corrupt_v8 mpu rng =
+  let module M = Mpu_hw.Armv8m_mpu in
+  let index = Random.State.int rng M.region_count in
+  let rbar, rlar = M.read_region mpu ~index in
+  let rbar', rlar', what =
+    match Random.State.int rng 4 with
+    | 0 -> (rbar lxor (1 lsl (1 + Random.State.int rng 2)), rlar, "rbar.ap")
+    | 1 -> (rbar lxor 1, rlar, "rbar.xn")
+    | 2 -> (rbar, rlar lxor 1, "rlar.enable")
+    | _ -> (rbar lxor (1 lsl (12 + Random.State.int rng 16)), rlar, "rbar.base")
+  in
+  try
+    M.write_region mpu ~index ~rbar:rbar' ~rasr:rlar';
+    Ok (Printf.sprintf "v8 region %d %s" index what)
+  with Invalid_argument why -> Error why
+
+let corrupt_pmp pmp rng =
+  let module M = Mpu_hw.Pmp in
+  let index = Random.State.int rng (M.chip pmp).M.entry_count in
+  let cfg, addr = M.read_entry pmp ~index in
+  let cfg', addr', what =
+    match Random.State.int rng 3 with
+    | 0 -> (cfg lxor (1 lsl Random.State.int rng 3), addr, "pmpcfg.rwx")
+    | 1 -> (cfg lxor (1 lsl (3 + Random.State.int rng 2)), addr, "pmpcfg.mode")
+    | _ -> (cfg, addr lxor (1 lsl (2 + Random.State.int rng 24)), "pmpaddr")
+  in
+  try
+    M.set_entry pmp ~index ~cfg:cfg' ~addr:addr';
+    Ok (Printf.sprintf "pmp entry %d %s" index what)
+  with Invalid_argument why -> Error why
+
+(* --- boards --- *)
+
+let payload_of name = name ^ "-image"
+
+let make_arm (s : setup) =
+  let rng_stall = ref 0 and ipc_nack = ref 0 in
+  let capsules, devices =
+    Capsules.Board_set.standard ~rng_seed:s.st_rng_seed ~rng_stall ~ipc_nack ()
+  in
+  let m, k =
+    Boards.make_ticktock_arm ~capsules ?chaos:s.st_chaos ~scrub_every:s.st_scrub_every
+      ~scrub_policy:s.st_scrub_policy ~watchdog:s.st_watchdog
+      ~restart_decay_span:s.st_restart_decay_span ()
+  in
+  let mem = m.Machine.arm_mem in
+  let dma = Dma.Engine.create mem in
+  let blocks () =
+    List.filter_map
+      (fun p ->
+        if Process.is_live p then
+          Some
+            ( p.Process.pid,
+              Boards.Ticktock_arm_mm.memory_start p.Process.alloc,
+              Boards.Ticktock_arm_mm.memory_size p.Process.alloc )
+        else None)
+      (Boards.Ticktock_arm.processes k)
+  in
+  let load ~name ~program ~min_ram ~policy =
+    Result.map
+      (fun p -> p.Process.pid)
+      (Boards.Ticktock_arm.create_process k ~name ~payload:(payload_of name)
+         ~program:(program ()) ~min_ram ~fault_policy:policy ~program_factory:program ())
+  in
+  {
+    bd_instance = Boards.Ticktock_arm.instance k;
+    bd_devices = devices;
+    bd_hooks =
+      {
+        Engine.hk_mem = mem;
+        hk_blocks = blocks;
+        hk_kernel_sram = Layout.kernel_sram;
+        hk_corrupt_mpu = corrupt_v7 m.Machine.arm_mpu;
+        hk_uart_busy =
+          (fun ~cycles ->
+            Mpu_hw.Uart.inject_busy devices.Capsules.Board_set.uart ~cycles);
+        hk_rng_stall = rng_stall;
+        hk_ipc_nack = ipc_nack;
+        hk_dma_nack = Some (fun () -> Dma.Engine.inject_nack dma);
+        hk_obs = Boards.Ticktock_arm.obs_sink k;
+      };
+    bd_load = load;
+    bd_dma = dma;
+  }
+
+let make_arm_v8 (s : setup) =
+  let rng_stall = ref 0 and ipc_nack = ref 0 in
+  let capsules, devices =
+    Capsules.Board_set.standard ~rng_seed:s.st_rng_seed ~rng_stall ~ipc_nack ()
+  in
+  let m, k =
+    Boards.make_ticktock_arm_v8 ~capsules ?chaos:s.st_chaos ~scrub_every:s.st_scrub_every
+      ~scrub_policy:s.st_scrub_policy ~watchdog:s.st_watchdog
+      ~restart_decay_span:s.st_restart_decay_span ()
+  in
+  let mem = m.Machine.v8_mem in
+  let dma = Dma.Engine.create mem in
+  let blocks () =
+    List.filter_map
+      (fun p ->
+        if Process.is_live p then
+          Some
+            ( p.Process.pid,
+              Boards.Ticktock_arm_v8_mm.memory_start p.Process.alloc,
+              Boards.Ticktock_arm_v8_mm.memory_size p.Process.alloc )
+        else None)
+      (Boards.Ticktock_arm_v8.processes k)
+  in
+  let load ~name ~program ~min_ram ~policy =
+    Result.map
+      (fun p -> p.Process.pid)
+      (Boards.Ticktock_arm_v8.create_process k ~name ~payload:(payload_of name)
+         ~program:(program ()) ~min_ram ~fault_policy:policy ~program_factory:program ())
+  in
+  {
+    bd_instance = Boards.Ticktock_arm_v8.instance k;
+    bd_devices = devices;
+    bd_hooks =
+      {
+        Engine.hk_mem = mem;
+        hk_blocks = blocks;
+        hk_kernel_sram = Layout.kernel_sram;
+        hk_corrupt_mpu = corrupt_v8 m.Machine.v8_mpu;
+        hk_uart_busy =
+          (fun ~cycles ->
+            Mpu_hw.Uart.inject_busy devices.Capsules.Board_set.uart ~cycles);
+        hk_rng_stall = rng_stall;
+        hk_ipc_nack = ipc_nack;
+        hk_dma_nack = Some (fun () -> Dma.Engine.inject_nack dma);
+        hk_obs = Boards.Ticktock_arm_v8.obs_sink k;
+      };
+    bd_load = load;
+    bd_dma = dma;
+  }
+
+let make_e310 (s : setup) =
+  let rng_stall = ref 0 and ipc_nack = ref 0 in
+  let capsules, devices =
+    Capsules.Board_set.standard ~rng_seed:s.st_rng_seed ~rng_stall ~ipc_nack ()
+  in
+  let m, k =
+    Boards.make_ticktock_e310 ~capsules ?chaos:s.st_chaos ~scrub_every:s.st_scrub_every
+      ~scrub_policy:s.st_scrub_policy ~watchdog:s.st_watchdog
+      ~restart_decay_span:s.st_restart_decay_span ()
+  in
+  let mem = m.Machine.rv_mem in
+  let dma = Dma.Engine.create mem in
+  let blocks () =
+    List.filter_map
+      (fun p ->
+        if Process.is_live p then
+          Some
+            ( p.Process.pid,
+              Boards.Ticktock_e310_mm.memory_start p.Process.alloc,
+              Boards.Ticktock_e310_mm.memory_size p.Process.alloc )
+        else None)
+      (Boards.Ticktock_e310.processes k)
+  in
+  let load ~name ~program ~min_ram ~policy =
+    Result.map
+      (fun p -> p.Process.pid)
+      (Boards.Ticktock_e310.create_process k ~name ~payload:(payload_of name)
+         ~program:(program ()) ~min_ram ~fault_policy:policy ~program_factory:program ())
+  in
+  {
+    bd_instance = Boards.Ticktock_e310.instance k;
+    bd_devices = devices;
+    bd_hooks =
+      {
+        Engine.hk_mem = mem;
+        hk_blocks = blocks;
+        hk_kernel_sram = Layout.kernel_sram;
+        hk_corrupt_mpu = corrupt_pmp m.Machine.rv_pmp;
+        hk_uart_busy =
+          (fun ~cycles ->
+            Mpu_hw.Uart.inject_busy devices.Capsules.Board_set.uart ~cycles);
+        hk_rng_stall = rng_stall;
+        hk_ipc_nack = ipc_nack;
+        hk_dma_nack = Some (fun () -> Dma.Engine.inject_nack dma);
+        hk_obs = Boards.Ticktock_e310.obs_sink k;
+      };
+    bd_load = load;
+    bd_dma = dma;
+  }
+
+let boards =
+  [
+    { tb_name = "ticktock-arm"; tb_make = make_arm };
+    { tb_name = "ticktock-arm-v8"; tb_make = make_arm_v8 };
+    { tb_name = "ticktock-e310"; tb_make = make_e310 };
+  ]
+
+let find name = List.find_opt (fun b -> b.tb_name = name) boards

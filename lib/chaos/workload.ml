@@ -1,0 +1,152 @@
+(** Companion apps the campaign loads next to the 21-app release suite.
+
+    The suite apps only speak to drivers 0–3, so they never touch the
+    capsules whose transient faults the engine injects. These companions
+    close that gap:
+
+    - [console]: writes through the UART console capsule (driver 5) with
+      its polling transmit path — the app a stuck-busy shifter must not
+      corrupt (the blocking driver waits the glitch out);
+    - [rng]: requests entropy (driver 8) with a bounded retry loop — the
+      client discipline that masks a transiently dry entropy source;
+    - [echo server] + [ipc client]: a discovery/notify/shared-buffer
+      exchange over the IPC capsule (driver 9); the client retries copy
+      NACKs, and a server death mid-exchange must wake the client with an
+      error rather than wedging it;
+    - [spinner]: an unbounded compute loop that never syscalls — the
+      runaway the software watchdog exists to fault, loaded under a
+      backoff-restart policy so the campaign shows detect → fault →
+      delayed restart → re-detect cycles.
+
+    All outputs are fixed text or values derived from the deterministic
+    RNG stream and process layout — never wall-clock or tick values — so a
+    golden (uninjected) run is byte-comparable. *)
+
+open Ticktock
+open Apps.App_dsl
+
+let server_name = "chaos-echo"
+
+let console_script () =
+  let msg = "console capsule check\r\n" in
+  let* base = memory_start in
+  let* () = write_string base msg in
+  let* _ = allow_ro ~driver:5 ~addr:base ~len:(String.length msg) in
+  let* () =
+    repeat 4 (fun () ->
+        let* _ = command ~driver:5 ~cmd:1 ~arg1:(String.length msg) () in
+        return ())
+  in
+  let* () = print "console: 4 writes done\r\n" in
+  return 0
+
+let rng_script () =
+  let* base = memory_start in
+  let* _ = allow_rw ~driver:8 ~addr:base ~len:8 in
+  (* retry while the entropy source is transiently dry *)
+  let rec get tries =
+    if tries = 0 then return Userland.failure
+    else
+      let* r = command ~driver:8 ~cmd:1 ~arg1:8 () in
+      if r = Userland.failure then get (tries - 1) else return r
+  in
+  let* got = get 64 in
+  if got = Userland.failure then
+    let* () = print "rng: starved\r\n" in
+    return 1
+  else
+    let* b0 = load8 base in
+    let* b1 = load8 (Word32.add base 1) in
+    let* () = printf "rng: %d bytes, first %02x %02x\r\n" got b0 b1 in
+    return 0
+
+let echo_server_script () =
+  let* base = memory_start in
+  let* _ = allow_rw ~driver:9 ~addr:base ~len:4 in
+  let* _ = command ~driver:9 ~cmd:0 () in
+  let* _ = subscribe ~driver:9 ~upcall_id:2 in
+  (* serve one client exchange, then park again and exit after a second *)
+  let rec serve n =
+    if n = 0 then return 0
+    else
+      let* client = yield in
+      let* _ = command ~driver:9 ~cmd:3 ~arg1:client () in
+      serve (n - 1)
+  in
+  serve 1
+
+let ipc_client_script () =
+  let* base = memory_start in
+  let* () = write_cstring base server_name in
+  let* _ = allow_ro ~driver:9 ~addr:base ~len:(String.length server_name + 1) in
+  let* srv = command ~driver:9 ~cmd:1 () in
+  if srv = Userland.failure then
+    let* () = print "ipc: no server\r\n" in
+    return 1
+  else
+    let* _ = subscribe ~driver:9 ~upcall_id:3 in
+    (* poke a byte into the server's shared buffer, retrying transient
+       copy NACKs, and read it back the same way *)
+    let rec poke tries =
+      if tries = 0 then return Userland.failure
+      else
+        let* r = command ~driver:9 ~cmd:5 ~arg1:srv ~arg2:0x5A () in
+        if r = Userland.failure then poke (tries - 1) else return r
+    in
+    let rec peek tries =
+      if tries = 0 then return Userland.failure
+      else
+        let* r = command ~driver:9 ~cmd:4 ~arg1:srv ~arg2:0 () in
+        if r = Userland.failure then peek (tries - 1) else return r
+    in
+    let* _ = poke 32 in
+    let* back = peek 32 in
+    let* () =
+      if back = 0x5A then print "ipc: echo ok\r\n" else print "ipc: echo bad\r\n"
+    in
+    let* _ = command ~driver:9 ~cmd:2 ~arg1:srv () in
+    let* reply = yield in
+    let* () =
+      if reply = srv then print "ipc: reply ok\r\n"
+      else if reply = Capsules.Ipc.peer_died then print "ipc: server died\r\n"
+      else print "ipc: bad reply\r\n"
+    in
+    return 0
+
+let spinner_script () =
+  let rec loop () =
+    let* _ = compute 64 in
+    loop ()
+  in
+  loop ()
+
+(** every companion: name, script, fault policy *)
+let all : (string * (unit -> int t) * Process.fault_policy) list =
+  [
+    ("chaos-console", console_script, Process.Stop);
+    ("chaos-rng", rng_script, Process.Stop);
+    (server_name, echo_server_script, Process.Stop);
+    ("chaos-ipc", ipc_client_script, Process.Stop);
+    ( "chaos-spin",
+      spinner_script,
+      Process.Restart_backoff
+        { max_restarts = 3; base_delay = 4; max_delay = 64; decay_span = 0 } );
+  ]
+
+(** Which companion observes each device-fault kind — the process a
+    transient device error is attributed to when classifying. *)
+let device_user = function
+  | Engine.Dev_uart_busy -> Some "chaos-console"
+  | Engine.Dev_rng_stall -> Some "chaos-rng"
+  | Engine.Dev_ipc_nack -> Some "chaos-ipc"
+  | _ -> None
+
+(** Load every companion onto a built board; returns (name, pid) assoc. *)
+let load (made : Targets.made) =
+  List.filter_map
+    (fun (name, script, policy) ->
+      let program () = to_program (script ()) in
+      match made.Targets.bd_load ~name ~program ~min_ram:1024 ~policy with
+      | Ok pid -> Some (name, pid)
+      | Error _ -> None)
+    all

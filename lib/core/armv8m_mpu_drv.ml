@@ -79,3 +79,10 @@ let configure_mpu hw regions =
 let enable hw = Hw.set_enabled hw true
 let disable hw = Hw.set_enabled hw false
 let accessible_ranges hw access = Hw.accessible_ranges hw access
+
+let snapshot hw =
+  (if Hw.enabled hw then 1 else 0)
+  :: List.concat
+       (List.init Hw.region_count (fun i ->
+            let rbar, rlar = Hw.read_region hw ~index:i in
+            [ rbar; rlar ]))

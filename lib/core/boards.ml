@@ -66,115 +66,115 @@ let wire_rv (m : Machine.riscv) sink =
   end
 
 (** Fresh ARM machine + TickTock kernel. *)
-let make_ticktock_arm ?quantum ?capsules ?obs () =
+let make_ticktock_arm ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_arm () in
   let k =
     Ticktock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
-      ?quantum ?capsules ?obs:(resolve_obs obs) ()
+      ?quantum ?capsules ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_arm m (Ticktock_arm.obs_sink k);
   (m, k)
 
 (** Fresh ARM machine + upstream (buggy) Tock kernel. *)
-let make_tock_arm ?quantum ?capsules ?obs () =
+let make_tock_arm ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_arm () in
   let k =
     Tock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
-      ?quantum ?capsules ?obs:(resolve_obs obs) ()
+      ?quantum ?capsules ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_arm m (Tock_arm.obs_sink k);
   (m, k)
 
 (** Fresh ARM machine + patched Tock kernel. *)
-let make_tock_arm_patched ?quantum ?capsules ?obs () =
+let make_tock_arm_patched ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_arm () in
   let k =
     Tock_arm_patched.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.arm_cpu) ~systick:m.Machine.arm_systick
-      ?quantum ?capsules ?obs:(resolve_obs obs) ()
+      ?quantum ?capsules ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_arm m (Tock_arm_patched.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + TickTock kernel on the SiFive E310. *)
-let make_ticktock_e310 ?quantum ?capsules ?obs () =
+let make_ticktock_e310 ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
   let k =
     Ticktock_e310.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
       ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
-      ?obs:(resolve_obs obs) ()
+      ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_rv m (Ticktock_e310.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + TickTock kernel on OpenTitan EarlGrey. The
     kernel seals its own regions with locked Smepmp entries first. *)
-let make_ticktock_earlgrey ?quantum ?capsules ?obs () =
+let make_ticktock_earlgrey ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_riscv Mpu_hw.Pmp.earlgrey in
   Epmp.protect_kernel m.Machine.rv_pmp;
   let k =
     Ticktock_earlgrey.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
       ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
-      ?obs:(resolve_obs obs) ()
+      ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_rv m (Ticktock_earlgrey.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + TickTock kernel on the QEMU rv32 virt board. *)
-let make_ticktock_qemu ?quantum ?capsules ?obs () =
+let make_ticktock_qemu ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_riscv Mpu_hw.Pmp.qemu_rv32_virt in
   let k =
     Ticktock_qemu.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
       ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
-      ?obs:(resolve_obs obs) ()
+      ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_rv m (Ticktock_qemu.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + upstream (buggy) monolithic Tock kernel on PMP. *)
-let make_tock_pmp ?quantum ?capsules ?obs () =
+let make_tock_pmp ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
   let k =
     Tock_pmp.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
       ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
-      ?obs:(resolve_obs obs) ()
+      ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_rv m (Tock_pmp.obs_sink k);
   (m, k)
 
 (** Fresh RISC-V machine + patched monolithic Tock kernel on PMP. *)
-let make_tock_pmp_patched ?quantum ?capsules ?obs () =
+let make_tock_pmp_patched ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_riscv Mpu_hw.Pmp.sifive_e310 in
   let k =
     Tock_pmp_patched.create ~mem:m.Machine.rv_mem ~hw:m.Machine.rv_pmp
       ~switcher:(Kernel.Sim_switch m.Machine.rv_machine_mode) ?quantum ?capsules
-      ?obs:(resolve_obs obs) ()
+      ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_rv m (Tock_pmp_patched.obs_sink k);
   (m, k)
 
 (** Fresh ARM machine + TickTock kernel whose context switch runs assembled
     Thumb-2 machine code through the fetch-decode-execute engine. *)
-let make_ticktock_arm_mc ?quantum ?capsules ?obs () =
+let make_ticktock_arm_mc ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_arm () in
   let code = Fluxarm.Handlers_mc.install m.Machine.arm_mem in
   let k =
     Ticktock_arm.create ~mem:m.Machine.arm_mem ~hw:m.Machine.arm_mpu
       ~switcher:(Kernel.Arm_mc_switch (m.Machine.arm_cpu, code))
-      ~systick:m.Machine.arm_systick ?quantum ?capsules ?obs:(resolve_obs obs) ()
+      ~systick:m.Machine.arm_systick ?quantum ?capsules ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_arm m (Ticktock_arm.obs_sink k);
   (m, k)
 
 (** Fresh ARMv8-M (PMSAv8) machine + TickTock kernel. *)
-let make_ticktock_arm_v8 ?quantum ?capsules ?obs () =
+let make_ticktock_arm_v8 ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span () =
   let m = Machine.create_arm_v8 () in
   let k =
     Ticktock_arm_v8.create ~mem:m.Machine.v8_mem ~hw:m.Machine.v8_mpu
       ~switcher:(Kernel.Arm_switch m.Machine.v8_cpu) ~systick:m.Machine.v8_systick ?quantum
-      ?capsules ?obs:(resolve_obs obs) ()
+      ?capsules ?obs:(resolve_obs obs) ?chaos ?scrub_every ?scrub_policy ?watchdog ?restart_decay_span ()
   in
   wire_v8 m (Ticktock_arm_v8.obs_sink k);
   (m, k)

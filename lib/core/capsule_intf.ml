@@ -61,6 +61,10 @@ type t = {
   cap_has_work : unit -> bool;
       (** pending device work (e.g. UART RX) — keeps the scheduler awake
           even with no runnable process, like an interrupt source *)
+  cap_proc_died : pid:int -> unit;
+      (** the kernel notifies every capsule when a process faults or exits,
+          so cross-process capsules (IPC) can unblock peers waiting on it
+          instead of leaving them wedged *)
 }
 
 (** A do-nothing capsule to build real ones from. *)
@@ -75,4 +79,5 @@ let stub ~driver_num ~name =
     cap_subscribed = (fun _ ~upcall_id:_ -> ());
     cap_tick = (fun ~now:_ -> ());
     cap_has_work = (fun () -> false);
+    cap_proc_died = (fun ~pid:_ -> ());
   }

@@ -1,0 +1,50 @@
+(** The kernel-side hook record the chaos engine drives.
+
+    [lib/chaos] sits {e above} the kernel (it orchestrates whole boards), so
+    the kernel cannot call it directly. Instead the kernel accepts this tiny
+    record of mutable closures at creation time and invokes them at its two
+    injection points; the chaos engine replaces the no-op defaults after the
+    instance is built. With no chaos record attached (the default), the
+    kernel takes a single [match ... with None] per slice and is otherwise
+    byte-for-byte the uninjected kernel. *)
+
+(** A perturbation applied to the next context-switch slice, modeling a
+    CPU-level transient fault. *)
+type slice_perturb =
+  | P_none
+  | P_spurious_systick
+      (** a SysTick that fires the instant the process resumes: the slice is
+          preempted after zero user actions (lost quantum, otherwise benign) *)
+  | P_spurious_svc
+      (** a spurious SVC exception entry/return pair: costs two exception
+          round-trips of model time, architecturally absorbed *)
+  | P_drop_systick
+      (** the slice's SysTick never arrives: the process runs until its next
+          syscall — or forever, if it doesn't make one. The software
+          watchdog exists to catch exactly this. *)
+  | P_corrupt_exc_return of int
+      (** EXC_RETURN corrupted to the given value on exception return: the
+          switch cannot complete and the process is faulted *)
+
+type t = {
+  mutable ch_tick : tick:int -> unit;
+      (** called once per kernel tick, before capsules run: the engine fires
+          memory bit flips and device faults scheduled for this tick *)
+  mutable ch_pre_slice : pid:int -> tick:int -> slice_perturb;
+      (** called right after [configure_mpu] (and the scrubber's expected
+          snapshot) for the process about to run: the engine may corrupt MPU
+          registers here and/or return a CPU perturbation for the slice *)
+  mutable ch_mpu_injected_at : int option;
+      (** model-cycle stamp of the latest un-detected MPU register
+          corruption; set by the engine, consumed (cleared) by the scrubber
+          to compute detection latency *)
+  mutable ch_injected : int;  (** total faults injected, for metrics *)
+}
+
+let create () =
+  {
+    ch_tick = (fun ~tick:_ -> ());
+    ch_pre_slice = (fun ~pid:_ ~tick:_ -> P_none);
+    ch_mpu_injected_at = None;
+    ch_injected = 0;
+  }

@@ -66,11 +66,29 @@ module Engine = struct
     mutable target : Range.t;
     mutable fill : int;  (** modeled peripheral data: a repeating byte *)
     mutable remaining : int;
+    mutable nack_pending : bool;  (** injected transient bus NACK *)
+    mutable nacks : int;
   }
 
-  let create mem = { mem; busy = false; target = Range.empty; fill = 0xD5; remaining = 0 }
+  let create mem =
+    {
+      mem;
+      busy = false;
+      target = Range.empty;
+      fill = 0xD5;
+      remaining = 0;
+      nack_pending = false;
+      nacks = 0;
+    }
+
   let is_busy t = t.busy
   let set_fill t b = t.fill <- b land 0xff
+
+  (* Fault injection: the bus NACKs the engine's next burst. The transfer
+     makes no progress that step and retries — a transient stall, never
+     data corruption (real engines re-arbitrate). *)
+  let inject_nack t = t.nack_pending <- true
+  let nacks t = t.nacks
 
   (* The raw MMIO path: base-pointer and length registers take arbitrary
      words. Nothing here can tell a buffer from the kernel's stack. *)
@@ -86,7 +104,11 @@ module Engine = struct
   (* Advance the transfer by [n] bytes; DMA writes bypass the MPU, as on
      real hardware, hence the raw writes. *)
   let step t n =
-    if t.busy then begin
+    if t.busy && t.nack_pending then begin
+      t.nack_pending <- false;
+      t.nacks <- t.nacks + 1
+    end
+    else if t.busy then begin
       let done_already = Range.size t.target - t.remaining in
       let burst = min n t.remaining in
       for i = 0 to burst - 1 do
@@ -96,7 +118,10 @@ module Engine = struct
       if t.remaining = 0 then t.busy <- false
     end
 
-  let run_to_completion t = step t max_int
+  let run_to_completion t =
+    while t.busy do
+      step t max_int
+    done
 end
 
 module Cell = struct

@@ -62,6 +62,14 @@ module Engine : sig
   (** Advance the transfer by up to [n] bytes. *)
 
   val run_to_completion : t -> unit
+
+  val inject_nack : t -> unit
+  (** Fault injection: the bus NACKs the engine's next burst — that [step]
+      makes no progress and the transfer retries. A transient stall, never
+      data corruption. *)
+
+  val nacks : t -> int
+  (** NACKs absorbed so far. *)
 end
 
 (** Figure 9's [DmaCell]: ownership-transferring buffer hand-off. *)

@@ -70,6 +70,23 @@ module Make (MM : Mm.S) = struct
     metrics : Obs.Metrics.t;
     syscall_hists : Obs.Metrics.hist array;
         (** model-cycle syscall latency per call kind ({!syscall_kind}) *)
+    chaos : Chaos_intf.t option;
+        (** fault-injection hooks; [None] (the default) costs one pattern
+            match per tick/slice and perturbs nothing *)
+    scrub_every : int;
+        (** MPU config scrubber cadence in context switches; 0 = off *)
+    scrub_policy : [ `Repair | `Fault ];
+        (** on detected register corruption: re-sync from the allocator, or
+            fault the affected process *)
+    watchdog : int;
+        (** syscall-less run budget in model cycles; 0 = off *)
+    restart_decay_span : int;
+        (** healthy ticks that forgive one recent fault for the plain
+            [Restart] policy; 0 = legacy behavior (never decays) *)
+    mutable switch_count : int;  (** context switches, for scrub cadence *)
+    mutable expected_mpu : int list;
+        (** register snapshot taken right after [configure_mpu] — what the
+            scrubber compares the live registers against *)
   }
 
   let name = MM.name
@@ -85,7 +102,8 @@ module Make (MM : Mm.S) = struct
     | Userland.Memop _ -> 5
 
   let create ~mem ~hw ~switcher ?(quantum = 64) ?(capsules = []) ?(sched = Round_robin)
-      ?syscall_filter ?trace ?systick ?obs () =
+      ?syscall_filter ?trace ?systick ?obs ?chaos ?(scrub_every = 0)
+      ?(scrub_policy = `Repair) ?(watchdog = 0) ?(restart_decay_span = 0) () =
     let metrics = Obs.Metrics.create () in
     let t =
       {
@@ -110,6 +128,13 @@ module Make (MM : Mm.S) = struct
         metrics;
         syscall_hists =
           Array.map (fun k -> Obs.Metrics.hist metrics ("syscall_cycles/" ^ k)) syscall_kind_names;
+        chaos;
+        scrub_every;
+        scrub_policy;
+        watchdog;
+        restart_decay_span;
+        switch_count = 0;
+        expected_mpu = [];
       }
     in
     List.iter (fun (c : Capsule_intf.t) -> Hashtbl.replace t.capsules c.driver_num c) capsules;
@@ -215,6 +240,10 @@ module Make (MM : Mm.S) = struct
         program_factory;
         initial_break = MM.app_break alloc;
         restarts = 0;
+        recent_faults = 0;
+        healthy_since = 0;
+        restart_at = None;
+        run_since_syscall = 0;
         slices = 0;
         syscall_count = 0;
         mem_watermark = MM.app_break alloc - MM.memory_start alloc;
@@ -571,45 +600,60 @@ module Make (MM : Mm.S) = struct
 
   let cycles_per_quantum_unit = 16
 
-  let run_actions t (proc : proc) =
-    let cooperative = t.sched = Cooperative in
-    (* With a SysTick present the quantum is a cycle budget counted by the
-       timer hardware model; otherwise an action budget. *)
-    let expired =
-      match t.systick with
-      | Some st when not cooperative ->
-        Mpu_hw.Systick.start st ~reload:(t.quantum * cycles_per_quantum_unit) ~tickint:true;
-        let last = ref (Cycles.read Cycles.global) in
-        fun _budget ->
-          let now = Cycles.read Cycles.global in
-          Mpu_hw.Systick.advance st (now - !last);
-          last := now;
-          Mpu_hw.Systick.take_pending st
-      | Some _ | None ->
-        fun budget -> (not cooperative) && budget <= 0
-    in
-    let rec loop budget =
-      if expired budget then Slice_quantum
-      else
-        match proc.program proc.last_result with
-        | Userland.Exit code -> Slice_exit code
-        | Userland.Syscall call -> Slice_syscall call
-        | action -> (
-          match exec_action t proc action with
-          | result ->
-            proc.last_result <- result;
-            loop (budget - 1)
-          | exception Memory.Access_fault f ->
-            Slice_fault
-              (Printf.sprintf "mpu fault: %s at %s (%s)"
-                 (match f.Memory.fault_access with
-                 | Perms.Read -> "read"
-                 | Perms.Write -> "write"
-                 | Perms.Execute -> "execute")
-                 (Word32.to_hex f.Memory.fault_addr)
-                 f.Memory.fault_reason))
-    in
-    loop t.quantum
+  let run_actions t (proc : proc) ~perturb =
+    match perturb with
+    | Chaos_intf.P_spurious_systick ->
+      (* the timer fires the instant the process resumes: the slice ends
+         after zero user actions — a lost quantum, otherwise benign *)
+      charge Cycles.exception_entry;
+      Slice_quantum
+    | Chaos_intf.P_none | Chaos_intf.P_spurious_svc | Chaos_intf.P_drop_systick
+    | Chaos_intf.P_corrupt_exc_return _ ->
+      (* a spurious SVC is architecturally absorbed: it only costs the
+         process an exception round-trip of its own time *)
+      if perturb = Chaos_intf.P_spurious_svc then charge (2 * Cycles.exception_entry);
+      let dropped = perturb = Chaos_intf.P_drop_systick in
+      let cooperative = t.sched = Cooperative in
+      (* With a SysTick present the quantum is a cycle budget counted by the
+         timer hardware model; otherwise an action budget. A dropped SysTick
+         means the timer never fires this slice: the process keeps the CPU
+         until it syscalls or the (much larger) fallback budget runs out —
+         the overrun the software watchdog exists to catch. *)
+      let expired =
+        match t.systick with
+        | Some st when (not cooperative) && not dropped ->
+          Mpu_hw.Systick.start st ~reload:(t.quantum * cycles_per_quantum_unit) ~tickint:true;
+          let last = ref (Cycles.read Cycles.global) in
+          fun _budget ->
+            let now = Cycles.read Cycles.global in
+            Mpu_hw.Systick.advance st (now - !last);
+            last := now;
+            Mpu_hw.Systick.take_pending st
+        | Some _ | None ->
+          fun budget -> (not cooperative) && budget <= 0
+      in
+      let rec loop budget =
+        if expired budget then Slice_quantum
+        else
+          match proc.program proc.last_result with
+          | Userland.Exit code -> Slice_exit code
+          | Userland.Syscall call -> Slice_syscall call
+          | action -> (
+            match exec_action t proc action with
+            | result ->
+              proc.last_result <- result;
+              loop (budget - 1)
+            | exception Memory.Access_fault f ->
+              Slice_fault
+                (Printf.sprintf "mpu fault: %s at %s (%s)"
+                   (match f.Memory.fault_access with
+                   | Perms.Read -> "read"
+                   | Perms.Write -> "write"
+                   | Perms.Execute -> "execute")
+                   (Word32.to_hex f.Memory.fault_addr)
+                   f.Memory.fault_reason))
+      in
+      loop (if dropped then t.quantum * 4 else t.quantum)
 
   (* Configure the MPU for this process and enter it, run its actions, and
      return through the preemption path matching how the slice ended. *)
@@ -633,40 +677,60 @@ module Make (MM : Mm.S) = struct
     | Some r ->
       Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Switch_to_user { pid = proc.Process.pid }));
     Hooks.measure t.hooks "setup_mpu" (fun () -> MM.configure_mpu t.hw proc.alloc);
-    match t.switcher with
-    | Arm_switch cpu ->
-      let recover_msp = Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Msp in
-      let finish reason =
-        Fluxarm.Handlers.preempt_process cpu ~exc_num:(exc_num_for reason);
-        Fluxarm.Handlers.switch_to_user_part2 cpu ~regs_base:proc.regs_base;
-        proc.psp <- Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Psp;
-        reason
-      in
-      (try
-         Fluxarm.Handlers.switch_to_user_part1 cpu ~process_sp:proc.psp
-           ~regs_base:proc.regs_base;
-         finish (run_actions t proc)
-       with Memory.Access_fault f -> recover_cpu cpu ~recover_msp f)
-    | Arm_mc_switch (cpu, code) ->
-      let recover_msp = Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Msp in
-      let finish reason =
-        Fluxarm.Handlers_mc.preempt_process code cpu ~exc_num:(exc_num_for reason);
-        Fluxarm.Handlers_mc.switch_to_user_part2 code cpu;
-        proc.psp <- Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Psp;
-        reason
-      in
-      (try
-         Fluxarm.Handlers_mc.switch_to_user_part1 code cpu ~process_sp:proc.psp
-           ~regs_base:proc.regs_base;
-         finish (run_actions t proc)
-       with Memory.Access_fault f -> recover_cpu cpu ~recover_msp f)
-    | Sim_switch machine_mode ->
+    (* The scrubber's reference: the configuration just derived from the
+       allocator, retained by the kernel (no modeled register reads). Any
+       later disagreement of the live registers with this snapshot is
+       out-of-band corruption. *)
+    if t.scrub_every > 0 then t.expected_mpu <- MM.mpu_snapshot t.hw;
+    (* Chaos injection point: mid-slice SEU faults land after the registers
+       were programmed and before/while the process runs. *)
+    let perturb =
+      match t.chaos with
+      | None -> Chaos_intf.P_none
+      | Some ch -> ch.Chaos_intf.ch_pre_slice ~pid:proc.Process.pid ~tick:t.ticks
+    in
+    match perturb with
+    | Chaos_intf.P_corrupt_exc_return v ->
+      (* the exception return cannot complete: hardware escalates before any
+         user action runs, and the kernel faults the process *)
       charge (2 * Cycles.exception_entry);
-      machine_mode := false;
-      let reason = run_actions t proc in
-      machine_mode := true;
-      charge (2 * Cycles.exception_entry);
-      reason
+      Slice_fault (Printf.sprintf "chaos: corrupted EXC_RETURN %s" (Word32.to_hex v))
+    | Chaos_intf.P_none | Chaos_intf.P_spurious_systick | Chaos_intf.P_spurious_svc
+    | Chaos_intf.P_drop_systick -> (
+      match t.switcher with
+      | Arm_switch cpu ->
+        let recover_msp = Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Msp in
+        let finish reason =
+          Fluxarm.Handlers.preempt_process cpu ~exc_num:(exc_num_for reason);
+          Fluxarm.Handlers.switch_to_user_part2 cpu ~regs_base:proc.regs_base;
+          proc.psp <- Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Psp;
+          reason
+        in
+        (try
+           Fluxarm.Handlers.switch_to_user_part1 cpu ~process_sp:proc.psp
+             ~regs_base:proc.regs_base;
+           finish (run_actions t proc ~perturb)
+         with Memory.Access_fault f -> recover_cpu cpu ~recover_msp f)
+      | Arm_mc_switch (cpu, code) ->
+        let recover_msp = Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Msp in
+        let finish reason =
+          Fluxarm.Handlers_mc.preempt_process code cpu ~exc_num:(exc_num_for reason);
+          Fluxarm.Handlers_mc.switch_to_user_part2 code cpu;
+          proc.psp <- Fluxarm.Cpu.get_special cpu Fluxarm.Regs.Psp;
+          reason
+        in
+        (try
+           Fluxarm.Handlers_mc.switch_to_user_part1 code cpu ~process_sp:proc.psp
+             ~regs_base:proc.regs_base;
+           finish (run_actions t proc ~perturb)
+         with Memory.Access_fault f -> recover_cpu cpu ~recover_msp f)
+      | Sim_switch machine_mode ->
+        charge (2 * Cycles.exception_entry);
+        machine_mode := false;
+        let reason = run_actions t proc ~perturb in
+        machine_mode := true;
+        charge (2 * Cycles.exception_entry);
+        reason)
 
   (* A Tock-style process status dump, printed to the kernel console when a
      process faults (upstream prints this from the panic handler). *)
@@ -690,6 +754,9 @@ module Make (MM : Mm.S) = struct
      the process's grant region on restart too). *)
   let restart_process t (proc : proc) factory =
     proc.restarts <- proc.restarts + 1;
+    proc.recent_faults <- proc.recent_faults + 1;
+    proc.healthy_since <- t.ticks;
+    proc.run_since_syscall <- 0;
     (match MM.brk proc.alloc t.hw ~new_app_break:proc.initial_break with
     | Ok _ | Error _ -> ());
     let start = MM.memory_start proc.alloc in
@@ -731,13 +798,122 @@ module Make (MM : Mm.S) = struct
     proc.state <- Process.Faulted msg;
     log_console t (Printf.sprintf "process %s faulted: %s" proc.name msg);
     print_process_status t proc;
+    (* Tell every capsule before the fault policy runs: a peer blocked on
+       this process (IPC) must be woken with an error, not left wedged. *)
+    Hashtbl.iter
+      (fun _ (c : Capsule_intf.t) -> c.Capsule_intf.cap_proc_died ~pid:proc.Process.pid)
+      t.capsules;
+    (* Forgive one recent fault per [span] healthy ticks since the last
+       fault accounting, so a long-lived process that faults rarely never
+       exhausts its budget. Lazy: runs only when a fault needs the count. *)
+    let decay span =
+      if span > 0 && proc.recent_faults > 0 then begin
+        let d = min proc.recent_faults ((t.ticks - proc.healthy_since) / span) in
+        if d > 0 then begin
+          proc.recent_faults <- proc.recent_faults - d;
+          proc.healthy_since <- proc.healthy_since + (d * span)
+        end
+      end
+    in
+    let exhausted () =
+      log_console t (Printf.sprintf "process %s: restart budget exhausted" proc.name)
+    in
     match (proc.fault_policy, proc.program_factory) with
     | Process.Panic, _ -> raise (Panic (Printf.sprintf "process %s: %s" proc.name msg))
     | Process.Stop, _ -> ()
-    | Process.Restart { max_restarts }, Some factory when proc.restarts < max_restarts ->
-      restart_process t proc factory
-    | Process.Restart _, (Some _ | None) ->
-      log_console t (Printf.sprintf "process %s: restart budget exhausted" proc.name)
+    | Process.Restart { max_restarts }, Some factory ->
+      decay t.restart_decay_span;
+      if proc.recent_faults < max_restarts then restart_process t proc factory
+      else exhausted ()
+    | Process.Restart_backoff { max_restarts; base_delay; max_delay; decay_span }, Some factory
+      ->
+      ignore factory;
+      decay decay_span;
+      if proc.recent_faults < max_restarts then begin
+        (* deterministic exponential backoff: base, 2*base, 4*base, ...
+           capped at [max_delay]; the restart itself runs from [wake_alarms]
+           when the delay elapses *)
+        let delay = min max_delay (base_delay * (1 lsl min proc.recent_faults 20)) in
+        proc.restart_at <- Some (t.ticks + max delay 1);
+        log_console t
+          (Printf.sprintf "process %s: restart scheduled in %d ticks (backoff)" proc.name
+             (max delay 1))
+      end
+      else exhausted ()
+    | (Process.Restart _ | Process.Restart_backoff _), None -> exhausted ()
+
+  (* The MPU config scrubber (every [scrub_every] context switches): read
+     the live registers back and compare them word-for-word against the
+     snapshot taken right after [configure_mpu]. Any disagreement is
+     out-of-band corruption — the allocator's view and the hardware have
+     diverged without the kernel writing anything. Runs at slice end,
+     {e before} [disable_mpu] and before the next switch would silently
+     rewrite (and thus heal) every slot. *)
+  let scrub_check t (proc : proc) slice =
+    t.switch_count <- t.switch_count + 1;
+    if t.switch_count mod t.scrub_every <> 0 then slice
+    else begin
+      Obs.Metrics.incr t.metrics "scrub/checks";
+      let live = MM.mpu_snapshot t.hw in
+      (* the scrubber's modeled cost: one register read per snapshot word *)
+      charge (List.length live * Cycles.mem);
+      if live = t.expected_mpu then slice
+      else begin
+        let mismatched =
+          List.fold_left2 (fun n a b -> if a = b then n else n + 1) 0 live t.expected_mpu
+        in
+        Obs.Metrics.incr t.metrics "scrub/detections";
+        let latency =
+          match t.chaos with
+          | Some ({ Chaos_intf.ch_mpu_injected_at = Some at; _ } as ch) ->
+            ch.Chaos_intf.ch_mpu_injected_at <- None;
+            Cycles.read Cycles.global - at
+          | Some _ | None -> 0
+        in
+        Obs.Metrics.observe (Obs.Metrics.hist t.metrics "scrub/detect_latency_cycles") latency;
+        let repaired = t.scrub_policy = `Repair in
+        (match t.obs with
+        | None -> ()
+        | Some r ->
+          Obs.Recorder.record r ~tick:t.ticks
+            (Obs.Event.Mpu_scrub { pid = proc.Process.pid; mismatched; repaired; latency }));
+        if repaired then begin
+          Obs.Metrics.incr t.metrics "scrub/repairs";
+          Hooks.measure t.hooks "setup_mpu" (fun () -> MM.configure_mpu t.hw proc.alloc);
+          slice
+        end
+        else
+          match slice with
+          | Slice_fault _ -> slice (* the genuine fault takes precedence *)
+          | Slice_syscall _ | Slice_quantum | Slice_exit _ ->
+            Slice_fault
+              (Printf.sprintf "mpu register corruption detected by scrubber (%d words)"
+                 mismatched)
+      end
+    end
+
+  (* The software watchdog: account model cycles a process runs without
+     making a syscall; past the budget, fault it. Catches the runaway the
+     dropped-SysTick fault creates — a process that never yields back. *)
+  let watchdog_check t (proc : proc) slice ~ran =
+    (match slice with
+    | Slice_syscall _ -> proc.Process.run_since_syscall <- 0
+    | Slice_quantum | Slice_exit _ | Slice_fault _ ->
+      proc.Process.run_since_syscall <- proc.Process.run_since_syscall + ran);
+    match slice with
+    | Slice_quantum when proc.Process.run_since_syscall > t.watchdog ->
+      let ran_total = proc.Process.run_since_syscall in
+      proc.Process.run_since_syscall <- 0;
+      Obs.Metrics.incr t.metrics "watchdog/fired";
+      (match t.obs with
+      | None -> ()
+      | Some r ->
+        Obs.Recorder.record r ~tick:t.ticks
+          (Obs.Event.Watchdog_fired { pid = proc.Process.pid; ran = ran_total }));
+      Slice_fault
+        (Printf.sprintf "watchdog: %d syscall-less cycles exceed budget %d" ran_total
+           t.watchdog)
+    | Slice_syscall _ | Slice_quantum | Slice_exit _ | Slice_fault _ -> slice
 
   let step_process t (proc : proc) =
     trace_event t (Trace.Scheduled proc.Process.pid);
@@ -746,9 +922,14 @@ module Make (MM : Mm.S) = struct
     | Some r ->
       Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Scheduled { pid = proc.Process.pid }));
     proc.Process.slices <- proc.Process.slices + 1;
-    let slice = run_slice t proc in
+    let slice, ran =
+      if t.watchdog > 0 then Cycles.measure Cycles.global (fun () -> run_slice t proc)
+      else (run_slice t proc, 0)
+    in
+    let slice = if t.scrub_every > 0 then scrub_check t proc slice else slice in
     (* back in the kernel: enforcement off until the next switch (§2.1) *)
     MM.disable_mpu t.hw;
+    let slice = if t.watchdog > 0 then watchdog_check t proc slice ~ran else slice in
     match slice with
     | Slice_syscall call ->
       proc.Process.syscall_count <- proc.Process.syscall_count + 1;
@@ -771,12 +952,25 @@ module Make (MM : Mm.S) = struct
       | None -> ()
       | Some r ->
         Obs.Recorder.record r ~tick:t.ticks (Obs.Event.Exited { pid = proc.Process.pid; code }));
-      log_console t (Printf.sprintf "process %s exited with %d" proc.name code)
+      log_console t (Printf.sprintf "process %s exited with %d" proc.name code);
+      Hashtbl.iter
+        (fun _ (c : Capsule_intf.t) -> c.Capsule_intf.cap_proc_died ~pid:proc.Process.pid)
+        t.capsules
     | Slice_fault msg -> handle_fault t proc msg
 
   (* --- the main scheduler loop --- *)
 
   let wake_alarms t =
+    (* deferred (backoff) restarts whose delay has elapsed *)
+    List.iter
+      (fun (p : proc) ->
+        match (p.Process.restart_at, p.Process.program_factory) with
+        | Some due, Some factory when due <= t.ticks ->
+          p.Process.restart_at <- None;
+          restart_process t p factory
+        | Some due, None when due <= t.ticks -> p.Process.restart_at <- None
+        | (Some _ | None), _ -> ())
+      t.procs;
     List.iter
       (fun (p : proc) ->
         (match Queue.take_opt p.Process.pending_upcalls with
@@ -797,6 +991,7 @@ module Make (MM : Mm.S) = struct
     List.exists
       (fun (p : proc) ->
         Process.is_runnable p
+        || p.Process.restart_at <> None
         || p.Process.state = Process.Yielded
            && (p.Process.alarm_at <> None
               || (not (Queue.is_empty p.Process.pending_upcalls))
@@ -811,6 +1006,7 @@ module Make (MM : Mm.S) = struct
     ensure_capsules_initialized t;
     while t.ticks < deadline && has_future_work t do
       t.ticks <- t.ticks + 1;
+      (match t.chaos with None -> () | Some ch -> ch.Chaos_intf.ch_tick ~tick:t.ticks);
       Hashtbl.iter (fun _ (c : Capsule_intf.t) -> c.Capsule_intf.cap_tick ~now:t.ticks) t.capsules;
       wake_alarms t;
       let runnable = List.filter Process.is_runnable t.procs in
@@ -904,6 +1100,20 @@ module Make (MM : Mm.S) = struct
         ]
       | Sim_switch _ -> []
     in
+    let obs_rows =
+      match t.obs with
+      | None -> []
+      | Some r ->
+        [
+          c ~host:true "obs/recorder/recorded" (Obs.Recorder.recorded r);
+          c ~host:true "obs/recorder/dropped" (Obs.Recorder.dropped r);
+        ]
+    in
+    let chaos_rows =
+      match t.chaos with
+      | None -> []
+      | Some ch -> [ c ~host:true "chaos/injected" ch.Chaos_intf.ch_injected ]
+    in
     let kernel = [ g "kernel/ticks" t.ticks; g "kernel/processes" (List.length t.procs) ] in
     let per_proc =
       List.concat_map
@@ -922,7 +1132,9 @@ module Make (MM : Mm.S) = struct
           ])
         t.procs
     in
-    sorted (snapshot t.metrics @ hooks_rows @ bus @ icache @ kernel @ per_proc)
+    sorted
+      (snapshot t.metrics @ hooks_rows @ bus @ icache @ obs_rows @ chaos_rows @ kernel
+     @ per_proc)
 
   (* --- the type-erased view --- *)
 

@@ -51,12 +51,30 @@ module Make (MM : Mm.S) : sig
     ?trace:Trace.t ->
     ?systick:Mpu_hw.Systick.t ->
     ?obs:Obs.Recorder.t ->
+    ?chaos:Chaos_intf.t ->
+    ?scrub_every:int ->
+    ?scrub_policy:[ `Repair | `Fault ] ->
+    ?watchdog:int ->
+    ?restart_decay_span:int ->
     unit ->
     t
   (** Build a kernel on a machine. [quantum] is the scheduling quantum
       (default 64 action-units; when [systick] is supplied the quantum is a
       cycle budget counted down by the timer model). [syscall_filter] is
-      Tock 2.x's per-process syscall-filter policy. *)
+      Tock 2.x's per-process syscall-filter policy.
+
+      Robustness knobs (all off by default, and when off the kernel's
+      behavior is byte-for-byte that of a kernel built without them):
+      [chaos] attaches fault-injection hooks (see {!Chaos_intf});
+      [scrub_every] runs the MPU config scrubber every N context switches —
+      at slice end the live MPU registers are compared word-for-word
+      against the configuration derived from the allocator at switch-in,
+      and on disagreement an {!Obs.Event.Mpu_scrub} event is emitted and
+      the registers are re-synced ([`Repair], the default) or the process
+      is faulted ([`Fault]); [watchdog] faults any process that runs more
+      than that many model cycles without making a syscall;
+      [restart_decay_span] makes the plain {!Process.Restart} budget
+      forgive one past fault per that many healthy ticks. *)
 
   (** {1 Observation} *)
 

@@ -53,6 +53,12 @@ module type S = sig
 
   val hw_accessible : hw -> Perms.access -> Range.t list
   (** What the hardware currently enforces (for correspondence checks). *)
+
+  val mpu_snapshot : hw -> int list
+  (** The live MPU register-file contents as a flat word list (see
+      {!Region_intf.MPU.snapshot}) — the kernel's config scrubber compares
+      a snapshot taken right after {!configure_mpu} against the live
+      registers to detect out-of-band corruption. *)
 end
 
 (** TickTock: granular allocator over any granular MPU driver. *)
@@ -90,6 +96,7 @@ module Ticktock (M : Region_intf.MPU) : S with type hw = M.hw = struct
 
   let disable_mpu hw = M.disable hw
   let hw_accessible hw access = M.accessible_ranges hw access
+  let mpu_snapshot hw = M.snapshot hw
 end
 
 (** Tock baseline: monolithic allocator over a monolithic MPU driver. *)
@@ -116,4 +123,5 @@ module Tock (M : Region_intf.MONOLITHIC) : S with type hw = M.hw = struct
   let configure_mpu hw alloc = A.configure_mpu hw alloc
   let disable_mpu hw = M.disable hw
   let hw_accessible hw access = M.accessible_ranges hw access
+  let mpu_snapshot hw = M.snapshot hw
 end

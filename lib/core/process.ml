@@ -17,8 +17,23 @@ type state =
 (** What the kernel does when the process faults — Tock's [FaultResponse].
     [Panic] stops the whole system (debugging boards), [Stop] quarantines
     the process (the default), [Restart] reinitializes its memory and runs
-    it again from the top. *)
-type fault_policy = Panic | Stop | Restart of { max_restarts : int }
+    it again from the top immediately. [Restart_backoff] restarts too, but
+    defers each restart by a deterministic exponential delay
+    [min max_delay (base_delay * 2^(n-1))] kernel ticks (n = recent fault
+    count), and forgets one recent fault per [decay_span] healthy ticks —
+    a flapping process degrades gracefully instead of restart-storming the
+    scheduler, while a process that faults rarely never exhausts its
+    budget. *)
+type fault_policy =
+  | Panic
+  | Stop
+  | Restart of { max_restarts : int }
+  | Restart_backoff of {
+      max_restarts : int;  (** budget counted against {e recent} faults *)
+      base_delay : int;  (** first-restart delay, kernel ticks *)
+      max_delay : int;  (** backoff cap, kernel ticks *)
+      decay_span : int;  (** healthy ticks that forgive one recent fault *)
+    }
 
 type 'alloc t = {
   pid : int;
@@ -40,7 +55,13 @@ type 'alloc t = {
   fault_policy : fault_policy;
   program_factory : (unit -> Userland.program) option;  (** for [Restart] *)
   initial_break : Word32.t;  (** app break at creation, for restart *)
-  mutable restarts : int;
+  mutable restarts : int;  (** lifetime total, monotonic (ps/metrics) *)
+  mutable recent_faults : int;  (** faults within the decay horizon *)
+  mutable healthy_since : int;  (** tick the decay accounting last ran *)
+  mutable restart_at : int option;  (** deferred (backoff) restart due tick *)
+  mutable run_since_syscall : int;
+      (** model cycles executed since the last syscall — the software
+          watchdog's budget accounting *)
   mutable slices : int;  (** scheduler slices received *)
   mutable syscall_count : int;
   mutable mem_watermark : int;

@@ -102,6 +102,15 @@ module type MPU = sig
   val accessible_ranges : hw -> Perms.access -> Range.t list
   (** What the hardware actually enforces — used to verify logical-MPU
       correspondence (§4.3) from the outside. *)
+
+  val snapshot : hw -> int list
+  (** The live register-file contents (every region/entry register plus the
+      global enable state), as a flat word list. Two snapshots are equal iff
+      the hardware would enforce the same configuration — the kernel's MPU
+      config scrubber compares a snapshot taken right after
+      {!configure_mpu} (the configuration derived from the allocator)
+      against the live registers to detect corruption from outside the
+      driver (SEU bit flips, injected faults). *)
 end
 
 (** Tock's original monolithic MPU trait (Figure 3a): allocation and
@@ -142,6 +151,9 @@ module type MONOLITHIC = sig
   val enable : hw -> unit
   val disable : hw -> unit
   val accessible_ranges : hw -> Perms.access -> Range.t list
+
+  val snapshot : hw -> int list
+  (** Live register-file contents, as in {!MPU.snapshot}. *)
 
   val enabled_subregions_end : config -> Word32.t option
   (** Explication hook (§3.4, step 1): expose where the hardware-enforced

@@ -128,6 +128,13 @@ struct
   let enable hw = if C.chip.Hw.epmp then Hw.set_mmwp hw true
   let disable _hw = ()
   let accessible_ranges hw access = Hw.accessible_ranges hw access
+
+  let snapshot hw =
+    (if Hw.mml hw then 1 else 0)
+    :: List.concat
+         (List.init C.chip.Hw.entry_count (fun i ->
+              let cfg, addr = Hw.read_entry hw ~index:i in
+              [ cfg; addr ]))
 end
 
 module Upstream_e310 = Make (struct

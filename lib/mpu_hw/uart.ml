@@ -41,6 +41,12 @@ let write_byte t b =
 
 let step t n = t.now <- t.now + n
 
+(* Fault injection: the shifter reports busy for [cycles] more device
+   cycles than the last byte actually needs — a transient glitch. Polling
+   drivers ([write_byte_blocking]) simply wait it out (the fault is
+   masked); fire-and-forget writers see an overrun. *)
+let inject_busy t ~cycles = t.tx_busy_until <- max t.tx_busy_until t.now + cycles
+
 (** Busy-wait transmit: what a polling driver does. *)
 let write_byte_blocking t b =
   if tx_busy t then step t (t.tx_busy_until - t.now);

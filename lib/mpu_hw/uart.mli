@@ -17,6 +17,11 @@ val write_byte : t -> int -> unit
 val step : t -> int -> unit
 (** Advance device time by n cycles. *)
 
+val inject_busy : t -> cycles:int -> unit
+(** Fault injection: hold the shifter busy for [cycles] extra device
+    cycles. Polling drivers wait the glitch out (masked); raw writers see
+    an overrun. *)
+
 val write_byte_blocking : t -> int -> unit
 (** Busy-wait transmit — what a polling driver does. *)
 

@@ -13,6 +13,7 @@ let tid_of_lane = function
   | Event.Mpu -> 1
   | Event.Bus -> 2
   | Event.Contracts -> 3
+  | Event.Chaos -> 4
   | Event.Process p -> 10 + p
 
 let escape = Metrics.json_escape
@@ -56,12 +57,13 @@ let to_json ?(name = "ticktock") recorder =
   add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Mpu) ~value:"mpu";
   add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Bus) ~value:"bus/icache";
   add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Contracts) ~value:"contracts";
+  add_meta b ~name:"thread_name" ~tid:(tid_of_lane Event.Chaos) ~value:"chaos";
   IS.iter
     (fun p ->
       add_meta b ~name:"thread_name" ~tid:(tid_of_lane (Event.Process p)) ~value:(Printf.sprintf "pid %d" p))
     pids;
   List.iter (fun lane -> add_sort_index b ~tid:(tid_of_lane lane) ~index:(tid_of_lane lane))
-    [ Event.Kernel; Event.Mpu; Event.Bus; Event.Contracts ];
+    [ Event.Kernel; Event.Mpu; Event.Bus; Event.Contracts; Event.Chaos ];
   IS.iter (fun p -> add_sort_index b ~tid:(10 + p) ~index:(10 + p)) pids;
   List.iteri
     (fun i (e : Recorder.entry) ->

@@ -30,6 +30,18 @@ type t =
   | Icache_invalidated of { generation : int; addr : int }
   (* contract checking *)
   | Contract_failed of { site : string }
+  (* fault injection and self-healing *)
+  | Chaos_injected of { kind : string; target : int; info : int }
+      (** one injected fault; [target] is a pid, register slot or address
+          depending on [kind], [info] a kind-specific detail (bit index,
+          stall length, ...) *)
+  | Mpu_scrub of { pid : int; mismatched : int; repaired : bool; latency : int }
+      (** the scrubber found [mismatched] live register words disagreeing
+          with the configuration derived from the allocator; [latency] is
+          model cycles since the corrupting write when known (else 0) *)
+  | Watchdog_fired of { pid : int; ran : int }
+      (** the software watchdog faulted a process after [ran] syscall-less
+          model cycles *)
 
 (* A sink is just a closure; hook sites hold it as [(t -> unit) option] and
    construct the event only inside [Some] branches, so a disabled hook costs
@@ -46,10 +58,13 @@ let pid = function
   | Restarted { pid }
   | Switch_to_user { pid }
   | Brk { pid; _ }
-  | Grant { pid; _ } ->
+  | Grant { pid; _ }
+  | Mpu_scrub { pid; _ }
+  | Watchdog_fired { pid; _ } ->
       Some pid
   | Exc_entry _ | Exc_return _ | Mpu_region_write _ | Mpu_enable _ | Region_update _
-  | Grant_placed _ | Buscache_flush _ | Icache_invalidated _ | Contract_failed _ ->
+  | Grant_placed _ | Buscache_flush _ | Icache_invalidated _ | Contract_failed _
+  | Chaos_injected _ ->
       None
 
 let name = function
@@ -72,15 +87,20 @@ let name = function
   | Buscache_flush _ -> "buscache_flush"
   | Icache_invalidated _ -> "icache_invalidated"
   | Contract_failed { site } -> "contract_failed " ^ site
+  | Chaos_injected { kind; _ } -> "chaos_injected " ^ kind
+  | Mpu_scrub _ -> "mpu_scrub"
+  | Watchdog_fired _ -> "watchdog_fired"
 
 (* The Chrome-trace lane (and textual layer tag) an event belongs to. *)
-type lane = Kernel | Mpu | Bus | Contracts | Process of int
+type lane = Kernel | Mpu | Bus | Contracts | Chaos | Process of int
 
 let lane ev =
   match ev with
   | Mpu_region_write _ | Mpu_enable _ -> Mpu
   | Buscache_flush _ | Icache_invalidated _ -> Bus
   | Contract_failed _ -> Contracts
+  | Chaos_injected _ -> Chaos
+  | Mpu_scrub _ -> Mpu
   | Exc_entry _ | Exc_return _ | Region_update _ | Grant_placed _ -> Kernel
   | _ -> ( match pid ev with Some p -> Process p | None -> Kernel)
 
@@ -123,12 +143,24 @@ let args = function
   | Icache_invalidated { generation; addr } ->
       [ ("generation", string_of_int generation); ("addr", Printf.sprintf "0x%x" addr) ]
   | Contract_failed { site } -> [ ("site", site) ]
+  | Chaos_injected { kind; target; info } ->
+      [ ("kind", kind); ("target", string_of_int target); ("info", string_of_int info) ]
+  | Mpu_scrub { pid; mismatched; repaired; latency } ->
+      [
+        ("pid", string_of_int pid);
+        ("mismatched", string_of_int mismatched);
+        ("repaired", string_of_bool repaired);
+        ("latency", string_of_int latency);
+      ]
+  | Watchdog_fired { pid; ran } ->
+      [ ("pid", string_of_int pid); ("ran", string_of_int ran) ]
 
 let lane_name = function
   | Kernel -> "kernel"
   | Mpu -> "mpu"
   | Bus -> "bus"
   | Contracts -> "contracts"
+  | Chaos -> "chaos"
   | Process p -> Printf.sprintf "pid %d" p
 
 let pp ppf ev =

@@ -91,6 +91,10 @@ let record t ~tick event =
       | Event.Buscache_flush { reason } -> (16, 0, 0, 0, 0, reason)
       | Event.Icache_invalidated { generation; addr } -> (17, generation, addr, 0, 0, "")
       | Event.Contract_failed { site } -> (18, 0, 0, 0, 0, site)
+      | Event.Chaos_injected { kind; target; info } -> (19, target, info, 0, 0, kind)
+      | Event.Mpu_scrub { pid; mismatched; repaired; latency } ->
+          (20, pid, mismatched, int_of_bool repaired, latency, "")
+      | Event.Watchdog_fired { pid; ran } -> (21, pid, ran, 0, 0, "")
     in
     let ints = t.ints in
     ints.(base) <- tick;
@@ -131,6 +135,9 @@ let event_at t i =
   | 16 -> Event.Buscache_flush { reason = s }
   | 17 -> Event.Icache_invalidated { generation = a; addr = b }
   | 18 -> Event.Contract_failed { site = s }
+  | 19 -> Event.Chaos_injected { kind = s; target = a; info = b }
+  | 20 -> Event.Mpu_scrub { pid = a; mismatched = b; repaired = c <> 0; latency = d }
+  | 21 -> Event.Watchdog_fired { pid = a; ran = b }
   | _ -> assert false
 
 let recorded t = min t.next t.capacity

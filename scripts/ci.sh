@@ -52,10 +52,40 @@ print("obs smoke ok: enabled %+.2f%%, disabled %+.2f%%, %d events/run"
       % (data["enabled_overhead_pct"], data["disabled_overhead_pct"], data["events_per_suite_run"]))
 EOF
 
+# Chaos smoke: a one-board campaign with a fixed seed must classify every
+# fired fault, catch every landed MPU corruption, and report no silent
+# cross-process corruption.
+dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 -o /tmp/ci_chaos_a.txt
+python3 - <<'EOF'
+import re
+text = open("/tmp/ci_chaos_a.txt").read()
+m = re.search(r"faults fired (\d+) \(effective (\d+)\)", text)
+fired = int(m.group(1))
+classes = re.search(r"masked (\d+)  healed (\d+)  contained (\d+)", text)
+total = sum(int(g) for g in classes.groups())
+assert fired >= 40, f"campaign too small ({fired} faults fired)"
+assert total == fired, f"unclassified faults: {fired} fired, {total} classified"
+scrub = re.search(r"scrub detections (\d+) of (\d+) corruptions", text)
+assert scrub.group(1) == scrub.group(2), f"scrubber missed corruptions: {scrub.group(0)}"
+assert "silent cross-process corruption: none" in text, "silent corruption reported"
+assert "campaign: ok" in text, "campaign failed"
+print(f"chaos smoke ok: {fired} faults, all classified, scrub {scrub.group(1)}/{scrub.group(2)}")
+EOF
+
+# The campaign is a deterministic function of (board, seed): a second run
+# — and a single-worker run — must reproduce the report byte-for-byte.
+dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 -o /tmp/ci_chaos_b.txt
+TICKTOCK_JOBS=1 dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 -o /tmp/ci_chaos_c.txt
+diff /tmp/ci_chaos_a.txt /tmp/ci_chaos_b.txt
+diff /tmp/ci_chaos_a.txt /tmp/ci_chaos_c.txt
+
 # The fast paths (bus and icache) must be invisible to the modeled
 # experiments: fig11, difftest, latency and fuzz are deterministic in
 # model cycles, so two runs must agree and any host-side caching change
 # shows up here as a diff. Different fuzz job counts must agree too.
+# The bench binary now links the chaos library with no engine attached —
+# the idle chaos/scrubber/watchdog hooks must be invisible here as well
+# (test_chaos asserts the same inertness at the suite level).
 dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci_det_a.txt
 TICKTOCK_JOBS=1 dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci_det_b.txt
 diff /tmp/ci_det_a.txt /tmp/ci_det_b.txt

@@ -181,6 +181,33 @@ let test_rng_requires_allow () =
   k.Instance.run ~max_ticks:100;
   Alcotest.(check string) "no buffer, no bytes" "true" (output k pid)
 
+(* a service that takes the notify and then exits without replying: the
+   waiting client must be woken with the peer-died error, not wedged *)
+let test_ipc_peer_exit_wakes_waiter () =
+  let k, _ = board () in
+  let _service =
+    load k ~name:"ghost_svc"
+      (let* _ = subscribe ~driver:9 ~upcall_id:2 in
+       let* _ = command ~driver:9 ~cmd:0 () in
+       let* _ = yield in
+       (* no cmd-3 reply: just exit mid-exchange *)
+       return 0)
+  in
+  let client =
+    load k ~name:"ghost_cli"
+      (let* ms = memory_start in
+       let* () = write_cstring ms "ghost_svc" in
+       let* _ = allow_ro ~driver:9 ~addr:ms ~len:16 in
+       let* srv = command ~driver:9 ~cmd:1 () in
+       let* _ = subscribe ~driver:9 ~upcall_id:3 in
+       let* _ = command ~driver:9 ~cmd:2 ~arg1:srv () in
+       let* reply = yield in
+       let* () = printf "woken=%b" (reply = Capsules.Ipc.peer_died) in
+       return 0)
+  in
+  k.Instance.run ~max_ticks:300;
+  Alcotest.(check string) "error upcall, not a wedge" "woken=true" (output k client)
+
 let test_ipc_notify_roundtrip () =
   let k, _ = board () in
   (* service registers then sleeps; wakes on the client's notify and
@@ -302,6 +329,7 @@ let suite =
     Alcotest.test_case "rng fills allowed buffer" `Quick test_rng_fills_buffer;
     Alcotest.test_case "rng requires allow" `Quick test_rng_requires_allow;
     Alcotest.test_case "ipc notify roundtrip" `Quick test_ipc_notify_roundtrip;
+    Alcotest.test_case "ipc peer exit wakes waiter" `Quick test_ipc_peer_exit_wakes_waiter;
     Alcotest.test_case "ipc shared buffer" `Quick test_ipc_shared_buffer;
     Alcotest.test_case "handle blocks unallowed memory" `Quick
       test_capsule_cannot_reach_unallowed_memory;

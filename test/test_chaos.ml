@@ -1,0 +1,75 @@
+(* The chaos harness: deterministic campaigns, full classification, the
+   scrubber's detection guarantee, and chaos-off inertness. *)
+
+open Ticktock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let arm_board () =
+  match Chaos.Targets.find "ticktock-arm" with
+  | Some b -> [ b ]
+  | None -> Alcotest.fail "ticktock-arm target missing"
+
+(* One small-but-real round: the release suite plus companions under a
+   seeded fault plan, contracts enabled throughout. *)
+let run_small () =
+  Verify.Violation.with_enabled true (fun () ->
+      Chaos.Campaign.run ~boards:(arm_board ()) ~seeds:[ 1 ] ~faults:20 ())
+
+let test_deterministic_report () =
+  let a = run_small () in
+  let b = run_small () in
+  Alcotest.(check string) "same seed, byte-identical report" a.Chaos.Campaign.report
+    b.Chaos.Campaign.report
+
+let test_classification_totals () =
+  let r = run_small () in
+  check_bool "faults actually fired" true (r.Chaos.Campaign.total_fired > 0);
+  check_int "every fired fault classified" r.Chaos.Campaign.total_fired
+    (r.Chaos.Campaign.total_masked + r.Chaos.Campaign.total_healed
+   + r.Chaos.Campaign.total_contained);
+  check_int "no silent cross-process corruption" 0 r.Chaos.Campaign.total_silent;
+  check_bool "campaign ok" true r.Chaos.Campaign.ok
+
+let test_scrubber_catches_every_corruption () =
+  let r = run_small () in
+  List.iter
+    (fun (rd : Chaos.Campaign.round) ->
+      check_int "detections = landed corruptions" rd.Chaos.Campaign.rd_mpu_effective
+        rd.Chaos.Campaign.rd_scrub_detections;
+      check_int "every detection repaired" rd.Chaos.Campaign.rd_scrub_detections
+        rd.Chaos.Campaign.rd_scrub_repairs)
+    r.Chaos.Campaign.rounds
+
+(* A kernel with a chaos slot wired but no engine attached must behave
+   byte-for-byte like one without the slot: the hooks default to no-ops and
+   charge nothing. This is the invariant that lets ci.sh diff fig11 /
+   difftest / latency / fuzz output against the chaos-linked binary. *)
+let suite_outputs ?chaos () =
+  let _, k = Boards.make_ticktock_arm ?chaos () in
+  let inst = Boards.Ticktock_arm.instance k in
+  let loaded = Chaos.Campaign.load_suite inst in
+  inst.Instance.run ~max_ticks:5_000;
+  List.map
+    (fun (name, pid) ->
+      ( name,
+        Option.value ~default:"" (inst.Instance.proc_output pid)
+        ^ "|"
+        ^ Option.value ~default:"?" (inst.Instance.proc_state pid) ))
+    loaded
+
+let test_chaos_off_is_inert () =
+  let plain = suite_outputs () in
+  let linked = suite_outputs ~chaos:(Chaos_intf.create ()) () in
+  Alcotest.(check (list (pair string string)))
+    "idle chaos slot perturbs nothing" plain linked
+
+let suite =
+  [
+    Alcotest.test_case "campaign report is deterministic" `Slow test_deterministic_report;
+    Alcotest.test_case "classification is total and clean" `Slow test_classification_totals;
+    Alcotest.test_case "scrubber detects every landed corruption" `Slow
+      test_scrubber_catches_every_corruption;
+    Alcotest.test_case "chaos linked but off is inert" `Quick test_chaos_off_is_inert;
+  ]

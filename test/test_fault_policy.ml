@@ -96,6 +96,144 @@ let test_panic_policy () =
   | () -> Alcotest.fail "expected kernel panic"
   | exception K.Panic msg -> check_bool "panic names the process" true (String.length msg > 0)
 
+(* runs ~12 healthy slices (200 x 64 cycles against the ~1024-cycle
+   quantum), then faults — enough ticks between faults for the kernel's
+   decay accounting to forgive the previous one *)
+let healthy_then_crash =
+  let* () =
+    repeat 200 (fun () ->
+        let* _ = compute 64 in
+        return ())
+  in
+  let* _ = load8 (Range.start Layout.kernel_sram) in
+  return 0
+
+let test_restart_counter_decays () =
+  (* span 5: ~30 healthy ticks forgive the single recent fault, so a
+     1-restart budget never exhausts within the horizon *)
+  let _, k = Boards.make_ticktock_arm ~restart_decay_span:5 () in
+  let factory () = to_program healthy_then_crash in
+  let p =
+    create k
+      ~fault_policy:(Process.Restart { max_restarts = 1 })
+      ~program_factory:factory healthy_then_crash
+  in
+  K.run k ~max_ticks:300;
+  check_bool "kept restarting past the nominal budget" true (p.Process.restarts >= 3)
+
+let test_restart_no_decay_regression () =
+  (* span 0 is the legacy accounting: the same workload exhausts at 1 *)
+  let _, k = Boards.make_ticktock_arm () in
+  let factory () = to_program healthy_then_crash in
+  let p =
+    create k
+      ~fault_policy:(Process.Restart { max_restarts = 1 })
+      ~program_factory:factory healthy_then_crash
+  in
+  K.run k ~max_ticks:300;
+  check_int "exhausted at the budget" 1 p.Process.restarts;
+  check_bool "finally faulted" true
+    (match p.Process.state with Process.Faulted _ -> true | _ -> false)
+
+let has needle hay =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_backoff_schedule () =
+  let _, k = Boards.make_ticktock_arm () in
+  let factory () = to_program faulty_script in
+  let p =
+    create k
+      ~fault_policy:
+        (Process.Restart_backoff
+           { max_restarts = 3; base_delay = 4; max_delay = 16; decay_span = 0 })
+      ~program_factory:factory faulty_script
+  in
+  K.run k ~max_ticks:500;
+  check_int "all three deferred restarts ran" 3 p.Process.restarts;
+  check_bool "finally faulted" true
+    (match p.Process.state with Process.Faulted _ -> true | _ -> false);
+  let console = K.console_output k in
+  (* deterministic exponential schedule: base, 2x, then capped at max *)
+  check_bool "first delay = base" true (has "restart scheduled in 4 ticks" console);
+  check_bool "second delay doubled" true (has "restart scheduled in 8 ticks" console);
+  check_bool "third delay capped" true (has "restart scheduled in 16 ticks" console);
+  check_bool "budget exhaustion announced" true (has "restart budget exhausted" console)
+
+let test_watchdog_faults_runaway () =
+  let _, k = Boards.make_ticktock_arm ~watchdog:2_000 () in
+  let spinner =
+    let rec loop () =
+      let* _ = compute 64 in
+      loop ()
+    in
+    loop ()
+  in
+  let p = create k spinner in
+  K.run k ~max_ticks:50;
+  check_bool "watchdog faulted the spinner" true
+    (match p.Process.state with
+    | Process.Faulted msg -> has "watchdog" msg
+    | _ -> false)
+
+let test_watchdog_spares_syscalling_process () =
+  let _, k = Boards.make_ticktock_arm ~watchdog:2_000 () in
+  let chatty =
+    let* () =
+      repeat 20 (fun () ->
+          let* _ = compute 64 in
+          let* () = print "." in
+          return ())
+    in
+    return 0
+  in
+  let p = create k chatty in
+  K.run k ~max_ticks:100;
+  check_bool "syscalls reset the budget" true (p.Process.state = Process.Exited 0)
+
+(* A server dying mid-IPC exchange must wake its waiting client with the
+   peer-died error, not leave it wedged in yield. *)
+let test_server_death_wakes_ipc_client () =
+  let caps, _ = Capsules.Board_set.standard () in
+  let _, k = Boards.make_ticktock_arm ~capsules:caps () in
+  let load name script =
+    match
+      K.create_process k ~name ~payload:name ~program:(to_program script) ~min_ram:2048
+        ~grant_reserve:1024 ()
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "load %s: %a" name Kerror.pp e
+  in
+  let server =
+    load "svc"
+      (let* _ = subscribe ~driver:9 ~upcall_id:2 in
+       let* _ = command ~driver:9 ~cmd:0 () in
+       (* wake on the client's notify, then crash before replying *)
+       let* _ = yield in
+       let* _ = load8 (Range.start Layout.kernel_sram) in
+       return 0)
+  in
+  let client =
+    load "cli"
+      (let* ms = memory_start in
+       let* () = write_cstring ms "svc" in
+       let* _ = allow_ro ~driver:9 ~addr:ms ~len:4 in
+       let* srv = command ~driver:9 ~cmd:1 () in
+       let* _ = subscribe ~driver:9 ~upcall_id:3 in
+       let* _ = command ~driver:9 ~cmd:2 ~arg1:srv () in
+       let* reply = yield in
+       let* () =
+         if reply = Capsules.Ipc.peer_died then print "peer died" else print "bad wake"
+       in
+       return 0)
+  in
+  K.run k ~max_ticks:300;
+  check_bool "server faulted" true
+    (match server.Process.state with Process.Faulted _ -> true | _ -> false);
+  check_bool "client completed, not wedged" true (client.Process.state = Process.Exited 0);
+  Alcotest.(check string) "client saw the error upcall" "peer died" (Process.output client)
+
 let test_status_dump_on_fault () =
   let _, k = Boards.make_ticktock_arm () in
   let _ = create k faulty_script in
@@ -118,4 +256,13 @@ let suite =
     Alcotest.test_case "restart re-zeroes RAM" `Quick test_restart_rezeroes_memory;
     Alcotest.test_case "panic policy" `Quick test_panic_policy;
     Alcotest.test_case "status dump on fault" `Quick test_status_dump_on_fault;
+    Alcotest.test_case "restart counter decays" `Quick test_restart_counter_decays;
+    Alcotest.test_case "no decay without span (regression)" `Quick
+      test_restart_no_decay_regression;
+    Alcotest.test_case "backoff restart schedule" `Quick test_backoff_schedule;
+    Alcotest.test_case "watchdog faults a runaway" `Quick test_watchdog_faults_runaway;
+    Alcotest.test_case "watchdog spares syscalling process" `Quick
+      test_watchdog_spares_syscalling_process;
+    Alcotest.test_case "server death wakes ipc client" `Quick
+      test_server_death_wakes_ipc_client;
   ]
