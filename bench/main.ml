@@ -986,10 +986,129 @@ let chaos_bench () =
   print_endline "\nwrote BENCH_chaos.json"
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot/fork: restore vs cold boot, fork cost vs dirty pages, and   *)
+(* campaign wall-clock in boot vs fork mode.                            *)
+
+let snap_target_of (k : Instance.t) =
+  match k.Instance.snap_target with
+  | Some tgt -> tgt
+  | None -> failwith "board has no snapshot target"
+
+(* (a) Per-round cost of a fresh board: boot-mode pays a full board
+   construction; fork-mode pays one restore of the pristine post-boot
+   snapshot onto a board the previous round dirtied. The suite run between
+   restores is the realistic dirtying load (it is NOT inside the timed
+   window). *)
+let snap_restore_vs_boot ~rounds =
+  let t_boot =
+    bus_time (fun () ->
+        for _ = 1 to rounds do
+          ignore (Boards.instance_ticktock_arm ())
+        done)
+    /. float_of_int rounds
+  in
+  let k = Boards.instance_ticktock_arm () in
+  let tgt = snap_target_of k in
+  let t_capture = bus_time (fun () -> ignore (Snapshot.capture tgt)) in
+  let snap = Snapshot.capture tgt in
+  let t_restore = ref 0.0 in
+  for _ = 1 to rounds do
+    ignore (Apps.Difftest.run_suite ~max_ticks:2_000 k);
+    t_restore := !t_restore +. bus_time (fun () -> Snapshot.restore tgt snap)
+  done;
+  let t_restore = !t_restore /. float_of_int rounds in
+  (t_boot, t_capture, t_restore)
+
+(* (b) Restore cost as a function of pages dirtied since capture. Pure
+   memory-level sweep on a bare machine: the COW restore walks only pages
+   touched after the capture era, so cost should scale with the dirty set,
+   not with total memory. *)
+let snap_dirty_sweep () =
+  let m = Machine.create_arm () in
+  let mem = m.Machine.arm_mem in
+  let page = 4096 in
+  List.map
+    (fun pages ->
+      let snap = Memory.capture mem in
+      let base = Range.start Layout.app_sram in
+      for i = 0 to pages - 1 do
+        Memory.store32 mem (base + (i * page)) 0xDEAD_BEEF
+      done;
+      let secs = bus_time (fun () -> Memory.restore mem snap) in
+      (pages, secs))
+    [ 0; 1; 4; 16; 48 ]
+
+(* (c) The same fuzz campaign, boot mode vs fork mode, and the identity
+   check that makes fork mode admissible: identical outcome lists. *)
+let snap_campaign ~seeds =
+  let make () = Boards.instance_ticktock_arm () in
+  let run mode = Apps.Fuzz.campaign ~mode ~seeds ~fuzzers:2 ~steps:50 make in
+  let boot = ref ([], []) and forked = ref ([], []) in
+  let t_boot =
+    Verify.Violation.with_enabled true (fun () -> bus_time (fun () -> boot := run `Boot))
+  in
+  let t_fork =
+    Verify.Violation.with_enabled true (fun () -> bus_time (fun () -> forked := run `Fork))
+  in
+  let identical = !boot = !forked in
+  (t_boot, t_fork, List.length (fst !boot), identical)
+
+let snapshot_json ~rounds ~t_boot ~t_capture ~t_restore ~sweep ~seeds ~t_cboot ~t_cfork
+    ~identical =
+  let oc = open_out "BENCH_snapshot.json" in
+  let sweep_json =
+    String.concat ",\n"
+      (List.map
+         (fun (pages, secs) ->
+           Printf.sprintf "    { \"dirty_pages\": %d, \"restore_us\": %.2f }" pages
+             (secs *. 1e6))
+         sweep)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"snapshot\",\n\
+    \  \"fresh_board\": { \"rounds\": %d, \"cold_boot_us\": %.2f, \"capture_us\": %.2f,\n\
+    \                   \"restore_us\": %.2f, \"restore_speedup\": %.2f },\n\
+    \  \"restore_vs_dirty_pages\": [\n%s\n  ],\n\
+    \  \"fuzz_campaign\": { \"seeds\": %d, \"boot_mode_s\": %.3f, \"fork_mode_s\": %.3f,\n\
+    \                     \"speedup\": %.2f, \"outcomes_identical\": %b }\n\
+     }\n"
+    rounds (t_boot *. 1e6) (t_capture *. 1e6) (t_restore *. 1e6)
+    (t_boot /. t_restore)
+    sweep_json seeds t_cboot t_cfork (t_cboot /. t_cfork) identical;
+  close_out oc
+
+let snapshot_bench () =
+  header "Snapshot/fork — restore vs cold boot, dirty-page scaling, campaign wall-clock"
+    "not in the paper: the fleet-campaign substrate; model state is identical by construction";
+  let rounds = 10 in
+  let t_boot, t_capture, t_restore = snap_restore_vs_boot ~rounds in
+  Printf.printf "fresh board (over %d rounds, dirtied by a suite run each):\n" rounds;
+  Printf.printf "  %-28s %10.1f us\n" "cold boot" (t_boot *. 1e6);
+  Printf.printf "  %-28s %10.1f us\n" "capture (pristine)" (t_capture *. 1e6);
+  Printf.printf "  %-28s %10.1f us   (%.1fx faster than boot)\n" "restore (dirty board)"
+    (t_restore *. 1e6)
+    (t_boot /. t_restore);
+  let sweep = snap_dirty_sweep () in
+  Printf.printf "\nrestore cost vs pages dirtied since capture (bare machine):\n";
+  List.iter
+    (fun (pages, secs) -> Printf.printf "  %4d dirty pages %10.1f us\n" pages (secs *. 1e6))
+    sweep;
+  let seeds = 8 in
+  let t_cboot, t_cfork, ran, identical = snap_campaign ~seeds in
+  Printf.printf "\nfuzz campaign, %d seeds x 2 fuzzers (%d rounds ran):\n" seeds ran;
+  Printf.printf "  %-28s %10.3f s\n" "boot mode" t_cboot;
+  Printf.printf "  %-28s %10.3f s   (%.2fx)\n" "fork mode" t_cfork (t_cboot /. t_cfork);
+  Printf.printf "  outcomes identical: %b\n" identical;
+  snapshot_json ~rounds ~t_boot ~t_capture ~t_restore ~sweep ~seeds ~t_cboot ~t_cfork
+    ~identical;
+  print_endline "\nwrote BENCH_snapshot.json"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: main.exe [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|bechamel|all]"
+    "usage: main.exe [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|bechamel|all]"
 
 let () =
   let experiments =
@@ -1008,6 +1127,7 @@ let () =
       ("icache", icache_bench);
       ("obs", obs_bench);
       ("chaos", chaos_bench);
+      ("snapshot", snapshot_bench);
       ("bechamel", bechamel_run);
     ]
   in

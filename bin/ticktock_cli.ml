@@ -9,6 +9,11 @@
      ticktock metrics [--json]      same snapshot, text or JSON
      ticktock trace [-o FILE]       run the suite, export a Chrome trace
      ticktock chaos [-n N] [-f N]   seeded fault-injection campaign
+     ticktock snapshot ...          capture/inspect/verify board snapshots
+
+   fuzz and chaos accept --fork (boot once, fork each round from the
+   post-boot snapshot) and --from-snapshot FILE (start from an on-disk
+   image; the versioned header is checked against the board).
 *)
 
 open Ticktock
@@ -56,17 +61,25 @@ let run_cmd =
     Term.(const run $ board_arg $ verbose)
 
 let difftest_cmd =
-  let run () =
+  let run fork =
     Verify.Violation.set_enabled false;
-    let left = Apps.Difftest.run_suite (Boards.instance_ticktock_arm ()) in
-    let right = Apps.Difftest.run_suite (Boards.instance_tock_arm ()) in
+    let left = Apps.Difftest.run_suite ~fork (Boards.instance_ticktock_arm ()) in
+    let right = Apps.Difftest.run_suite ~fork (Boards.instance_tock_arm ()) in
     Format.printf "%a@." Apps.Difftest.pp_comparison
       (Apps.Difftest.compare_suites ~left ~right);
     0
   in
+  let fork =
+    Arg.(
+      value & flag
+      & info [ "fork" ]
+          ~doc:
+            "Run each suite on a restored fork of the board's post-boot snapshot instead of \
+             the boot itself (the output must be byte-identical either way).")
+  in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Differential-test Tock vs TickTock (§6.1)")
-    Term.(const run $ const ())
+    Term.(const run $ fork)
 
 let attack_cmd =
   let run board =
@@ -118,7 +131,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Check the proof components (§4)") Term.(const run $ scale)
 
 let fuzz_cmd =
-  let run board seeds =
+  let run board seeds fork from_snapshot =
     match List.assoc_opt board Boards.all_instances with
     | None ->
       Printf.eprintf "unknown board %S\n" board;
@@ -128,8 +141,25 @@ let fuzz_cmd =
         (* contracts on for the verified kernels, off for the baselines *)
         String.length board >= 8 && String.sub board 0 8 = "ticktock"
       in
+      (* --from-snapshot overlays the file image on every worker's board
+         right after boot (refusing mismatched arch/board/layout) and
+         implies the fork path; --fork alone forks from the board's own
+         post-boot image. *)
+      let make =
+        match from_snapshot with
+        | None -> make
+        | Some path ->
+          fun () ->
+            let k = make () in
+            (match k.Instance.snap_target with
+            | Some tgt -> Snapshot.load tgt path
+            | None -> invalid_arg "--from-snapshot: board has no snapshot target");
+            k
+      in
+      let mode = if fork || from_snapshot <> None then `Fork else `Boot in
       let rounds, panics =
-        Verify.Violation.with_enabled contracts (fun () -> Apps.Fuzz.campaign ~seeds make)
+        Verify.Violation.with_enabled contracts (fun () ->
+            Apps.Fuzz.campaign ~mode ~seeds make)
       in
       List.iter
         (fun (r : Apps.Fuzz.outcome) ->
@@ -144,12 +174,27 @@ let fuzz_cmd =
       if List.length panics = 0 then 0 else 2
   in
   let seeds = Arg.(value & opt int 20 & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Seeds to try.") in
+  let fork =
+    Arg.(
+      value & flag
+      & info [ "fork" ]
+          ~doc:"Boot one board per worker and fork every round from its post-boot snapshot.")
+  in
+  let from_snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Start every round from the snapshot in $(docv) (implies --fork; refuses a \
+             mismatched architecture, board or memory layout).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a board with hostile syscall/memory streams")
-    Term.(const run $ board_arg $ seeds)
+    Term.(const run $ board_arg $ seeds $ fork $ from_snapshot)
 
 let chaos_cmd =
-  let run board nseeds faults out =
+  let run board nseeds faults out fork from_snapshot =
     let boards =
       match board with
       | None -> Ok Chaos.Targets.boards
@@ -168,9 +213,10 @@ let chaos_cmd =
       1
     | Ok boards ->
       let seeds = List.init nseeds (fun i -> i + 1) in
+      let mode = if fork || from_snapshot <> None then `Fork else `Boot in
       let result =
         Verify.Violation.with_enabled true (fun () ->
-            Chaos.Campaign.run ~boards ~seeds ~faults ())
+            Chaos.Campaign.run ~mode ?from_snapshot ~boards ~seeds ~faults ())
       in
       (match out with
       | None -> print_string result.Chaos.Campaign.report
@@ -204,12 +250,113 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
   in
+  let fork =
+    Arg.(
+      value & flag
+      & info [ "fork" ]
+          ~doc:
+            "Boot each board once per round and fork both the golden and the injected run \
+             from its post-boot snapshot.")
+  in
+  let from_snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Overlay the snapshot in $(docv) on each board before forking (implies --fork; \
+             refuses a mismatched architecture, board or memory layout — use with a single \
+             $(b,-k) board).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded fault-injection campaign (golden vs injected suite runs; every fault \
           classified masked/healed/contained)")
-    Term.(const run $ board $ seeds $ faults $ out)
+    Term.(const run $ board $ seeds $ faults $ out $ fork $ from_snapshot)
+
+let snapshot_cmd =
+  let run board out info_path check_path =
+    try
+      match (info_path, check_path, out) with
+      | Some path, _, _ ->
+        (* inspect the versioned header without needing a board *)
+        let header, pages = Snapshot.describe path in
+        Printf.printf "%s: version %d  arch %s  board %s\n" path header.Snapshot.hd_version
+          header.Snapshot.hd_arch header.Snapshot.hd_board;
+        Printf.printf "layout %s  memory %s  %d page(s)\n"
+          (Fp.to_hex header.Snapshot.hd_layout_fp)
+          (Fp.to_hex header.Snapshot.hd_mem_fp)
+          pages;
+        0
+      | None, Some path, _ -> (
+        (* boot the board and load the file — every header check armed *)
+        match make_board board with
+        | Error (`Msg m) ->
+          prerr_endline m;
+          1
+        | Ok k -> (
+          match k.Instance.snap_target with
+          | None ->
+            Printf.eprintf "board %s has no snapshot target\n" board;
+            1
+          | Some tgt ->
+            Snapshot.load tgt path;
+            Printf.printf "%s: ok — restores onto %s (memory %s)\n" path board
+              (Fp.to_hex (Memory.fingerprint tgt.Snapshot.tg_mem));
+            0))
+      | None, None, Some path -> (
+        (* capture the pristine post-boot image to a file *)
+        match make_board board with
+        | Error (`Msg m) ->
+          prerr_endline m;
+          1
+        | Ok k -> (
+          match k.Instance.snap_target with
+          | None ->
+            Printf.eprintf "board %s has no snapshot target\n" board;
+            1
+          | Some tgt ->
+            Snapshot.save tgt path;
+            let header, pages = Snapshot.describe path in
+            Printf.printf "wrote %s: arch %s  board %s  memory %s  %d page(s)\n" path
+              header.Snapshot.hd_arch header.Snapshot.hd_board
+              (Fp.to_hex header.Snapshot.hd_mem_fp)
+              pages;
+            0))
+      | None, None, None ->
+        prerr_endline "snapshot: one of -o FILE, --info FILE or --check FILE is required";
+        1
+    with Invalid_argument m | Failure m ->
+      prerr_endline m;
+      1
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Capture the board's pristine post-boot snapshot to $(docv).")
+  in
+  let info_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "info" ] ~docv:"FILE" ~doc:"Print the versioned header of $(docv) and exit.")
+  in
+  let check_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Boot the board and restore $(docv) onto it, refusing a mismatched architecture, \
+             board or memory layout.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Capture, inspect or verify on-disk board snapshots (versioned TICKSNAP format)")
+    Term.(const run $ board_arg $ out $ info_path $ check_path)
 
 let ps_cmd =
   let run2 board =
@@ -331,6 +478,7 @@ let () =
             metrics_cmd;
             trace_cmd;
             fuzz_cmd;
+            snapshot_cmd;
             chaos_cmd;
             ps_cmd;
           ]))

@@ -17,7 +17,16 @@ type app_result = {
   exit_code : int option;
 }
 
-let run_suite ?(apps = Suite.all) ?(max_ticks = 5_000) (k : Instance.t) =
+let run_suite ?(apps = Suite.all) ?(max_ticks = 5_000) ?(fork = false) (k : Instance.t) =
+  (* [fork]: capture the pristine post-boot image and run the suite on a
+     restored fork of it rather than on the boot itself — the harness-level
+     witness that a forked board is indistinguishable from a booted one
+     (the ci gate diffs this run against a plain one byte-for-byte). *)
+  if fork then begin
+    match k.Instance.snap_target with
+    | Some tgt -> Ticktock.Snapshot.restore tgt (Ticktock.Snapshot.capture tgt)
+    | None -> invalid_arg "Difftest.run_suite: ~fork needs an instance with a snapshot target"
+  end;
   let loaded =
     List.map
       (fun (app : Suite.app) ->

@@ -13,7 +13,11 @@ type app_result = {
   exit_code : int option;
 }
 
-val run_suite : ?apps:Suite.app list -> ?max_ticks:int -> Instance.t -> app_result list
+val run_suite :
+  ?apps:Suite.app list -> ?max_ticks:int -> ?fork:bool -> Instance.t -> app_result list
+(** With [~fork:true] the suite runs on a restored fork of the pristine
+    post-boot snapshot instead of the boot itself (requires
+    [Instance.snap_target]); results must be byte-identical either way. *)
 
 type comparison = {
   test_name : string;

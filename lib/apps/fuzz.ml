@@ -120,10 +120,9 @@ type outcome = {
   fuzzers_exited : int;
 }
 
-(** Run one fuzzing round: [fuzzers] hostile apps + one witness on a fresh
-    kernel instance. *)
-let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
-  let k = make () in
+(** One fuzzing round against an already-booted (or just-restored) kernel
+    instance: [fuzzers] hostile apps + one honest witness. *)
+let round_on (k : Instance.t) ~fuzzers ~steps ~seed =
   let witness_script =
     let* ms = memory_start in
     let* _ = store32 (ms + 64) 0x5AFE_5AFE in
@@ -169,6 +168,10 @@ let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
       List.length (List.filter (fun p -> k.Instance.proc_exit p <> None) fuzz_pids);
   }
 
+(** Run one fuzzing round on a fresh kernel instance. *)
+let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
+  round_on (make ()) ~fuzzers ~steps ~seed
+
 let jobs () =
   match Sys.getenv_opt "TICKTOCK_JOBS" with
   | Some s -> (
@@ -185,16 +188,43 @@ let jobs () =
     [Domain.recommended_domain_count ()]). Worker [w] takes seeds
     [w+1, w+1+jobs, ...] round-robin and the merge sorts by seed, so the
     result is byte-identical to a sequential run regardless of job count
-    or scheduling. *)
-let campaign ?(seeds = 20) ?fuzzers ?steps (make : unit -> Instance.t) =
+    or scheduling.
+
+    [mode] picks the per-round board strategy: [`Boot] (the default) pays a
+    full board construction per seed; [`Fork] boots {e one} board per
+    worker domain, captures the pristine post-boot image through the
+    board's {!Ticktock.Snapshot.target}, and restores it before every
+    round — the boards a fresh boot and a fork produce are byte-identical
+    (the snapshot roundtrip tests pin this down), so the outcomes are too.
+    [`Fork] requires instances built by {!Ticktock.Boards} (or anything
+    else that fills [Instance.snap_target]). *)
+let campaign ?(mode = `Boot) ?(seeds = 20) ?(fuzzers = 3) ?(steps = 60)
+    (make : unit -> Instance.t) =
   let jobs = min (jobs ()) seeds in
+  let boot_round ~seed = run_round ~fuzzers ~steps ~seed make in
+  (* One booted board + pristine snapshot serves every round of a worker. *)
+  let forked_runner () =
+    let k = make () in
+    let tgt =
+      match k.Instance.snap_target with
+      | Some tgt -> tgt
+      | None -> invalid_arg "Fuzz.campaign: `Fork needs an instance with a snapshot target"
+    in
+    let snap = Ticktock.Snapshot.capture tgt in
+    fun ~seed ->
+      Ticktock.Snapshot.restore tgt snap;
+      round_on k ~fuzzers ~steps ~seed
+  in
   let rounds =
-    if jobs <= 1 then List.init seeds (fun i -> run_round ?fuzzers ?steps ~seed:(i + 1) make)
+    if jobs <= 1 then begin
+      let round = match mode with `Boot -> boot_round | `Fork -> forked_runner () in
+      List.init seeds (fun i -> round ~seed:(i + 1))
+    end
     else begin
       let worker w () =
+        let round = match mode with `Boot -> boot_round | `Fork -> forked_runner () in
         let rec go i acc =
-          if i >= seeds then List.rev acc
-          else go (i + jobs) (run_round ?fuzzers ?steps ~seed:(i + 1) make :: acc)
+          if i >= seeds then List.rev acc else go (i + jobs) (round ~seed:(i + 1) :: acc)
         in
         go w []
       in

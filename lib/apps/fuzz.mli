@@ -21,5 +21,17 @@ type outcome = {
 }
 
 val run_round : ?fuzzers:int -> ?steps:int -> seed:int -> (unit -> Instance.t) -> outcome
-val campaign : ?seeds:int -> ?fuzzers:int -> ?steps:int -> (unit -> Instance.t) -> outcome list * outcome list
-(** (all rounds, the rounds that panicked the kernel). *)
+
+val campaign :
+  ?mode:[ `Boot | `Fork ] ->
+  ?seeds:int ->
+  ?fuzzers:int ->
+  ?steps:int ->
+  (unit -> Instance.t) ->
+  outcome list * outcome list
+(** (all rounds, the rounds that panicked the kernel). [`Boot] (default)
+    builds a fresh board per seed; [`Fork] boots one board per worker,
+    captures the pristine post-boot snapshot and restores it before every
+    round — same outcomes, a fraction of the wall-clock. [`Fork] requires
+    instances with [Instance.snap_target] (anything {!Ticktock.Boards}
+    builds). *)

@@ -24,3 +24,27 @@ let standard ?rng_seed ?rng_stall ?ipc_nack () =
     ]
   in
   (capsules, { uart; debug_uart; gpio })
+
+(** Snapshot components for the devices behind {!standard}'s capsules — the
+    board constructor only sees its core machine, so harnesses splice these
+    into the board target with [Snapshot.add_components] (which keeps the
+    kernel component last). *)
+let components { uart; debug_uart; gpio } =
+  let comp name ~capture ~restore ~fingerprint obj =
+    {
+      Ticktock.Snapshot.co_name = name;
+      co_capture =
+        (fun () ->
+          let s = capture obj in
+          fun () -> restore obj s);
+      co_fingerprint = (fun () -> fingerprint obj);
+    }
+  in
+  [
+    comp "uart" ~capture:Mpu_hw.Uart.capture_state ~restore:Mpu_hw.Uart.restore_state
+      ~fingerprint:Mpu_hw.Uart.fingerprint uart;
+    comp "debug-uart" ~capture:Mpu_hw.Uart.capture_state ~restore:Mpu_hw.Uart.restore_state
+      ~fingerprint:Mpu_hw.Uart.fingerprint debug_uart;
+    comp "gpio" ~capture:Mpu_hw.Gpio.capture_state ~restore:Mpu_hw.Gpio.restore_state
+      ~fingerprint:Mpu_hw.Gpio.fingerprint gpio;
+  ]

@@ -17,3 +17,8 @@ val standard :
 (** [rng_stall] and [ipc_nack] are the capsules' fault-injection hooks
     (see {!Rng.capsule} and {!Ipc.capsule}); omitted, the set behaves
     exactly as before. *)
+
+val components : devices -> Ticktock.Snapshot.component list
+(** Snapshot components for the devices behind {!standard}'s capsules.
+    Splice into a board target with [Snapshot.add_components] — it inserts
+    before the kernel component, keeping the kernel last in restore order. *)

@@ -62,7 +62,42 @@ let capsule ?(pins = [ 8; 9 ]) gpio =
         end)
       pins
   in
+  let snapshotter =
+    {
+      Capsule_intf.sn_name = "button";
+      sn_capture =
+        (fun () ->
+          (* listeners hold process handles (valid across restore: procs
+             restore in place) plus a mutable enabled list, so capture the
+             table shape and each listener's list *)
+          let levels = Array.copy last_levels in
+          let subs =
+            Hashtbl.fold (fun pid l acc -> (pid, l, l.l_enabled) :: acc) listeners []
+          in
+          fun () ->
+            Array.blit levels 0 last_levels 0 (Array.length last_levels);
+            Hashtbl.reset listeners;
+            List.iter
+              (fun (pid, l, enabled) ->
+                l.l_enabled <- enabled;
+                Hashtbl.replace listeners pid l)
+              subs);
+      sn_fingerprint =
+        (fun () ->
+          let h = Array.fold_left (fun h b -> Fp.bool h b) Fp.seed last_levels in
+          let subs =
+            Hashtbl.fold (fun pid l acc -> (pid, List.sort compare l.l_enabled) :: acc)
+              listeners []
+            |> List.sort compare
+          in
+          List.fold_left
+            (fun h (pid, enabled) -> Fp.ints (Fp.int h pid) enabled)
+            (Fp.int h (List.length subs))
+            subs);
+    }
+  in
   { (Capsule_intf.stub ~driver_num ~name:"button") with
     Capsule_intf.cap_command = command;
     cap_tick = tick;
+    cap_snapshot = Some snapshotter;
   }

@@ -139,8 +139,38 @@ let capsule ?(copy_nack = ref 0) () =
     st.pending <- List.filter (fun (server, client) -> server <> pid && client <> pid) st.pending;
     st.services <- List.filter (fun (_, p) -> p <> pid) st.services
   in
+  let snapshotter =
+    {
+      Capsule_intf.sn_name = "ipc";
+      sn_capture =
+        (fun () ->
+          (* immutable assoc lists: sharing by reference is a deep capture;
+             [svc] is wiring, not state, and survives untouched *)
+          let services = st.services and pending = st.pending and nack = !copy_nack in
+          fun () ->
+            st.services <- services;
+            st.pending <- pending;
+            copy_nack := nack);
+      sn_fingerprint =
+        (fun () ->
+          let h =
+            List.fold_left
+              (fun h (name, pid) -> Fp.int (Fp.string h name) pid)
+              (Fp.int Fp.seed (List.length st.services))
+              st.services
+          in
+          let h =
+            List.fold_left
+              (fun h (server, client) -> Fp.int (Fp.int h server) client)
+              (Fp.int h (List.length st.pending))
+              st.pending
+          in
+          Fp.int h !copy_nack);
+    }
+  in
   { (Capsule_intf.stub ~driver_num ~name:"ipc") with
     Capsule_intf.cap_init = init;
     cap_command = command;
     cap_proc_died = proc_died;
+    cap_snapshot = Some snapshotter;
   }

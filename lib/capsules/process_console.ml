@@ -50,8 +50,23 @@ let capsule uart =
     in
     drain ()
   in
+  let snapshotter =
+    {
+      Capsule_intf.sn_name = "process-console";
+      sn_capture =
+        (fun () ->
+          (* the UART itself is captured at the machine layer; the capsule
+             only owns the partial input line *)
+          let pending = Buffer.contents line in
+          fun () ->
+            Buffer.clear line;
+            Buffer.add_string line pending);
+      sn_fingerprint = (fun () -> Fp.string Fp.seed (Buffer.contents line));
+    }
+  in
   { (Capsule_intf.stub ~driver_num ~name:"process-console") with
     Capsule_intf.cap_init = (fun s -> svc := Some s);
     cap_tick = tick;
     cap_has_work = (fun () -> Mpu_hw.Uart.rx_available uart);
+    cap_snapshot = Some snapshotter;
   }

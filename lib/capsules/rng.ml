@@ -49,4 +49,19 @@ let capsule ?(seed = 0x2545_F491) ?(stall = ref 0) () =
     end
     else Userland.failure
   in
-  { (Capsule_intf.stub ~driver_num ~name:"rng") with Capsule_intf.cap_command = command }
+  let snapshotter =
+    {
+      Capsule_intf.sn_name = "rng";
+      sn_capture =
+        (fun () ->
+          let s = !state and st = !stall in
+          fun () ->
+            state := s;
+            stall := st);
+      sn_fingerprint = (fun () -> Fp.int (Fp.int Fp.seed !state) !stall);
+    }
+  in
+  { (Capsule_intf.stub ~driver_num ~name:"rng") with
+    Capsule_intf.cap_command = command;
+    cap_snapshot = Some snapshotter;
+  }

@@ -67,9 +67,34 @@ let capsule () =
         o.o_upcall.Capsule_intf.ph_schedule_upcall ~upcall_id:0 ~arg:o.o_deadline)
       due
   in
+  (* Snapshot: [outstanding] records are immutable and process handles
+     stay valid across a restore (the kernel restores processes in place),
+     so sharing the queue list by reference is a deep-enough capture. *)
+  let snapshotter =
+    {
+      Capsule_intf.sn_name = "virtual-alarm";
+      sn_capture =
+        (fun () ->
+          let queue = st.queue and now = st.now and fired = st.fired in
+          fun () ->
+            st.queue <- queue;
+            st.now <- now;
+            st.fired <- fired);
+      sn_fingerprint =
+        (fun () ->
+          let h =
+            List.fold_left
+              (fun h o -> Fp.int (Fp.int h o.o_pid) o.o_deadline)
+              (Fp.int Fp.seed (List.length st.queue))
+              st.queue
+          in
+          Fp.int (Fp.int h st.now) st.fired);
+    }
+  in
   ( { (Capsule_intf.stub ~driver_num ~name:"virtual-alarm") with
       Capsule_intf.cap_command = command;
       cap_tick = tick;
+      cap_snapshot = Some snapshotter;
     },
     st )
 

@@ -147,25 +147,12 @@ let load_suite (inst : Instance.t) =
       | Error _ -> None)
     Apps.Suite.all
 
-let run_one (board : Targets.board) ~seed ~faults =
-  let chaos = if faults > 0 then Some (Chaos_intf.create ()) else None in
-  let setup =
-    {
-      Targets.st_chaos = chaos;
-      st_scrub_every = scrub_cadence;
-      st_scrub_policy = `Repair;
-      st_watchdog = watchdog_budget;
-      st_restart_decay_span = 0;
-      st_rng_seed = 0x5EED + seed;
-    }
-  in
-  let made = board.Targets.tb_make setup in
+(* Load the workload onto an already-built board, run it and collect the
+   observables. [make_engine] runs after loading, exactly where the
+   boot-per-round path has always created its engine. *)
+let exec (made : Targets.made) ~make_engine =
   let loaded = load_suite made.Targets.bd_instance @ Workload.load made in
-  let engine =
-    match chaos with
-    | Some ch -> Some (Engine.create ~seed ~count:faults ~hooks:made.Targets.bd_hooks ch)
-    | None -> None
-  in
+  let engine : Engine.t option = make_engine () in
   made.Targets.bd_instance.Instance.run ~max_ticks;
   (* The DMA demonstration runs after the kernel quiesces: any bus NACK the
      engine queued stalls the first burst, and the retrying transfer still
@@ -212,6 +199,55 @@ let run_one (board : Targets.board) ~seed ~faults =
       Mpu_hw.Uart.overruns made.Targets.bd_devices.Capsules.Board_set.uart;
   }
 
+let setup_of ~chaos ~seed =
+  {
+    Targets.st_chaos = chaos;
+    st_scrub_every = scrub_cadence;
+    st_scrub_policy = `Repair;
+    st_watchdog = watchdog_budget;
+    st_restart_decay_span = 0;
+    st_rng_seed = 0x5EED + seed;
+  }
+
+(* The boot-per-round path: a fresh board per run. *)
+let run_one (board : Targets.board) ~seed ~faults =
+  let chaos = if faults > 0 then Some (Chaos_intf.create ()) else None in
+  let made = board.Targets.tb_make (setup_of ~chaos ~seed) in
+  exec made ~make_engine:(fun () ->
+      Option.map
+        (fun ch -> Engine.create ~seed ~count:faults ~hooks:made.Targets.bd_hooks ch)
+        chaos)
+
+(* The fork-from-snapshot path: boot the board once with an {e inert} chaos
+   record attached (no-op hooks — the kernel's behavior with them is
+   byte-for-byte that of a kernel built without), capture the pristine
+   post-boot image, then fork both runs from it: the golden run straight
+   off the boot, the injected run after a restore, with a seeded engine
+   splicing its fault plan into the same chaos record. The suite is
+   (re)loaded per fork — the capture is pre-load, so restored program
+   closures are never shared with an already-stepped run. *)
+let run_pair_forked ?from_snapshot (board : Targets.board) ~seed ~faults =
+  let chaos = Chaos_intf.create () in
+  let made = board.Targets.tb_make (setup_of ~chaos:(Some chaos) ~seed) in
+  let tgt =
+    match made.Targets.bd_instance.Instance.snap_target with
+    | Some tgt -> tgt
+    | None -> invalid_arg "chaos fork: board has no snapshot target"
+  in
+  (* A file image, when given, overlays the pristine boot before the
+     capture — [Snapshot.load] refuses a file from another architecture,
+     board or memory layout, so a fleet worker can only ever fork the image
+     it was meant to. *)
+  Option.iter (fun path -> Snapshot.load tgt path) from_snapshot;
+  let snap = Snapshot.capture tgt in
+  let golden = exec made ~make_engine:(fun () -> None) in
+  Snapshot.restore tgt snap;
+  let injected =
+    exec made ~make_engine:(fun () ->
+        Some (Engine.create ~seed ~count:faults ~hooks:made.Targets.bd_hooks chaos))
+  in
+  (golden, injected)
+
 (* --- classification --- *)
 
 let row_diverges (g : row) (i : row) =
@@ -219,9 +255,12 @@ let row_diverges (g : row) (i : row) =
   || (not (String.equal g.r_state i.r_state))
   || g.r_exit <> i.r_exit
 
-let classify_round (board : Targets.board) ~seed ~faults =
-  let golden = run_one board ~seed ~faults:0 in
-  let injected = run_one board ~seed ~faults in
+let classify_round ?(mode = `Boot) ?from_snapshot (board : Targets.board) ~seed ~faults =
+  let golden, injected =
+    match mode with
+    | `Boot -> (run_one board ~seed ~faults:0, run_one board ~seed ~faults)
+    | `Fork -> run_pair_forked ?from_snapshot board ~seed ~faults
+  in
   let diverged name =
     match (List.assoc_opt name golden.ro_rows, List.assoc_opt name injected.ro_rows) with
     | Some g, Some i -> row_diverges g i
@@ -390,7 +429,8 @@ let render (rounds : round list) =
 let default_seeds = [ 1; 2; 3; 4; 5 ]
 let default_faults = 40
 
-let run ?(boards = Targets.boards) ?(seeds = default_seeds) ?(faults = default_faults) () =
+let run ?(mode = `Boot) ?from_snapshot ?(boards = Targets.boards) ?(seeds = default_seeds)
+    ?(faults = default_faults) () =
   let specs =
     List.concat_map (fun b -> List.map (fun s -> (b, s)) seeds) boards |> Array.of_list
   in
@@ -399,7 +439,7 @@ let run ?(boards = Targets.boards) ?(seeds = default_seeds) ?(faults = default_f
   let j = min (jobs ()) n in
   if j <= 1 then
     Array.iteri
-      (fun i (b, s) -> results.(i) <- Some (classify_round b ~seed:s ~faults))
+      (fun i (b, s) -> results.(i) <- Some (classify_round ~mode ?from_snapshot b ~seed:s ~faults))
       specs
   else begin
     let worker w =
@@ -408,7 +448,7 @@ let run ?(boards = Targets.boards) ?(seeds = default_seeds) ?(faults = default_f
           let i = ref w in
           while !i < n do
             let b, s = specs.(!i) in
-            out := (!i, classify_round b ~seed:s ~faults) :: !out;
+            out := (!i, classify_round ~mode ?from_snapshot b ~seed:s ~faults) :: !out;
             i := !i + j
           done;
           !out)

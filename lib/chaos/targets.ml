@@ -59,53 +59,38 @@ type board = {
   tb_make : setup -> made;
 }
 
-(* --- architecture-specific register corruptors --- *)
+(* --- the generic register corruptor ---
 
-let corrupt_v7 mpu rng =
-  let module M = Mpu_hw.Armv7m_mpu in
-  let index = Random.State.int rng M.region_count in
-  let rbar, rasr = M.read_region mpu ~index in
-  let rbar', rasr', what =
-    match Random.State.int rng 4 with
-    | 0 -> (rbar, rasr lxor (1 lsl (8 + Random.State.int rng 8)), "rasr.srd")
-    | 1 -> (rbar, rasr lxor (1 lsl (24 + Random.State.int rng 3)), "rasr.ap")
-    | 2 -> (rbar, rasr lxor 1, "rasr.enable")
-    | _ -> (rbar lxor (1 lsl (16 + Random.State.int rng 12)), rasr, "rbar.addr")
-  in
-  try
-    M.write_region mpu ~index ~rbar:rbar' ~rasr:rasr';
-    Ok (Printf.sprintf "v7 region %d %s" index what)
-  with Invalid_argument why -> Error why
+   One corruptor for every architecture, built on the register-file
+   snapshot/restore pair every {!Mm.S} now exposes (the same hook the
+   scrubber's repair path and the board snapshot subsystem use): read the
+   live word list, flip one random bit of one random word, write the list
+   back. [mpu_restore] is diff-only through the model's register-write
+   front door, so exactly one register write happens, the generation
+   counter bumps as on a real reconfiguration, and a value the hardware
+   would reject (reserved encodings, locked PMP entries) raises — a masked
+   fault, reported as [Error]. The per-architecture corruptors this
+   replaces each hand-picked field offsets; the word-level flip covers the
+   same registers uniformly and the scrubber's word-for-word comparison
+   detects any landed flip regardless of which field it hit.
 
-let corrupt_v8 mpu rng =
-  let module M = Mpu_hw.Armv8m_mpu in
-  let index = Random.State.int rng M.region_count in
-  let rbar, rlar = M.read_region mpu ~index in
-  let rbar', rlar', what =
-    match Random.State.int rng 4 with
-    | 0 -> (rbar lxor (1 lsl (1 + Random.State.int rng 2)), rlar, "rbar.ap")
-    | 1 -> (rbar lxor 1, rlar, "rbar.xn")
-    | 2 -> (rbar, rlar lxor 1, "rlar.enable")
-    | _ -> (rbar lxor (1 lsl (12 + Random.State.int rng 16)), rlar, "rbar.base")
-  in
-  try
-    M.write_region mpu ~index ~rbar:rbar' ~rasr:rlar';
-    Ok (Printf.sprintf "v8 region %d %s" index what)
-  with Invalid_argument why -> Error why
+   Some flips have no architectural effect: the snapshot encodes global
+   enable as a whole word but the hardware only has the bit, so flipping
+   bit 5 of an enabled MPU's enable word writes nothing back. Re-reading
+   the registers after the write-back tells landed from normalized-away —
+   the latter is a masked fault (the campaign must not expect the scrubber
+   to detect a corruption the register file never held). *)
 
-let corrupt_pmp pmp rng =
-  let module M = Mpu_hw.Pmp in
-  let index = Random.State.int rng (M.chip pmp).M.entry_count in
-  let cfg, addr = M.read_entry pmp ~index in
-  let cfg', addr', what =
-    match Random.State.int rng 3 with
-    | 0 -> (cfg lxor (1 lsl Random.State.int rng 3), addr, "pmpcfg.rwx")
-    | 1 -> (cfg lxor (1 lsl (3 + Random.State.int rng 2)), addr, "pmpcfg.mode")
-    | _ -> (cfg, addr lxor (1 lsl (2 + Random.State.int rng 24)), "pmpaddr")
-  in
+let corrupt_mpu ~arch ~snapshot ~restore hw rng =
+  let words = snapshot hw in
+  let index = Random.State.int rng (List.length words) in
+  let bit = Random.State.int rng 32 in
+  let words' = List.mapi (fun i w -> if i = index then w lxor (1 lsl bit) else w) words in
   try
-    M.set_entry pmp ~index ~cfg:cfg' ~addr:addr';
-    Ok (Printf.sprintf "pmp entry %d %s" index what)
+    restore hw words';
+    if snapshot hw = words then
+      Error (Printf.sprintf "%s word %d bit %d normalized away by the register file" arch index bit)
+    else Ok (Printf.sprintf "%s word %d bit %d" arch index bit)
   with Invalid_argument why -> Error why
 
 (* --- boards --- *)
@@ -142,14 +127,29 @@ let make_arm (s : setup) =
          ~program:(program ()) ~min_ram ~fault_policy:policy ~program_factory:program ())
   in
   {
-    bd_instance = Boards.Ticktock_arm.instance k;
+    bd_instance =
+      { (Boards.Ticktock_arm.instance k) with
+        Instance.snap_target =
+          Some
+            (Snapshot.add_components
+               (Boards.target ~arch:"armv7m" ~board:"ticktock-arm" ~mem
+                  ~devices:(Boards.arm_components m)
+                  ~kernel:
+                    (Boards.comp "kernel" ~capture:Boards.Ticktock_arm.capture
+                       ~restore:Boards.Ticktock_arm.restore
+                       ~fingerprint:Boards.Ticktock_arm.fingerprint k)
+                  ~procs:(fun () -> List.length (Boards.Ticktock_arm.processes k)))
+               (Capsules.Board_set.components devices))
+      };
     bd_devices = devices;
     bd_hooks =
       {
         Engine.hk_mem = mem;
         hk_blocks = blocks;
         hk_kernel_sram = Layout.kernel_sram;
-        hk_corrupt_mpu = corrupt_v7 m.Machine.arm_mpu;
+        hk_corrupt_mpu =
+          corrupt_mpu ~arch:"v7" ~snapshot:Boards.Ticktock_arm_mm.mpu_snapshot
+            ~restore:Boards.Ticktock_arm_mm.mpu_restore m.Machine.arm_mpu;
         hk_uart_busy =
           (fun ~cycles ->
             Mpu_hw.Uart.inject_busy devices.Capsules.Board_set.uart ~cycles);
@@ -192,14 +192,29 @@ let make_arm_v8 (s : setup) =
          ~program:(program ()) ~min_ram ~fault_policy:policy ~program_factory:program ())
   in
   {
-    bd_instance = Boards.Ticktock_arm_v8.instance k;
+    bd_instance =
+      { (Boards.Ticktock_arm_v8.instance k) with
+        Instance.snap_target =
+          Some
+            (Snapshot.add_components
+               (Boards.target ~arch:"armv8m" ~board:"ticktock-arm-v8" ~mem
+                  ~devices:(Boards.v8_components m)
+                  ~kernel:
+                    (Boards.comp "kernel" ~capture:Boards.Ticktock_arm_v8.capture
+                       ~restore:Boards.Ticktock_arm_v8.restore
+                       ~fingerprint:Boards.Ticktock_arm_v8.fingerprint k)
+                  ~procs:(fun () -> List.length (Boards.Ticktock_arm_v8.processes k)))
+               (Capsules.Board_set.components devices))
+      };
     bd_devices = devices;
     bd_hooks =
       {
         Engine.hk_mem = mem;
         hk_blocks = blocks;
         hk_kernel_sram = Layout.kernel_sram;
-        hk_corrupt_mpu = corrupt_v8 m.Machine.v8_mpu;
+        hk_corrupt_mpu =
+          corrupt_mpu ~arch:"v8" ~snapshot:Boards.Ticktock_arm_v8_mm.mpu_snapshot
+            ~restore:Boards.Ticktock_arm_v8_mm.mpu_restore m.Machine.v8_mpu;
         hk_uart_busy =
           (fun ~cycles ->
             Mpu_hw.Uart.inject_busy devices.Capsules.Board_set.uart ~cycles);
@@ -242,14 +257,29 @@ let make_e310 (s : setup) =
          ~program:(program ()) ~min_ram ~fault_policy:policy ~program_factory:program ())
   in
   {
-    bd_instance = Boards.Ticktock_e310.instance k;
+    bd_instance =
+      { (Boards.Ticktock_e310.instance k) with
+        Instance.snap_target =
+          Some
+            (Snapshot.add_components
+               (Boards.target ~arch:"rv32-pmp" ~board:"ticktock-e310" ~mem
+                  ~devices:(Boards.rv_components m)
+                  ~kernel:
+                    (Boards.comp "kernel" ~capture:Boards.Ticktock_e310.capture
+                       ~restore:Boards.Ticktock_e310.restore
+                       ~fingerprint:Boards.Ticktock_e310.fingerprint k)
+                  ~procs:(fun () -> List.length (Boards.Ticktock_e310.processes k)))
+               (Capsules.Board_set.components devices))
+      };
     bd_devices = devices;
     bd_hooks =
       {
         Engine.hk_mem = mem;
         hk_blocks = blocks;
         hk_kernel_sram = Layout.kernel_sram;
-        hk_corrupt_mpu = corrupt_pmp m.Machine.rv_pmp;
+        hk_corrupt_mpu =
+          corrupt_mpu ~arch:"pmp" ~snapshot:Boards.Ticktock_e310_mm.mpu_snapshot
+            ~restore:Boards.Ticktock_e310_mm.mpu_restore m.Machine.rv_pmp;
         hk_uart_busy =
           (fun ~cycles ->
             Mpu_hw.Uart.inject_busy devices.Capsules.Board_set.uart ~cycles);

@@ -240,4 +240,21 @@ module Make (M : Region_intf.MPU) = struct
   let configure_mpu hw t =
     M.configure_mpu hw t.regions;
     M.enable hw
+
+  (* --- snapshot (capture/restore the allocator's logical state) ---
+
+     [App_breaks.t] and region descriptors are immutable values, so the
+     snapshot is just the breaks plus a shallow copy of the region array.
+     Restore blits in place: every alias to this [t] stays valid, and the
+     invariant is re-checked because the snapshot may meet a [t] that has
+     diverged since capture. *)
+
+  type snapshot = { snap_breaks : App_breaks.t; snap_regions : Region.t array }
+
+  let capture t = { snap_breaks = t.breaks; snap_regions = Array.copy t.regions }
+
+  let restore t s =
+    t.breaks <- s.snap_breaks;
+    Array.blit s.snap_regions 0 t.regions 0 (Array.length t.regions);
+    ignore (check_invariant t)
 end

@@ -86,3 +86,20 @@ let snapshot hw =
        (List.init Hw.region_count (fun i ->
             let rbar, rlar = Hw.read_region hw ~index:i in
             [ rbar; rlar ]))
+
+(* Diff-only write-back through the front door (see {!Cortexm_mpu.restore}). *)
+let restore hw words =
+  match words with
+  | enable :: regs when List.length regs = 2 * Hw.region_count ->
+    let rec go index = function
+      | rbar :: rlar :: rest ->
+        let live_rbar, live_rlar = Hw.read_region hw ~index in
+        if live_rbar <> rbar || live_rlar <> rlar then
+          Hw.write_region hw ~index ~rbar ~rasr:rlar;
+        go (index + 1) rest
+      | _ -> ()
+    in
+    go 0 regs;
+    let en = enable <> 0 in
+    if Hw.enabled hw <> en then Hw.set_enabled hw en
+  | _ -> invalid_arg (arch_name ^ ": restore: malformed snapshot")

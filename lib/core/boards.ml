@@ -179,49 +179,192 @@ let make_ticktock_arm_v8 ?quantum ?capsules ?obs ?chaos ?scrub_every ?scrub_poli
   wire_v8 m (Ticktock_arm_v8.obs_sink k);
   (m, k)
 
+(* --- snapshot targets ---
+
+   Only the board constructor sees the full device complement, so targets
+   are assembled here. The component order is the restore order and the
+   kernel goes LAST — its thunk rewrites the obs recorder ring (erasing the
+   [Buscache_flush] the memory restore just emitted) and re-pins the global
+   cycle counter, which is what makes a forked round byte-identical to a
+   booted one. *)
+
+let comp name ~capture ~restore ~fingerprint obj =
+  {
+    Snapshot.co_name = name;
+    co_capture =
+      (fun () ->
+        let s = capture obj in
+        fun () -> restore obj s);
+    co_fingerprint = (fun () -> fingerprint obj);
+  }
+
+let arm_components (m : Machine.arm) =
+  [
+    comp "cpu" ~capture:Fluxarm.Cpu.capture_state ~restore:Fluxarm.Cpu.restore_state
+      ~fingerprint:Fluxarm.Cpu.fingerprint m.Machine.arm_cpu;
+    comp "mpu" ~capture:Mpu_hw.Armv7m_mpu.capture_state
+      ~restore:Mpu_hw.Armv7m_mpu.restore_state ~fingerprint:Mpu_hw.Armv7m_mpu.fingerprint
+      m.Machine.arm_mpu;
+    comp "systick" ~capture:Mpu_hw.Systick.capture_state ~restore:Mpu_hw.Systick.restore_state
+      ~fingerprint:Mpu_hw.Systick.fingerprint m.Machine.arm_systick;
+    comp "nvic" ~capture:Mpu_hw.Nvic.capture_state ~restore:Mpu_hw.Nvic.restore_state
+      ~fingerprint:Mpu_hw.Nvic.fingerprint m.Machine.arm_nvic;
+    comp "scb" ~capture:Mpu_hw.Scb.capture_state ~restore:Mpu_hw.Scb.restore_state
+      ~fingerprint:Mpu_hw.Scb.fingerprint m.Machine.arm_scb;
+  ]
+
+let v8_components (m : Machine.arm_v8) =
+  [
+    comp "cpu" ~capture:Fluxarm.Cpu.capture_state ~restore:Fluxarm.Cpu.restore_state
+      ~fingerprint:Fluxarm.Cpu.fingerprint m.Machine.v8_cpu;
+    comp "mpu" ~capture:Mpu_hw.Armv8m_mpu.capture_state
+      ~restore:Mpu_hw.Armv8m_mpu.restore_state ~fingerprint:Mpu_hw.Armv8m_mpu.fingerprint
+      m.Machine.v8_mpu;
+    comp "systick" ~capture:Mpu_hw.Systick.capture_state ~restore:Mpu_hw.Systick.restore_state
+      ~fingerprint:Mpu_hw.Systick.fingerprint m.Machine.v8_systick;
+  ]
+
+let rv_components (m : Machine.riscv) =
+  [
+    comp "pmp" ~capture:Mpu_hw.Pmp.capture_state ~restore:Mpu_hw.Pmp.restore_state
+      ~fingerprint:Mpu_hw.Pmp.fingerprint m.Machine.rv_pmp;
+    comp "machine-mode"
+      ~capture:(fun r -> !r)
+      ~restore:(fun r v -> r := v)
+      ~fingerprint:(fun r -> Fp.bool Fp.seed !r)
+      m.Machine.rv_machine_mode;
+  ]
+
+let target ~arch ~board ~mem ~devices ~kernel ~procs =
+  {
+    Snapshot.tg_arch = arch;
+    tg_board = board;
+    tg_mem = mem;
+    tg_components = devices @ [ kernel ];
+    tg_proc_count = procs;
+  }
+
 (* --- type-erased instances for the evaluation harness --- *)
 
 let instance_ticktock_arm_v8 ?quantum ?capsules ?obs () =
-  let _, k = make_ticktock_arm_v8 ?quantum ?capsules ?obs () in
-  Ticktock_arm_v8.instance k
-
+  let m, k = make_ticktock_arm_v8 ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"armv8m" ~board:"ticktock-arm-v8" ~mem:m.Machine.v8_mem
+      ~devices:(v8_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Ticktock_arm_v8.capture ~restore:Ticktock_arm_v8.restore
+           ~fingerprint:Ticktock_arm_v8.fingerprint k)
+      ~procs:(fun () -> List.length (Ticktock_arm_v8.processes k))
+  in
+  { (Ticktock_arm_v8.instance k) with Instance.snap_target = Some tgt }
 
 let instance_ticktock_arm_mc ?quantum ?capsules ?obs () =
-  let _, k = make_ticktock_arm_mc ?quantum ?capsules ?obs () in
-  Ticktock_arm.instance k
-
+  let m, k = make_ticktock_arm_mc ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"armv7m" ~board:"ticktock-arm-mc" ~mem:m.Machine.arm_mem
+      ~devices:(arm_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Ticktock_arm.capture ~restore:Ticktock_arm.restore
+           ~fingerprint:Ticktock_arm.fingerprint k)
+      ~procs:(fun () -> List.length (Ticktock_arm.processes k))
+  in
+  { (Ticktock_arm.instance k) with Instance.snap_target = Some tgt }
 
 let instance_ticktock_arm ?quantum ?capsules ?obs () =
-  let _, k = make_ticktock_arm ?quantum ?capsules ?obs () in
-  Ticktock_arm.instance k
+  let m, k = make_ticktock_arm ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"armv7m" ~board:"ticktock-arm" ~mem:m.Machine.arm_mem
+      ~devices:(arm_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Ticktock_arm.capture ~restore:Ticktock_arm.restore
+           ~fingerprint:Ticktock_arm.fingerprint k)
+      ~procs:(fun () -> List.length (Ticktock_arm.processes k))
+  in
+  { (Ticktock_arm.instance k) with Instance.snap_target = Some tgt }
 
 let instance_tock_arm ?quantum ?capsules ?obs () =
-  let _, k = make_tock_arm ?quantum ?capsules ?obs () in
-  Tock_arm.instance k
+  let m, k = make_tock_arm ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"armv7m" ~board:"tock-arm-upstream" ~mem:m.Machine.arm_mem
+      ~devices:(arm_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Tock_arm.capture ~restore:Tock_arm.restore
+           ~fingerprint:Tock_arm.fingerprint k)
+      ~procs:(fun () -> List.length (Tock_arm.processes k))
+  in
+  { (Tock_arm.instance k) with Instance.snap_target = Some tgt }
 
 let instance_tock_arm_patched ?quantum ?capsules ?obs () =
-  let _, k = make_tock_arm_patched ?quantum ?capsules ?obs () in
-  Tock_arm_patched.instance k
+  let m, k = make_tock_arm_patched ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"armv7m" ~board:"tock-arm-patched" ~mem:m.Machine.arm_mem
+      ~devices:(arm_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Tock_arm_patched.capture ~restore:Tock_arm_patched.restore
+           ~fingerprint:Tock_arm_patched.fingerprint k)
+      ~procs:(fun () -> List.length (Tock_arm_patched.processes k))
+  in
+  { (Tock_arm_patched.instance k) with Instance.snap_target = Some tgt }
 
 let instance_ticktock_e310 ?quantum ?capsules ?obs () =
-  let _, k = make_ticktock_e310 ?quantum ?capsules ?obs () in
-  Ticktock_e310.instance k
+  let m, k = make_ticktock_e310 ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"rv32-pmp" ~board:"ticktock-e310" ~mem:m.Machine.rv_mem
+      ~devices:(rv_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Ticktock_e310.capture ~restore:Ticktock_e310.restore
+           ~fingerprint:Ticktock_e310.fingerprint k)
+      ~procs:(fun () -> List.length (Ticktock_e310.processes k))
+  in
+  { (Ticktock_e310.instance k) with Instance.snap_target = Some tgt }
 
 let instance_ticktock_earlgrey ?quantum ?capsules ?obs () =
-  let _, k = make_ticktock_earlgrey ?quantum ?capsules ?obs () in
-  Ticktock_earlgrey.instance k
+  let m, k = make_ticktock_earlgrey ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"rv32-pmp" ~board:"ticktock-earlgrey" ~mem:m.Machine.rv_mem
+      ~devices:(rv_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Ticktock_earlgrey.capture ~restore:Ticktock_earlgrey.restore
+           ~fingerprint:Ticktock_earlgrey.fingerprint k)
+      ~procs:(fun () -> List.length (Ticktock_earlgrey.processes k))
+  in
+  { (Ticktock_earlgrey.instance k) with Instance.snap_target = Some tgt }
 
 let instance_ticktock_qemu ?quantum ?capsules ?obs () =
-  let _, k = make_ticktock_qemu ?quantum ?capsules ?obs () in
-  Ticktock_qemu.instance k
+  let m, k = make_ticktock_qemu ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"rv32-pmp" ~board:"ticktock-qemu-rv32" ~mem:m.Machine.rv_mem
+      ~devices:(rv_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Ticktock_qemu.capture ~restore:Ticktock_qemu.restore
+           ~fingerprint:Ticktock_qemu.fingerprint k)
+      ~procs:(fun () -> List.length (Ticktock_qemu.processes k))
+  in
+  { (Ticktock_qemu.instance k) with Instance.snap_target = Some tgt }
 
 let instance_tock_pmp ?quantum ?capsules ?obs () =
-  let _, k = make_tock_pmp ?quantum ?capsules ?obs () in
-  Tock_pmp.instance k
+  let m, k = make_tock_pmp ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"rv32-pmp" ~board:"tock-pmp-upstream" ~mem:m.Machine.rv_mem
+      ~devices:(rv_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Tock_pmp.capture ~restore:Tock_pmp.restore
+           ~fingerprint:Tock_pmp.fingerprint k)
+      ~procs:(fun () -> List.length (Tock_pmp.processes k))
+  in
+  { (Tock_pmp.instance k) with Instance.snap_target = Some tgt }
 
 let instance_tock_pmp_patched ?quantum ?capsules ?obs () =
-  let _, k = make_tock_pmp_patched ?quantum ?capsules ?obs () in
-  Tock_pmp_patched.instance k
+  let m, k = make_tock_pmp_patched ?quantum ?capsules ?obs () in
+  let tgt =
+    target ~arch:"rv32-pmp" ~board:"tock-pmp-patched" ~mem:m.Machine.rv_mem
+      ~devices:(rv_components m)
+      ~kernel:
+        (comp "kernel" ~capture:Tock_pmp_patched.capture ~restore:Tock_pmp_patched.restore
+           ~fingerprint:Tock_pmp_patched.fingerprint k)
+      ~procs:(fun () -> List.length (Tock_pmp_patched.processes k))
+  in
+  { (Tock_pmp_patched.instance k) with Instance.snap_target = Some tgt }
 
 (** Every kernel configuration, for harnesses that sweep all of them. *)
 let all_instances : (string * (unit -> Instance.t)) list =

@@ -47,6 +47,38 @@ type services = {
   svc_ps : unit -> string;  (** the kernel's process listing (for consoles) *)
 }
 
+(** {1 The snapshotable-state contract}
+
+    One signature for every stateful layer of the board — memory, CPU,
+    devices, MPU models, capsules, the kernel itself. [capture] produces an
+    opaque state value sharing no {e mutable} data with the live object;
+    [restore] writes a captured state back {e in place}, so every alias to
+    the live object (capsule-held process handles, the kernel's device
+    references) stays valid; [fingerprint] digests the live state to a
+    64-bit value, equal iff the states are behaviourally equal — the
+    snapshot test suite's roundtrip oracle. *)
+module type SNAPSHOTABLE = sig
+  type t
+
+  type state
+  (** Opaque captured state. Immutable by convention: capturing then
+      mutating the live [t] must not change an already-captured [state]. *)
+
+  val capture : t -> state
+  val restore : t -> state -> unit
+  val fingerprint : t -> int64
+end
+
+(** The first-class form of {!SNAPSHOTABLE}, for the record-shaped capsule
+    layer and the board-level snapshot target: [sn_capture] closes over the
+    live object and returns a restore thunk. *)
+type snapshotter = {
+  sn_name : string;
+  sn_capture : unit -> (unit -> unit);
+      (** capture now; the returned thunk restores that captured state *)
+  sn_fingerprint : unit -> int64;
+}
+
 (** One driver. The kernel calls these hooks with the {e calling} process's
     handle; [cap_tick] runs every scheduler tick (the bottom half). *)
 type t = {
@@ -65,6 +97,9 @@ type t = {
       (** the kernel notifies every capsule when a process faults or exits,
           so cross-process capsules (IPC) can unblock peers waiting on it
           instead of leaving them wedged *)
+  cap_snapshot : snapshotter option;
+      (** capture/restore hook for the board snapshot subsystem; [None]
+          (the {!stub} default) marks a stateless capsule *)
 }
 
 (** A do-nothing capsule to build real ones from. *)
@@ -80,4 +115,5 @@ let stub ~driver_num ~name =
     cap_tick = (fun ~now:_ -> ());
     cap_has_work = (fun () -> false);
     cap_proc_died = (fun ~pid:_ -> ());
+    cap_snapshot = None;
   }

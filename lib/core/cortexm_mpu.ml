@@ -187,3 +187,21 @@ let snapshot hw =
        (List.init Hw.region_count (fun i ->
             let rbar, rasr = Hw.read_region hw ~index:i in
             [ rbar; rasr ]))
+
+(* Diff-only write-back through the front door: only registers whose live
+   values differ are written, so hardware validation (and the cycle model)
+   applies exactly to what changed. *)
+let restore hw words =
+  match words with
+  | enable :: regs when List.length regs = 2 * Hw.region_count ->
+    let rec go index = function
+      | rbar :: rasr :: rest ->
+        let live_rbar, live_rasr = Hw.read_region hw ~index in
+        if live_rbar <> rbar || live_rasr <> rasr then Hw.write_region hw ~index ~rbar ~rasr;
+        go (index + 1) rest
+      | _ -> ()
+    in
+    go 0 regs;
+    let en = enable <> 0 in
+    if Hw.enabled hw <> en then Hw.set_enabled hw en
+  | _ -> invalid_arg (arch_name ^ ": restore: malformed snapshot")

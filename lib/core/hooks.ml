@@ -37,6 +37,25 @@ let rows t =
   Hashtbl.fold (fun name r acc -> (name, r.calls, r.cycles) :: acc) t []
   |> List.sort compare
 
+(* Snapshot support: rows are the whole state. Restore writes through the
+   existing row records where they exist so outside references stay valid. *)
+let capture t = rows t
+
+let restore t snap =
+  let stale =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if List.exists (fun (n, _, _) -> n = name) snap then acc else name :: acc)
+      t []
+  in
+  List.iter (Hashtbl.remove t) stale;
+  List.iter
+    (fun (name, calls, cycles) ->
+      let r = row t name in
+      r.calls <- calls;
+      r.cycles <- cycles)
+    snap
+
 let merge ~into src =
   Hashtbl.iter
     (fun name r ->

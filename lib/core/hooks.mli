@@ -27,4 +27,13 @@ val merge : into:t -> t -> unit
 (** Accumulate another table's rows (used to average over several runs,
     as the paper averages three). *)
 
+val capture : t -> (string * int * int) list
+(** Snapshot the rows (same shape as {!rows}) for the board snapshot
+    subsystem. *)
+
+val restore : t -> (string * int * int) list -> unit
+(** Write a {!capture}d row list back in place: existing row records are
+    updated (outside references stay valid), rows absent from the snapshot
+    are dropped. *)
+
 val pp : Format.formatter -> t -> unit

@@ -48,4 +48,9 @@ type t = {
       hooks, bus/icache cache counters, per-process memory gauges. *)
   obs : unit -> Obs.Recorder.t option;
   (** The cross-layer event recorder, when tracing is attached. *)
+  snap_target : Snapshot.target option;
+  (** The board's snapshot target — memory plus every stateful component in
+      restore order — when the constructor assembled one. [Kernel.instance]
+      leaves it [None]; board constructors override it, because only the
+      board knows the full device complement. *)
 }

@@ -227,6 +227,7 @@ module Make (MM : Mm.S) = struct
         regs_base;
         state = Process.Ready;
         program;
+        fed_inputs = [];
         psp;
         last_result = 0;
         allowed_ro = [];
@@ -635,7 +636,10 @@ module Make (MM : Mm.S) = struct
       let rec loop budget =
         if expired budget then Slice_quantum
         else
-          match proc.program proc.last_result with
+          match
+            proc.Process.fed_inputs <- proc.last_result :: proc.Process.fed_inputs;
+            proc.program proc.last_result
+          with
           | Userland.Exit code -> Slice_exit code
           | Userland.Syscall call -> Slice_syscall call
           | action -> (
@@ -772,6 +776,7 @@ module Make (MM : Mm.S) = struct
     Memory.write32 t.mem (psp + 28) initial_psr;
     proc.psp <- psp;
     proc.program <- factory ();
+    proc.fed_inputs <- [];
     proc.last_result <- 0;
     proc.allowed_ro <- [];
     proc.allowed_rw <- [];
@@ -879,7 +884,10 @@ module Make (MM : Mm.S) = struct
             (Obs.Event.Mpu_scrub { pid = proc.Process.pid; mismatched; repaired; latency }));
         if repaired then begin
           Obs.Metrics.incr t.metrics "scrub/repairs";
-          Hooks.measure t.hooks "setup_mpu" (fun () -> MM.configure_mpu t.hw proc.alloc);
+          (* Repair through the generic register-file restore hook: only
+             the mismatched words are rewritten, so one corrupted register
+             costs one register write — not a full reconfiguration. *)
+          Hooks.measure t.hooks "mpu_repair" (fun () -> MM.mpu_restore t.hw t.expected_mpu);
           slice
         end
         else
@@ -1136,6 +1144,237 @@ module Make (MM : Mm.S) = struct
       (snapshot t.metrics @ hooks_rows @ bus @ icache @ obs_rows @ chaos_rows @ kernel
      @ per_proc)
 
+  (* --- whole-kernel snapshot (the board snapshot subsystem's kernel
+     component) ---
+
+     Everything restores {e in place}: the same [proc] records, the same
+     allocator objects, the same hooks/metrics/recorder/trace structures —
+     so process handles held inside capsule state (alarm queues, button
+     listeners) remain valid across a restore, and the capsules' own state
+     rides along through their [cap_snapshot] hooks. Programs are
+     deterministic closures; they are rebuilt from [program_factory] by
+     replaying the fed-input log. *)
+
+  type proc_snapshot = {
+    ps_proc : proc;
+    ps_state : Process.state;
+    ps_program : Userland.program;
+    ps_fed_inputs : int list;
+    ps_psp : Word32.t;
+    ps_last_result : Word32.t;
+    ps_allowed_ro : (int * Range.t) list;
+    ps_allowed_rw : (int * Range.t) list;
+    ps_subscriptions : (int * int) list;
+    ps_alarm_at : int option;
+    ps_grants : (int * Word32.t) list;
+    ps_pending : (int * int) Queue.t;
+    ps_output : string;
+    ps_alloc : MM.alloc_snapshot;
+    ps_restarts : int;
+    ps_recent_faults : int;
+    ps_healthy_since : int;
+    ps_restart_at : int option;
+    ps_run_since_syscall : int;
+    ps_slices : int;
+    ps_syscall_count : int;
+    ps_mem_watermark : int;
+  }
+
+  type snapshot = {
+    k_procs : proc_snapshot list;
+    k_next_pid : int;
+    k_flash_cursor : Word32.t;
+    k_ram_cursor : Word32.t;
+    k_ticks : int;
+    k_console : string;
+    k_capsules_initialized : bool;
+    k_switch_count : int;
+    k_expected_mpu : int list;
+    k_hooks : (string * int * int) list;
+    k_metrics : Obs.Metrics.captured;
+    k_obs : Obs.Recorder.captured option;
+    k_trace : (Trace.entry option array * int) option;
+    k_capsules : (string * (unit -> unit)) list;  (** capsule restore thunks *)
+    k_chaos : (int option * int) option;  (** (ch_mpu_injected_at, ch_injected) *)
+    k_cycles : int;  (** the global model-cycle counter *)
+  }
+
+  let capture_proc (proc : proc) =
+    {
+      ps_proc = proc;
+      ps_state = proc.Process.state;
+      ps_program = proc.Process.program;
+      ps_fed_inputs = proc.Process.fed_inputs;
+      ps_psp = proc.Process.psp;
+      ps_last_result = proc.Process.last_result;
+      ps_allowed_ro = proc.Process.allowed_ro;
+      ps_allowed_rw = proc.Process.allowed_rw;
+      ps_subscriptions = proc.Process.subscriptions;
+      ps_alarm_at = proc.Process.alarm_at;
+      ps_grants = proc.Process.grants;
+      ps_pending = Queue.copy proc.Process.pending_upcalls;
+      ps_output = Buffer.contents proc.Process.output;
+      ps_alloc = MM.capture_alloc proc.Process.alloc;
+      ps_restarts = proc.Process.restarts;
+      ps_recent_faults = proc.Process.recent_faults;
+      ps_healthy_since = proc.Process.healthy_since;
+      ps_restart_at = proc.Process.restart_at;
+      ps_run_since_syscall = proc.Process.run_since_syscall;
+      ps_slices = proc.Process.slices;
+      ps_syscall_count = proc.Process.syscall_count;
+      ps_mem_watermark = proc.Process.mem_watermark;
+    }
+
+  let restore_proc ps =
+    let proc = ps.ps_proc in
+    proc.Process.state <- ps.ps_state;
+    (match proc.Process.program_factory with
+    | Some factory ->
+      (* rebuild the program closure at its captured point: fresh closure,
+         replay the captured input log oldest-first *)
+      let p = factory () in
+      List.iter (fun input -> ignore (p input)) (List.rev ps.ps_fed_inputs);
+      proc.Process.program <- p
+    | None ->
+      (* no factory to rebuild from: share the captured closure. Exact as
+         long as the program was never stepped between capture and restore
+         (the pristine post-boot snapshots campaigns fork from); campaign
+         workloads always load with factories. *)
+      proc.Process.program <- ps.ps_program);
+    proc.Process.fed_inputs <- ps.ps_fed_inputs;
+    proc.Process.psp <- ps.ps_psp;
+    proc.Process.last_result <- ps.ps_last_result;
+    proc.Process.allowed_ro <- ps.ps_allowed_ro;
+    proc.Process.allowed_rw <- ps.ps_allowed_rw;
+    proc.Process.subscriptions <- ps.ps_subscriptions;
+    proc.Process.alarm_at <- ps.ps_alarm_at;
+    proc.Process.grants <- ps.ps_grants;
+    Queue.clear proc.Process.pending_upcalls;
+    Queue.iter (fun e -> Queue.push e proc.Process.pending_upcalls) ps.ps_pending;
+    Buffer.clear proc.Process.output;
+    Buffer.add_string proc.Process.output ps.ps_output;
+    MM.restore_alloc proc.Process.alloc ps.ps_alloc;
+    proc.Process.restarts <- ps.ps_restarts;
+    proc.Process.recent_faults <- ps.ps_recent_faults;
+    proc.Process.healthy_since <- ps.ps_healthy_since;
+    proc.Process.restart_at <- ps.ps_restart_at;
+    proc.Process.run_since_syscall <- ps.ps_run_since_syscall;
+    proc.Process.slices <- ps.ps_slices;
+    proc.Process.syscall_count <- ps.ps_syscall_count;
+    proc.Process.mem_watermark <- ps.ps_mem_watermark
+
+  let capture t =
+    {
+      k_procs = List.map capture_proc t.procs;
+      k_next_pid = t.next_pid;
+      k_flash_cursor = t.flash_cursor;
+      k_ram_cursor = t.ram_cursor;
+      k_ticks = t.ticks;
+      k_console = Buffer.contents t.console;
+      k_capsules_initialized = t.capsules_initialized;
+      k_switch_count = t.switch_count;
+      k_expected_mpu = t.expected_mpu;
+      k_hooks = Hooks.capture t.hooks;
+      k_metrics = Obs.Metrics.capture t.metrics;
+      k_obs = Option.map Obs.Recorder.capture t.obs;
+      k_trace = Option.map Trace.capture t.trace;
+      k_capsules =
+        Hashtbl.fold
+          (fun _ (c : Capsule_intf.t) acc ->
+            match c.Capsule_intf.cap_snapshot with
+            | None -> acc
+            | Some s -> (s.Capsule_intf.sn_name, s.Capsule_intf.sn_capture ()) :: acc)
+          t.capsules []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+      k_chaos =
+        Option.map
+          (fun ch -> (ch.Chaos_intf.ch_mpu_injected_at, ch.Chaos_intf.ch_injected))
+          t.chaos;
+      k_cycles = Cycles.read Cycles.global;
+    }
+
+  let restore t s =
+    List.iter restore_proc s.k_procs;
+    (* processes created after the capture are dropped; the captured ones
+       are the same records, restored in place above *)
+    t.procs <- List.map (fun ps -> ps.ps_proc) s.k_procs;
+    t.next_pid <- s.k_next_pid;
+    t.flash_cursor <- s.k_flash_cursor;
+    t.ram_cursor <- s.k_ram_cursor;
+    t.ticks <- s.k_ticks;
+    Buffer.clear t.console;
+    Buffer.add_string t.console s.k_console;
+    t.capsules_initialized <- s.k_capsules_initialized;
+    t.switch_count <- s.k_switch_count;
+    t.expected_mpu <- s.k_expected_mpu;
+    Hooks.restore t.hooks s.k_hooks;
+    Obs.Metrics.restore t.metrics s.k_metrics;
+    (match (t.obs, s.k_obs) with
+    | Some r, Some c -> Obs.Recorder.restore r c
+    | (Some _ | None), _ -> ());
+    (match (t.trace, s.k_trace) with
+    | Some tr, Some c -> Trace.restore tr c
+    | (Some _ | None), _ -> ());
+    List.iter (fun (_, thunk) -> thunk ()) s.k_capsules;
+    (match (t.chaos, s.k_chaos) with
+    | Some ch, Some (at, injected) ->
+      ch.Chaos_intf.ch_mpu_injected_at <- at;
+      ch.Chaos_intf.ch_injected <- injected
+    | (Some _ | None), _ -> ());
+    Cycles.set Cycles.global s.k_cycles
+
+  let fingerprint t =
+    let h = Fp.seed in
+    let h = Fp.int h t.ticks in
+    let h = Fp.int h t.next_pid in
+    let h = Fp.int h t.flash_cursor in
+    let h = Fp.int h t.ram_cursor in
+    let h = Fp.int h t.switch_count in
+    let h = Fp.string h (Buffer.contents t.console) in
+    let h = Fp.ints h t.expected_mpu in
+    let h =
+      List.fold_left
+        (fun h (proc : proc) ->
+          let h = Fp.int h proc.Process.pid in
+          let h = Fp.string h (Process.state_to_string proc.Process.state) in
+          let h = Fp.int h proc.Process.psp in
+          let h = Fp.int h proc.Process.last_result in
+          let h = Fp.int h (List.length proc.Process.fed_inputs) in
+          let h =
+            List.fold_left
+              (fun h (d, r) -> Fp.int (Fp.int (Fp.int h d) (Range.start r)) (Range.size r))
+              h
+              (proc.Process.allowed_ro @ proc.Process.allowed_rw)
+          in
+          let h =
+            List.fold_left (fun h (d, v) -> Fp.int (Fp.int h d) v) h
+              (proc.Process.subscriptions @ proc.Process.grants)
+          in
+          let h = Fp.int h (Option.value proc.Process.alarm_at ~default:(-1)) in
+          let h = Fp.int h (Option.value proc.Process.restart_at ~default:(-1)) in
+          let h =
+            Queue.fold (fun h (id, arg) -> Fp.int (Fp.int h id) arg) h
+              proc.Process.pending_upcalls
+          in
+          let h = Fp.string h (Buffer.contents proc.Process.output) in
+          let h = Fp.int h proc.Process.restarts in
+          let h = Fp.int h proc.Process.slices in
+          Fp.int h proc.Process.syscall_count)
+        (Fp.int h (List.length t.procs))
+        t.procs
+    in
+    let h =
+      Hashtbl.fold
+        (fun _ (c : Capsule_intf.t) acc ->
+          match c.Capsule_intf.cap_snapshot with
+          | None -> acc
+          | Some s -> (s.Capsule_intf.sn_name, s.Capsule_intf.sn_fingerprint) :: acc)
+        t.capsules []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.fold_left (fun h (name, fp) -> Fp.int64 (Fp.string h name) (fp ())) h
+    in
+    Fp.int h (Cycles.read Cycles.global)
+
   (* --- the type-erased view --- *)
 
   let instance t : Instance.t =
@@ -1182,5 +1421,6 @@ module Make (MM : Mm.S) = struct
       buscache_stats = (fun () -> Memory.cache_stats t.mem);
       metrics = (fun () -> metrics_snapshot t);
       obs = (fun () -> t.obs);
+      snap_target = None (* only the board knows its device complement *);
     }
 end

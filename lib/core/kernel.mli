@@ -164,6 +164,26 @@ module Make (MM : Mm.S) : sig
 
   val mem_stats : proc -> Instance.mem_stats
 
+  (** {1 Snapshot}
+
+      The kernel component of the board snapshot subsystem (see
+      {!Snapshot}). [restore] writes everything back {e in place} — the
+      same process records, allocator objects and observability structures
+      — so references held by capsules and harnesses stay valid. Programs
+      are rebuilt from their [program_factory] by replaying the fed-input
+      log; capsule state rides along through each capsule's
+      [cap_snapshot] hook; the global model-cycle counter is captured and
+      restored too. *)
+
+  type snapshot
+
+  val capture : t -> snapshot
+  val restore : t -> snapshot -> unit
+
+  val fingerprint : t -> int64
+  (** Digest of the kernel's live logical state (processes, capsule state,
+      console, cycle counter) — the roundtrip oracle for snapshot tests. *)
+
   val instance : t -> Instance.t
   (** The type-erased view used by the evaluation harnesses. *)
 end

@@ -59,6 +59,20 @@ module type S = sig
       {!Region_intf.MPU.snapshot}) — the kernel's config scrubber compares
       a snapshot taken right after {!configure_mpu} against the live
       registers to detect out-of-band corruption. *)
+
+  val mpu_restore : hw -> int list -> unit
+  (** Diff-only front-door write-back of an {!mpu_snapshot} word list (see
+      {!Region_intf.MPU.restore}). Serves the scrubber's repair action and
+      the board snapshot subsystem's MPU restore. *)
+
+  type alloc_snapshot
+  (** An immutable copy of one allocation's logical state (breaks and
+      regions/config) — the per-process piece of a board snapshot. *)
+
+  val capture_alloc : alloc -> alloc_snapshot
+  val restore_alloc : alloc -> alloc_snapshot -> unit
+  (** Restore blits in place, so capsule-held references to the [alloc]
+      stay valid across a restore. *)
 end
 
 (** TickTock: granular allocator over any granular MPU driver. *)
@@ -97,6 +111,12 @@ module Ticktock (M : Region_intf.MPU) : S with type hw = M.hw = struct
   let disable_mpu hw = M.disable hw
   let hw_accessible hw access = M.accessible_ranges hw access
   let mpu_snapshot hw = M.snapshot hw
+  let mpu_restore hw words = M.restore hw words
+
+  type alloc_snapshot = A.snapshot
+
+  let capture_alloc = A.capture
+  let restore_alloc = A.restore
 end
 
 (** Tock baseline: monolithic allocator over a monolithic MPU driver. *)
@@ -124,4 +144,10 @@ module Tock (M : Region_intf.MONOLITHIC) : S with type hw = M.hw = struct
   let disable_mpu hw = M.disable hw
   let hw_accessible hw access = M.accessible_ranges hw access
   let mpu_snapshot hw = M.snapshot hw
+  let mpu_restore hw words = M.restore hw words
+
+  type alloc_snapshot = A.snapshot
+
+  let capture_alloc = A.capture
+  let restore_alloc = A.restore
 end

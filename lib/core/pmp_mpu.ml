@@ -106,6 +106,24 @@ struct
          (List.init C.chip.Hw.entry_count (fun i ->
               let cfg, addr = Hw.read_entry hw ~index:i in
               [ cfg; addr ]))
+
+  (* Diff-only write-back through the front door: a changed locked entry —
+     or an mseccfg flip on a chip without ePMP — raises [Invalid_argument]
+     exactly as the direct CSR write would. *)
+  let restore hw words =
+    match words with
+    | mml :: entries when List.length entries = 2 * C.chip.Hw.entry_count ->
+      let rec go index = function
+        | cfg :: addr :: rest ->
+          let live_cfg, live_addr = Hw.read_entry hw ~index in
+          if live_cfg <> cfg || live_addr <> addr then Hw.set_entry hw ~index ~cfg ~addr;
+          go (index + 1) rest
+        | _ -> ()
+      in
+      go 0 entries;
+      let m = mml <> 0 in
+      if Hw.mml hw <> m then Hw.set_mml hw m
+    | _ -> invalid_arg (arch_name ^ ": restore: malformed snapshot")
 end
 
 module E310 = Make (struct

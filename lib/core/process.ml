@@ -43,6 +43,11 @@ type 'alloc t = {
   regs_base : Word32.t;  (** stored-state block in the grant region *)
   mutable state : state;
   mutable program : Userland.program;
+  mutable fed_inputs : int list;
+      (** every input ever fed to [program], newest first — programs are
+          deterministic closures, so [program_factory] plus a replay of
+          this log rebuilds the closure at its exact current point (the
+          snapshot subsystem's process-restore path) *)
   mutable psp : Word32.t;
   mutable last_result : Word32.t;
   mutable allowed_ro : (int * Range.t) list;  (** driver -> buffer *)

@@ -111,6 +111,17 @@ module type MPU = sig
       {!configure_mpu} (the configuration derived from the allocator)
       against the live registers to detect corruption from outside the
       driver (SEU bit flips, injected faults). *)
+
+  val restore : hw -> int list -> unit
+  (** Write a {!snapshot}-shaped word list back through the register-write
+      front door, touching only the registers whose live values differ —
+      so a repair of one corrupted word costs one register write, and
+      values the hardware would reject (malformed encodings, locked PMP
+      entries) raise [Invalid_argument] exactly as a direct write would.
+      This one hook serves both the kernel's config scrubber (repair =
+      restore the expected snapshot) and the chaos engine's register
+      corruptor (corrupt = restore a snapshot with one bit flipped),
+      replacing the per-architecture copies both used to carry. *)
 end
 
 (** Tock's original monolithic MPU trait (Figure 3a): allocation and
@@ -154,6 +165,19 @@ module type MONOLITHIC = sig
 
   val snapshot : hw -> int list
   (** Live register-file contents, as in {!MPU.snapshot}. *)
+
+  val restore : hw -> int list -> unit
+  (** Diff-only front-door write-back of a {!snapshot}, as in
+      {!MPU.restore}. *)
+
+  val copy_config : config -> config
+  (** A deep copy sharing no mutable state with the original — the
+      snapshot subsystem captures the allocator's [config] with this. *)
+
+  val blit_config : src:config -> dst:config -> unit
+  (** Overwrite [dst] in place with [src]'s contents. Restoring through a
+      blit (rather than swapping in the copy) keeps every alias to the
+      original [config] valid. *)
 
   val enabled_subregions_end : config -> Word32.t option
   (** Explication hook (§3.4, step 1): expose where the hardware-enforced

@@ -169,6 +169,38 @@ module Make (M : Region_intf.MONOLITHIC) = struct
   let configure_mpu hw t =
     M.configure_mpu hw t.config;
     M.enable hw
+
+  (* --- snapshot --- *)
+
+  type snapshot = {
+    s_config : M.config;
+    s_memory_start : Word32.t;
+    s_memory_size : int;
+    s_app_break : Word32.t;
+    s_kernel_break : Word32.t;
+    s_flash_start : Word32.t;
+    s_flash_size : int;
+  }
+
+  let capture t =
+    {
+      s_config = M.copy_config t.config;
+      s_memory_start = t.memory_start;
+      s_memory_size = t.memory_size;
+      s_app_break = t.app_break;
+      s_kernel_break = t.kernel_break;
+      s_flash_start = t.flash_start;
+      s_flash_size = t.flash_size;
+    }
+
+  let restore t s =
+    M.blit_config ~src:s.s_config ~dst:t.config;
+    t.memory_start <- s.s_memory_start;
+    t.memory_size <- s.s_memory_size;
+    t.app_break <- s.s_app_break;
+    t.kernel_break <- s.s_kernel_break;
+    t.flash_start <- s.s_flash_start;
+    t.flash_size <- s.s_flash_size
 end
 
 module Upstream_cortexm = Make (Tock_cortexm_mpu.Upstream)

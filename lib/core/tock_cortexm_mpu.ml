@@ -63,6 +63,21 @@ struct
       ram_num_enabled = 0;
     }
 
+  (* Region values are immutable, so copying the array is a deep copy. *)
+  let copy_config c =
+    {
+      regions = Array.copy c.regions;
+      ram_region_start = c.ram_region_start;
+      ram_region_size = c.ram_region_size;
+      ram_num_enabled = c.ram_num_enabled;
+    }
+
+  let blit_config ~src ~dst =
+    dst.regions <- Array.copy src.regions;
+    dst.ram_region_start <- src.ram_region_start;
+    dst.ram_region_size <- src.ram_region_size;
+    dst.ram_num_enabled <- src.ram_num_enabled
+
   (* Install the two RAM regions covering [num_enabled] prefix subregions
      starting at [region_start]. Tock builds the subregion masks with a
      per-subregion loop; we charge cycles accordingly. *)
@@ -220,6 +235,22 @@ struct
          (List.init Hw.region_count (fun i ->
               let rbar, rasr = Hw.read_region hw ~index:i in
               [ rbar; rasr ]))
+
+  (* Diff-only write-back through the front door (see {!Cortexm_mpu.restore}). *)
+  let restore hw words =
+    match words with
+    | enable :: regs when List.length regs = 2 * Hw.region_count ->
+      let rec go index = function
+        | rbar :: rasr :: rest ->
+          let live_rbar, live_rasr = Hw.read_region hw ~index in
+          if live_rbar <> rbar || live_rasr <> rasr then Hw.write_region hw ~index ~rbar ~rasr;
+          go (index + 1) rest
+        | _ -> ()
+      in
+      go 0 regs;
+      let en = enable <> 0 in
+      if Hw.enabled hw <> en then Hw.set_enabled hw en
+    | _ -> invalid_arg (arch_name ^ ": restore: malformed snapshot")
 end
 
 module Upstream = Make (struct

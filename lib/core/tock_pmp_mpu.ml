@@ -44,6 +44,13 @@ struct
     { ram_region = Pmp_region.empty ~region_id:ram_id;
       flash_region = Pmp_region.empty ~region_id:flash_id }
 
+  (* Region values are immutable, so a record copy is a deep copy. *)
+  let copy_config c = { ram_region = c.ram_region; flash_region = c.flash_region }
+
+  let blit_config ~src ~dst =
+    dst.ram_region <- src.ram_region;
+    dst.flash_region <- src.flash_region
+
   let round_top top =
     if C.faults.above_app_brk then Math32.align_up top ~align:coarse_grain else top
 
@@ -135,6 +142,22 @@ struct
          (List.init C.chip.Hw.entry_count (fun i ->
               let cfg, addr = Hw.read_entry hw ~index:i in
               [ cfg; addr ]))
+
+  (* Diff-only write-back through the front door (see {!Pmp_mpu.Make.restore}). *)
+  let restore hw words =
+    match words with
+    | mml :: entries when List.length entries = 2 * C.chip.Hw.entry_count ->
+      let rec go index = function
+        | cfg :: addr :: rest ->
+          let live_cfg, live_addr = Hw.read_entry hw ~index in
+          if live_cfg <> cfg || live_addr <> addr then Hw.set_entry hw ~index ~cfg ~addr;
+          go (index + 1) rest
+        | _ -> ()
+      in
+      go 0 entries;
+      let m = mml <> 0 in
+      if Hw.mml hw <> m then Hw.set_mml hw m
+    | _ -> invalid_arg (arch_name ^ ": restore: malformed snapshot")
 end
 
 module Upstream_e310 = Make (struct

@@ -31,6 +31,13 @@ let record t ~tick event =
 let recorded t = t.next
 let dropped t = max 0 (t.next - t.capacity)
 
+(* Snapshot support: entries are immutable, so a ring copy is deep. *)
+let capture t = (Array.copy t.ring, t.next)
+
+let restore t (ring, next) =
+  Array.blit ring 0 t.ring 0 (min t.capacity (Array.length ring));
+  t.next <- next
+
 (** Events still in the ring, oldest first. *)
 let events t =
   let start = max 0 (t.next - t.capacity) in

@@ -33,6 +33,11 @@ val dropped : t -> int
 val events : t -> entry list
 (** Events still in the ring, oldest first. *)
 
+val capture : t -> entry option array * int
+(** Ring contents + event count, for the board snapshot subsystem. *)
+
+val restore : t -> entry option array * int -> unit
+
 val faults : t -> (int * string) list
 (** (pid, reason) for every fault still in the ring. *)
 

@@ -226,6 +226,50 @@ let pseudo_ldr_special t reg v =
   Cycles.charge_handle t.cyc Cycles.mem;
   set_special_raw t reg v
 
+(* --- whole-state capture (the snapshot subsystem) --- *)
+
+type state = {
+  st_regs : Word32.t array;
+  st_msp : Word32.t;
+  st_psp : Word32.t;
+  st_lr : Word32.t;
+  st_pc : Word32.t;
+  st_psr : Word32.t;
+  st_control : Word32.t;
+  st_control_pending : Word32.t option;
+  st_mode : mode;
+}
+
+let capture_state t =
+  {
+    st_regs = Array.copy t.regs;
+    st_msp = t.msp;
+    st_psp = t.psp;
+    st_lr = t.lr;
+    st_pc = t.pc;
+    st_psr = t.psr;
+    st_control = t.control;
+    st_control_pending = t.control_pending;
+    st_mode = t.cpu_mode;
+  }
+
+let restore_state t s =
+  Array.blit s.st_regs 0 t.regs 0 (Array.length t.regs);
+  t.msp <- s.st_msp;
+  t.psp <- s.st_psp;
+  t.lr <- s.st_lr;
+  t.pc <- s.st_pc;
+  t.psr <- s.st_psr;
+  t.control <- s.st_control;
+  t.control_pending <- s.st_control_pending;
+  t.cpu_mode <- s.st_mode
+
+let fingerprint t =
+  let h = Array.fold_left Fp.int Fp.seed t.regs in
+  let h = List.fold_left Fp.int h [ t.msp; t.psp; t.lr; t.pc; t.psr; t.control ] in
+  let h = Fp.int h (match t.control_pending with None -> -1 | Some v -> v) in
+  Fp.bool h (t.cpu_mode = Handler)
+
 (* --- snapshots and contracts --- *)
 
 type snapshot = {

@@ -118,6 +118,24 @@ val push_special : t -> Regs.special -> unit
 
 val pop_special : t -> Regs.special -> unit
 
+(** {1 Whole-state capture}
+
+    The snapshot subsystem's view: {e every} architectural register,
+    including the pending (pre-ISB) CONTROL write — unlike {!snapshot}
+    below, which keeps only the callee-saved context the switch contract
+    compares. The decoded-instruction cache is deliberately not captured:
+    it is host-side state validated against the memory's code generation,
+    which a restore always advances. *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architectural register file (not the icache, not the
+    cycle handle — nothing host-side). *)
+
 (** {1 Snapshots and contracts} *)
 
 type snapshot

@@ -24,6 +24,7 @@ let charge_handle (c : handle) n = c.count <- c.count + n
 
 let read t = (cell t).count
 let reset t = (cell t).count <- 0
+let set t n = (cell t).count <- n
 
 let measure t f =
   let c = cell t in

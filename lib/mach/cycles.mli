@@ -41,6 +41,10 @@ val charge_handle : handle -> int -> unit
 val read : counter -> int
 val reset : counter -> unit
 
+val set : counter -> int -> unit
+(** Overwrite the count — the snapshot layer restores the captured value so
+    a restored board observes exactly the deltas of the original run. *)
+
 val measure : counter -> (unit -> 'a) -> 'a * int
 (** [measure c f] runs [f] and returns its result along with the cycles
     charged to [c] during the call. *)

@@ -1,0 +1,17 @@
+(** FNV-1a 64-bit state fingerprints (see [fp.ml] for the contract). *)
+
+type t = int64
+
+val seed : t
+(** The FNV offset basis — start every fold here. *)
+
+val byte : t -> int -> t
+val int : t -> int -> t
+val int64 : t -> int64 -> t
+val bool : t -> bool -> t
+val string : t -> string -> t
+val bytes : t -> Bytes.t -> t
+val ints : t -> int list -> t
+(** Length-prefixed fold of a word list (MPU register files). *)
+
+val to_hex : t -> string

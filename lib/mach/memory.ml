@@ -43,7 +43,22 @@ type t = {
      known-not-code page so data-heavy write loops pay one compare. *)
   code_pages : (int, unit) Hashtbl.t;
   mutable code_gen : int;
+  (* model-visible invalidation sequence: counts code-page invalidations
+     and is what trace events carry. Unlike [code_gen] — which only ever
+     moves forward, including across [restore] — this is part of the
+     snapshot state, so forked reruns emit identical traces. *)
+  mutable ic_seq : int;
   mutable last_wkey : int;
+  (* copy-on-write snapshot support: [era] advances on every capture and
+     restore; [owner] maps a page key to the era in which this [t] came to
+     own its Bytes exclusively. A write to a page owned in an older era
+     (i.e. one whose Bytes a snapshot may share) clones it first, so
+     capture is O(pages touched) pointer copies and snapshots stay frozen.
+     [last_wpriv] memoizes the most recent known-private page so the write
+     fast path pays one integer compare. *)
+  owner : (int, int) Hashtbl.t;
+  mutable era : int;
+  mutable last_wpriv : int;
   (* bumped whenever the checker is replaced, so permission stamps taken
      under one checker can never validate against another *)
   mutable checker_epoch : int;
@@ -67,7 +82,11 @@ let create () =
     dc_misses = 0;
     code_pages = Hashtbl.create 16;
     code_gen = 0;
+    ic_seq = 0;
     last_wkey = -1;
+    owner = Hashtbl.create 64;
+    era = 0;
+    last_wpriv = -1;
     checker_epoch = 0;
     obs = None;
   }
@@ -109,11 +128,12 @@ let code_write_check t addr =
     if key <> t.last_wkey then begin
       if Hashtbl.mem t.code_pages key then begin
         t.code_gen <- t.code_gen + 1;
+        t.ic_seq <- t.ic_seq + 1;
         Hashtbl.reset t.code_pages;
         t.last_wkey <- -1;
         match t.obs with
         | None -> ()
-        | Some emit -> emit (Obs.Event.Icache_invalidated { generation = t.code_gen; addr })
+        | Some emit -> emit (Obs.Event.Icache_invalidated { generation = t.ic_seq; addr })
       end
       else t.last_wkey <- key
     end
@@ -154,12 +174,34 @@ let page t addr =
       | None ->
         let p = Bytes.make page_size '\000' in
         Hashtbl.replace t.pages key p;
+        (* a freshly materialised page is exclusively ours *)
+        Hashtbl.replace t.owner key t.era;
         p
     in
     t.last_key <- key;
     t.last_page <- p;
     p
   end
+
+(* Page resolution for the write paths: like [page], but clones a page
+   whose Bytes an outstanding snapshot may still reference (owned in an
+   earlier era) before handing it out. *)
+let wpage t addr =
+  let key = addr lsr page_bits in
+  if key <> t.last_wpriv then begin
+    (match Hashtbl.find_opt t.pages key with
+    | Some p -> (
+      match Hashtbl.find_opt t.owner key with
+      | Some e when e = t.era -> ()
+      | Some _ | None ->
+        let q = Bytes.copy p in
+        Hashtbl.replace t.pages key q;
+        Hashtbl.replace t.owner key t.era;
+        if t.last_key = key then t.last_page <- q)
+    | None -> () (* miss: [page] below materialises and owns it *));
+    t.last_wpriv <- key
+  end;
+  page t addr
 
 let read8 t addr =
   assert (Word32.is_valid addr);
@@ -168,7 +210,7 @@ let read8 t addr =
 let write8 t addr v =
   assert (Word32.is_valid addr);
   code_write_check t addr;
-  Bytes.set (page t addr) (addr land (page_size - 1)) (Char.chr (v land 0xff))
+  Bytes.set (wpage t addr) (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
 let read32 t addr =
   assert (Word32.is_valid addr);
@@ -185,7 +227,7 @@ let write32 t addr v =
   assert (Word32.is_valid addr);
   if addr land 3 = 0 then begin
     code_write_check t addr;
-    Bytes.set_int32_le (page t addr) (addr land (page_size - 1)) (Int32.of_int v)
+    Bytes.set_int32_le (wpage t addr) (addr land (page_size - 1)) (Int32.of_int v)
   end
   else begin
     let b i x = write8 t (Word32.add addr i) x in
@@ -200,7 +242,7 @@ let blit_string t addr s =
   let rec go src addr =
     if src < len then begin
       code_write_check t addr;
-      let p = page t addr in
+      let p = wpage t addr in
       let off = addr land (page_size - 1) in
       let n = min (len - src) (page_size - off) in
       Bytes.blit_string s src p off n;
@@ -354,3 +396,70 @@ let fetch16 t addr =
   else read8 t addr lor (read8 t (Word32.add addr 1) lsl 8)
 
 let touched_pages t = Hashtbl.length t.pages
+
+(* --- snapshots --- *)
+
+type snapshot = { snap_pages : (int, Bytes.t) Hashtbl.t; snap_ic_seq : int }
+
+let capture t =
+  (* everything currently materialised becomes shared with the snapshot;
+     the next write to any of it clones first *)
+  t.era <- t.era + 1;
+  t.last_wpriv <- -1;
+  { snap_pages = Hashtbl.copy t.pages; snap_ic_seq = t.ic_seq }
+
+let restore t s =
+  Hashtbl.reset t.pages;
+  Hashtbl.iter (fun k p -> Hashtbl.replace t.pages k p) s.snap_pages;
+  t.ic_seq <- s.snap_ic_seq;
+  Hashtbl.reset t.owner;
+  t.era <- t.era + 1;
+  t.last_wpriv <- -1;
+  t.last_key <- -1;
+  t.last_page <- no_page;
+  (* Restore hazard: the bytes under every cached decode and access
+     decision may just have changed. The code generation only ever moves
+     forward — rewinding it to the captured value could let blocks decoded
+     *after* the capture validate against the restored bytes. *)
+  t.code_gen <- t.code_gen + 1;
+  Hashtbl.reset t.code_pages;
+  t.last_wkey <- -1;
+  flush_decision_cache t;
+  match t.obs with
+  | None -> ()
+  | Some emit -> emit (Obs.Event.Buscache_flush { reason = "restore" })
+
+let zero_page = Bytes.make page_size '\000'
+
+(* --- snapshot (de)serialization, for the on-disk board-snapshot format.
+   All-zero pages are elided: an absent page reads as zeros, so the
+   round-trip through [(key, bytes)] pairs is exact. *)
+
+let snapshot_pages s =
+  Hashtbl.fold
+    (fun k p acc -> if Bytes.equal p zero_page then acc else (k, Bytes.to_string p) :: acc)
+    s.snap_pages []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot_of_pages pages =
+  let snap_pages = Hashtbl.create (max 16 (List.length pages)) in
+  List.iter
+    (fun (k, data) ->
+      if String.length data <> page_size then
+        invalid_arg "Memory.snapshot_of_pages: bad page size";
+      Hashtbl.replace snap_pages k (Bytes.of_string data))
+    pages;
+  (* on-disk snapshots are pristine (nothing executed), so no code page was
+     ever registered, let alone invalidated *)
+  { snap_pages; snap_ic_seq = 0 }
+
+let fingerprint t =
+  (* Absent pages read as zeros, so a page materialised by a read miss must
+     hash like no page at all: skip all-zero pages. *)
+  let keys =
+    Hashtbl.fold (fun k p acc -> if Bytes.equal p zero_page then acc else k :: acc) t.pages []
+  in
+  List.fold_left
+    (fun h k -> Fp.bytes (Fp.int h k) (Hashtbl.find t.pages k))
+    (Fp.int Fp.seed (List.length (List.sort compare keys)))
+    (List.sort compare keys)

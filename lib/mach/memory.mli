@@ -153,3 +153,36 @@ val check : t -> Word32.t -> Perms.access -> (unit, string) result
 val touched_pages : t -> int
 (** Number of 4 KiB pages materialised so far (for tests and footprint
     reporting). *)
+
+(** {1 Snapshots}
+
+    Copy-on-write page snapshots: {!capture} copies the page {e table}
+    (pointer copies, O(pages touched)) and marks every page shared; a later
+    write clones its page first, so the snapshot stays frozen while the
+    live memory keeps near-native write speed. {!restore} points the live
+    table back at the snapshot's pages (sharing them again — a snapshot can
+    be restored any number of times) and invalidates every derived cache:
+    the access-decision cache is flushed and the code generation is bumped
+    {e forward} so no decoded block or cached MPU decision taken before (or
+    after) the capture can survive the transition. *)
+
+type snapshot
+
+val capture : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val snapshot_pages : snapshot -> (int * string) list
+(** The snapshot's materialised pages as [(page key, page bytes)] pairs in
+    key order, all-zero pages elided — the portable form used by the
+    on-disk board-snapshot format. *)
+
+val snapshot_of_pages : (int * string) list -> snapshot
+(** Rebuild a snapshot from {!snapshot_pages} output. Raises
+    [Invalid_argument] on a malformed page. *)
+
+val fingerprint : t -> int64
+(** FNV-1a over (key, bytes) of all materialised pages in key order,
+    skipping all-zero pages — so a page materialised by a read miss hashes
+    identically to an untouched one. Host-side cache state (decision cache,
+    memos, generations) is excluded: the fingerprint covers exactly the
+    bytes an emulated program could observe. *)

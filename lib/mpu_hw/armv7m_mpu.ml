@@ -28,6 +28,12 @@ type t = {
   dec : decoded array;
   mutable ctrl_enable : bool;
   mutable generation : int;
+  (* model-visible configuration sequence: counts effective configuration
+     changes and is what trace events carry. Unlike [generation] — the bus
+     decision-cache key, which only ever moves forward, including across a
+     snapshot restore — this is captured and restored with the registers,
+     so forked reruns emit identical traces. *)
+  mutable cfg_seq : int;
   mutable dgran : int;  (* decision granularity of the active config *)
   mutable obs : Obs.Event.sink option;
 }
@@ -117,6 +123,7 @@ let create () =
     dec = Array.make region_count decoded_disabled;
     ctrl_enable = false;
     generation = 0;
+    cfg_seq = 0;
     dgran = max_granule_bits;
     obs = None;
   }
@@ -136,11 +143,13 @@ let refresh t index ~changed =
   t.dec.(index) <- decode_pair ~rbar:t.rbar.(index) ~rasr:t.rasr.(index);
   t.dgran <- decision_granule_bits_of t.dec;
   t.generation <- t.generation + 1;
-  match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_region_write { arch = "armv7m"; index; generation = t.generation })
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_region_write { arch = "armv7m"; index; generation = t.cfg_seq })
+  end
 
 let validate ~rbar ~rasr =
   if decode_rasr_enable rasr then begin
@@ -176,11 +185,13 @@ let set_enabled t v =
   let changed = t.ctrl_enable <> v in
   t.ctrl_enable <- v;
   t.generation <- t.generation + 1;
-  match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_enable { arch = "armv7m"; on = v; generation = t.generation })
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_enable { arch = "armv7m"; on = v; generation = t.cfg_seq })
+  end
 
 let enabled t = t.ctrl_enable
 
@@ -275,6 +286,42 @@ let checker t ~cpu_privileged =
     privilege = (fun () -> if cpu_privileged () then 1 else 0);
     granule_bits = (fun () -> t.dgran);
   }
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = {
+  s_rbar : Word32.t array;
+  s_rasr : Word32.t array;
+  s_enable : bool;
+  s_seq : int;
+}
+
+let capture_state t =
+  {
+    s_rbar = Array.copy t.rbar;
+    s_rasr = Array.copy t.rasr;
+    s_enable = t.ctrl_enable;
+    s_seq = t.cfg_seq;
+  }
+
+(* A host-side restore, not a modeled register write: no cycle charge, no
+   trace events, but the generation must advance so cached bus decisions
+   taken under the outgoing configuration never validate. *)
+let restore_state t s =
+  Array.blit s.s_rbar 0 t.rbar 0 region_count;
+  Array.blit s.s_rasr 0 t.rasr 0 region_count;
+  t.ctrl_enable <- s.s_enable;
+  t.cfg_seq <- s.s_seq;
+  for i = 0 to region_count - 1 do
+    t.dec.(i) <- decode_pair ~rbar:t.rbar.(i) ~rasr:t.rasr.(i)
+  done;
+  t.dgran <- decision_granule_bits_of t.dec;
+  t.generation <- t.generation + 1
+
+let fingerprint t =
+  let h = Array.fold_left Mach.Fp.int Mach.Fp.seed t.rbar in
+  let h = Array.fold_left Mach.Fp.int h t.rasr in
+  Mach.Fp.int (Mach.Fp.bool h t.ctrl_enable) t.cfg_seq
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>MPU ctrl.enable=%b@," t.ctrl_enable;

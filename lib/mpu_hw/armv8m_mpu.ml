@@ -10,6 +10,10 @@ type t = {
   rlar : Word32.t array;
   mutable ctrl_enable : bool;
   mutable generation : int;
+  (* model-visible configuration sequence carried by trace events; unlike
+     [generation] (the decision-cache key, forward-only across restores)
+     it is captured and restored with the registers — see Armv7m_mpu. *)
+  mutable cfg_seq : int;
   mutable dgran : int;  (* decision granularity of the active config *)
   mutable obs : Obs.Event.sink option;
 }
@@ -22,6 +26,7 @@ let create () =
     rlar = Array.make region_count 0;
     ctrl_enable = false;
     generation = 0;
+    cfg_seq = 0;
     dgran = max_granule_bits;
     obs = None;
   }
@@ -32,11 +37,13 @@ let set_obs t sink = t.obs <- sink
    the full config, and redundant rewrites would flood the mpu lane.
    Generation still bumps unconditionally for the bus decision cache. *)
 let emit_region_write t index ~changed =
-  match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_region_write { arch = "armv8m"; index; generation = t.generation })
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_region_write { arch = "armv8m"; index; generation = t.cfg_seq })
+  end
 
 (* AP[2:1] (v8 encoding): 00 priv RW only; 01 RW any; 10 priv RO only;
    11 RO any.  XN is bit 0. *)
@@ -116,11 +123,13 @@ let set_enabled t v =
   let changed = t.ctrl_enable <> v in
   t.ctrl_enable <- v;
   t.generation <- t.generation + 1;
-  match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_enable { arch = "armv8m"; on = v; generation = t.generation })
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_enable { arch = "armv8m"; on = v; generation = t.cfg_seq })
+  end
 
 let enabled t = t.ctrl_enable
 let generation t = t.generation
@@ -211,6 +220,36 @@ let checker t ~cpu_privileged =
     privilege = (fun () -> if cpu_privileged () then 1 else 0);
     granule_bits = (fun () -> t.dgran);
   }
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = {
+  s_rbar : Word32.t array;
+  s_rlar : Word32.t array;
+  s_enable : bool;
+  s_seq : int;
+}
+
+let capture_state t =
+  {
+    s_rbar = Array.copy t.rbar;
+    s_rlar = Array.copy t.rlar;
+    s_enable = t.ctrl_enable;
+    s_seq = t.cfg_seq;
+  }
+
+let restore_state t s =
+  Array.blit s.s_rbar 0 t.rbar 0 region_count;
+  Array.blit s.s_rlar 0 t.rlar 0 region_count;
+  t.ctrl_enable <- s.s_enable;
+  t.cfg_seq <- s.s_seq;
+  refresh_granule t;
+  t.generation <- t.generation + 1
+
+let fingerprint t =
+  let h = Array.fold_left Fp.int Fp.seed t.rbar in
+  let h = Array.fold_left Fp.int h t.rlar in
+  Fp.int (Fp.bool h t.ctrl_enable) t.cfg_seq
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>MPUv8 ctrl.enable=%b@," t.ctrl_enable;

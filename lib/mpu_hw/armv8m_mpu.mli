@@ -85,3 +85,14 @@ val checker : t -> cpu_privileged:(unit -> bool) -> Memory.checker
     bus decision cache. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Whole-state capture (snapshot subsystem)} *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architecturally visible state (never host-side caches
+    or generation counters). *)

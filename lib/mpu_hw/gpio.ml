@@ -54,3 +54,29 @@ let toggles t n =
 let out_level t n =
   check t n;
   t.pins.(n).out_level
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type pin_state = { s_dir : direction; s_out : bool; s_in : bool; s_toggles : int }
+type state = pin_state array
+
+let capture_state t =
+  Array.map
+    (fun p -> { s_dir = p.dir; s_out = p.out_level; s_in = p.in_level; s_toggles = p.toggles })
+    t.pins
+
+let restore_state t (s : state) =
+  Array.iteri
+    (fun i ps ->
+      let p = t.pins.(i) in
+      p.dir <- ps.s_dir;
+      p.out_level <- ps.s_out;
+      p.in_level <- ps.s_in;
+      p.toggles <- ps.s_toggles)
+    s
+
+let fingerprint t =
+  Array.fold_left
+    (fun h p ->
+      Fp.int (Fp.bool (Fp.bool (Fp.bool h (p.dir = Output)) p.out_level) p.in_level) p.toggles)
+    Fp.seed t.pins

@@ -22,3 +22,14 @@ val set_input : t -> int -> bool -> unit
 
 val toggles : t -> int -> int
 val out_level : t -> int -> bool
+
+(** {1 Whole-state capture (snapshot subsystem)} *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architecturally visible state (never host-side caches
+    or generation counters). *)

@@ -72,3 +72,21 @@ let acknowledge t =
     Some (16 + n)
 
 let any_pending t = next_pending t <> None
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = { s_enabled : bool array; s_pended : bool array; s_priority : int array }
+
+let capture_state t =
+  { s_enabled = Array.copy t.enabled; s_pended = Array.copy t.pended;
+    s_priority = Array.copy t.priority }
+
+let restore_state t s =
+  Array.blit s.s_enabled 0 t.enabled 0 irq_count;
+  Array.blit s.s_pended 0 t.pended 0 irq_count;
+  Array.blit s.s_priority 0 t.priority 0 irq_count
+
+let fingerprint t =
+  let h = Array.fold_left Fp.bool Fp.seed t.enabled in
+  let h = Array.fold_left Fp.bool h t.pended in
+  Array.fold_left Fp.int h t.priority

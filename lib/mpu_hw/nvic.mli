@@ -27,3 +27,14 @@ val acknowledge : t -> int option
 (** Take (and clear) the next pending IRQ; returns its exception number. *)
 
 val any_pending : t -> bool
+
+(** {1 Whole-state capture (snapshot subsystem)} *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architecturally visible state (never host-side caches
+    or generation counters). *)

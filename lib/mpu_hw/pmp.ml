@@ -45,6 +45,10 @@ type t = {
   mutable mmwp : bool;
   mutable mml : bool;
   mutable generation : int;
+  (* model-visible configuration sequence carried by trace events; unlike
+     [generation] (the decision-cache key, forward-only across restores)
+     it is captured and restored with the registers — see Armv7m_mpu. *)
+  mutable cfg_seq : int;
   mutable dgran : int;  (* decision granularity of the active config *)
   mutable obs : Obs.Event.sink option;
 }
@@ -60,6 +64,7 @@ let create chip =
     mmwp = false;
     mml = false;
     generation = 0;
+    cfg_seq = 0;
     dgran = max_granule_bits;
     obs = None;
   }
@@ -70,11 +75,13 @@ let set_obs t sink = t.obs <- sink
    the full config, and redundant rewrites would flood the mpu lane.
    Generation still bumps unconditionally for the bus decision cache. *)
 let emit_entry_write t index ~changed =
-  match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_region_write { arch = "rv32-pmp"; index; generation = t.generation })
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_region_write { arch = "rv32-pmp"; index; generation = t.cfg_seq })
+  end
 
 let chip t = t.chip
 let generation t = t.generation
@@ -150,11 +157,13 @@ let set_mmwp t v =
   let changed = t.mmwp <> v in
   t.mmwp <- v;
   t.generation <- t.generation + 1;
-  (match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_enable { arch = "rv32-pmp.mmwp"; on = v; generation = t.generation }))
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_enable { arch = "rv32-pmp.mmwp"; on = v; generation = t.cfg_seq })
+  end
 
 let set_mml t v =
   if not t.chip.epmp then invalid_arg "set_mml: chip has no ePMP";
@@ -162,11 +171,13 @@ let set_mml t v =
   let changed = t.mml <> v in
   t.mml <- v;
   t.generation <- t.generation + 1;
-  match t.obs with
-  | None -> ()
-  | Some emit ->
-      if changed then
-        emit (Obs.Event.Mpu_enable { arch = "rv32-pmp.mml"; on = v; generation = t.generation })
+  if changed then begin
+    t.cfg_seq <- t.cfg_seq + 1;
+    match t.obs with
+    | None -> ()
+    | Some emit ->
+        emit (Obs.Event.Mpu_enable { arch = "rv32-pmp.mml"; on = v; generation = t.cfg_seq })
+  end
 
 let mml t = t.mml
 let entry_range t i = t.ranges.(i)
@@ -243,6 +254,41 @@ let checker t ~cpu_machine_mode =
     privilege = (fun () -> if cpu_machine_mode () then 1 else 0);
     granule_bits = (fun () -> t.dgran);
   }
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = {
+  s_cfg : int array;
+  s_addr : Word32.t array;
+  s_mmwp : bool;
+  s_mml : bool;
+  s_seq : int;
+}
+
+let capture_state t =
+  {
+    s_cfg = Array.copy t.cfg;
+    s_addr = Array.copy t.addr;
+    s_mmwp = t.mmwp;
+    s_mml = t.mml;
+    s_seq = t.cfg_seq;
+  }
+
+(* Host-side restore: bypasses the lock check deliberately — it reinstates
+   a configuration that existed, it is not a CSR write. Generation still
+   advances so stale cached decisions never validate. *)
+let restore_state t s =
+  Array.blit s.s_cfg 0 t.cfg 0 t.chip.entry_count;
+  Array.blit s.s_addr 0 t.addr 0 t.chip.entry_count;
+  t.mmwp <- s.s_mmwp;
+  t.mml <- s.s_mml;
+  t.cfg_seq <- s.s_seq;
+  refresh t
+
+let fingerprint t =
+  let h = Array.fold_left Fp.int Fp.seed t.cfg in
+  let h = Array.fold_left Fp.int h t.addr in
+  Fp.int (Fp.bool (Fp.bool h t.mmwp) t.mml) t.cfg_seq
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>PMP %s mmwp=%b@," t.chip.chip_name t.mmwp;

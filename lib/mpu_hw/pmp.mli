@@ -114,3 +114,14 @@ val checker : t -> cpu_machine_mode:(unit -> bool) -> Memory.checker
     decision cache. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Whole-state capture (snapshot subsystem)} *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architecturally visible state (never host-side caches
+    or generation counters). *)

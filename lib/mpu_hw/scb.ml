@@ -43,3 +43,16 @@ let clear_cfsr t bits = t.cfsr <- t.cfsr land lnot bits land Word32.mask
 let pp ppf t =
   Format.fprintf ppf "SCB cfsr=%s mmfar=%s faults=%d" (Word32.to_hex t.cfsr)
     (Word32.to_hex t.mmfar) t.fault_count
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = { s_cfsr : Word32.t; s_mmfar : Word32.t; s_fault_count : int }
+
+let capture_state t = { s_cfsr = t.cfsr; s_mmfar = t.mmfar; s_fault_count = t.fault_count }
+
+let restore_state t s =
+  t.cfsr <- s.s_cfsr;
+  t.mmfar <- s.s_mmfar;
+  t.fault_count <- s.s_fault_count
+
+let fingerprint t = Fp.int (Fp.int (Fp.int Fp.seed t.cfsr) t.mmfar) t.fault_count

@@ -89,3 +89,36 @@ let take_pending t =
   p
 
 let pending t = t.pending
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = {
+  s_enable : bool;
+  s_tickint : bool;
+  s_countflag : bool;
+  s_reload : int;
+  s_current : int;
+  s_pending : bool;
+}
+
+let capture_state t =
+  {
+    s_enable = t.enable;
+    s_tickint = t.tickint;
+    s_countflag = t.countflag;
+    s_reload = t.reload;
+    s_current = t.current;
+    s_pending = t.pending;
+  }
+
+let restore_state t s =
+  t.enable <- s.s_enable;
+  t.tickint <- s.s_tickint;
+  t.countflag <- s.s_countflag;
+  t.reload <- s.s_reload;
+  t.current <- s.s_current;
+  t.pending <- s.s_pending
+
+let fingerprint t =
+  let h = Fp.bool (Fp.bool (Fp.bool Fp.seed t.enable) t.tickint) t.countflag in
+  Fp.bool (Fp.int (Fp.int h t.reload) t.current) t.pending

@@ -33,3 +33,14 @@ val take_pending : t -> bool
 (** Consume the pended SysTick exception, if any. *)
 
 val pending : t -> bool
+
+(** {1 Whole-state capture (snapshot subsystem)} *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architecturally visible state (never host-side caches
+    or generation counters). *)

@@ -69,3 +69,40 @@ let read_byte t =
   if Queue.is_empty t.rx_fifo then None else Some (Queue.pop t.rx_fifo)
 
 let rx_overflows t = t.rx_overflows
+
+(* --- whole-state capture (snapshot subsystem) --- *)
+
+type state = {
+  s_tx_busy_until : int;
+  s_now : int;
+  s_overruns : int;
+  s_transcript : string;
+  s_rx : int list;
+  s_rx_overflows : int;
+}
+
+let capture_state t =
+  {
+    s_tx_busy_until = t.tx_busy_until;
+    s_now = t.now;
+    s_overruns = t.overruns;
+    s_transcript = Buffer.contents t.transcript;
+    s_rx = List.of_seq (Queue.to_seq t.rx_fifo);
+    s_rx_overflows = t.rx_overflows;
+  }
+
+let restore_state t s =
+  t.tx_busy_until <- s.s_tx_busy_until;
+  t.now <- s.s_now;
+  t.overruns <- s.s_overruns;
+  Buffer.clear t.transcript;
+  Buffer.add_string t.transcript s.s_transcript;
+  Queue.clear t.rx_fifo;
+  List.iter (fun b -> Queue.push b t.rx_fifo) s.s_rx;
+  t.rx_overflows <- s.s_rx_overflows
+
+let fingerprint t =
+  let h = Fp.int (Fp.int (Fp.int Fp.seed t.tx_busy_until) t.now) t.overruns in
+  let h = Fp.string h (Buffer.contents t.transcript) in
+  let h = Queue.fold Fp.int h t.rx_fifo in
+  Fp.int h t.rx_overflows

@@ -38,3 +38,14 @@ val rx_push : t -> int -> unit
 val rx_available : t -> bool
 val read_byte : t -> int option
 val rx_overflows : t -> int
+
+(** {1 Whole-state capture (snapshot subsystem)} *)
+
+type state
+
+val capture_state : t -> state
+val restore_state : t -> state -> unit
+
+val fingerprint : t -> int64
+(** FNV-1a over the architecturally visible state (never host-side caches
+    or generation counters). *)

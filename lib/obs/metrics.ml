@@ -81,6 +81,49 @@ let hist t name =
       Hashtbl.add t.hists name h;
       h
 
+(* Registry capture/restore for the board snapshot subsystem. Restore
+   mutates through existing refs and hist records wherever possible: the
+   kernel retains direct references to its syscall-latency hists, and those
+   must keep observing the restored state. *)
+type captured = {
+  cap_counters : (string * int) list;
+  cap_gauges : (string * int) list;
+  cap_hists : (string * hist) list;  (* private copies of each hist *)
+}
+
+let capture t =
+  {
+    cap_counters = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [];
+    cap_gauges = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges [];
+    cap_hists =
+      Hashtbl.fold
+        (fun k h acc -> (k, { h with buckets = Array.copy h.buckets }) :: acc)
+        t.hists [];
+  }
+
+let restore t c =
+  let prune tbl keep =
+    Hashtbl.fold (fun k _ acc -> if List.mem_assoc k keep then acc else k :: acc) tbl []
+    |> List.iter (Hashtbl.remove tbl)
+  in
+  prune t.counters c.cap_counters;
+  prune t.gauges c.cap_gauges;
+  prune t.hists c.cap_hists;
+  let put tbl (k, v) =
+    match Hashtbl.find_opt tbl k with Some r -> r := v | None -> Hashtbl.add tbl k (ref v)
+  in
+  List.iter (put t.counters) c.cap_counters;
+  List.iter (put t.gauges) c.cap_gauges;
+  List.iter
+    (fun (k, hs) ->
+      let h = hist t k in
+      Array.blit hs.buckets 0 h.buckets 0 nbuckets;
+      h.count <- hs.count;
+      h.sum <- hs.sum;
+      h.vmin <- hs.vmin;
+      h.vmax <- hs.vmax)
+    c.cap_hists
+
 (* Polled-entry constructors, for values owned by other modules. *)
 let c ?(host = false) name v = { name; host; value = Counter v }
 let g ?(host = false) name v = { name; host; value = Gauge v }

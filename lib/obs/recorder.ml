@@ -140,6 +140,30 @@ let event_at t i =
   | 21 -> Event.Watchdog_fired { pid = a; ran = b }
   | _ -> assert false
 
+(* Ring capture/restore for the board snapshot subsystem: whole-array
+   copies (the ring is bounded) written back through the same [t], so the
+   sinks the layers were wired with keep recording into the restored ring. *)
+type captured = {
+  cap_ints : int array;
+  cap_strs : string array;
+  cap_next : int;
+  cap_enabled : bool;
+}
+
+let capture t =
+  {
+    cap_ints = Array.copy t.ints;
+    cap_strs = Array.copy t.strs;
+    cap_next = t.next;
+    cap_enabled = t.enabled;
+  }
+
+let restore t c =
+  t.ints <- Array.copy c.cap_ints;
+  t.strs <- Array.copy c.cap_strs;
+  t.next <- c.cap_next;
+  t.enabled <- c.cap_enabled
+
 let recorded t = min t.next t.capacity
 let dropped t = max 0 (t.next - t.capacity)
 

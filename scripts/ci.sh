@@ -99,4 +99,44 @@ TICKTOCK_OBS=1 dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci
 TICKTOCK_OBS=disabled dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci_det_obs_dis.txt
 diff /tmp/ci_det_a.txt /tmp/ci_det_obs_on.txt
 diff /tmp/ci_det_a.txt /tmp/ci_det_obs_dis.txt
+
+# Snapshot smoke: capture a pristine post-boot image, inspect the header,
+# restore it onto a fresh board of the same configuration, and make sure a
+# mismatched board is refused.
+dune exec bin/ticktock_cli.exe -- snapshot -k ticktock-arm -o /tmp/ci_arm.snap
+dune exec bin/ticktock_cli.exe -- snapshot --info /tmp/ci_arm.snap
+dune exec bin/ticktock_cli.exe -- snapshot -k ticktock-arm --check /tmp/ci_arm.snap
+if dune exec bin/ticktock_cli.exe -- snapshot -k ticktock-e310 --check /tmp/ci_arm.snap 2>/dev/null; then
+  echo "snapshot: mismatched board was NOT refused"
+  exit 1
+fi
+
+# Fork equivalence: every harness must be byte-identical between booting a
+# fresh board per round and forking rounds from the post-boot snapshot
+# (directly, or loaded back from the file) — the admissibility condition
+# for fleet campaigns running thousands of rounds off one boot.
+dune exec bin/ticktock_cli.exe -- difftest > /tmp/ci_dt_boot.txt
+dune exec bin/ticktock_cli.exe -- difftest --fork > /tmp/ci_dt_fork.txt
+diff /tmp/ci_dt_boot.txt /tmp/ci_dt_fork.txt
+dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 > /tmp/ci_fz_boot.txt
+dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --fork > /tmp/ci_fz_fork.txt
+dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --from-snapshot /tmp/ci_arm.snap > /tmp/ci_fz_file.txt
+diff /tmp/ci_fz_boot.txt /tmp/ci_fz_fork.txt
+diff /tmp/ci_fz_boot.txt /tmp/ci_fz_file.txt
+dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 --fork -o /tmp/ci_chaos_fork.txt
+diff /tmp/ci_chaos_a.txt /tmp/ci_chaos_fork.txt
+
+# Snapshot bench gate: restoring the pristine image onto a dirty board
+# must stay well clear of a cold boot, and the fork-mode campaign must
+# reproduce boot-mode outcomes exactly.
+dune exec bench/main.exe -- snapshot
+python3 - <<'EOF'
+import json
+with open("BENCH_snapshot.json") as f:
+    data = json.load(f)
+fb = data["fresh_board"]
+assert fb["restore_speedup"] >= 5.0, f"restore no longer beats cold boot 5x ({fb['restore_speedup']}x)"
+assert data["fuzz_campaign"]["outcomes_identical"], "fork-mode fuzz diverged from boot mode"
+print("snapshot smoke ok: restore %.1fx faster than boot, fork campaign identical" % fb["restore_speedup"])
+EOF
 echo "ci ok"
