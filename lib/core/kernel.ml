@@ -1099,12 +1099,23 @@ module Make (MM : Mm.S) = struct
     let icache =
       match t.switcher with
       | Arm_switch cpu | Arm_mc_switch (cpu, _) ->
-        let s = Fluxarm.Icache.stats (Fluxarm.Cpu.icache cpu) in
+        let ic = Fluxarm.Cpu.icache cpu in
+        let s = Fluxarm.Icache.stats ic in
+        let th = Fluxarm.Icache.trace_len_summary ic in
         [
           c ~host:true "icache/hits" s.Fluxarm.Icache.hits;
           c ~host:true "icache/misses" s.Fluxarm.Icache.misses;
           c ~host:true "icache/cached_instructions" s.Fluxarm.Icache.cached;
           c ~host:true "icache/total_instructions" s.Fluxarm.Icache.total;
+          c ~host:true "icache/link_hits" s.Fluxarm.Icache.link_hits;
+          c ~host:true "icache/link_flushes" s.Fluxarm.Icache.link_flushes;
+          c ~host:true "icache/traces_entered" s.Fluxarm.Icache.traces;
+          g ~host:true "icache/avg_trace_len_x100"
+            (if s.Fluxarm.Icache.traces = 0 then 0
+             else 100 * s.Fluxarm.Icache.trace_blocks / s.Fluxarm.Icache.traces);
+          Obs.Metrics.h ~host:true "icache/trace_len" ~count:th.Fluxarm.Icache.th_count
+            ~sum:th.Fluxarm.Icache.th_sum ~vmin:th.Fluxarm.Icache.th_min
+            ~vmax:th.Fluxarm.Icache.th_max ~buckets:th.Fluxarm.Icache.th_buckets;
         ]
       | Sim_switch _ -> []
     in

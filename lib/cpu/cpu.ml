@@ -88,6 +88,7 @@ let set_mode t m = t.cpu_mode <- m
 (* PC-only raw setter for the block dispatcher: no register match, no
    masking — callers pass already-masked Word32 values. *)
 let set_pc t v = t.pc <- v
+let pc t = t.pc
 
 (* --- instruction methods --- *)
 
@@ -189,8 +190,7 @@ let ldmia t ~base regs =
     regs
 
 (* APSR flags live in PSR bits 31 (N), 30 (Z), 29 (C), 28 (V). *)
-let set_flags_sub t a b =
-  Cycles.charge_handle t.cyc Cycles.alu;
+let write_flags_sub t a b =
   let result = Word32.sub a b in
   let n = Word32.bit result 31 in
   let z = result = 0 in
@@ -203,6 +203,10 @@ let set_flags_sub t a b =
   let psr = Word32.set_bit psr 29 c in
   let psr = Word32.set_bit psr 28 v in
   t.psr <- psr
+
+let set_flags_sub t a b =
+  Cycles.charge_handle t.cyc Cycles.alu;
+  write_flags_sub t a b
 
 let flag_z t = Word32.bit t.psr 30
 let flag_n t = Word32.bit t.psr 31
@@ -225,6 +229,281 @@ let pseudo_ldr_special t reg v =
   Verify.Violation.require "pseudo_ldr_special: !is_ipsr(reg)" (not (Regs.is_ipsr reg));
   Cycles.charge_handle t.cyc Cycles.mem;
   set_special_raw t reg v
+
+(* --- block compilation (the superblock engine's execution form) ---
+
+   Compile a decoded block into macro-ops: closures with direct state
+   access, specialized per instruction at publish time (register indices
+   resolved, branch targets precomputed, immediate contracts pre-validated)
+   and with runs of consecutive *pure* ALU instructions fused into a single
+   closure. Semantics must be bit-identical to Mc.exec over the same
+   entries — same register/memory/flag effects, same cycle charges, same
+   fault points with the same architectural state at the fault.
+
+   Invariants the fusion relies on:
+   - a "pure" instruction cannot fault, cannot stop, cannot touch memory,
+     and neither reads nor writes the PC, so within a pure run only the
+     cumulative cycle charge and the final PC are observable — both are
+     applied once at the end of the run;
+   - every non-pure macro-op sets the PC to its own next_pc *before*
+     executing (exactly like the interpreted dispatcher), so at any fault
+     or stop the architectural PC is what the uncached engine would show;
+   - the caller only runs macro-ops when remaining fuel covers the whole
+     block, so Out_of_fuel can never land inside a fused run (the
+     dispatcher falls back to the interpreted per-instruction form when
+     fuel is short).
+
+   Rare instructions (msr/mrs/isb/bx and out-of-range immediates that must
+   fault through the contract checks) defer to [fallback] — Mc.exec — with
+   a conservative writes-flag, keeping their runtime contracts verbatim. *)
+
+let compile_block t ~fallback (entries : Icache.entry array) =
+  let cyc = t.cyc in
+  let mem = t.mem in
+  let regs = t.regs in
+  let gi = Regs.gpr_index in
+  (* accumulated macro-ops, reversed: (op, may_write_memory, instr_count) *)
+  let ops = ref [] in
+  (* pending run of pure bodies, reversed *)
+  let pure = ref [] in
+  let pure_cyc = ref 0 in
+  let pure_n = ref 0 in
+  let pure_npc = ref 0 in
+  let flush_pure () =
+    if !pure_n > 0 then begin
+      let total = !pure_cyc in
+      let npc = !pure_npc in
+      let op =
+        match !pure with
+        | [ b0 ] ->
+          fun () ->
+            b0 ();
+            cyc.Cycles.count <- cyc.Cycles.count + total;
+            t.pc <- npc;
+            None
+        | bodies ->
+          let bodies = Array.of_list (List.rev bodies) in
+          let nb = Array.length bodies in
+          fun () ->
+            for i = 0 to nb - 1 do
+              (Array.unsafe_get bodies i) ()
+            done;
+            cyc.Cycles.count <- cyc.Cycles.count + total;
+            t.pc <- npc;
+            None
+      in
+      ops := (op, false, !pure_n) :: !ops;
+      pure := [];
+      pure_cyc := 0;
+      pure_n := 0
+    end
+  in
+  let add_pure body cost npc =
+    pure := body :: !pure;
+    pure_cyc := !pure_cyc + cost;
+    incr pure_n;
+    pure_npc := npc
+  in
+  let add_full op writes =
+    flush_pure ();
+    ops := (op, writes, 1) :: !ops
+  in
+  let reg_indices l = Array.of_list (List.map gi l) in
+  Array.iter
+    (fun (e : Icache.entry) ->
+      let npc = e.Icache.next_pc in
+      match e.Icache.instr with
+      | Thumb.Nop -> add_pure (fun () -> ()) 0 npc
+      | Thumb.Mov_reg (rd, rm) ->
+        let rd = gi rd and rm = gi rm in
+        add_pure
+          (fun () -> Array.unsafe_set regs rd (Array.unsafe_get regs rm))
+          Cycles.alu npc
+      | Thumb.Movw (rd, v) when v >= 0 && v <= 0xffff ->
+        let rd = gi rd in
+        add_pure (fun () -> Array.unsafe_set regs rd v) Cycles.alu npc
+      | Thumb.Movt (rd, v) when v >= 0 && v <= 0xffff ->
+        let rd = gi rd in
+        add_pure
+          (fun () ->
+            Array.unsafe_set regs rd
+              (Word32.set_bits (Array.unsafe_get regs rd) ~hi:31 ~lo:16 v))
+          Cycles.alu npc
+      | Thumb.Addw (rd, rn, v) ->
+        let rd = gi rd and rn = gi rn in
+        add_pure
+          (fun () -> Array.unsafe_set regs rd (Word32.add (Array.unsafe_get regs rn) v))
+          Cycles.alu npc
+      | Thumb.Subw (rd, rn, v) ->
+        let rd = gi rd and rn = gi rn in
+        add_pure
+          (fun () -> Array.unsafe_set regs rd (Word32.sub (Array.unsafe_get regs rn) v))
+          Cycles.alu npc
+      | Thumb.Cmp_lr rm ->
+        let rm = gi rm in
+        add_pure (fun () -> write_flags_sub t t.lr (Array.unsafe_get regs rm)) Cycles.alu npc
+      | Thumb.Mov_from_lr rd ->
+        let rd = gi rd in
+        add_pure (fun () -> Array.unsafe_set regs rd t.lr) Cycles.alu npc
+      | Thumb.Mov_to_lr rm ->
+        let rm = gi rm in
+        add_pure (fun () -> t.lr <- Array.unsafe_get regs rm) Cycles.alu npc
+      | Thumb.Cpsid | Thumb.Cpsie -> add_pure (fun () -> ()) Cycles.alu npc
+      | Thumb.Dsb | Thumb.Dmb -> add_pure (fun () -> ()) Cycles.branch npc
+      | Thumb.Ldr_imm (rt, rn, off) ->
+        let rt = gi rt and rn = gi rn in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + Cycles.mem;
+            Array.unsafe_set regs rt
+              (Memory.load32_fast mem (Word32.add (Array.unsafe_get regs rn) off));
+            None)
+          false
+      | Thumb.Str_imm (rt, rn, off) ->
+        let rt = gi rt and rn = gi rn in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + Cycles.mem;
+            Memory.store32_fast mem
+              (Word32.add (Array.unsafe_get regs rn) off)
+              (Array.unsafe_get regs rt);
+            None)
+          true
+      | Thumb.Ldmia (rn, wb, rl) ->
+        let rni = gi rn in
+        let idxs = reg_indices rl in
+        let n = Array.length idxs in
+        let wb' = wb && not (List.mem rn rl) in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + (n * Cycles.mem);
+            let base = Array.unsafe_get regs rni in
+            for i = 0 to n - 1 do
+              Array.unsafe_set regs
+                (Array.unsafe_get idxs i)
+                (Memory.load32_fast mem (Word32.add base (4 * i)))
+            done;
+            if wb' then begin
+              cyc.Cycles.count <- cyc.Cycles.count + Cycles.alu;
+              Array.unsafe_set regs rni (Word32.add base (4 * n))
+            end;
+            None)
+          false
+      | Thumb.Stmia (rn, wb, rl) ->
+        let rni = gi rn in
+        let idxs = reg_indices rl in
+        let n = Array.length idxs in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + (n * Cycles.mem);
+            let base = Array.unsafe_get regs rni in
+            for i = 0 to n - 1 do
+              Memory.store32_fast mem (Word32.add base (4 * i))
+                (Array.unsafe_get regs (Array.unsafe_get idxs i))
+            done;
+            if wb then begin
+              cyc.Cycles.count <- cyc.Cycles.count + Cycles.alu;
+              Array.unsafe_set regs rni (Word32.add base (4 * n))
+            end;
+            None)
+          true
+      | Thumb.Stmdb (rn, wb, rl) ->
+        let rni = gi rn in
+        let idxs = reg_indices rl in
+        let n = Array.length idxs in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            let base = Word32.sub (Array.unsafe_get regs rni) (4 * n) in
+            cyc.Cycles.count <- cyc.Cycles.count + (n * Cycles.mem);
+            for i = 0 to n - 1 do
+              Memory.store32_fast mem (Word32.add base (4 * i))
+                (Array.unsafe_get regs (Array.unsafe_get idxs i))
+            done;
+            if wb then begin
+              cyc.Cycles.count <- cyc.Cycles.count + Cycles.alu;
+              Array.unsafe_set regs rni base
+            end;
+            None)
+          true
+      | Thumb.Push (rl, with_lr) ->
+        let idxs = reg_indices rl in
+        let n = Array.length idxs in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            if with_lr then begin
+              cyc.Cycles.count <- cyc.Cycles.count + Cycles.mem;
+              let base = Word32.sub (sp t) 4 in
+              Memory.store32_fast mem base t.lr;
+              set_sp t base
+            end;
+            cyc.Cycles.count <- cyc.Cycles.count + (n * Cycles.mem);
+            let base = Word32.sub (sp t) (4 * n) in
+            for i = 0 to n - 1 do
+              Memory.store32_fast mem (Word32.add base (4 * i))
+                (Array.unsafe_get regs (Array.unsafe_get idxs i))
+            done;
+            set_sp t base;
+            None)
+          true
+      | Thumb.Pop (rl, with_pc) ->
+        let idxs = reg_indices rl in
+        let n = Array.length idxs in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + (n * Cycles.mem);
+            let base = sp t in
+            for i = 0 to n - 1 do
+              Array.unsafe_set regs
+                (Array.unsafe_get idxs i)
+                (Memory.load32_fast mem (Word32.add base (4 * i)))
+            done;
+            set_sp t (Word32.add base (4 * n));
+            if with_pc then begin
+              cyc.Cycles.count <- cyc.Cycles.count + Cycles.mem;
+              let base = sp t in
+              t.pc <- Memory.load32_fast mem base;
+              set_sp t (Word32.add base 4)
+            end;
+            None)
+          false
+      | Thumb.Svc imm -> add_full (fun () -> t.pc <- npc; Some (Icache.Svc_taken imm)) false
+      | Thumb.B_cond (`Eq, off) ->
+        let tgt = Word32.add npc ((off * 2) + 2) in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + Cycles.branch;
+            if Word32.bit t.psr 30 then t.pc <- tgt;
+            None)
+          false
+      | Thumb.B_cond (`Ne, off) ->
+        let tgt = Word32.add npc ((off * 2) + 2) in
+        add_full
+          (fun () ->
+            t.pc <- npc;
+            cyc.Cycles.count <- cyc.Cycles.count + Cycles.branch;
+            if not (Word32.bit t.psr 30) then t.pc <- tgt;
+            None)
+          false
+      | (Thumb.Movw _ | Thumb.Movt _ | Thumb.Mrs _ | Thumb.Msr _ | Thumb.Isb | Thumb.Bx _) as
+        instr ->
+        (* contract-bearing or stopping instructions: run the interpreter
+           case verbatim (conservative writes-flag: re-checking the code
+           generation when it cannot have moved is harmless) *)
+        add_full (fun () -> t.pc <- npc; fallback instr) true)
+    entries;
+  flush_pure ();
+  let l = List.rev !ops in
+  ( Array.of_list (List.map (fun (o, _, _) -> o) l),
+    Array.of_list (List.map (fun (_, w, _) -> w) l),
+    Array.of_list (List.map (fun (_, _, c) -> c) l) )
 
 (* --- whole-state capture (the snapshot subsystem) --- *)
 

@@ -161,5 +161,24 @@ val set_pc : t -> Word32.t -> unit
     block dispatcher's per-instruction PC update; the value must already
     be a well-formed {!Word32.t}. *)
 
+val pc : t -> Word32.t
+(** [get_special t Pc] minus the register match — the superblock
+    dispatcher reads the PC once per block boundary to pick a link. *)
+
+val compile_block :
+  t ->
+  fallback:(Thumb.instr -> Icache.stop option) ->
+  Icache.entry array ->
+  (unit -> Icache.stop option) array * bool array * int array
+(** Compile a decoded block (execution order) into macro-ops for the
+    superblock engine: [(ops, wmask, mcount)] — per macro-op closure,
+    may-write-memory flag, and instruction count. Runs of pure ALU
+    instructions are fused into single closures; rare/contract-bearing
+    instructions defer to [fallback] (the {!Mc} interpreter case).
+    Semantics, cycle charges and fault points are bit-identical to
+    interpreting [entries], provided the caller only invokes the ops when
+    remaining fuel covers the whole block and re-validates
+    {!Memory.code_generation} after every op whose [wmask] is set. *)
+
 val control_committed : t -> Word32.t
 (** The CONTROL value that privilege checks actually see (post-ISB). *)

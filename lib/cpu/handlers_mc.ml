@@ -14,7 +14,15 @@
     - [switch_to_user] brackets an [svc #255] whose exception return
       transfers to the process, and whose eventual re-entry (after the
       process is preempted) resumes at the instruction after the [svc] —
-      the stacked PC makes the two halves one function. *)
+      the stacked PC makes the two halves one function.
+
+    These bodies are also why the superblock engine may treat privilege
+    as constant within a trace: every CONTROL write below ([msr
+    control, rN]) is followed by an [isb] before any further code runs,
+    exactly as the architecture requires — and [isb] publishes as a
+    {!Icache.Term_exit} block, ending the trace. A privilege flip can
+    therefore never happen {e mid}-trace; the next trace entry re-hoists
+    the (epoch, generation, privilege) stamp under the new privilege. *)
 
 module T = Thumb
 module R = Regs

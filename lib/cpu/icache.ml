@@ -1,5 +1,15 @@
-(* Decoded-instruction and basic-block caches for the Mc engine. See
-   icache.mli for the invalidation story. *)
+(* Decoded-instruction, basic-block and trace-link caches for the Mc
+   engine. See icache.mli for the invalidation story. *)
+
+(* The stop type lives here (rather than in Mc) so compiled micro-ops —
+   built by Cpu, stored in blocks — can return it without a dependency
+   cycle. Mc re-exports it under its historical name. *)
+type stop =
+  | Svc_taken of int
+  | Exc_return of Word32.t
+  | Bx_reg of Word32.t
+  | Decode_error of string
+  | Out_of_fuel
 
 type entry = {
   eaddr : Word32.t;
@@ -7,6 +17,15 @@ type entry = {
   isize : int;
   next_pc : Word32.t;  (* eaddr + isize, precomputed for the dispatcher *)
 }
+
+(* How a block hands control to its successor — decided once at publish
+   from the final instruction, so the dispatcher picks a link slot with
+   one enum compare instead of re-inspecting the instruction. *)
+type term =
+  | Term_fall  (* no control transfer (cap/granule end): successor is fall_pc *)
+  | Term_cond  (* B_cond: successor is fall_pc or taken_pc *)
+  | Term_indirect  (* Pop with PC: dynamic target, served by the inline cache *)
+  | Term_exit  (* isb/svc/bx: never linked (isb is the privilege commit point) *)
 
 type block = {
   start : Word32.t;
@@ -20,6 +39,25 @@ type block = {
   mutable stamp_epoch : int;
   mutable stamp_gen : int;
   mutable stamp_priv : int;
+  (* compiled macro-ops (see Cpu.compile_block): consecutive pure ALU
+     instructions fused into one closure, everything else one closure per
+     instruction. Parallel arrays give the instruction count of each
+     macro-op and whether it can write memory (and hence bump the code
+     generation — the only points where a mid-block re-validation is
+     needed). Only the linking engine executes these; the unlinked engine
+     interprets [entries] exactly as before. *)
+  ops : (unit -> stop option) array;
+  wmask : bool array;
+  mcount : int array;
+  (* trace links: host-side successor pointers in QEMU-TB-chaining style.
+     Pure cache state — validated against (built_gen, stamp triple) at
+     every follow, severed by reset, never part of any snapshot. *)
+  term : term;
+  fall_pc : Word32.t;
+  taken_pc : Word32.t;  (* meaningful only when term = Term_cond *)
+  mutable link_next : block option;
+  mutable link_taken : block option;
+  ind : block option array;  (* 4-entry indirect-target inline cache ([||] unless Term_indirect) *)
 }
 
 let no_stamp = min_int
@@ -30,8 +68,13 @@ let block_slots = 1 lsl block_bits
 let dec_bits = 12
 let dec_slots = 1 lsl dec_bits
 
+(* log2 buckets for the trace-length histogram, same convention as
+   Obs.Metrics: bucket i counts traces whose block count has bit length i. *)
+let th_buckets = 32
+
 type t = {
   mutable enabled : bool;
+  mutable linking : bool;
   blocks : block option array;
   dec_addr : int array;  (* -1 = empty *)
   dec_gen : int array;
@@ -41,11 +84,25 @@ type t = {
   mutable block_misses : int;
   mutable cached_instrs : int;  (* instructions dispatched from cached blocks *)
   mutable total_instrs : int;  (* all instructions executed through [Mc.run] *)
+  mutable link_hits : int;
+  mutable link_misses : int;
+  mutable link_flushes : int;
+  mutable traces : int;
+  mutable trace_blocks : int;
+  mutable tl_min : int;
+  mutable tl_max : int;
+  trace_hist : int array;
 }
+
+let linking_default () =
+  match Sys.getenv_opt "TICKTOCK_SUPERBLOCK" with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
 
 let create () =
   {
     enabled = true;
+    linking = linking_default ();
     blocks = Array.make block_slots None;
     dec_addr = Array.make dec_slots (-1);
     dec_gen = Array.make dec_slots (-1);
@@ -55,37 +112,108 @@ let create () =
     block_misses = 0;
     cached_instrs = 0;
     total_instrs = 0;
+    link_hits = 0;
+    link_misses = 0;
+    link_flushes = 0;
+    traces = 0;
+    trace_blocks = 0;
+    tl_min = 0;
+    tl_max = 0;
+    trace_hist = Array.make th_buckets 0;
   }
 
 let set_enabled t v = t.enabled <- v
 let enabled t = t.enabled
+let set_linking t v = t.linking <- v
+let linking t = t.linking
 
-let reset t =
+(* Sever every trace link before dropping the block array: a block that
+   outlives the reset in some caller's hands must not keep a chain of
+   stale successors reachable (for the GC, and for any dispatcher that
+   might still hold it across the reset). *)
+let sever_links t =
+  Array.iter
+    (function
+      | None -> ()
+      | Some b ->
+        b.link_next <- None;
+        b.link_taken <- None;
+        if Array.length b.ind > 0 then Array.fill b.ind 0 (Array.length b.ind) None)
+    t.blocks
+
+let reset (t : t) =
+  sever_links t;
   Array.fill t.blocks 0 block_slots None;
   Array.fill t.dec_addr 0 dec_slots (-1);
   t.block_hits <- 0;
   t.block_misses <- 0;
   t.cached_instrs <- 0;
-  t.total_instrs <- 0
+  t.total_instrs <- 0;
+  t.link_hits <- 0;
+  t.link_misses <- 0;
+  t.link_flushes <- 0;
+  t.traces <- 0;
+  t.trace_blocks <- 0;
+  t.tl_min <- 0;
+  t.tl_max <- 0;
+  Array.fill t.trace_hist 0 th_buckets 0
 
 type stats = {
   hits : int;
   misses : int;
   cached : int;
   total : int;
+  link_hits : int;
+  link_misses : int;
+  link_flushes : int;
+  traces : int;
+  trace_blocks : int;
 }
 
-let stats t =
+let stats (t : t) =
   {
     hits = t.block_hits;
     misses = t.block_misses;
     cached = t.cached_instrs;
     total = t.total_instrs;
+    link_hits = t.link_hits;
+    link_misses = t.link_misses;
+    link_flushes = t.link_flushes;
+    traces = t.traces;
+    trace_blocks = t.trace_blocks;
   }
 
-let hit_rate t =
+let hit_rate (t : t) =
   let probes = t.block_hits + t.block_misses in
   if probes = 0 then 0.0 else float_of_int t.block_hits /. float_of_int probes
+
+let link_hit_rate (t : t) =
+  let probes = t.link_hits + t.link_misses in
+  if probes = 0 then 0.0 else float_of_int t.link_hits /. float_of_int probes
+
+let avg_trace_len (t : t) =
+  if t.traces = 0 then 0.0 else float_of_int t.trace_blocks /. float_of_int t.traces
+
+type trace_hist = {
+  th_count : int;
+  th_sum : int;
+  th_min : int;
+  th_max : int;
+  th_buckets : (int * int) list;  (* (inclusive upper bound, count), non-empty only *)
+}
+
+let trace_len_summary (t : t) =
+  let buckets = ref [] in
+  for i = th_buckets - 1 downto 0 do
+    if t.trace_hist.(i) > 0 then buckets := ((1 lsl i) - 1, t.trace_hist.(i)) :: !buckets
+  done;
+  {
+    th_count = t.traces;
+    th_sum = t.trace_blocks;
+    th_min = t.tl_min;
+    th_max = t.tl_max;
+    th_buckets = !buckets;
+  }
 
 let record_hit t n =
   t.block_hits <- t.block_hits + 1;
@@ -94,6 +222,29 @@ let record_hit t n =
 
 let record_miss t = t.block_misses <- t.block_misses + 1
 let record_instrs t n = t.total_instrs <- t.total_instrs + n
+let record_link_hit (t : t) = t.link_hits <- t.link_hits + 1
+let record_link_miss (t : t) = t.link_misses <- t.link_misses + 1
+let record_link_flush (t : t) = t.link_flushes <- t.link_flushes + 1
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  bits v 0
+
+let record_trace (t : t) ~blocks =
+  t.traces <- t.traces + 1;
+  t.trace_blocks <- t.trace_blocks + blocks;
+  if t.traces = 1 then begin
+    t.tl_min <- blocks;
+    t.tl_max <- blocks
+  end
+  else begin
+    if blocks < t.tl_min then t.tl_min <- blocks;
+    if blocks > t.tl_max then t.tl_max <- blocks
+  end;
+  let b = bucket_of blocks in
+  let b = if b >= th_buckets then th_buckets - 1 else b in
+  t.trace_hist.(b) <- t.trace_hist.(b) + 1
 
 (* --- decoded-instruction cache --- *)
 
@@ -121,10 +272,20 @@ let find_block t ~gen pc =
   | Some b when b.start = pc && b.built_gen = gen -> Some b
   | _ -> None
 
-let publish_block t ~gen pc entries =
+let publish_block t ~gen pc entries ~compile =
   let entries = Array.of_list (List.rev entries) in
   let byte_len = Array.fold_left (fun acc e -> acc + e.isize) 0 entries in
-  if Array.length entries > 0 then
+  let n = Array.length entries in
+  if n > 0 then begin
+    let last = entries.(n - 1) in
+    let term, taken_pc =
+      match last.instr with
+      | Thumb.B_cond (_, off) -> (Term_cond, Word32.add last.next_pc ((off * 2) + 2))
+      | Thumb.Pop (_, true) -> (Term_indirect, 0)
+      | Thumb.Isb | Thumb.Svc _ | Thumb.Bx _ -> (Term_exit, 0)
+      | _ -> (Term_fall, 0)
+    in
+    let ops, wmask, mcount = compile entries in
     t.blocks.(block_idx pc) <-
       Some
         {
@@ -135,4 +296,14 @@ let publish_block t ~gen pc entries =
           stamp_epoch = no_stamp;
           stamp_gen = no_stamp;
           stamp_priv = no_stamp;
+          ops;
+          wmask;
+          mcount;
+          term;
+          fall_pc = last.next_pc;
+          taken_pc;
+          link_next = None;
+          link_taken = None;
+          ind = (if term = Term_indirect then Array.make 4 None else [||]);
         }
+  end

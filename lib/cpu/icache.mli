@@ -1,14 +1,21 @@
-(** Decoded-instruction cache and basic-block cache for the {!Mc} engine.
+(** Decoded-instruction cache, basic-block cache and trace links for the
+    {!Mc} engine.
 
     App and kernel flash are immutable once the loader has placed them, so
     re-decoding the same Thumb-2 halfwords on every simulated instruction
-    is pure host-side waste. Two caches remove it:
+    is pure host-side waste. Three layers remove it:
 
     - a direct-mapped {e decode cache} mapping halfword-aligned PC to the
-      decoded [{instr; size}], and
+      decoded [{instr; size}];
     - a {e basic-block cache} holding straight-line runs of decoded
       instructions up to the next control transfer, dispatched with one
-      probe and one execute-permission stamp check per run.
+      probe and one execute-permission stamp check per run;
+    - {e trace links} (QEMU-TB-chaining style): once a block's terminator
+      resolves, the successor block is linked directly into the
+      predecessor — separate fall-through and taken slots, plus a small
+      inline cache for indirect (pop-pc) exits — so hot loops execute as
+      chained superblocks with a single stamp check per {e trace entry}
+      and per newly joined block, not per iteration.
 
     Soundness rests on two invalidation channels, both observable-behaviour
     preserving (see docs/VERIFICATION.md):
@@ -16,13 +23,34 @@
     - {e code changes}: every cached decode is keyed by
       {!Memory.code_generation}, which [Memory] bumps when any write lands
       in a page registered (via {!Memory.note_code_page}) as holding
-      decoded code — loader placement, RAM zeroing on process restart and
-      self-modifying stores all go through the same write paths;
+      decoded code — loader placement, RAM zeroing on process restart,
+      self-modifying stores and snapshot restore all go through the same
+      counter;
     - {e permission changes}: each block carries a stamp of the (checker
       epoch, MPU generation, privilege) under which its halfwords were last
       execute-checked. MPU reprogramming or a privilege transition kills
       the stamp — the next dispatch re-checks before executing a single
-      instruction — while the decoded bodies survive. *)
+      instruction — while the decoded bodies survive.
+
+    Trace links add no third channel: a link is followed only if the
+    successor's [built_gen] equals the trace's code generation {e and} its
+    stamp triple equals the triple hoisted at trace entry, so anything
+    that would have stopped the per-block dispatcher (store into a linked
+    block, MPU reprogramming, privilege flip, snapshot restore) makes the
+    link validation fail and drops execution back to the full dispatcher.
+    Links are host-side cache state only: no trace event, metric
+    ({!Obs.Metrics.model_only}), snapshot byte or fingerprint depends on
+    them. *)
+
+(** Why execution stopped — returned by compiled micro-ops and re-exported
+    (with constructors) as {!Mc.stop}. Defined here so blocks can store
+    compiled ops without an [Mc] ↔ [Cpu] dependency cycle. *)
+type stop =
+  | Svc_taken of int
+  | Exc_return of Word32.t
+  | Bx_reg of Word32.t
+  | Decode_error of string
+  | Out_of_fuel
 
 type entry = {
   eaddr : Word32.t;
@@ -30,6 +58,13 @@ type entry = {
   isize : int;
   next_pc : Word32.t;  (** [eaddr + isize], precomputed for the dispatcher *)
 }
+
+(** How a block hands control onward, decided at publish time from its
+    final instruction. [Term_exit] blocks (isb/svc/bx) are never linked:
+    svc/bx stop the engine, and isb is the commit point for pending
+    CONTROL writes — the only place privilege can change inside a run —
+    so the trace must re-enter the dispatcher and re-stamp. *)
+type term = Term_fall | Term_cond | Term_indirect | Term_exit
 
 type block = {
   start : Word32.t;
@@ -39,6 +74,19 @@ type block = {
   mutable stamp_epoch : int;
   mutable stamp_gen : int;
   mutable stamp_priv : int;
+  ops : (unit -> stop option) array;
+      (** compiled macro-ops ({!Cpu.compile_block}); the linking engine's
+          execution form — the unlinked engine interprets [entries] *)
+  wmask : bool array;  (** macro-op may write memory (re-check code gen after) *)
+  mcount : int array;  (** instructions per macro-op *)
+  term : term;
+  fall_pc : Word32.t;
+  taken_pc : Word32.t;  (** B_cond target; meaningful only for [Term_cond] *)
+  mutable link_next : block option;  (** fall-through successor *)
+  mutable link_taken : block option;  (** taken-branch successor *)
+  ind : block option array;
+      (** 4-entry direct-mapped indirect-target inline cache, indexed by
+          [(pc lsr 1) land 3]; [[||]] unless [Term_indirect] *)
 }
 
 val no_stamp : int
@@ -54,18 +102,54 @@ val set_enabled : t -> bool -> unit
 
 val enabled : t -> bool
 
+val set_linking : t -> bool -> unit
+(** Linking off: {!Mc.run} uses the per-block interpreted engine (PR 2
+    behaviour, byte-identical) — the A/B baseline for the superblock
+    benchmarks and lockstep tests. Default comes from the
+    [TICKTOCK_SUPERBLOCK] environment variable ([0]/[off]/[false]/[no]
+    disable; anything else, including unset, enables). *)
+
+val linking : t -> bool
+
+val linking_default : unit -> bool
+(** What {!create} would pick right now — the [TICKTOCK_SUPERBLOCK]
+    environment default. The A/B benchmark uses it to restore the ambient
+    engine after forcing each side. *)
+
 val reset : t -> unit
-(** Drop every cached decode and block and zero the statistics. *)
+(** Drop every cached decode and block, sever every trace link (including
+    indirect inline-cache slots), and zero the statistics. *)
 
 type stats = {
   hits : int;  (** block dispatches served from the cache *)
   misses : int;  (** dispatches that had to (re)build a block *)
   cached : int;  (** instructions executed out of cached blocks *)
   total : int;  (** all instructions executed through {!Mc.run} *)
+  link_hits : int;  (** block boundaries crossed via a valid trace link *)
+  link_misses : int;  (** boundaries where no valid link existed *)
+  link_flushes : int;  (** stale links discarded during validation *)
+  traces : int;  (** trace entries (full dispatches) completed *)
+  trace_blocks : int;  (** blocks executed across all traces *)
 }
 
 val stats : t -> stats
 val hit_rate : t -> float
+val link_hit_rate : t -> float
+val avg_trace_len : t -> float
+(** Mean blocks per trace ([trace_blocks / traces]); 0 before any trace. *)
+
+type trace_hist = {
+  th_count : int;
+  th_sum : int;
+  th_min : int;
+  th_max : int;
+  th_buckets : (int * int) list;
+      (** (inclusive upper bound, count) — log2 buckets, non-empty only,
+          same convention as {!Obs.Metrics} histograms *)
+}
+
+val trace_len_summary : t -> trace_hist
+(** Trace-length (blocks per trace) histogram for the metrics snapshot. *)
 
 val record_hit : t -> int -> unit
 (** A block dispatch served [n] instructions from the cache. *)
@@ -75,6 +159,13 @@ val record_miss : t -> unit
 
 val record_instrs : t -> int -> unit
 (** [n] instructions executed outside cached blocks (cold path). *)
+
+val record_link_hit : t -> unit
+val record_link_miss : t -> unit
+val record_link_flush : t -> unit
+
+val record_trace : t -> blocks:int -> unit
+(** A trace ended after executing [blocks] chained blocks. *)
 
 (** {1 Decode cache} *)
 
@@ -87,6 +178,14 @@ val find_block : t -> gen:int -> Word32.t -> block option
 (** The cached block starting exactly at [pc], if its decode generation is
     current. The permission stamp is the caller's problem. *)
 
-val publish_block : t -> gen:int -> Word32.t -> entry list -> unit
+val publish_block :
+  t ->
+  gen:int ->
+  Word32.t ->
+  entry list ->
+  compile:(entry array -> (unit -> stop option) array * bool array * int array) ->
+  unit
 (** Store a block decoded under generation [gen]; [entries] in reverse
-    execution order (as accumulated). Empty lists are ignored. *)
+    execution order (as accumulated). [compile] turns the (execution-order)
+    entry array into macro-ops ({!Cpu.compile_block} partially applied).
+    Empty lists are ignored. *)

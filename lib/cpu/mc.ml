@@ -1,4 +1,6 @@
-type stop =
+(* The stop type is defined in Icache (compiled micro-ops return it) and
+   re-exported here under its historical name and constructors. *)
+type stop = Icache.stop =
   | Svc_taken of int
   | Exc_return of Word32.t
   | Bx_reg of Word32.t
@@ -229,6 +231,32 @@ let exec_block cpu mem (b : Icache.block) fuel =
   in
   go 0 0
 
+(* Execute a stamped block's compiled macro-ops. The caller guarantees
+   remaining fuel covers the whole block, so Out_of_fuel cannot land
+   inside (fuel-short dispatches use the interpreted [exec_block]).
+   Per-instruction accounting comes from the per-macro-op counts; the
+   code-generation re-check runs only after macro-ops that can write
+   memory — the only instructions that can move it. Returns
+   (instructions executed, stop). *)
+let exec_block_fast mem (b : Icache.block) =
+  let gen0 = b.Icache.built_gen in
+  let ops = b.Icache.ops in
+  let wmask = b.Icache.wmask in
+  let mcount = b.Icache.mcount in
+  let nm = Array.length ops in
+  let rec go i used =
+    if i >= nm then (used, None)
+    else begin
+      let used = used + Array.unsafe_get mcount i in
+      match (Array.unsafe_get ops i) () with
+      | Some _ as stop -> (used, stop)
+      | None ->
+        if Array.unsafe_get wmask i && Memory.code_generation mem <> gen0 then (used, None)
+        else go (i + 1) used
+    end
+  in
+  go 0 0
+
 let run ?(fuel = 10_000) cpu =
   let mem = Cpu.memory cpu in
   let ic = Cpu.icache cpu in
@@ -241,17 +269,126 @@ let run ?(fuel = 10_000) cpu =
     slow fuel
   end
   else begin
+    let linking = Icache.linking ic in
+    let compile = Cpu.compile_block cpu ~fallback:(fun i -> exec cpu i) in
     let rec loop n =
       if n <= 0 then Out_of_fuel
       else begin
         let pc = Cpu.get_special cpu Regs.Pc in
         match Icache.find_block ic ~gen:(Memory.code_generation mem) pc with
         | Some b when stamp_ok mem b ->
-          let used, stop = exec_block cpu mem b n in
-          Icache.record_hit ic used;
-          (match stop with Some s -> s | None -> loop (n - used))
+          if linking then trace b n
+          else begin
+            let used, stop = exec_block cpu mem b n in
+            Icache.record_hit ic used;
+            (match stop with Some s -> s | None -> loop (n - used))
+          end
         | _ -> build pc n
       end
+    (* Superblock trace: execute the dispatched block, then follow (or
+       install) a link to its successor instead of re-entering the
+       dispatcher — the QEMU-TB-chaining shape. The (checker epoch, MPU
+       generation, privilege) triple is hoisted once per trace entry; a
+       link is followed only while the successor's stamp equals that
+       triple and its decode generation equals the trace's, so the chain's
+       single entry check covers the union of the linked blocks exactly
+       (every member was stamped under the same triple when it joined).
+       Soundness of keeping the triple hoisted across the trace:
+       - MPU generation and checker epoch cannot change inside [run] (MPU
+         registers are not bus-mapped; checker swaps are host-side);
+       - privilege can change only at an isb committing a pending CONTROL
+         write, and isb terminates its block with [Term_exit], which ends
+         the trace before the next dispatch;
+       - code changes (stores/loader/blit/restore) bump the code
+         generation, which is re-checked after every potentially-writing
+         macro-op and ends the trace.
+       Links themselves are host cache state: following one produces the
+       same architectural steps the dispatcher would. *)
+    and trace b0 n0 =
+      Memory.hoist mem;
+      let gen0 = Memory.code_generation mem in
+      let chk, ep, gv, pv =
+        match Memory.get_checker mem with
+        | None -> (false, 0, 0, 0)
+        | Some c ->
+          (true, Memory.checker_epoch mem, c.Memory.generation (), c.Memory.privilege ())
+      in
+      let valid (s : Icache.block) pc' =
+        s.Icache.start = pc' && s.Icache.built_gen = gen0
+        && ((not chk)
+           || (s.Icache.stamp_epoch = ep && s.Icache.stamp_gen = gv
+              && s.Icache.stamp_priv = pv))
+      in
+      (* install: the dispatcher's own dispatch condition (find + stamp),
+         so a freshly linked successor was checked exactly as an unlinked
+         dispatch would have checked it *)
+      let install pc' =
+        match Icache.find_block ic ~gen:gen0 pc' with
+        | Some s when stamp_ok mem s && valid s pc' -> Some s
+        | _ -> None
+      in
+      let rec chain b n blocks =
+        let used, stop =
+          if n >= Array.length b.Icache.entries then exec_block_fast mem b
+          else exec_block cpu mem b n
+        in
+        Icache.record_hit ic used;
+        let n = n - used in
+        match stop with
+        | Some s ->
+          Icache.record_trace ic ~blocks;
+          s
+        | None ->
+          if Memory.code_generation mem <> gen0 then exit_trace n blocks
+          else if n <= 0 then begin
+            Icache.record_trace ic ~blocks;
+            Out_of_fuel
+          end
+          else begin
+            let pc' = Cpu.pc cpu in
+            match b.Icache.term with
+            | Icache.Term_exit -> exit_trace n blocks
+            | Icache.Term_fall | Icache.Term_cond -> (
+              let taken = pc' <> b.Icache.fall_pc in
+              let slot = if taken then b.Icache.link_taken else b.Icache.link_next in
+              match slot with
+              | Some s when valid s pc' ->
+                Icache.record_link_hit ic;
+                chain s n (blocks + 1)
+              | stale -> (
+                Icache.record_link_miss ic;
+                (match stale with
+                | Some _ -> Icache.record_link_flush ic
+                | None -> ());
+                match install pc' with
+                | Some s ->
+                  if taken then b.Icache.link_taken <- Some s
+                  else b.Icache.link_next <- Some s;
+                  chain s n (blocks + 1)
+                | None -> exit_trace n blocks))
+            | Icache.Term_indirect -> (
+              let ind = b.Icache.ind in
+              let idx = (pc' lsr 1) land 3 in
+              match Array.unsafe_get ind idx with
+              | Some s when valid s pc' ->
+                Icache.record_link_hit ic;
+                chain s n (blocks + 1)
+              | stale -> (
+                Icache.record_link_miss ic;
+                (match stale with
+                | Some _ -> Icache.record_link_flush ic
+                | None -> ());
+                match install pc' with
+                | Some s ->
+                  Array.unsafe_set ind idx (Some s);
+                  chain s n (blocks + 1)
+                | None -> exit_trace n blocks))
+          end
+      and exit_trace n blocks =
+        Icache.record_trace ic ~blocks;
+        loop n
+      in
+      chain b0 n0 1
     (* Cold path: single-step (through the decode cache) while recording
        decoded entries, ending the block at a control transfer, the length
        cap, a decision-granule edge, a decode error, or fuel exhaustion;
@@ -279,7 +416,7 @@ let run ?(fuel = 10_000) cpu =
       end
       else begin
         let fits bytes = g < 0 || pc0 lsr g = (pc0 + bytes - 1) lsr g in
-        let publish acc = Icache.publish_block ic ~gen:gen0 pc0 acc in
+        let publish acc = Icache.publish_block ic ~gen:gen0 pc0 acc ~compile in
         let rec go acc count bytes n =
           if n <= 0 then begin
             publish acc;

@@ -13,15 +13,20 @@
     a decoded-instruction cache and a basic-block cache (see {!Icache}) on
     each {!Cpu.t}. [run] decodes straight-line runs once, then replays them
     with a single cache probe and a single MPU execute decision per block.
-    Both caches are {e semantically invisible}: cycle counts, fault
-    ordering, fuel accounting and stop values are bit-identical to the
-    uncached engine. Invalidation is automatic — stores and loader writes
-    into pages that ever fed the decoder bump a code generation
+    With trace linking enabled (the default; see {!Icache.set_linking}),
+    blocks additionally chain directly into their successors and execute
+    as compiled superblocks — one permission stamp check per trace entry
+    and per newly joined block, with the bus fast path hoisted across the
+    trace ({!Memory.hoist}) and indirect (pop-pc) exits served by a small
+    inline cache. All of it is {e semantically invisible}: cycle counts,
+    fault ordering, fuel accounting and stop values are bit-identical to
+    the uncached engine. Invalidation is automatic — stores and loader
+    writes into pages that ever fed the decoder bump a code generation
     ({!Memory.code_generation}), and MPU reprogramming or privilege changes
     invalidate only the per-block permission stamp, not the decoded
-    bodies. *)
+    bodies; trace links revalidate both on every follow. *)
 
-type stop =
+type stop = Icache.stop =
   | Svc_taken of int  (** an [svc #imm] was executed; PC points after it *)
   | Exc_return of Word32.t  (** [bx lr] with LR holding an EXC_RETURN value *)
   | Bx_reg of Word32.t  (** [bx] to an ordinary address *)

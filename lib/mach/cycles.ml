@@ -1,4 +1,5 @@
-type cell = { mutable count : int }
+type handle = { mutable count : int }
+type cell = handle
 
 (* The machine-wide counter is domain-local: every domain sees its own
    instance. Parallel harnesses (the fuzz campaign workers) each charge
@@ -16,8 +17,6 @@ let charge t n =
   c.count <- c.count + n
 
 let tick ?(n = 1) t = charge t n
-
-type handle = cell
 
 let handle t = cell t
 let charge_handle (c : handle) n = c.count <- c.count + n

@@ -25,13 +25,18 @@ val charge : counter -> int -> unit
 (** [charge c n] = [tick ~n c] without the optional-argument boxing — for
     per-instruction hot paths (the CPU methods). *)
 
-type handle
+type handle = { mutable count : int }
 (** A counter resolved to its backing cell. For {!global} the resolution
     happens in the calling domain, so a handle taken in one domain and
     charged from another would charge the taker's counter — take handles
     in the domain that uses them (the CPU emulator takes one per
     {!Fluxarm.Cpu.create}, which parallel harnesses call inside each
-    worker domain). *)
+    worker domain).
+
+    The cell is exposed so the superblock engine's compiled micro-ops can
+    charge with one inlined field mutation instead of a cross-module call
+    per emulated instruction. Mutate only through [count <- count + n];
+    everything else goes through the {!counter} API. *)
 
 val handle : counter -> handle
 val charge_handle : handle -> int -> unit

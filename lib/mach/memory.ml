@@ -62,6 +62,17 @@ type t = {
   (* bumped whenever the checker is replaced, so permission stamps taken
      under one checker can never validate against another *)
   mutable checker_epoch : int;
+  (* hoisted decision-cache context for the superblock engine: [hoist]
+     snapshots the checker's generation/privilege/granule closures into
+     plain ints once per trace entry, and [load32_fast]/[store32_fast]
+     probe the decision cache against them without a closure call per
+     access. Sound only while none of the three can change — i.e. inside
+     one Mc trace (see mc.ml). [fp_on] is false whenever the aligned-word
+     fast path does not apply (no checker, or sub-word granule). *)
+  mutable fp_on : bool;
+  mutable fp_gen : int;
+  mutable fp_priv : int;
+  mutable fp_gbits : int;
   (* observability sink: the access-check fast paths never consult it;
      only the rare invalidation events (checker swap, code-page write)
      emit, and only when a sink is attached *)
@@ -88,6 +99,10 @@ let create () =
     era = 0;
     last_wpriv = -1;
     checker_epoch = 0;
+    fp_on = false;
+    fp_gen = -1;
+    fp_priv = 0;
+    fp_gbits = 0;
     obs = None;
   }
 
@@ -388,6 +403,57 @@ let check_fetch16 t addr =
       check_byte t c addr Perms.Execute;
       check_byte t c (Word32.add addr 1) Perms.Execute
     end
+
+(* --- hoisted fast path (superblock traces) ---
+
+   [hoist] resolves the checker's generation/privilege/granule closures to
+   ints; the fast accessors then replicate [check_word]'s aligned-word
+   decision-cache probe with pure integer arithmetic. A probe hit counts a
+   [dc_hits] exactly like [dc_probe]; any other case falls into the full
+   checked access, which owns the miss counting, the cache fill, the exact
+   fault address and the unaligned/no-checker cases — so the counters and
+   the observable behaviour are identical to the unhoisted path. *)
+
+let hoist t =
+  match t.checker with
+  | None -> t.fp_on <- false
+  | Some c ->
+    let g = c.granule_bits () in
+    if g >= 2 then begin
+      t.fp_on <- true;
+      t.fp_gbits <- g;
+      t.fp_gen <- c.generation ();
+      t.fp_priv <- c.privilege ()
+    end
+    else t.fp_on <- false
+
+let load32_fast t addr =
+  if t.fp_on && addr land 3 = 0 then begin
+    let block = addr lsr t.fp_gbits in
+    let key = (block lsl 3) lor (t.fp_priv lsl 2) (* access_code Read = 0 *) in
+    let idx = (block lsl 2) land (dc_size - 1) in
+    if Array.unsafe_get t.dc_key idx = key && Array.unsafe_get t.dc_gen idx = t.fp_gen
+    then begin
+      t.dc_hits <- t.dc_hits + 1;
+      read32 t addr
+    end
+    else load32 t addr
+  end
+  else load32 t addr
+
+let store32_fast t addr v =
+  if t.fp_on && addr land 3 = 0 then begin
+    let block = addr lsr t.fp_gbits in
+    let key = (block lsl 3) lor (t.fp_priv lsl 2) lor 1 (* access_code Write *) in
+    let idx = ((block lsl 2) lor 1) land (dc_size - 1) in
+    if Array.unsafe_get t.dc_key idx = key && Array.unsafe_get t.dc_gen idx = t.fp_gen
+    then begin
+      t.dc_hits <- t.dc_hits + 1;
+      write32 t addr v
+    end
+    else store32 t addr v
+  end
+  else store32 t addr v
 
 let fetch16 t addr =
   check_fetch16 t addr;

@@ -112,6 +112,25 @@ val fetch16 : t -> Word32.t -> int
 (** Halfword instruction fetch (Thumb), checked with {!Perms.Execute} on
     both covered bytes. *)
 
+(** {1 Hoisted access fast path}
+
+    The superblock engine ({!Fluxarm.Mc}) executes chained blocks whose
+    loads and stores would otherwise pay three checker closure calls
+    (generation, privilege, granule) per decision-cache probe. {!hoist}
+    snapshots those into plain ints; {!load32_fast}/{!store32_fast} then
+    probe the cache with integer compares only. Behaviour — including the
+    hit/miss counters, cache fills, fault addresses and unaligned
+    handling — is identical to {!load32}/{!store32}: anything but an
+    aligned-word probe hit falls into the full checked access. Sound only
+    while generation, privilege and granule cannot change, which the
+    engine guarantees by re-hoisting at every trace entry (none of the
+    three can change inside a trace: MPU registers are not bus-mapped,
+    and a privilege commit point terminates the trace). *)
+
+val hoist : t -> unit
+val load32_fast : t -> Word32.t -> Word32.t
+val store32_fast : t -> Word32.t -> Word32.t -> unit
+
 val check_fetch16 : t -> Word32.t -> unit
 (** The checking half of {!fetch16} without the data read: raises
     {!Access_fault} exactly when (and how) a halfword fetch at this address

@@ -128,6 +128,9 @@ let restore t c =
 let c ?(host = false) name v = { name; host; value = Counter v }
 let g ?(host = false) name v = { name; host; value = Gauge v }
 
+let h ?(host = false) name ~count ~sum ~vmin ~vmax ~buckets =
+  { name; host; value = Histogram { count; sum; vmin; vmax; buckets } }
+
 let hist_value h =
   let buckets = ref [] in
   for i = nbuckets - 1 downto 0 do

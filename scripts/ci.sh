@@ -22,17 +22,22 @@ for row in data["archs"]:
 print("bus smoke ok:", ", ".join(f"{r['arch']} {r['speedup']}x @ {r['hit_rate']:.0%}" for r in data["archs"]))
 EOF
 
-# Icache smoke: the decode/block cache must actually hit and the warm
-# engine must actually beat the cold (uncached) one.
+# Icache smoke: the decode/block cache must actually hit, the warm
+# engine must actually beat the cold (uncached) one, and the superblock
+# (trace-linked) engine must beat the per-block engine by >= 2x on every
+# architecture (the A/B run measures both warm engines back to back).
 ICACHE_ITERS=${ICACHE_ITERS:-50000} dune exec bench/main.exe -- icache
 python3 - <<'EOF'
 import json
 with open("BENCH_icache.json") as f:
     data = json.load(f)
+assert data["superblock"] == "both", "icache smoke must run the A/B mode"
 for row in data["archs"]:
     assert row["hit_rate"] >= 0.95, f"{row['arch']}: block cache cold ({row['hit_rate']})"
     assert row["speedup"] >= 3.0, f"{row['arch']}: block dispatch regressed ({row['speedup']}x)"
-print("icache smoke ok:", ", ".join(f"{r['arch']} {r['speedup']}x @ {r['hit_rate']:.0%}" for r in data["archs"]))
+    assert row["link_rate"] >= 0.95, f"{row['arch']}: trace links cold ({row['link_rate']})"
+    assert row["sb_gain"] >= 2.0, f"{row['arch']}: superblock engine regressed ({row['sb_gain']}x over per-block)"
+print("icache smoke ok:", ", ".join(f"{r['arch']} {r['speedup']}x, sb {r['sb_gain']}x @ {r['link_rate']:.0%}" for r in data["archs"]))
 EOF
 
 # Obs smoke: tracing enabled may cost at most a few percent of wall time
@@ -100,6 +105,14 @@ TICKTOCK_OBS=disabled dune exec bench/main.exe -- fig11 difftest latency fuzz > 
 diff /tmp/ci_det_a.txt /tmp/ci_det_obs_on.txt
 diff /tmp/ci_det_a.txt /tmp/ci_det_obs_dis.txt
 
+# Trace linking must be invisible the same way: the superblock engine
+# (default on) and the per-block engine must produce byte-identical
+# modeled output — links are host-side cache state, never semantics.
+TICKTOCK_SUPERBLOCK=off dune exec bench/main.exe -- fig11 difftest latency fuzz > /tmp/ci_det_sb_off.txt
+diff /tmp/ci_det_a.txt /tmp/ci_det_sb_off.txt
+TICKTOCK_SUPERBLOCK=off dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 -o /tmp/ci_chaos_sb_off.txt
+diff /tmp/ci_chaos_a.txt /tmp/ci_chaos_sb_off.txt
+
 # Snapshot smoke: capture a pristine post-boot image, inspect the header,
 # restore it onto a fresh board of the same configuration, and make sure a
 # mismatched board is refused.
@@ -125,6 +138,11 @@ diff /tmp/ci_fz_boot.txt /tmp/ci_fz_fork.txt
 diff /tmp/ci_fz_boot.txt /tmp/ci_fz_file.txt
 dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 --fork -o /tmp/ci_chaos_fork.txt
 diff /tmp/ci_chaos_a.txt /tmp/ci_chaos_fork.txt
+# ...and forking must stay byte-identical with trace linking disabled:
+# snapshot restore severs links either way, so both engines replay the
+# forked rounds to the same outcomes.
+TICKTOCK_SUPERBLOCK=off dune exec bin/ticktock_cli.exe -- difftest --fork > /tmp/ci_dt_fork_sb_off.txt
+diff /tmp/ci_dt_boot.txt /tmp/ci_dt_fork_sb_off.txt
 
 # Snapshot bench gate: restoring the pristine image onto a dirty board
 # must stay well clear of a cold boot, and the fork-mode campaign must

@@ -153,6 +153,187 @@ let test_block_splits_at_granule () =
   check_int "split blocks charge identical cycles" warm_cycles
     (Cycles.read Cycles.global - c1)
 
+(* --- superblock trace links --- *)
+
+(* Two linkable blocks: A ([movw r0; cmp lr,r5; beq +0] — Z clear, so the
+   branch falls through) and its fall-through successor B
+   ([movw r1; svc 0]). *)
+let pair_prog imm_b =
+  [ T.Movw (R.R0, 1); T.Cmp_lr R.R5; T.B_cond (`Eq, 0); T.Movw (R.R1, imm_b); T.Svc 0 ]
+
+let pair_b_addr base prog =
+  let rec skip addr = function
+    | [] | [ _; _ ] -> addr
+    | i :: rest -> skip (addr + T.size_bytes i) rest
+  in
+  skip base prog
+
+let warm_pair cpu mem base =
+  ignore (T.assemble mem base (pair_prog 2));
+  C.set_special_raw cpu R.Lr 1 (* lr=1, r5=0: Z stays clear *);
+  check_bool "cold run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 0);
+  (* first warm run installs the A -> B link, the second follows it *)
+  check_bool "warm run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 0);
+  check_bool "linked run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 0);
+  check_int "warm result" 2 (C.get cpu R.R1)
+
+(* a store into a linked successor must sever the chain: the next trace
+   through A must execute B's new bytes, not the linked stale block *)
+let test_store_severs_link () =
+  let mem, cpu = bare () in
+  let ic = C.icache cpu in
+  I.set_linking ic true;
+  let base = 0x1000 in
+  warm_pair cpu mem base;
+  let b_addr = pair_b_addr base (pair_prog 2) in
+  (match I.find_block ic ~gen:(Memory.code_generation mem) base with
+  | None -> Alcotest.fail "expected a cached block at A"
+  | Some a -> (
+    match a.I.link_next with
+    | Some b -> check_int "A linked its fall-through successor" b_addr b.I.start
+    | None -> Alcotest.fail "warm trace should have linked A -> B"));
+  check_bool "links were followed" true ((I.stats ic).I.link_hits > 0);
+  (* overwrite B's movw through the checked store path *)
+  (match T.encode (T.Movw (R.R1, 9)) with
+  | [ h1; h2 ] -> Memory.store32 mem b_addr (h1 lor (h2 lsl 16))
+  | _ -> Alcotest.fail "movw should be 32-bit");
+  check_bool "run after store" true (run_from cpu base = Fluxarm.Mc.Svc_taken 0);
+  check_int "store severed the chain" 9 (C.get cpu R.R1)
+
+(* Icache.reset must sever links on the old block records too, not just
+   empty the tables — anything still holding a block must not be able to
+   chain out of it into a dropped cache *)
+let test_reset_severs_links () =
+  let mem, cpu = bare () in
+  let ic = C.icache cpu in
+  I.set_linking ic true;
+  let base = 0x1000 in
+  warm_pair cpu mem base;
+  let gen = Memory.code_generation mem in
+  let a =
+    match I.find_block ic ~gen base with
+    | Some a -> a
+    | None -> Alcotest.fail "expected a cached block at A"
+  in
+  (match a.I.link_next with
+  | Some _ -> ()
+  | None -> Alcotest.fail "warm trace should have linked A -> B");
+  I.reset ic;
+  (match a.I.link_next with
+  | None -> ()
+  | Some _ -> Alcotest.fail "reset left a live trace link");
+  (match I.find_block ic ~gen base with
+  | None -> ()
+  | Some _ -> Alcotest.fail "reset left a cached block");
+  check_int "reset zeroed link stats" 0 (I.stats ic).I.link_hits;
+  check_bool "still runs after reset" true (run_from cpu base = Fluxarm.Mc.Svc_taken 0);
+  check_int "rebuilt result" 2 (C.get cpu R.R1)
+
+(* MPU reprogramming mid-loop: revoking execute on a *linked successor*
+   must fault at the successor's first instruction — the stale link (built
+   under the old MPU generation) must not be followed. *)
+let test_mpu_revoke_linked_successor () =
+  let m = Machine.create_arm () in
+  let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
+  let cpu = m.Machine.arm_cpu in
+  let ic = C.icache cpu in
+  I.set_linking ic true;
+  C.set_special_raw cpu R.Control 1;
+  let base = 0x2000_0000 in
+  (* two 32-byte granules: straight-line code splits into block A (first
+     granule) falling into block B (second granule) *)
+  grant_v7 mpu ~index:0 ~base ~size:32 Perms.Read_write_execute;
+  grant_v7 mpu ~index:1 ~base:(base + 32) ~size:32 Perms.Read_write_execute;
+  Mpu_hw.Armv7m_mpu.set_enabled mpu true;
+  let prog = List.init 10 (fun i -> T.Movw (R.R0, i + 1)) @ [ T.Svc 7 ] in
+  ignore (T.assemble mem base prog);
+  check_bool "cold run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 7);
+  check_bool "warm run (installs the link)" true (run_from cpu base = Fluxarm.Mc.Svc_taken 7);
+  let s0 = I.stats ic in
+  check_bool "linked run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 7);
+  check_bool "warm trace followed the A->B link" true
+    ((I.stats ic).I.link_hits > s0.I.link_hits);
+  (* revoke execute on B's granule only: A still dispatches, the link to B
+     must be flushed and the re-install must fault at B *)
+  grant_v7 mpu ~index:1 ~base:(base + 32) ~size:32 Perms.Read_write_only;
+  let s1 = I.stats ic in
+  (match run_from cpu base with
+  | exception Memory.Access_fault f ->
+    check_bool "execute fault" true (f.Memory.fault_access = Perms.Execute);
+    check_int "at the linked successor" (base + 32) f.Memory.fault_addr
+  | _ -> Alcotest.fail "expected an execute fault at the linked successor");
+  check_bool "stale link was flushed, not followed" true
+    ((I.stats ic).I.link_flushes > s1.I.link_flushes);
+  (* re-grant: the trace relinks and completes again *)
+  grant_v7 mpu ~index:1 ~base:(base + 32) ~size:32 Perms.Read_write_execute;
+  check_bool "re-granted" true (run_from cpu base = Fluxarm.Mc.Svc_taken 7);
+  check_int "re-linked result" 10 (C.get cpu R.R0)
+
+(* privilege can flip only at isb (the CONTROL commit point), so blocks
+   ending in isb terminate the trace and must never link — and the flip
+   must behave identically with and without linking *)
+let test_privilege_flip_ends_trace () =
+  let go linking =
+    let mem, cpu = bare () in
+    let ic = C.icache cpu in
+    I.set_linking ic linking;
+    let base = 0x1000 in
+    ignore
+      (T.assemble mem base
+         [
+           T.Movw (R.R2, 1);
+           T.Msr (R.Control, R.R1) (* r1=1: drop to unprivileged *);
+           T.Isb;
+           T.Movw (R.R3, 2);
+           T.Svc 5;
+         ]);
+    C.set cpu R.R1 1;
+    let c0 = Cycles.read Cycles.global in
+    check_bool "cold run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 5);
+    check_bool "flip committed" true (not (C.privileged cpu));
+    C.set_special_raw cpu R.Control 0 (* re-privilege for the warm run *);
+    C.isb cpu;
+    check_bool "warm run" true (run_from cpu base = Fluxarm.Mc.Svc_taken 5);
+    let cycles = Cycles.read Cycles.global - c0 in
+    if linking then begin
+      match I.find_block ic ~gen:(Memory.code_generation mem) base with
+      | None -> Alcotest.fail "expected a cached block at the isb block"
+      | Some b ->
+        check_bool "isb block is a trace exit" true (b.I.term = I.Term_exit);
+        (match (b.I.link_next, b.I.link_taken) with
+        | None, None -> ()
+        | _ -> Alcotest.fail "isb block must never link")
+    end;
+    (C.get cpu R.R2, C.get cpu R.R3, C.privileged cpu, cycles)
+  in
+  let linked = go true and unlinked = go false in
+  check_bool "linked and per-block engines agree across the flip" true (linked = unlinked)
+
+(* the full app suite must be fingerprint-identical between the linked and
+   per-block engines: console transcript, tick count, model-visible
+   metrics and the exported trace (the arm-mc board is the one
+   configuration that executes through Mc) *)
+let suite_fingerprint ~linking =
+  Verify.Violation.set_enabled false;
+  let r = Obs.Recorder.create () in
+  let m, k = Boards.make_ticktock_arm_mc ~obs:r () in
+  let ic = C.icache m.Machine.arm_cpu in
+  I.set_linking ic linking;
+  let inst = Boards.Ticktock_arm.instance k in
+  ignore (Apps.Difftest.run_suite inst);
+  ( inst.Instance.console (),
+    inst.Instance.ticks (),
+    Obs.Metrics.to_text (Obs.Metrics.model_only (inst.Instance.metrics ())),
+    Obs.Chrome.to_json ~name:"sb" r )
+
+let test_suite_lockstep () =
+  let con_l, ticks_l, met_l, trace_l = suite_fingerprint ~linking:true in
+  let con_u, ticks_u, met_u, trace_u = suite_fingerprint ~linking:false in
+  Alcotest.(check string) "console identical" con_u con_l;
+  check_int "ticks identical" ticks_u ticks_l;
+  Alcotest.(check string) "model metrics identical" met_u met_l;
+  Alcotest.(check string) "trace export identical" trace_u trace_l
+
 (* --- randomized lockstep: cached vs uncached engines --- *)
 
 let random_program rng =
@@ -188,11 +369,12 @@ let random_program rng =
     body @ tail @ [ T.B_cond (`Ne, (-bytes - 4) / 2) ]
 
 let lockstep_run prog =
-  let go cached =
+  let go ~cached ~linking =
     let mem, cpu = bare () in
     I.set_enabled (C.icache cpu) false;
     ignore (T.assemble mem 0x1000 prog);
     I.set_enabled (C.icache cpu) cached;
+    I.set_linking (C.icache cpu) linking;
     C.set cpu R.R6 (Range.start Layout.app_sram);
     C.set cpu R.R7 0x1000 (* self-modifying stores land here *);
     C.pseudo_ldr_special cpu R.Lr 1;
@@ -202,21 +384,26 @@ let lockstep_run prog =
     let regs = List.map (C.get cpu) R.[ R0; R1; R2; R3; R4; R5; R6; R7 ] in
     (stop, regs, C.get_special cpu R.Pc, C.get_special cpu R.Psr, cycles)
   in
-  (go true, go false)
+  (go ~cached:true ~linking:true, go ~cached:true ~linking:false, go ~cached:false ~linking:false)
 
 let test_lockstep_fuzz () =
   for seed = 1 to 12 do
     let rng = Random.State.make [| seed; 0x1CAC4E |] in
     let prog = random_program rng in
-    let (stop_c, regs_c, pc_c, psr_c, cyc_c), (stop_u, regs_u, pc_u, psr_u, cyc_u) =
+    let (stop_l, regs_l, pc_l, psr_l, cyc_l),
+        (stop_c, regs_c, pc_c, psr_c, cyc_c),
+        (stop_u, regs_u, pc_u, psr_u, cyc_u) =
       lockstep_run prog
     in
     let name fmt = Printf.sprintf fmt seed in
-    check_bool (name "seed %d: same stop") true (stop_c = stop_u);
-    check_bool (name "seed %d: same registers") true (regs_c = regs_u);
-    check_int (name "seed %d: same pc") pc_u pc_c;
-    check_int (name "seed %d: same psr") psr_u psr_c;
-    check_int (name "seed %d: same cycles") cyc_u cyc_c
+    check_bool (name "seed %d: same stop") true (stop_c = stop_u && stop_l = stop_u);
+    check_bool (name "seed %d: same registers") true (regs_c = regs_u && regs_l = regs_u);
+    check_int (name "seed %d: same pc (per-block)") pc_u pc_c;
+    check_int (name "seed %d: same pc (superblock)") pc_u pc_l;
+    check_int (name "seed %d: same psr (per-block)") psr_u psr_c;
+    check_int (name "seed %d: same psr (superblock)") psr_u psr_l;
+    check_int (name "seed %d: same cycles (per-block)") cyc_u cyc_c;
+    check_int (name "seed %d: same cycles (superblock)") cyc_u cyc_l
   done
 
 let suite =
@@ -227,5 +414,14 @@ let suite =
       test_mpu_revoke_faults_next_dispatch;
     Alcotest.test_case "blocks split at granule boundaries" `Quick
       test_block_splits_at_granule;
-    Alcotest.test_case "lockstep fuzz: cached = uncached" `Quick test_lockstep_fuzz;
+    Alcotest.test_case "lockstep fuzz: linked = per-block = uncached" `Quick
+      test_lockstep_fuzz;
+    Alcotest.test_case "store into linked successor severs chain" `Quick
+      test_store_severs_link;
+    Alcotest.test_case "reset severs trace links" `Quick test_reset_severs_links;
+    Alcotest.test_case "MPU revoke on linked successor faults" `Quick
+      test_mpu_revoke_linked_successor;
+    Alcotest.test_case "privilege flip (isb) ends traces" `Quick
+      test_privilege_flip_ends_trace;
+    Alcotest.test_case "app suite lockstep: linked = per-block" `Quick test_suite_lockstep;
   ]

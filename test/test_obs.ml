@@ -99,20 +99,69 @@ let test_trace_nonperturbing () =
 
 (* --- metrics --- *)
 
-let metrics_text_of ~icache_enabled () =
+let metrics_text_of ?(linking = true) ~icache_enabled () =
   Verify.Violation.set_enabled false;
   let m, k = Boards.make_ticktock_arm_mc () in
-  Fluxarm.Icache.set_enabled (Fluxarm.Cpu.icache m.Machine.arm_cpu) icache_enabled;
+  let ic = Fluxarm.Cpu.icache m.Machine.arm_cpu in
+  Fluxarm.Icache.set_enabled ic icache_enabled;
+  Fluxarm.Icache.set_linking ic linking;
   let inst = Boards.Ticktock_arm.instance k in
   ignore (Apps.Difftest.run_suite inst);
   Obs.Metrics.to_text (Obs.Metrics.model_only (inst.Instance.metrics ()))
 
-(* The icache is a host-side accelerator: switching it off changes the
-   host-observational counters but no model-visible metric. *)
+(* The icache and its trace links are host-side accelerators: switching
+   either off changes the host-observational counters but no
+   model-visible metric. *)
 let test_metrics_engine_invariant () =
-  check_string "model metrics identical cached vs uncached"
-    (metrics_text_of ~icache_enabled:true ())
-    (metrics_text_of ~icache_enabled:false ())
+  let superblock = metrics_text_of ~icache_enabled:true ~linking:true () in
+  check_string "model metrics identical cached vs uncached" superblock
+    (metrics_text_of ~icache_enabled:false ());
+  check_string "model metrics identical linked vs per-block" superblock
+    (metrics_text_of ~icache_enabled:true ~linking:false ())
+
+(* The superblock engine's own counters surface in the unified snapshot
+   (host-flagged, so the invariance above doesn't see them). *)
+let test_metrics_link_stats () =
+  Verify.Violation.set_enabled false;
+  let m, k = Boards.make_ticktock_arm_mc () in
+  Fluxarm.Icache.set_linking (Fluxarm.Cpu.icache m.Machine.arm_cpu) true;
+  let inst = Boards.Ticktock_arm.instance k in
+  ignore (Apps.Difftest.run_suite inst);
+  let snap = inst.Instance.metrics () in
+  let get name =
+    match Obs.Metrics.find snap name with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  let counter name =
+    match get name with
+    | Obs.Metrics.Counter n -> n
+    | _ -> Alcotest.failf "%s should be a counter" name
+  in
+  let link_hits = counter "icache/link_hits" in
+  let _ : int = counter "icache/link_flushes" (* present even when zero *) in
+  let traces = counter "icache/traces_entered" in
+  check_bool "suite entered traces" true (traces > 0);
+  (match get "icache/avg_trace_len_x100" with
+  | Obs.Metrics.Gauge v -> check_bool "avg trace len >= 1 block" true (v >= 100)
+  | _ -> Alcotest.fail "icache/avg_trace_len_x100 should be a gauge");
+  (match get "icache/trace_len" with
+  | Obs.Metrics.Histogram { count; sum; vmin; vmax; _ } ->
+    check_int "one histogram sample per trace" traces count;
+    check_bool "blocks per trace >= 1" true (vmin >= 1 && vmax >= vmin);
+    (* every trace contributes its entry block, every link follow (hit or
+       fresh install) one more *)
+    check_bool "histogram sum covers entries + link follows" true
+      (sum >= traces + link_hits)
+  | _ -> Alcotest.fail "icache/trace_len should be a histogram");
+  (* all of it is host-observational, invisible to determinism checks *)
+  let model = Obs.Metrics.model_only snap in
+  List.iter
+    (fun n -> check_bool (n ^ " is host-only") true (Obs.Metrics.find model n = None))
+    [
+      "icache/link_hits"; "icache/link_flushes"; "icache/traces_entered";
+      "icache/avg_trace_len_x100"; "icache/trace_len";
+    ]
 
 let test_metrics_snapshot_contents () =
   Verify.Violation.set_enabled false;
@@ -373,6 +422,7 @@ let suite =
     Alcotest.test_case "trace export is deterministic" `Quick test_trace_deterministic;
     Alcotest.test_case "tracing does not perturb the run" `Quick test_trace_nonperturbing;
     Alcotest.test_case "model metrics invariant to icache" `Quick test_metrics_engine_invariant;
+    Alcotest.test_case "superblock link stats in snapshot" `Quick test_metrics_link_stats;
     Alcotest.test_case "snapshot unifies the stats" `Quick test_metrics_snapshot_contents;
     Alcotest.test_case "model_only excludes host counters" `Quick test_model_only_excludes_host;
     Alcotest.test_case "chrome export is well-formed JSON" `Quick test_chrome_wellformed;

@@ -242,6 +242,49 @@ let test_restore_invalidates_decodes () =
   check_bool "restored code runs" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
   check_int "restore forced a re-decode" 5 (C.get cpu R.R0)
 
+(* Trace links are the third cached view of restored bytes: capture
+   mid-hot-loop with a live A -> B superblock link, patch B, run (the
+   patch severs and re-decodes), then restore — the next trace must
+   re-decode B's restored bytes, never follow a link into the stale
+   block. Two post-restore runs must also replay identically (the fork
+   admissibility condition, with superblocks explicitly on). *)
+let test_restore_severs_trace_links () =
+  let mem = Memory.create () in
+  let cpu = C.create mem in
+  let ic = C.icache cpu in
+  Fluxarm.Icache.set_linking ic true;
+  (* A: [movw r0; cmp lr,r5; beq +0] falls into B: [movw r1; svc 0] *)
+  ignore
+    (T.assemble mem 0x1000
+       [ T.Movw (R.R0, 1); T.Cmp_lr R.R5; T.B_cond (`Eq, 0); T.Movw (R.R1, 2); T.Svc 0 ]);
+  C.set_special_raw cpu R.Lr 1 (* Z clear: beq falls through *);
+  (* build, install the A -> B link, then follow it *)
+  for _ = 1 to 3 do
+    check_bool "hot loop runs" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0)
+  done;
+  check_bool "links are live at capture" true
+    ((Fluxarm.Icache.stats ic).Fluxarm.Icache.link_hits > 0);
+  let snap = Memory.capture mem in
+  let patch_b imm =
+    match T.encode (T.Movw (R.R1, imm)) with
+    | [ h1; h2 ] -> Memory.write32 mem 0x1008 (h1 lor (h2 lsl 16))
+    | _ -> Alcotest.fail "movw should be 32-bit"
+  in
+  patch_b 9;
+  check_bool "patched loop runs" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  check_int "patched B executed" 9 (C.get cpu R.R1);
+  Memory.restore mem snap;
+  let c0 = Cycles.read Cycles.global in
+  check_bool "restored loop runs" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  let cyc_a = Cycles.read Cycles.global - c0 in
+  check_int "no stale link survived the restore" 2 (C.get cpu R.R1);
+  (* a second fork off the same snapshot replays identically *)
+  Memory.restore mem snap;
+  let c1 = Cycles.read Cycles.global in
+  check_bool "second fork runs" true (run_from cpu 0x1000 = Fluxarm.Mc.Svc_taken 0);
+  check_int "fork replay is cycle-identical" cyc_a (Cycles.read Cycles.global - c1);
+  check_int "fork replay result identical" 2 (C.get cpu R.R1)
+
 let test_restore_flushes_decision_cache () =
   let m = Machine.create_arm () in
   let mem = m.Machine.arm_mem and mpu = m.Machine.arm_mpu in
@@ -324,6 +367,7 @@ let suite =
     Alcotest.test_case "fork isolation" `Quick test_fork_isolation;
     Alcotest.test_case "restore invalidates cached decodes" `Quick
       test_restore_invalidates_decodes;
+    Alcotest.test_case "restore severs trace links" `Quick test_restore_severs_trace_links;
     Alcotest.test_case "restore flushes the decision cache" `Quick
       test_restore_flushes_decision_cache;
     Alcotest.test_case "snapshot file roundtrip" `Quick test_file_roundtrip;
