@@ -1166,11 +1166,111 @@ let snapshot_bench () =
   print_endline "\nwrote BENCH_snapshot.json"
 
 (* ------------------------------------------------------------------ *)
+(* Fleet-scale campaign: fork >=10k board-instances across the domain
+   pool, measure throughput at each jobs setting, and check the merged
+   report is byte-identical everywhere — the property that makes the
+   parallelism admissible. FLEET_CELLS overrides the campaign size. *)
+
+let fleet_row ~spec jobs =
+  let r = ref None in
+  let secs =
+    bus_time (fun () ->
+        Verify.Violation.with_enabled true (fun () ->
+            r := Some (Fleet.Campaign.run ~jobs spec)))
+  in
+  let r = Option.get !r in
+  let faults =
+    Array.fold_left
+      (fun a -> function Some c -> a + c.Fleet.Campaign.cl_faulted | None -> a)
+      0 r.Fleet.Campaign.fl_cells
+  in
+  let per n = float_of_int n /. secs in
+  ( jobs,
+    secs,
+    per r.Fleet.Campaign.fl_forked (* boards/sec *),
+    per r.Fleet.Campaign.fl_ran (* cells/sec *),
+    per faults,
+    r.Fleet.Campaign.fl_steals,
+    r.Fleet.Campaign.fl_report )
+
+let fleet_json ~spec ~host_cores ~rows ~identical =
+  let oc = open_out "BENCH_fleet.json" in
+  let row_json =
+    String.concat ",\n"
+      (List.map
+         (fun (jobs, secs, bps, cps, fps, steals, _) ->
+           Printf.sprintf
+             "    { \"jobs\": %d, \"seconds\": %.3f, \"boards_per_sec\": %.0f, \
+              \"cells_per_sec\": %.0f, \"faults_per_sec\": %.0f, \"steals\": %d }"
+             jobs secs bps cps fps steals)
+         rows)
+  in
+  let t_of j =
+    let _, secs, _, _, _, _, _ = List.find (fun (j', _, _, _, _, _, _) -> j' = j) rows in
+    secs
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fleet\",\n\
+    \  \"cells\": %d,\n\
+    \  \"boards\": %d,\n\
+    \  \"plans\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"scaling\": [\n%s\n  ],\n\
+    \  \"speedup_1_to_2\": %.2f,\n\
+    \  \"reports_identical\": %b\n\
+     }\n"
+    spec.Fleet.Campaign.sp_cells
+    (List.length spec.Fleet.Campaign.sp_boards)
+    (List.length spec.Fleet.Campaign.sp_plans)
+    host_cores row_json
+    (t_of 1 /. t_of 2)
+    identical;
+  close_out oc
+
+let fleet_bench () =
+  header "Fleet campaign — 10k snapshot-forked boards across the work-stealing pool"
+    "not in the paper: throughput and jobs-scaling of the campaign orchestrator";
+  let cells =
+    match Sys.getenv_opt "FLEET_CELLS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 10_000)
+    | None -> 10_000
+  in
+  let spec = { Fleet.Campaign.default_spec with Fleet.Campaign.sp_cells = cells } in
+  let host_cores = Stdlib.Domain.recommended_domain_count () in
+  let jobs_list =
+    [ 1; 2 ] @ (if host_cores > 2 then [ host_cores ] else [])
+  in
+  Printf.printf "campaign: %d cells over %d boards x %d plans (host: %d cores)\n\n" cells
+    (List.length spec.Fleet.Campaign.sp_boards)
+    (List.length spec.Fleet.Campaign.sp_plans)
+    host_cores;
+  Printf.printf "%6s %9s %12s %12s %12s %8s\n" "jobs" "seconds" "boards/sec" "cells/sec"
+    "faults/sec" "steals";
+  let rows =
+    List.map
+      (fun jobs ->
+        let ((_, secs, bps, cps, fps, steals, _) as row) = fleet_row ~spec jobs in
+        Printf.printf "%6d %9.3f %12.0f %12.0f %12.0f %8d\n%!" jobs secs bps cps fps steals;
+        row)
+      jobs_list
+  in
+  let reports = List.map (fun (_, _, _, _, _, _, rep) -> rep) rows in
+  let identical = List.for_all (fun rep -> rep = List.hd reports) reports in
+  let _, t1, _, _, _, _, _ = List.nth rows 0 in
+  let _, t2, _, _, _, _, _ = List.nth rows 1 in
+  Printf.printf "\nspeedup jobs 1 -> 2: %.2fx  (host has %d core%s)\n" (t1 /. t2) host_cores
+    (if host_cores = 1 then "" else "s");
+  Printf.printf "merged reports byte-identical across jobs: %b\n" identical;
+  fleet_json ~spec ~host_cores ~rows ~identical;
+  print_endline "\nwrote BENCH_fleet.json"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [--superblock on|off] \
-     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|bechamel|all]";
+     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|bechamel|all]";
   print_endline
     "  --superblock on|off   icache: measure only the trace-linked (on) or\n\
     \                        per-block (off) warm engine; default measures both"
@@ -1193,6 +1293,7 @@ let () =
       ("obs", obs_bench);
       ("chaos", chaos_bench);
       ("snapshot", snapshot_bench);
+      ("fleet", fleet_bench);
       ("bechamel", bechamel_run);
     ]
   in

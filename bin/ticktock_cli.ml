@@ -462,6 +462,113 @@ let trace_cmd =
        ~doc:"Run the release suite with tracing on; export Chrome trace_event JSON")
     Term.(const run $ board_arg $ out)
 
+let fleet_cmd =
+  let run cells boards jobs store resume stop_after out =
+    try
+      let spec =
+        let d = Fleet.Campaign.default_spec in
+        {
+          d with
+          Fleet.Campaign.sp_cells = cells;
+          sp_boards =
+            (match boards with
+            | None -> d.Fleet.Campaign.sp_boards
+            | Some s -> String.split_on_char ',' s |> List.filter (fun b -> b <> ""));
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Verify.Violation.with_enabled true (fun () ->
+            Fleet.Campaign.run ?jobs ?store ~resume ?stop_after spec)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      (* Throughput goes to stderr: stdout carries only the deterministic
+         report, so CI can byte-diff it across jobs settings and
+         kill/resume splits. *)
+      Printf.eprintf
+        "fleet: %d cells (%d ran, %d resumed) on %d pristine images, %d steals, %.2fs \
+         (%.0f cells/sec)\n"
+        (Array.length r.Fleet.Campaign.fl_cells)
+        r.Fleet.Campaign.fl_ran r.Fleet.Campaign.fl_resumed r.Fleet.Campaign.fl_booted
+        r.Fleet.Campaign.fl_steals dt
+        (if dt > 0. then float_of_int r.Fleet.Campaign.fl_ran /. dt else 0.);
+      if not r.Fleet.Campaign.fl_complete then begin
+        Printf.eprintf "fleet: campaign interrupted (resume it with --resume)\n";
+        3
+      end
+      else begin
+        (match out with
+        | None -> print_string r.Fleet.Campaign.fl_report
+        | Some path ->
+          let oc = open_out path in
+          output_string oc r.Fleet.Campaign.fl_report;
+          close_out oc;
+          Printf.eprintf "fleet: wrote %s\n" path);
+        if r.Fleet.Campaign.fl_ok then 0 else 2
+      end
+    with
+    | Invalid_argument m | Failure m ->
+      prerr_endline m;
+      1
+    | Fleet.Store.Refused m ->
+      prerr_endline m;
+      1
+  in
+  let cells =
+    Arg.(
+      value & opt int 600
+      & info [ "n"; "cells" ] ~docv:"N" ~doc:"Board-instances to fork across the campaign.")
+  in
+  let boards =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "boards" ] ~docv:"B1,B2"
+          ~doc:"Comma-separated verified boards to schedule (default: arm, arm-v8, e310).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: $(b,TICKTOCK_JOBS) or the host core count).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Persist completed cells to $(docv) (versioned, append-only, resumable).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Recover committed cells from $(b,--store) and run only the rest.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Stop dispatching after about $(docv) new cells (deterministic kill, for \
+             resumability testing).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the merged report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale campaign: snapshot-fork thousands of board-instances across a \
+          work-stealing domain pool")
+    Term.(const run $ cells $ boards $ jobs $ store $ resume $ stop_after $ out)
+
 let () =
   let doc = "TickTock: verified isolation in a modeled embedded OS" in
   let info = Cmd.info "ticktock" ~version:"1.0.0" ~doc in
@@ -478,6 +585,7 @@ let () =
             metrics_cmd;
             trace_cmd;
             fuzz_cmd;
+            fleet_cmd;
             snapshot_cmd;
             chaos_cmd;
             ps_cmd;

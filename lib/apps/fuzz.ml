@@ -121,8 +121,10 @@ type outcome = {
 }
 
 (** One fuzzing round against an already-booted (or just-restored) kernel
-    instance: [fuzzers] hostile apps + one honest witness. *)
-let round_on (k : Instance.t) ~fuzzers ~steps ~seed =
+    instance: [fuzzers] hostile apps + one honest witness. [max_ticks]
+    bounds the round's scheduler run — fleet campaigns shorten it for
+    light cells. *)
+let round_on ?(max_ticks = 3000) (k : Instance.t) ~fuzzers ~steps ~seed =
   let witness_script =
     let* ms = memory_start in
     let* _ = store32 (ms + 64) 0x5AFE_5AFE in
@@ -148,7 +150,7 @@ let round_on (k : Instance.t) ~fuzzers ~steps ~seed =
         |> Result.get_ok)
   in
   let kernel_panic =
-    match k.Instance.run ~max_ticks:3000 with
+    match k.Instance.run ~max_ticks with
     | () -> None
     | exception Tock_cortexm_mpu.Kernel_panic msg -> Some msg
   in
@@ -172,23 +174,15 @@ let round_on (k : Instance.t) ~fuzzers ~steps ~seed =
 let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
   round_on (make ()) ~fuzzers ~steps ~seed
 
-let jobs () =
-  match Sys.getenv_opt "TICKTOCK_JOBS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | _ -> Stdlib.Domain.recommended_domain_count ())
-  | None -> Stdlib.Domain.recommended_domain_count ()
-
 (** Fuzz many seeds; returns (rounds, panics).
 
     Rounds are independent — each builds its own kernel instance and a
-    deterministic per-seed RNG, and the cycle counter is domain-local — so
-    they fan out across [TICKTOCK_JOBS] domains (default
-    [Domain.recommended_domain_count ()]). Worker [w] takes seeds
-    [w+1, w+1+jobs, ...] round-robin and the merge sorts by seed, so the
-    result is byte-identical to a sequential run regardless of job count
-    or scheduling.
+    deterministic per-seed RNG, and the cycle counter is domain-local —
+    so they ride the shared campaign protocol ({!Ticktock.Pool}): seed
+    [i+1] is cell [i], cells fan out across [TICKTOCK_JOBS] worker
+    domains (parsed once, in {!Ticktock.Jobs}), and the pool merges
+    results in cell-index order, so the outcome list is byte-identical
+    to a sequential run regardless of job count or scheduling.
 
     [mode] picks the per-round board strategy: [`Boot] (the default) pays a
     full board construction per seed; [`Fork] boots {e one} board per
@@ -200,8 +194,6 @@ let jobs () =
     else that fills [Instance.snap_target]). *)
 let campaign ?(mode = `Boot) ?(seeds = 20) ?(fuzzers = 3) ?(steps = 60)
     (make : unit -> Instance.t) =
-  let jobs = min (jobs ()) seeds in
-  let boot_round ~seed = run_round ~fuzzers ~steps ~seed make in
   (* One booted board + pristine snapshot serves every round of a worker. *)
   let forked_runner () =
     let k = make () in
@@ -215,22 +207,13 @@ let campaign ?(mode = `Boot) ?(seeds = 20) ?(fuzzers = 3) ?(steps = 60)
       Ticktock.Snapshot.restore tgt snap;
       round_on k ~fuzzers ~steps ~seed
   in
-  let rounds =
-    if jobs <= 1 then begin
-      let round = match mode with `Boot -> boot_round | `Fork -> forked_runner () in
-      List.init seeds (fun i -> round ~seed:(i + 1))
-    end
-    else begin
-      let worker w () =
-        let round = match mode with `Boot -> boot_round | `Fork -> forked_runner () in
-        let rec go i acc =
-          if i >= seeds then List.rev acc else go (i + jobs) (round ~seed:(i + 1) :: acc)
-        in
-        go w []
-      in
-      List.init jobs (fun w -> Stdlib.Domain.spawn (worker w))
-      |> List.concat_map Stdlib.Domain.join
-      |> List.sort (fun a b -> compare a.fuzz_seed b.fuzz_seed)
-    end
+  let init _w =
+    match mode with
+    | `Boot -> fun ~seed -> run_round ~fuzzers ~steps ~seed make
+    | `Fork -> forked_runner ()
   in
+  let results, _stats =
+    Pool.run ~batch:1 ~cells:seeds ~init ~cell:(fun round i -> round ~seed:(i + 1)) ()
+  in
+  let rounds = Array.to_list results |> List.filter_map Fun.id in
   (rounds, List.filter (fun r -> r.kernel_panic <> None) rounds)

@@ -20,6 +20,13 @@ type outcome = {
   fuzzers_exited : int;
 }
 
+val round_on :
+  ?max_ticks:int -> Instance.t -> fuzzers:int -> steps:int -> seed:int -> outcome
+(** One round against an already-booted (or just-restored) instance:
+    [fuzzers] hostile apps next to one honest witness. The entry point
+    fleet campaigns drive against snapshot-forked boards; [max_ticks]
+    (default 3000) bounds the scheduler run for light cells. *)
+
 val run_round : ?fuzzers:int -> ?steps:int -> seed:int -> (unit -> Instance.t) -> outcome
 
 val campaign :

@@ -6,30 +6,35 @@ type devices = {
   uart : Mpu_hw.Uart.t;  (** app console *)
   debug_uart : Mpu_hw.Uart.t;  (** process-console shell *)
   gpio : Mpu_hw.Gpio.t;
+  reseed : int -> unit;
+      (** re-seed the set's deterministic entropy (the RNG capsule's
+          xorshift stream) in place — the board-level hook behind
+          [Instance.reseed] *)
 }
 
 let standard ?rng_seed ?rng_stall ?ipc_nack () =
   let uart = Mpu_hw.Uart.create () in
   let debug_uart = Mpu_hw.Uart.create () in
   let gpio = Mpu_hw.Gpio.create 16 in
+  let rng, reseed = Rng.capsule_reseed ?seed:rng_seed ?stall:rng_stall () in
   let capsules =
     [
       Virtual_alarm.make ();
       Console.capsule uart;
       Led.capsule gpio;
       Button.capsule gpio;
-      Rng.capsule ?seed:rng_seed ?stall:rng_stall ();
+      rng;
       Ipc.capsule ?copy_nack:ipc_nack ();
       Process_console.capsule debug_uart;
     ]
   in
-  (capsules, { uart; debug_uart; gpio })
+  (capsules, { uart; debug_uart; gpio; reseed })
 
 (** Snapshot components for the devices behind {!standard}'s capsules — the
     board constructor only sees its core machine, so harnesses splice these
     into the board target with [Snapshot.add_components] (which keeps the
     kernel component last). *)
-let components { uart; debug_uart; gpio } =
+let components { uart; debug_uart; gpio; reseed = _ } =
   let comp name ~capture ~restore ~fingerprint obj =
     {
       Ticktock.Snapshot.co_name = name;

@@ -6,6 +6,10 @@ type devices = {
   uart : Mpu_hw.Uart.t;  (** app console *)
   debug_uart : Mpu_hw.Uart.t;  (** process-console shell *)
   gpio : Mpu_hw.Gpio.t;
+  reseed : int -> unit;
+      (** re-seed the set's deterministic entropy (the RNG capsule's
+          xorshift stream) in place — cheap per-fork reseeding for fleet
+          cells forked from one pristine board image *)
 }
 
 val standard :

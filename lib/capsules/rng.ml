@@ -13,8 +13,9 @@ open Ticktock
 
 let driver_num = 8
 
-let capsule ?(seed = 0x2545_F491) ?(stall = ref 0) () =
-  let state = ref (if seed = 0 then 1 else seed land Word32.mask) in
+let capsule_reseed ?(seed = 0x2545_F491) ?(stall = ref 0) () =
+  let norm seed = if seed = 0 then 1 else seed land Word32.mask in
+  let state = ref (norm seed) in
   let next_byte () =
     (* xorshift32 *)
     let x = !state in
@@ -61,7 +62,13 @@ let capsule ?(seed = 0x2545_F491) ?(stall = ref 0) () =
       sn_fingerprint = (fun () -> Fp.int (Fp.int Fp.seed !state) !stall);
     }
   in
-  { (Capsule_intf.stub ~driver_num ~name:"rng") with
-    Capsule_intf.cap_command = command;
-    cap_snapshot = Some snapshotter;
-  }
+  ( { (Capsule_intf.stub ~driver_num ~name:"rng") with
+      Capsule_intf.cap_command = command;
+      cap_snapshot = Some snapshotter;
+    },
+    (* cheap per-fork reseeding: fleet cells forked from one pristine image
+       re-point the xorshift stream here, right after the restore, instead
+       of rebuilding the board to change its entropy *)
+    fun seed -> state := norm seed )
+
+let capsule ?seed ?stall () = fst (capsule_reseed ?seed ?stall ())

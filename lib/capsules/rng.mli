@@ -10,3 +10,10 @@ val capsule : ?seed:int -> ?stall:int ref -> unit -> Ticktock.Capsule_intf.t
 (** [stall] is a fault-injection hook: while positive, each [get] command
     decrements it and fails — the entropy source has transiently run dry,
     and a retrying client masks the fault. *)
+
+val capsule_reseed :
+  ?seed:int -> ?stall:int ref -> unit -> Ticktock.Capsule_intf.t * (int -> unit)
+(** Like {!capsule}, but also returns a reseed hook that re-points the
+    xorshift stream in place (0 normalizes to 1, as at construction) —
+    cheap per-fork reseeding for campaign cells forked from one pristine
+    board image. *)

@@ -362,11 +362,6 @@ let classify_round ?(mode = `Boot) ?from_snapshot (board : Targets.board) ~seed 
 
 (* --- the campaign: rounds in parallel, merged in round order --- *)
 
-let jobs () =
-  match Sys.getenv_opt "TICKTOCK_JOBS" with
-  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
-  | None -> max 1 (Stdlib.Domain.recommended_domain_count () - 1)
-
 let round_ok r =
   r.rd_silent = []
   (* the scrubber must detect every corruption that landed, within the
@@ -434,30 +429,18 @@ let run ?(mode = `Boot) ?from_snapshot ?(boards = Targets.boards) ?(seeds = defa
   let specs =
     List.concat_map (fun b -> List.map (fun s -> (b, s)) seeds) boards |> Array.of_list
   in
-  let n = Array.length specs in
-  let results = Array.make n None in
-  let j = min (jobs ()) n in
-  if j <= 1 then
-    Array.iteri
-      (fun i (b, s) -> results.(i) <- Some (classify_round ~mode ?from_snapshot b ~seed:s ~faults))
-      specs
-  else begin
-    let worker w =
-      Stdlib.Domain.spawn (fun () ->
-          let out = ref [] in
-          let i = ref w in
-          while !i < n do
-            let b, s = specs.(!i) in
-            out := (!i, classify_round ~mode ?from_snapshot b ~seed:s ~faults) :: !out;
-            i := !i + j
-          done;
-          !out)
-    in
-    let domains = List.init j worker in
-    List.iter
-      (fun d -> List.iter (fun (i, r) -> results.(i) <- Some r) (Stdlib.Domain.join d))
-      domains
-  end;
+  (* Rounds ride the shared campaign protocol: (board, seed) pairs are the
+     cells, [TICKTOCK_JOBS] workers (parsed once, in [Ticktock.Jobs]) pull
+     them from work-stealing deques, and the pool merges results in
+     cell-index order — the report is byte-identical at any job count. *)
+  let results, _stats =
+    Ticktock.Pool.run ~batch:1 ~cells:(Array.length specs)
+      ~init:(fun _w -> ())
+      ~cell:(fun () i ->
+        let b, s = specs.(i) in
+        classify_round ~mode ?from_snapshot b ~seed:s ~faults)
+      ()
+  in
   let rounds = Array.to_list results |> List.filter_map Fun.id in
   let sum f = List.fold_left (fun a r -> a + f r) 0 rounds in
   let total_silent = sum (fun r -> List.length r.rd_silent) in

@@ -48,6 +48,13 @@ type t = {
       hooks, bus/icache cache counters, per-process memory gauges. *)
   obs : unit -> Obs.Recorder.t option;
   (** The cross-layer event recorder, when tracing is attached. *)
+  reseed : int -> unit;
+  (** Cheap per-fork reseeding: re-seed the board's deterministic entropy
+      sources (the RNG capsule's xorshift stream) in place, without a
+      reboot. Fleet campaign cells forked from one pristine image call
+      this right after the restore so each cell sees a distinct — but
+      index-determined — entropy stream. [Kernel.instance] leaves it a
+      no-op; board assemblies that attach seeded devices override it. *)
   snap_target : Snapshot.target option;
   (** The board's snapshot target — memory plus every stateful component in
       restore order — when the constructor assembled one. [Kernel.instance]

@@ -1,0 +1,38 @@
+(** The one [TICKTOCK_JOBS] parser.
+
+    Every Domain-parallel campaign (fuzz, chaos, fleet) reads the same
+    environment variable; the parsing used to be copy-pasted with subtly
+    divergent fallbacks (fuzz fell back to the recommended domain count on
+    a parse failure, chaos to 1). This module is the single authority:
+
+    - unset, empty, or unparsable → {!default} (the runtime's recommended
+      domain count, clamped);
+    - a valid positive integer → that count, clamped to [[min_jobs,
+      max_jobs]].
+
+    The clamp bounds are generous — campaigns cap the worker count to the
+    available work anyway — but keep a hostile [TICKTOCK_JOBS=100000] from
+    spawning an absurd domain fleet. Job count never affects campaign
+    {e output}: every harness merges results in cell-index order, so the
+    report is byte-identical at any setting. *)
+
+let min_jobs = 1
+let max_jobs = 128
+
+let clamp n = if n < min_jobs then min_jobs else if n > max_jobs then max_jobs else n
+
+(** What an unset (or unusable) [TICKTOCK_JOBS] means: the runtime's
+    recommended domain count, clamped. *)
+let default () = clamp (Stdlib.Domain.recommended_domain_count ())
+
+(** Pure parser, exposed for tests: [of_string (Sys.getenv_opt
+    "TICKTOCK_JOBS")] is exactly {!count}. *)
+let of_string v =
+  match v with
+  | None -> default ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> clamp n
+    | Some _ | None -> default ())
+
+let count () = of_string (Sys.getenv_opt "TICKTOCK_JOBS")

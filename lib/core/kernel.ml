@@ -1153,7 +1153,8 @@ module Make (MM : Mm.S) = struct
     in
     sorted
       (snapshot t.metrics @ hooks_rows @ bus @ icache @ obs_rows @ chaos_rows @ kernel
-     @ per_proc)
+     @ per_proc
+      @ Obs.Metrics.host_entries () (* process-global host counters (fleet) *))
 
   (* --- whole-kernel snapshot (the board snapshot subsystem's kernel
      component) ---
@@ -1432,6 +1433,7 @@ module Make (MM : Mm.S) = struct
       buscache_stats = (fun () -> Memory.cache_stats t.mem);
       metrics = (fun () -> metrics_snapshot t);
       obs = (fun () -> t.obs);
+      reseed = (fun _ -> ()) (* only the board knows its seeded devices *);
       snap_target = None (* only the board knows its device complement *);
     }
 end

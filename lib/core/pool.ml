@@ -1,0 +1,159 @@
+(** The shared campaign protocol: a work-stealing [Domain] pool with a
+    deterministic, cell-index-ordered merge.
+
+    Fuzz, chaos and fleet campaigns all have the same shape — [cells]
+    independent units of work, each a pure function of its index, whose
+    results must merge into the {e same} report no matter how many workers
+    ran them or how the scheduler interleaved them. The merge discipline
+    that guarantees this (results keyed by cell index, reports rendered
+    from the index-ordered array) used to live separately in
+    [Apps.Fuzz.campaign] and [Chaos.Campaign.run]; this module is the one
+    implementation all three now ride on.
+
+    Work distribution: cells are grouped into contiguous {e batches}
+    ([batch] cells each — batching amortizes per-dispatch cost for light
+    cells like fleet's snapshot-forked rounds; heavy campaigns pass
+    [~batch:1]). Batches are dealt round-robin onto per-worker deques;
+    each worker pops its own deque from the bottom and, when empty,
+    steals a batch from the top of the first non-empty victim. Deques
+    only shrink after the deal, so a worker that finds every deque empty
+    on a full scan can safely exit.
+
+    Determinism argument: a cell's result depends only on its index
+    (workers hold per-worker state from [init], but campaign cells are
+    constructed so that state is equivalent across workers — e.g. a
+    freshly-booted board restored to its pristine snapshot). The results
+    array is keyed by index, so scheduling, stealing and worker count
+    affect only wall-clock, never contents. [commit] calls are serialized
+    under a mutex but arrive in completion order — consumers (the fleet
+    store) must key committed records by index, not order. *)
+
+type stats = {
+  ps_batches : int;  (** batches dealt *)
+  ps_steals : int;  (** batches a worker took from another's deque *)
+}
+
+type deque = { ids : int array; mutable lo : int; mutable hi : int; mu : Mutex.t }
+
+let pop_own d =
+  Mutex.lock d.mu;
+  let r =
+    if d.lo < d.hi then begin
+      d.hi <- d.hi - 1;
+      Some d.ids.(d.hi)
+    end
+    else None
+  in
+  Mutex.unlock d.mu;
+  r
+
+let steal_from d =
+  Mutex.lock d.mu;
+  let r =
+    if d.lo < d.hi then begin
+      let b = d.ids.(d.lo) in
+      d.lo <- d.lo + 1;
+      Some b
+    end
+    else None
+  in
+  Mutex.unlock d.mu;
+  r
+
+(** [run ~cells ~init ~cell ()] evaluates [cell state i] for every
+    [i < cells] and returns the results in index order, plus pool stats.
+
+    - [jobs] overrides the worker count (default {!Jobs.count}); it is
+      capped to the number of batches. [jobs = 1] runs sequentially on the
+      calling domain — no spawns, same results.
+    - [init w] builds worker [w]'s private state (a booted board, a
+      pristine-image registry) on that worker's own domain.
+    - [skip i] (checked immediately before running cell [i]) suppresses a
+      cell: its slot stays [None]. Campaign resume and deterministic
+      kill-emulation hang off this.
+    - [commit i r], when given, runs under a global mutex after cell [i]
+      completes — the hook for append-only result stores. *)
+let run ?jobs ?(batch = 16) ?(skip = fun _ -> false) ?commit ~cells ~init ~cell () =
+  if cells < 0 then invalid_arg "Pool.run: negative cell count";
+  let batch = max 1 batch in
+  let nbatches = (cells + batch - 1) / batch in
+  let jobs =
+    let j = match jobs with Some j -> Jobs.clamp j | None -> Jobs.count () in
+    max 1 (min j nbatches)
+  in
+  let results = Array.make (max cells 1) None in
+  let commit_mu = Mutex.create () in
+  let commit1 i r =
+    match commit with
+    | None -> ()
+    | Some f ->
+      Mutex.lock commit_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock commit_mu) (fun () -> f i r)
+  in
+  let run_batch st b out =
+    let first = b * batch and last = min cells ((b + 1) * batch) - 1 in
+    for i = first to last do
+      if not (skip i) then begin
+        let r = cell st i in
+        out := (i, r) :: !out;
+        commit1 i r
+      end
+    done
+  in
+  let steals = Atomic.make 0 in
+  if jobs <= 1 then begin
+    let st = init 0 in
+    let out = ref [] in
+    for b = 0 to nbatches - 1 do
+      run_batch st b out
+    done;
+    List.iter (fun (i, r) -> results.(i) <- Some r) !out
+  end
+  else begin
+    (* Deal batches round-robin — worker [w] owns batches w, w+jobs, ... —
+       then let the steals rebalance whatever finishes early. *)
+    let deques =
+      Array.init jobs (fun w ->
+          let mine = ref [] in
+          let b = ref w in
+          while !b < nbatches do
+            mine := !b :: !mine;
+            b := !b + jobs
+          done;
+          (* owner pops the bottom (hi end) = highest ids first; keep the
+             natural order instead: store ascending, pop from hi *)
+          { ids = Array.of_list (List.rev !mine); lo = 0; hi = List.length !mine; mu = Mutex.create () })
+    in
+    let worker w () =
+      let st = init w in
+      let out = ref [] in
+      let rec next () =
+        match pop_own deques.(w) with
+        | Some b -> Some b
+        | None ->
+          let rec scan k =
+            if k >= jobs then None
+            else
+              let v = (w + k) mod jobs in
+              match steal_from deques.(v) with
+              | Some b ->
+                Atomic.incr steals;
+                Some b
+              | None -> scan (k + 1)
+          in
+          scan 1
+      and drain () =
+        match next () with
+        | Some b ->
+          run_batch st b out;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      !out
+    in
+    List.init jobs (fun w -> Stdlib.Domain.spawn (worker w))
+    |> List.iter (fun d ->
+           List.iter (fun (i, r) -> results.(i) <- Some r) (Stdlib.Domain.join d))
+  end;
+  ((if cells = 0 then [||] else results), { ps_batches = nbatches; ps_steals = Atomic.get steals })

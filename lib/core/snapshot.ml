@@ -199,3 +199,54 @@ let load target path =
     invalid_arg
       (Printf.sprintf "Snapshot.load: memory fingerprint mismatch (header %s, restored %s)"
          (Fp.to_hex header.hd_mem_fp) (Fp.to_hex live_fp))
+
+(* --- the pristine-image registry --- *)
+
+(** Per-worker registry of pristine post-boot images, keyed by board name:
+    the fleet orchestrator boots each (arch, board) combination {e once}
+    per worker, captures the post-boot snapshot, and restores it in front
+    of every campaign cell scheduled onto that worker — thousands of
+    board-instances for the price of a handful of boots. Registries are
+    not thread-safe and are meant to be worker-local (one per domain);
+    the boot/fork counters feed the fleet's host-side metrics. *)
+module Registry = struct
+  type snap = t
+
+  type 'a entry = {
+    re_payload : 'a;  (** whatever the boot produced, typically an [Instance.t] *)
+    re_target : target;
+    re_snap : snap;  (** the pristine post-boot image *)
+    mutable re_forks : int;
+  }
+
+  type 'a t = {
+    rg_tbl : (string, 'a entry) Hashtbl.t;
+    mutable rg_boots : int;
+  }
+
+  let create () = { rg_tbl = Hashtbl.create 8; rg_boots = 0 }
+  let boots r = r.rg_boots
+  let forks r = Hashtbl.fold (fun _ e acc -> acc + e.re_forks) r.rg_tbl 0
+
+  (** [find_or_boot r key ~boot] returns the registered entry for [key],
+      booting (and capturing the pristine image of) a fresh board via
+      [boot] on first use. [boot] must return the payload and its
+      snapshot target {e post-boot, pre-load} — the captured image is
+      what every subsequent {!fork} restores. *)
+  let find_or_boot r key ~boot =
+    match Hashtbl.find_opt r.rg_tbl key with
+    | Some e -> e
+    | None ->
+      let payload, target = boot () in
+      let e = { re_payload = payload; re_target = target; re_snap = capture target; re_forks = 0 } in
+      Hashtbl.add r.rg_tbl key e;
+      r.rg_boots <- r.rg_boots + 1;
+      e
+
+  (** [fork e f]: restore the entry's pristine image and run one campaign
+      cell — the registry-level twin of the top-level {!val:fork}. *)
+  let fork e f =
+    e.re_forks <- e.re_forks + 1;
+    restore e.re_target e.re_snap;
+    f e.re_payload
+end

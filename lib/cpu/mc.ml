@@ -171,6 +171,16 @@ let step cpu =
 
 let block_cap = 32
 
+(* Superblock traces end at the cap even when every link keeps hitting: a
+   hot loop that never triggers an exit condition would otherwise chain an
+   entire measurement window into one unbounded trace, which both skews
+   the trace-length statistics (BENCH_icache once reported avg_trace_len
+   = the whole window) and starves the dispatcher's revalidation point.
+   Exiting at the cap is semantically free — the trace exit re-enters the
+   dispatcher at the current pc, exactly like a link miss — and costs one
+   dispatch per [trace_cap] blocks. *)
+let trace_cap = 256
+
 (* Validate (or refresh) a block's execute-permission stamp. A valid stamp
    means every halfword of the block was allowed under the current
    (checker, MPU generation, privilege) — sound to reuse because none of
@@ -344,6 +354,7 @@ let run ?(fuel = 10_000) cpu =
             Icache.record_trace ic ~blocks;
             Out_of_fuel
           end
+          else if blocks >= trace_cap then exit_trace n blocks
           else begin
             let pc' = Cpu.pc cpu in
             match b.Icache.term with

@@ -140,7 +140,50 @@ let hist_value h =
   done;
   Histogram { count = h.count; sum = h.sum; vmin = h.vmin; vmax = h.vmax; buckets = !buckets }
 
+(* --- process-global host counters ---
+
+   Campaign-level facts about the simulator itself — boards forked, fleet
+   cells run, work-steals between worker domains — that no single kernel
+   instance owns. They live in one process-global registry of [Atomic]s
+   (workers on other domains bump them concurrently) and surface in every
+   unified snapshot as [host]-flagged entries, so [model_only] — and with
+   it every determinism comparison — never sees them. *)
+
+let host_mu = Mutex.create ()
+let host_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+
+let host_counter name =
+  Mutex.lock host_mu;
+  let a =
+    match Hashtbl.find_opt host_tbl name with
+    | Some a -> a
+    | None ->
+      let a = Atomic.make 0 in
+      Hashtbl.add host_tbl name a;
+      a
+  in
+  Mutex.unlock host_mu;
+  a
+
+let host_incr ?(by = 1) name = ignore (Atomic.fetch_and_add (host_counter name) by)
+let host_read name = Atomic.get (host_counter name)
+
+let host_reset () =
+  Mutex.lock host_mu;
+  Hashtbl.iter (fun _ a -> Atomic.set a 0) host_tbl;
+  Mutex.unlock host_mu
+
 let compare_entries a b = compare a.name b.name
+
+let host_entries () =
+  Mutex.lock host_mu;
+  let acc =
+    Hashtbl.fold
+      (fun name a acc -> { name; host = true; value = Counter (Atomic.get a) } :: acc)
+      host_tbl []
+  in
+  Mutex.unlock host_mu;
+  List.sort compare_entries acc
 
 let snapshot t =
   let acc = ref [] in

@@ -157,4 +157,39 @@ assert fb["restore_speedup"] >= 5.0, f"restore no longer beats cold boot 5x ({fb
 assert data["fuzz_campaign"]["outcomes_identical"], "fork-mode fuzz diverged from boot mode"
 print("snapshot smoke ok: restore %.1fx faster than boot, fork campaign identical" % fb["restore_speedup"])
 EOF
+
+# Fleet smoke: a small campaign's merged report must be byte-identical at
+# every jobs setting, and a killed campaign (--stop-after) resumed from
+# its store must reproduce the uninterrupted report exactly — stdout
+# carries only the deterministic report, so plain diff is the oracle.
+dune exec bin/ticktock_cli.exe -- fleet -n 240 -j 1 -o /tmp/ci_fleet_j1.txt
+dune exec bin/ticktock_cli.exe -- fleet -n 240 -j 2 -o /tmp/ci_fleet_j2.txt
+diff /tmp/ci_fleet_j1.txt /tmp/ci_fleet_j2.txt
+rm -f /tmp/ci_fleet.store
+if dune exec bin/ticktock_cli.exe -- fleet -n 240 -j 2 --store /tmp/ci_fleet.store --stop-after 80 2>/dev/null; then
+  echo "fleet: interrupted campaign did NOT exit nonzero"
+  exit 1
+fi
+dune exec bin/ticktock_cli.exe -- fleet -n 240 -j 2 --store /tmp/ci_fleet.store --resume -o /tmp/ci_fleet_resumed.txt
+diff /tmp/ci_fleet_j1.txt /tmp/ci_fleet_resumed.txt
+
+# Fleet bench gate: a >= 10k-board-instance campaign (FLEET_CELLS keeps CI
+# hosts honest but the default IS the acceptance scale) must merge
+# byte-identically at every jobs setting; the jobs=2 speedup is asserted
+# only on multi-core hosts — on a 1-core runner two domains time-slice one
+# core and the check would measure the scheduler, not the pool.
+FLEET_CELLS=${FLEET_CELLS:-10000} dune exec bench/main.exe -- fleet
+python3 - <<'EOF'
+import json
+with open("BENCH_fleet.json") as f:
+    data = json.load(f)
+assert data["reports_identical"], "fleet reports diverged across jobs settings"
+assert data["cells"] >= 2000, f"fleet campaign too small ({data['cells']} cells)"
+if data["host_cores"] >= 2:
+    assert data["speedup_1_to_2"] >= 1.5, f"fleet scaling regressed ({data['speedup_1_to_2']}x jobs 1->2)"
+    print("fleet smoke ok: %d cells, %.2fx jobs 1->2, reports identical" % (data["cells"], data["speedup_1_to_2"]))
+else:
+    print("fleet smoke ok: %d cells, reports identical (1-core host: scaling gate skipped, measured %.2fx)"
+          % (data["cells"], data["speedup_1_to_2"]))
+EOF
 echo "ci ok"

@@ -414,6 +414,32 @@ let test_metrics_json_wellformed () =
       entries
   | _ -> Alcotest.fail "metrics dump must be {metrics: [...]}"
 
+(* Fleet campaign throughput counters are process-global host counters:
+   once bumped, they surface (host-flagged) in every instance's unified
+   snapshot, and stay invisible to the determinism view. *)
+let test_metrics_fleet_counters () =
+  Verify.Violation.set_enabled false;
+  Obs.Metrics.host_reset ();
+  let names =
+    [ "fleet/boards_forked"; "fleet/cells_run"; "fleet/steals"; "fleet/resume_rounds" ]
+  in
+  List.iteri (fun i n -> Obs.Metrics.host_incr ~by:(i + 1) n) names;
+  let k = Boards.instance_ticktock_arm () in
+  ignore (Apps.Difftest.run_suite ~max_ticks:200 k);
+  let snap = k.Instance.metrics () in
+  let model = Obs.Metrics.model_only snap in
+  List.iteri
+    (fun i n ->
+      (match Obs.Metrics.find snap n with
+      | Some (Obs.Metrics.Counter v) -> check_int (n ^ " surfaces its count") (i + 1) v
+      | Some _ -> Alcotest.failf "%s should be a counter" n
+      | None -> Alcotest.failf "%s missing from the unified snapshot" n);
+      check_bool (n ^ " is host-flagged") true
+        (List.exists (fun e -> e.Obs.Metrics.name = n && e.Obs.Metrics.host) snap);
+      check_bool (n ^ " is invisible to model_only") true (Obs.Metrics.find model n = None))
+    names;
+  Obs.Metrics.host_reset ()
+
 let suite =
   [
     Alcotest.test_case "event encode/decode round-trip" `Quick test_roundtrip;
@@ -425,6 +451,8 @@ let suite =
     Alcotest.test_case "superblock link stats in snapshot" `Quick test_metrics_link_stats;
     Alcotest.test_case "snapshot unifies the stats" `Quick test_metrics_snapshot_contents;
     Alcotest.test_case "model_only excludes host counters" `Quick test_model_only_excludes_host;
+    Alcotest.test_case "fleet counters in snapshot, host-flagged" `Quick
+      test_metrics_fleet_counters;
     Alcotest.test_case "chrome export is well-formed JSON" `Quick test_chrome_wellformed;
     Alcotest.test_case "metrics JSON is well-formed" `Quick test_metrics_json_wellformed;
   ]
