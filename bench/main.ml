@@ -1267,10 +1267,126 @@ let fleet_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Coverage-guided vs blind fuzzing at the same exec budget: the curve of
+   coverage buckets lit against cumulative execs, and the execs each mode
+   needs to reach the guided run's final bucket count. The comparison is
+   model-deterministic (same spec -> same curve on any host), so the CI
+   gate on it applies on 1-core runners too. FUZZCOV_GENS / FUZZCOV_POP
+   override the campaign size. *)
+
+let fuzzcov_row ~spec guided =
+  let spec = { spec with Fuzzcov.Engine.fc_guided = guided } in
+  let r = ref None in
+  let secs = bus_time (fun () -> r := Some (Fuzzcov.Engine.run spec)) in
+  (Option.get !r, secs)
+
+let fuzzcov_execs_to ~target (r : Fuzzcov.Engine.result) =
+  List.find_map
+    (fun (execs, _, bits) -> if bits >= target then Some execs else None)
+    r.Fuzzcov.Engine.fz_curve
+
+let fuzzcov_json ~spec ~host_cores ~guided ~gsecs ~blind ~bsecs ~target =
+  let oc = open_out "BENCH_fuzzcov.json" in
+  let mode_json (r : Fuzzcov.Engine.result) secs =
+    let curve =
+      String.concat ",\n"
+        (List.map
+           (fun (execs, edges, bits) ->
+             Printf.sprintf "      { \"execs\": %d, \"edges\": %d, \"bits\": %d }" execs edges
+               bits)
+           r.Fuzzcov.Engine.fz_curve)
+    in
+    Printf.sprintf
+      "{\n\
+      \    \"execs\": %d,\n\
+      \    \"edges\": %d,\n\
+      \    \"blocks\": %d,\n\
+      \    \"bits\": %d,\n\
+      \    \"corpus\": %d,\n\
+      \    \"crashers\": %d,\n\
+      \    \"seconds\": %.3f,\n\
+      \    \"execs_per_sec\": %.0f,\n\
+      \    \"execs_to_target\": %s,\n\
+      \    \"curve\": [\n%s\n    ]\n\
+      \  }"
+      r.Fuzzcov.Engine.fz_execs r.Fuzzcov.Engine.fz_edges r.Fuzzcov.Engine.fz_blocks
+      r.Fuzzcov.Engine.fz_bits
+      (List.length r.Fuzzcov.Engine.fz_corpus)
+      (List.length r.Fuzzcov.Engine.fz_crashers)
+      secs
+      (float_of_int r.Fuzzcov.Engine.fz_execs /. secs)
+      (match fuzzcov_execs_to ~target r with Some e -> string_of_int e | None -> "null")
+      curve
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fuzzcov\",\n\
+    \  \"board\": \"%s\",\n\
+    \  \"pop\": %d,\n\
+    \  \"gens\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"target_bits\": %d,\n\
+    \  \"guided_wins\": %b,\n\
+    \  \"guided\": %s,\n\
+    \  \"blind\": %s\n\
+     }\n"
+    spec.Fuzzcov.Engine.fc_board spec.Fuzzcov.Engine.fc_pop spec.Fuzzcov.Engine.fc_gens
+    host_cores target
+    (match (fuzzcov_execs_to ~target guided, fuzzcov_execs_to ~target blind) with
+    | Some g, Some b -> g < b
+    | Some _, None -> true
+    | None, _ -> false)
+    (mode_json guided gsecs) (mode_json blind bsecs);
+  close_out oc
+
+let fuzzcov_bench () =
+  header "Coverage-guided fuzzing — guided vs blind at the same exec budget"
+    "not in the paper: buckets-found-vs-execs of the evolutionary loop over the icache map";
+  let env name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> default)
+    | None -> default
+  in
+  let spec =
+    {
+      Fuzzcov.Engine.default_spec with
+      Fuzzcov.Engine.fc_gens = env "FUZZCOV_GENS" 24;
+      fc_pop = env "FUZZCOV_POP" 16;
+    }
+  in
+  let host_cores = Stdlib.Domain.recommended_domain_count () in
+  Printf.printf "campaign: %s, %d gens x %d candidates (host: %d cores)\n\n"
+    spec.Fuzzcov.Engine.fc_board spec.Fuzzcov.Engine.fc_gens spec.Fuzzcov.Engine.fc_pop
+    host_cores;
+  let guided, gsecs = fuzzcov_row ~spec true in
+  let blind, bsecs = fuzzcov_row ~spec false in
+  let target = guided.Fuzzcov.Engine.fz_bits in
+  Printf.printf "%8s %8s %7s %7s %6s %8s %10s %10s\n" "mode" "execs" "edges" "blocks" "bits"
+    "corpus" "secs" "execs/sec";
+  List.iter
+    (fun (name, (r : Fuzzcov.Engine.result), secs) ->
+      Printf.printf "%8s %8d %7d %7d %6d %8d %10.3f %10.0f\n" name r.Fuzzcov.Engine.fz_execs
+        r.Fuzzcov.Engine.fz_edges r.Fuzzcov.Engine.fz_blocks r.Fuzzcov.Engine.fz_bits
+        (List.length r.Fuzzcov.Engine.fz_corpus)
+        secs
+        (float_of_int r.Fuzzcov.Engine.fz_execs /. secs))
+    [ ("guided", guided, gsecs); ("blind", blind, bsecs) ];
+  let show r =
+    match fuzzcov_execs_to ~target r with
+    | Some e -> string_of_int e ^ " execs"
+    | None -> "never"
+  in
+  Printf.printf "\nexecs to reach the guided run's %d buckets: guided %s, blind %s\n" target
+    (show guided) (show blind);
+  fuzzcov_json ~spec ~host_cores ~guided ~gsecs ~blind ~bsecs ~target;
+  print_endline "\nwrote BENCH_fuzzcov.json"
+
+(* ------------------------------------------------------------------ *)
+
 let usage () =
   print_endline
     "usage: main.exe [--superblock on|off] \
-     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|bechamel|all]";
+     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|fuzzcov|bechamel|all]";
   print_endline
     "  --superblock on|off   icache: measure only the trace-linked (on) or\n\
     \                        per-block (off) warm engine; default measures both"
@@ -1294,6 +1410,7 @@ let () =
       ("chaos", chaos_bench);
       ("snapshot", snapshot_bench);
       ("fleet", fleet_bench);
+      ("fuzzcov", fuzzcov_bench);
       ("bechamel", bechamel_run);
     ]
   in

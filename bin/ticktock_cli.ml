@@ -569,6 +569,161 @@ let fleet_cmd =
           work-stealing domain pool")
     Term.(const run $ cells $ boards $ jobs $ store $ resume $ stop_after $ out)
 
+let fuzzcov_cmd =
+  let run board seed pop gens jobs store resume stop_after bundle replay out =
+    try
+      match replay with
+      | Some path -> (
+        (* replay mode: reproduce a crasher bundle, ignore campaign flags *)
+        match Fuzzcov.Engine.read_bundle path with
+        | None ->
+          Printf.eprintf "fuzzcov: %s is not a crasher bundle\n" path;
+          1
+        | Some b ->
+          let reproduced, observed = Fuzzcov.Engine.replay b in
+          Printf.printf "bundle: board %s  class %s  site %S\n" b.Fuzzcov.Engine.bu_board
+            (Verify.Taxonomy.name b.Fuzzcov.Engine.bu_class)
+            b.Fuzzcov.Engine.bu_site;
+          (match observed with
+          | Some (cls, site) ->
+            Printf.printf "replay: crashed as %s at %S — %s\n" (Verify.Taxonomy.name cls) site
+              (if reproduced then "reproduced" else "DIFFERENT CRASH")
+          | None -> Printf.printf "replay: no crash — NOT reproduced\n");
+          if reproduced then 0 else 2)
+      | None ->
+        let spec =
+          {
+            Fuzzcov.Engine.default_spec with
+            Fuzzcov.Engine.fc_board = board;
+            fc_seed = seed;
+            fc_pop = pop;
+            fc_gens = gens;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Fuzzcov.Engine.run ?jobs ?store ~resume ?stop_after spec in
+        let dt = Unix.gettimeofday () -. t0 in
+        (* Throughput goes to stderr: stdout carries only the deterministic
+           report, so CI can byte-diff it across jobs settings and
+           kill/resume splits. *)
+        Printf.eprintf
+          "fuzzcov: %d execs (%d gens ran, %d resumed), %d corpus, %d buckets, %.2fs (%.0f \
+           execs/sec)\n"
+          r.Fuzzcov.Engine.fz_execs r.Fuzzcov.Engine.fz_ran_gens r.Fuzzcov.Engine.fz_resumed_gens
+          (List.length r.Fuzzcov.Engine.fz_corpus)
+          r.Fuzzcov.Engine.fz_bits dt
+          (if dt > 0. then
+             float_of_int (r.Fuzzcov.Engine.fz_ran_gens * spec.Fuzzcov.Engine.fc_pop) /. dt
+           else 0.);
+        if not r.Fuzzcov.Engine.fz_complete then begin
+          Printf.eprintf "fuzzcov: campaign interrupted (resume it with --resume)\n";
+          3
+        end
+        else begin
+          (match (bundle, r.Fuzzcov.Engine.fz_crashers) with
+          | Some path, c :: _ ->
+            Fuzzcov.Engine.write_bundle path (Fuzzcov.Engine.bundle_of_crasher ~board c);
+            Printf.eprintf "fuzzcov: wrote first crasher to %s\n" path
+          | Some _, [] -> Printf.eprintf "fuzzcov: no crashers, no bundle written\n"
+          | None, _ -> ());
+          (match out with
+          | None -> print_string r.Fuzzcov.Engine.fz_report
+          | Some path ->
+            let oc = open_out path in
+            output_string oc r.Fuzzcov.Engine.fz_report;
+            close_out oc;
+            Printf.eprintf "fuzzcov: wrote %s\n" path);
+          if r.Fuzzcov.Engine.fz_ok then 0 else 2
+        end
+    with
+    | Invalid_argument m | Failure m ->
+      prerr_endline m;
+      1
+    | Fleet.Store.Refused m ->
+      prerr_endline m;
+      1
+  in
+  let board =
+    Arg.(
+      value
+      & opt string Fuzzcov.Engine.default_spec.Fuzzcov.Engine.fc_board
+      & info [ "k"; "board" ] ~docv:"BOARD"
+          ~doc:
+            "Board to fuzz (ticktock-arm-mc populates the coverage map; the tock-arm-* \
+             baselines have real crashes to find).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign master seed.")
+  in
+  let pop =
+    Arg.(
+      value & opt int Fuzzcov.Engine.default_spec.Fuzzcov.Engine.fc_pop
+      & info [ "p"; "pop" ] ~docv:"N" ~doc:"Candidates per generation.")
+  in
+  let gens =
+    Arg.(
+      value & opt int Fuzzcov.Engine.default_spec.Fuzzcov.Engine.fc_gens
+      & info [ "g"; "gens" ] ~docv:"N" ~doc:"Generations to evolve.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: $(b,TICKTOCK_JOBS) or the host core count).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Persist completed generations to $(docv) (versioned, append-only, resumable).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Recover committed generations from $(b,--store) and run only the rest.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) newly executed generations (deterministic kill, for \
+             resumability testing).")
+  in
+  let bundle =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundle" ] ~docv:"FILE"
+          ~doc:"Write the first crasher as a replayable bundle to $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a crasher bundle written by $(b,--bundle) and verify it reproduces.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the campaign report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "fuzzcov"
+       ~doc:
+         "Coverage-guided fuzzing: evolve syscall/interrupt schedules against the icache \
+          coverage map, triage crashers, emit replayable bundles")
+    Term.(
+      const run $ board $ seed $ pop $ gens $ jobs $ store $ resume $ stop_after $ bundle
+      $ replay $ out)
+
 let () =
   let doc = "TickTock: verified isolation in a modeled embedded OS" in
   let info = Cmd.info "ticktock" ~version:"1.0.0" ~doc in
@@ -586,6 +741,7 @@ let () =
             trace_cmd;
             fuzz_cmd;
             fleet_cmd;
+            fuzzcov_cmd;
             snapshot_cmd;
             chaos_cmd;
             ps_cmd;

@@ -9,6 +9,13 @@
 
 open Ticktock
 
+val hostile_addresses : ms:int -> ab:int -> int list
+(** The out-of-sandbox probe targets, parameterized by the app's memory
+    window [\[ms, ab)]: null, kernel SRAM/flash, just-outside-the-window,
+    the SCS page and the address-space ceiling. Shared with the
+    coverage-guided fuzzer ({!Fuzzcov}) so both input spaces probe the
+    same boundaries. *)
+
 val random_script : seed:int -> steps:int -> int App_dsl.t
 
 type outcome = {
@@ -25,7 +32,18 @@ val round_on :
 (** One round against an already-booted (or just-restored) instance:
     [fuzzers] hostile apps next to one honest witness. The entry point
     fleet campaigns drive against snapshot-forked boards; [max_ticks]
-    (default 3000) bounds the scheduler run for light cells. *)
+    (default 3000) bounds the scheduler run for light cells.
+
+    Fork-mode contract: [round_on] {e consumes} the instance — it loads
+    the witness and fuzzer processes and runs the scheduler, so the board
+    is no longer pristine when it returns. A caller reusing one board
+    across rounds must restore the pristine post-boot image
+    ({!Ticktock.Snapshot.restore}, or {!Ticktock.Snapshot.Registry.fork})
+    before {e every} call; given that restore, a forked round is
+    byte-identical to one on a freshly booted board. The only exception
+    caught is [Tock_cortexm_mpu.Kernel_panic] (reported in
+    [kernel_panic]); contract {!Verify.Violation.Violation}s propagate to
+    the caller. *)
 
 val run_round : ?fuzzers:int -> ?steps:int -> seed:int -> (unit -> Instance.t) -> outcome
 
@@ -36,9 +54,14 @@ val campaign :
   ?steps:int ->
   (unit -> Instance.t) ->
   outcome list * outcome list
-(** (all rounds, the rounds that panicked the kernel). [`Boot] (default)
-    builds a fresh board per seed; [`Fork] boots one board per worker,
-    captures the pristine post-boot snapshot and restores it before every
-    round — same outcomes, a fraction of the wall-clock. [`Fork] requires
-    instances with [Instance.snap_target] (anything {!Ticktock.Boards}
-    builds). *)
+(** (all rounds, the rounds that panicked the kernel). Seed [i+1] is cell
+    [i] of the shared campaign protocol: cells fan out across
+    [TICKTOCK_JOBS] worker domains (parsed once, by {!Ticktock.Jobs} —
+    there is no per-campaign parsing) on {!Ticktock.Pool}, and results
+    merge in cell-index order, so the outcome list is byte-identical at
+    any job count. [`Boot] (default) builds a fresh board per seed;
+    [`Fork] boots one board per worker, captures the pristine post-boot
+    snapshot and restores it before every round (see the fork-mode
+    contract on {!round_on}) — same outcomes, a fraction of the
+    wall-clock. [`Fork] requires instances with [Instance.snap_target]
+    (anything {!Ticktock.Boards} builds). *)

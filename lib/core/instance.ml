@@ -39,6 +39,10 @@ type t = {
   icache_stats : unit -> Fluxarm.Icache.stats option;
   (** Decode/block-cache statistics of the switcher's CPU; [None] when the
       configuration has no machine-code CPU (the RISC-V [Sim_switch]). *)
+  icache : unit -> Fluxarm.Icache.t option;
+  (** The switcher CPU's live icache itself — the coverage-guided fuzzer
+      needs [Icache.set_coverage]/[cov_reset]/[cov_classified] on it, not
+      just the stats record. [None] exactly when [icache_stats] is. *)
   buscache_stats : unit -> int * int;
   (** [(hits, misses)] of the memory bus's MPU access-decision cache — the
       companion to [icache_stats] that used to be missing. *)

@@ -1117,6 +1117,16 @@ module Make (MM : Mm.S) = struct
             ~sum:th.Fluxarm.Icache.th_sum ~vmin:th.Fluxarm.Icache.th_min
             ~vmax:th.Fluxarm.Icache.th_max ~buckets:th.Fluxarm.Icache.th_buckets;
         ]
+        @
+        (* the fuzzer's coverage bitmap, host-flagged like every other
+           cache observation: all zero unless [Icache.set_coverage] *)
+        (let cc = Fluxarm.Icache.cov_counts ic in
+         [
+           c ~host:true "cov/blocks_lit" cc.Fluxarm.Icache.cc_blocks_lit;
+           c ~host:true "cov/edges_lit" cc.Fluxarm.Icache.cc_edges_lit;
+           c ~host:true "cov/block_hits" cc.Fluxarm.Icache.cc_block_hits;
+           c ~host:true "cov/edge_hits" cc.Fluxarm.Icache.cc_edge_hits;
+         ])
       | Sim_switch _ -> []
     in
     let obs_rows =
@@ -1429,6 +1439,11 @@ module Make (MM : Mm.S) = struct
           match t.switcher with
           | Arm_switch cpu | Arm_mc_switch (cpu, _) ->
             Some (Fluxarm.Icache.stats (Fluxarm.Cpu.icache cpu))
+          | Sim_switch _ -> None);
+      icache =
+        (fun () ->
+          match t.switcher with
+          | Arm_switch cpu | Arm_mc_switch (cpu, _) -> Some (Fluxarm.Cpu.icache cpu)
           | Sim_switch _ -> None);
       buscache_stats = (fun () -> Memory.cache_stats t.mem);
       metrics = (fun () -> metrics_snapshot t);

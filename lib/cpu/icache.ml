@@ -72,9 +72,31 @@ let dec_slots = 1 lsl dec_bits
    Obs.Metrics: bucket i counts traces whose block count has bit length i. *)
 let th_buckets = 32
 
+(* --- coverage map (AFL-style) ---
+
+   Host-side (block-entry, edge) hit maps over the dispatch stream. Two
+   2^cov_bits byte maps of saturating counts: [cv_blocks] indexed by a
+   multiplicative hash of the block start PC, [cv_edges] by
+   [cur lxor (prev lsr 1)] in the classic AFL scheme (the shift makes
+   A->B and B->A distinct, and A->A nonzero). Allocated only when
+   coverage is switched on, so the default-path cost is one [None]
+   check per block dispatch. Never part of any snapshot, fingerprint or
+   model-visible metric. *)
+let cov_bits = 16
+let cov_slots = 1 lsl cov_bits
+
+type cov = {
+  cv_blocks : Bytes.t;
+  cv_edges : Bytes.t;
+  mutable cv_prev : int;
+  mutable cv_block_hits : int;  (* exact totals; the byte maps saturate *)
+  mutable cv_edge_hits : int;
+}
+
 type t = {
   mutable enabled : bool;
   mutable linking : bool;
+  mutable cov : cov option;
   blocks : block option array;
   dec_addr : int array;  (* -1 = empty *)
   dec_gen : int array;
@@ -103,6 +125,7 @@ let create () =
   {
     enabled = true;
     linking = linking_default ();
+    cov = None;
     blocks = Array.make block_slots None;
     dec_addr = Array.make dec_slots (-1);
     dec_gen = Array.make dec_slots (-1);
@@ -126,6 +149,114 @@ let set_enabled t v = t.enabled <- v
 let enabled t = t.enabled
 let set_linking t v = t.linking <- v
 let linking t = t.linking
+
+(* --- coverage --- *)
+
+let set_coverage t v =
+  match (v, t.cov) with
+  | true, None ->
+    t.cov <-
+      Some
+        {
+          cv_blocks = Bytes.make cov_slots '\000';
+          cv_edges = Bytes.make cov_slots '\000';
+          cv_prev = 0;
+          cv_block_hits = 0;
+          cv_edge_hits = 0;
+        }
+  | true, Some _ -> ()
+  | false, _ -> t.cov <- None
+
+let coverage t = t.cov <> None
+
+let cov_reset t =
+  match t.cov with
+  | None -> ()
+  | Some c ->
+    Bytes.fill c.cv_blocks 0 cov_slots '\000';
+    Bytes.fill c.cv_edges 0 cov_slots '\000';
+    c.cv_prev <- 0;
+    c.cv_block_hits <- 0;
+    c.cv_edge_hits <- 0
+
+(* Fibonacci-hash the halfword index of the block start into the map.
+   Flash PCs span a few KiB, so after the multiply the top [cov_bits] of
+   the low 32 carry well-mixed entropy. *)
+let cov_hash pc = ((pc lsr 1) * 0x9E3779B1) lsr (32 - cov_bits) land (cov_slots - 1)
+
+let sat_incr map i =
+  let v = Char.code (Bytes.unsafe_get map i) in
+  if v < 255 then Bytes.unsafe_set map i (Char.unsafe_chr (v + 1))
+
+let cov_note t pc =
+  match t.cov with
+  | None -> ()
+  | Some c ->
+    let cur = cov_hash pc in
+    sat_incr c.cv_blocks cur;
+    sat_incr c.cv_edges (cur lxor c.cv_prev);
+    c.cv_prev <- cur lsr 1;
+    c.cv_block_hits <- c.cv_block_hits + 1;
+    c.cv_edge_hits <- c.cv_edge_hits + 1
+
+(* AFL's 8-class count bucketing: a slot's saturating count collapses to
+   a one-bit-per-class byte, so "this edge fired 4 times" and "5 times"
+   look the same while 1 vs 2 vs 3 vs 4+ transitions still count as new
+   behaviour. *)
+(* AFL's ladder, but strictly power-of-two above 3 (AFL merges 32..127
+   into one class): a schedule that runs twice as long always crosses a
+   class boundary, so doubling a kept input is always a discovery until
+   the byte saturates — the property the evolutionary loop climbs on. *)
+let classify v =
+  if v = 0 then 0
+  else if v = 1 then 1
+  else if v = 2 then 2
+  else if v = 3 then 4
+  else if v < 8 then 8
+  else if v < 16 then 16
+  else if v < 32 then 32
+  else if v < 64 then 64
+  else if v < 128 then 128
+  else 256
+
+(* Sparse classified export: (slot, class) pairs in ascending slot order,
+   block slots [0, cov_slots), edge slots offset by [cov_slots]. A round
+   lights a few hundred slots out of 128k, so sparse keeps per-input
+   results small enough to ship through the pool and the corpus store. *)
+let cov_classified t =
+  match t.cov with
+  | None -> [||]
+  | Some c ->
+    let acc = ref [] in
+    for i = cov_slots - 1 downto 0 do
+      let v = Char.code (Bytes.unsafe_get c.cv_edges i) in
+      if v > 0 then acc := (cov_slots + i, classify v) :: !acc
+    done;
+    for i = cov_slots - 1 downto 0 do
+      let v = Char.code (Bytes.unsafe_get c.cv_blocks i) in
+      if v > 0 then acc := (i, classify v) :: !acc
+    done;
+    Array.of_list !acc
+
+type cov_counts = { cc_blocks_lit : int; cc_edges_lit : int; cc_block_hits : int; cc_edge_hits : int }
+
+let cov_counts t =
+  match t.cov with
+  | None -> { cc_blocks_lit = 0; cc_edges_lit = 0; cc_block_hits = 0; cc_edge_hits = 0 }
+  | Some c ->
+    let lit map =
+      let n = ref 0 in
+      for i = 0 to cov_slots - 1 do
+        if Bytes.unsafe_get map i <> '\000' then incr n
+      done;
+      !n
+    in
+    {
+      cc_blocks_lit = lit c.cv_blocks;
+      cc_edges_lit = lit c.cv_edges;
+      cc_block_hits = c.cv_block_hits;
+      cc_edge_hits = c.cv_edge_hits;
+    }
 
 (* Sever every trace link before dropping the block array: a block that
    outlives the reset in some caller's hands must not keep a chain of

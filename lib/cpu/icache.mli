@@ -116,6 +116,58 @@ val linking_default : unit -> bool
     environment default. The A/B benchmark uses it to restore the ambient
     engine after forcing each side. *)
 
+(** {1 Coverage map}
+
+    AFL-style (block-entry, edge) hit maps over the dispatch stream, for
+    the coverage-guided fuzzer (see docs/FUZZING.md). Host-side cache
+    observation only: maps are allocated lazily by {!set_coverage}, are
+    never part of a snapshot or fingerprint, and surface in the unified
+    metrics snapshot only as [host]-flagged entries — so model-visible
+    behaviour is byte-identical with coverage on or off. *)
+
+val cov_bits : int
+(** Map size exponent: each of the two maps has [2^cov_bits] slots. *)
+
+val cov_slots : int
+
+val set_coverage : t -> bool -> unit
+(** Enable (allocating the maps on first use) or disable (dropping them).
+    Off by default; when off, {!cov_note} is a single [None] check. *)
+
+val coverage : t -> bool
+
+val cov_reset : t -> unit
+(** Zero both maps, the edge-hash history and the hit totals — called at
+    the top of every fuzz input so the per-input bitmap is a pure function
+    of that input. Independent of {!reset}: dropping cached blocks does
+    not lose coverage, and vice versa. *)
+
+val cov_note : t -> Word32.t -> unit
+(** Record one block dispatch at [pc]: bump the block slot
+    [hash pc] and the edge slot [hash pc lxor (prev lsr 1)], AFL-style.
+    Called by {!Mc.run} once per block entry, identically on the cold
+    (build), warm (per-block) and linked (superblock) paths. *)
+
+val cov_classified : t -> (int * int) array
+(** The bucketed coverage bitmap, sparse: [(slot, class)] pairs in
+    ascending slot order for every lit slot, where block slots occupy
+    [0, cov_slots) and edge slots [cov_slots, 2*cov_slots), and [class]
+    is the count bucket (a power of two in [1, 256]): AFL's ladder made
+    strictly power-of-two above 3 — 1, 2, 3, 4–7, 8–15, 16–31, 32–63,
+    64–127, 128+ hits — so a schedule running twice as long always
+    crosses a class boundary (what the evolutionary loop climbs on).
+    Empty when coverage is off. *)
+
+type cov_counts = {
+  cc_blocks_lit : int;  (** distinct block slots hit since {!cov_reset} *)
+  cc_edges_lit : int;  (** distinct edge slots hit since {!cov_reset} *)
+  cc_block_hits : int;  (** exact total block dispatches noted *)
+  cc_edge_hits : int;  (** exact total edges noted *)
+}
+
+val cov_counts : t -> cov_counts
+(** All zero when coverage is off. *)
+
 val reset : t -> unit
 (** Drop every cached decode and block, sever every trace link (including
     indirect inline-cache slots), and zero the statistics. *)

@@ -289,6 +289,7 @@ let run ?(fuel = 10_000) cpu =
         | Some b when stamp_ok mem b ->
           if linking then trace b n
           else begin
+            Icache.cov_note ic pc;
             let used, stop = exec_block cpu mem b n in
             Icache.record_hit ic used;
             (match stop with Some s -> s | None -> loop (n - used))
@@ -337,7 +338,11 @@ let run ?(fuel = 10_000) cpu =
         | Some s when stamp_ok mem s && valid s pc' -> Some s
         | _ -> None
       in
+      (* coverage sees one note per block entry here, exactly as the
+         unlinked dispatcher would have produced — the fuzzer's bitmap is
+         superblock-invariant *)
       let rec chain b n blocks =
+        Icache.cov_note ic b.Icache.start;
         let used, stop =
           if n >= Array.length b.Icache.entries then exec_block_fast mem b
           else exec_block cpu mem b n
@@ -406,6 +411,7 @@ let run ?(fuel = 10_000) cpu =
        then publish it for the next visit. Execution is the slow path
        verbatim — the recording is invisible. *)
     and build pc0 n0 =
+      Icache.cov_note ic pc0;
       Icache.record_miss ic;
       let gen0 = Memory.code_generation mem in
       let g =

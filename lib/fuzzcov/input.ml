@@ -1,0 +1,225 @@
+(** Fuzz inputs as genomes.
+
+    {!Apps.Fuzz.random_script} derives a whole syscall stream from one
+    seed — a single gene, useless for evolution because any mutation
+    rewrites the entire schedule. Here an input is an {e op array}: each
+    op decides one step of the hostile app (which syscall, which
+    arguments), plus a tick budget bounding the scheduler run (the
+    interrupt schedule). Mutating one op perturbs one step and leaves the
+    prefix — and therefore the coverage it earned — intact, which is what
+    makes hill-climbing on the coverage bitmap work.
+
+    Everything is deterministic: {!script} derives all per-step detail
+    from the op value itself (a step-local [Random.State], seeded by the
+    op), and {!fresh}/{!mutate} draw only from the caller's RNG, so a
+    candidate is a pure function of (campaign seed, generation, slot) and
+    the corpus it descends from. *)
+
+open Apps.App_dsl
+
+type t = {
+  in_ticks : int;  (** scheduler budget: the interrupt-schedule gene *)
+  in_ops : int array;  (** one op per hostile-app step *)
+}
+
+let min_ticks = 200
+let op_range = 0x3FFF_FFFF
+
+(* --- wire encoding: one token, no whitespace ---
+
+   ["<ticks>:<op>,<op>,..."] — store records and replay bundles embed
+   inputs in space-separated lines, so the encoding must be one token. *)
+
+let encode g =
+  Printf.sprintf "%d:%s" g.in_ticks
+    (String.concat "," (List.map string_of_int (Array.to_list g.in_ops)))
+
+let decode s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    try
+      let ticks = int_of_string (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let ops =
+        if rest = "" then [||]
+        else Array.of_list (List.map int_of_string (String.split_on_char ',' rest))
+      in
+      if ticks < 1 || Array.length ops = 0 then None else Some { in_ticks = ticks; in_ops = ops }
+    with Failure _ -> None)
+
+(* --- generation and mutation --- *)
+
+let fresh ~rng ~steps_max ~ticks_max =
+  {
+    in_ticks = min_ticks + Random.State.int rng (max 1 (ticks_max - min_ticks + 1));
+    in_ops =
+      Array.init
+        (1 + Random.State.int rng (max 1 steps_max))
+        (fun _ -> Random.State.int rng op_range);
+  }
+
+(* One of the classic AFL havoc moves, 1–4 of them per child. Structural
+   moves (insert/delete/splice/double) mutate the syscall schedule; the
+   ticks nudge and scale mutate the interrupt schedule; point/xor moves
+   mutate one step's opcode or arguments. The doubling moves matter
+   because the coverage bitmap buckets hit counts into AFL's power-of-two
+   classes: a surviving schedule that runs twice as long jumps a whole
+   count class in one hop, which insert-one-op hill climbing cannot. *)
+let mutate ~rng ~steps_max ~ticks_max parent =
+  let g = ref parent in
+  let len () = Array.length !g.in_ops in
+  let nmut = 1 + Random.State.int rng 4 in
+  for _ = 1 to nmut do
+    match Random.State.int rng 8 with
+    | 0 ->
+      (* point replace *)
+      let ops = Array.copy !g.in_ops in
+      ops.(Random.State.int rng (len ())) <- Random.State.int rng op_range;
+      g := { !g with in_ops = ops }
+    | 1 when len () < steps_max ->
+      (* insert *)
+      let p = Random.State.int rng (len () + 1) in
+      let ops =
+        Array.init (len () + 1) (fun i ->
+            if i < p then !g.in_ops.(i)
+            else if i = p then Random.State.int rng op_range
+            else !g.in_ops.(i - 1))
+      in
+      g := { !g with in_ops = ops }
+    | 2 when len () > 1 ->
+      (* delete *)
+      let p = Random.State.int rng (len ()) in
+      let ops =
+        Array.init (len () - 1) (fun i -> if i < p then !g.in_ops.(i) else !g.in_ops.(i + 1))
+      in
+      g := { !g with in_ops = ops }
+    | 3 ->
+      (* splice: duplicate a short slice elsewhere in the schedule *)
+      let n = min (1 + Random.State.int rng 8) (len ()) in
+      let src = Random.State.int rng (len () - n + 1) in
+      let dst = Random.State.int rng (len () + 1) in
+      let total = min steps_max (len () + n) in
+      let keep = total - n in
+      if keep >= 0 && n > 0 then begin
+        let dst = min dst keep in
+        let ops =
+          Array.init total (fun i ->
+              if i < dst then !g.in_ops.(i)
+              else if i < dst + n then !g.in_ops.(src + i - dst)
+              else !g.in_ops.(i - n))
+        in
+        g := { !g with in_ops = ops }
+      end
+    | 4 ->
+      (* interrupt-schedule nudge *)
+      let d = Random.State.int rng 801 - 400 in
+      let t = max min_ticks (min ticks_max (!g.in_ticks + d)) in
+      g := { !g with in_ticks = t }
+    | 5 when len () * 2 <= steps_max ->
+      (* double the syscall schedule: count-class ladder hop *)
+      g := { !g with in_ops = Array.append !g.in_ops !g.in_ops }
+    | 6 ->
+      (* scale the interrupt schedule by 2 or 1/2: same ladder hop on
+         preemption counts *)
+      let t = if Random.State.bool rng then !g.in_ticks * 2 else !g.in_ticks / 2 in
+      g := { !g with in_ticks = max min_ticks (min ticks_max t) }
+    | _ ->
+      (* low-bit xor: same step class, different arguments *)
+      let ops = Array.copy !g.in_ops in
+      let p = Random.State.int rng (len ()) in
+      ops.(p) <- ops.(p) lxor (1 lsl Random.State.int rng 24);
+      g := { !g with in_ops = ops }
+  done;
+  !g
+
+(* --- the genome-driven hostile app ---
+
+   The step mix mirrors Apps.Fuzz.random_script (wild brk/sbrk, allow of
+   unowned buffers, random commands, memop probes, in-bounds traffic,
+   out-of-sandbox accesses) plus an explicit yield step, so upcall
+   delivery and park/preempt interleavings are part of the searchable
+   schedule space. The op's low two decimal digits pick the step class;
+   a step-local RNG seeded by the whole op supplies the arguments. *)
+let script (g : t) : int Apps.App_dsl.t =
+  let* ms = memory_start in
+  let* ab = memory_end in
+  let nops = Array.length g.in_ops in
+  let rec go i =
+    if i >= nops then return 0
+    else begin
+      let op = g.in_ops.(i) in
+      let rng = Random.State.make [| op; 0xF0C5 |] in
+      let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+      let in_bounds () = ms + Random.State.int rng (max (ab - ms - 4) 4) in
+      let wild_word () =
+        pick
+          [
+            0;
+            Random.State.int rng 0x1000;
+            ms - Random.State.int rng 4096;
+            ms + Random.State.int rng 16384;
+            ab + Random.State.int rng 8192;
+            Word32.max_value - Random.State.int rng 64;
+          ]
+      in
+      let step =
+        match op mod 100 with
+        | c when c < 12 ->
+          let* _ =
+            if Random.State.bool rng then brk (wild_word ())
+            else sbrk (Random.State.int rng 8192 - 4096)
+          in
+          return ()
+        | c when c < 28 ->
+          let addr = if Random.State.bool rng then in_bounds () else wild_word () in
+          let len = Random.State.int rng 512 in
+          let* _ =
+            if Random.State.bool rng then allow_rw ~driver:(Random.State.int rng 12) ~addr ~len
+            else allow_ro ~driver:(Random.State.int rng 12) ~addr ~len
+          in
+          return ()
+        | c when c < 48 ->
+          let* _ =
+            command
+              ~driver:(Random.State.int rng 12)
+              ~cmd:(Random.State.int rng 6)
+              ~arg1:(Random.State.int rng 0x10000)
+              ~arg2:(Random.State.int rng 0x10000)
+              ()
+          in
+          return ()
+        | c when c < 58 ->
+          let* _ =
+            subscribe ~driver:(Random.State.int rng 12) ~upcall_id:(Random.State.int rng 4)
+          in
+          return ()
+        | c when c < 66 ->
+          let* _ = memop ~op:(Random.State.int rng 8) ~arg:(wild_word ()) () in
+          return ()
+        | c when c < 74 ->
+          let* _ = yield in
+          return ()
+        | c when c < 96 ->
+          (* mostly in-bounds traffic, but 1 in 4 goes wild: long-surviving
+             schedules are exponentially rare for a fresh draw, yet a parent
+             that survives its ops survives them deterministically — so the
+             doubling mutation inherits survival, and high syscall-count
+             classes are reachable by evolution but not by blind sampling *)
+          let a = if Random.State.int rng 4 = 0 then wild_word () else in_bounds () in
+          if Random.State.bool rng then
+            let* _ = store8 a (Random.State.int rng 256) in
+            return ()
+          else
+            let* _ = load8 a in
+            return ()
+        | _ ->
+          let a = pick (Apps.Fuzz.hostile_addresses ~ms ~ab) in
+          let* _ = load8 a in
+          return ()
+      in
+      let* () = step in
+      go (i + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,71 @@
+(* Crash classes over contract-violation sites. See taxonomy.mli. *)
+
+type cls =
+  | Spatial_isolation
+  | Memory_management
+  | Context_switch
+  | Dma_isolation
+  | Arithmetic_lemma
+  | Kernel_panic
+  | Witness_corruption
+  | Other
+
+let all =
+  [
+    Spatial_isolation;
+    Memory_management;
+    Context_switch;
+    Dma_isolation;
+    Arithmetic_lemma;
+    Kernel_panic;
+    Witness_corruption;
+    Other;
+  ]
+
+let name = function
+  | Spatial_isolation -> "spatial-isolation"
+  | Memory_management -> "memory-management"
+  | Context_switch -> "context-switch"
+  | Dma_isolation -> "dma-isolation"
+  | Arithmetic_lemma -> "arithmetic-lemma"
+  | Kernel_panic -> "kernel-panic"
+  | Witness_corruption -> "witness-corruption"
+  | Other -> "other"
+
+let of_name s = List.find_opt (fun c -> name c = s) all
+
+(* Site names are free-form ("mc switch_to_user_part1: thread privileged",
+   "DmaBuffer.read", "lemma_pow2_octet") — classify on a case-insensitive
+   prefix of the whole string, longest-first where prefixes overlap. *)
+let patterns =
+  [
+    ("lemma", Arithmetic_lemma);
+    ("dma", Dma_isolation);
+    ("cortexmregion", Spatial_isolation);
+    ("armv8mregion", Spatial_isolation);
+    ("pmpregion", Spatial_isolation);
+    ("create_exact_region", Spatial_isolation);
+    ("new_regions", Spatial_isolation);
+    ("update_regions", Spatial_isolation);
+    ("epmp", Spatial_isolation);
+    ("pmp", Spatial_isolation);
+    ("v8", Spatial_isolation);
+    ("appmemoryallocator", Memory_management);
+    ("process", Memory_management);
+    ("mc", Context_switch);
+    ("exn", Context_switch);
+    ("switch_to_user", Context_switch);
+    ("control_flow", Context_switch);
+    ("msr", Context_switch);
+    ("preempt", Context_switch);
+    ("movw", Context_switch);
+    ("movt", Context_switch);
+    ("pseudo_ldr", Context_switch);
+  ]
+
+let class_of_site site =
+  let s = String.lowercase_ascii site in
+  let starts p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  match List.find_opt (fun (p, _) -> starts p) patterns with
+  | Some (_, c) -> c
+  | None -> Other

@@ -1,0 +1,48 @@
+(** Crash-class taxonomy over the contract-violation sites.
+
+    Every contracted site in the kernel names itself when it raises
+    {!Violation.Violation}; this module folds those free-form site names
+    into the handful of isolation-property classes that separation-kernel
+    verification surveys enumerate (Zhao, PAPERS.md) — spatial isolation,
+    memory management, control transfer, DMA containment, proved
+    arithmetic — plus the two fuzzer-observable failures that are not
+    contract firings at all: a kernel panic (denial of service) and a
+    corrupted witness (an isolation breach that no contract caught, the
+    worst class). The coverage-guided fuzzer triages every crasher
+    through {!class_of_site}; docs/FUZZING.md walks the workflow. *)
+
+type cls =
+  | Spatial_isolation
+      (** MPU/PMP region geometry or programming: [CortexMRegion],
+          [Armv8mRegion], [PmpRegion], [update_regions], [epmp], ... *)
+  | Memory_management
+      (** process memory allocator and break discipline:
+          [AppMemoryAllocator], [process] *)
+  | Context_switch
+      (** exception entry/return, privilege transitions and the
+          machine-code switch paths: [exn.*], [switch_to_user_*], [mc*],
+          [msr], [preempt], ... *)
+  | Dma_isolation  (** DMA engine/buffer containment: [Dma*] *)
+  | Arithmetic_lemma  (** proved arithmetic lemmas: [lemma_*] *)
+  | Kernel_panic
+      (** the kernel died without a contract firing — denial of service,
+          not (necessarily) an isolation failure *)
+  | Witness_corruption
+      (** the witness process observed corrupted state with no contract
+          fired — an isolation breach escaping the checkers *)
+  | Other  (** a contract site no class pattern recognises *)
+
+val all : cls list
+(** Every class, in declaration order — test harnesses iterate this to
+    prove each class is reachable from a synthetic crasher. *)
+
+val name : cls -> string
+(** Stable kebab-case identifier, e.g. ["spatial-isolation"]; used in
+    fuzzer reports and replay bundles. *)
+
+val of_name : string -> cls option
+(** Inverse of {!name}. *)
+
+val class_of_site : string -> cls
+(** Classify a {!Violation.t} site string (never returns {!Kernel_panic}
+    or {!Witness_corruption} — those are not contract sites). *)

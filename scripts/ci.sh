@@ -192,4 +192,51 @@ else:
     print("fleet smoke ok: %d cells, reports identical (1-core host: scaling gate skipped, measured %.2fx)"
           % (data["cells"], data["speedup_1_to_2"]))
 EOF
+# Fuzzcov smoke: the guided campaign's report must be byte-identical at
+# every jobs setting, and a killed campaign (--stop-after) resumed from
+# its store must reproduce the uninterrupted report exactly — same
+# stdout-is-the-oracle discipline as the fleet smoke above.
+dune exec bin/ticktock_cli.exe -- fuzzcov -g 8 -j 1 -o /tmp/ci_fc_j1.txt
+dune exec bin/ticktock_cli.exe -- fuzzcov -g 8 -j 2 -o /tmp/ci_fc_j2.txt
+diff /tmp/ci_fc_j1.txt /tmp/ci_fc_j2.txt
+rm -f /tmp/ci_fc.store
+if dune exec bin/ticktock_cli.exe -- fuzzcov -g 8 -j 2 --store /tmp/ci_fc.store --stop-after 3 2>/dev/null; then
+  echo "fuzzcov: interrupted campaign did NOT exit nonzero"
+  exit 1
+fi
+dune exec bin/ticktock_cli.exe -- fuzzcov -g 8 -j 2 --store /tmp/ci_fc.store --resume -o /tmp/ci_fc_resumed.txt
+diff /tmp/ci_fc_j1.txt /tmp/ci_fc_resumed.txt
+
+# Crash triage: upstream Tock crashes under the fuzzer (the §2.2 wild-brk
+# panic), so the campaign exits 2 by design; the first crasher must come
+# out as a bundle and replaying that bundle must reproduce the same
+# (class, site) — exit 0 from --replay is the reproduction oracle.
+fc_status=0
+dune exec bin/ticktock_cli.exe -- fuzzcov -k tock-arm-upstream -g 4 --bundle /tmp/ci_fc.bundle -o /tmp/ci_fc_upstream.txt || fc_status=$?
+if [ "$fc_status" != 2 ]; then
+  echo "fuzzcov: upstream campaign did not find a crasher (exit $fc_status)"
+  exit 1
+fi
+dune exec bin/ticktock_cli.exe -- fuzzcov --replay /tmp/ci_fc.bundle
+
+# Fuzzcov bench gate: guided evolution must reach the coverage target —
+# the guided run's final bucket count — in fewer execs than blind random
+# generation (FUZZCOV_GENS keeps CI fast; guidance is a deterministic
+# function of the model, so this gate applies even on 1-core runners:
+# only throughput numbers depend on the host, and those are not gated).
+FUZZCOV_GENS=${FUZZCOV_GENS:-24} dune exec bench/main.exe -- fuzzcov
+python3 - <<'EOF'
+import json
+with open("BENCH_fuzzcov.json") as f:
+    data = json.load(f)
+g, b = data["guided"], data["blind"]
+assert g["bits"] > b["bits"], f"guided found no more buckets than blind ({g['bits']} vs {b['bits']})"
+assert data["guided_wins"], "guided did not reach the coverage target in fewer execs than blind"
+assert g["execs_to_target"] is not None and g["execs_to_target"] <= g["execs"], \
+    f"guided never reached its own target ({g['execs_to_target']})"
+assert g["crashers"] == 0, f"ticktock board crashed under fuzzing ({g['crashers']} crashers)"
+blind_str = b["execs_to_target"] if b["execs_to_target"] is not None else "never"
+print("fuzzcov smoke ok: %d buckets in %s execs guided vs %s blind (%d-core host)"
+      % (data["target_bits"], g["execs_to_target"], blind_str, data["host_cores"]))
+EOF
 echo "ci ok"

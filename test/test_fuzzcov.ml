@@ -1,0 +1,265 @@
+(* The coverage-guided fuzzer. The load-bearing properties:
+
+   - the icache coverage map: bucket classification follows the
+     power-of-two ladder, reset really zeroes, and the note stream is
+     identical on the per-block and superblock engines (the two engines
+     dispatch the same pc sequence — PR 6's invariant — so the bitmap
+     cannot depend on TICKTOCK_SUPERBLOCK);
+   - host-flag invisibility: switching coverage on changes nothing the
+     model can see — console output and model-only metrics are
+     byte-identical with the map on or off;
+   - campaign determinism: the report is byte-identical across
+     TICKTOCK_JOBS settings and across a kill (stop_after) / resume
+     split through the store;
+   - triage: every crash class the engine can emit maps into the
+     [Verify.Taxonomy], and a crasher bundle round-trips through its
+     file format and replays to the same (class, site). *)
+
+open Ticktock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- the coverage map itself --- *)
+
+let test_cov_classes () =
+  let ic = Fluxarm.Icache.create () in
+  check_bool "coverage starts off" false (Fluxarm.Icache.coverage ic);
+  Fluxarm.Icache.cov_note ic 0x100;
+  check_int "note with coverage off is a no-op" 0
+    (Array.length (Fluxarm.Icache.cov_classified ic));
+  Fluxarm.Icache.set_coverage ic true;
+  (* hit one pc n times; its block slot must land in class (bucket n) *)
+  let class_of n =
+    Fluxarm.Icache.cov_reset ic;
+    for _ = 1 to n do
+      Fluxarm.Icache.cov_note ic 0x100
+    done;
+    let blocks =
+      Fluxarm.Icache.cov_classified ic |> Array.to_list
+      |> List.filter (fun (s, _) -> s < Fluxarm.Icache.cov_slots)
+    in
+    check_int "one pc lights exactly one block slot" 1 (List.length blocks);
+    snd (List.hd blocks)
+  in
+  List.iter
+    (fun (n, cls) -> check_int (Printf.sprintf "%d hits -> class %d" n cls) cls (class_of n))
+    [ (1, 1); (2, 2); (3, 4); (4, 8); (7, 8); (8, 16); (16, 32); (32, 64); (63, 64);
+      (64, 128); (127, 128); (128, 256); (300, 256) ];
+  Fluxarm.Icache.cov_reset ic;
+  check_int "reset zeroes the map" 0 (Array.length (Fluxarm.Icache.cov_classified ic));
+  Fluxarm.Icache.set_coverage ic false;
+  check_bool "disable drops the map" false (Fluxarm.Icache.coverage ic)
+
+let test_cov_edges () =
+  let ic = Fluxarm.Icache.create () in
+  Fluxarm.Icache.set_coverage ic true;
+  (* A->B and B->A must be distinct edge slots (the prev lsr 1 trick) *)
+  Fluxarm.Icache.cov_note ic 0x100;
+  Fluxarm.Icache.cov_note ic 0x200;
+  let ab = Fluxarm.Icache.cov_classified ic in
+  Fluxarm.Icache.cov_reset ic;
+  Fluxarm.Icache.cov_note ic 0x200;
+  Fluxarm.Icache.cov_note ic 0x100;
+  let ba = Fluxarm.Icache.cov_classified ic in
+  check_bool "A->B and B->A light different bitmaps" true (ab <> ba);
+  let cc = Fluxarm.Icache.cov_counts ic in
+  check_int "two block hits counted" 2 cc.Fluxarm.Icache.cc_block_hits;
+  check_int "two edges counted" 2 cc.Fluxarm.Icache.cc_edge_hits
+
+(* --- one genome, one board: the exec fixture --- *)
+
+let some_genome =
+  { Fuzzcov.Input.in_ticks = 1500; in_ops = Array.init 40 (fun i -> (i * 7919) + 3) }
+
+let run_genome ?(linking = None) board g =
+  let k = Fuzzcov.Engine.make_board board in
+  (match (linking, k.Instance.icache ()) with
+  | Some l, Some ic -> Fluxarm.Icache.set_linking ic l
+  | _ -> ());
+  let r =
+    Verify.Violation.with_enabled
+      (Fuzzcov.Engine.contracts_for board)
+      (fun () -> Fuzzcov.Engine.run_input k g)
+  in
+  (k, r)
+
+let test_bitmap_superblock_invariant () =
+  (* same genome, superblock engine forced on vs off: dispatch streams are
+     identical (PR 6), so the classified bitmap must be too *)
+  let _, on_ = run_genome ~linking:(Some true) "ticktock-arm-mc" some_genome in
+  let _, off = run_genome ~linking:(Some false) "ticktock-arm-mc" some_genome in
+  check_bool "bitmaps identical across superblock on/off" true
+    (on_.Fuzzcov.Engine.ex_cov = off.Fuzzcov.Engine.ex_cov);
+  check_int "hit totals identical too" on_.Fuzzcov.Engine.ex_hits off.Fuzzcov.Engine.ex_hits;
+  check_bool "the genome actually lit something" true
+    (Array.length on_.Fuzzcov.Engine.ex_cov > 0)
+
+let test_coverage_model_invisible () =
+  (* the same input with the coverage map on vs never touched: everything
+     model-visible — console bytes and model-only metrics — is identical *)
+  let with_cov, r_on = run_genome "ticktock-arm-mc" some_genome in
+  let bare = Fuzzcov.Engine.make_board "ticktock-arm-mc" in
+  let load name payload program =
+    bare.Instance.load ~name ~payload ~program ~min_ram:2048 ~grant_reserve:1024
+      ~heap_headroom:2048
+    |> Result.get_ok |> ignore
+  in
+  load "witness" "w" (Apps.App_dsl.to_program Fuzzcov.Engine.witness_script);
+  load "gen" "g" (Apps.App_dsl.to_program (Fuzzcov.Input.script some_genome));
+  Verify.Violation.with_enabled true (fun () ->
+      try bare.Instance.run ~max_ticks:some_genome.Fuzzcov.Input.in_ticks with
+      | Tock_cortexm_mpu.Kernel_panic _ | Verify.Violation.Violation _ -> ());
+  check_bool "coverage map was live on the instrumented run" true
+    (r_on.Fuzzcov.Engine.ex_hits > 0);
+  check_string "console byte-identical with coverage on"
+    (bare.Instance.console ()) (with_cov.Instance.console ());
+  check_string "model-only metrics byte-identical with coverage on"
+    (Obs.Metrics.to_text (Obs.Metrics.model_only (bare.Instance.metrics ())))
+    (Obs.Metrics.to_text (Obs.Metrics.model_only (with_cov.Instance.metrics ())))
+
+(* --- campaign determinism --- *)
+
+let small_spec = { Fuzzcov.Engine.default_spec with Fuzzcov.Engine.fc_gens = 6 }
+
+let test_campaign_jobs_determinism () =
+  let r1 = Fuzzcov.Engine.run ~jobs:1 small_spec in
+  let r3 = Fuzzcov.Engine.run ~jobs:3 small_spec in
+  check_bool "campaign completed" true r1.Fuzzcov.Engine.fz_complete;
+  check_string "report byte-identical jobs 1 vs 3" r1.Fuzzcov.Engine.fz_report
+    r3.Fuzzcov.Engine.fz_report;
+  check_bool "the run was actually guided (corpus grew)" true
+    (r1.Fuzzcov.Engine.fz_corpus <> []);
+  check_bool "coverage was live (buckets lit)" true (r1.Fuzzcov.Engine.fz_bits > 0)
+
+let with_tmp_store f =
+  let path = Filename.temp_file "fuzzcov" ".store" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_campaign_kill_resume () =
+  with_tmp_store (fun path ->
+      let whole = Fuzzcov.Engine.run small_spec in
+      let killed = Fuzzcov.Engine.run ~store:path ~stop_after:3 small_spec in
+      check_bool "killed run is incomplete" false killed.Fuzzcov.Engine.fz_complete;
+      check_int "killed run executed the budget" 3 killed.Fuzzcov.Engine.fz_ran_gens;
+      let resumed = Fuzzcov.Engine.run ~store:path ~resume:true small_spec in
+      check_bool "resumed run completes" true resumed.Fuzzcov.Engine.fz_complete;
+      check_int "resume recovered the committed generations" 3
+        resumed.Fuzzcov.Engine.fz_resumed_gens;
+      check_int "resume executed only the rest" 3 resumed.Fuzzcov.Engine.fz_ran_gens;
+      check_string "report byte-identical to the uninterrupted run"
+        whole.Fuzzcov.Engine.fz_report resumed.Fuzzcov.Engine.fz_report)
+
+let test_store_spec_mismatch () =
+  with_tmp_store (fun path ->
+      let _ = Fuzzcov.Engine.run ~store:path ~stop_after:1 small_spec in
+      let other = { small_spec with Fuzzcov.Engine.fc_seed = 99 } in
+      check_bool "resume refuses a different spec" true
+        (match Fuzzcov.Engine.run ~store:path ~resume:true other with
+        | _ -> false
+        | exception Fleet.Store.Refused _ -> true))
+
+(* --- triage: crash classes against the taxonomy --- *)
+
+let test_taxonomy_total () =
+  (* name/of_name round-trips over the whole taxonomy *)
+  List.iter
+    (fun c ->
+      match Verify.Taxonomy.of_name (Verify.Taxonomy.name c) with
+      | Some c' -> check_bool (Verify.Taxonomy.name c ^ " round-trips") true (c = c')
+      | None -> Alcotest.fail "taxonomy name does not round-trip")
+    Verify.Taxonomy.all;
+  (* representative real contract sites classify into each non-synthetic class *)
+  let site_of = Verify.Taxonomy.class_of_site in
+  check_bool "region sites are spatial" true
+    (site_of "CortexMRegion.create: start alignment" = Verify.Taxonomy.Spatial_isolation);
+  check_bool "v8 sites are spatial" true
+    (site_of "ARMv8MRegion.limit" = Verify.Taxonomy.Spatial_isolation);
+  check_bool "allocator sites are memory management" true
+    (site_of "AppMemoryAllocator.brk" = Verify.Taxonomy.Memory_management);
+  check_bool "switch sites are context switch" true
+    (site_of "mc switch_to_user_part1: thread privileged" = Verify.Taxonomy.Context_switch);
+  check_bool "dma sites are dma isolation" true
+    (site_of "DmaBuffer.read" = Verify.Taxonomy.Dma_isolation);
+  check_bool "lemma sites are arithmetic" true
+    (site_of "lemma_pow2_octet" = Verify.Taxonomy.Arithmetic_lemma);
+  check_bool "unknown sites fall through to Other" true
+    (site_of "weird new subsystem" = Verify.Taxonomy.Other)
+
+let test_engine_crash_classes_in_taxonomy () =
+  (* every crash the engine can construct carries a class the taxonomy
+     names — the report/bundle formats depend on it *)
+  let classes =
+    [
+      Verify.Taxonomy.class_of_site "CortexMRegion.overlap" (* a Violation *);
+      Verify.Taxonomy.Kernel_panic (* Tock_cortexm_mpu.Kernel_panic *);
+      Verify.Taxonomy.Witness_corruption (* silent witness corruption *);
+    ]
+  in
+  List.iter
+    (fun c ->
+      check_bool "engine crash class is in the taxonomy" true (List.mem c Verify.Taxonomy.all);
+      check_bool "and has a parseable name" true
+        (Verify.Taxonomy.of_name (Verify.Taxonomy.name c) = Some c))
+    classes
+
+let find_crasher () =
+  (* the §2.2 wild-brk panic: upstream Tock crashes under the fuzzer fast *)
+  let spec =
+    {
+      Fuzzcov.Engine.default_spec with
+      Fuzzcov.Engine.fc_board = "tock-arm-upstream";
+      fc_gens = 8;
+    }
+  in
+  let r = Fuzzcov.Engine.run spec in
+  match r.Fuzzcov.Engine.fz_crashers with
+  | c :: _ -> c
+  | [] -> Alcotest.fail "no crasher found on upstream Tock in 8 generations"
+
+let test_crasher_and_bundle_roundtrip () =
+  let c = find_crasher () in
+  check_bool "crasher class is in the taxonomy" true
+    (List.mem c.Fuzzcov.Engine.cr_class Verify.Taxonomy.all);
+  let b = Fuzzcov.Engine.bundle_of_crasher ~board:"tock-arm-upstream" c in
+  with_tmp_store (fun path ->
+      Fuzzcov.Engine.write_bundle path b;
+      match Fuzzcov.Engine.read_bundle path with
+      | None -> Alcotest.fail "bundle does not round-trip"
+      | Some b' ->
+        check_bool "bundle round-trips" true (b = b');
+        let reproduced, observed = Fuzzcov.Engine.replay b' in
+        check_bool "crasher replays to the same (class, site)" true reproduced;
+        check_bool "replay observed a crash" true (observed <> None))
+
+(* --- genome wire format --- *)
+
+let test_input_roundtrip () =
+  let enc = Fuzzcov.Input.encode some_genome in
+  check_bool "encoding is one whitespace-free token" false
+    (String.contains enc ' ' || String.contains enc '\n');
+  (match Fuzzcov.Input.decode enc with
+  | Some g -> check_bool "genome round-trips" true (g = some_genome)
+  | None -> Alcotest.fail "genome does not decode");
+  check_bool "garbage is rejected" true (Fuzzcov.Input.decode "not-a-genome" = None);
+  check_bool "empty op list is rejected" true (Fuzzcov.Input.decode "100:" = None)
+
+let suite =
+  [
+    Alcotest.test_case "cov: count classes" `Quick test_cov_classes;
+    Alcotest.test_case "cov: edge direction" `Quick test_cov_edges;
+    Alcotest.test_case "bitmap invariant across superblock" `Quick
+      test_bitmap_superblock_invariant;
+    Alcotest.test_case "coverage is model-invisible" `Quick test_coverage_model_invisible;
+    Alcotest.test_case "campaign: jobs determinism" `Quick test_campaign_jobs_determinism;
+    Alcotest.test_case "campaign: kill/resume" `Quick test_campaign_kill_resume;
+    Alcotest.test_case "store: spec mismatch refused" `Quick test_store_spec_mismatch;
+    Alcotest.test_case "taxonomy is total" `Quick test_taxonomy_total;
+    Alcotest.test_case "crash classes are in the taxonomy" `Quick
+      test_engine_crash_classes_in_taxonomy;
+    Alcotest.test_case "crasher bundle round-trip and replay" `Quick
+      test_crasher_and_bundle_roundtrip;
+    Alcotest.test_case "genome wire format" `Quick test_input_roundtrip;
+  ]
