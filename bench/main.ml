@@ -1267,6 +1267,113 @@ let fleet_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The multi-board fabric campaign: N boards interleaved under one virtual
+   clock, a power cut at every tick, on the same work-stealing pool. The
+   gates CI cares about: reports byte-identical across jobs settings, and
+   zero silent cross-board corruption over the whole lattice. *)
+
+let fabric_row ~spec jobs =
+  let frames0 = Obs.Metrics.host_read "fabric/frames_sent" in
+  let r = ref None in
+  let secs =
+    bus_time (fun () ->
+        Verify.Violation.with_enabled true (fun () ->
+            r := Some (Fabric.Campaign.run ~jobs spec)))
+  in
+  let r = Option.get !r in
+  let frames = Obs.Metrics.host_read "fabric/frames_sent" - frames0 in
+  let silent =
+    Array.fold_left
+      (fun a -> function Some c -> a + c.Fabric.Campaign.fc_silent | None -> a)
+      0 r.Fabric.Campaign.fb_cells
+  in
+  let per n = float_of_int n /. secs in
+  ( jobs,
+    secs,
+    per frames (* frames/sec *),
+    per (r.Fabric.Campaign.fb_ran * 3) (* boards interleaved/sec *),
+    per r.Fabric.Campaign.fb_ran (* cut points/sec *),
+    silent,
+    r.Fabric.Campaign.fb_ok,
+    r.Fabric.Campaign.fb_report )
+
+let fabric_json ~spec ~host_cores ~rows ~identical =
+  let oc = open_out "BENCH_fabric.json" in
+  let row_json =
+    String.concat ",\n"
+      (List.map
+         (fun (jobs, secs, fps, bps, cps, silent, ok, _) ->
+           Printf.sprintf
+             "    { \"jobs\": %d, \"seconds\": %.3f, \"frames_per_sec\": %.0f, \
+              \"boards_per_sec\": %.0f, \"cut_points_per_sec\": %.0f, \
+              \"silent_corruptions\": %d, \"ok\": %b }"
+             jobs secs fps bps cps silent ok)
+         rows)
+  in
+  let t_of j =
+    let _, secs, _, _, _, _, _, _ =
+      List.find (fun (j', _, _, _, _, _, _, _) -> j' = j) rows
+    in
+    secs
+  in
+  let silent_total =
+    List.fold_left (fun a (_, _, _, _, _, s, _, _) -> a + s) 0 rows
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fabric\",\n\
+    \  \"plans\": %d,\n\
+    \  \"cuts_per_plan\": %d,\n\
+    \  \"boards_interleaved\": 3,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"scaling\": [\n%s\n  ],\n\
+    \  \"speedup_1_to_2\": %.2f,\n\
+    \  \"silent_corruptions\": %d,\n\
+    \  \"reports_identical\": %b\n\
+     }\n"
+    (List.length spec.Fabric.Campaign.fb_plans)
+    spec.Fabric.Campaign.fb_cuts host_cores row_json
+    (t_of 1 /. t_of 2)
+    silent_total identical;
+  close_out oc
+
+let fabric_bench () =
+  header "Fabric campaign — 3-board topologies, a power cut at every tick"
+    "not in the paper: cross-board fault containment under the campaign pool";
+  let cuts =
+    match Sys.getenv_opt "FABRIC_CUTS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 36)
+    | None -> 36
+  in
+  let spec = { Fabric.Campaign.default_spec with Fabric.Campaign.fb_cuts = cuts } in
+  let host_cores = Stdlib.Domain.recommended_domain_count () in
+  let jobs_list = [ 1; 2 ] @ if host_cores > 2 then [ host_cores ] else [] in
+  Printf.printf "campaign: %d plans x %d cuts, 3 boards per cell (host: %d cores)\n\n"
+    (List.length spec.Fabric.Campaign.fb_plans)
+    cuts host_cores;
+  Printf.printf "%6s %9s %12s %12s %10s %8s %6s\n" "jobs" "seconds" "frames/sec"
+    "boards/sec" "cuts/sec" "silent" "ok";
+  let rows =
+    List.map
+      (fun jobs ->
+        let ((_, secs, fps, bps, cps, silent, ok, _) as row) = fabric_row ~spec jobs in
+        Printf.printf "%6d %9.3f %12.0f %12.0f %10.0f %8d %6b\n%!" jobs secs fps bps cps
+          silent ok;
+        row)
+      jobs_list
+  in
+  let reports = List.map (fun (_, _, _, _, _, _, _, rep) -> rep) rows in
+  let identical = List.for_all (fun rep -> rep = List.hd reports) reports in
+  let _, t1, _, _, _, _, _, _ = List.nth rows 0 in
+  let _, t2, _, _, _, _, _, _ = List.nth rows 1 in
+  Printf.printf "\nspeedup jobs 1 -> 2: %.2fx  (host has %d core%s)\n" (t1 /. t2) host_cores
+    (if host_cores = 1 then "" else "s");
+  Printf.printf "reports byte-identical across jobs: %b\n" identical;
+  fabric_json ~spec ~host_cores ~rows ~identical;
+  print_endline "\nwrote BENCH_fabric.json"
+
+(* ------------------------------------------------------------------ *)
+
 (* Coverage-guided vs blind fuzzing at the same exec budget: the curve of
    coverage buckets lit against cumulative execs, and the execs each mode
    needs to reach the guided run's final bucket count. The comparison is
@@ -1386,7 +1493,7 @@ let fuzzcov_bench () =
 let usage () =
   print_endline
     "usage: main.exe [--superblock on|off] \
-     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|fuzzcov|bechamel|all]";
+     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|fabric|fuzzcov|bechamel|all]";
   print_endline
     "  --superblock on|off   icache: measure only the trace-linked (on) or\n\
     \                        per-block (off) warm engine; default measures both"
@@ -1410,6 +1517,7 @@ let () =
       ("chaos", chaos_bench);
       ("snapshot", snapshot_bench);
       ("fleet", fleet_bench);
+      ("fabric", fabric_bench);
       ("fuzzcov", fuzzcov_bench);
       ("bechamel", bechamel_run);
     ]

@@ -569,6 +569,117 @@ let fleet_cmd =
           work-stealing domain pool")
     Term.(const run $ cells $ boards $ jobs $ store $ resume $ stop_after $ out)
 
+let fabric_cmd =
+  let run plans cuts horizon jobs store resume stop_after out =
+    try
+      let spec =
+        let d = Fabric.Campaign.default_spec in
+        {
+          d with
+          Fabric.Campaign.fb_cuts = cuts;
+          fb_horizon = horizon;
+          fb_plans =
+            (match plans with
+            | None -> d.Fabric.Campaign.fb_plans
+            | Some s -> String.split_on_char ',' s |> List.filter (fun p -> p <> ""));
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Verify.Violation.with_enabled true (fun () ->
+            Fabric.Campaign.run ?jobs ?store ~resume ?stop_after spec)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      (* stdout carries only the deterministic report; throughput and
+         progress go to stderr so CI can byte-diff stdout across jobs
+         settings and kill/resume splits *)
+      Printf.eprintf
+        "fabric: %d cut points (%d ran, %d resumed), %d steals, %.2fs (%.1f cells/sec)\n"
+        (Array.length r.Fabric.Campaign.fb_cells)
+        r.Fabric.Campaign.fb_ran r.Fabric.Campaign.fb_resumed r.Fabric.Campaign.fb_steals dt
+        (if dt > 0. then float_of_int r.Fabric.Campaign.fb_ran /. dt else 0.);
+      if not r.Fabric.Campaign.fb_complete then begin
+        Printf.eprintf "fabric: campaign interrupted (resume it with --resume)\n";
+        3
+      end
+      else begin
+        (match out with
+        | None -> print_string r.Fabric.Campaign.fb_report
+        | Some path ->
+          let oc = open_out path in
+          output_string oc r.Fabric.Campaign.fb_report;
+          close_out oc;
+          Printf.eprintf "fabric: wrote %s\n" path);
+        if r.Fabric.Campaign.fb_ok then 0 else 2
+      end
+    with
+    | Invalid_argument m | Failure m ->
+      prerr_endline m;
+      1
+    | Fleet.Store.Refused m ->
+      prerr_endline m;
+      1
+  in
+  let plans =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plans" ] ~docv:"P1,P2"
+          ~doc:"Comma-separated fault plans to sweep (default: clean, lossy, storm, chaos).")
+  in
+  let cuts =
+    Arg.(
+      value & opt int 36
+      & info [ "n"; "cuts" ] ~docv:"N" ~doc:"Power-cut ticks swept per plan (1..N).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 64
+      & info [ "horizon" ] ~docv:"T" ~doc:"Global ticks per cell (must exceed the last cut).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: $(b,TICKTOCK_JOBS) or the host core count).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Persist completed cells to $(docv) (versioned, append-only, resumable).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Recover committed cells from $(b,--store) and run only the rest.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Stop dispatching after about $(docv) new cells (deterministic kill, for \
+             resumability testing).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the campaign report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Multi-board fabric campaign: OTA updates and gateway traffic under link faults, \
+          with a power cut at every tick, classified for cross-board containment")
+    Term.(const run $ plans $ cuts $ horizon $ jobs $ store $ resume $ stop_after $ out)
+
 let fuzzcov_cmd =
   let run board seed pop gens jobs store resume stop_after bundle replay out =
     try
@@ -741,6 +852,7 @@ let () =
             trace_cmd;
             fuzz_cmd;
             fleet_cmd;
+            fabric_cmd;
             fuzzcov_cmd;
             snapshot_cmd;
             chaos_cmd;

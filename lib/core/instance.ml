@@ -24,6 +24,23 @@ type t = {
     heap_headroom:int ->
     (int, Kerror.t) result;
   (** Load a process; returns its pid. *)
+  load_factory :
+    name:string ->
+    payload:string ->
+    factory:(unit -> Userland.program) ->
+    min_ram:int ->
+    (int, Kerror.t) result;
+  (** Like [load], but with a program factory: the process snapshots
+      exactly (the kernel rebuilds its closure by replay on restore), so
+      mid-run topologies holding it stay forkable. *)
+  procs : unit -> (int * string) list;
+  (** Live process table: [(pid, name)] in pid order. *)
+  boot_load :
+    registry:(string -> Userland.program option) -> require_credentials:bool -> int;
+  (** Tock-style boot loading: walk app flash parsing TBF headers, creating
+      a process per image whose name the registry resolves; returns how
+      many loaded. The reboot path of power-loss testing: flash survives
+      the cut, this walk rebuilds the process set from it. *)
   run : max_ticks:int -> unit;
   proc_output : int -> string option;
   proc_state : int -> string option;

@@ -178,6 +178,14 @@ module Make (MM : Mm.S) = struct
     Hooks.measure t.hooks "create" @@ fun () ->
     let ( let* ) = Result.bind in
     let img = { Loader.app_name = name; min_ram; payload } in
+    (* Typed refusal for layouts no board of this memory map could ever
+       satisfy (OTA hardening): a RAM request beyond the whole app-SRAM
+       window is [Image_oversized], not a transient [Out_of_memory]. *)
+    let* () =
+      if min_ram < 0 || min_ram + grant_reserve + heap_headroom > Range.size Layout.app_sram
+      then Error Kerror.Image_oversized
+      else Ok ()
+    in
     let* placed, flash_cursor = Loader.place t.mem ~cursor:t.flash_cursor img in
     t.flash_cursor <- flash_cursor;
     let unalloc_size = Range.end_ Layout.app_sram - t.ram_cursor in
@@ -1409,6 +1417,16 @@ module Make (MM : Mm.S) = struct
             (fun (p : proc) -> p.Process.pid)
             (create_process t ~name ~payload ~program ~min_ram ~grant_reserve ~heap_headroom
                ()));
+      load_factory =
+        (fun ~name ~payload ~factory ~min_ram ->
+          Result.map
+            (fun (p : proc) -> p.Process.pid)
+            (create_process t ~name ~payload ~program:(factory ()) ~min_ram
+               ~program_factory:factory ()));
+      procs = (fun () -> List.map (fun (p : proc) -> (p.Process.pid, p.Process.name)) t.procs);
+      boot_load =
+        (fun ~registry ~require_credentials ->
+          List.length (load_processes t ~registry ~require_credentials ()));
       run = (fun ~max_ticks -> run t ~max_ticks);
       proc_output = (fun pid -> with_proc pid Process.output);
       proc_state = (fun pid -> with_proc pid (fun p -> Process.state_to_string p.Process.state));

@@ -12,6 +12,10 @@ type t =
   | Invalid_buffer  (** allow()ed buffer not inside app-accessible memory *)
   | No_such_process
   | Not_supported
+  | Image_oversized
+      (** image layout can never fit the target's flash/RAM regions — not a
+          transient shortage ([Out_of_memory]) but a structurally
+          impossible request, so OTA paths can refuse it up front *)
 
 let to_string = function
   | Heap_error -> "heap error"
@@ -22,5 +26,6 @@ let to_string = function
   | Invalid_buffer -> "invalid buffer"
   | No_such_process -> "no such process"
   | Not_supported -> "not supported"
+  | Image_oversized -> "image oversized"
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)

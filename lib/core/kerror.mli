@@ -10,6 +10,10 @@ type t =
   | Invalid_buffer  (** allow()ed buffer not inside app-accessible memory *)
   | No_such_process
   | Not_supported
+  | Image_oversized
+      (** image layout can never fit the target's flash/RAM regions — not a
+          transient shortage ([Out_of_memory]) but a structurally
+          impossible request, so OTA paths can refuse it up front *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

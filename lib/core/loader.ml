@@ -92,12 +92,24 @@ let verify_credentials mem ~base =
     in
     stored = checksum img
 
+(** Whether an image's layout could ever be placed on this board: padded
+    flash block within the app-flash window and requested RAM within the
+    app-SRAM window. *)
+let fits img =
+  padded_size img <= Range.size Layout.app_flash
+  && img.min_ram >= 0
+  && img.min_ram <= Range.size Layout.app_sram
+
 (** Place an image at the next properly aligned spot at or after [cursor]
     inside the app-flash window; returns the placement and the new cursor. *)
 let place mem ~cursor img =
   let size = padded_size img in
   let flash_start = Math32.align_up cursor ~align:size in
-  if flash_start + size > Range.end_ Layout.app_flash then Error Kerror.Out_of_memory
+  if size > Range.size Layout.app_flash then
+    (* a layout no app-flash window could ever hold: typed refusal, so OTA
+       paths can distinguish a hostile/corrupt image from a full flash *)
+    Error Kerror.Image_oversized
+  else if flash_start + size > Range.end_ Layout.app_flash then Error Kerror.Out_of_memory
   else begin
     write_image mem ~base:flash_start img;
     Ok

@@ -50,4 +50,12 @@ val verify_credentials : Memory.t -> base:Word32.t -> bool
 val place : Memory.t -> cursor:Word32.t -> image -> (placed * Word32.t, Kerror.t) result
 (** Write the image at the next properly aligned address at or after
     [cursor] inside the app-flash window; returns the placement and the
-    new cursor, or [Out_of_memory] when flash is exhausted. *)
+    new cursor. [Out_of_memory] when flash is currently exhausted,
+    [Image_oversized] when the padded layout exceeds the whole app-flash
+    window (a structurally impossible image, e.g. a hostile OTA). *)
+
+val fits : image -> bool
+(** Whether the image's layout could ever be placed: padded flash block
+    within the app-flash window and [min_ram] within the app-SRAM window.
+    The up-front form of the typed [Image_oversized] refusal, for OTA
+    receivers validating an announced image before streaming it. *)

@@ -1,0 +1,293 @@
+(** The reference fabric deployment: gateway → followers, with OTA.
+
+    Three boards on one link:
+
+    - node 0 {e gateway} (ticktock-arm): runs [gw], which fans a fixed set
+      of sensor readings out to both followers over the radio (driver 12),
+      riding the link's backpressure ([busy] → bounded retry) and printing
+      a line when a peer dies instead of wedging. When OTA is on, the
+      gateway also hosts the {!Ota.sender} agent streaming the [app-v2]
+      image at the target.
+    - node 1 {e target} (ticktock-arm-v8): runs [fol] (a follower) plus
+      the OTA-managed heartbeat app [app-v1]; hosts the {!Ota.receiver}
+      flash daemon and the OTA {!Ota.fsck} as its reboot fsck. Chaos plans
+      add hostile fuzz apps next to them.
+    - node 2 {e follower} (ticktock-e310): runs [fol] alone — the witness
+      that cross-board faults aimed at node 1 stay contained.
+
+    Everything a verification needs afterwards — which readings arrived,
+    what image sits in the managed flash slot, whether every process kept
+    its isolation invariants — is extracted by {!check} into a flat record
+    the power-loss sweep and the campaign classify from. *)
+
+open Ticktock
+open Apps.App_dsl
+
+let gateway = 0
+let target = 1
+let follower = 2
+let node_count = 3
+
+let rounds = 10
+let drv = Radio.driver_num
+
+(** The readings the gateway fans out — the ground truth that received
+    readings are compared against (subset, in order). *)
+let readings = List.init rounds (fun i -> Printf.sprintf "r%02d" i)
+
+(* --- userland scripts --- *)
+
+(* The gateway app: fan each reading to every follower, treating [busy]
+   (backpressure) and [peer_died] (a peer mid-reboot) as transient —
+   bounded retry with compute between attempts, which the quantum spreads
+   across ticks. Only a peer that stays dead through the whole retry
+   budget gets reported, and never wedges the gateway. *)
+let gw_script () =
+  let* base = memory_start in
+  let send dst msg =
+    let* () = write_string base msg in
+    let* _ = allow_ro ~driver:drv ~addr:base ~len:(String.length msg) in
+    let rec go tries last =
+      if tries = 0 then return last
+      else
+        let* r = command ~driver:drv ~cmd:1 ~arg1:dst ~arg2:(String.length msg) () in
+        if r = Radio.busy || r = Radio.peer_died then
+          let* _ = compute 4 in
+          go (tries - 1) r
+        else return r
+    in
+    let* r = go 48 Radio.busy in
+    if r = Radio.peer_died then printf "gw: peer %d died\r\n" dst
+    else if r = Radio.busy then printf "gw: peer %d backpressured\r\n" dst
+    else return ()
+  in
+  let rec fan = function
+    | [] ->
+      let* () = print "gw: done\r\n" in
+      return 0
+    | msg :: rest ->
+      let* () = send target msg in
+      let* () = send follower msg in
+      let* _ = compute 8 in
+      fan rest
+  in
+  fan readings
+
+(* The follower app: subscribe to rx-ready, watch the gateway, drain the
+   inbox on every wake. Exits when the full round set arrived or the
+   gateway died; parks (harmlessly) when frames were lost. *)
+let fol_script () =
+  let* base = memory_start in
+  let* _ = allow_rw ~driver:drv ~addr:base ~len:64 in
+  let* _ = subscribe ~driver:drv ~upcall_id:1 in
+  let* _ = command ~driver:drv ~cmd:5 ~arg1:gateway () in
+  let rec drain got =
+    let* n = command ~driver:drv ~cmd:3 () in
+    if n = 0 || n = Userland.failure then return got
+    else
+      let* len = command ~driver:drv ~cmd:2 () in
+      if len = Userland.failure || len = 0 then return got
+      else
+        let* msg = read_string base len in
+        let* () = printf "got %s\r\n" msg in
+        drain (got + 1)
+  in
+  let rec live got =
+    if got >= rounds then
+      let* () = print "fol: done\r\n" in
+      return 0
+    else
+      let* ev = yield in
+      if ev = Radio.peer_died then
+        let* () = print "fol: gateway died\r\n" in
+        return 1
+      else
+        let* got = drain got in
+        live got
+  in
+  live 0
+
+(* The OTA-managed heartbeat app, in two versions: the flashed-at-build
+   [app-v1] and the [app-v2] the OTA stream replaces it with. Which one
+   printed is the activation witness. *)
+let heartbeat tag () =
+  let rec beat i =
+    if i = 0 then
+      let* () = printf "%s: steady\r\n" tag in
+      return 0
+    else
+      let* () = printf "%s alive\r\n" tag in
+      let* _ = compute 16 in
+      beat (i - 1)
+  in
+  beat 4
+
+let v1_name = "app-v1"
+let v2_name = "app-v2"
+let app_min_ram = 3072
+
+let v2_image =
+  { Loader.app_name = v2_name; min_ram = app_min_ram; payload = Ota.slotted_payload "v2" }
+
+(* --- node specs --- *)
+
+let slotted_app name tag script =
+  {
+    Topology.ap_name = name;
+    ap_payload = Ota.slotted_payload tag;
+    ap_min_ram = app_min_ram;
+    ap_factory = (fun () -> to_program (script ()));
+  }
+
+(** A hostile fuzz app for chaos plans: the seeded random syscall storm
+    from the fuzzing harness, slot-padded like every fabric image. *)
+let fuzz_app i ~seed =
+  {
+    Topology.ap_name = Printf.sprintf "fz%d" i;
+    ap_payload = Ota.slotted_payload (Printf.sprintf "fz%d" i);
+    ap_min_ram = app_min_ram;
+    ap_factory = (fun () -> to_program (Apps.Fuzz.random_script ~seed ~steps:48));
+  }
+
+type spec = {
+  sp_ota : bool;  (** stream app-v2 at the target *)
+  sp_hostile : int;  (** hostile fuzz apps loaded next to the target's *)
+  sp_seed : int;  (** seeds the hostile apps (the link has its own) *)
+}
+
+let default_spec = { sp_ota = true; sp_hostile = 0; sp_seed = 1 }
+
+(** Build the three node specs. [stats] is the OTA bookkeeping record the
+    receiver and fsck share; the caller owns it (and resets it per cell).
+    The target's staging slot sits after all its loaded apps, its home
+    slot is wherever [app-v1] lands in load order. *)
+let specs ?(spec = default_spec) ~(stats : Ota.stats) () =
+  let gw = slotted_app "gw" "gw" gw_script in
+  let fol = slotted_app "fol" "fol" fol_script in
+  let v1 = slotted_app v1_name "v1" (heartbeat v1_name) in
+  let hostile = List.init spec.sp_hostile (fun i -> fuzz_app i ~seed:(spec.sp_seed + (31 * i))) in
+  let target_apps = (fol :: v1 :: hostile : Topology.app list) in
+  let home = 1 (* app-v1's slot in load order *) in
+  let staging = List.length target_apps in
+  let registry apps name =
+    if name = v2_name then Some (to_program (heartbeat v2_name ()))
+    else
+      List.find_map
+        (fun (a : Topology.app) -> if a.Topology.ap_name = name then Some (a.ap_factory ()) else None)
+        apps
+  in
+  let gateway_spec =
+    {
+      Topology.ns_name = "gateway";
+      ns_board = "ticktock-arm";
+      ns_apps = [ gw ];
+      ns_registry = registry [ gw ];
+      ns_agents = (if spec.sp_ota then [ Ota.sender ~dst:target ~img:v2_image () ] else []);
+      ns_fsck = (fun _ -> "clean");
+    }
+  in
+  let target_spec =
+    {
+      Topology.ns_name = "target";
+      ns_board = "ticktock-arm-v8";
+      ns_apps = target_apps;
+      ns_registry = registry target_apps;
+      ns_agents = (if spec.sp_ota then [ Ota.receiver ~home ~staging ~stats () ] else []);
+      ns_fsck = Ota.fsck ~stats ~home ~staging;
+    }
+  in
+  let follower_spec =
+    {
+      Topology.ns_name = "follower";
+      ns_board = "ticktock-e310";
+      ns_apps = [ fol ];
+      ns_registry = registry [ fol ];
+      ns_agents = [];
+      ns_fsck = (fun _ -> "clean");
+    }
+  in
+  [ gateway_spec; target_spec; follower_spec ]
+
+(** Build the deployment topology outright (tests and the CLI demo; the
+    campaign goes through {!specs} so it can fork). *)
+let create ?(spec = default_spec) ?(faults = Link.no_faults) ~seed () =
+  let stats = Ota.stats () in
+  let topo = Topology.create (specs ~spec ~stats ()) ~faults ~seed () in
+  (topo, stats)
+
+(* --- end-state extraction --- *)
+
+(** What one finished run looks like, flattened for classification. *)
+type outcome = {
+  oc_panic : string option;
+  oc_isolation_ok : bool;  (** every process on every board, all invariants *)
+  oc_silent : int;  (** link-level silent corruptions — must be 0 *)
+  oc_got : (int * string list) list;  (** per follower node: readings received, in order *)
+  oc_spurious : bool;  (** a follower printed a reading the gateway never sent *)
+  oc_home_app : string;  (** image name in the target's managed home slot *)
+  oc_home_intact : bool;  (** home slot holds a byte-exact v1 or v2 image *)
+  oc_staging_empty : bool;  (** no torn bytes left staged after fsck *)
+  oc_fsck : string;  (** target's latest reboot fsck label *)
+  oc_reboots : int;  (** target reboots (planned activation counts) *)
+  oc_consoles : string array;  (** full per-node console, lost incarnations included *)
+}
+
+let got_of_console console =
+  List.filter_map
+    (fun line ->
+      if String.length line > 4 && String.sub line 0 4 = "got " then
+        Some (String.sub line 4 (String.length line - 4))
+      else None)
+    (String.split_on_char '\n' (String.concat "" (String.split_on_char '\r' console)))
+
+let node_console = Topology.transcript
+
+let isolation_ok (n : Topology.node) =
+  List.for_all (fun (pid, _) -> n.Topology.nd_k.Instance.proc_isolation_ok pid)
+    (n.Topology.nd_k.Instance.procs ())
+
+(** Extract the outcome of a finished run. [stats] is consulted by
+    callers separately; this record is pure board/link end-state. *)
+let check (topo : Topology.t) =
+  let tn = topo.Topology.nodes.(target) in
+  let mem = tn.Topology.nd_target.Snapshot.tg_mem in
+  let home = 1 in
+  let staging =
+    List.length tn.Topology.nd_spec.Topology.ns_apps
+  in
+  let home_app, home_intact =
+    match Ota.scan_slot mem home with
+    | Ota.Valid img ->
+      let intact =
+        (img.Loader.app_name = v1_name
+        && String.equal img.Loader.payload (Ota.slotted_payload "v1"))
+        || String.equal (Ota.image_blob img) (Ota.image_blob v2_image)
+      in
+      (img.Loader.app_name, intact)
+    | Ota.Torn -> ("<torn>", false)
+    | Ota.Empty -> ("<empty>", false)
+  in
+  let staging_empty =
+    match Ota.scan_slot mem staging with Ota.Empty -> true | Ota.Valid _ | Ota.Torn -> false
+  in
+  let got =
+    List.map
+      (fun id -> (id, got_of_console (node_console topo.Topology.nodes.(id))))
+      [ target; follower ]
+  in
+  let spurious =
+    List.exists (fun (_, gs) -> List.exists (fun g -> not (List.mem g readings)) gs) got
+  in
+  {
+    oc_panic = topo.Topology.panic;
+    oc_isolation_ok = Array.for_all isolation_ok topo.Topology.nodes;
+    oc_silent = (Link.stats topo.Topology.link).Link.st_silent;
+    oc_got = got;
+    oc_spurious = spurious;
+    oc_home_app = home_app;
+    oc_home_intact = home_intact;
+    oc_staging_empty = staging_empty;
+    oc_fsck = tn.Topology.nd_last_fsck;
+    oc_reboots = tn.Topology.nd_reboots;
+    oc_consoles = Array.map node_console topo.Topology.nodes;
+  }

@@ -1,0 +1,378 @@
+(** The inter-board link: a modeled lossy radio/serial channel.
+
+    Boards exchange {e framed} messages through one shared link object.
+    Every frame carries a CRC (FNV-1a over src/dst/port/payload) computed
+    at send; delivery verifies it, so wire corruption is {e detected} and
+    the frame dropped — exactly what a radio's FCS does. To {e prove}
+    detection rather than assume it, each frame also carries a shadow copy
+    of its payload taken at send: a frame whose payload differs from its
+    shadow yet passes the CRC at delivery would be {e silent} cross-board
+    corruption, counted in [st_silent] — the classifier the fabric
+    campaign gates on staying zero.
+
+    Faults are deterministic: one xorshift32 stream, seeded per cell,
+    drives drop/corrupt/duplicate/reorder decisions in send order at each
+    [deliver]. Partitions hold frames between a node pair for a tick
+    window and release them when it closes (counted healed). Dead nodes
+    (power-cut boards) refuse new sends with {!peer_died} — the
+    [Ipc.peer_died] error lifted to fabric scope — and lose both their
+    queued inbox and any frames in flight toward them.
+
+    Per-destination inboxes are bounded ([capacity]): a full inbox makes
+    [send] return [`Busy], the backpressure the gateway workload leans
+    on. All state snapshots ({!capture}/{!restore}/{!fingerprint}), so a
+    whole topology forks like any single board. *)
+
+(* The fabric-scope peer-death error: same value, same semantics as the
+   IPC capsule's — a sender learns its peer died instead of wedging. *)
+let peer_died = Ticktock.Userland.failure
+
+type frame = {
+  fr_seq : int;
+  fr_src : int;
+  fr_dst : int;
+  fr_port : int;  (** 0 = application radio, 1 = OTA transfer *)
+  fr_payload : string;  (** what travels (faults mutate this) *)
+  fr_shadow : string;  (** send-time copy (faults never touch it) *)
+  fr_crc : int;  (** computed at send over the un-corrupted frame *)
+}
+
+(** Link-fault plan: per-mille rates applied per frame at delivery, plus
+    an optional node-pair partition window [(a, b, from, until)]. *)
+type faults = {
+  fa_drop : int;
+  fa_corrupt : int;
+  fa_duplicate : int;
+  fa_reorder : int;
+  fa_partition : (int * int * int * int) option;
+}
+
+let no_faults =
+  { fa_drop = 0; fa_corrupt = 0; fa_duplicate = 0; fa_reorder = 0; fa_partition = None }
+
+type stats = {
+  st_sent : int;
+  st_delivered : int;
+  st_dropped : int;
+  st_corrupted : int;  (** corrupted on the wire, caught by the CRC *)
+  st_duplicated : int;
+  st_reordered : int;
+  st_healed : int;  (** partition windows that closed and released frames *)
+  st_silent : int;  (** corrupted frames the CRC missed — must stay zero *)
+}
+
+type t = {
+  nodes : int;
+  capacity : int;  (** per-destination inbox bound (backpressure) *)
+  mutable faults : faults;
+  mutable rng : int;
+  mutable seq : int;
+  mutable flight : frame list;  (** in send order *)
+  mutable held : frame list;  (** partition-held, in send order *)
+  inbox : frame Queue.t array;  (** delivered, per destination *)
+  mutable dead : bool array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable healed : int;
+  mutable silent : int;
+  mutable healed_mark : bool;  (** current partition window already counted *)
+}
+
+let create ~nodes ?(capacity = 8) ?(faults = no_faults) ~seed () =
+  {
+    nodes;
+    capacity;
+    faults;
+    rng = (if seed land 0x7FFF_FFFF = 0 then 0x5EED_F0F0 else seed land 0x7FFF_FFFF);
+    seq = 0;
+    flight = [];
+    held = [];
+    inbox = Array.init nodes (fun _ -> Queue.create ());
+    dead = Array.make nodes false;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    corrupted = 0;
+    duplicated = 0;
+    reordered = 0;
+    healed = 0;
+    silent = 0;
+    healed_mark = false;
+  }
+
+(** Re-arm a (typically just-restored) link for one campaign cell: its
+    fault plan and deterministic stream are a pure function of the cell. *)
+let configure t ~faults ~seed =
+  t.faults <- faults;
+  t.rng <- (if seed land 0x7FFF_FFFF = 0 then 0x5EED_F0F0 else seed land 0x7FFF_FFFF)
+
+let stats t =
+  {
+    st_sent = t.sent;
+    st_delivered = t.delivered;
+    st_dropped = t.dropped;
+    st_corrupted = t.corrupted;
+    st_duplicated = t.duplicated;
+    st_reordered = t.reordered;
+    st_healed = t.healed;
+    st_silent = t.silent;
+  }
+
+(* xorshift32: the same deterministic stream on every host *)
+let rand t bound =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) land 0x7FFF_FFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0x7FFF_FFFF in
+  t.rng <- x;
+  if bound <= 0 then 0 else x mod bound
+
+let crc ~src ~dst ~port payload =
+  let h = ref 0x811C_9DC5 in
+  let feed b = h := Word32.mul (!h lxor (b land 0xff)) 0x0100_0193 in
+  feed src;
+  feed dst;
+  feed port;
+  String.iter (fun c -> feed (Char.code c)) payload;
+  !h
+
+let alive t n = n >= 0 && n < t.nodes && not t.dead.(n)
+
+(** No traffic pending toward [dst]: inbox drained and nothing in flight
+    or partition-held. The graceful moment for a planned reboot — nothing
+    gets lost when the node's RAM dies. *)
+let quiescent t ~dst =
+  Queue.is_empty t.inbox.(dst)
+  && (not (List.exists (fun f -> f.fr_dst = dst) t.flight))
+  && not (List.exists (fun f -> f.fr_dst = dst) t.held)
+let pending t ~dst ~port = Queue.fold (fun a f -> if f.fr_port = port then a + 1 else a) 0 t.inbox.(dst)
+let inbox_depth t ~dst = Queue.length t.inbox.(dst)
+
+let in_flight_to t dst =
+  List.length (List.filter (fun f -> f.fr_dst = dst) t.flight)
+  + List.length (List.filter (fun f -> f.fr_dst = dst) t.held)
+
+(** Send a frame. [`Busy] is backpressure (destination window full);
+    [`Peer_dead] is the fabric-scope peer-death signal. *)
+let send t ~src ~dst ~port payload =
+  if not (alive t dst) then `Peer_dead
+  else if not (alive t src) then `Peer_dead
+  else if inbox_depth t ~dst + in_flight_to t dst >= t.capacity then `Busy
+  else begin
+    let f =
+      {
+        fr_seq = t.seq;
+        fr_src = src;
+        fr_dst = dst;
+        fr_port = port;
+        fr_payload = payload;
+        fr_shadow = payload;
+        fr_crc = crc ~src ~dst ~port payload;
+      }
+    in
+    t.seq <- t.seq + 1;
+    t.sent <- t.sent + 1;
+    Obs.Metrics.host_incr "fabric/frames_sent";
+    t.flight <- t.flight @ [ f ];
+    `Ok
+  end
+
+let partitioned t ~now f =
+  match t.faults.fa_partition with
+  | Some (a, b, from_, until) when now >= from_ && now < until ->
+    (f.fr_src = a && f.fr_dst = b) || (f.fr_src = b && f.fr_dst = a)
+  | Some _ | None -> false
+
+let corrupt_payload t payload =
+  if String.length payload = 0 then payload
+  else begin
+    let i = rand t (String.length payload) in
+    let b = Bytes.of_string payload in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + rand t 255)));
+    Bytes.to_string b
+  end
+
+(* Deliver one frame into its destination inbox, CRC-checked. *)
+let accept t f =
+  if f.fr_crc <> crc ~src:f.fr_src ~dst:f.fr_dst ~port:f.fr_port f.fr_payload then begin
+    (* wire corruption caught by the CRC: detected, dropped, counted *)
+    t.corrupted <- t.corrupted + 1;
+    Obs.Metrics.host_incr "fabric/frames_corrupted"
+  end
+  else begin
+    (* the CRC passed: any divergence from the send-time shadow would be
+       silent corruption crossing the board boundary *)
+    if not (String.equal f.fr_payload f.fr_shadow) then begin
+      t.silent <- t.silent + 1;
+      Obs.Metrics.host_incr "fabric/silent_corruptions"
+    end;
+    t.delivered <- t.delivered + 1;
+    Obs.Metrics.host_incr "fabric/frames_delivered";
+    Queue.push f t.inbox.(f.fr_dst)
+  end
+
+(** Move in-flight frames to inboxes, applying the fault plan in send
+    order under the seeded stream. Called once per global tick. *)
+let deliver t ~now =
+  (* partition heal: release held frames (in order) when the window ends *)
+  (match t.faults.fa_partition with
+  | Some (_, _, _, until) when now >= until && t.held <> [] ->
+    t.flight <- t.held @ t.flight;
+    t.held <- [];
+    if not t.healed_mark then begin
+      t.healed <- t.healed + 1;
+      t.healed_mark <- true;
+      Obs.Metrics.host_incr "fabric/partitions_healed"
+    end
+  | Some _ | None -> ());
+  let rec go = function
+    | [] -> []
+    | f :: rest when t.dead.(f.fr_dst) || t.dead.(f.fr_src) ->
+      (* power lost at an endpoint: the frame is gone *)
+      t.dropped <- t.dropped + 1;
+      Obs.Metrics.host_incr "fabric/frames_dropped";
+      go rest
+    | f :: rest when partitioned t ~now f ->
+      t.held <- t.held @ [ f ];
+      go rest
+    | f :: rest ->
+      let fa = t.faults in
+      if fa.fa_drop > 0 && rand t 1000 < fa.fa_drop then begin
+        t.dropped <- t.dropped + 1;
+        Obs.Metrics.host_incr "fabric/frames_dropped";
+        go rest
+      end
+      else begin
+        let f =
+          if fa.fa_corrupt > 0 && rand t 1000 < fa.fa_corrupt then
+            { f with fr_payload = corrupt_payload t f.fr_payload }
+          else f
+        in
+        let dup = fa.fa_duplicate > 0 && rand t 1000 < fa.fa_duplicate in
+        if dup then begin
+          t.duplicated <- t.duplicated + 1;
+          Obs.Metrics.host_incr "fabric/frames_duplicated"
+        end;
+        match rest with
+        | next :: rest' when fa.fa_reorder > 0 && rand t 1000 < fa.fa_reorder ->
+          (* swap with the next frame: the pair arrives transposed *)
+          t.reordered <- t.reordered + 1;
+          Obs.Metrics.host_incr "fabric/frames_reordered";
+          accept t next;
+          accept t f;
+          if dup then accept t f;
+          go rest'
+        | _ ->
+          accept t f;
+          if dup then accept t f;
+          go rest
+      end
+  in
+  let fl = t.flight in
+  t.flight <- [];
+  ignore (go fl)
+
+(** Pop the oldest delivered frame for [dst] on [port]. *)
+let pop t ~dst ~port =
+  let rec drain acc =
+    match Queue.take_opt t.inbox.(dst) with
+    | None -> (None, List.rev acc)
+    | Some f when f.fr_port = port -> (Some f, List.rev acc)
+    | Some f -> drain (f :: acc)
+  in
+  let hit, skipped = drain [] in
+  (* put non-matching frames back in order, behind nothing (queue was
+     drained up to the hit): rebuild front portion *)
+  let rest = Queue.create () in
+  List.iter (fun f -> Queue.push f rest) skipped;
+  Queue.transfer t.inbox.(dst) rest;
+  Queue.clear t.inbox.(dst);
+  Queue.transfer rest t.inbox.(dst);
+  hit
+
+(** Mark a node dead (power cut) or alive again. Cutting a node clears
+    its inbox — queued frames lived in its RAM. *)
+let set_dead t n dead =
+  if n >= 0 && n < t.nodes then begin
+    t.dead.(n) <- dead;
+    if dead then begin
+      let lost = Queue.length t.inbox.(n) in
+      if lost > 0 then begin
+        t.dropped <- t.dropped + lost;
+        Obs.Metrics.host_incr ~by:lost "fabric/frames_dropped"
+      end;
+      Queue.clear t.inbox.(n)
+    end
+  end
+
+(* --- snapshot --- *)
+
+type state = {
+  sn_faults : faults;
+  sn_rng : int;
+  sn_seq : int;
+  sn_flight : frame list;
+  sn_held : frame list;
+  sn_inbox : frame list array;
+  sn_dead : bool array;
+  sn_counts : int array;
+  sn_healed_mark : bool;
+}
+
+let capture t =
+  {
+    sn_faults = t.faults;
+    sn_rng = t.rng;
+    sn_seq = t.seq;
+    sn_flight = t.flight;
+    sn_held = t.held;
+    sn_inbox = Array.map (fun q -> List.of_seq (Queue.to_seq q)) t.inbox;
+    sn_dead = Array.copy t.dead;
+    sn_counts =
+      [|
+        t.sent; t.delivered; t.dropped; t.corrupted; t.duplicated; t.reordered; t.healed;
+        t.silent;
+      |];
+    sn_healed_mark = t.healed_mark;
+  }
+
+let restore t s =
+  t.faults <- s.sn_faults;
+  t.rng <- s.sn_rng;
+  t.seq <- s.sn_seq;
+  t.flight <- s.sn_flight;
+  t.held <- s.sn_held;
+  Array.iteri
+    (fun i frames ->
+      Queue.clear t.inbox.(i);
+      List.iter (fun f -> Queue.push f t.inbox.(i)) frames)
+    s.sn_inbox;
+  t.dead <- Array.copy s.sn_dead;
+  t.sent <- s.sn_counts.(0);
+  t.delivered <- s.sn_counts.(1);
+  t.dropped <- s.sn_counts.(2);
+  t.corrupted <- s.sn_counts.(3);
+  t.duplicated <- s.sn_counts.(4);
+  t.reordered <- s.sn_counts.(5);
+  t.healed <- s.sn_counts.(6);
+  t.silent <- s.sn_counts.(7);
+  t.healed_mark <- s.sn_healed_mark
+
+let fingerprint t =
+  let h = Fp.seed in
+  let h = Fp.ints h [ t.rng; t.seq; t.sent; t.delivered; t.dropped; t.corrupted ] in
+  let h = Fp.ints h [ t.duplicated; t.reordered; t.healed; t.silent ] in
+  let frame h f =
+    Fp.int (Fp.string (Fp.ints h [ f.fr_seq; f.fr_src; f.fr_dst; f.fr_port ]) f.fr_payload)
+      f.fr_crc
+  in
+  let h = List.fold_left frame (Fp.int h (List.length t.flight)) t.flight in
+  let h = List.fold_left frame (Fp.int h (List.length t.held)) t.held in
+  let h =
+    Array.fold_left (fun h q -> Queue.fold frame (Fp.int h (Queue.length q)) q) h t.inbox
+  in
+  Array.fold_left (fun h d -> Fp.int h (if d then 1 else 0)) h t.dead

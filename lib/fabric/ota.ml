@@ -1,0 +1,397 @@
+(** Over-the-air process updates across the fabric.
+
+    A TBF image is serialized to its exact flash byte layout, chunked, and
+    streamed over the link (port 1) by a sender agent on the updater
+    board; a receiver agent on the target board writes chunks — by
+    explicit offset, so duplicates and reorderings are idempotent —
+    straight into a {e staging flash slot}. Flash is the only thing that
+    survives power loss, so the protocol's atomicity story is entirely a
+    flash-state story:
+
+    - the {e commit point} is the last chunk landing: only then can the
+      staged image's credentials verify;
+    - commit = erase the old image's home slot, copy the staged image
+      into it, erase staging, then a planned reboot activates it through
+      the normal boot-loading walk;
+    - power cut {e before} the commit point leaves torn staging that
+      {!fsck} (the modeled bootloader step, run on every reboot) erases:
+      rollback, the old image still boots;
+    - power cut {e inside} the commit sequence leaves a verified staged
+      image: {!fsck} rolls the commit forward. Either way the board never
+      boots a half-written image — completes atomically or rolls back.
+
+    Transport is go-back-N: cumulative acks, sender rewind on stall, and
+    a receiver-side reset request ("R") that restarts announcement after
+    the receiver's board lost its session state to a power cut.
+
+    All flash images used by fabric workloads are padded to one fixed
+    {!slot_size}, giving flash a slot-array shape that [fsck] can scan
+    without any RAM-held bookkeeping. *)
+
+open Ticktock
+
+let slot_size = 2048
+let port = 1
+
+let slot_base i = Range.start Layout.app_flash + (i * slot_size)
+
+(** Pad a payload so its image occupies exactly one flash slot (for any
+    app name up to 32 bytes). The tag prefix keeps versions
+    distinguishable byte-wise. *)
+let slotted_payload tag =
+  let pad = 1700 - String.length tag in
+  if pad < 0 then invalid_arg "Ota.slotted_payload: tag too long";
+  tag ^ String.make pad '.'
+
+(** Serialize an image to its exact flash byte layout (what
+    {!Ticktock.Loader.write_image} would write): 6-word header, name,
+    payload, credentials footer. *)
+let image_blob (img : Loader.image) =
+  let b = Buffer.create (Loader.image_bytes img) in
+  let u32 v =
+    Buffer.add_char b (Char.chr (v land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+  in
+  u32 Loader.magic;
+  u32 2;
+  u32 (Loader.image_bytes img);
+  u32 img.Loader.min_ram;
+  u32 (String.length img.Loader.app_name);
+  u32 (String.length img.Loader.payload);
+  Buffer.add_string b img.Loader.app_name;
+  Buffer.add_string b img.Loader.payload;
+  u32 (Loader.checksum img);
+  Buffer.contents b
+
+(* --- deterministic per-cell OTA bookkeeping (survives reboots: the
+   record outlives agent incarnations) --- *)
+
+type stats = {
+  mutable ot_attempts : int;  (** sessions started at the receiver *)
+  mutable ot_commits : int;  (** commits completed (incl. fsck roll-forward) *)
+  mutable ot_rollbacks : int;  (** torn stagings erased *)
+  mutable ot_rejected : int;  (** announcements/images refused up front *)
+  mutable ot_last_reject : string;  (** typed reason of the last refusal *)
+}
+
+let stats () =
+  { ot_attempts = 0; ot_commits = 0; ot_rollbacks = 0; ot_rejected = 0; ot_last_reject = "" }
+
+(** Zero a stats record in place — campaign cells fork one topology (and
+    the closures holding its stats record) per worker, so each cell
+    starts by resetting it. *)
+let reset s =
+  s.ot_attempts <- 0;
+  s.ot_commits <- 0;
+  s.ot_rollbacks <- 0;
+  s.ot_rejected <- 0;
+  s.ot_last_reject <- ""
+
+(* --- wire encoding (port-1 payloads) --- *)
+
+let u32 v =
+  let c i = Char.chr ((v lsr (8 * i)) land 0xff) in
+  Printf.sprintf "%c%c%c%c" (c 0) (c 1) (c 2) (c 3)
+
+let read_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let announce ~total ~name = "A" ^ u32 total ^ name
+let data ~off bytes = "D" ^ u32 off ^ bytes
+let ack n = "K" ^ u32 n
+let reset_req = "R"
+
+(* --- flash slot scanning (shared by fsck and the receiver) --- *)
+
+type slot = Valid of Loader.image | Torn | Empty
+
+let scan_slot mem i =
+  let base = slot_base i in
+  match Loader.read_image mem ~base with
+  | Ok img when Loader.verify_credentials mem ~base -> Valid img
+  | Ok _ | Error _ ->
+    let bytes = Memory.read_bytes mem base slot_size in
+    if String.exists (fun c -> c <> '\000') bytes then Torn else Empty
+
+let erase_slot mem i =
+  let base = slot_base i in
+  for w = 0 to (slot_size / 4) - 1 do
+    Memory.write32 mem (base + (4 * w)) 0
+  done
+
+let copy_slot mem ~src ~dst =
+  let bytes = Memory.read_bytes mem (slot_base src) slot_size in
+  Memory.blit_string mem (slot_base dst) bytes
+
+(** The bootloader fsck, run on every reboot before boot loading: erase
+    torn staging (rollback), finish interrupted commits (roll-forward).
+    [home] is the managed app's home slot, [staging] its staging slot.
+    Returns "completed" | "rolled-back" | "clean". *)
+let fsck ~(stats : stats) ~home ~staging mem =
+  match (scan_slot mem home, scan_slot mem staging) with
+  | _, Empty -> "clean"
+  | _, Torn ->
+    (* transfer torn by the power cut: roll back to the home image *)
+    erase_slot mem staging;
+    stats.ot_rollbacks <- stats.ot_rollbacks + 1;
+    Obs.Metrics.host_incr "fabric/ota_rollbacks";
+    "rolled-back"
+  | Valid old_img, Valid staged when String.equal (image_blob old_img) (image_blob staged) ->
+    (* cut between copy-to-home and erase-staging: just finish the erase *)
+    erase_slot mem staging;
+    stats.ot_commits <- stats.ot_commits + 1;
+    Obs.Metrics.host_incr "fabric/ota_commits";
+    "completed"
+  | Valid _, Valid _ ->
+    (* staged image verified but the old one not yet replaced: the commit
+       point was reached, so roll the commit forward *)
+    erase_slot mem home;
+    copy_slot mem ~src:staging ~dst:home;
+    erase_slot mem staging;
+    stats.ot_commits <- stats.ot_commits + 1;
+    Obs.Metrics.host_incr "fabric/ota_commits";
+    "completed"
+  | (Empty | Torn), Valid _ ->
+    (* cut between erase-home and copy: finish the move *)
+    erase_slot mem home;
+    copy_slot mem ~src:staging ~dst:home;
+    erase_slot mem staging;
+    stats.ot_commits <- stats.ot_commits + 1;
+    Obs.Metrics.host_incr "fabric/ota_commits";
+    "completed"
+
+(* --- the sender agent (updater daemon on the gateway board) --- *)
+
+let sender ~dst ~(img : Loader.image) ?(chunk = 128) ?(window = 4) ?(stall_after = 8) () =
+  let blob = image_blob img in
+  let total = String.length blob in
+  let nchunks = (total + chunk - 1) / chunk in
+  fun (tp : Topology.t) node ->
+    let link = tp.Topology.link in
+    let base = ref 0 (* cumulative acked chunks *) in
+    let next = ref 0 in
+    let announced = ref false in
+    let stall = ref 0 in
+    let done_ = ref false in
+    let tick ~now:_ =
+      (* drain acks / reset requests *)
+      let rec drain () =
+        match Link.pop link ~dst:node ~port with
+        | None -> ()
+        | Some f ->
+          let p = f.Link.fr_payload in
+          (if String.length p >= 5 && p.[0] = 'K' then begin
+             let n = read_u32 p 1 in
+             if n > !base then begin
+               base := n;
+               if !next < n then next := n;
+               stall := 0
+             end;
+             if n >= nchunks then done_ := true
+           end
+           else if String.length p >= 1 && p.[0] = 'R' then begin
+             base := 0;
+             next := 0;
+             announced := false;
+             stall := 0
+           end);
+          drain ()
+      in
+      drain ();
+      if not !done_ then begin
+        if not !announced then begin
+          match Link.send link ~src:node ~dst ~port (announce ~total ~name:img.Loader.app_name) with
+          | `Ok ->
+            announced := true;
+            Obs.Metrics.host_incr "fabric/ota_announces"
+          | `Busy | `Peer_dead -> ()
+        end
+        else if !next < nchunks && !next < !base + window then begin
+          let off = !next * chunk in
+          let len = min chunk (total - off) in
+          match Link.send link ~src:node ~dst ~port (data ~off (String.sub blob off len)) with
+          | `Ok -> incr next
+          | `Busy | `Peer_dead -> ()
+        end
+        else begin
+          (* window full or everything sent: wait for acks, rewind on stall
+             (go-back-N; a receiver that lost its session will also ask for
+             a reset explicitly) *)
+          incr stall;
+          if !stall > stall_after then begin
+            next := !base;
+            stall := 0;
+            if !base = 0 then announced := false
+          end
+        end
+      end
+    in
+    { Topology.ag_name = "ota-sender"; ag_tick = tick }
+
+(* --- the receiver agent (flash daemon on the target board) --- *)
+
+type session = { ss_total : int; ss_name : string; ss_nchunks : int; ss_got : bool array }
+
+let receiver ~home ~staging ~(stats : stats) ?(chunk = 128) () =
+  fun (tp : Topology.t) node ->
+    let link = tp.Topology.link in
+    let mem = tp.Topology.nodes.(node).Topology.nd_target.Snapshot.tg_mem in
+    let request_reboot () = Topology.request_reboot tp node in
+    let session = ref None in
+    (* commit done, activation reboot still owed: wait for the link to
+       stay quiescent toward us for two consecutive ticks — one to see no
+       traffic pending or in flight, one more so apps get a full kernel
+       tick to finish digesting whatever they popped last (a frame already
+       pulled into process RAM dies with the power cycle too). Bounded by
+       [patience]: hostile neighbors that never stop transmitting can't
+       starve the activation forever, they just pay detected frame
+       drops. *)
+    let activation_owed = ref false in
+    let calm = ref 0 in
+    let patience = ref 0 in
+    let contiguous got =
+      let n = Array.length got in
+      let rec go i = if i < n && got.(i) then go (i + 1) else i in
+      go 0
+    in
+    let installed name =
+      match scan_slot mem home with
+      | Valid img -> img.Loader.app_name = name
+      | Torn | Empty -> false
+    in
+    (* The commit sequence — erase home, copy staging into it, erase
+       staging — runs one flash operation per tick, like a real flash
+       driver would: a power cut can land between any two steps. Every
+       intermediate flash state is one {!fsck} repairs (the staged image
+       is already verified, so fsck rolls the commit forward); the commit
+       is counted when its last step lands, or by the fsck that finishes
+       it. 0 = idle, 1..3 = next step. *)
+    let commit_stage = ref 0 in
+    let commit_step () =
+      match !commit_stage with
+      | 1 ->
+        erase_slot mem home;
+        commit_stage := 2
+      | 2 ->
+        copy_slot mem ~src:staging ~dst:home;
+        commit_stage := 3
+      | 3 ->
+        erase_slot mem staging;
+        commit_stage := 0;
+        stats.ot_commits <- stats.ot_commits + 1;
+        Obs.Metrics.host_incr "fabric/ota_commits";
+        activation_owed := true;
+        calm := 0;
+        patience := 30
+      | _ -> ()
+    in
+    let reject reason =
+      stats.ot_rejected <- stats.ot_rejected + 1;
+      stats.ot_last_reject <- reason;
+      Obs.Metrics.host_incr "fabric/ota_rejected";
+      session := None
+    in
+    let tick ~now:_ =
+      let rec drain () =
+        match Link.pop link ~dst:node ~port with
+        | None -> ()
+        | Some f ->
+          let p = f.Link.fr_payload in
+          (if !commit_stage > 0 then
+             (* mid-commit: the flash daemon is busy; frames are ignored
+                (the sender's go-back-N re-covers anything that mattered) *)
+             ()
+           else if String.length p >= 5 && p.[0] = 'A' then begin
+             let total = read_u32 p 1 in
+             let name = String.sub p 5 (String.length p - 5) in
+             if installed name then
+               (* already active (e.g. the updater rebooted after commit):
+                  ack everything so the sender completes *)
+               ignore (Link.send link ~src:node ~dst:f.Link.fr_src ~port (ack max_int))
+             else if total > slot_size || total < 4 * (Loader.header_words + 1) then
+               (* typed up-front refusal: this layout can never fit the
+                  staging slot ([Kerror.Image_oversized] territory) *)
+               reject (Kerror.to_string Kerror.Image_oversized)
+             else begin
+               (match !session with
+               | Some s when s.ss_total = total && s.ss_name = name -> ()
+               | _ ->
+                 erase_slot mem staging;
+                 session :=
+                   Some
+                     {
+                       ss_total = total;
+                       ss_name = name;
+                       ss_nchunks = (total + chunk - 1) / chunk;
+                       ss_got = Array.make ((total + chunk - 1) / chunk) false;
+                     };
+                 stats.ot_attempts <- stats.ot_attempts + 1;
+                 Obs.Metrics.host_incr "fabric/ota_attempts")
+             end
+           end
+           else if String.length p >= 5 && p.[0] = 'D' then begin
+             match !session with
+             | None ->
+               (* no session (this incarnation never saw the announce —
+                  e.g. we just rebooted out of a power cut): ask the
+                  sender to start over *)
+               ignore (Link.send link ~src:node ~dst:f.Link.fr_src ~port reset_req)
+             | Some s ->
+               let off = read_u32 p 1 in
+               let bytes = String.sub p 5 (String.length p - 5) in
+               let len = String.length bytes in
+               if off >= 0 && off + len <= s.ss_total && off mod chunk = 0 then begin
+                 let idx = off / chunk in
+                 let expected = min chunk (s.ss_total - off) in
+                 if len = expected && idx < s.ss_nchunks then begin
+                   (* flash write happens now, at arrival order: a power
+                      cut at any tick tears the staging image exactly
+                      where the stream stood *)
+                   Memory.blit_string mem (slot_base staging + off) bytes;
+                   s.ss_got.(idx) <- true;
+                   let c = contiguous s.ss_got in
+                   ignore (Link.send link ~src:node ~dst:f.Link.fr_src ~port (ack c));
+                   if c = s.ss_nchunks then begin
+                     match Loader.read_image mem ~base:(slot_base staging) with
+                     | Ok img
+                       when Loader.verify_credentials mem ~base:(slot_base staging)
+                            && Loader.fits img
+                            && Loader.padded_size img <= slot_size ->
+                       (* verified: start the staged commit sequence *)
+                       session := None;
+                       commit_stage := 1
+                     | Ok img when not (Loader.fits img && Loader.padded_size img <= slot_size)
+                       ->
+                       erase_slot mem staging;
+                       stats.ot_rollbacks <- stats.ot_rollbacks + 1;
+                       Obs.Metrics.host_incr "fabric/ota_rollbacks";
+                       reject (Kerror.to_string Kerror.Image_oversized)
+                     | Ok _ | Error _ ->
+                       (* header/credentials bad end-to-end: roll back *)
+                       erase_slot mem staging;
+                       stats.ot_rollbacks <- stats.ot_rollbacks + 1;
+                       Obs.Metrics.host_incr "fabric/ota_rollbacks";
+                       reject "invalid credentials"
+                   end
+                 end
+               end
+           end);
+          drain ()
+      in
+      drain ();
+      commit_step ();
+      if !activation_owed then begin
+        decr patience;
+        if Link.quiescent link ~dst:node then incr calm else calm := 0;
+        if !calm >= 2 || !patience <= 0 then begin
+          activation_owed := false;
+          request_reboot ()
+        end
+      end
+    in
+    { Topology.ag_name = "ota-receiver"; ag_tick = tick }

@@ -1,0 +1,206 @@
+(** Power-failure-at-every-tick sweeps over the fabric deployment.
+
+    One sweep cell = one {e plan} (a link-fault/hostile-app recipe) × one
+    {e cut tick}: restore the deployment from its fork point, arm the
+    plan's link faults under a cell-derived seed, run to the cut tick,
+    power-cut the board the tick selects ([tick mod 3] — every board gets
+    swept), let the outage end and the reboot path (fsck + boot load) do
+    its work, then run out the horizon and classify the end state.
+
+    Classification is total — every cut point lands in exactly one OTA
+    progress class:
+
+    - ["completed"]: the v2 image owns the target's home slot byte-exact
+      (the transfer and its commit survived, possibly finished by fsck
+      rolling a half-done commit forward);
+    - ["rolled-back"]: a torn staging image was erased by fsck and v1
+      still owns the home slot byte-exact — the board never saw a
+      half-written image;
+    - ["recovered"]: the cut missed the transfer's critical window (or hit
+      another board); the home slot is intact and the deployment simply
+      carried on.
+
+    Independent of the class, every cell must pass the {e containment}
+    checks: no kernel panic on any board, per-process isolation invariants
+    intact everywhere, zero silent cross-board corruption (the link's
+    shadow-payload oracle), no spurious readings (nothing a follower
+    printed that the gateway never sent), and the managed flash slot valid
+    — torn state may only ever exist in staging, and only until the next
+    fsck. *)
+
+open Ticktock
+
+(** A fault recipe: link faults (per-mille) plus hostile fuzz apps loaded
+    next to the target's real apps. *)
+type plan = { pl_name : string; pl_faults : Link.faults; pl_hostile : int }
+
+let plans =
+  [
+    { pl_name = "clean"; pl_faults = Link.no_faults; pl_hostile = 0 };
+    {
+      pl_name = "lossy";
+      pl_faults =
+        {
+          Link.fa_drop = 60;
+          fa_corrupt = 40;
+          fa_duplicate = 30;
+          fa_reorder = 40;
+          fa_partition = None;
+        };
+      pl_hostile = 0;
+    };
+    {
+      pl_name = "storm";
+      pl_faults =
+        {
+          Link.fa_drop = 30;
+          fa_corrupt = 20;
+          fa_duplicate = 0;
+          fa_reorder = 0;
+          fa_partition = Some (0, 1, 8, 20);
+        };
+      pl_hostile = 0;
+    };
+    {
+      pl_name = "chaos";
+      pl_faults =
+        {
+          Link.fa_drop = 50;
+          fa_corrupt = 30;
+          fa_duplicate = 20;
+          fa_reorder = 30;
+          fa_partition = None;
+        };
+      pl_hostile = 2;
+    };
+  ]
+
+let plan_named name =
+  match List.find_opt (fun p -> p.pl_name = name) plans with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fabric: unknown plan %S (one of: %s)" name
+         (String.concat ", " (List.map (fun p -> p.pl_name) plans)))
+
+(* Cell-seed mixing: deterministic ints only (splitmix-style avalanche). *)
+let mix a b =
+  let x = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) in
+  let x = (x lxor (x lsr 15)) * 0x2C1B3C6D land 0x3FFF_FFFF_FFFF in
+  (x lxor (x lsr 13)) land 0x3FFF_FFFF
+
+(** One deployment held at its fork point, reusable across cells — the
+    per-worker environment. Building a topology (three board boots) is the
+    expensive part; forking it back to tick 0 is cheap. *)
+type env = {
+  ev_plan : plan;
+  ev_topo : Topology.t;
+  ev_stats : Ota.stats;
+  ev_base : Topology.snapshot;
+}
+
+let make_env ~(plan : plan) ~seed () =
+  let stats = Ota.stats () in
+  let spec = { Deploy.sp_ota = true; sp_hostile = plan.pl_hostile; sp_seed = mix seed 17 } in
+  let topo = Topology.create (Deploy.specs ~spec ~stats ()) ~seed:1 () in
+  { ev_plan = plan; ev_topo = topo; ev_stats = stats; ev_base = Topology.capture topo }
+
+(** What one classified cut point reports. *)
+type cell = {
+  pc_plan : string;
+  pc_cut : int;  (** global tick the power failed at *)
+  pc_board : int;  (** which board lost power ([cut mod 3]) *)
+  pc_class : string;  (** "completed" | "rolled-back" | "recovered" *)
+  pc_fsck : string;  (** the target's last fsck label *)
+  pc_silent : int;  (** silent cross-board corruptions (must be 0) *)
+  pc_ok : bool;  (** all containment checks passed *)
+  pc_why : string;  (** first failed check, "" when ok *)
+  pc_commits : int;
+  pc_rollbacks : int;
+  pc_readings : int;  (** distinct readings that reached followers (of 2×N) *)
+  pc_fp : int64;  (** end-state fingerprint (campaign determinism oracle) *)
+}
+
+let distinct_readings got =
+  List.length (List.sort_uniq compare (List.filter (fun g -> List.mem g Deploy.readings) got))
+
+(* Containment: the checks every cell must pass no matter where the cut
+   landed. Returns "" or the first violated check's name. Staging may
+   hold bytes at the end of the observation window only while a transfer
+   is still in flight (an announce accepted but neither committed nor
+   rolled back — e.g. the retry stream after a mid-transfer cut); torn
+   staging with no session open means fsck failed to reclaim it. *)
+let containment_why (oc : Deploy.outcome) (stats : Ota.stats) =
+  let session_open = stats.Ota.ot_attempts > stats.Ota.ot_commits + stats.Ota.ot_rollbacks in
+  if oc.Deploy.oc_panic <> None then
+    Printf.sprintf "kernel panic: %s" (Option.value ~default:"" oc.Deploy.oc_panic)
+  else if not oc.Deploy.oc_isolation_ok then "isolation violated"
+  else if oc.Deploy.oc_silent > 0 then "silent cross-board corruption"
+  else if oc.Deploy.oc_spurious then "spurious reading"
+  else if not oc.Deploy.oc_home_intact then "managed slot not intact"
+  else if not (oc.Deploy.oc_staging_empty || session_open) then "staging not reclaimed"
+  else ""
+
+let classify (oc : Deploy.outcome) (stats : Ota.stats) =
+  if oc.Deploy.oc_home_app = Deploy.v2_name && oc.Deploy.oc_home_intact then "completed"
+  else if stats.Ota.ot_rollbacks > 0 then "rolled-back"
+  else "recovered"
+
+(** Run one cell: fork the environment back to tick 0, arm the plan's
+    faults under the cell seed, cut [board (cut mod 3)] at tick [cut] for
+    [outage] ticks, run the horizon out (extending past any outage still
+    open so fsck always gets to run), classify. *)
+let run_cell (env : env) ~sweep_seed ~cut ~outage ~horizon =
+  let topo = env.ev_topo in
+  let cell_seed = mix (mix sweep_seed cut) (Hashtbl.hash env.ev_plan.pl_name) in
+  Topology.restore topo env.ev_base;
+  Link.configure topo.Topology.link ~faults:env.ev_plan.pl_faults ~seed:cell_seed;
+  Ota.reset env.ev_stats;
+  let reseed_of id = mix cell_seed (id + 101) in
+  Array.iter (fun (n : Topology.node) -> n.Topology.nd_k.Instance.reseed (reseed_of n.nd_id))
+    topo.Topology.nodes;
+  let board = cut mod Deploy.node_count in
+  for t = 0 to horizon - 1 do
+    if t = cut then Topology.cut topo board ~outage;
+    Topology.step topo ~reseed_of
+  done;
+  (* power restored and settled: finish any open outage so every cell ends
+     with fsck run and boards back up, then let the dust settle *)
+  let extra = ref (outage + 3) in
+  while
+    !extra > 0
+    || Array.exists (fun (n : Topology.node) -> n.Topology.nd_outage > 0) topo.Topology.nodes
+  do
+    if !extra > 0 then decr extra;
+    Topology.step topo ~reseed_of
+  done;
+  let oc = Deploy.check topo in
+  let why = containment_why oc env.ev_stats in
+  {
+    pc_plan = env.ev_plan.pl_name;
+    pc_cut = cut;
+    pc_board = board;
+    pc_class = classify oc env.ev_stats;
+    pc_fsck = oc.Deploy.oc_fsck;
+    pc_silent = oc.Deploy.oc_silent;
+    pc_ok = why = "";
+    pc_why = why;
+    pc_commits = env.ev_stats.Ota.ot_commits;
+    pc_rollbacks = env.ev_stats.Ota.ot_rollbacks;
+    pc_readings =
+      List.fold_left (fun a (_, got) -> a + distinct_readings got) 0 oc.Deploy.oc_got;
+    pc_fp = Topology.fingerprint topo;
+  }
+
+(** The golden run: same deployment, clean link, no cut. The baseline the
+    campaign prints next to injected cells — and a self-check: a golden
+    run must complete the OTA, deliver every reading and pass every
+    containment check, or the deployment itself is broken. *)
+let golden ~seed ~horizon =
+  let env = make_env ~plan:(plan_named "clean") ~seed () in
+  let reseed_of id = mix seed (id + 101) in
+  for _ = 1 to horizon do
+    Topology.step env.ev_topo ~reseed_of
+  done;
+  let oc = Deploy.check env.ev_topo in
+  (oc, env.ev_stats)

@@ -1,0 +1,182 @@
+(** The radio capsule: a board's endpoint on the inter-board {!Link}.
+
+    One capsule instance per board, all sharing one link object — the
+    modeled radio pair. Driver number 12. Commands:
+
+    - 0: this board's node id
+    - 1 (arg1 = dst, arg2 = len): transmit the first [len] bytes of the
+         allowed-ro buffer to node [dst]; returns 0 on success, {!busy}
+         under backpressure (destination window full), {!peer_died} when
+         the destination board is dead — the [Ipc.peer_died] error at
+         fabric scope
+    - 2: receive — copy the oldest pending frame's payload into the
+         allowed-rw buffer; returns its length, or failure when empty
+    - 3: pending frame count for this board
+    - 4 (arg1 = node): liveness probe — 1 if [node] is alive
+    - 5 (arg1 = node): watch [node]: if it dies, the subscribed upcall
+         fires with {!peer_died} instead of leaving the waiter wedged —
+         exactly the IPC capsule's proc-death contract, lifted to boards
+
+    Subscribe upcall 1 is rx-ready: scheduled (edge-triggered, re-armed
+    when the inbox drains) whenever frames are pending. The capsule's
+    queue/watch state snapshots with the kernel like every capsule. *)
+
+open Ticktock
+
+let driver_num = 12
+let peer_died = Link.peer_died
+
+(* Backpressure return value: distinct from both success and failure. *)
+let busy = Userland.failure - 1
+
+type state = {
+  mutable subscribed : int list;  (** pids with the rx-ready upcall *)
+  mutable notified : int list;  (** pids with an un-drained rx notice *)
+  mutable watches : (int * int) list;  (** (pid, watched node) *)
+  mutable death_told : (int * int) list;  (** watches already fired *)
+  mutable svc : Capsule_intf.services option;
+}
+
+let capsule ~(link : Link.t) ~node () =
+  let st = { subscribed = []; notified = []; watches = []; death_told = []; svc = None } in
+  let handle pid =
+    match st.svc with
+    | None -> None
+    | Some svc -> svc.Capsule_intf.svc_handle ~pid ~driver:driver_num
+  in
+  let read_payload (ph : Capsule_intf.process_handle) len =
+    match ph.Capsule_intf.ph_allowed_ro () with
+    | None -> None
+    | Some buf ->
+      let len = min len (Range.size buf) in
+      let rec go i acc =
+        if i >= len then Some acc
+        else
+          match ph.Capsule_intf.ph_read_byte (Range.start buf + i) with
+          | Ok b -> go (i + 1) (acc ^ String.make 1 (Char.chr (b land 0xff)))
+          | Error _ -> None
+      in
+      go 0 ""
+  in
+  let write_payload (ph : Capsule_intf.process_handle) payload =
+    match ph.Capsule_intf.ph_allowed_rw () with
+    | None -> None
+    | Some buf ->
+      let len = min (String.length payload) (Range.size buf) in
+      let rec go i =
+        if i >= len then Some len
+        else
+          match ph.Capsule_intf.ph_write_byte (Range.start buf + i) (Char.code payload.[i]) with
+          | Ok () -> go (i + 1)
+          | Error _ -> None
+      in
+      go 0
+  in
+  let command (ph : Capsule_intf.process_handle) ~cmd ~arg1 ~arg2 =
+    if cmd = 0 then node
+    else if cmd = 1 then begin
+      match read_payload ph arg2 with
+      | None -> Userland.failure
+      | Some payload -> (
+        match Link.send link ~src:node ~dst:arg1 ~port:0 payload with
+        | `Ok -> Userland.success
+        | `Busy -> busy
+        | `Peer_dead -> peer_died)
+    end
+    else if cmd = 2 then begin
+      match Link.pop link ~dst:node ~port:0 with
+      | None ->
+        st.notified <- List.filter (fun p -> p <> ph.Capsule_intf.ph_pid) st.notified;
+        Userland.failure
+      | Some f -> (
+        if Link.pending link ~dst:node ~port:0 = 0 then
+          st.notified <- List.filter (fun p -> p <> ph.Capsule_intf.ph_pid) st.notified;
+        match write_payload ph f.Link.fr_payload with
+        | Some len -> len
+        | None -> Userland.failure)
+    end
+    else if cmd = 3 then begin
+      let n = Link.pending link ~dst:node ~port:0 in
+      if n = 0 then st.notified <- List.filter (fun p -> p <> ph.Capsule_intf.ph_pid) st.notified;
+      n
+    end
+    else if cmd = 4 then (if Link.alive link arg1 then 1 else 0)
+    else if cmd = 5 then begin
+      let w = (ph.Capsule_intf.ph_pid, arg1) in
+      if not (List.mem w st.watches) then st.watches <- st.watches @ [ w ];
+      Userland.success
+    end
+    else Userland.failure
+  in
+  let subscribed (ph : Capsule_intf.process_handle) ~upcall_id =
+    if upcall_id = 1 && not (List.mem ph.Capsule_intf.ph_pid st.subscribed) then
+      st.subscribed <- st.subscribed @ [ ph.Capsule_intf.ph_pid ]
+  in
+  let tick ~now:_ =
+    (* rx-ready: edge-triggered per subscriber, re-armed on drain *)
+    if Link.pending link ~dst:node ~port:0 > 0 then
+      List.iter
+        (fun pid ->
+          if not (List.mem pid st.notified) then
+            match handle pid with
+            | None -> ()
+            | Some peer ->
+              st.notified <- pid :: st.notified;
+              peer.Capsule_intf.ph_schedule_upcall ~upcall_id:1
+                ~arg:(Link.pending link ~dst:node ~port:0))
+        st.subscribed;
+    (* peer-death notices for watched nodes *)
+    List.iter
+      (fun ((pid, watched) as w) ->
+        if not (Link.alive link watched) then begin
+          if not (List.mem w st.death_told) then
+            match handle pid with
+            | None -> ()
+            | Some peer ->
+              st.death_told <- w :: st.death_told;
+              peer.Capsule_intf.ph_schedule_upcall ~upcall_id:1 ~arg:peer_died
+        end
+        else st.death_told <- List.filter (fun w' -> w' <> w) st.death_told)
+      st.watches
+  in
+  let proc_died ~pid =
+    st.subscribed <- List.filter (fun p -> p <> pid) st.subscribed;
+    st.notified <- List.filter (fun p -> p <> pid) st.notified;
+    st.watches <- List.filter (fun (p, _) -> p <> pid) st.watches;
+    st.death_told <- List.filter (fun (p, _) -> p <> pid) st.death_told
+  in
+  let snapshotter =
+    {
+      Capsule_intf.sn_name = "radio";
+      sn_capture =
+        (fun () ->
+          let subscribed = st.subscribed
+          and notified = st.notified
+          and watches = st.watches
+          and death_told = st.death_told in
+          fun () ->
+            st.subscribed <- subscribed;
+            st.notified <- notified;
+            st.watches <- watches;
+            st.death_told <- death_told);
+      sn_fingerprint =
+        (fun () ->
+          let ints h xs = List.fold_left Fp.int (Fp.int h (List.length xs)) xs in
+          let pairs h xs =
+            List.fold_left (fun h (a, b) -> Fp.int (Fp.int h a) b)
+              (Fp.int h (List.length xs))
+              xs
+          in
+          pairs (pairs (ints (ints (Fp.int Fp.seed node) st.subscribed) st.notified) st.watches)
+            st.death_told);
+    }
+  in
+  { (Capsule_intf.stub ~driver_num ~name:"radio") with
+    Capsule_intf.cap_init = (fun svc -> st.svc <- Some svc);
+    cap_command = command;
+    cap_subscribed = subscribed;
+    cap_tick = tick;
+    cap_has_work = (fun () -> Link.pending link ~dst:node ~port:0 > 0);
+    cap_proc_died = proc_died;
+    cap_snapshot = Some snapshotter;
+  }

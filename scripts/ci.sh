@@ -192,6 +192,45 @@ else:
     print("fleet smoke ok: %d cells, reports identical (1-core host: scaling gate skipped, measured %.2fx)"
           % (data["cells"], data["speedup_1_to_2"]))
 EOF
+# Fabric smoke: the multi-board campaign's report must be byte-identical
+# at every jobs setting, and a killed campaign (--stop-after) resumed from
+# its store must reproduce the uninterrupted report exactly.
+dune exec bin/ticktock_cli.exe -- fabric --plans clean,lossy -n 10 -j 1 -o /tmp/ci_fab_j1.txt
+dune exec bin/ticktock_cli.exe -- fabric --plans clean,lossy -n 10 -j 2 -o /tmp/ci_fab_j2.txt
+diff /tmp/ci_fab_j1.txt /tmp/ci_fab_j2.txt
+rm -f /tmp/ci_fab.store
+if dune exec bin/ticktock_cli.exe -- fabric --plans clean,lossy -n 10 -j 2 --store /tmp/ci_fab.store --stop-after 6 2>/dev/null; then
+  echo "fabric: interrupted campaign did NOT exit nonzero"
+  exit 1
+fi
+dune exec bin/ticktock_cli.exe -- fabric --plans clean,lossy -n 10 -j 2 --store /tmp/ci_fab.store --resume -o /tmp/ci_fab_resumed.txt
+diff /tmp/ci_fab_j1.txt /tmp/ci_fab_resumed.txt
+
+# Fabric absence gate: the fabric layer's footprint is host-side only —
+# running a whole campaign in the same process must leave the modeled
+# experiments byte-identical (same discipline as the obs/superblock
+# invisibility gates; fabric counters are host-flagged metric rows).
+FABRIC_CUTS=4 dune exec bench/main.exe -- fabric fig11 difftest latency fuzz > /tmp/ci_det_fab.txt
+n=$(wc -l < /tmp/ci_det_a.txt)
+tail -n "$n" /tmp/ci_det_fab.txt > /tmp/ci_det_fab_tail.txt
+diff /tmp/ci_det_a.txt /tmp/ci_det_fab_tail.txt
+
+# Fabric bench gate: the full sweep (a power cut at every tick of every
+# plan) must classify every cut point, prove zero silent cross-board
+# corruption, and merge byte-identically at every jobs setting.
+FABRIC_CUTS=${FABRIC_CUTS:-36} dune exec bench/main.exe -- fabric
+python3 - <<'EOF'
+import json
+with open("BENCH_fabric.json") as f:
+    data = json.load(f)
+assert data["reports_identical"], "fabric reports diverged across jobs settings"
+assert data["silent_corruptions"] == 0, f"silent cross-board corruption ({data['silent_corruptions']})"
+for row in data["scaling"]:
+    assert row["ok"], f"fabric campaign failed at jobs={row['jobs']}"
+print("fabric smoke ok: %d plans x %d cuts, zero silent corruption, reports identical"
+      % (data["plans"], data["cuts_per_plan"]))
+EOF
+
 # Fuzzcov smoke: the guided campaign's report must be byte-identical at
 # every jobs setting, and a killed campaign (--stop-after) resumed from
 # its store must reproduce the uninterrupted report exactly — same

@@ -234,6 +234,133 @@ let test_server_death_wakes_ipc_client () =
   check_bool "client completed, not wedged" true (client.Process.state = Process.Exited 0);
   Alcotest.(check string) "client saw the error upcall" "peer died" (Process.output client)
 
+(* The exit path must fire the same peer-death plumbing as the fault path:
+   a server that returns without replying leaves no wedged clients. *)
+let test_server_exit_wakes_ipc_client () =
+  let caps, _ = Capsules.Board_set.standard () in
+  let _, k = Boards.make_ticktock_arm ~capsules:caps () in
+  let load name script =
+    match
+      K.create_process k ~name ~payload:name ~program:(to_program script) ~min_ram:2048
+        ~grant_reserve:1024 ()
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "load %s: %a" name Kerror.pp e
+  in
+  let server =
+    load "svc"
+      (let* _ = subscribe ~driver:9 ~upcall_id:2 in
+       let* _ = command ~driver:9 ~cmd:0 () in
+       (* wake on the client's notify, then exit cleanly without replying *)
+       let* _ = yield in
+       return 0)
+  in
+  let client =
+    load "cli"
+      (let* ms = memory_start in
+       let* () = write_cstring ms "svc" in
+       let* _ = allow_ro ~driver:9 ~addr:ms ~len:4 in
+       let* srv = command ~driver:9 ~cmd:1 () in
+       let* _ = subscribe ~driver:9 ~upcall_id:3 in
+       let* _ = command ~driver:9 ~cmd:2 ~arg1:srv () in
+       let* reply = yield in
+       let* () =
+         if reply = Capsules.Ipc.peer_died then print "peer died" else print "bad wake"
+       in
+       return 0)
+  in
+  K.run k ~max_ticks:300;
+  check_bool "server exited cleanly" true (server.Process.state = Process.Exited 0);
+  check_bool "client completed, not wedged" true (client.Process.state = Process.Exited 0);
+  Alcotest.(check string) "client saw the error upcall" "peer died" (Process.output client)
+
+(* A server under Restart_backoff that dies mid-exchange: the waiting
+   client is woken with peer-died immediately (not when the restart
+   lands), and once the deferred restart re-registers the service the
+   client's retry completes against the new incarnation. *)
+let test_backoff_restart_mid_wait () =
+  let caps, _ = Capsules.Board_set.standard () in
+  let _, k = Boards.make_ticktock_arm ~capsules:caps () in
+  let serve_and_reply =
+    let* _ = subscribe ~driver:9 ~upcall_id:2 in
+    let* _ = command ~driver:9 ~cmd:0 () in
+    let* cli = yield in
+    let* _ = command ~driver:9 ~cmd:3 ~arg1:cli () in
+    return 0
+  in
+  let crash_after_notify =
+    let* _ = subscribe ~driver:9 ~upcall_id:2 in
+    let* _ = command ~driver:9 ~cmd:0 () in
+    let* _ = yield in
+    let* _ = load8 (Range.start Layout.kernel_sram) in
+    return 0
+  in
+  let server =
+    match
+      K.create_process k ~name:"svc" ~payload:"svc"
+        ~program:(to_program crash_after_notify)
+        ~min_ram:2048 ~grant_reserve:1024
+        ~fault_policy:
+          (Process.Restart_backoff
+             { max_restarts = 3; base_delay = 4; max_delay = 16; decay_span = 0 })
+        ~program_factory:(fun () -> to_program serve_and_reply)
+        ()
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "load svc: %a" Kerror.pp e
+  in
+  let client =
+    match
+      K.create_process k ~name:"cli" ~payload:"cli"
+        ~program:
+          (to_program
+             (let* ms = memory_start in
+              let* () = write_cstring ms "svc" in
+              let* _ = allow_ro ~driver:9 ~addr:ms ~len:4 in
+              let* srv = command ~driver:9 ~cmd:1 () in
+              let* _ = subscribe ~driver:9 ~upcall_id:3 in
+              let* _ = command ~driver:9 ~cmd:2 ~arg1:srv () in
+              let* reply = yield in
+              if reply <> Capsules.Ipc.peer_died then
+                let* () = print "expected peer death" in
+                return 1
+              else
+                (* rediscover through the backoff window: registration is
+                   gone until the deferred restart runs the new program *)
+                let rec rediscover tries =
+                  if tries = 0 then
+                    let* () = print "gave up" in
+                    return 1
+                  else
+                    let* srv = command ~driver:9 ~cmd:1 () in
+                    if srv = Userland.failure then
+                      let* _ = compute 8 in
+                      rediscover (tries - 1)
+                    else
+                      let* _ = command ~driver:9 ~cmd:2 ~arg1:srv () in
+                      let* reply = yield in
+                      if reply = Capsules.Ipc.peer_died then
+                        let* () = print "died again" in
+                        return 1
+                      else
+                        let* () = print "recovered" in
+                        return 0
+                in
+                rediscover 64))
+        ~min_ram:2048 ~grant_reserve:1024 ()
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "load cli: %a" Kerror.pp e
+  in
+  K.run k ~max_ticks:600;
+  check_int "server restarted once" 1 server.Process.restarts;
+  check_bool "restarted server completed" true (server.Process.state = Process.Exited 0);
+  check_bool "client completed" true (client.Process.state = Process.Exited 0);
+  Alcotest.(check string) "client rode out the backoff window" "recovered"
+    (Process.output client);
+  check_bool "the backoff was real (scheduled restart visible)" true
+    (has "restart scheduled in 4 ticks" (K.console_output k))
+
 let test_status_dump_on_fault () =
   let _, k = Boards.make_ticktock_arm () in
   let _ = create k faulty_script in
@@ -265,4 +392,7 @@ let suite =
       test_watchdog_spares_syscalling_process;
     Alcotest.test_case "server death wakes ipc client" `Quick
       test_server_death_wakes_ipc_client;
+    Alcotest.test_case "server exit wakes ipc client" `Quick
+      test_server_exit_wakes_ipc_client;
+    Alcotest.test_case "backoff restart mid-wait" `Quick test_backoff_restart_mid_wait;
   ]

@@ -130,7 +130,7 @@ let test_min_ram_too_big_refused () =
       ~program:(to_program (return 0))
       ~min_ram:0x100_0000 ~grant_reserve:1024 ~heap_headroom:0
   with
-  | Error (Kerror.Out_of_memory | Kerror.Heap_error) -> ()
+  | Error Kerror.Image_oversized -> ()
   | Error e -> Alcotest.failf "unexpected error %a" Kerror.pp e
   | Ok _ -> Alcotest.fail "impossible allocation accepted"
 

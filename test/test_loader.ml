@@ -82,9 +82,56 @@ let test_flash_exhaustion () =
   in
   fill (Range.start Layout.app_flash) 0
 
+(* --- malformed-image regressions (the OTA paths lean on these) --- *)
+
+let test_truncated_image_fails_credentials () =
+  (* a power cut mid-write leaves a header that promises more payload than
+     flash holds; the read yields zero-filled tail bytes and the
+     credentials footer must refuse the image *)
+  let mem = Memory.create () in
+  let img = image ~payload:(String.make 400 'q') () in
+  Loader.write_image mem ~base:0x0002_0000 img;
+  let tail = 0x0002_0000 + (4 * Loader.header_words) + 4 + 200 in
+  for a = tail to tail + 250 do
+    Memory.write8 mem a 0
+  done;
+  check_bool "truncated image fails credentials" false
+    (Loader.verify_credentials mem ~base:0x0002_0000)
+
+let test_implausible_header_rejected () =
+  (* a header whose length fields are absurd must be refused before any
+     read is attempted, not trusted into a giant read *)
+  let mem = Memory.create () in
+  Memory.write32 mem 0x0002_0000 0x54424632;
+  Memory.write32 mem (0x0002_0000 + 4) 2;
+  Memory.write32 mem (0x0002_0000 + 16) 5_000 (* name_len *);
+  Memory.write32 mem (0x0002_0000 + 20) 64;
+  check_bool "absurd name_len rejected" true
+    (Result.is_error (Loader.read_image mem ~base:0x0002_0000));
+  Memory.write32 mem (0x0002_0000 + 16) 4;
+  Memory.write32 mem (0x0002_0000 + 20) (1 lsl 24) (* payload_len *);
+  check_bool "absurd payload_len rejected" true
+    (Result.is_error (Loader.read_image mem ~base:0x0002_0000))
+
+let test_oversized_image_typed_refusal () =
+  (* an image whose padded layout exceeds the whole app-flash window gets
+     the typed [Image_oversized], distinct from a merely full flash *)
+  let mem = Memory.create () in
+  let big = image ~payload:(String.make (Range.size Layout.app_flash) 'x') () in
+  check_bool "fits refuses it up front" false (Loader.fits big);
+  (match Loader.place mem ~cursor:(Range.start Layout.app_flash) big with
+  | Error Kerror.Image_oversized -> ()
+  | Error e -> Alcotest.failf "expected Image_oversized, got %a" Kerror.pp e
+  | Ok _ -> Alcotest.fail "oversized image placed");
+  (* a plausible image on a full flash still gets Out_of_memory *)
+  check_bool "normal image fits" true (Loader.fits (image ()))
+
 let suite =
   [
     Alcotest.test_case "image roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "truncated image refused" `Quick test_truncated_image_fails_credentials;
+    Alcotest.test_case "implausible header refused" `Quick test_implausible_header_rejected;
+    Alcotest.test_case "oversized image typed refusal" `Quick test_oversized_image_typed_refusal;
     Alcotest.test_case "magic check" `Quick test_magic_check;
     Alcotest.test_case "padded size" `Quick test_padded_size;
     Alcotest.test_case "placement alignment" `Quick test_place_alignment;
