@@ -1103,13 +1103,15 @@ let snap_dirty_sweep () =
    check that makes fork mode admissible: identical outcome lists. *)
 let snap_campaign ~seeds =
   let make () = Boards.instance_ticktock_arm () in
-  let run mode = Apps.Fuzz.campaign ~mode ~seeds ~fuzzers:2 ~steps:50 make in
+  let run exec = Apps.Fuzz.campaign ~exec ~seeds ~fuzzers:2 ~steps:50 make in
   let boot = ref ([], []) and forked = ref ([], []) in
   let t_boot =
-    Verify.Violation.with_enabled true (fun () -> bus_time (fun () -> boot := run `Boot))
+    Verify.Violation.with_enabled true (fun () ->
+        bus_time (fun () -> boot := run Ticktock.Replayable.Exec.Boot))
   in
   let t_fork =
-    Verify.Violation.with_enabled true (fun () -> bus_time (fun () -> forked := run `Fork))
+    Verify.Violation.with_enabled true (fun () ->
+        bus_time (fun () -> forked := run Ticktock.Replayable.Exec.Fork))
   in
   let identical = !boot = !forked in
   (t_boot, t_fork, List.length (fst !boot), identical)
@@ -1490,10 +1492,105 @@ let fuzzcov_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* --------------------------------------------------------------------- *)
+(* Time-travel replay: record overhead vs a plain run, and backward-step  *)
+(* latency as a function of the interval-snapshot spacing K. A backward   *)
+(* step restores the nearest snapshot at or below the target and          *)
+(* re-executes — expected cost O(K/2) ticks — while recording itself      *)
+(* only adds a fingerprint at every K-th boundary.                        *)
+(* --------------------------------------------------------------------- *)
+
+let replay_bench () =
+  print_endline "\n=== replay: record overhead and backward-step latency ===";
+  let board = "ticktock-arm" in
+  let sched = Replay.Schedule.fleet_cell ~seed:1 ~fuzzers:16 ~steps:20000 in
+  Verify.Violation.with_enabled true (fun () ->
+      (* the plain run: same cell, nothing recorded *)
+      let t_plain =
+        bus_time (fun () ->
+            Cycles.set Cycles.global 0;
+            let k = Capsules.Std_board.make ~what:"Bench" board in
+            Replay.Schedule.apply k sched;
+            let s = Ticktock.Replayable.of_instance ~name:board k in
+            let rec go () =
+              let now = s.Ticktock.Replayable.rp_tick () in
+              if s.Ticktock.Replayable.rp_crash () = None then begin
+                s.Ticktock.Replayable.rp_step ~ticks:1;
+                if s.Ticktock.Replayable.rp_tick () > now then go ()
+              end
+            in
+            go ())
+      in
+      let bundle = ref None in
+      let t_record =
+        bus_time (fun () ->
+            let lv = Replay.Record.board_live ~what:"Bench" ~board ~horizon:max_int sched in
+            bundle := Some (Replay.Record.record ~interval:8 lv))
+      in
+      let b = Option.get !bundle in
+      let horizon = b.Replay.Bundle.bu_header.Replay.Bundle.hd_horizon in
+      let reproduced = Replay.Record.reproduces b in
+      (* backward-step latency per interval: goto the horizon, then step
+         backward one tick at a time over the middle of the recording *)
+      let back_steps = 20 in
+      let sweep =
+        List.map
+          (fun interval ->
+            let nav = Replay.Record.navigator ~interval b in
+            Replay.Navigator.goto nav horizon;
+            let t =
+              bus_time (fun () ->
+                  for _ = 1 to back_steps do
+                    Replay.Navigator.back nav 1
+                  done)
+            in
+            (interval, t /. float_of_int back_steps))
+          [ 4; 16; 64 ]
+      in
+      (* identity: horizon, back 10 == fresh forward to horizon - 10 *)
+      let nav = Replay.Record.navigator ~interval:16 b in
+      Replay.Navigator.goto nav horizon;
+      Replay.Navigator.back nav 10;
+      let nav2 = Replay.Record.navigator ~interval:16 b in
+      Replay.Navigator.goto nav2 (horizon - 10);
+      let back_identical =
+        Replay.Navigator.fingerprint nav = Replay.Navigator.fingerprint nav2
+      in
+      Printf.printf "cell: %d ticks  plain %.1f ms  record %.1f ms  (x%.2f)\n" horizon
+        (t_plain *. 1e3) (t_record *. 1e3) (t_record /. t_plain);
+      List.iter
+        (fun (k, s) -> Printf.printf "  interval %3d: back-step %7.1f us\n" k (s *. 1e6))
+        sweep;
+      Printf.printf "reproduced %b  back-identical %b\n" reproduced back_identical;
+      let oc = open_out "BENCH_replay.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"replay\",\n\
+        \  \"board\": %S,\n\
+        \  \"ticks\": %d,\n\
+        \  \"plain_ms\": %.3f,\n\
+        \  \"record_ms\": %.3f,\n\
+        \  \"record_overhead\": %.3f,\n\
+        \  \"reproduced\": %b,\n\
+        \  \"back_identical\": %b,\n\
+        \  \"back_step_sweep\": [\n%s\n  ]\n\
+         }\n"
+        board horizon (t_plain *. 1e3) (t_record *. 1e3)
+        (t_record /. t_plain)
+        reproduced back_identical
+        (String.concat ",\n"
+           (List.map
+              (fun (k, s) ->
+                Printf.sprintf "    { \"interval\": %d, \"back_step_us\": %.2f }" k
+                  (s *. 1e6))
+              sweep));
+      close_out oc;
+      print_endline "wrote BENCH_replay.json")
+
 let usage () =
   print_endline
     "usage: main.exe [--superblock on|off] \
-     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|fabric|fuzzcov|bechamel|all]";
+     [fig10|fig11|fig12|mem|difftest|bugs|bus|icache|obs|chaos|snapshot|fleet|fabric|fuzzcov|replay|bechamel|all]";
   print_endline
     "  --superblock on|off   icache: measure only the trace-linked (on) or\n\
     \                        per-block (off) warm engine; default measures both"
@@ -1519,6 +1616,7 @@ let () =
       ("fleet", fleet_bench);
       ("fabric", fabric_bench);
       ("fuzzcov", fuzzcov_bench);
+      ("replay", replay_bench);
       ("bechamel", bechamel_run);
     ]
   in

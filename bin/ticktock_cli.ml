@@ -10,10 +10,15 @@
      ticktock trace [-o FILE]       run the suite, export a Chrome trace
      ticktock chaos [-n N] [-f N]   seeded fault-injection campaign
      ticktock snapshot ...          capture/inspect/verify board snapshots
+     ticktock replay ...            record / navigate TICKRPL replay bundles
 
-   fuzz and chaos accept --fork (boot once, fork each round from the
-   post-boot snapshot) and --from-snapshot FILE (start from an on-disk
-   image; the versioned header is checked against the board).
+   fuzz, difftest and chaos take the shared execution spec
+   `--exec boot|fork|snapshot:FILE` (fork = boot once per worker, restore
+   the pristine post-boot image per cell; snapshot:FILE forks from an
+   on-disk image whose versioned header is checked against the board).
+   The old --fork / --from-snapshot FILE flags remain as deprecated
+   aliases that warn on stderr. Campaign commands share one exit-code
+   convention: 0 clean, 2 findings, 3 interrupted, 1 usage error.
 *)
 
 open Ticktock
@@ -61,25 +66,20 @@ let run_cmd =
     Term.(const run $ board_arg $ verbose)
 
 let difftest_cmd =
-  let run fork =
-    Verify.Violation.set_enabled false;
-    let left = Apps.Difftest.run_suite ~fork (Boards.instance_ticktock_arm ()) in
-    let right = Apps.Difftest.run_suite ~fork (Boards.instance_tock_arm ()) in
-    Format.printf "%a@." Apps.Difftest.pp_comparison
-      (Apps.Difftest.compare_suites ~left ~right);
-    0
-  in
-  let fork =
-    Arg.(
-      value & flag
-      & info [ "fork" ]
-          ~doc:
-            "Run each suite on a restored fork of the board's post-boot snapshot instead of \
-             the boot itself (the output must be byte-identical either way).")
+  let run exec =
+    match exec with
+    | Error m -> Cli_common.usage_error m
+    | Ok exec ->
+      Verify.Violation.set_enabled false;
+      let left = Apps.Difftest.run_suite ~exec (Boards.instance_ticktock_arm ()) in
+      let right = Apps.Difftest.run_suite ~exec (Boards.instance_tock_arm ()) in
+      Format.printf "%a@." Apps.Difftest.pp_comparison
+        (Apps.Difftest.compare_suites ~left ~right);
+      0
   in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Differential-test Tock vs TickTock (§6.1)")
-    Term.(const run $ fork)
+    Term.(const run $ Cli_common.exec_term)
 
 let attack_cmd =
   let run board =
@@ -131,35 +131,20 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Check the proof components (§4)") Term.(const run $ scale)
 
 let fuzz_cmd =
-  let run board seeds fork from_snapshot =
-    match List.assoc_opt board Boards.all_instances with
-    | None ->
+  let run board seeds exec =
+    match (List.assoc_opt board Boards.all_instances, exec) with
+    | None, _ ->
       Printf.eprintf "unknown board %S\n" board;
       1
-    | Some make ->
+    | Some _, Error m -> Cli_common.usage_error m
+    | Some make, Ok exec ->
       let contracts =
         (* contracts on for the verified kernels, off for the baselines *)
         String.length board >= 8 && String.sub board 0 8 = "ticktock"
       in
-      (* --from-snapshot overlays the file image on every worker's board
-         right after boot (refusing mismatched arch/board/layout) and
-         implies the fork path; --fork alone forks from the board's own
-         post-boot image. *)
-      let make =
-        match from_snapshot with
-        | None -> make
-        | Some path ->
-          fun () ->
-            let k = make () in
-            (match k.Instance.snap_target with
-            | Some tgt -> Snapshot.load tgt path
-            | None -> invalid_arg "--from-snapshot: board has no snapshot target");
-            k
-      in
-      let mode = if fork || from_snapshot <> None then `Fork else `Boot in
       let rounds, panics =
         Verify.Violation.with_enabled contracts (fun () ->
-            Apps.Fuzz.campaign ~mode ~seeds make)
+            Apps.Fuzz.campaign ~exec ~seeds make)
       in
       List.iter
         (fun (r : Apps.Fuzz.outcome) ->
@@ -171,30 +156,15 @@ let fuzz_cmd =
         rounds;
       Printf.printf "\n%d/%d rounds panicked the kernel\n" (List.length panics)
         (List.length rounds);
-      if List.length panics = 0 then 0 else 2
+      if List.length panics = 0 then Cli_common.exit_clean else Cli_common.exit_findings
   in
   let seeds = Arg.(value & opt int 20 & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Seeds to try.") in
-  let fork =
-    Arg.(
-      value & flag
-      & info [ "fork" ]
-          ~doc:"Boot one board per worker and fork every round from its post-boot snapshot.")
-  in
-  let from_snapshot =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "from-snapshot" ] ~docv:"FILE"
-          ~doc:
-            "Start every round from the snapshot in $(docv) (implies --fork; refuses a \
-             mismatched architecture, board or memory layout).")
-  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a board with hostile syscall/memory streams")
-    Term.(const run $ board_arg $ seeds $ fork $ from_snapshot)
+    Term.(const run $ board_arg $ seeds $ Cli_common.exec_term)
 
 let chaos_cmd =
-  let run board nseeds faults out fork from_snapshot =
+  let run board nseeds faults out exec =
     let boards =
       match board with
       | None -> Ok Chaos.Targets.boards
@@ -207,28 +177,19 @@ let chaos_cmd =
                (String.concat ", "
                   (List.map (fun b -> b.Chaos.Targets.tb_name) Chaos.Targets.boards))))
     in
-    match boards with
-    | Error m ->
-      prerr_endline m;
-      1
-    | Ok boards ->
+    match (boards, exec) with
+    | Error m, _ | _, Error m -> Cli_common.usage_error m
+    | Ok boards, Ok exec ->
       let seeds = List.init nseeds (fun i -> i + 1) in
-      let mode = if fork || from_snapshot <> None then `Fork else `Boot in
       let result =
         Verify.Violation.with_enabled true (fun () ->
-            Chaos.Campaign.run ~mode ?from_snapshot ~boards ~seeds ~faults ())
+            Chaos.Campaign.run ~exec ~boards ~seeds ~faults ())
       in
-      (match out with
-      | None -> print_string result.Chaos.Campaign.report
-      | Some path ->
-        let oc = open_out path in
-        output_string oc result.Chaos.Campaign.report;
-        close_out oc;
-        Printf.printf "wrote %s (%d faults, %d masked / %d healed / %d contained, %s)\n"
-          path result.Chaos.Campaign.total_fired result.Chaos.Campaign.total_masked
-          result.Chaos.Campaign.total_healed result.Chaos.Campaign.total_contained
-          (if result.Chaos.Campaign.ok then "ok" else "FAILED"));
-      if result.Chaos.Campaign.ok then 0 else 2
+      Printf.eprintf "chaos: %d faults fired, %d masked / %d healed / %d contained\n"
+        result.Chaos.Campaign.total_fired result.Chaos.Campaign.total_masked
+        result.Chaos.Campaign.total_healed result.Chaos.Campaign.total_contained;
+      Cli_common.finish ~label:"chaos" ~ok:result.Chaos.Campaign.ok ~out
+        result.Chaos.Campaign.report
   in
   let board =
     let doc =
@@ -244,36 +205,12 @@ let chaos_cmd =
   let faults =
     Arg.(value & opt int 40 & info [ "f"; "faults" ] ~docv:"N" ~doc:"Faults per round.")
   in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
-  in
-  let fork =
-    Arg.(
-      value & flag
-      & info [ "fork" ]
-          ~doc:
-            "Boot each board once per round and fork both the golden and the injected run \
-             from its post-boot snapshot.")
-  in
-  let from_snapshot =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "from-snapshot" ] ~docv:"FILE"
-          ~doc:
-            "Overlay the snapshot in $(docv) on each board before forking (implies --fork; \
-             refuses a mismatched architecture, board or memory layout — use with a single \
-             $(b,-k) board).")
-  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded fault-injection campaign (golden vs injected suite runs; every fault \
           classified masked/healed/contained)")
-    Term.(const run $ board $ seeds $ faults $ out $ fork $ from_snapshot)
+    Term.(const run $ board $ seeds $ faults $ Cli_common.out_arg $ Cli_common.exec_term)
 
 let snapshot_cmd =
   let run board out info_path check_path =
@@ -463,7 +400,7 @@ let trace_cmd =
     Term.(const run $ board_arg $ out)
 
 let fleet_cmd =
-  let run cells boards jobs store resume stop_after out =
+  let run cells boards jobs store resume stop_after bundles out =
     try
       let spec =
         let d = Fleet.Campaign.default_spec in
@@ -492,27 +429,31 @@ let fleet_cmd =
         r.Fleet.Campaign.fl_ran r.Fleet.Campaign.fl_resumed r.Fleet.Campaign.fl_booted
         r.Fleet.Campaign.fl_steals dt
         (if dt > 0. then float_of_int r.Fleet.Campaign.fl_ran /. dt else 0.);
-      if not r.Fleet.Campaign.fl_complete then begin
-        Printf.eprintf "fleet: campaign interrupted (resume it with --resume)\n";
-        3
-      end
+      if not r.Fleet.Campaign.fl_complete then Cli_common.interrupted ~label:"fleet"
       else begin
-        (match out with
-        | None -> print_string r.Fleet.Campaign.fl_report
-        | Some path ->
-          let oc = open_out path in
-          output_string oc r.Fleet.Campaign.fl_report;
-          close_out oc;
-          Printf.eprintf "fleet: wrote %s\n" path);
-        if r.Fleet.Campaign.fl_ok then 0 else 2
+        (match bundles with
+        | None -> ()
+        | Some dir ->
+          let failing =
+            Array.to_list r.Fleet.Campaign.fl_cells
+            |> List.filter_map (function
+                 | Some (c : Fleet.Campaign.cell)
+                   when c.Fleet.Campaign.cl_panic
+                        || not
+                             (c.Fleet.Campaign.cl_witness_ok
+                             && c.Fleet.Campaign.cl_isolation_ok) ->
+                   Some
+                     ( Printf.sprintf "fleet-cell-%d" c.Fleet.Campaign.cl_index,
+                       fun () -> Replay.Record.of_fleet_cell spec c )
+                 | _ -> None)
+          in
+          Cli_common.write_bundles ~label:"fleet" ~dir failing);
+        Cli_common.finish ~label:"fleet" ~ok:r.Fleet.Campaign.fl_ok ~out
+          r.Fleet.Campaign.fl_report
       end
     with
-    | Invalid_argument m | Failure m ->
-      prerr_endline m;
-      1
-    | Fleet.Store.Refused m ->
-      prerr_endline m;
-      1
+    | Invalid_argument m | Failure m -> Cli_common.usage_error m
+    | Fleet.Store.Refused m -> Cli_common.usage_error m
   in
   let cells =
     Arg.(
@@ -555,22 +496,17 @@ let fleet_cmd =
             "Stop dispatching after about $(docv) new cells (deterministic kill, for \
              resumability testing).")
   in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Write the merged report to $(docv) instead of stdout.")
-  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
          "Fleet-scale campaign: snapshot-fork thousands of board-instances across a \
           work-stealing domain pool")
-    Term.(const run $ cells $ boards $ jobs $ store $ resume $ stop_after $ out)
+    Term.(
+      const run $ cells $ boards $ jobs $ store $ resume $ stop_after $ Cli_common.bundles_arg
+      $ Cli_common.out_arg)
 
 let fabric_cmd =
-  let run plans cuts horizon jobs store resume stop_after out =
+  let run plans cuts horizon jobs store resume stop_after bundles out =
     try
       let spec =
         let d = Fabric.Campaign.default_spec in
@@ -598,27 +534,27 @@ let fabric_cmd =
         (Array.length r.Fabric.Campaign.fb_cells)
         r.Fabric.Campaign.fb_ran r.Fabric.Campaign.fb_resumed r.Fabric.Campaign.fb_steals dt
         (if dt > 0. then float_of_int r.Fabric.Campaign.fb_ran /. dt else 0.);
-      if not r.Fabric.Campaign.fb_complete then begin
-        Printf.eprintf "fabric: campaign interrupted (resume it with --resume)\n";
-        3
-      end
+      if not r.Fabric.Campaign.fb_complete then Cli_common.interrupted ~label:"fabric"
       else begin
-        (match out with
-        | None -> print_string r.Fabric.Campaign.fb_report
-        | Some path ->
-          let oc = open_out path in
-          output_string oc r.Fabric.Campaign.fb_report;
-          close_out oc;
-          Printf.eprintf "fabric: wrote %s\n" path);
-        if r.Fabric.Campaign.fb_ok then 0 else 2
+        (match bundles with
+        | None -> ()
+        | Some dir ->
+          let failing =
+            Array.to_list r.Fabric.Campaign.fb_cells
+            |> List.filter_map (function
+                 | Some (c : Fabric.Campaign.cell) when not c.Fabric.Campaign.fc_ok ->
+                   Some
+                     ( Printf.sprintf "fabric-cell-%d" c.Fabric.Campaign.fc_index,
+                       fun () -> Replay.Record.of_fabric_cell spec c )
+                 | _ -> None)
+          in
+          Cli_common.write_bundles ~label:"fabric" ~dir failing);
+        Cli_common.finish ~label:"fabric" ~ok:r.Fabric.Campaign.fb_ok ~out
+          r.Fabric.Campaign.fb_report
       end
     with
-    | Invalid_argument m | Failure m ->
-      prerr_endline m;
-      1
-    | Fleet.Store.Refused m ->
-      prerr_endline m;
-      1
+    | Invalid_argument m | Failure m -> Cli_common.usage_error m
+    | Fleet.Store.Refused m -> Cli_common.usage_error m
   in
   let plans =
     Arg.(
@@ -666,22 +602,17 @@ let fabric_cmd =
             "Stop dispatching after about $(docv) new cells (deterministic kill, for \
              resumability testing).")
   in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Write the campaign report to $(docv) instead of stdout.")
-  in
   Cmd.v
     (Cmd.info "fabric"
        ~doc:
          "Multi-board fabric campaign: OTA updates and gateway traffic under link faults, \
           with a power cut at every tick, classified for cross-board containment")
-    Term.(const run $ plans $ cuts $ horizon $ jobs $ store $ resume $ stop_after $ out)
+    Term.(
+      const run $ plans $ cuts $ horizon $ jobs $ store $ resume $ stop_after
+      $ Cli_common.bundles_arg $ Cli_common.out_arg)
 
 let fuzzcov_cmd =
-  let run board seed pop gens jobs store resume stop_after bundle replay out =
+  let run board seed pop gens jobs store resume stop_after bundle bundles replay out =
     try
       match replay with
       | Some path -> (
@@ -726,10 +657,7 @@ let fuzzcov_cmd =
           (if dt > 0. then
              float_of_int (r.Fuzzcov.Engine.fz_ran_gens * spec.Fuzzcov.Engine.fc_pop) /. dt
            else 0.);
-        if not r.Fuzzcov.Engine.fz_complete then begin
-          Printf.eprintf "fuzzcov: campaign interrupted (resume it with --resume)\n";
-          3
-        end
+        if not r.Fuzzcov.Engine.fz_complete then Cli_common.interrupted ~label:"fuzzcov"
         else begin
           (match (bundle, r.Fuzzcov.Engine.fz_crashers) with
           | Some path, c :: _ ->
@@ -737,22 +665,23 @@ let fuzzcov_cmd =
             Printf.eprintf "fuzzcov: wrote first crasher to %s\n" path
           | Some _, [] -> Printf.eprintf "fuzzcov: no crashers, no bundle written\n"
           | None, _ -> ());
-          (match out with
-          | None -> print_string r.Fuzzcov.Engine.fz_report
-          | Some path ->
-            let oc = open_out path in
-            output_string oc r.Fuzzcov.Engine.fz_report;
-            close_out oc;
-            Printf.eprintf "fuzzcov: wrote %s\n" path);
-          if r.Fuzzcov.Engine.fz_ok then 0 else 2
+          (match bundles with
+          | None -> ()
+          | Some dir ->
+            let crashers =
+              List.mapi
+                (fun i (c : Fuzzcov.Engine.crasher) ->
+                  ( Printf.sprintf "fuzzcov-crasher-%d" i,
+                    fun () -> Replay.Record.of_fuzzcov spec c ))
+                r.Fuzzcov.Engine.fz_crashers
+            in
+            Cli_common.write_bundles ~label:"fuzzcov" ~dir crashers);
+          Cli_common.finish ~label:"fuzzcov" ~ok:r.Fuzzcov.Engine.fz_ok ~out
+            r.Fuzzcov.Engine.fz_report
         end
     with
-    | Invalid_argument m | Failure m ->
-      prerr_endline m;
-      1
-    | Fleet.Store.Refused m ->
-      prerr_endline m;
-      1
+    | Invalid_argument m | Failure m -> Cli_common.usage_error m
+    | Fleet.Store.Refused m -> Cli_common.usage_error m
   in
   let board =
     Arg.(
@@ -819,13 +748,6 @@ let fuzzcov_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Replay a crasher bundle written by $(b,--bundle) and verify it reproduces.")
   in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Write the campaign report to $(docv) instead of stdout.")
-  in
   Cmd.v
     (Cmd.info "fuzzcov"
        ~doc:
@@ -833,7 +755,278 @@ let fuzzcov_cmd =
           coverage map, triage crashers, emit replayable bundles")
     Term.(
       const run $ board $ seed $ pop $ gens $ jobs $ store $ resume $ stop_after $ bundle
-      $ replay $ out)
+      $ Cli_common.bundles_arg $ replay $ Cli_common.out_arg)
+
+(* --- ticktock replay: record and navigate TICKRPL bundles --- *)
+
+let replay_group =
+  let bundle_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE" ~doc:"TICKRPL bundle file.")
+  in
+  let tick_arg =
+    Arg.(value & opt int 0 & info [ "t"; "tick" ] ~docv:"T" ~doc:"Target tick.")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "interval" ] ~docv:"K"
+          ~doc:
+            "Interval-snapshot spacing for navigation (default: the bundle's recording \
+             interval). Backward steps cost at most K ticks of re-execution.")
+  in
+  (* Load the bundle and run [f] with contracts armed the way the bundle's
+     subject expects; every refusal (bad magic/version/layout, fingerprint
+     divergence) is a clean exit 1 with the reason on stderr. *)
+  let with_bundle path f =
+    try
+      let b = Replay.Bundle.load path in
+      Replay.Record.with_contracts b (fun () -> f b)
+    with Replay.Bundle.Refused m | Invalid_argument m | Failure m -> Cli_common.usage_error m
+  in
+  let nav_to b interval tick =
+    let nav = Replay.Record.navigator ?interval b in
+    Replay.Navigator.goto nav tick;
+    nav
+  in
+  let print_state nav =
+    Printf.printf "tick %d  fp %s\n" (Replay.Navigator.tick nav)
+      (Fp.to_hex (Replay.Navigator.fingerprint nav));
+    match Replay.Navigator.crash nav with
+    | Some c -> Printf.printf "crash at tick %d: %s\n" c.Replayable.cr_tick c.Replayable.cr_reason
+    | None -> ()
+  in
+  let print_regs nav =
+    match Replay.Navigator.regs nav with
+    | [] -> print_endline "(no architectural registers on this session)"
+    | regs -> List.iter (fun (n, v) -> Printf.printf "%-4s %s\n" n v) regs
+  in
+  let info_cmd =
+    let run path =
+      try
+        let b = Replay.Bundle.load path in
+        Format.printf "%a@." Replay.Bundle.pp b;
+        let sched = Replay.Bundle.schedule b in
+        if sched <> [] then Format.printf "schedule:@.%s" (Replay.Schedule.encode sched);
+        0
+      with Replay.Bundle.Refused m -> Cli_common.usage_error m
+    in
+    Cmd.v
+      (Cmd.info "info" ~doc:"Print a bundle's header and input schedule")
+      Term.(const run $ bundle_pos)
+  in
+  let run_cmd =
+    let run path =
+      with_bundle path (fun b ->
+          if Replay.Record.reproduces b then begin
+            Printf.printf "reproduced: %d ticks to fp %s%s\n" b.Replay.Bundle.bu_header.Replay.Bundle.hd_horizon
+              (Fp.to_hex b.Replay.Bundle.bu_header.Replay.Bundle.hd_final_fp)
+              (match b.Replay.Bundle.bu_header.Replay.Bundle.hd_crash with
+              | Some (tick, reason) -> Printf.sprintf " (crash at %d: %s)" tick reason
+              | None -> "");
+            Cli_common.exit_clean
+          end
+          else begin
+            Printf.printf "DIVERGED: replay does not reproduce the recording\n";
+            Cli_common.exit_findings
+          end)
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Re-execute a bundle to its recorded horizon and verify the final fingerprint \
+            (and crash) reproduce byte-identically")
+      Term.(const run $ bundle_pos)
+  in
+  let goto_cmd =
+    let run path tick interval =
+      with_bundle path (fun b ->
+          let nav = nav_to b interval tick in
+          print_state nav;
+          print_regs nav;
+          0)
+    in
+    Cmd.v
+      (Cmd.info "goto" ~doc:"Run to tick T and show the machine state")
+      Term.(const run $ bundle_pos $ tick_arg $ interval_arg)
+  in
+  let back_cmd =
+    let run path tick n interval =
+      with_bundle path (fun b ->
+          let nav = nav_to b interval tick in
+          Replay.Navigator.back nav n;
+          print_state nav;
+          print_regs nav;
+          0)
+    in
+    let n =
+      Arg.(value & opt int 1 & info [ "s"; "steps" ] ~docv:"N" ~doc:"Ticks to step backward.")
+    in
+    Cmd.v
+      (Cmd.info "back"
+         ~doc:
+           "Run to tick T, then step backward N ticks (restore the nearest interval \
+            snapshot and re-execute — output must be byte-identical to goto T-N)")
+      Term.(const run $ bundle_pos $ tick_arg $ n $ interval_arg)
+  in
+  let regs_cmd =
+    let run path tick interval =
+      with_bundle path (fun b ->
+          print_regs (nav_to b interval tick);
+          0)
+    in
+    Cmd.v
+      (Cmd.info "regs" ~doc:"Architectural registers at tick T")
+      Term.(const run $ bundle_pos $ tick_arg $ interval_arg)
+  in
+  let mem_cmd =
+    let run path tick addr len interval =
+      with_bundle path (fun b ->
+          let nav = nav_to b interval tick in
+          let bytes = Replay.Navigator.mem_read nav ~addr ~len in
+          String.iteri
+            (fun i c ->
+              if i mod 16 = 0 then Printf.printf "%s%08x: " (if i > 0 then "\n" else "") (addr + i);
+              Printf.printf "%02x " (Char.code c))
+            bytes;
+          if String.length bytes > 0 then print_newline ();
+          0)
+    in
+    let addr =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "addr" ] ~docv:"ADDR" ~doc:"Start address (accepts 0x... notation).")
+    in
+    let len = Arg.(value & opt int 64 & info [ "len" ] ~docv:"N" ~doc:"Bytes to dump.") in
+    Cmd.v
+      (Cmd.info "mem" ~doc:"Hex-dump memory at tick T")
+      Term.(const run $ bundle_pos $ tick_arg $ addr $ len $ interval_arg)
+  in
+  let mpu_cmd =
+    let run path tick interval =
+      with_bundle path (fun b ->
+          let nav = nav_to b interval tick in
+          print_string (Replay.Navigator.mpu nav);
+          (match Replay.Navigator.violations nav with
+          | [] -> ()
+          | vs ->
+            print_endline "violation sites:";
+            List.iter
+              (fun (at, e) -> Format.printf "  tick %d: %a@." at Obs.Event.pp e)
+              vs);
+          0)
+    in
+    Cmd.v
+      (Cmd.info "mpu" ~doc:"MPU/PMP configuration and violation sites at tick T")
+      Term.(const run $ bundle_pos $ tick_arg $ interval_arg)
+  in
+  let trace_cmd =
+    let run path from_ to_ out =
+      try
+        let b = Replay.Bundle.load path in
+        let hi =
+          match to_ with Some t -> t | None -> b.Replay.Bundle.bu_header.Replay.Bundle.hd_horizon
+        in
+        let r =
+          Obs.Recorder.create
+            ~capacity:(max 16 (List.length b.Replay.Bundle.bu_events))
+            ()
+        in
+        List.iter
+          (fun (at, e) -> Obs.Recorder.record r ~tick:at e)
+          b.Replay.Bundle.bu_events;
+        let json =
+          Obs.Chrome.to_json ~name:(Replay.Bundle.subject b) ~window:(from_, hi) r
+        in
+        (match out with
+        | None -> print_string json
+        | Some p ->
+          let oc = open_out p in
+          output_string oc json;
+          close_out oc;
+          Printf.eprintf "replay: wrote %s\n" p);
+        0
+      with Replay.Bundle.Refused m -> Cli_common.usage_error m
+    in
+    let from_ =
+      Arg.(value & opt int 0 & info [ "from" ] ~docv:"T" ~doc:"Window start tick (inclusive).")
+    in
+    let to_ =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "to" ] ~docv:"T" ~doc:"Window end tick (inclusive; default: the horizon).")
+    in
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "Export the recorded event log (or any tick window of it) as Chrome trace_event \
+            JSON, without re-execution")
+      Term.(const run $ bundle_pos $ from_ $ to_ $ Cli_common.out_arg)
+  in
+  let record_cmd =
+    let run board seed fuzzers steps ticks interval note out =
+      try
+        let b =
+          Verify.Violation.with_enabled (Replay.Record.contracts_for board) (fun () ->
+              let sched = Replay.Schedule.fleet_cell ~seed ~fuzzers ~steps in
+              let lv = Replay.Record.board_live ~board ~horizon:ticks sched in
+              Replay.Record.record ~interval ~note lv)
+        in
+        Replay.Bundle.save b out;
+        Printf.eprintf "replay: wrote %s\n" out;
+        Format.printf "%a@." Replay.Bundle.pp b;
+        0
+      with
+      | Replay.Bundle.Refused m | Invalid_argument m | Failure m -> Cli_common.usage_error m
+    in
+    let board =
+      Arg.(
+        value & opt string "ticktock-arm"
+        & info [ "k"; "board" ] ~docv:"BOARD" ~doc:"Board to record.")
+    in
+    let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Cell seed.") in
+    let fuzzers =
+      Arg.(value & opt int 3 & info [ "fuzzers" ] ~docv:"N" ~doc:"Hostile apps to load.")
+    in
+    let steps =
+      Arg.(value & opt int 60 & info [ "steps" ] ~docv:"N" ~doc:"Syscalls per hostile stream.")
+    in
+    let ticks =
+      Arg.(value & opt int 1500 & info [ "ticks" ] ~docv:"T" ~doc:"Scheduler ticks to record.")
+    in
+    let interval =
+      Arg.(
+        value & opt int 32
+        & info [ "interval" ] ~docv:"K" ~doc:"Fingerprint-mark spacing in the bundle.")
+    in
+    let note = Arg.(value & opt string "" & info [ "note" ] ~docv:"S" ~doc:"Free-form note.") in
+    let out =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Bundle file to write.")
+    in
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:
+           "Record a fuzz cell (witness + hostile streams) on a board as a replayable \
+            TICKRPL bundle")
+      Term.(const run $ board $ seed $ fuzzers $ steps $ ticks $ interval $ note $ out)
+  in
+  Cmd.group
+    (Cmd.info "replay"
+       ~doc:
+         "Time-travel debugging: record executions as TICKRPL bundles, re-run them \
+          byte-identically, step backward, inspect registers/memory/MPU state, export \
+          traces")
+    [
+      record_cmd; info_cmd; run_cmd; goto_cmd; back_cmd; regs_cmd; mem_cmd; mpu_cmd; trace_cmd;
+    ]
 
 let () =
   let doc = "TickTock: verified isolation in a modeled embedded OS" in
@@ -856,5 +1049,6 @@ let () =
             fuzzcov_cmd;
             snapshot_cmd;
             chaos_cmd;
+            replay_group;
             ps_cmd;
           ]))

@@ -17,16 +17,27 @@ type app_result = {
   exit_code : int option;
 }
 
-let run_suite ?(apps = Suite.all) ?(max_ticks = 5_000) ?(fork = false) (k : Instance.t) =
-  (* [fork]: capture the pristine post-boot image and run the suite on a
+let run_suite ?(apps = Suite.all) ?(max_ticks = 5_000) ?(exec = Replayable.Exec.Boot)
+    (k : Instance.t) =
+  (* The shared execution spec, applied to an already-booted instance:
+     [Fork] captures the pristine post-boot image and runs the suite on a
      restored fork of it rather than on the boot itself — the harness-level
      witness that a forked board is indistinguishable from a booted one
-     (the ci gate diffs this run against a plain one byte-for-byte). *)
-  if fork then begin
+     (the ci gate diffs this run against a plain one byte-for-byte) —
+     and [Snapshot_file] overlays an on-disk pristine image instead. *)
+  let target what =
     match k.Instance.snap_target with
-    | Some tgt -> Ticktock.Snapshot.restore tgt (Ticktock.Snapshot.capture tgt)
-    | None -> invalid_arg "Difftest.run_suite: ~fork needs an instance with a snapshot target"
-  end;
+    | Some tgt -> tgt
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Difftest.run_suite: %s needs an instance with a snapshot target" what)
+  in
+  (match exec with
+  | Replayable.Exec.Boot -> ()
+  | Replayable.Exec.Fork ->
+    let tgt = target "--exec fork" in
+    Ticktock.Snapshot.restore tgt (Ticktock.Snapshot.capture tgt)
+  | Replayable.Exec.Snapshot_file path -> Ticktock.Snapshot.load (target "--exec snapshot:") path);
   let loaded =
     List.map
       (fun (app : Suite.app) ->

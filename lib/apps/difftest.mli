@@ -14,10 +14,16 @@ type app_result = {
 }
 
 val run_suite :
-  ?apps:Suite.app list -> ?max_ticks:int -> ?fork:bool -> Instance.t -> app_result list
-(** With [~fork:true] the suite runs on a restored fork of the pristine
+  ?apps:Suite.app list ->
+  ?max_ticks:int ->
+  ?exec:Replayable.Exec.spec ->
+  Instance.t ->
+  app_result list
+(** With [~exec:Fork] the suite runs on a restored fork of the pristine
     post-boot snapshot instead of the boot itself (requires
-    [Instance.snap_target]); results must be byte-identical either way. *)
+    [Instance.snap_target]); results must be byte-identical either way.
+    [~exec:(Snapshot_file p)] overlays the on-disk pristine image [p]
+    before running. *)
 
 type comparison = {
   test_name : string;

@@ -120,21 +120,25 @@ type outcome = {
   fuzzers_exited : int;
 }
 
+(** The honest witness every hostile round runs next to: write a sentinel,
+    exercise the console driver, yield, and report whether the sentinel
+    survived. Shared with the coverage-guided fuzzer and the replay
+    recorder so "witness" means the same program everywhere. *)
+let witness_script =
+  let* ms = memory_start in
+  let* _ = store32 (ms + 64) 0x5AFE_5AFE in
+  let* _ = subscribe ~driver:0 ~upcall_id:0 in
+  let* _ = command ~driver:0 ~cmd:1 ~arg1:8 () in
+  let* _ = yield in
+  let* v = load32 (ms + 64) in
+  let* () = printf "%b" (v = 0x5AFE_5AFE) in
+  return 0
+
 (** One fuzzing round against an already-booted (or just-restored) kernel
     instance: [fuzzers] hostile apps + one honest witness. [max_ticks]
     bounds the round's scheduler run — fleet campaigns shorten it for
     light cells. *)
 let round_on ?(max_ticks = 3000) (k : Instance.t) ~fuzzers ~steps ~seed =
-  let witness_script =
-    let* ms = memory_start in
-    let* _ = store32 (ms + 64) 0x5AFE_5AFE in
-    let* _ = subscribe ~driver:0 ~upcall_id:0 in
-    let* _ = command ~driver:0 ~cmd:1 ~arg1:8 () in
-    let* _ = yield in
-    let* v = load32 (ms + 64) in
-    let* () = printf "%b" (v = 0x5AFE_5AFE) in
-    return 0
-  in
   let witness =
     k.Instance.load ~name:"witness" ~payload:"w" ~program:(to_program witness_script)
       ~min_ram:2048 ~grant_reserve:1024 ~heap_headroom:2048
@@ -184,33 +188,27 @@ let run_round ?(fuzzers = 3) ?(steps = 60) ~seed (make : unit -> Instance.t) =
     results in cell-index order, so the outcome list is byte-identical
     to a sequential run regardless of job count or scheduling.
 
-    [mode] picks the per-round board strategy: [`Boot] (the default) pays a
-    full board construction per seed; [`Fork] boots {e one} board per
-    worker domain, captures the pristine post-boot image through the
-    board's {!Ticktock.Snapshot.target}, and restores it before every
-    round — the boards a fresh boot and a fork produce are byte-identical
-    (the snapshot roundtrip tests pin this down), so the outcomes are too.
-    [`Fork] requires instances built by {!Ticktock.Boards} (or anything
+    [exec] picks the per-round board strategy through the shared
+    {!Ticktock.Replayable.Runner}: [Boot] (the default) pays a full board
+    construction per seed; [Fork] boots {e one} board per worker domain,
+    captures the pristine post-boot image through the board's
+    {!Ticktock.Snapshot.target}, and restores it before every round — the
+    boards a fresh boot and a fork produce are byte-identical (the
+    snapshot roundtrip tests pin this down), so the outcomes are too;
+    [Snapshot_file] forks from an on-disk pristine image instead. Forked
+    execution requires instances built by {!Ticktock.Boards} (or anything
     else that fills [Instance.snap_target]). *)
-let campaign ?(mode = `Boot) ?(seeds = 20) ?(fuzzers = 3) ?(steps = 60)
+let campaign ?(exec = Replayable.Exec.Boot) ?(seeds = 20) ?(fuzzers = 3) ?(steps = 60)
     (make : unit -> Instance.t) =
-  (* One booted board + pristine snapshot serves every round of a worker. *)
-  let forked_runner () =
-    let k = make () in
-    let tgt =
-      match k.Instance.snap_target with
-      | Some tgt -> tgt
-      | None -> invalid_arg "Fuzz.campaign: `Fork needs an instance with a snapshot target"
-    in
-    let snap = Ticktock.Snapshot.capture tgt in
-    fun ~seed ->
-      Ticktock.Snapshot.restore tgt snap;
-      round_on k ~fuzzers ~steps ~seed
-  in
   let init _w =
-    match mode with
-    | `Boot -> fun ~seed -> run_round ~fuzzers ~steps ~seed make
-    | `Fork -> forked_runner ()
+    (* One runner per worker: its pristine-image registry is worker-local. *)
+    let runner = Replayable.Runner.create ~exec () in
+    fun ~seed ->
+      Replayable.Runner.cell runner ~key:"fuzz"
+        ~boot:(fun () ->
+          let k = make () in
+          (k, k.Instance.snap_target))
+        (fun k -> round_on k ~fuzzers ~steps ~seed)
   in
   let results, _stats =
     Pool.run ~batch:1 ~cells:seeds ~init ~cell:(fun round i -> round ~seed:(i + 1)) ()

@@ -18,6 +18,11 @@ val hostile_addresses : ms:int -> ab:int -> int list
 
 val random_script : seed:int -> steps:int -> int App_dsl.t
 
+val witness_script : int App_dsl.t
+(** The honest witness loaded next to every hostile complement: sentinel
+    write, console driver exercise, yield, sentinel check. Shared by the
+    random fuzzer, the coverage-guided fuzzer and the replay recorder. *)
+
 type outcome = {
   fuzz_seed : int;
   witness_ok : bool;
@@ -48,7 +53,7 @@ val round_on :
 val run_round : ?fuzzers:int -> ?steps:int -> seed:int -> (unit -> Instance.t) -> outcome
 
 val campaign :
-  ?mode:[ `Boot | `Fork ] ->
+  ?exec:Replayable.Exec.spec ->
   ?seeds:int ->
   ?fuzzers:int ->
   ?steps:int ->
@@ -59,9 +64,11 @@ val campaign :
     [TICKTOCK_JOBS] worker domains (parsed once, by {!Ticktock.Jobs} —
     there is no per-campaign parsing) on {!Ticktock.Pool}, and results
     merge in cell-index order, so the outcome list is byte-identical at
-    any job count. [`Boot] (default) builds a fresh board per seed;
-    [`Fork] boots one board per worker, captures the pristine post-boot
-    snapshot and restores it before every round (see the fork-mode
-    contract on {!round_on}) — same outcomes, a fraction of the
-    wall-clock. [`Fork] requires instances with [Instance.snap_target]
+    any job count. [exec] (default [Boot]) is the shared execution spec:
+    [Boot] builds a fresh board per seed; [Fork] boots one board per
+    worker through {!Ticktock.Replayable.Runner}, captures the pristine
+    post-boot snapshot and restores it before every round (see the
+    fork-mode contract on {!round_on}) — same outcomes, a fraction of the
+    wall-clock; [Snapshot_file] forks from an on-disk pristine image.
+    Forked execution requires instances with [Instance.snap_target]
     (anything {!Ticktock.Boards} builds). *)

@@ -150,7 +150,7 @@ let load_suite (inst : Instance.t) =
 (* Load the workload onto an already-built board, run it and collect the
    observables. [make_engine] runs after loading, exactly where the
    boot-per-round path has always created its engine. *)
-let exec (made : Targets.made) ~make_engine =
+let run_workload (made : Targets.made) ~make_engine =
   let loaded = load_suite made.Targets.bd_instance @ Workload.load made in
   let engine : Engine.t option = make_engine () in
   made.Targets.bd_instance.Instance.run ~max_ticks;
@@ -213,38 +213,40 @@ let setup_of ~chaos ~seed =
 let run_one (board : Targets.board) ~seed ~faults =
   let chaos = if faults > 0 then Some (Chaos_intf.create ()) else None in
   let made = board.Targets.tb_make (setup_of ~chaos ~seed) in
-  exec made ~make_engine:(fun () ->
+  run_workload made ~make_engine:(fun () ->
       Option.map
         (fun ch -> Engine.create ~seed ~count:faults ~hooks:made.Targets.bd_hooks ch)
         chaos)
 
-(* The fork-from-snapshot path: boot the board once with an {e inert} chaos
-   record attached (no-op hooks — the kernel's behavior with them is
-   byte-for-byte that of a kernel built without), capture the pristine
-   post-boot image, then fork both runs from it: the golden run straight
-   off the boot, the injected run after a restore, with a seeded engine
-   splicing its fault plan into the same chaos record. The suite is
-   (re)loaded per fork — the capture is pre-load, so restored program
-   closures are never shared with an already-stepped run. *)
-let run_pair_forked ?from_snapshot (board : Targets.board) ~seed ~faults =
-  let chaos = Chaos_intf.create () in
-  let made = board.Targets.tb_make (setup_of ~chaos:(Some chaos) ~seed) in
-  let tgt =
-    match made.Targets.bd_instance.Instance.snap_target with
-    | Some tgt -> tgt
-    | None -> invalid_arg "chaos fork: board has no snapshot target"
+(* The forked path: boot the board once with an {e inert} chaos record
+   attached (no-op hooks — the kernel's behavior with them is byte-for-byte
+   that of a kernel built without), capture the pristine post-boot image
+   through the shared {!Ticktock.Replayable.Runner} (which also handles the
+   snapshot-file overlay: [Snapshot.load] refuses a file from another
+   architecture, board or memory layout, so a worker can only ever fork the
+   image it was meant to), then fork {e both} runs from it: golden first,
+   then the injected run with a seeded engine splicing its fault plan into
+   the same chaos record. The suite is (re)loaded per fork — the capture is
+   pre-load, so restored program closures are never shared with an
+   already-stepped run. Boards are seed-dependent (the RNG capsule seed
+   folds the round seed in), so the registry key is board#seed and each
+   pair shares exactly one boot. *)
+let run_pair_forked ~exec (board : Targets.board) ~seed ~faults =
+  let runner = Replayable.Runner.create ~exec () in
+  let key = Printf.sprintf "%s#%d" board.Targets.tb_name seed in
+  let boot () =
+    let chaos = Chaos_intf.create () in
+    let made = board.Targets.tb_make (setup_of ~chaos:(Some chaos) ~seed) in
+    ((made, chaos), made.Targets.bd_instance.Instance.snap_target)
   in
-  (* A file image, when given, overlays the pristine boot before the
-     capture — [Snapshot.load] refuses a file from another architecture,
-     board or memory layout, so a fleet worker can only ever fork the image
-     it was meant to. *)
-  Option.iter (fun path -> Snapshot.load tgt path) from_snapshot;
-  let snap = Snapshot.capture tgt in
-  let golden = exec made ~make_engine:(fun () -> None) in
-  Snapshot.restore tgt snap;
+  let golden =
+    Replayable.Runner.cell runner ~key ~boot (fun (made, _) ->
+        run_workload made ~make_engine:(fun () -> None))
+  in
   let injected =
-    exec made ~make_engine:(fun () ->
-        Some (Engine.create ~seed ~count:faults ~hooks:made.Targets.bd_hooks chaos))
+    Replayable.Runner.cell runner ~key ~boot (fun (made, chaos) ->
+        run_workload made ~make_engine:(fun () ->
+            Some (Engine.create ~seed ~count:faults ~hooks:made.Targets.bd_hooks chaos)))
   in
   (golden, injected)
 
@@ -255,11 +257,12 @@ let row_diverges (g : row) (i : row) =
   || (not (String.equal g.r_state i.r_state))
   || g.r_exit <> i.r_exit
 
-let classify_round ?(mode = `Boot) ?from_snapshot (board : Targets.board) ~seed ~faults =
+let classify_round ?(exec = Replayable.Exec.Boot) (board : Targets.board) ~seed ~faults =
   let golden, injected =
-    match mode with
-    | `Boot -> (run_one board ~seed ~faults:0, run_one board ~seed ~faults)
-    | `Fork -> run_pair_forked ?from_snapshot board ~seed ~faults
+    match exec with
+    | Replayable.Exec.Boot -> (run_one board ~seed ~faults:0, run_one board ~seed ~faults)
+    | Replayable.Exec.Fork | Replayable.Exec.Snapshot_file _ ->
+      run_pair_forked ~exec board ~seed ~faults
   in
   let diverged name =
     match (List.assoc_opt name golden.ro_rows, List.assoc_opt name injected.ro_rows) with
@@ -424,7 +427,7 @@ let render (rounds : round list) =
 let default_seeds = [ 1; 2; 3; 4; 5 ]
 let default_faults = 40
 
-let run ?(mode = `Boot) ?from_snapshot ?(boards = Targets.boards) ?(seeds = default_seeds)
+let run ?(exec = Replayable.Exec.Boot) ?(boards = Targets.boards) ?(seeds = default_seeds)
     ?(faults = default_faults) () =
   let specs =
     List.concat_map (fun b -> List.map (fun s -> (b, s)) seeds) boards |> Array.of_list
@@ -438,7 +441,7 @@ let run ?(mode = `Boot) ?from_snapshot ?(boards = Targets.boards) ?(seeds = defa
       ~init:(fun _w -> ())
       ~cell:(fun () i ->
         let b, s = specs.(i) in
-        classify_round ~mode ?from_snapshot b ~seed:s ~faults)
+        classify_round ~exec b ~seed:s ~faults)
       ()
   in
   let rounds = Array.to_list results |> List.filter_map Fun.id in

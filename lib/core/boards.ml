@@ -244,6 +244,12 @@ let target ~arch ~board ~mem ~devices ~kernel ~procs =
     tg_proc_count = procs;
   }
 
+(* The replay navigator's MPU view: the concrete hardware model's own
+   pretty-printer, which only the board constructor can reach. *)
+let mpu_arm (m : Machine.arm) () = Format.asprintf "%a" Mpu_hw.Armv7m_mpu.pp m.Machine.arm_mpu
+let mpu_v8 (m : Machine.arm_v8) () = Format.asprintf "%a" Mpu_hw.Armv8m_mpu.pp m.Machine.v8_mpu
+let mpu_rv (m : Machine.riscv) () = Format.asprintf "%a" Mpu_hw.Pmp.pp m.Machine.rv_pmp
+
 (* --- type-erased instances for the evaluation harness --- *)
 
 let instance_ticktock_arm_v8 ?quantum ?capsules ?obs () =
@@ -256,7 +262,7 @@ let instance_ticktock_arm_v8 ?quantum ?capsules ?obs () =
            ~fingerprint:Ticktock_arm_v8.fingerprint k)
       ~procs:(fun () -> List.length (Ticktock_arm_v8.processes k))
   in
-  { (Ticktock_arm_v8.instance k) with Instance.snap_target = Some tgt }
+  { (Ticktock_arm_v8.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_v8 m }
 
 let instance_ticktock_arm_mc ?quantum ?capsules ?obs () =
   let m, k = make_ticktock_arm_mc ?quantum ?capsules ?obs () in
@@ -268,7 +274,7 @@ let instance_ticktock_arm_mc ?quantum ?capsules ?obs () =
            ~fingerprint:Ticktock_arm.fingerprint k)
       ~procs:(fun () -> List.length (Ticktock_arm.processes k))
   in
-  { (Ticktock_arm.instance k) with Instance.snap_target = Some tgt }
+  { (Ticktock_arm.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_arm m }
 
 let instance_ticktock_arm ?quantum ?capsules ?obs () =
   let m, k = make_ticktock_arm ?quantum ?capsules ?obs () in
@@ -280,7 +286,7 @@ let instance_ticktock_arm ?quantum ?capsules ?obs () =
            ~fingerprint:Ticktock_arm.fingerprint k)
       ~procs:(fun () -> List.length (Ticktock_arm.processes k))
   in
-  { (Ticktock_arm.instance k) with Instance.snap_target = Some tgt }
+  { (Ticktock_arm.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_arm m }
 
 let instance_tock_arm ?quantum ?capsules ?obs () =
   let m, k = make_tock_arm ?quantum ?capsules ?obs () in
@@ -292,7 +298,7 @@ let instance_tock_arm ?quantum ?capsules ?obs () =
            ~fingerprint:Tock_arm.fingerprint k)
       ~procs:(fun () -> List.length (Tock_arm.processes k))
   in
-  { (Tock_arm.instance k) with Instance.snap_target = Some tgt }
+  { (Tock_arm.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_arm m }
 
 let instance_tock_arm_patched ?quantum ?capsules ?obs () =
   let m, k = make_tock_arm_patched ?quantum ?capsules ?obs () in
@@ -304,7 +310,7 @@ let instance_tock_arm_patched ?quantum ?capsules ?obs () =
            ~fingerprint:Tock_arm_patched.fingerprint k)
       ~procs:(fun () -> List.length (Tock_arm_patched.processes k))
   in
-  { (Tock_arm_patched.instance k) with Instance.snap_target = Some tgt }
+  { (Tock_arm_patched.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_arm m }
 
 let instance_ticktock_e310 ?quantum ?capsules ?obs () =
   let m, k = make_ticktock_e310 ?quantum ?capsules ?obs () in
@@ -316,7 +322,7 @@ let instance_ticktock_e310 ?quantum ?capsules ?obs () =
            ~fingerprint:Ticktock_e310.fingerprint k)
       ~procs:(fun () -> List.length (Ticktock_e310.processes k))
   in
-  { (Ticktock_e310.instance k) with Instance.snap_target = Some tgt }
+  { (Ticktock_e310.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_rv m }
 
 let instance_ticktock_earlgrey ?quantum ?capsules ?obs () =
   let m, k = make_ticktock_earlgrey ?quantum ?capsules ?obs () in
@@ -328,7 +334,7 @@ let instance_ticktock_earlgrey ?quantum ?capsules ?obs () =
            ~fingerprint:Ticktock_earlgrey.fingerprint k)
       ~procs:(fun () -> List.length (Ticktock_earlgrey.processes k))
   in
-  { (Ticktock_earlgrey.instance k) with Instance.snap_target = Some tgt }
+  { (Ticktock_earlgrey.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_rv m }
 
 let instance_ticktock_qemu ?quantum ?capsules ?obs () =
   let m, k = make_ticktock_qemu ?quantum ?capsules ?obs () in
@@ -340,7 +346,7 @@ let instance_ticktock_qemu ?quantum ?capsules ?obs () =
            ~fingerprint:Ticktock_qemu.fingerprint k)
       ~procs:(fun () -> List.length (Ticktock_qemu.processes k))
   in
-  { (Ticktock_qemu.instance k) with Instance.snap_target = Some tgt }
+  { (Ticktock_qemu.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_rv m }
 
 let instance_tock_pmp ?quantum ?capsules ?obs () =
   let m, k = make_tock_pmp ?quantum ?capsules ?obs () in
@@ -352,7 +358,7 @@ let instance_tock_pmp ?quantum ?capsules ?obs () =
            ~fingerprint:Tock_pmp.fingerprint k)
       ~procs:(fun () -> List.length (Tock_pmp.processes k))
   in
-  { (Tock_pmp.instance k) with Instance.snap_target = Some tgt }
+  { (Tock_pmp.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_rv m }
 
 let instance_tock_pmp_patched ?quantum ?capsules ?obs () =
   let m, k = make_tock_pmp_patched ?quantum ?capsules ?obs () in
@@ -364,7 +370,7 @@ let instance_tock_pmp_patched ?quantum ?capsules ?obs () =
            ~fingerprint:Tock_pmp_patched.fingerprint k)
       ~procs:(fun () -> List.length (Tock_pmp_patched.processes k))
   in
-  { (Tock_pmp_patched.instance k) with Instance.snap_target = Some tgt }
+  { (Tock_pmp_patched.instance k) with Instance.snap_target = Some tgt; mpu_describe = mpu_rv m }
 
 (** Every kernel configuration, for harnesses that sweep all of them. *)
 let all_instances : (string * (unit -> Instance.t)) list =

@@ -81,4 +81,15 @@ type t = {
       restore order — when the constructor assembled one. [Kernel.instance]
       leaves it [None]; board constructors override it, because only the
       board knows the full device complement. *)
+  regs : unit -> (string * string) list;
+  (** Architectural register file as [(name, hex-value)] pairs, for the
+      replay navigator's [regs] view. Kernels whose switcher has no
+      machine-code CPU (the RISC-V [Sim_switch]) report the empty list. *)
+  mem_read : addr:Word32.t -> len:int -> string;
+  (** Raw bus bytes at [addr]; a pure debug read that bypasses the MPU and
+      the decision cache, so inspecting memory never perturbs a replay. *)
+  mpu_describe : unit -> string;
+  (** Human-readable dump of the live MPU/PMP programming. [Kernel.instance]
+      leaves it [""]; board constructors override it with the concrete
+      hardware model's pretty-printer. *)
 }

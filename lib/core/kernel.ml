@@ -1468,5 +1468,21 @@ module Make (MM : Mm.S) = struct
       obs = (fun () -> t.obs);
       reseed = (fun _ -> ()) (* only the board knows its seeded devices *);
       snap_target = None (* only the board knows its device complement *);
+      regs =
+        (fun () ->
+          match t.switcher with
+          | Arm_switch cpu | Arm_mc_switch (cpu, _) ->
+            List.map
+              (fun r ->
+                (Format.asprintf "%a" Fluxarm.Regs.pp_gpr r,
+                 Word32.to_hex (Fluxarm.Cpu.get cpu r)))
+              Fluxarm.Regs.all_gprs
+            @ [
+                ("sp", Word32.to_hex (Fluxarm.Cpu.sp cpu));
+                ("pc", Word32.to_hex (Fluxarm.Cpu.pc cpu));
+              ]
+          | Sim_switch _ -> []);
+      mem_read = (fun ~addr ~len -> Memory.read_bytes t.mem addr len);
+      mpu_describe = (fun () -> "") (* only the board knows the MPU model *);
     }
 end

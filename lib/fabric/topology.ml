@@ -91,25 +91,13 @@ let plain_spec ~name ~board ?(apps = []) ?(agents = []) () =
    and the standard device complement ride the snapshot like any capsule
    devices. *)
 let make_node ~link ~id (spec : node_spec) =
-  let mk =
-    match List.assoc_opt spec.ns_board Fleet.Campaign.builders with
-    | Some mk -> mk
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Fabric: unknown board %S (one of: %s)" spec.ns_board
-           (String.concat ", " (List.map fst Fleet.Campaign.builders)))
-  in
-  let capsules, devs = Capsules.Board_set.standard ~rng_seed:0x5EED () in
+  if not (List.mem spec.ns_board Fleet.Campaign.board_names) then
+    invalid_arg
+      (Printf.sprintf "Fabric: unknown board %S (one of: %s)" spec.ns_board
+         (String.concat ", " Fleet.Campaign.board_names));
   let radio = Radio.capsule ~link ~node:id () in
-  let k = mk ~capsules:(radio :: capsules) () in
-  let target =
-    match k.Instance.snap_target with
-    | Some tgt -> Snapshot.add_components tgt (Capsules.Board_set.components devs)
-    | None -> invalid_arg (Printf.sprintf "Fabric: board %s has no snapshot target" spec.ns_board)
-  in
-  let k =
-    { k with Instance.snap_target = Some target; reseed = devs.Capsules.Board_set.reseed }
-  in
+  let k = Capsules.Std_board.make ~what:"Fabric" ~extra:[ radio ] spec.ns_board in
+  let target = Option.get k.Instance.snap_target in
   {
     nd_id = id;
     nd_spec = spec;
@@ -276,3 +264,60 @@ let fingerprint (t : t) =
       (Fp.int Fp.seed t.vclock) t.nodes
   in
   Fp.int64 h (Link.fingerprint t.link)
+
+(* --- the replayable session view --- *)
+
+(** [replayable ?node ~name ~reseed_of t] is the whole topology as one
+    {!Ticktock.Replayable} session: a step is one {e global} tick (every
+    live board one kernel tick, agents, link delivery), capture/restore
+    and the fingerprint are whole-topology, and the register/memory/MPU
+    inspectors look at node [node] (default 0). This is what lets the
+    replay navigator time-travel a multi-board failure cell exactly like
+    a single board. *)
+let replayable ?(node = 0) ~name ~reseed_of (t : t) : Replayable.t =
+  let n = t.nodes.(node) in
+  let crash = ref None in
+  let sync_panic () =
+    match (!crash, t.panic) with
+    | None, Some msg ->
+      crash := Some { Replayable.cr_tick = t.vclock; cr_reason = "panic: " ^ msg }
+    | _ -> ()
+  in
+  sync_panic ();
+  {
+    Replayable.rp_kind = "fabric";
+    rp_name = name;
+    rp_arch = n.nd_target.Snapshot.tg_arch;
+    rp_tick = (fun () -> t.vclock);
+    rp_step =
+      (fun ~ticks ->
+        if !crash = None then begin
+          (try
+             for _ = 1 to ticks do
+               step t ~reseed_of
+             done
+           with Verify.Violation.Violation v ->
+             crash :=
+               Some
+                 {
+                   Replayable.cr_tick = t.vclock;
+                   cr_reason = "violation: " ^ v.Verify.Violation.site;
+                 });
+          sync_panic ()
+        end);
+    rp_crash = (fun () -> !crash);
+    rp_capture =
+      (fun () ->
+        let s = capture t in
+        let crash_at = !crash in
+        fun () ->
+          restore t s;
+          crash := crash_at);
+    rp_fingerprint = (fun () -> fingerprint t);
+    rp_reseed = (fun _ -> ());
+    rp_regs = (fun () -> n.nd_k.Instance.regs ());
+    rp_mem_read =
+      (fun ~addr ~len -> n.nd_k.Instance.mem_read ~addr:(Word32.of_int addr) ~len);
+    rp_mpu = (fun () -> n.nd_k.Instance.mpu_describe ());
+    rp_events = (fun () -> n.nd_k.Instance.obs ());
+  }

@@ -40,42 +40,28 @@ let default_plans =
   ]
 
 (** The verified boards a fleet can schedule — one per (arch, board)
-    combo, assembled with the standard capsule set so cells exercise real
-    drivers, the devices ride the snapshot (spliced components), and the
-    RNG reseed hook is wired into [Instance.reseed]. *)
-let builders : (string * (capsules:Capsule_intf.t list -> unit -> Instance.t)) list =
+    combo. Assembly (standard capsule set, device splicing, RNG reseed
+    wiring) lives in {!Capsules.Std_board}; this list is the fleet's
+    verified subset of it, in scheduling order. *)
+let fleet_boards =
   [
-    ("ticktock-arm", fun ~capsules () -> Boards.instance_ticktock_arm ~capsules ());
-    ("ticktock-arm-mc", fun ~capsules () -> Boards.instance_ticktock_arm_mc ~capsules ());
-    ("ticktock-arm-v8", fun ~capsules () -> Boards.instance_ticktock_arm_v8 ~capsules ());
-    ("ticktock-e310", fun ~capsules () -> Boards.instance_ticktock_e310 ~capsules ());
-    ("ticktock-earlgrey", fun ~capsules () -> Boards.instance_ticktock_earlgrey ~capsules ());
-    ("ticktock-qemu", fun ~capsules () -> Boards.instance_ticktock_qemu ~capsules ());
+    "ticktock-arm"; "ticktock-arm-mc"; "ticktock-arm-v8";
+    "ticktock-e310"; "ticktock-earlgrey"; "ticktock-qemu";
   ]
 
-let board_names = List.map fst builders
+let builders : (string * (capsules:Capsule_intf.t list -> unit -> Instance.t)) list =
+  List.map
+    (fun n -> (n, List.assoc n Capsules.Std_board.builders))
+    fleet_boards
+
+let board_names = fleet_boards
 
 let make_board name =
-  let mk =
-    match List.assoc_opt name builders with
-    | Some mk -> mk
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Fleet: unknown board %S (one of: %s)" name
-           (String.concat ", " board_names))
-  in
-  let capsules, devs = Capsules.Board_set.standard ~rng_seed:0x5EED () in
-  let k = mk ~capsules () in
-  let tgt =
-    match k.Instance.snap_target with
-    | Some tgt -> tgt
-    | None -> invalid_arg (Printf.sprintf "Fleet: board %s has no snapshot target" name)
-  in
-  { k with
-    Instance.snap_target =
-      Some (Snapshot.add_components tgt (Capsules.Board_set.components devs));
-    reseed = devs.Capsules.Board_set.reseed;
-  }
+  if not (List.mem name board_names) then
+    invalid_arg
+      (Printf.sprintf "Fleet: unknown board %S (one of: %s)" name
+         (String.concat ", " board_names));
+  Capsules.Std_board.make ~what:"Fleet" name
 
 (** What a campaign runs: the cell lattice. *)
 type spec = {
@@ -255,17 +241,18 @@ let run ?jobs ?(batch = 32) ?store ?(resume = false) ?stop_after (spec : spec) =
   let ran = Atomic.make 0 in
   let booted = Atomic.make 0 in
   let stop () = match stop_after with Some n -> Atomic.get ran >= n | None -> false in
-  let init _w = Snapshot.Registry.create () in
-  let cell reg i =
+  (* One shared runner per worker, always in forked execution: the fleet's
+     whole point is boot-once-per-board, fork-per-cell. *)
+  let init _w = Replayable.Runner.create ~exec:Replayable.Exec.Fork () in
+  let cell runner i =
     let bname, plan, seed = coords i in
-    let entry =
-      Snapshot.Registry.find_or_boot reg bname ~boot:(fun () ->
+    let outcome =
+      Replayable.Runner.cell runner ~key:bname
+        ~boot:(fun () ->
           let k = make_board bname in
           Atomic.incr booted;
-          (k, Option.get k.Instance.snap_target))
-    in
-    let outcome =
-      Snapshot.Registry.fork entry (fun k ->
+          (k, k.Instance.snap_target))
+        (fun k ->
           k.Instance.reseed (seed * 0x9E3779B1);
           Apps.Fuzz.round_on k ~max_ticks:spec.sp_max_ticks ~fuzzers:plan.pl_fuzzers
             ~steps:plan.pl_steps ~seed)

@@ -36,42 +36,19 @@ open Ticktock
    executes its switch path through [Mc.run], so only it populates the
    coverage map — on every other board the campaign degrades to blind
    fuzzing over the same input space. *)
-let builders : (string * (capsules:Capsule_intf.t list -> unit -> Instance.t)) list =
-  [
-    ("ticktock-arm-mc", fun ~capsules () -> Boards.instance_ticktock_arm_mc ~capsules ());
-    ("ticktock-arm", fun ~capsules () -> Boards.instance_ticktock_arm ~capsules ());
-    ("ticktock-arm-v8", fun ~capsules () -> Boards.instance_ticktock_arm_v8 ~capsules ());
-    ("tock-arm-upstream", fun ~capsules () -> Boards.instance_tock_arm ~capsules ());
-    ("tock-arm-patched", fun ~capsules () -> Boards.instance_tock_arm_patched ~capsules ());
-  ]
-
-let board_names = List.map fst builders
+let board_names =
+  [ "ticktock-arm-mc"; "ticktock-arm"; "ticktock-arm-v8"; "tock-arm-upstream";
+    "tock-arm-patched" ]
 
 (* Contracts are armed exactly where the verified kernels claim them. *)
 let contracts_for board = String.length board >= 8 && String.sub board 0 8 = "ticktock"
 
 let make_board name =
-  let mk =
-    match List.assoc_opt name builders with
-    | Some mk -> mk
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Fuzzcov: unknown board %S (one of: %s)" name
-           (String.concat ", " board_names))
-  in
-  let capsules, devs = Capsules.Board_set.standard ~rng_seed:0x5EED () in
-  let k = mk ~capsules () in
-  let tgt =
-    match k.Instance.snap_target with
-    | Some tgt -> tgt
-    | None -> invalid_arg (Printf.sprintf "Fuzzcov: board %s has no snapshot target" name)
-  in
-  {
-    k with
-    Instance.snap_target =
-      Some (Snapshot.add_components tgt (Capsules.Board_set.components devs));
-    reseed = devs.Capsules.Board_set.reseed;
-  }
+  if not (List.mem name board_names) then
+    invalid_arg
+      (Printf.sprintf "Fuzzcov: unknown board %S (one of: %s)" name
+         (String.concat ", " board_names));
+  Capsules.Std_board.make ~what:"Fuzzcov" name
 
 (* --- spec --- *)
 
@@ -135,17 +112,6 @@ type exec = {
   ex_crash : (Verify.Taxonomy.cls * string * string) option;
 }
 
-let witness_script =
-  let open Apps.App_dsl in
-  let* ms = memory_start in
-  let* _ = store32 (ms + 64) 0x5AFE_5AFE in
-  let* _ = subscribe ~driver:0 ~upcall_id:0 in
-  let* _ = command ~driver:0 ~cmd:1 ~arg1:8 () in
-  let* _ = yield in
-  let* v = load32 (ms + 64) in
-  let* () = printf "%b" (v = 0x5AFE_5AFE) in
-  return 0
-
 (** Run one genome against an already-booted (or just-restored) instance:
     the honest witness next to the genome app, coverage map reset first so
     the bitmap read afterwards is a pure function of this input. *)
@@ -160,7 +126,7 @@ let run_input (k : Instance.t) (g : Input.t) =
       ~heap_headroom:2048
     |> Result.get_ok
   in
-  let witness = load "witness" "w" (Apps.App_dsl.to_program witness_script) in
+  let witness = load "witness" "w" (Apps.App_dsl.to_program Apps.Fuzz.witness_script) in
   let gen_pid = load "gen" "g" (Apps.App_dsl.to_program (Input.script g)) in
   let crash =
     match k.Instance.run ~max_ticks:g.Input.in_ticks with
@@ -507,19 +473,19 @@ type result = {
   fz_resumed_gens : int;  (** generations recovered from the store *)
 }
 
-(* Registries persist across the per-generation pool runs: worker [w] of
+(* Runners persist across the per-generation pool runs: worker [w] of
    generation [g] and worker [w] of generation [g+1] are different
    domains, but never live at once, so each slot is used by at most one
    domain at a time and every worker boots its board exactly once per
-   campaign. *)
-let make_registries () =
-  let regs = Array.make (Jobs.max_jobs + 1) None in
+   campaign. Always forked execution — the AFL recipe is fork-per-input. *)
+let make_runners () =
+  let runners = Array.make (Jobs.max_jobs + 1) None in
   fun w ->
-    match regs.(w) with
+    match runners.(w) with
     | Some r -> r
     | None ->
-      let r = Snapshot.Registry.create () in
-      regs.(w) <- Some r;
+      let r = Replayable.Runner.create ~exec:Replayable.Exec.Fork () in
+      runners.(w) <- Some r;
       r
 
 (** Run (or resume) a campaign.
@@ -587,7 +553,7 @@ let run ?jobs ?store ?(resume = false) ?stop_after (spec : spec) =
     execs := gs.gs_execs;
     gens := !gens @ [ gs ]
   in
-  let registry_for = make_registries () in
+  let runner_for = make_runners () in
   let contracts = contracts_for spec.fc_board in
   let ran = ref 0 in
   let resumed = ref 0 in
@@ -596,16 +562,15 @@ let run ?jobs ?store ?(resume = false) ?stop_after (spec : spec) =
      them on the pool, merge strictly in slot order *)
   let execute_gen g =
     let cands = Array.init spec.fc_pop (fun s -> candidate spec ~corpus:!corpus ~gen:g ~slot:s) in
-    let init w = registry_for w in
-    let cell reg i =
-      let entry =
-        Snapshot.Registry.find_or_boot reg spec.fc_board ~boot:(fun () ->
+    let init w = runner_for w in
+    let cell runner i =
+      let r =
+        Replayable.Runner.cell runner ~key:spec.fc_board
+          ~boot:(fun () ->
             let k = make_board spec.fc_board in
             Obs.Metrics.host_incr "fuzzcov/boards_booted";
-            (k, Option.get k.Instance.snap_target))
-      in
-      let r =
-        Snapshot.Registry.fork entry (fun k ->
+            (k, k.Instance.snap_target))
+          (fun k ->
             k.Instance.reseed (((g * spec.fc_pop) + i + 1) * 0x9E3779B1);
             run_input k cands.(i))
       in

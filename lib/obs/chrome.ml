@@ -39,9 +39,17 @@ let add_sort_index b ~tid ~index =
        "    {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"args\": {\"sort_index\": %d}},\n"
        board_pid tid index)
 
-(* [name] labels the board (Chrome process_name). *)
-let to_json ?(name = "ticktock") recorder =
+(* [name] labels the board (Chrome process_name); [window] keeps only the
+   events whose tick falls in the inclusive [(lo, hi)] range — the replay
+   navigator's arbitrary-window export. *)
+let to_json ?(name = "ticktock") ?window recorder =
   let entries = Recorder.entries recorder in
+  let entries =
+    match window with
+    | None -> entries
+    | Some (lo, hi) ->
+      List.filter (fun (e : Recorder.entry) -> e.Recorder.at >= lo && e.Recorder.at <= hi) entries
+  in
   (* Collect the lanes actually used, fixed lanes always present. *)
   let module IS = Set.Make (Int) in
   let pids =

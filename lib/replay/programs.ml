@@ -1,0 +1,47 @@
+(** Program tokens: the serializable names of the programs a recorded
+    session loaded. Programs themselves are closures — a bundle cannot
+    carry them — but every program a campaign loads is a pure function of
+    a small amount of data, so the token re-derives it exactly:
+
+    - ["witness"] — the shared honest witness ({!Apps.Fuzz.witness_script});
+    - ["fuzz:SEED:STEPS"] — a random hostile stream
+      ({!Apps.Fuzz.random_script});
+    - ["genome:ENC"] — a coverage-fuzzer genome ({!Fuzzcov.Input.decode});
+    - ["app:NAME"] — a release-suite app by name ({!Apps.Suite}). *)
+
+let resolve token : unit -> Ticktock.Userland.program =
+  let prefixed p =
+    let lp = String.length p in
+    if String.length token >= lp && String.sub token 0 lp = p then
+      Some (String.sub token lp (String.length token - lp))
+    else None
+  in
+  let bad fmt = Printf.ksprintf invalid_arg ("Replay.Programs: " ^^ fmt) in
+  match token with
+  | "witness" -> fun () -> Apps.App_dsl.to_program Apps.Fuzz.witness_script
+  | _ -> (
+    match prefixed "fuzz:" with
+    | Some rest -> (
+      match String.split_on_char ':' rest with
+      | [ seed; steps ] -> (
+        match (int_of_string_opt seed, int_of_string_opt steps) with
+        | Some seed, Some steps ->
+          fun () -> Apps.App_dsl.to_program (Apps.Fuzz.random_script ~seed ~steps)
+        | _ -> bad "bad fuzz token %S (expected fuzz:SEED:STEPS)" token)
+      | _ -> bad "bad fuzz token %S (expected fuzz:SEED:STEPS)" token)
+    | None -> (
+      match prefixed "genome:" with
+      | Some enc -> (
+        match Fuzzcov.Input.decode enc with
+        | Some g -> fun () -> Apps.App_dsl.to_program (Fuzzcov.Input.script g)
+        | None -> bad "undecodable genome %S" enc)
+      | None -> (
+        match prefixed "app:" with
+        | Some name -> (
+          match
+            List.find_opt (fun (a : Apps.Suite.app) -> a.Apps.Suite.app_name = name)
+              Apps.Suite.all
+          with
+          | Some a -> fun () -> Apps.App_dsl.to_program (a.Apps.Suite.script ())
+          | None -> bad "unknown suite app %S" name)
+        | None -> bad "unknown program token %S" token)))

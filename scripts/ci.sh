@@ -136,6 +136,22 @@ dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --fork > /tmp/ci_fz_
 dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --from-snapshot /tmp/ci_arm.snap > /tmp/ci_fz_file.txt
 diff /tmp/ci_fz_boot.txt /tmp/ci_fz_fork.txt
 diff /tmp/ci_fz_boot.txt /tmp/ci_fz_file.txt
+# The unified `--exec boot|fork|snapshot:FILE` selector supersedes those
+# flags (the lines above double as deprecated-alias regressions: --fork
+# and --from-snapshot warn on stderr but keep working). Both spellings
+# must be byte-identical, and an explicit --exec must win over an alias.
+dune exec bin/ticktock_cli.exe -- difftest --exec fork > /tmp/ci_dt_exec.txt
+diff /tmp/ci_dt_boot.txt /tmp/ci_dt_exec.txt
+dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --exec fork > /tmp/ci_fz_exec_fork.txt
+dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --exec snapshot:/tmp/ci_arm.snap > /tmp/ci_fz_exec_snap.txt
+dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --fork --exec boot 2>/dev/null > /tmp/ci_fz_exec_wins.txt
+diff /tmp/ci_fz_boot.txt /tmp/ci_fz_exec_fork.txt
+diff /tmp/ci_fz_boot.txt /tmp/ci_fz_exec_snap.txt
+diff /tmp/ci_fz_boot.txt /tmp/ci_fz_exec_wins.txt
+if dune exec bin/ticktock_cli.exe -- fuzz -k ticktock-arm -n 8 --exec warp 2>/dev/null; then
+  echo "fuzz: bogus --exec spec was NOT refused"
+  exit 1
+fi
 dune exec bin/ticktock_cli.exe -- chaos -k ticktock-arm -n 2 -f 30 --fork -o /tmp/ci_chaos_fork.txt
 diff /tmp/ci_chaos_a.txt /tmp/ci_chaos_fork.txt
 # ...and forking must stay byte-identical with trace linking disabled:
@@ -277,5 +293,69 @@ assert g["crashers"] == 0, f"ticktock board crashed under fuzzing ({g['crashers'
 blind_str = b["execs_to_target"] if b["execs_to_target"] is not None else "never"
 print("fuzzcov smoke ok: %d buckets in %s execs guided vs %s blind (%d-core host)"
       % (data["target_bits"], g["execs_to_target"], blind_str, data["host_cores"]))
+EOF
+
+# Replay smoke: record a fuzz cell as a TICKRPL bundle, re-execute it to
+# the recorded fingerprint (exit 0 from `replay run` is the oracle), and
+# prove reverse execution byte-for-byte: goto T then back N must print
+# exactly the same state and registers as a fresh forward run to T-N.
+dune exec bin/ticktock_cli.exe -- replay record -k ticktock-arm --seed 7 --fuzzers 4 --steps 400 --interval 4 -o /tmp/ci_replay.tickrpl > /tmp/ci_rp_record.txt
+dune exec bin/ticktock_cli.exe -- replay info /tmp/ci_replay.tickrpl > /dev/null
+dune exec bin/ticktock_cli.exe -- replay run /tmp/ci_replay.tickrpl
+dune exec bin/ticktock_cli.exe -- replay goto /tmp/ci_replay.tickrpl -t 6 > /tmp/ci_rp_fwd.txt
+dune exec bin/ticktock_cli.exe -- replay back /tmp/ci_replay.tickrpl -t 10 -s 4 > /tmp/ci_rp_back.txt
+diff /tmp/ci_rp_fwd.txt /tmp/ci_rp_back.txt
+# ...and identically at a different navigation interval than the bundle
+# was recorded with (snapshot spacing is a navigation cost knob, never a
+# semantic one).
+dune exec bin/ticktock_cli.exe -- replay back /tmp/ci_replay.tickrpl -t 10 -s 4 --interval 2 > /tmp/ci_rp_back_k2.txt
+diff /tmp/ci_rp_fwd.txt /tmp/ci_rp_back_k2.txt
+dune exec bin/ticktock_cli.exe -- replay mpu /tmp/ci_replay.tickrpl -t 6 > /dev/null
+dune exec bin/ticktock_cli.exe -- replay trace /tmp/ci_replay.tickrpl -o /tmp/ci_rp_trace.json
+grep -q traceEvents /tmp/ci_rp_trace.json
+
+# A corrupted bundle must be refused (exit 1), never navigated.
+head -c 64 /tmp/ci_replay.tickrpl > /tmp/ci_rp_trunc.tickrpl
+if dune exec bin/ticktock_cli.exe -- replay run /tmp/ci_rp_trunc.tickrpl 2>/dev/null; then
+  echo "replay: truncated bundle was NOT refused"
+  exit 1
+fi
+
+# Failure cells come out of campaigns as bundles: the upstream crasher
+# that fuzzcov finds must auto-emit under --bundles and replay
+# byte-identically in a fresh process.
+rm -rf /tmp/ci_rp_bundles
+rp_status=0
+dune exec bin/ticktock_cli.exe -- fuzzcov -k tock-arm-upstream -g 4 --bundles /tmp/ci_rp_bundles -o /dev/null || rp_status=$?
+if [ "$rp_status" != 2 ]; then
+  echo "fuzzcov --bundles: expected exit 2, got $rp_status"
+  exit 1
+fi
+dune exec bin/ticktock_cli.exe -- replay run /tmp/ci_rp_bundles/fuzzcov-crasher-0.tickrpl
+
+# Replay absence gate: a full record + navigate session in-process must
+# leave the modeled experiments byte-identical — the recorder boots its
+# own boards and reads fingerprints only at tick boundaries, so a
+# session it does not own must never notice it ran.
+dune exec bench/main.exe -- replay fig11 difftest latency fuzz > /tmp/ci_det_rp.txt
+n=$(wc -l < /tmp/ci_det_a.txt)
+tail -n "$n" /tmp/ci_det_rp.txt > /tmp/ci_det_rp_tail.txt
+diff /tmp/ci_det_a.txt /tmp/ci_det_rp_tail.txt
+
+# Replay bench gate: the bundle must reproduce, a backward step must be
+# byte-identical to a fresh forward run, and recording must stay within
+# a sane constant factor of a plain run (the absolute factor is
+# host-dependent; only the order of magnitude is gated).
+python3 - <<'EOF'
+import json
+with open("BENCH_replay.json") as f:
+    data = json.load(f)
+assert data["reproduced"], "recorded bundle did not reproduce its final fingerprint"
+assert data["back_identical"], "backward step diverged from a fresh forward run"
+assert data["record_overhead"] < 20.0, f"record overhead blew up ({data['record_overhead']}x)"
+sweep = data["back_step_sweep"]
+assert sweep and all(row["back_step_us"] > 0 for row in sweep), "empty back-step sweep"
+print("replay smoke ok: %d ticks at %.2fx record overhead, reverse execution byte-identical"
+      % (data["ticks"], data["record_overhead"]))
 EOF
 echo "ci ok"

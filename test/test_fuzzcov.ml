@@ -106,7 +106,7 @@ let test_coverage_model_invisible () =
       ~heap_headroom:2048
     |> Result.get_ok |> ignore
   in
-  load "witness" "w" (Apps.App_dsl.to_program Fuzzcov.Engine.witness_script);
+  load "witness" "w" (Apps.App_dsl.to_program Apps.Fuzz.witness_script);
   load "gen" "g" (Apps.App_dsl.to_program (Fuzzcov.Input.script some_genome));
   Verify.Violation.with_enabled true (fun () ->
       try bare.Instance.run ~max_ticks:some_genome.Fuzzcov.Input.in_ticks with

@@ -1,0 +1,276 @@
+(* Conformance suite for the Replayable execution API and the TICKRPL
+   record/replay stack: the --exec spec and its deprecated aliases, the
+   schedule encoding, and the time-travel identities the navigator
+   promises — goto-T equals a straight run to T, a backward step equals a
+   fresh forward run, bundles round-trip through disk and refuse loudly
+   when they no longer reproduce their recording. *)
+
+open Ticktock
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let fp = Alcotest.testable (fun ppf v -> Fmt.string ppf (Fp.to_hex v)) Int64.equal
+
+(* Every board-session test runs with contracts armed, like the fleet. *)
+let with_contracts f = Verify.Violation.with_enabled true f
+
+let cell_schedule = Replay.Schedule.fleet_cell ~seed:3 ~fuzzers:4 ~steps:400
+
+let record_cell ?(interval = 4) board =
+  let lv = Replay.Record.board_live ~what:"Test" ~board ~horizon:10_000 cell_schedule in
+  Replay.Record.record ~interval lv
+
+(* --- the execution spec --- *)
+
+let test_exec_parse () =
+  check_bool "boot" true (Replayable.Exec.parse "boot" = Ok Replayable.Exec.Boot);
+  check_bool "fork" true (Replayable.Exec.parse "fork" = Ok Replayable.Exec.Fork);
+  check_bool "snapshot:FILE" true
+    (Replayable.Exec.parse "snapshot:/tmp/x.snap"
+    = Ok (Replayable.Exec.Snapshot_file "/tmp/x.snap"));
+  check_bool "empty snapshot path refused" true
+    (Result.is_error (Replayable.Exec.parse "snapshot:"));
+  check_bool "junk refused" true (Result.is_error (Replayable.Exec.parse "warp"));
+  List.iter
+    (fun s ->
+      match Replayable.Exec.parse s with
+      | Ok spec -> check_string "to_string round-trips" s (Replayable.Exec.to_string spec)
+      | Error _ -> Alcotest.fail ("parse failed on " ^ s))
+    [ "boot"; "fork"; "snapshot:/tmp/x.snap" ]
+
+let test_exec_aliases () =
+  let warnings = ref [] in
+  let warn m = warnings := m :: !warnings in
+  let of_flags ~fork ~from_snapshot exec =
+    Replayable.Exec.of_flags ~warn ~fork ~from_snapshot exec
+  in
+  (* no flags at all: boot, silently *)
+  warnings := [];
+  check_bool "default is boot" true
+    (of_flags ~fork:false ~from_snapshot:None None = Ok Replayable.Exec.Boot);
+  check_int "no warning" 0 (List.length !warnings);
+  (* each deprecated alias still works, and warns *)
+  warnings := [];
+  check_bool "--fork still works" true
+    (of_flags ~fork:true ~from_snapshot:None None = Ok Replayable.Exec.Fork);
+  check_int "--fork warns" 1 (List.length !warnings);
+  warnings := [];
+  check_bool "--from-snapshot still works" true
+    (of_flags ~fork:false ~from_snapshot:(Some "/tmp/x.snap") None
+    = Ok (Replayable.Exec.Snapshot_file "/tmp/x.snap"));
+  check_int "--from-snapshot warns" 1 (List.length !warnings);
+  (* an explicit --exec wins over both aliases, and no alias warning *)
+  warnings := [];
+  check_bool "--exec beats the aliases" true
+    (of_flags ~fork:true ~from_snapshot:(Some "/tmp/x.snap") (Some "boot")
+    = Ok Replayable.Exec.Boot);
+  check_int "--exec silences the aliases" 0 (List.length !warnings)
+
+(* Boot and fork cells are byte-identical through the shared runner: the
+   admissibility check that let the six campaigns collapse onto it. *)
+let test_boot_fork_identical () =
+  let make () = Boards.instance_ticktock_arm () in
+  let run exec =
+    with_contracts (fun () -> Apps.Fuzz.campaign ~exec ~seeds:4 ~fuzzers:2 ~steps:40 make)
+  in
+  check_bool "boot == fork over the campaign protocol" true
+    (run Replayable.Exec.Boot = run Replayable.Exec.Fork)
+
+(* --- schedules --- *)
+
+let test_schedule_roundtrip () =
+  let sched = Replay.Schedule.fleet_cell ~seed:11 ~fuzzers:3 ~steps:70 in
+  check_bool "encode/decode round-trips" true
+    (Replay.Schedule.decode (Replay.Schedule.encode sched) = sched);
+  check_bool "bad op refused" true
+    (try
+       ignore (Replay.Schedule.decode "warp 3\n");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- the navigator identities, on all three MPU architectures --- *)
+
+let nav_identity board () =
+  with_contracts (fun () ->
+      let b = record_cell board in
+      let horizon = b.Replay.Bundle.bu_header.Replay.Bundle.hd_horizon in
+      check_bool "recording long enough to navigate" true (horizon > 6);
+      let mid = horizon / 2 in
+      (* goto T == a fresh forward run to T *)
+      let nav = Replay.Record.navigator b in
+      Replay.Navigator.goto nav mid;
+      let nav2 = Replay.Record.navigator b in
+      Replay.Navigator.goto nav2 mid;
+      Alcotest.check fp "goto T is reproducible" (Replay.Navigator.fingerprint nav)
+        (Replay.Navigator.fingerprint nav2);
+      (* run past T, step backward to T: identical machine state *)
+      Replay.Navigator.goto nav horizon;
+      Replay.Navigator.back nav (horizon - mid);
+      check_int "back lands on T" mid (Replay.Navigator.tick nav);
+      Alcotest.check fp "backward step == fresh forward run" (Replay.Navigator.fingerprint nav2)
+        (Replay.Navigator.fingerprint nav);
+      check_bool "registers identical" true
+        (Replay.Navigator.regs nav = Replay.Navigator.regs nav2);
+      check_string "MPU view identical" (Replay.Navigator.mpu nav2) (Replay.Navigator.mpu nav);
+      check_string "memory identical"
+        (Replay.Navigator.mem_read nav2 ~addr:0x2000_0000 ~len:256)
+        (Replay.Navigator.mem_read nav ~addr:0x2000_0000 ~len:256);
+      (* the recording's own final state reproduces *)
+      check_bool "bundle reproduces" true (Replay.Record.reproduces b))
+
+(* --- the on-disk bundle --- *)
+
+let test_bundle_roundtrip () =
+  with_contracts (fun () ->
+      let b = record_cell "ticktock-arm" in
+      let path = Filename.temp_file "ticktock" ".tickrpl" in
+      Replay.Bundle.save b path;
+      let b' = Replay.Bundle.load path in
+      Sys.remove path;
+      check_bool "header round-trips" true (b'.Replay.Bundle.bu_header = b.Replay.Bundle.bu_header);
+      check_bool "marks round-trip" true (b'.Replay.Bundle.bu_marks = b.Replay.Bundle.bu_marks);
+      check_int "events round-trip"
+        (List.length b.Replay.Bundle.bu_events)
+        (List.length b'.Replay.Bundle.bu_events);
+      check_bool "loaded bundle reproduces" true (Replay.Record.reproduces b'))
+
+let test_bundle_refusals () =
+  with_contracts (fun () ->
+      let b = record_cell "ticktock-arm" in
+      (* truncated / wrong magic *)
+      let path = Filename.temp_file "ticktock" ".tickrpl" in
+      let oc = open_out_bin path in
+      output_string oc "TICKSNAP";
+      close_out oc;
+      check_bool "wrong magic refused" true
+        (try
+           ignore (Replay.Bundle.load path);
+           false
+         with Replay.Bundle.Refused _ -> true);
+      Sys.remove path;
+      (* a tampered mark: the bundle loads, but navigation refuses the
+         divergence instead of silently showing a different execution *)
+      let marks = Array.copy b.Replay.Bundle.bu_marks in
+      let last = Array.length marks - 1 in
+      let tick, _ = marks.(last) in
+      marks.(last) <- (tick, 0xBAD_F00DL);
+      let tampered = { b with Replay.Bundle.bu_marks = marks } in
+      check_bool "tampered recording does not reproduce" false
+        (Replay.Record.reproduces tampered);
+      let nav = Replay.Record.navigator tampered in
+      check_bool "navigation refuses the divergence" true
+        (try
+           Replay.Navigator.goto nav tick;
+           false
+         with Replay.Bundle.Refused _ -> true))
+
+(* Recorded sessions carry the obs ring: violation sites are inspectable
+   and any tick window exports as a Chrome trace without re-execution. *)
+let test_events_and_trace () =
+  with_contracts (fun () ->
+      let b = record_cell "ticktock-arm" in
+      check_bool "events recorded" true (List.length b.Replay.Bundle.bu_events > 0);
+      let nav = Replay.Record.navigator b in
+      Replay.Navigator.goto nav b.Replay.Bundle.bu_header.Replay.Bundle.hd_horizon;
+      match Replay.Navigator.trace nav ~window:(0, 5) with
+      | None -> Alcotest.fail "recorded session has no trace"
+      | Some json ->
+        let contains hay needle =
+          let n = String.length needle and h = String.length hay in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "trace is a chrome trace" true
+          (String.length json > 0 && String.sub json 0 1 = "{" && contains json "traceEvents"))
+
+(* --- campaign emitters --- *)
+
+let test_fuzzcov_crasher_bundle () =
+  let spec =
+    {
+      Fuzzcov.Engine.default_spec with
+      Fuzzcov.Engine.fc_board = "tock-arm-upstream";
+      fc_gens = 4;
+      fc_pop = 6;
+    }
+  in
+  let r = Fuzzcov.Engine.run ~jobs:2 spec in
+  match r.Fuzzcov.Engine.fz_crashers with
+  | [] -> Alcotest.fail "upstream board found no crasher"
+  | c :: _ ->
+    let b = Replay.Record.of_fuzzcov spec c in
+    check_bool "crasher bundle reproduces" true (Replay.Record.reproduces b);
+    check_bool "crash recorded" true (b.Replay.Bundle.bu_header.Replay.Bundle.hd_crash <> None)
+
+let test_fabric_cell_bundle () =
+  let spec =
+    { Fabric.Campaign.default_spec with Fabric.Campaign.fb_plans = [ "storm" ]; fb_cuts = 5 }
+  in
+  let r = Fabric.Campaign.run ~jobs:2 spec in
+  let cell = Option.get r.Fabric.Campaign.fb_cells.(3) in
+  (* of_fabric_cell refuses unless its oracle fingerprint matches the
+     campaign's, so a successful emission IS the byte-identity check *)
+  let b = Replay.Record.of_fabric_cell spec cell in
+  check_bool "fabric bundle reproduces" true (Replay.Record.reproduces b);
+  (* restart-and-replay navigation: a backward jump on a fabric session *)
+  let nav = Replay.Record.navigator b in
+  Replay.Navigator.goto nav 30;
+  let fp30 = Replay.Navigator.fingerprint nav in
+  Replay.Navigator.goto nav 50;
+  Replay.Navigator.back nav 20;
+  Alcotest.check fp "fabric backward jump == fresh forward run" fp30
+    (Replay.Navigator.fingerprint nav)
+
+(* Recording is fingerprint-invisible: the recorded marks equal the
+   fingerprints of the same cell run with observability off. *)
+let test_replay_invisibility () =
+  with_contracts (fun () ->
+      let b = record_cell "ticktock-arm" in
+      let old = Obs.Config.auto_mode () in
+      Obs.Config.set_auto Obs.Config.Off;
+      Fun.protect
+        ~finally:(fun () -> Obs.Config.set_auto old)
+        (fun () ->
+          Cycles.set Cycles.global 0;
+          let k = Capsules.Std_board.make ~what:"Test" "ticktock-arm" in
+          Replay.Schedule.apply k cell_schedule;
+          let s = Replayable.of_instance ~name:"ticktock-arm" k in
+          let marks = Hashtbl.create 16 in
+          Array.iter
+            (fun (tk, v) -> Hashtbl.replace marks tk v)
+            b.Replay.Bundle.bu_marks;
+          let rec go () =
+            let now = s.Replayable.rp_tick () in
+            (match Hashtbl.find_opt marks now with
+            | Some expected ->
+              Alcotest.check fp
+                (Printf.sprintf "obs-off fingerprint at tick %d" now)
+                expected
+                (s.Replayable.rp_fingerprint ())
+            | None -> ());
+            if s.Replayable.rp_crash () = None then begin
+              s.Replayable.rp_step ~ticks:1;
+              if s.Replayable.rp_tick () > now then go ()
+            end
+          in
+          go ()))
+
+let suite =
+  [
+    Alcotest.test_case "exec spec parses" `Quick test_exec_parse;
+    Alcotest.test_case "deprecated aliases resolve and warn" `Quick test_exec_aliases;
+    Alcotest.test_case "boot and fork cells identical" `Quick test_boot_fork_identical;
+    Alcotest.test_case "schedule round-trips" `Quick test_schedule_roundtrip;
+    Alcotest.test_case "navigator identity (ticktock-arm)" `Quick (nav_identity "ticktock-arm");
+    Alcotest.test_case "navigator identity (ticktock-arm-v8)" `Quick
+      (nav_identity "ticktock-arm-v8");
+    Alcotest.test_case "navigator identity (ticktock-e310)" `Quick
+      (nav_identity "ticktock-e310");
+    Alcotest.test_case "bundle round-trips through disk" `Quick test_bundle_roundtrip;
+    Alcotest.test_case "bundle refusals" `Quick test_bundle_refusals;
+    Alcotest.test_case "events and windowed trace" `Quick test_events_and_trace;
+    Alcotest.test_case "fuzzcov crasher bundle reproduces" `Quick test_fuzzcov_crasher_bundle;
+    Alcotest.test_case "fabric cell bundle reproduces" `Quick test_fabric_cell_bundle;
+    Alcotest.test_case "recording is fingerprint-invisible" `Quick test_replay_invisibility;
+  ]
